@@ -1,0 +1,87 @@
+// Command cpprbench regenerates the tables and figures of the paper's
+// evaluation section on synthetic benchmark stand-ins.
+//
+//	cpprbench -all                  # Table III, Table IV, Fig 5, Fig 6, accuracy
+//	cpprbench -table4 -scale 0.05   # bigger designs, Table IV only
+//	cpprbench -fig5 -designs leon2  # figures run on the leon2-class preset
+//
+// Scale 1.0 reproduces the published element counts; the default 0.02
+// sizes the full suite for a laptop-class machine (the algorithms'
+// relative behaviour — who wins, where the crossovers are — is preserved,
+// see DESIGN.md §3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fastcppr/internal/experiments"
+)
+
+func main() {
+	var (
+		table3   = flag.Bool("table3", false, "print Table III (benchmark statistics)")
+		table4   = flag.Bool("table4", false, "print Table IV (runtime/memory comparison)")
+		fig5     = flag.Bool("fig5", false, "print Figure 5 (runtime/memory vs k)")
+		fig6     = flag.Bool("fig6", false, "print Figure 6 (runtime/memory vs threads)")
+		accuracy = flag.Bool("accuracy", false, "run the accuracy audit")
+		rerank   = flag.Bool("rerank", false, "run the inexact-rerank ablation")
+		all      = flag.Bool("all", false, "run everything")
+		scale    = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
+		designs  = flag.String("designs", "", "comma-separated preset subset (default all)")
+		ks       = flag.String("k", "1,100,10000", "comma-separated k values for Table IV")
+		threads  = flag.Int("threads", 0, "parallel thread count of the comparison (0 = min(8, host cores))")
+		oursOnly = flag.Bool("oursonly", false, "measure only the LCA engine (full-size capability runs)")
+	)
+	flag.Parse()
+	if *all {
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank = true, true, true, true, true, true
+	}
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{
+		Out:      os.Stdout,
+		Scale:    *scale,
+		Threads:  *threads,
+		OursOnly: *oursOnly,
+	}
+	if *designs != "" {
+		cfg.Designs = strings.Split(*designs, ",")
+	}
+	for _, part := range strings.Split(*ks, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad -k value %q: %v", part, err))
+		}
+		cfg.Ks = append(cfg.Ks, k)
+	}
+
+	fmt.Printf("# %s\n\n", experiments.HostInfo())
+	run := func(name string, enabled bool, f func(experiments.Config) error) {
+		if !enabled {
+			return
+		}
+		fmt.Printf("### %s\n\n", name)
+		if err := f(cfg); err != nil {
+			fatal(fmt.Errorf("%s: %v", name, err))
+		}
+	}
+	run("Accuracy audit", *accuracy, experiments.Accuracy)
+	run("Rerank ablation", *rerank, experiments.RerankAblation)
+	run("Table III", *table3, experiments.Table3)
+	run("Table IV", *table4, experiments.Table4)
+	run("Figure 5", *fig5, experiments.Fig5)
+	run("Figure 6", *fig6, experiments.Fig6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpprbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command cpprtimer runs a CPPR top-k critical-path analysis on a design
+// file and prints the ranked paths.
+//
+//	cpprtimer -i design.cppr -k 10 -mode setup -algo lca -threads 8
+//
+// With -mode both, setup and hold reports are printed back to back.
+// -paths controls how many of the k paths are printed in full detail
+// (all of them by default); -summary suppresses pin sequences.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+	"fastcppr/sdc"
+	"fastcppr/tau"
+)
+
+func main() {
+	var (
+		in      = flag.String("i", "", "input design file (tau format; required)")
+		k       = flag.Int("k", 10, "number of post-CPPR critical paths")
+		modeStr = flag.String("mode", "setup", "check mode: setup, hold or both")
+		algoStr = flag.String("algo", "lca", "algorithm: lca, pairwise, blockwise, bnb, brute")
+		threads = flag.Int("threads", 0, "worker threads (0 = all cores)")
+		nPaths  = flag.Int("paths", -1, "paths to print in detail (-1 = all)")
+		summary = flag.Bool("summary", false, "print the slack table only")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		pos     = flag.Bool("pos", false, "include output checks at constrained primary outputs")
+		sdcPath = flag.String("sdc", "", "constraints file (create_clock, io delays, false paths)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "cpprtimer: -i design file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	algo, err := cppr.ParseAlgorithm(*algoStr)
+	if err != nil {
+		fatal(err)
+	}
+	var modes []model.Mode
+	switch *modeStr {
+	case "setup":
+		modes = []model.Mode{model.Setup}
+	case "hold":
+		modes = []model.Mode{model.Hold}
+	case "both":
+		modes = model.Modes[:]
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want setup|hold|both)", *modeStr))
+	}
+
+	d, err := readDesign(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if !*jsonOut {
+		fmt.Printf("design %s: %d pins, %d edges, %d FFs, clock-tree depth D=%d\n",
+			d.Name, d.NumPins(), d.NumArcs(), d.NumFFs(), d.Depth)
+	}
+
+	timer := cppr.NewTimer(d)
+	if *sdcPath != "" {
+		c, err := sdc.ParseFile(*sdcPath)
+		if err != nil {
+			fatal(err)
+		}
+		if d, err = timer.ApplySDC(c); err != nil {
+			fatal(err)
+		}
+	}
+	for _, mode := range modes {
+		rep, err := timer.Report(cppr.Options{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos})
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			if err := cppr.WriteJSON(os.Stdout, d, &rep, mode, *k); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		fmt.Printf("\n== %s: top-%d post-CPPR paths via %s in %v ==\n",
+			mode, *k, algo, rep.Elapsed)
+
+		t := report.NewTable("", "#", "slack", "pre-CPPR", "credit", "LCA depth", "launch", "capture")
+		for i, p := range rep.Paths {
+			lau := "<PI>"
+			if p.LaunchFF != model.NoFF {
+				lau = d.FFs[p.LaunchFF].Name
+			}
+			t.Add(fmt.Sprint(i+1), p.Slack.String(), p.PreSlack.String(), p.Credit.String(),
+				fmt.Sprint(p.LCADepth), lau, d.FFs[p.CaptureFF].Name)
+		}
+		fmt.Print(t)
+
+		if !*summary {
+			limit := len(rep.Paths)
+			if *nPaths >= 0 && *nPaths < limit {
+				limit = *nPaths
+			}
+			for i := 0; i < limit; i++ {
+				fmt.Printf("\npath %d:\n%s", i+1, rep.Paths[i].FormatDetailed(d))
+			}
+		}
+	}
+}
+
+func readDesign(path string) (*model.Design, error) {
+	return tau.ReadFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpprtimer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command elaborate runs the front-end flow: it reads a gate-level
+// netlist and a cell library, performs delay calculation (NLDM lookup,
+// slew propagation, Elmore wires, OCV derates), and writes the resulting
+// timing graph as a tau design file ready for cpprtimer.
+//
+//	elaborate -n design.nl -lib cells.libt -o design.cppr
+//	elaborate -demo -o design.cppr          # built-in demo library
+//	elaborate -rand -ffs 64 -gates 400 -o design.cppr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastcppr/liberty"
+	"fastcppr/model"
+	"fastcppr/netlist"
+	"fastcppr/tau"
+)
+
+func main() {
+	var (
+		nlPath  = flag.String("n", "", "input netlist file (native .nl format)")
+		vPath   = flag.String("v", "", "input structural Verilog file")
+		clkPort = flag.String("clk", "clk", "clock port name (Verilog input)")
+		period  = flag.String("period", "10ns", "clock period (Verilog input)")
+		libPath = flag.String("lib", "", "cell library file (empty = built-in demo library)")
+		out     = flag.String("o", "", "output tau design file (default stdout)")
+		randGen = flag.Bool("rand", false, "synthesize a random netlist instead of reading one")
+		seed    = flag.Int64("seed", 1, "random netlist seed")
+		ffs     = flag.Int("ffs", 32, "random netlist flip-flop count")
+		gates   = flag.Int("gates", 128, "random netlist gate count")
+		levels  = flag.Int("clklevels", 3, "random netlist clock-tree levels")
+		stats   = flag.Bool("stats", false, "print design statistics to stderr")
+	)
+	flag.Parse()
+
+	lib := liberty.Demo()
+	if *libPath != "" {
+		l, err := liberty.ParseFile(*libPath)
+		if err != nil {
+			fatal(err)
+		}
+		lib = l
+	}
+
+	var n *netlist.Netlist
+	switch {
+	case *vPath != "":
+		p, err := model.ParseTime(*period)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := netlist.ParseVerilogFile(*vPath, *clkPort, p)
+		if err != nil {
+			fatal(err)
+		}
+		n = parsed
+	case *randGen:
+		n = netlist.Random(netlist.RandomSpec{
+			Seed: *seed, FFs: *ffs, Gates: *gates, ClockLevels: *levels,
+			Inputs: *ffs / 8, Outputs: *ffs / 8,
+		})
+	case *nlPath != "":
+		parsed, err := netlist.ParseFile(*nlPath)
+		if err != nil {
+			fatal(err)
+		}
+		n = parsed
+	default:
+		fmt.Fprintln(os.Stderr, "elaborate: need -n netlist, -v verilog or -rand")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := n.Elaborate(lib, netlist.DefaultWireModel())
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := d.Stats()
+		fmt.Fprintf(os.Stderr, "elaborated %s: %d pins, %d edges, %d FFs, D=%d\n",
+			s.Name, s.NumPins, s.NumEdges, s.NumFFs, s.Depth)
+	}
+	if *out == "" {
+		if err := tau.Write(os.Stdout, d); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := tau.WriteFile(*out, d); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elaborate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command gendesign generates synthetic benchmark designs and writes them
+// in the tau text format.
+//
+// Generate a scaled stand-in for a paper benchmark:
+//
+//	gendesign -preset leon2 -scale 0.02 -o leon2_s.cppr
+//
+// Or a fully custom design:
+//
+//	gendesign -ffs 500 -depth 20 -seed 7 -o mine.cppr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+	"fastcppr/tau"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "", "Table III preset name ("+strings.Join(gen.PresetNames(), ", ")+")")
+		scale  = flag.Float64("scale", 0.02, "preset scale factor (1.0 = published size)")
+		seed   = flag.Int64("seed", 1, "random seed (custom designs)")
+		name   = flag.String("name", "", "design name (custom designs)")
+		ffs    = flag.Int("ffs", 256, "flip-flop count (custom designs)")
+		depth  = flag.Int("depth", 16, "clock tree depth D (custom designs)")
+		layers = flag.Int("layers", 4, "combinational layers (custom designs)")
+		comb   = flag.Int("comb", 0, "combinational pins per layer (0 = 2x FFs)")
+		pis    = flag.Int("pis", 16, "primary inputs (custom designs)")
+		window = flag.Float64("window", 0.1, "connectivity window in [0,1] (custom designs)")
+		out    = flag.String("o", "", "output file (default stdout)")
+		stats  = flag.Bool("stats", false, "print design statistics to stderr")
+		conn   = flag.Bool("connectivity", false, "include FF connectivity in -stats (slow on big designs)")
+	)
+	flag.Parse()
+
+	var spec gen.Spec
+	if *preset != "" {
+		s, err := gen.PresetSpec(*preset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		spec = s
+	} else {
+		spec = gen.Spec{
+			Name:         *name,
+			Seed:         *seed,
+			NumFFs:       *ffs,
+			TargetDepth:  *depth,
+			CombLayers:   *layers,
+			CombPerLayer: *comb,
+			NumPIs:       *pis,
+			NumPOs:       *pis,
+			Window:       *window,
+		}
+	}
+	d, err := gen.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		var s model.Stats
+		if *conn {
+			s = d.StatsWithConnectivity()
+		} else {
+			s = d.Stats()
+		}
+		fmt.Fprintf(os.Stderr, "design %s: %d pins, %d edges, %d FFs, D=%d, FFs/D=%.2f",
+			s.Name, s.NumPins, s.NumEdges, s.NumFFs, s.Depth, s.FFsPerD)
+		if *conn {
+			fmt.Fprintf(os.Stderr, ", connectivity=%.2f", s.Connectivity)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	if *out == "" {
+		if err := tau.Write(os.Stdout, d); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := tau.WriteFile(*out, d); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gendesign:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package cppr
+
+import (
+	"sync"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// TestConcurrentQueries backs the documented claim that a Timer is safe
+// for concurrent Report/EndpointReport/PostCPPRSlacks calls.
+// Run with -race for full effect.
+func TestConcurrentQueries(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(77))
+	timer := NewTimer(d)
+	ref, err := timer.Report(Options{K: 50, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				switch g % 3 {
+				case 0:
+					rep, err := timer.Report(Options{K: 50, Mode: model.Setup, Threads: 2})
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range ref.Paths {
+						if rep.Paths[j].Slack != ref.Paths[j].Slack {
+							t.Errorf("goroutine %d: slack %d diverged", g, j)
+							return
+						}
+					}
+				case 1:
+					if _, err := timer.EndpointReport(model.FFID(g%d.NumFFs()), Options{K: 5, Mode: model.Hold}); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					timer.PostCPPRSlacks(model.Hold, 2)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

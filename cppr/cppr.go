@@ -1,0 +1,363 @@
+// Package cppr is the public facade of fastcppr: a common-path-pessimism-
+// removal (CPPR) timing engine that reports the top-k post-CPPR critical
+// paths of a design.
+//
+// The default algorithm is the DAC 2021 LCA-depth-grouping algorithm of
+// Guo, Huang and Lin ("A Provably Good and Practically Efficient Algorithm
+// for Common Path Pessimism Removal in Large Designs"), whose runtime is
+// O(nD) for the top path and O(nDk log k) for top-k, where D is the clock
+// tree depth. Three reimplemented state-of-the-art baselines (OpenTimer-,
+// HappyTimer- and iTimerC-style) are selectable for comparison studies;
+// all four produce exact, full-accuracy results.
+//
+// Basic use:
+//
+//	d, err := tau.ReadFile("design.cppr")
+//	t := cppr.NewTimer(d)
+//	rep, err := t.Report(cppr.Options{K: 10, Mode: model.Setup})
+//	for _, p := range rep.Paths { fmt.Print(p.Format(d)) }
+package cppr
+
+import (
+	"fmt"
+	"time"
+
+	"fastcppr/internal/baseline"
+	"fastcppr/internal/core"
+	"fastcppr/internal/lca"
+	"fastcppr/internal/sta"
+	"fastcppr/model"
+	"fastcppr/sdc"
+)
+
+// Algorithm selects which CPPR implementation answers a query.
+type Algorithm int
+
+const (
+	// AlgoLCA is the paper's algorithm (default): per-clock-tree-level
+	// candidate generation, independent of the FF count.
+	AlgoLCA Algorithm = iota
+	// AlgoPairwise is the OpenTimer-style per-launch-FF baseline.
+	AlgoPairwise
+	// AlgoBlockwise is the HappyTimer-style launch-set block baseline.
+	AlgoBlockwise
+	// AlgoBranchAndBound is the iTimerC-style pre-CPPR-ordered
+	// branch-and-bound baseline.
+	AlgoBranchAndBound
+	// AlgoBruteForce enumerates every path; exponential, for tiny
+	// designs and validation only.
+	AlgoBruteForce
+	// AlgoRerankInexact is the pre-CPPR-then-rerank heuristic: top-k by
+	// pre-CPPR slack, credits applied afterwards. It is NOT exact — it
+	// can miss true post-CPPR critical paths — and exists to quantify
+	// why exact CPPR search matters. Never use it for signoff.
+	AlgoRerankInexact
+)
+
+// String returns the short name used by CLI flags and reports.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoLCA:
+		return "lca"
+	case AlgoPairwise:
+		return "pairwise"
+	case AlgoBlockwise:
+		return "blockwise"
+	case AlgoBranchAndBound:
+		return "bnb"
+	case AlgoBruteForce:
+		return "brute"
+	case AlgoRerankInexact:
+		return "rerank"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a short name to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "lca", "ours", "":
+		return AlgoLCA, nil
+	case "pairwise", "opentimer":
+		return AlgoPairwise, nil
+	case "blockwise", "happytimer":
+		return AlgoBlockwise, nil
+	case "bnb", "itimerc":
+		return AlgoBranchAndBound, nil
+	case "brute":
+		return AlgoBruteForce, nil
+	case "rerank":
+		return AlgoRerankInexact, nil
+	default:
+		return 0, fmt.Errorf("cppr: unknown algorithm %q (want lca|pairwise|blockwise|bnb|brute)", s)
+	}
+}
+
+// Algorithms lists all selectable algorithms in report order.
+var Algorithms = []Algorithm{AlgoLCA, AlgoPairwise, AlgoBlockwise, AlgoBranchAndBound}
+
+// Options configures one top-k query.
+type Options struct {
+	// K is the number of post-CPPR critical paths to report (>= 1).
+	K int
+	// Mode selects setup or hold analysis.
+	Mode model.Mode
+	// Threads bounds parallelism; <= 0 uses all available cores.
+	Threads int
+	// Algorithm selects the implementation; default AlgoLCA.
+	Algorithm Algorithm
+	// UseLiftingLCA switches AlgoLCA's LCA queries to binary lifting
+	// (ablation knob; default Euler-tour RMQ).
+	UseLiftingLCA bool
+	// IncludePOs adds output-check paths at constrained primary outputs
+	// (AlgoLCA only; extension beyond the paper).
+	IncludePOs bool
+}
+
+// Report is the result of one top-k query.
+type Report struct {
+	// Paths holds up to K paths sorted ascending by post-CPPR slack.
+	Paths []model.Path
+	// Elapsed is the query wall time.
+	Elapsed time.Duration
+	// Algorithm is the implementation that produced the report.
+	Algorithm Algorithm
+	// Stats carries core-engine counters (AlgoLCA only).
+	Stats core.Stats
+}
+
+// WorstSlack returns the most critical reported slack.
+func (r *Report) WorstSlack() (model.Time, bool) {
+	if len(r.Paths) == 0 {
+		return 0, false
+	}
+	return r.Paths[0].Slack, true
+}
+
+// Timer answers CPPR queries for one design. Construction preprocesses
+// the clock tree once; the Timer is then safe for concurrent queries.
+// SetArcDelay (what-if edits) must not race with in-flight queries.
+type Timer struct {
+	d      *model.Design
+	tree   *lca.Tree
+	engine *core.Engine
+	pw     *baseline.Pairwise
+	bw     *baseline.Blockwise
+	bb     *baseline.BranchAndBound
+	rr     *baseline.Rerank
+	incr   *sta.Incr
+	filter *sdc.Filter
+}
+
+// NewTimer preprocesses d.
+func NewTimer(d *model.Design) *Timer {
+	t := &Timer{d: d}
+	t.rebuild()
+	return t
+}
+
+// rebuild refreshes every structure derived from the design's delays
+// that is cached across queries (clock-tree arrivals/credits, CK->Q
+// delay caches).
+func (t *Timer) rebuild() {
+	maxTuples, maxPops := 0, 0
+	if t.bw != nil {
+		maxTuples, maxPops = t.bw.MaxTuples, t.bb.MaxPops
+	}
+	tree := lca.New(t.d)
+	t.tree = tree
+	t.engine = core.NewEngineWithTree(t.d, tree)
+	t.pw = baseline.NewPairwise(t.d, tree)
+	t.bw = baseline.NewBlockwise(t.d, tree)
+	t.bb = baseline.NewBranchAndBound(t.d, tree)
+	t.rr = baseline.NewRerank(t.d, tree)
+	if maxTuples > 0 {
+		t.bw.MaxTuples = maxTuples
+	}
+	if maxPops > 0 {
+		t.bb.MaxPops = maxPops
+	}
+}
+
+// Design returns the timer's design.
+func (t *Timer) Design() *model.Design { return t.d }
+
+// Report runs one top-k query.
+func (t *Timer) Report(opts Options) (Report, error) {
+	if opts.K < 0 {
+		return Report{}, fmt.Errorf("cppr: K must be non-negative, got %d", opts.K)
+	}
+	if !t.filter.Empty() && opts.Algorithm != AlgoLCA {
+		return Report{}, fmt.Errorf("cppr: false-path constraints are supported by AlgoLCA only, got %v", opts.Algorithm)
+	}
+	start := time.Now()
+	rep := Report{Algorithm: opts.Algorithm}
+	switch opts.Algorithm {
+	case AlgoLCA:
+		copts := core.Options{
+			K:             opts.K,
+			Mode:          opts.Mode,
+			Threads:       opts.Threads,
+			UseLiftingLCA: opts.UseLiftingLCA,
+			IncludePOs:    opts.IncludePOs,
+		}
+		if !t.filter.Empty() {
+			copts.ExcludeLaunchFF = t.filter.FromFF
+			copts.ExcludeCaptureFF = t.filter.ToFF
+			copts.ExcludeLaunchPin = t.filter.FromPin
+		}
+		res := t.engine.TopPaths(copts)
+		rep.Paths, rep.Stats = res.Paths, res.Stats
+	case AlgoPairwise:
+		rep.Paths = t.pw.TopPaths(opts.Mode, opts.K, opts.Threads)
+	case AlgoBlockwise:
+		paths, err := t.bw.TopPaths(opts.Mode, opts.K, opts.Threads)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Paths = paths
+	case AlgoBranchAndBound:
+		paths, err := t.bb.TopPaths(opts.Mode, opts.K, opts.Threads)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Paths = paths
+	case AlgoBruteForce:
+		rep.Paths = baseline.BruteForce(t.d, opts.Mode, opts.K)
+	case AlgoRerankInexact:
+		rep.Paths = t.rr.TopPaths(opts.Mode, opts.K)
+	default:
+		return Report{}, fmt.Errorf("cppr: unknown algorithm %v", opts.Algorithm)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// EndpointReport returns the top-k post-CPPR paths captured by a single
+// flip-flop (report_timing -to style). Only the LCA engine serves
+// per-endpoint queries; opts.Algorithm must be AlgoLCA (the default).
+func (t *Timer) EndpointReport(ff model.FFID, opts Options) (Report, error) {
+	if opts.Algorithm != AlgoLCA {
+		return Report{}, fmt.Errorf("cppr: EndpointReport supports AlgoLCA only, got %v", opts.Algorithm)
+	}
+	if ff < 0 || int(ff) >= t.d.NumFFs() {
+		return Report{}, fmt.Errorf("cppr: FF id %d out of range", ff)
+	}
+	start := time.Now()
+	res := t.engine.TopPaths(core.Options{
+		K:             opts.K,
+		Mode:          opts.Mode,
+		Threads:       opts.Threads,
+		UseLiftingLCA: opts.UseLiftingLCA,
+		FilterCapture: true,
+		CaptureFF:     ff,
+	})
+	return Report{
+		Paths:     res.Paths,
+		Stats:     res.Stats,
+		Algorithm: AlgoLCA,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// SetBudgets overrides the failure budgets of the budgeted baselines:
+// maxTuples bounds Blockwise's launch-set memory (its "MLE" limit) and
+// maxPops bounds BranchAndBound's search. Zero leaves a budget unchanged.
+func (t *Timer) SetBudgets(maxTuples, maxPops int) {
+	if maxTuples > 0 {
+		t.bw.MaxTuples = maxTuples
+	}
+	if maxPops > 0 {
+		t.bb.MaxPops = maxPops
+	}
+}
+
+// EndpointSlack is a pre-CPPR graph-based slack at one FF's D pin.
+type EndpointSlack struct {
+	FF    model.FFID
+	Slack model.Time
+	Valid bool
+}
+
+// PreCPPRSlacks returns the conventional (pre-CPPR) graph-based endpoint
+// slacks for the mode — the numbers a timer without pessimism removal
+// would report, used to quantify removed pessimism. Arrival windows are
+// maintained incrementally across SetArcDelay edits.
+func (t *Timer) PreCPPRSlacks(mode model.Mode) []EndpointSlack {
+	if t.incr == nil {
+		t.incr = sta.NewIncr(t.d)
+	}
+	t.incr.Flush()
+	raw := sta.EndpointSlacks(t.d, t.incr.AT(), mode)
+	out := make([]EndpointSlack, len(raw))
+	for i, s := range raw {
+		out[i] = EndpointSlack{FF: s.FF, Slack: s.Slack, Valid: s.Valid}
+	}
+	return out
+}
+
+// SetArcDelay performs a what-if edit: it updates the delay window of
+// the arc from -> to and incrementally refreshes the timer's cached
+// state (graph arrivals via dirty-cone propagation; clock-tree credits
+// and launch-arc caches only when the edit touches them). Subsequent
+// Report calls reflect the edit exactly; results are identical to a
+// freshly built Timer on the edited design.
+func (t *Timer) SetArcDelay(from, to model.PinID, delay model.Window) error {
+	ai := t.d.ArcBetween(from, to)
+	if ai < 0 {
+		return fmt.Errorf("cppr: no arc %q -> %q", t.d.PinName(from), t.d.PinName(to))
+	}
+	if t.incr == nil {
+		t.incr = sta.NewIncr(t.d)
+	}
+	if err := t.incr.SetArcDelay(ai, delay); err != nil {
+		return err
+	}
+	// Clock arcs change arrivals/credits cached in the lca tree; CK->Q
+	// edits change the launch-delay caches inside each engine.
+	if t.d.IsClockPin(from) {
+		t.rebuild()
+	}
+	return nil
+}
+
+// ApplySDC applies a constraint set: the clock period and io-delay
+// overrides rebuild the timer's design, and false-path exceptions are
+// installed as a candidate filter consulted by subsequent AlgoLCA
+// queries. The rebuilt design is returned (the Timer switches to it).
+func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
+	nd, filt, err := c.Apply(t.d)
+	if err != nil {
+		return nil, err
+	}
+	t.d = nd
+	t.incr = nil
+	t.rebuild()
+	t.filter = filt
+	return nd, nil
+}
+
+// PostCPPRSlacks returns the exact post-CPPR worst slack at every FF
+// endpoint, computed in O(nD) — a full pessimism-removed signoff
+// summary (compare PreCPPRSlacks to quantify removed pessimism per
+// endpoint). threads <= 0 uses all cores.
+func (t *Timer) PostCPPRSlacks(mode model.Mode, threads int) []EndpointSlack {
+	copts := core.Options{Mode: mode, Threads: threads}
+	if !t.filter.Empty() {
+		copts.ExcludeLaunchFF = t.filter.FromFF
+		copts.ExcludeCaptureFF = t.filter.ToFF
+		copts.ExcludeLaunchPin = t.filter.FromPin
+	}
+	raw := t.engine.EndpointSlacksCPPR(copts)
+	out := make([]EndpointSlack, len(raw))
+	for i, s := range raw {
+		out[i] = EndpointSlack{FF: s.FF, Slack: s.Slack, Valid: s.Valid}
+	}
+	return out
+}
+
+// TopPaths is a one-shot convenience for a single query on a design.
+func TopPaths(d *model.Design, opts Options) (Report, error) {
+	return NewTimer(d).Report(opts)
+}

@@ -1,0 +1,63 @@
+package cppr
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+func TestEndpointReportMatchesFilteredGlobal(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		timer := NewTimer(d)
+		for _, mode := range model.Modes {
+			// Exhaustive global report as reference.
+			global, err := timer.Report(Options{K: 100000, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ffi := 0; ffi < d.NumFFs(); ffi++ {
+				var want []model.Time
+				for _, p := range global.Paths {
+					if p.CaptureFF == model.FFID(ffi) {
+						want = append(want, p.Slack)
+					}
+				}
+				if len(want) > 10 {
+					want = want[:10]
+				}
+				rep, err := timer.EndpointReport(model.FFID(ffi), Options{K: 10, Mode: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := sortedSlacks(rep.Paths)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %v ff%d: %d paths, want %d", seed, mode, ffi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d %v ff%d: slack %d = %v, want %v", seed, mode, ffi, i, got[i], want[i])
+					}
+					if rep.Paths[i].CaptureFF != model.FFID(ffi) {
+						t.Fatalf("path captured by wrong FF")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEndpointReportErrors(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(0))
+	timer := NewTimer(d)
+	if _, err := timer.EndpointReport(-1, Options{K: 1}); err == nil {
+		t.Error("negative FF accepted")
+	}
+	if _, err := timer.EndpointReport(model.FFID(d.NumFFs()), Options{K: 1}); err == nil {
+		t.Error("out-of-range FF accepted")
+	}
+	if _, err := timer.EndpointReport(0, Options{K: 1, Algorithm: AlgoPairwise}); err == nil {
+		t.Error("non-LCA algorithm accepted")
+	}
+}

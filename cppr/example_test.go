@@ -1,0 +1,84 @@
+package cppr_test
+
+import (
+	"fmt"
+	"log"
+
+	"fastcppr/cppr"
+	"fastcppr/model"
+)
+
+// buildExample constructs the paper's Figure-1 design: two flip-flop
+// pairs, one hanging off a heavily skewed clock trunk.
+func buildExample() *model.Design {
+	b := model.NewBuilder("fig1", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+	t1 := b.AddClockBuf("t1")
+	t2 := b.AddClockBuf("t2")
+	b.AddArc(clk, t1, model.Window{Early: 10, Late: 15})
+	b.AddArc(clk, t2, model.Window{Early: 10, Late: 110})
+	ckq := model.Window{Early: 10, Late: 10}
+	ff1 := b.AddFF("ff1", 0, 0, ckq)
+	ff2 := b.AddFF("ff2", 0, 0, ckq)
+	ff3 := b.AddFF("ff3", 0, 0, ckq)
+	ff4 := b.AddFF("ff4", 0, 0, ckq)
+	leaf := model.Window{Early: 5, Late: 5}
+	b.AddArc(t1, ff1.Clock, leaf)
+	b.AddArc(t1, ff2.Clock, leaf)
+	b.AddArc(t2, ff3.Clock, leaf)
+	b.AddArc(t2, ff4.Clock, leaf)
+	g1 := b.AddComb("g1")
+	g2 := b.AddComb("g2")
+	b.AddArc(ff1.Q, g1, model.Window{Early: 100, Late: 200})
+	b.AddArc(g1, ff2.D, model.Window{Early: 10, Late: 10})
+	b.AddArc(ff3.Q, g2, model.Window{Early: 100, Late: 160})
+	b.AddArc(g2, ff4.D, model.Window{Early: 10, Late: 10})
+	return b.MustBuild()
+}
+
+// Example runs a basic top-k post-CPPR query and prints the slack
+// decomposition of each path.
+func Example() {
+	d := buildExample()
+	rep, err := cppr.TopPaths(d, cppr.Options{K: 2, Mode: model.Setup})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range rep.Paths {
+		fmt.Printf("#%d %s->%s slack %v (pre %v + credit %v)\n",
+			i+1, d.FFs[p.LaunchFF].Name, d.FFs[p.CaptureFF].Name,
+			p.Slack, p.PreSlack, p.Credit)
+	}
+	// Output:
+	// #1 ff1->ff2 slack 9.780ns (pre 9.775ns + credit 0.005ns)
+	// #2 ff3->ff4 slack 9.820ns (pre 9.720ns + credit 0.100ns)
+}
+
+// ExampleTimer_EndpointReport shows a report_timing -to style query.
+func ExampleTimer_EndpointReport() {
+	d := buildExample()
+	timer := cppr.NewTimer(d)
+	rep, err := timer.EndpointReport(d.Pins[d.FFs[3].Data].FF, cppr.Options{K: 5, Mode: model.Setup})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d path(s) captured by %s, worst slack %v\n",
+		len(rep.Paths), d.FFs[3].Name, rep.Paths[0].Slack)
+	// Output:
+	// 1 path(s) captured by ff4, worst slack 9.820ns
+}
+
+// ExampleTimer_SetArcDelay demonstrates an incremental what-if edit.
+func ExampleTimer_SetArcDelay() {
+	d := buildExample()
+	timer := cppr.NewTimer(d)
+	g1, _ := d.PinByName("g1")
+	ff2d, _ := d.PinByName("ff2/D")
+	if err := timer.SetArcDelay(g1, ff2d, model.Window{Early: 10, Late: 300}); err != nil {
+		log.Fatal(err)
+	}
+	rep, _ := timer.Report(cppr.Options{K: 1, Mode: model.Setup})
+	fmt.Printf("worst setup slack after +290ps: %v\n", rep.Paths[0].Slack)
+	// Output:
+	// worst setup slack after +290ps: 9.490ns
+}

@@ -1,0 +1,129 @@
+package cppr
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// reportKey extracts the comparable slack list of a report.
+func reportKey(t *testing.T, timer *Timer, opts Options) []model.Time {
+	t.Helper()
+	rep, err := timer.Report(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sortedSlacks(rep.Paths)
+}
+
+func TestSetArcDelayMatchesFreshTimer(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		d := gen.MustGenerate(gen.Medium(200 + seed))
+		timer := NewTimer(d)
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 8; step++ {
+			// Pick a random arc and perturb it.
+			ai := rng.Intn(d.NumArcs())
+			arc := d.Arcs[ai]
+			nw := model.Window{
+				Early: arc.Delay.Early + model.Time(rng.Intn(30)),
+				Late:  arc.Delay.Late + model.Time(rng.Intn(60)+30),
+			}
+			if err := timer.SetArcDelay(arc.From, arc.To, nw); err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range model.Modes {
+				got := reportKey(t, timer, Options{K: 40, Mode: mode})
+				// Fresh timer over the mutated design.
+				want := reportKey(t, NewTimer(d), Options{K: 40, Mode: mode})
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d %v: %d vs %d paths", seed, step, mode, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d step %d %v: slack %d = %v, fresh %v",
+							seed, step, mode, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSetArcDelayClockArcRefreshesCredits(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(3))
+	timer := NewTimer(d)
+	// Find a clock-tree arc (root fan-out).
+	var from, to model.PinID = model.NoPin, model.NoPin
+	for _, ai := range d.FanOut(d.Root) {
+		from, to = d.Arcs[ai].From, d.Arcs[ai].To
+		break
+	}
+	if from == model.NoPin {
+		t.Skip("no clock arc")
+	}
+	// Widening the root arc's window raises every same-domain credit.
+	old := d.Arcs[d.ArcBetween(from, to)].Delay
+	if err := timer.SetArcDelay(from, to, model.Window{Early: old.Early, Late: old.Late + 500}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := timer.Report(Options{K: 10, Mode: model.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := TopPaths(d, Options{K: 10, Mode: model.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sortedSlacks(rep.Paths), sortedSlacks(fresh.Paths)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slack %d: incremental %v vs fresh %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSetArcDelayUpdatesPreCPPRSlacks(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(7))
+	timer := NewTimer(d)
+	before := timer.PreCPPRSlacks(model.Setup)
+	// Slow down a data arc massively; some endpoint slack must change.
+	var target model.Arc
+	var ai int
+	for i, a := range d.Arcs {
+		if d.Pins[a.From].Kind == model.FFOutput {
+			target, ai = a, i
+			break
+		}
+	}
+	_ = ai
+	if err := timer.SetArcDelay(target.From, target.To,
+		model.Window{Early: target.Delay.Early, Late: target.Delay.Late + model.Ns(5)}); err != nil {
+		t.Fatal(err)
+	}
+	after := timer.PreCPPRSlacks(model.Setup)
+	changed := false
+	for i := range before {
+		if before[i].Slack != after[i].Slack {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("5ns slowdown changed no endpoint slack")
+	}
+}
+
+func TestSetArcDelayErrors(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(1))
+	timer := NewTimer(d)
+	if err := timer.SetArcDelay(0, 0, model.Window{}); err == nil {
+		t.Error("nonexistent arc accepted")
+	}
+	a := d.Arcs[0]
+	if err := timer.SetArcDelay(a.From, a.To, model.Window{Early: 10, Late: 5}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package cppr
+
+import (
+	"encoding/json"
+	"io"
+
+	"fastcppr/model"
+)
+
+// PathJSON is the machine-readable form of one reported path. Times are
+// integer picoseconds (exact; no float rounding).
+type PathJSON struct {
+	Rank       int      `json:"rank"`
+	SlackPs    int64    `json:"slack_ps"`
+	PreSlackPs int64    `json:"pre_cppr_slack_ps"`
+	CreditPs   int64    `json:"cppr_credit_ps"`
+	LCADepth   int      `json:"lca_depth"`
+	Launch     string   `json:"launch"`  // FF instance, or PI pin name
+	Capture    string   `json:"capture"` // FF instance, or PO pin name
+	SelfLoop   bool     `json:"self_loop,omitempty"`
+	Pins       []string `json:"pins"`
+}
+
+// ReportJSON is the machine-readable form of a Report.
+type ReportJSON struct {
+	Design    string     `json:"design"`
+	Mode      string     `json:"mode"`
+	Algorithm string     `json:"algorithm"`
+	K         int        `json:"k"`
+	ElapsedUs int64      `json:"elapsed_us"`
+	Paths     []PathJSON `json:"paths"`
+}
+
+// JSON converts the report into its serialisable form, resolving pin and
+// instance names against d.
+func (r *Report) JSON(d *model.Design, mode model.Mode, k int) ReportJSON {
+	out := ReportJSON{
+		Design:    d.Name,
+		Mode:      mode.String(),
+		Algorithm: r.Algorithm.String(),
+		K:         k,
+		ElapsedUs: r.Elapsed.Microseconds(),
+		Paths:     make([]PathJSON, len(r.Paths)),
+	}
+	for i, p := range r.Paths {
+		pj := PathJSON{
+			Rank:       i + 1,
+			SlackPs:    p.Slack.Ps(),
+			PreSlackPs: p.PreSlack.Ps(),
+			CreditPs:   p.Credit.Ps(),
+			LCADepth:   p.LCADepth,
+			SelfLoop:   p.SelfLoop(),
+			Pins:       make([]string, len(p.Pins)),
+		}
+		if p.LaunchFF != model.NoFF {
+			pj.Launch = d.FFs[p.LaunchFF].Name
+		} else {
+			pj.Launch = d.PinName(p.StartPin())
+		}
+		if p.CaptureFF != model.NoFF {
+			pj.Capture = d.FFs[p.CaptureFF].Name
+		} else {
+			pj.Capture = d.PinName(p.EndPin())
+		}
+		for j, pin := range p.Pins {
+			pj.Pins[j] = d.PinName(pin)
+		}
+		out.Paths[i] = pj
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, d *model.Design, rep *Report, mode model.Mode, k int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep.JSON(d, mode, k))
+}

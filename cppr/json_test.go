@@ -1,0 +1,84 @@
+package cppr
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(4))
+	timer := NewTimer(d)
+	rep, err := timer.Report(Options{K: 8, Mode: model.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d, &rep, model.Hold, 8); err != nil {
+		t.Fatal(err)
+	}
+	var back ReportJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.Design != d.Name || back.Mode != "hold" || back.Algorithm != "lca" || back.K != 8 {
+		t.Fatalf("header = %+v", back)
+	}
+	if len(back.Paths) != len(rep.Paths) {
+		t.Fatalf("%d paths, want %d", len(back.Paths), len(rep.Paths))
+	}
+	for i, pj := range back.Paths {
+		p := rep.Paths[i]
+		if pj.Rank != i+1 || pj.SlackPs != p.Slack.Ps() || pj.CreditPs != p.Credit.Ps() {
+			t.Fatalf("path %d = %+v", i, pj)
+		}
+		if pj.SlackPs != pj.PreSlackPs+pj.CreditPs {
+			t.Fatalf("path %d decomposition inconsistent", i)
+		}
+		if len(pj.Pins) != len(p.Pins) {
+			t.Fatalf("path %d pin count", i)
+		}
+		// Names resolve back to the same pins.
+		for j, name := range pj.Pins {
+			id, ok := d.PinByName(name)
+			if !ok || id != p.Pins[j] {
+				t.Fatalf("path %d pin %d name %q does not resolve", i, j, name)
+			}
+		}
+		if pj.Launch == "" || pj.Capture == "" {
+			t.Fatalf("path %d missing endpoints", i)
+		}
+	}
+}
+
+func TestJSONPILaunchAndSelfLoopFlags(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(6))
+	timer := NewTimer(d)
+	rep, err := timer.Report(Options{K: 100000, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := rep.JSON(d, model.Setup, 100000)
+	sawPI, sawSelf := false, false
+	for i, pj := range j.Paths {
+		p := rep.Paths[i]
+		if p.LaunchFF == model.NoFF {
+			sawPI = true
+			if !strings.HasPrefix(pj.Launch, "in") {
+				t.Fatalf("PI launch name %q", pj.Launch)
+			}
+		}
+		if p.SelfLoop() && !pj.SelfLoop {
+			t.Fatal("self-loop flag lost")
+		}
+		if p.SelfLoop() {
+			sawSelf = true
+		}
+	}
+	_ = sawPI
+	_ = sawSelf // presence depends on the seed; flags verified above when present
+}

@@ -1,0 +1,109 @@
+package cppr
+
+import (
+	"fmt"
+	"strings"
+
+	"fastcppr/model"
+)
+
+// WNS returns the worst negative slack over the report's paths: the most
+// negative slack, or 0 when nothing violates. (Identical to WorstSlack
+// when violations exist.)
+func (r *Report) WNS() model.Time {
+	if len(r.Paths) == 0 || r.Paths[0].Slack >= 0 {
+		return 0
+	}
+	return r.Paths[0].Slack
+}
+
+// TNS returns the total negative slack over the report's paths, counting
+// each endpoint once (its worst path), as signoff tools report it. The
+// result is <= 0.
+func (r *Report) TNS() model.Time {
+	var tns model.Time
+	seen := map[model.PinID]bool{}
+	for _, p := range r.Paths {
+		if p.Slack >= 0 {
+			break // sorted ascending: no more violations
+		}
+		ep := p.EndPin()
+		if seen[ep] {
+			continue
+		}
+		seen[ep] = true
+		tns += p.Slack
+	}
+	return tns
+}
+
+// NumViolations counts distinct violating endpoints in the report.
+func (r *Report) NumViolations() int {
+	n := 0
+	seen := map[model.PinID]bool{}
+	for _, p := range r.Paths {
+		if p.Slack >= 0 {
+			break
+		}
+		if !seen[p.EndPin()] {
+			seen[p.EndPin()] = true
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram buckets the report's slacks into equal-width bins between
+// the worst and best reported slack and renders a text histogram —
+// the slack-distribution view timing reviews start from.
+func (r *Report) Histogram(bins int) string {
+	if len(r.Paths) == 0 || bins < 1 {
+		return "(no paths)\n"
+	}
+	lo := r.Paths[0].Slack
+	hi := r.Paths[len(r.Paths)-1].Slack
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	width := (hi - lo + model.Time(bins) - 1) / model.Time(bins)
+	for _, p := range r.Paths {
+		b := int((p.Slack - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for b := 0; b < bins; b++ {
+		from := lo + model.Time(b)*width
+		bar := strings.Repeat("#", counts[b]*50/maxCount)
+		fmt.Fprintf(&sb, "%10s .. %10s %6d %s\n", from, from+width, counts[b], bar)
+	}
+	return sb.String()
+}
+
+// CreditStats summarises the pessimism removed across the report's
+// paths: how many carry credit, and the mean/max credit.
+func (r *Report) CreditStats() (withCredit int, mean, max model.Time) {
+	if len(r.Paths) == 0 {
+		return 0, 0, 0
+	}
+	var total model.Time
+	for _, p := range r.Paths {
+		total += p.Credit
+		if p.Credit > 0 {
+			withCredit++
+		}
+		if p.Credit > max {
+			max = p.Credit
+		}
+	}
+	return withCredit, total / model.Time(len(r.Paths)), max
+}

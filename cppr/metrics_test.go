@@ -1,0 +1,110 @@
+package cppr
+
+import (
+	"strings"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// fakeReport builds a Report with hand-picked slacks/endpoints.
+func fakeReport(entries ...struct {
+	slack model.Time
+	end   model.PinID
+}) *Report {
+	r := &Report{}
+	for _, e := range entries {
+		r.Paths = append(r.Paths, model.Path{
+			Slack: e.slack,
+			Pins:  []model.PinID{0, e.end},
+		})
+	}
+	return r
+}
+
+type ent = struct {
+	slack model.Time
+	end   model.PinID
+}
+
+func TestWNSTNSViolations(t *testing.T) {
+	r := fakeReport(
+		ent{-100, 5}, // worst path of endpoint 5
+		ent{-80, 5},  // same endpoint: not double counted
+		ent{-30, 7},
+		ent{20, 9}, // first non-violation stops the scan
+		ent{50, 11},
+	)
+	if got := r.WNS(); got != -100 {
+		t.Errorf("WNS = %v", got)
+	}
+	if got := r.TNS(); got != -130 {
+		t.Errorf("TNS = %v, want -130 (endpoints 5 and 7)", got)
+	}
+	if got := r.NumViolations(); got != 2 {
+		t.Errorf("NumViolations = %v", got)
+	}
+}
+
+func TestWNSAllPositive(t *testing.T) {
+	r := fakeReport(ent{5, 1}, ent{10, 2})
+	if r.WNS() != 0 || r.TNS() != 0 || r.NumViolations() != 0 {
+		t.Error("clean report reports violations")
+	}
+}
+
+func TestEmptyReportMetrics(t *testing.T) {
+	r := &Report{}
+	if r.WNS() != 0 || r.TNS() != 0 || r.NumViolations() != 0 {
+		t.Error("empty report metrics non-zero")
+	}
+	if !strings.Contains(r.Histogram(4), "no paths") {
+		t.Error("empty histogram")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := fakeReport(ent{0, 1}, ent{1, 2}, ent{2, 3}, ent{99, 4})
+	h := r.Histogram(2)
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d histogram lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "3") || !strings.Contains(lines[0], "###") {
+		t.Errorf("first bin: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1") {
+		t.Errorf("second bin: %q", lines[1])
+	}
+	// Degenerate: single slack value.
+	one := fakeReport(ent{7, 1})
+	if strings.TrimSpace(one.Histogram(3)) == "" {
+		t.Error("degenerate histogram empty")
+	}
+}
+
+func TestCreditStatsOnRealDesign(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(12))
+	rep, err := TopPaths(d, Options{K: 200, Mode: model.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, mean, max := rep.CreditStats()
+	if with < 0 || with > len(rep.Paths) {
+		t.Fatalf("withCredit = %d", with)
+	}
+	if mean < 0 || max < mean {
+		t.Fatalf("mean %v max %v", mean, max)
+	}
+	// Consistency with the raw paths.
+	recount := 0
+	for _, p := range rep.Paths {
+		if p.Credit > 0 {
+			recount++
+		}
+	}
+	if recount != with {
+		t.Fatalf("withCredit %d, recounted %d", with, recount)
+	}
+}

@@ -1,0 +1,163 @@
+package cppr
+
+import (
+	"strings"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/baseline"
+	"fastcppr/model"
+	"fastcppr/sdc"
+)
+
+// TestFalsePathsMatchFilteredOracle checks that -from/-to exclusions
+// produce exactly the exhaustive result with those paths removed.
+func TestFalsePathsMatchFilteredOracle(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		fromFF := d.FFs[1].Name
+		toFF := d.FFs[2].Name
+		fromPI := d.PinName(d.PIs[0])
+
+		c := sdc.New()
+		c.FalseFrom[fromFF] = true
+		c.FalseFrom[fromPI] = true
+		c.FalseTo[toFF] = true
+
+		timer := NewTimer(d)
+		nd, err := timer.ApplySDC(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range model.Modes {
+			// Oracle: all paths of the rebuilt design minus excluded.
+			all := baseline.AllPaths(nd, mode)
+			var want []model.Time
+			for _, p := range all {
+				if p.CaptureFF != model.NoFF && nd.FFs[p.CaptureFF].Name == toFF {
+					continue
+				}
+				if p.LaunchFF != model.NoFF && nd.FFs[p.LaunchFF].Name == fromFF {
+					continue
+				}
+				if p.LaunchFF == model.NoFF && nd.PinName(p.StartPin()) == fromPI {
+					continue
+				}
+				want = append(want, p.Slack)
+			}
+			sortTimes(want)
+			rep, err := timer.Report(Options{K: len(all) + 5, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sortedSlacks(rep.Paths)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %v: %d paths, want %d", seed, mode, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %v: slack %d = %v, want %v", seed, mode, i, got[i], want[i])
+				}
+			}
+			// No reported path may touch an excluded object.
+			for _, p := range rep.Paths {
+				if p.LaunchFF != model.NoFF && nd.FFs[p.LaunchFF].Name == fromFF {
+					t.Fatal("excluded launch FF reported")
+				}
+				if p.CaptureFF != model.NoFF && nd.FFs[p.CaptureFF].Name == toFF {
+					t.Fatal("excluded capture FF reported")
+				}
+			}
+		}
+	}
+}
+
+func sortTimes(s []model.Time) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestFalsePathsRejectBaselines(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(1))
+	timer := NewTimer(d)
+	c := sdc.New()
+	c.FalseTo[d.FFs[0].Name] = true
+	if _, err := timer.ApplySDC(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timer.Report(Options{K: 5, Mode: model.Setup, Algorithm: AlgoPairwise}); err == nil ||
+		!strings.Contains(err.Error(), "AlgoLCA only") {
+		t.Fatalf("err = %v", err)
+	}
+	// The LCA engine still works.
+	if _, err := timer.Report(Options{K: 5, Mode: model.Setup}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySDCPeriodShiftsSetupOnly(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(2))
+	timer := NewTimer(d)
+	before, err := timer.Report(Options{K: 5, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeHold, err := timer.Report(Options{K: 5, Mode: model.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sdc.New()
+	c.Period = d.Period + model.Ns(3)
+	if _, err := timer.ApplySDC(c); err != nil {
+		t.Fatal(err)
+	}
+	after, err := timer.Report(Options{K: 5, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterHold, err := timer.Report(Options{K: 5, Mode: model.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range after.Paths {
+		if after.Paths[i].Slack != before.Paths[i].Slack+model.Ns(3) {
+			t.Fatalf("setup slack %d: %v, want %v", i, after.Paths[i].Slack, before.Paths[i].Slack+model.Ns(3))
+		}
+	}
+	for i := range afterHold.Paths {
+		if afterHold.Paths[i].Slack != beforeHold.Paths[i].Slack {
+			t.Fatal("hold slack changed with period")
+		}
+	}
+}
+
+func TestPostCPPRSlacksHonorFalsePaths(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(4))
+	timer := NewTimer(d)
+	c := sdc.New()
+	excluded := d.FFs[0].Name
+	c.FalseTo[excluded] = true
+	nd, err := timer.ApplySDC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := timer.PostCPPRSlacks(model.Setup, 2)
+	for _, s := range post {
+		if nd.FFs[s.FF].Name == excluded && s.Valid {
+			t.Fatalf("excluded endpoint %s reported a slack", excluded)
+		}
+	}
+	// Other endpoints still report.
+	any := false
+	for _, s := range post {
+		if s.Valid {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("filter wiped all endpoints")
+	}
+}

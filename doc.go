@@ -1,0 +1,21 @@
+// Package fastcppr is a Go reproduction of "A Provably Good and
+// Practically Efficient Algorithm for Common Path Pessimism Removal in
+// Large Designs" (Guo, Huang, Lin — DAC 2021).
+//
+// The repository root holds only documentation and the benchmark suite
+// that regenerates the paper's tables and figures; the library lives in
+// the sub-packages:
+//
+//   - cppr  — public timing-engine facade (start here)
+//   - model — circuit/timing-graph data model
+//   - gen   — synthetic benchmark designs (Table III stand-ins)
+//   - tau   — design file format reader/writer
+//
+// plus internal packages implementing the paper's algorithm
+// (internal/core), the state-of-the-art baselines it is compared against
+// (internal/baseline), and their shared substrates (internal/sta,
+// internal/lca, internal/mmheap).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the paper-vs-measured results.
+package fastcppr

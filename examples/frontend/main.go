@@ -1,0 +1,78 @@
+// frontend demonstrates the complete STA flow from a gate-level netlist:
+// cell library -> netlist -> delay calculation (NLDM + Elmore + OCV
+// derates) -> timing graph -> exact top-k post-CPPR paths.
+//
+//	go run ./examples/frontend [-ffs 48] [-gates 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fastcppr/cppr"
+	"fastcppr/liberty"
+	"fastcppr/model"
+	"fastcppr/netlist"
+)
+
+func main() {
+	ffs := flag.Int("ffs", 48, "flip-flops in the synthesized netlist")
+	gates := flag.Int("gates", 300, "gates in the synthesized netlist")
+	flag.Parse()
+
+	lib := liberty.Demo()
+	fmt.Printf("library %s: %d cells, derates %.2f/%.2f\n",
+		lib.Name, len(lib.Cells), lib.DerateEarly, lib.DerateLate)
+
+	n := netlist.Random(netlist.RandomSpec{
+		Seed: 7, FFs: *ffs, Gates: *gates, ClockLevels: 4, Inputs: 6, Outputs: 4,
+	})
+	fmt.Printf("netlist %s: %d instances, %d ports\n", n.Name, len(n.Insts), len(n.Ports))
+
+	d, err := n.Elaborate(lib, netlist.DefaultWireModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := d.Stats()
+	fmt.Printf("elaborated: %d pins, %d timing arcs, %d FFs, clock-tree depth D=%d\n\n",
+		s.NumPins, s.NumEdges, s.NumFFs, s.Depth)
+
+	timer := cppr.NewTimer(d)
+	for _, mode := range model.Modes {
+		rep, err := timer.Report(cppr.Options{K: 3, Mode: mode, IncludePOs: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== top-3 %s paths (with output checks) in %v ==\n", mode, rep.Elapsed)
+		for i, p := range rep.Paths {
+			end := "PO " + d.PinName(p.EndPin())
+			if !p.EndsAtPO() {
+				end = "FF " + d.FFs[p.CaptureFF].Name
+			}
+			fmt.Printf("  #%d slack %v (credit %v) -> %s, %d pins\n",
+				i+1, p.Slack, p.Credit, end, len(p.Pins))
+		}
+		fmt.Println()
+	}
+
+	// What-if edit: slow the most critical setup path's first data arc
+	// and re-query incrementally.
+	rep, err := timer.Report(cppr.Options{K: 1, Mode: model.Setup})
+	if err != nil || len(rep.Paths) == 0 {
+		log.Fatal("no setup paths")
+	}
+	p := rep.Paths[0]
+	from, to := p.Pins[1], p.Pins[2]
+	ai := d.ArcBetween(from, to)
+	old := d.Arcs[ai].Delay
+	if err := timer.SetArcDelay(from, to, model.Window{Early: old.Early, Late: old.Late + 300}); err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := timer.Report(cppr.Options{K: 1, Mode: model.Setup})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("what-if: +300ps on %s->%s moves the worst setup slack %v -> %v\n",
+		d.PinName(from), d.PinName(to), p.Slack, rep2.Paths[0].Slack)
+}

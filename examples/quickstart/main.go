@@ -1,0 +1,78 @@
+// Quickstart: build a tiny design in code and see common path pessimism
+// removal flip the criticality order of two paths — the scenario of the
+// paper's Figure 1.
+//
+//	go run ./examples/quickstart
+//
+// Two flip-flop pairs share different amounts of clock path: ff3/ff4 hang
+// off a long skewed trunk (big shared pessimism), ff1/ff2 off a short one.
+// Before CPPR the ff3->ff4 path looks more critical; after removing the
+// shared-trunk pessimism the ff1->ff2 path is the true worst path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastcppr/cppr"
+	"fastcppr/model"
+)
+
+func main() {
+	b := model.NewBuilder("figure1", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+
+	// Clock tree: a short trunk t1 and a long, heavily skewed trunk t2.
+	t1 := b.AddClockBuf("t1")
+	t2 := b.AddClockBuf("t2")
+	b.AddArc(clk, t1, model.Window{Early: 10, Late: 15})  // 5ps skew
+	b.AddArc(clk, t2, model.Window{Early: 10, Late: 110}) // 100ps skew
+
+	ckq := model.Window{Early: 10, Late: 10}
+	ff1 := b.AddFF("ff1", 0, 0, ckq)
+	ff2 := b.AddFF("ff2", 0, 0, ckq)
+	ff3 := b.AddFF("ff3", 0, 0, ckq)
+	ff4 := b.AddFF("ff4", 0, 0, ckq)
+	leaf := model.Window{Early: 5, Late: 5}
+	b.AddArc(t1, ff1.Clock, leaf)
+	b.AddArc(t1, ff2.Clock, leaf)
+	b.AddArc(t2, ff3.Clock, leaf)
+	b.AddArc(t2, ff4.Clock, leaf)
+
+	// Data path 1: ff1 -> g1 -> ff2 (longer logic, little pessimism).
+	g1 := b.AddComb("g1")
+	b.AddArc(ff1.Q, g1, model.Window{Early: 100, Late: 200})
+	b.AddArc(g1, ff2.D, model.Window{Early: 10, Late: 10})
+	// Data path 2: ff3 -> g2 -> ff4 (shorter logic, big pessimism).
+	g2 := b.AddComb("g2")
+	b.AddArc(ff3.Q, g2, model.Window{Early: 100, Late: 160})
+	b.AddArc(g2, ff4.D, model.Window{Early: 10, Late: 10})
+
+	d, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := cppr.TopPaths(d, cppr.Options{K: 2, Mode: model.Setup})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top-2 setup paths, ranked by post-CPPR slack:")
+	for i, p := range rep.Paths {
+		fmt.Printf("\n#%d (launch %s, capture %s)\n", i+1,
+			d.FFs[p.LaunchFF].Name, d.FFs[p.CaptureFF].Name)
+		fmt.Printf("  pre-CPPR slack:  %v\n", p.PreSlack)
+		fmt.Printf("  CPPR credit:     %v (common path up to clock-tree depth %d)\n", p.Credit, p.LCADepth)
+		fmt.Printf("  post-CPPR slack: %v\n", p.Slack)
+	}
+
+	p1, p2 := rep.Paths[0], rep.Paths[1]
+	fmt.Println()
+	if p1.PreSlack > p2.PreSlack && p1.Slack < p2.Slack {
+		fmt.Println("=> pessimism removal flipped the order: the pre-CPPR 'worst' path")
+		fmt.Println("   was an artifact of shared clock-path pessimism (Figure 1 of the paper).")
+	} else {
+		fmt.Println("=> no reordering (unexpected for this fixture)")
+	}
+}

@@ -1,0 +1,88 @@
+// signoff walks a complete constrained signoff pass: generate a design,
+// apply SDC-style constraints (clock period, io delays, false paths),
+// compare the pre- and post-CPPR endpoint summaries, and emit the final
+// top-k report as JSON — the artifacts a timing signoff hands to the
+// next tool in the flow.
+//
+//	go run ./examples/signoff [-scale 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/model"
+	"fastcppr/sdc"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.01, "design scale")
+	jsonOut := flag.Bool("json", false, "print the final report as JSON")
+	flag.Parse()
+
+	spec, err := gen.PresetSpec("netcard", *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := gen.MustGenerate(spec)
+	timer := cppr.NewTimer(d)
+
+	// Constraints: tighten the clock, re-constrain the first input, and
+	// declare the first two FFs' fan-in false (e.g. a static config
+	// register bank).
+	c := sdc.New()
+	c.Period = d.Period / 2
+	c.InputDelay[d.PinName(d.PIs[0])] = model.Window{Early: model.Ns(4), Late: model.Ns(5)}
+	c.FalseTo[d.FFs[0].Name] = true
+	c.FalseTo[d.FFs[1].Name] = true
+	if _, err := timer.ApplySDC(c); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s under SDC: period %v, 1 input re-constrained, 2 false-path endpoints\n\n",
+		d.Name, d.Period/2)
+
+	for _, mode := range model.Modes {
+		pre := timer.PreCPPRSlacks(mode)
+		post := timer.PostCPPRSlacks(mode, 0)
+		var preWNS, postWNS model.Time
+		preViol, postViol := 0, 0
+		for i := range pre {
+			if pre[i].Valid && pre[i].Slack < 0 {
+				preViol++
+				if pre[i].Slack < preWNS {
+					preWNS = pre[i].Slack
+				}
+			}
+			if post[i].Valid && post[i].Slack < 0 {
+				postViol++
+				if post[i].Slack < postWNS {
+					postWNS = post[i].Slack
+				}
+			}
+		}
+		fmt.Printf("%-5s  WNS %10v -> %10v   violating endpoints %4d -> %4d\n",
+			mode, preWNS, postWNS, preViol, postViol)
+	}
+
+	rep, err := timer.Report(cppr.Options{K: 10, Mode: model.Hold})
+	if err != nil {
+		log.Fatal(err)
+	}
+	with, mean, max := rep.CreditStats()
+	fmt.Printf("\nfinal hold report: WNS %v, TNS %v, %d violations; credit on %d/%d paths (mean %v, max %v)\n",
+		rep.WNS(), rep.TNS(), rep.NumViolations(), with, len(rep.Paths), mean, max)
+	fmt.Printf("\nslack histogram (top-%d hold paths):\n%s\n", len(rep.Paths), rep.Histogram(6))
+
+	if *jsonOut {
+		if err := cppr.WriteJSON(os.Stdout, timer.Design(), &rep, model.Hold, 10); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("most critical hold path:")
+		fmt.Print(rep.Paths[0].FormatDetailed(timer.Design()))
+	}
+}

@@ -1,0 +1,467 @@
+// Package gen generates synthetic circuit designs for testing and
+// benchmarking the CPPR timers.
+//
+// The TAU 2014/2015 contest benchmarks used by the paper (vga_lcdv2,
+// Combo4–7, netcard, leon2, leon3mp) are industrial and not
+// redistributable, so this package substitutes parameterised random
+// designs that match the statistics the paper's evaluation depends on:
+// edge count, flip-flop count, clock-tree depth D, FFs per level, and FF
+// connectivity (Table III). The complexity of every algorithm in this
+// repository is a function of exactly those statistics, so the shapes of
+// the paper's results are preserved.
+//
+// Designs are generated deterministically from a seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fastcppr/model"
+)
+
+// Spec parameterises a synthetic design.
+type Spec struct {
+	// Name labels the design.
+	Name string
+	// Seed drives all randomness; equal specs generate equal designs.
+	Seed int64
+	// Period is the clock period (T_clk). Its value shifts every setup
+	// slack uniformly and never changes path ranking.
+	Period model.Time
+
+	// TargetDepth is the desired clock-tree level count D (the depth of
+	// FF clock pins plus one). The generator builds a K-ary crown of
+	// leaf buffers and extends it with chains to reach this depth,
+	// mirroring the deep, skinny clock trees of the paper's benchmarks
+	// (D 56–101 for 25k–150k FFs).
+	TargetDepth int
+	// ClockFanout is the branching factor K of the clock-tree crown.
+	ClockFanout int
+	// FFsPerLeafBuf is how many FF clock pins attach to each deepest
+	// buffer.
+	FFsPerLeafBuf int
+	// DepthJitter randomly shortens leaf chains by up to this many
+	// levels so FF clock pins sit at varying depths.
+	DepthJitter int
+
+	// NumFFs is the flip-flop count.
+	NumFFs int
+	// NumDomains is the number of independent clock domains (roots).
+	// FFs are partitioned into contiguous blocks, one per domain.
+	// Default 1.
+	NumDomains int
+	// NumPIs / NumPOs are the primary input/output counts.
+	NumPIs int
+	NumPOs int
+
+	// CombLayers and CombPerLayer shape the layered combinational
+	// cloud between Q pins (layer 0) and D pins (last layer).
+	CombLayers   int
+	CombPerLayer int
+	// AvgFanin is the mean fan-in of each combinational pin (>= 1).
+	AvgFanin float64
+	// Window is the locality radius in [0,1] used when choosing arc
+	// sources: larger windows connect more distant columns and raise FF
+	// connectivity (the statistic that breaks HappyTimer-style pruning
+	// on netcard/leon2).
+	Window float64
+	// ShiftFrac is the fraction of adjacent same-clock-branch FF pairs
+	// connected by a direct Q->D transfer (shift/scan-chain style).
+	// These local paths share almost the whole clock path, so they have
+	// deep LCAs, carry large CPPR credits, and dominate hold checks —
+	// the canonical scenario pessimism removal exists for. Negative
+	// disables; 0 selects the default.
+	ShiftFrac float64
+
+	// DataDelayMin/Max bound late data-arc delays; the early delay is
+	// late minus a random spread of up to DataSpread.
+	DataDelayMin, DataDelayMax model.Time
+	DataSpread                 model.Time
+	// DistanceDelay adds wire delay proportional to the |x| distance an
+	// arc spans (ps per unit x), so long cross-die hops are slow and the
+	// short paths that decide hold checks stay local to a clock branch,
+	// as placed designs behave. Negative disables; 0 selects the default.
+	DistanceDelay model.Time
+	// ClockDelayMin/Max bound early clock-arc delays; the late delay
+	// adds a random skew of up to ClockSkew. Skew accumulates down the
+	// tree and becomes the CPPR credit.
+	ClockDelayMin, ClockDelayMax model.Time
+	ClockSkew                    model.Time
+}
+
+// setDefaults fills zero fields with usable values.
+func (s *Spec) setDefaults() {
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("gen-%d", s.Seed)
+	}
+	if s.Period == 0 {
+		s.Period = model.Ns(100)
+	}
+	if s.TargetDepth == 0 {
+		s.TargetDepth = 8
+	}
+	if s.ClockFanout == 0 {
+		s.ClockFanout = 2
+	}
+	if s.FFsPerLeafBuf == 0 {
+		s.FFsPerLeafBuf = 8
+	}
+	if s.NumFFs == 0 {
+		s.NumFFs = 16
+	}
+	if s.NumDomains == 0 {
+		s.NumDomains = 1
+	}
+	if s.CombLayers == 0 {
+		s.CombLayers = 4
+	}
+	if s.CombPerLayer == 0 {
+		s.CombPerLayer = 2 * s.NumFFs
+	}
+	if s.AvgFanin == 0 {
+		s.AvgFanin = 2
+	}
+	if s.Window == 0 {
+		s.Window = 0.1
+	}
+	if s.ShiftFrac == 0 {
+		s.ShiftFrac = 0.35
+	}
+	if s.DataDelayMax == 0 {
+		s.DataDelayMin, s.DataDelayMax = 20, 400
+	}
+	if s.DataSpread == 0 {
+		s.DataSpread = 100
+	}
+	if s.ClockDelayMax == 0 {
+		s.ClockDelayMin, s.ClockDelayMax = 30, 80
+	}
+	if s.ClockSkew == 0 {
+		s.ClockSkew = 18
+	}
+	if s.DistanceDelay == 0 {
+		s.DistanceDelay = 2500
+	}
+}
+
+// crownLevels returns the number of k-ary tree levels needed for leaves.
+func crownLevels(leaves, k int) int {
+	levels := 0
+	for w := 1; w < leaves; w *= k {
+		levels++
+	}
+	return levels
+}
+
+// node is a placed data-graph vertex used during arc construction.
+type node struct {
+	pin   model.PinID
+	x     float64
+	layer int
+}
+
+// Generate builds the design described by spec.
+func Generate(spec Spec) (*model.Design, error) {
+	spec.setDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := model.NewBuilder(spec.Name, spec.Period)
+
+	clockDelay := func() model.Window {
+		e := spec.ClockDelayMin + model.Time(rng.Int63n(int64(spec.ClockDelayMax-spec.ClockDelayMin)+1))
+		return model.Window{Early: e, Late: e + model.Time(rng.Int63n(int64(spec.ClockSkew)+1))}
+	}
+	dataDelay := func(dist float64) model.Window {
+		l := spec.DataDelayMin + model.Time(rng.Int63n(int64(spec.DataDelayMax-spec.DataDelayMin)+1))
+		if spec.DistanceDelay > 0 {
+			l += model.Time(dist * float64(spec.DistanceDelay))
+		}
+		e := l - model.Time(rng.Int63n(int64(spec.DataSpread)+1))
+		if e < 0 {
+			e = 0
+		}
+		return model.Window{Early: e, Late: l}
+	}
+
+	// --- Clock trees, one per domain ---
+	// FFs are partitioned into contiguous blocks across domains; each
+	// domain gets its own root, crown and leaf chains.
+	bufID := 0
+	type domain struct {
+		leafBufs []model.PinID
+		firstFF  int // first FF index of the domain's block
+	}
+	domains := make([]domain, spec.NumDomains)
+	ffsPerDomain := (spec.NumFFs + spec.NumDomains - 1) / spec.NumDomains
+	for dom := range domains {
+		rootName := "clk"
+		if spec.NumDomains > 1 {
+			rootName = fmt.Sprintf("clk%d", dom)
+		}
+		root := b.AddClockRoot(rootName)
+		domFFs := ffsPerDomain
+		if rest := spec.NumFFs - dom*ffsPerDomain; rest < domFFs {
+			domFFs = rest
+		}
+		if domFFs < 1 {
+			domFFs = 1
+		}
+		numLeafBufs := (domFFs + spec.FFsPerLeafBuf - 1) / spec.FFsPerLeafBuf
+		// K-ary crown with numLeafBufs leaves. Widen K if needed so the
+		// crown fits within TargetDepth-2 levels (leaf buffers sit at
+		// crown depth, FF clock pins one below, chains in between).
+		fanout := spec.ClockFanout
+		crownDepth := crownLevels(numLeafBufs, fanout)
+		for spec.TargetDepth >= 3 && crownDepth > spec.TargetDepth-2 {
+			fanout *= 2
+			crownDepth = crownLevels(numLeafBufs, fanout)
+		}
+		// FF clock pins sit at depth crownDepth + chain + 1; aim for
+		// TargetDepth-1 (so D == TargetDepth).
+		chainLen := spec.TargetDepth - 2 - crownDepth
+		if chainLen < 0 {
+			chainLen = 0
+		}
+		frontier := []model.PinID{root}
+		for level := 0; level < crownDepth; level++ {
+			var next []model.PinID
+			for _, p := range frontier {
+				for c := 0; c < fanout && len(next) < numLeafBufs; c++ {
+					n := b.AddClockBuf(fmt.Sprintf("cb%d", bufID))
+					bufID++
+					b.AddArc(p, n, clockDelay())
+					next = append(next, n)
+				}
+				if len(next) >= numLeafBufs && level == crownDepth-1 {
+					break
+				}
+			}
+			frontier = next
+		}
+		// Extend each crown leaf with a chain (with jitter) to reach depth.
+		leafBufs := make([]model.PinID, len(frontier))
+		for i, p := range frontier {
+			cl := chainLen
+			if spec.DepthJitter > 0 {
+				cl -= rng.Intn(spec.DepthJitter + 1)
+				if cl < 0 {
+					cl = 0
+				}
+			}
+			cur := p
+			for j := 0; j < cl; j++ {
+				n := b.AddClockBuf(fmt.Sprintf("cb%d", bufID))
+				bufID++
+				b.AddArc(cur, n, clockDelay())
+				cur = n
+			}
+			leafBufs[i] = cur
+		}
+		domains[dom] = domain{leafBufs: leafBufs, firstFF: dom * ffsPerDomain}
+	}
+
+	// --- Flip-flops ---
+	ffs := make([]model.FFPins, spec.NumFFs)
+	for i := range ffs {
+		setup := model.Time(20 + rng.Int63n(30))
+		hold := model.Time(5 + rng.Int63n(15))
+		ckq := model.Window{Early: 25 + model.Time(rng.Int63n(10)), Late: 40 + model.Time(rng.Int63n(20))}
+		ffs[i] = b.AddFF(fmt.Sprintf("ff%d", i), setup, hold, ckq)
+		// Block assignment mirrors placement-aware clock-tree synthesis:
+		// data-local FFs (nearby x) share deep clock branches, so the
+		// pairs that actually exchange data have deep LCAs and sizable
+		// CPPR credits — the situation CPPR exists for.
+		dom := &domains[min(i/ffsPerDomain, len(domains)-1)]
+		leaf := (i - dom.firstFF) / spec.FFsPerLeafBuf
+		if leaf >= len(dom.leafBufs) {
+			leaf = len(dom.leafBufs) - 1
+		}
+		b.AddArc(dom.leafBufs[leaf], ffs[i].Clock, clockDelay())
+	}
+
+	// --- Data network: layered DAG with locality ---
+	// Layer 0: Q pins and PIs. Layers 1..CombLayers: combinational.
+	// Layer CombLayers+1: D pins and POs.
+	lastLayer := spec.CombLayers + 1
+	layers := make([][]node, lastLayer+1)
+	// xOf records node positions for distance-dependent delays.
+	xOf := map[model.PinID]float64{}
+	for i, ff := range ffs {
+		x := float64(i) / float64(len(ffs))
+		layers[0] = append(layers[0], node{pin: ff.Q, x: x, layer: 0})
+		layers[lastLayer] = append(layers[lastLayer], node{pin: ff.D, x: x, layer: lastLayer})
+		xOf[ff.Q], xOf[ff.D] = x, x
+	}
+	// Primary-input arrivals track the clock insertion delay, as if
+	// produced by an upstream synchronous block: otherwise PI-launched
+	// paths (which carry no CPPR credit) would dominate every hold
+	// report and mask the pessimism-removal behaviour under study.
+	// Late insertion delay estimate including accumulated skew.
+	insertion := model.Time(spec.TargetDepth-1) * ((spec.ClockDelayMin+spec.ClockDelayMax)/2 + spec.ClockSkew/2)
+	if insertion < 10 {
+		insertion = 10
+	}
+	for i := 0; i < spec.NumPIs; i++ {
+		// Inputs arrive slightly after the clock edge reaches the FFs:
+		// safe for hold (as registered inputs are in practice), leaving
+		// hold criticality to register-to-register transfers.
+		base := insertion * model.Time(105+rng.Int63n(20)) / 100
+		arr := model.Window{Early: base, Late: base + model.Time(rng.Int63n(int64(insertion)/10+1))}
+		p := b.AddPI(fmt.Sprintf("in%d", i), arr)
+		x := rng.Float64()
+		layers[0] = append(layers[0], node{pin: p, x: x, layer: 0})
+		xOf[p] = x
+	}
+	for i := 0; i < spec.NumPOs; i++ {
+		// Output checks: required windows near the typical data arrival
+		// (launch insertion + data depth), so PO paths compete with FF
+		// tests without dominating them.
+		reqLate := insertion*2 + model.Time(rng.Int63n(int64(insertion)+1))
+		req := model.Window{Early: insertion / 2, Late: reqLate}
+		p := b.AddPOConstrained(fmt.Sprintf("out%d", i), req)
+		x := rng.Float64()
+		layers[lastLayer] = append(layers[lastLayer], node{pin: p, x: x, layer: lastLayer})
+		xOf[p] = x
+	}
+	for l := 1; l <= spec.CombLayers; l++ {
+		for i := 0; i < spec.CombPerLayer; i++ {
+			p := b.AddComb(fmt.Sprintf("g%d_%d", l, i))
+			x := rng.Float64()
+			layers[l] = append(layers[l], node{pin: p, x: x, layer: l})
+			xOf[p] = x
+		}
+	}
+	for l := range layers {
+		sort.Slice(layers[l], func(i, j int) bool { return layers[l][i].x < layers[l][j].x })
+	}
+
+	// arcSet deduplicates data arcs globally: the model rejects parallel
+	// arcs because pin-sequence paths would have ambiguous delays.
+	arcSet := make(map[uint64]struct{})
+	addDataDelay := func(from, to model.PinID, delay model.Window) bool {
+		key := uint64(uint32(from))<<32 | uint64(uint32(to))
+		if _, dup := arcSet[key]; dup {
+			return false
+		}
+		arcSet[key] = struct{}{}
+		b.AddArc(from, to, delay)
+		return true
+	}
+	addData := func(from, to model.PinID) bool {
+		dist := xOf[from] - xOf[to]
+		if dist < 0 {
+			dist = -dist
+		}
+		return addDataDelay(from, to, dataDelay(dist))
+	}
+
+	// Local register-to-register transfers between adjacent FFs on the
+	// same clock branch (shift/scan-chain style): short paths with deep
+	// LCAs and large credits, the canonical CPPR scenario.
+	if spec.ShiftFrac > 0 {
+		for i := 0; i+1 < len(ffs); i++ {
+			if i/spec.FFsPerLeafBuf != (i+1)/spec.FFsPerLeafBuf {
+				continue // different clock branches
+			}
+			if rng.Float64() >= spec.ShiftFrac {
+				continue
+			}
+			e := 15 + model.Time(rng.Int63n(25))
+			addDataDelay(ffs[i].Q, ffs[i+1].D, model.Window{Early: e, Late: e + model.Time(rng.Int63n(20))})
+		}
+	}
+
+	// pickSource selects a node from layer src within the locality
+	// window of x, avoiding duplicate arcs via the used set.
+	pickSource := func(src int, x float64, used map[model.PinID]bool) (model.PinID, bool) {
+		cand := layers[src]
+		if len(cand) == 0 {
+			return model.NoPin, false
+		}
+		lo := sort.Search(len(cand), func(i int) bool { return cand[i].x >= x-spec.Window })
+		hi := sort.Search(len(cand), func(i int) bool { return cand[i].x > x+spec.Window })
+		if lo >= hi {
+			// Nothing in window: fall back to nearest.
+			lo = sort.Search(len(cand), func(i int) bool { return cand[i].x >= x })
+			if lo == len(cand) {
+				lo--
+			}
+			hi = lo + 1
+		}
+		for try := 0; try < 8; try++ {
+			n := cand[lo+rng.Intn(hi-lo)]
+			if !used[n.pin] {
+				return n.pin, true
+			}
+		}
+		return model.NoPin, false
+	}
+
+	// Wire fan-in for every node in layers 1..lastLayer.
+	hasFanout := make(map[model.PinID]bool)
+	for l := 1; l <= lastLayer; l++ {
+		for _, nd := range layers[l] {
+			indeg := 1
+			// Geometric-ish extra fan-in around AvgFanin.
+			for float64(indeg) < spec.AvgFanin && rng.Float64() < (spec.AvgFanin-1)/spec.AvgFanin {
+				indeg++
+			}
+			if indeg > 6 {
+				indeg = 6
+			}
+			used := make(map[model.PinID]bool, indeg)
+			for e := 0; e < indeg; e++ {
+				// Prefer the previous layer; occasionally skip levels.
+				src := l - 1
+				for src > 0 && rng.Float64() < 0.2 {
+					src--
+				}
+				from, ok := pickSource(src, nd.x, used)
+				if !ok {
+					continue
+				}
+				used[from] = true
+				if addData(from, nd.pin) {
+					hasFanout[from] = true
+				}
+			}
+		}
+	}
+	// Every comb pin needs fan-out: connect orphans forward to a D pin
+	// (or a node in the next layer) so no dead-end combinational pins
+	// remain.
+	for l := 1; l <= spec.CombLayers; l++ {
+		for _, nd := range layers[l] {
+			if hasFanout[nd.pin] {
+				continue
+			}
+			used := map[model.PinID]bool{}
+			// Choose a target in a later layer within the window.
+			tgtLayer := l + 1
+			cand := layers[tgtLayer]
+			if len(cand) == 0 {
+				continue
+			}
+			to, ok := pickSource(tgtLayer, nd.x, used)
+			if !ok {
+				to = cand[rng.Intn(len(cand))].pin
+			}
+			if addData(nd.pin, to) {
+				hasFanout[nd.pin] = true
+			}
+		}
+	}
+
+	return b.Build()
+}
+
+// MustGenerate is Generate that panics on error; for tests, examples and
+// benchmarks with known-good specs.
+func MustGenerate(spec Spec) *model.Design {
+	d, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"testing"
+
+	"fastcppr/model"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	d, err := Generate(Spec{Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if d.NumFFs() == 0 || d.NumArcs() == 0 {
+		t.Fatal("empty design")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Medium(7)
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	if a.NumPins() != b.NumPins() || a.NumArcs() != b.NumArcs() {
+		t.Fatalf("sizes differ: %d/%d pins, %d/%d arcs", a.NumPins(), b.NumPins(), a.NumArcs(), b.NumArcs())
+	}
+	for i := range a.Arcs {
+		if a.Arcs[i] != b.Arcs[i] {
+			t.Fatalf("arc %d differs: %+v vs %+v", i, a.Arcs[i], b.Arcs[i])
+		}
+	}
+	for i := range a.Pins {
+		if a.Pins[i] != b.Pins[i] {
+			t.Fatalf("pin %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(Medium(1))
+	b := MustGenerate(Medium(2))
+	same := a.NumArcs() == b.NumArcs()
+	if same {
+		diff := false
+		for i := range a.Arcs {
+			if a.Arcs[i] != b.Arcs[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical designs")
+	}
+}
+
+func TestGenerateDepth(t *testing.T) {
+	for _, target := range []int{5, 12, 30} {
+		spec := Medium(3)
+		spec.TargetDepth = target
+		spec.DepthJitter = 0
+		d := MustGenerate(spec)
+		if d.Depth != target {
+			t.Errorf("TargetDepth %d: got D = %d", target, d.Depth)
+		}
+	}
+}
+
+func TestGenerateDepthJitterVaries(t *testing.T) {
+	spec := Medium(4)
+	spec.DepthJitter = 3
+	d := MustGenerate(spec)
+	depths := map[int32]bool{}
+	for _, ff := range d.FFs {
+		depths[d.ClockDepth[ff.Clock]] = true
+	}
+	if len(depths) < 2 {
+		t.Errorf("expected varied FF depths, got %v", depths)
+	}
+}
+
+func TestGenerateEveryFFWired(t *testing.T) {
+	d := MustGenerate(Medium(5))
+	withFanin := 0
+	for _, ff := range d.FFs {
+		if len(d.FanIn(ff.Data)) > 0 {
+			withFanin++
+		}
+		if d.ClockDepth[ff.Clock] < 1 {
+			t.Errorf("FF %s clock pin not in tree", ff.Name)
+		}
+	}
+	// The layered wiring gives every D pin at least one fan-in.
+	if withFanin != d.NumFFs() {
+		t.Errorf("%d/%d D pins have fan-in", withFanin, d.NumFFs())
+	}
+}
+
+func TestGenerateCombConnected(t *testing.T) {
+	d := MustGenerate(Medium(6))
+	orphans := 0
+	deadEnds := 0
+	for id, p := range d.Pins {
+		if p.Kind != model.Comb {
+			continue
+		}
+		if len(d.FanIn(model.PinID(id))) == 0 {
+			orphans++
+		}
+		if len(d.FanOut(model.PinID(id))) == 0 {
+			deadEnds++
+		}
+	}
+	if orphans > 0 {
+		t.Errorf("%d comb pins without fan-in", orphans)
+	}
+	// A small number of dead ends can remain when dedup rejects the
+	// fix-up arc; they must be rare.
+	if total := d.NumPins(); deadEnds > total/50 {
+		t.Errorf("%d dead-end comb pins of %d pins", deadEnds, total)
+	}
+}
+
+func TestSmallOracleIsSmall(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := MustGenerate(SmallOracle(seed))
+		if d.NumPins() > 200 {
+			t.Errorf("seed %d: oracle design too big: %d pins", seed, d.NumPins())
+		}
+		if d.NumFFs() < 4 {
+			t.Errorf("seed %d: too few FFs: %d", seed, d.NumFFs())
+		}
+	}
+}
+
+func TestPresetSpecKnownNames(t *testing.T) {
+	for _, name := range PresetNames() {
+		spec, err := PresetSpec(name, 0.02)
+		if err != nil {
+			t.Fatalf("PresetSpec(%s): %v", name, err)
+		}
+		d, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		edges, ffs, depth, _, ok := PaperStats(name)
+		if !ok {
+			t.Fatalf("PaperStats(%s) missing", name)
+		}
+		if d.Depth != depth {
+			t.Errorf("%s: D = %d, want %d (depth must not scale)", name, d.Depth, depth)
+		}
+		wantFFs := int(float64(ffs) * 0.02)
+		if d.NumFFs() < wantFFs*8/10 || d.NumFFs() > wantFFs*12/10 {
+			t.Errorf("%s: FFs = %d, want ~%d", name, d.NumFFs(), wantFFs)
+		}
+		_ = edges // edge counts are approximate; reported, not asserted
+	}
+}
+
+func TestPresetSpecUnknown(t *testing.T) {
+	if _, err := PresetSpec("nope", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPresetsCount(t *testing.T) {
+	if got := len(Presets(0.02)); got != 8 {
+		t.Fatalf("Presets returned %d specs, want 8", got)
+	}
+}
+
+func TestConnectivityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("connectivity sweep is slow")
+	}
+	// leon2-style presets must have (much) higher FF connectivity than
+	// vga-style ones — the statistic that defeats sparsity pruning.
+	low := MustGenerate(mustSpec(t, "vga_lcdv2", 0.02)).FFConnectivity()
+	high := MustGenerate(mustSpec(t, "leon2", 0.02)).FFConnectivity()
+	if high <= low {
+		t.Errorf("connectivity(leon2)=%.1f <= connectivity(vga)=%.1f", high, low)
+	}
+}
+
+func mustSpec(t *testing.T, name string, scale float64) Spec {
+	t.Helper()
+	s, err := PresetSpec(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate did not panic")
+		}
+	}()
+	// A negative data-delay range makes the builder fail.
+	MustGenerate(Spec{Seed: 1, DataDelayMin: -100, DataDelayMax: -50})
+}

@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"fastcppr/model"
+)
+
+// paperBench records the Table III statistics of a TAU-contest benchmark
+// that the preset generator approximates.
+type paperBench struct {
+	name  string
+	edges int
+	ffs   int
+	depth int
+	conn  float64
+	// window/fanin tune the generated FF connectivity toward conn:
+	// larger windows and fan-ins raise connectivity.
+	window float64
+	fanin  float64
+}
+
+// paperTable mirrors Table III of the paper.
+var paperTable = []paperBench{
+	{"vga_lcdv2", 449651, 25091, 56, 28.55, 0.010, 1.8},
+	{"Combo4v2", 778638, 26760, 82, 37.93, 0.012, 1.8},
+	{"Combo5v2", 2051804, 39525, 91, 22.34, 0.008, 1.7},
+	{"Combo6v2", 3577926, 64133, 101, 37.11, 0.012, 1.8},
+	{"Combo7v2", 2817561, 54784, 96, 32.81, 0.012, 1.8},
+	{"netcard", 3999174, 97831, 75, 196.42, 0.060, 2.2},
+	{"leon2", 4328255, 149381, 85, 1245.44, 0.350, 2.6},
+	{"leon3mp", 3376832, 108839, 75, 489.06, 0.150, 2.4},
+}
+
+// PresetNames lists the Table III benchmark names accepted by PresetSpec,
+// in the paper's order.
+func PresetNames() []string {
+	out := make([]string, len(paperTable))
+	for i, p := range paperTable {
+		out[i] = p.name
+	}
+	return out
+}
+
+// PaperStats returns the published Table III row for a preset name, for
+// side-by-side reporting of paper-vs-generated statistics.
+func PaperStats(name string) (edges, ffs, depth int, conn float64, ok bool) {
+	for _, p := range paperTable {
+		if p.name == name {
+			return p.edges, p.ffs, p.depth, p.conn, true
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// PresetSpec returns a Spec that approximates the named Table III
+// benchmark scaled by scale (1.0 = full published size; the default
+// benchmark harness uses a smaller scale sized to this machine).
+// The clock-tree depth D is preserved regardless of scale, because the
+// paper's algorithm depends on D, not on the element counts.
+func PresetSpec(name string, scale float64) (Spec, error) {
+	for _, p := range paperTable {
+		if p.name != name {
+			continue
+		}
+		ffs := int(math.Round(float64(p.ffs) * scale))
+		if ffs < 16 {
+			ffs = 16
+		}
+		const layers = 6
+		// Budget the scaled edge count: clock arcs (bufs + FF leaves),
+		// CK->Q launches, and the rest as combinational arcs.
+		targetEdges := float64(p.edges) * scale
+		leafBufs := (ffs + 7) / 8
+		crown := 0
+		for w := 1; w < leafBufs; w *= 2 {
+			crown++
+		}
+		chain := p.depth - 2 - crown
+		if chain < 0 {
+			chain = 0
+		}
+		clockArcs := float64(leafBufs*chain + 2*leafBufs + ffs)
+		dataArcs := targetEdges - clockArcs - float64(2*ffs)
+		if dataArcs < float64(4*ffs) {
+			dataArcs = float64(4 * ffs)
+		}
+		combPerLayer := int(dataArcs / (layers * p.fanin))
+		if combPerLayer < 8 {
+			combPerLayer = 8
+		}
+		return Spec{
+			Name:          fmt.Sprintf("%s_s%g", p.name, scale),
+			Seed:          int64(1000 + len(p.name)*31 + p.depth),
+			Period:        model.Ns(100),
+			TargetDepth:   p.depth,
+			ClockFanout:   2,
+			FFsPerLeafBuf: 8,
+			DepthJitter:   2,
+			NumFFs:        ffs,
+			NumPIs:        ffs / 16,
+			NumPOs:        ffs / 16,
+			CombLayers:    layers,
+			CombPerLayer:  combPerLayer,
+			AvgFanin:      p.fanin,
+			Window:        p.window,
+		}, nil
+	}
+	return Spec{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, PresetNames())
+}
+
+// Presets returns specs for all Table III benchmarks at the given scale.
+func Presets(scale float64) []Spec {
+	out := make([]Spec, 0, len(paperTable))
+	for _, p := range paperTable {
+		s, err := PresetSpec(p.name, scale)
+		if err != nil {
+			panic(err) // unreachable: iterating known names
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SmallOracle returns a spec for a tiny design whose complete path set
+// can be enumerated by the brute-force oracle: few FFs, a shallow
+// combinational cloud, and bounded fan-in keep the path count in the
+// hundreds.
+func SmallOracle(seed int64) Spec {
+	return Spec{
+		Name:          fmt.Sprintf("oracle-%d", seed),
+		Seed:          seed,
+		Period:        model.Ns(50),
+		TargetDepth:   5,
+		ClockFanout:   2,
+		FFsPerLeafBuf: 3,
+		DepthJitter:   1,
+		NumFFs:        8 + int(seed%5),
+		NumPIs:        2,
+		NumPOs:        2,
+		CombLayers:    2,
+		CombPerLayer:  10,
+		AvgFanin:      1.6,
+		Window:        0.6,
+	}
+}
+
+// Medium returns a spec for a mid-size design used by integration tests:
+// large enough to exercise multi-level candidate generation and
+// parallelism, small enough for exhaustive cross-algorithm comparison.
+func Medium(seed int64) Spec {
+	return Spec{
+		Name:          fmt.Sprintf("medium-%d", seed),
+		Seed:          seed,
+		Period:        model.Ns(80),
+		TargetDepth:   12,
+		ClockFanout:   2,
+		FFsPerLeafBuf: 4,
+		DepthJitter:   2,
+		NumFFs:        64,
+		NumPIs:        6,
+		NumPOs:        6,
+		CombLayers:    4,
+		CombPerLayer:  100,
+		AvgFanin:      2.0,
+		Window:        0.25,
+	}
+}

@@ -1,0 +1,3 @@
+module fastcppr
+
+go 1.22

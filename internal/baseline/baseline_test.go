@@ -1,0 +1,202 @@
+package baseline
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/lca"
+	"fastcppr/model"
+)
+
+func sortedSlacks(paths []model.Path) []model.Time {
+	s := Slacks(paths)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func equalTimes(a, b []model.Time) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validate(t *testing.T, d *model.Design, mode model.Mode, paths []model.Path, who string) {
+	t.Helper()
+	var prev model.Time
+	for i, p := range paths {
+		if i > 0 && p.Slack < prev {
+			t.Fatalf("%s: not sorted at %d", who, i)
+		}
+		prev = p.Slack
+		ref, err := d.RecomputePath(mode, p.Pins)
+		if err != nil {
+			t.Fatalf("%s: invalid path %d: %v", who, i, err)
+		}
+		if ref.Slack != p.Slack {
+			t.Fatalf("%s: path %d slack %v, recomputed %v", who, i, p.Slack, ref.Slack)
+		}
+	}
+}
+
+func TestBaselinesMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		tree := lca.New(d)
+		pw := NewPairwise(d, tree)
+		bb := NewBranchAndBound(d, tree)
+		bw := NewBlockwise(d, tree)
+		for _, mode := range model.Modes {
+			for _, k := range []int{1, 5, 40, 10_000} {
+				want := Slacks(BruteForce(d, mode, k))
+
+				got := pw.TopPaths(mode, k, 2)
+				validate(t, d, mode, got, "pairwise")
+				if !equalTimes(sortedSlacks(got), want) {
+					t.Fatalf("seed %d %v k=%d: pairwise %v, want %v", seed, mode, k, sortedSlacks(got), want)
+				}
+
+				got, err := bb.TopPaths(mode, k, 1)
+				if err != nil {
+					t.Fatalf("bnb: %v", err)
+				}
+				validate(t, d, mode, got, "bnb")
+				if !equalTimes(sortedSlacks(got), want) {
+					t.Fatalf("seed %d %v k=%d: bnb %v, want %v", seed, mode, k, sortedSlacks(got), want)
+				}
+
+				got, err = bw.TopPaths(mode, k, 1)
+				if err != nil {
+					t.Fatalf("blockwise: %v", err)
+				}
+				validate(t, d, mode, got, "blockwise")
+				if !equalTimes(sortedSlacks(got), want) {
+					t.Fatalf("seed %d %v k=%d: blockwise %v, want %v", seed, mode, k, sortedSlacks(got), want)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselinesAgreeOnMediumDesigns(t *testing.T) {
+	// Medium designs are too big for brute force; the three baselines
+	// (independent algorithms) must still agree with each other.
+	for seed := int64(0); seed < 3; seed++ {
+		d := gen.MustGenerate(gen.Medium(seed))
+		tree := lca.New(d)
+		pw := NewPairwise(d, tree)
+		bb := NewBranchAndBound(d, tree)
+		bw := NewBlockwise(d, tree)
+		for _, mode := range model.Modes {
+			k := 150
+			a := pw.TopPaths(mode, k, 4)
+			bp, err := bb.TopPaths(mode, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := bw.TopPaths(mode, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalTimes(sortedSlacks(a), sortedSlacks(bp)) {
+				t.Fatalf("seed %d %v: pairwise and bnb disagree", seed, mode)
+			}
+			if !equalTimes(sortedSlacks(a), sortedSlacks(cp)) {
+				t.Fatalf("seed %d %v: pairwise and blockwise disagree", seed, mode)
+			}
+			validate(t, d, mode, a, "pairwise")
+		}
+	}
+}
+
+func TestPairwiseThreadDeterminism(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(11))
+	tree := lca.New(d)
+	pw := NewPairwise(d, tree)
+	ref := pw.TopPaths(model.Setup, 80, 1)
+	for _, threads := range []int{2, 8} {
+		got := pw.TopPaths(model.Setup, 80, threads)
+		if len(got) != len(ref) {
+			t.Fatalf("threads %d: %d paths, want %d", threads, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Slack != ref[i].Slack {
+				t.Fatalf("threads %d: path %d slack differs", threads, i)
+			}
+		}
+	}
+}
+
+func TestBlockwiseBudgetExceeded(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(2))
+	tree := lca.New(d)
+	bw := NewBlockwise(d, tree)
+	bw.MaxTuples = 10
+	_, err := bw.TopPaths(model.Setup, 5, 1)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestBranchAndBoundBudgetExceeded(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(2))
+	tree := lca.New(d)
+	bb := NewBranchAndBound(d, tree)
+	bb.MaxPops = 3
+	_, err := bb.TopPaths(model.Setup, 1000, 1)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestEmptyQueries(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(0))
+	tree := lca.New(d)
+	if got := NewPairwise(d, tree).TopPaths(model.Setup, 0, 1); got != nil {
+		t.Error("pairwise k=0 returned paths")
+	}
+	if got, _ := NewBranchAndBound(d, tree).TopPaths(model.Setup, -1, 1); got != nil {
+		t.Error("bnb k<0 returned paths")
+	}
+	if got, _ := NewBlockwise(d, tree).TopPaths(model.Setup, 0, 1); got != nil {
+		t.Error("blockwise k=0 returned paths")
+	}
+}
+
+func TestBruteForceSortStable(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(3))
+	a := BruteForce(d, model.Setup, 50)
+	b := BruteForce(d, model.Setup, 50)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic brute force")
+	}
+	for i := range a {
+		if a[i].Slack != b[i].Slack || len(a[i].Pins) != len(b[i].Pins) {
+			t.Fatal("nondeterministic brute force ordering")
+		}
+	}
+}
+
+func TestAllPathsStructure(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(4))
+	all := AllPaths(d, model.Hold)
+	if len(all) == 0 {
+		t.Fatal("no paths enumerated")
+	}
+	for _, p := range all {
+		start := d.Pins[p.StartPin()].Kind
+		if start != model.FFClock && start != model.PI {
+			t.Fatalf("path starts at %v", start)
+		}
+		if d.Pins[p.EndPin()].Kind != model.FFData {
+			t.Fatal("path does not end at a D pin")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"sort"
+
+	"fastcppr/internal/lca"
+	"fastcppr/model"
+)
+
+// Blockwise is the HappyTimer-style baseline: a single block-based pass
+// that propagates, for every pin, the set of launching FFs that reach it
+// together with each launch's extreme arrival. Pessimism is then removed
+// exactly per launch/capture pair during the endpoint update.
+//
+// The approach leans on launch/capture sparsity: its memory is
+// Θ(Σ_pins |launch set|) ≈ n × FF-connectivity, which is modest on
+// designs like vga_lcdv2 (connectivity ~29) and explodes on leon2-class
+// designs (connectivity ~1245) — reproducing the MLE failures in the
+// paper's Table IV. MaxTuples is that memory limit.
+type Blockwise struct {
+	d    *model.Design
+	tree *lca.Tree
+	ckq  []model.Window
+	// MaxTuples bounds the total launch-set size; exceeding it aborts
+	// with ErrBudget (the paper's MLE).
+	MaxTuples int
+}
+
+// NewBlockwise preprocesses d.
+func NewBlockwise(d *model.Design, tree *lca.Tree) *Blockwise {
+	b := &Blockwise{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs)), MaxTuples: 200_000_000}
+	for i := range d.FFs {
+		b.ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
+	}
+	return b
+}
+
+// launchTuple is one entry of a pin's launch set: the extreme arrival at
+// this pin over all paths launched by lau, and its predecessor pin.
+type launchTuple struct {
+	lau  int32 // launching FF id, or -1 for PI-launched
+	time model.Time
+	from model.PinID
+}
+
+// TopPaths returns the exact global top-k post-CPPR paths, or ErrBudget
+// when the launch-set memory exceeds MaxTuples. Blockwise is
+// single-threaded, as HappyTimer is.
+func (b *Blockwise) TopPaths(mode model.Mode, k, threads int) ([]model.Path, error) {
+	_ = threads
+	if k <= 0 || len(b.d.FFs) == 0 {
+		return nil, nil
+	}
+	d := b.d
+	setup := mode == model.Setup
+
+	// Block propagation of per-launch arrival sets in topological order.
+	// perPin[u] is sorted by launch id once u is finalised (pull-style:
+	// a pin's predecessors are all final before it is processed).
+	perPin := make([][]launchTuple, d.NumPins())
+	total := 0
+	scratch := make(map[int32]launchTuple)
+	better := func(a, x model.Time) bool {
+		if setup {
+			return a > x
+		}
+		return a < x
+	}
+	for _, u := range d.Topo {
+		clear(scratch)
+		// Seeds.
+		switch d.Pins[u].Kind {
+		case model.FFOutput:
+			fi := d.Pins[u].FF
+			ff := &d.FFs[fi]
+			arr := b.tree.Arrival(ff.Clock)
+			var qAt model.Time
+			if setup {
+				qAt = arr.Late + b.ckq[fi].Late
+			} else {
+				qAt = arr.Early + b.ckq[fi].Early
+			}
+			scratch[int32(fi)] = launchTuple{lau: int32(fi), time: qAt, from: ff.Clock}
+		case model.PI:
+			for i, pi := range d.PIs {
+				if pi != u {
+					continue
+				}
+				arr := d.PIArrival[i]
+				var t model.Time
+				if setup {
+					t = arr.Late
+				} else {
+					t = arr.Early
+				}
+				scratch[-1] = launchTuple{lau: -1, time: t, from: model.NoPin}
+				break
+			}
+		}
+		// Merge predecessors.
+		for _, ai := range d.FanIn(u) {
+			arc := &d.Arcs[ai]
+			var delay model.Time
+			if setup {
+				delay = arc.Delay.Late
+			} else {
+				delay = arc.Delay.Early
+			}
+			for _, t := range perPin[arc.From] {
+				nt := launchTuple{lau: t.lau, time: t.time + delay, from: arc.From}
+				if old, ok := scratch[t.lau]; !ok || better(nt.time, old.time) {
+					scratch[t.lau] = nt
+				}
+			}
+		}
+		if len(scratch) == 0 {
+			continue
+		}
+		list := make([]launchTuple, 0, len(scratch))
+		for _, t := range scratch {
+			list = append(list, t)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].lau < list[j].lau })
+		perPin[u] = list
+		total += len(list)
+		if total > b.MaxTuples {
+			return nil, ErrBudget
+		}
+	}
+
+	// atFor returns the lookup function for a fixed launch id.
+	atFor := func(lau int32) atFunc {
+		return func(u model.PinID) (model.Time, model.PinID, bool) {
+			list := perPin[u]
+			i := sort.Search(len(list), func(i int) bool { return list[i].lau >= lau })
+			if i < len(list) && list[i].lau == lau {
+				return list[i].time, list[i].from, true
+			}
+			return 0, model.NoPin, false
+		}
+	}
+
+	// Root candidates: one per (launch, capture) pair — the all-pairs
+	// enumeration the paper's introduction criticises.
+	h := newBCandHeap()
+	for ci := range d.FFs {
+		ff := &d.FFs[ci]
+		capArr := b.tree.Arrival(ff.Clock)
+		for _, t := range perPin[ff.Data] {
+			var pre model.Time
+			if setup {
+				pre = capArr.Early + d.Period - ff.Setup - t.time
+			} else {
+				pre = t.time - (capArr.Late + ff.Hold)
+			}
+			post := pre
+			if t.lau >= 0 {
+				if l := b.tree.LCA(d.FFs[t.lau].Clock, ff.Clock); l != model.NoPin {
+					post += b.tree.Credit(l)
+				}
+			}
+			h.PushBounded(int64(post), &bcand{
+				slack: post,
+				pos:   ff.Data,
+				devTo: model.NoPin,
+				capFF: model.FFID(ci),
+				lau:   model.FFID(t.lau),
+			}, k)
+		}
+	}
+
+	var paths []model.Path
+	for i := 0; i < k; i++ {
+		kv, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		c := kv.V
+		at := atFor(int32(c.lau))
+		if rem := k - i - 1; rem > 0 {
+			pushDevs(d, setup, h, at, c, rem)
+		}
+		paths = append(paths, finishPath(d, mode, reconstructAt(d, at, c)))
+	}
+	return paths, nil
+}

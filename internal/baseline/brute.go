@@ -1,0 +1,140 @@
+// Package baseline implements the comparison timers of the paper's
+// evaluation, re-created from each tool's published algorithmic strategy:
+//
+//   - BruteForce — exhaustive path enumeration; the exactness oracle.
+//   - Pairwise — OpenTimer-style per-launch-FF analysis whose cost grows
+//     with the flip-flop count (the complexity class the paper attacks).
+//   - Blockwise — HappyTimer-style launch-set block propagation that
+//     exploits launch/capture sparsity and degrades (in memory) on
+//     designs with high FF connectivity.
+//   - BranchAndBound — iTimerC-style pre-CPPR-ordered search with credit
+//     bounding; fast at k=1, degrades at large k.
+//
+// All four are exact: CPPR is a full-accuracy problem and the evaluation
+// compares runtime and memory shapes, not result quality.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"fastcppr/model"
+)
+
+// maxBrutePaths bounds the exhaustive enumeration; the oracle is meant
+// for small randomized designs only.
+const maxBrutePaths = 2_000_000
+
+// BruteForce enumerates every data path in d, computes its exact
+// post-CPPR slack from first principles, and returns the top-k. It is
+// exponential in the path count and exists as the correctness oracle for
+// every other timer in this repository.
+func BruteForce(d *model.Design, mode model.Mode, k int) []model.Path {
+	all := AllPaths(d, mode)
+	SortPaths(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// AllPathsTo enumerates every data path ending at the given endpoints
+// (FF D pins and/or constrained POs) with exact slack decompositions,
+// unordered.
+func AllPathsTo(d *model.Design, mode model.Mode, endpoints []model.PinID) []model.Path {
+	var all []model.Path
+	var rev []model.PinID
+
+	var dfs func(u model.PinID)
+	emit := func() {
+		pins := make([]model.PinID, len(rev))
+		for i, p := range rev {
+			pins[len(rev)-1-i] = p
+		}
+		p, err := d.RecomputePath(mode, pins)
+		if err != nil {
+			panic(fmt.Sprintf("baseline: enumerated invalid path: %v", err))
+		}
+		all = append(all, p)
+		if len(all) > maxBrutePaths {
+			panic("baseline: path count exceeds brute-force budget")
+		}
+	}
+	dfs = func(u model.PinID) {
+		rev = append(rev, u)
+		defer func() { rev = rev[:len(rev)-1] }()
+		switch d.Pins[u].Kind {
+		case model.PI:
+			emit()
+			return
+		case model.FFOutput:
+			// Continue through the CK->Q arc to the launching CK pin.
+			ck := d.Arcs[d.FanIn(u)[0]].From
+			rev = append(rev, ck)
+			emit()
+			rev = rev[:len(rev)-1]
+			return
+		}
+		for _, ai := range d.FanIn(u) {
+			dfs(d.Arcs[ai].From)
+		}
+	}
+	for _, ep := range endpoints {
+		dfs(ep)
+	}
+	return all
+}
+
+// AllPaths enumerates every FF-test path (ending at D pins).
+func AllPaths(d *model.Design, mode model.Mode) []model.Path {
+	eps := make([]model.PinID, 0, len(d.FFs))
+	for i := range d.FFs {
+		eps = append(eps, d.FFs[i].Data)
+	}
+	return AllPathsTo(d, mode, eps)
+}
+
+// AllPathsWithPOs enumerates FF-test paths plus output-check paths at
+// constrained POs.
+func AllPathsWithPOs(d *model.Design, mode model.Mode) []model.Path {
+	eps := make([]model.PinID, 0, len(d.FFs)+len(d.POs))
+	for i := range d.FFs {
+		eps = append(eps, d.FFs[i].Data)
+	}
+	for i, po := range d.POs {
+		if d.POConstrained[i] {
+			eps = append(eps, po)
+		}
+	}
+	return AllPathsTo(d, mode, eps)
+}
+
+// SortPaths orders paths ascending by slack with a deterministic
+// tie-break on the pin sequence, so oracle comparisons are reproducible.
+func SortPaths(paths []model.Path) {
+	sort.Slice(paths, func(i, j int) bool {
+		a, b := &paths[i], &paths[j]
+		if a.Slack != b.Slack {
+			return a.Slack < b.Slack
+		}
+		if len(a.Pins) != len(b.Pins) {
+			return len(a.Pins) < len(b.Pins)
+		}
+		for x := range a.Pins {
+			if a.Pins[x] != b.Pins[x] {
+				return a.Pins[x] < b.Pins[x]
+			}
+		}
+		return false
+	})
+}
+
+// Slacks extracts the slack sequence of a path list; test helpers compare
+// these as multisets because tied paths may be reported in any order.
+func Slacks(paths []model.Path) []model.Time {
+	out := make([]model.Time, len(paths))
+	for i := range paths {
+		out[i] = paths[i].Slack
+	}
+	return out
+}

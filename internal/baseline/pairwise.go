@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastcppr/internal/lca"
+	"fastcppr/internal/mmheap"
+	"fastcppr/internal/sta"
+	"fastcppr/model"
+)
+
+// Pairwise is the OpenTimer-style baseline: one arrival propagation per
+// launching flip-flop, with the exact CPPR credit applied per
+// launch/capture pair. Its cost is Θ(#FFs × n) regardless of k — the
+// complexity class the paper's algorithm eliminates — and it
+// parallelises across independent launching FFs, matching OpenTimer's
+// per-FF parallelism.
+type Pairwise struct {
+	d    *model.Design
+	tree *lca.Tree
+	ckq  []model.Window
+}
+
+// NewPairwise preprocesses d for pairwise queries.
+func NewPairwise(d *model.Design, tree *lca.Tree) *Pairwise {
+	p := &Pairwise{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs))}
+	for i := range d.FFs {
+		p.ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
+	}
+	return p
+}
+
+// pwOut is a candidate in the global pairwise selection, ordered by
+// (slack, launch FF, pop index) for thread-count-independent results.
+type pwOut struct {
+	slack model.Time
+	lau   int
+	idx   int
+	pins  []model.PinID
+}
+
+// TopPaths returns the exact global top-k post-CPPR paths for the mode.
+// threads <= 0 uses GOMAXPROCS.
+func (p *Pairwise) TopPaths(mode model.Mode, k, threads int) []model.Path {
+	if k <= 0 || len(p.d.FFs) == 0 {
+		return nil
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	// One job per launching FF plus one for all PI-launched paths.
+	numJobs := len(p.d.FFs) + 1
+	if threads > numJobs {
+		threads = numJobs
+	}
+	setup := mode == model.Setup
+
+	less := func(a, b *pwOut) bool {
+		if a.slack != b.slack {
+			return a.slack < b.slack
+		}
+		if a.lau != b.lau {
+			return a.lau < b.lau
+		}
+		return a.idx < b.idx
+	}
+	global := mmheap.New(less)
+	var mu sync.Mutex
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prop sta.Prop
+			heap := newBCandHeap()
+			for {
+				li := int(next.Add(1) - 1)
+				if li >= numJobs {
+					return
+				}
+				var outs []*pwOut
+				if li < len(p.d.FFs) {
+					outs = p.runLaunch(&prop, heap, li, k, setup)
+				} else {
+					outs = p.runPIs(&prop, heap, li, k, setup)
+				}
+				mu.Lock()
+				for _, o := range outs {
+					global.PushBounded(o, k)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	paths := make([]model.Path, 0, global.Len())
+	for {
+		o, ok := global.PopMin()
+		if !ok {
+			break
+		}
+		paths = append(paths, finishPath(p.d, mode, o.pins))
+	}
+	return paths
+}
+
+// runLaunch performs the per-launch-FF analysis: propagate arrivals from
+// this FF's Q pin only, seed one root candidate per reachable capture FF
+// with the exact pairwise credit, and extract the launch-local top-k.
+func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool) []*pwOut {
+	d := p.d
+	ff := &d.FFs[li]
+	prop.Reset(d.NumPins())
+	arr := p.tree.Arrival(ff.Clock)
+	var qAt model.Time
+	if setup {
+		qAt = arr.Late + p.ckq[li].Late
+	} else {
+		qAt = arr.Early + p.ckq[li].Early
+	}
+	prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
+	prop.Run(d, setup)
+
+	at := func(u model.PinID) (model.Time, model.PinID, bool) {
+		t := prop.At(u)
+		return t.Time, t.From, t.Valid
+	}
+
+	heap.Reset()
+	for ci := range d.FFs {
+		cap := &d.FFs[ci]
+		t := prop.At(cap.Data)
+		if !t.Valid {
+			continue
+		}
+		var credit model.Time
+		if l := p.tree.LCA(ff.Clock, cap.Clock); l != model.NoPin {
+			credit = p.tree.Credit(l) // same-domain pair
+		}
+		capArr := p.tree.Arrival(cap.Clock)
+		var pre model.Time
+		if setup {
+			pre = capArr.Early + d.Period - cap.Setup - t.Time
+		} else {
+			pre = t.Time - (capArr.Late + cap.Hold)
+		}
+		heap.PushBounded(int64(pre+credit), &bcand{
+			slack: pre + credit,
+			pos:   cap.Data,
+			devTo: model.NoPin,
+			capFF: model.FFID(ci),
+		}, k)
+	}
+
+	var outs []*pwOut
+	for i := 0; i < k; i++ {
+		kv, ok := heap.PopMin()
+		if !ok {
+			break
+		}
+		c := kv.V
+		if rem := k - i - 1; rem > 0 {
+			pushDevs(d, setup, heap, at, c, rem)
+		}
+		outs = append(outs, &pwOut{
+			slack: c.slack,
+			lau:   li,
+			idx:   i,
+			pins:  reconstructAt(d, at, c),
+		})
+	}
+	return outs
+}
+
+// runPIs handles all primary-input-launched paths in one propagation:
+// PI paths carry no credit, so a single ungrouped search suffices.
+func (p *Pairwise) runPIs(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool) []*pwOut {
+	d := p.d
+	if len(d.PIs) == 0 {
+		return nil
+	}
+	prop.Reset(d.NumPins())
+	for i, pi := range d.PIs {
+		arr := d.PIArrival[i]
+		var t model.Time
+		if setup {
+			t = arr.Late
+		} else {
+			t = arr.Early
+		}
+		prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
+	}
+	prop.Run(d, setup)
+	at := func(u model.PinID) (model.Time, model.PinID, bool) {
+		t := prop.At(u)
+		return t.Time, t.From, t.Valid
+	}
+
+	heap.Reset()
+	for ci := range d.FFs {
+		cap := &d.FFs[ci]
+		t := prop.At(cap.Data)
+		if !t.Valid {
+			continue
+		}
+		capArr := p.tree.Arrival(cap.Clock)
+		var pre model.Time
+		if setup {
+			pre = capArr.Early + d.Period - cap.Setup - t.Time
+		} else {
+			pre = t.Time - (capArr.Late + cap.Hold)
+		}
+		heap.PushBounded(int64(pre), &bcand{
+			slack: pre,
+			pos:   cap.Data,
+			devTo: model.NoPin,
+			capFF: model.FFID(ci),
+		}, k)
+	}
+
+	var outs []*pwOut
+	for i := 0; i < k; i++ {
+		kv, ok := heap.PopMin()
+		if !ok {
+			break
+		}
+		c := kv.V
+		if rem := k - i - 1; rem > 0 {
+			pushDevs(d, setup, heap, at, c, rem)
+		}
+		outs = append(outs, &pwOut{
+			slack: c.slack,
+			lau:   li,
+			idx:   i,
+			pins:  reconstructAt(d, at, c),
+		})
+	}
+	return outs
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fastcppr/internal/lca"
+	"fastcppr/internal/sta"
+	"fastcppr/model"
+)
+
+// Rerank is the tempting-but-inexact heuristic some flows use instead of
+// true CPPR search: generate the top-k paths by PRE-CPPR slack, apply
+// each path's credit, and re-sort. It is cheap — one search, no
+// per-level or per-pair work — but it can miss true post-CPPR critical
+// paths entirely: a path ranked k+1 pre-CPPR can be the post-CPPR worst
+// path once a large credit is applied to its competitors.
+//
+// It exists to quantify that error (see the accuracy ablation in
+// EXPERIMENTS.md), motivating the exact algorithms.
+type Rerank struct {
+	d    *model.Design
+	tree *lca.Tree
+	ckq  []model.Window
+}
+
+// NewRerank preprocesses d.
+func NewRerank(d *model.Design, tree *lca.Tree) *Rerank {
+	r := &Rerank{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs))}
+	for i := range d.FFs {
+		r.ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
+	}
+	return r
+}
+
+// TopPaths returns k paths selected by pre-CPPR slack and re-ranked by
+// post-CPPR slack. The result is generally NOT the true post-CPPR top-k.
+func (r *Rerank) TopPaths(mode model.Mode, k int) []model.Path {
+	if k <= 0 || len(r.d.FFs) == 0 {
+		return nil
+	}
+	d := r.d
+	setup := mode == model.Setup
+
+	var prop sta.Prop
+	prop.Reset(d.NumPins())
+	for i := range d.FFs {
+		ff := &d.FFs[i]
+		arr := r.tree.Arrival(ff.Clock)
+		var qAt model.Time
+		if setup {
+			qAt = arr.Late + r.ckq[i].Late
+		} else {
+			qAt = arr.Early + r.ckq[i].Early
+		}
+		prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
+	}
+	for i, pi := range d.PIs {
+		arr := d.PIArrival[i]
+		var t model.Time
+		if setup {
+			t = arr.Late
+		} else {
+			t = arr.Early
+		}
+		prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
+	}
+	prop.Run(d, setup)
+	at := func(u model.PinID) (model.Time, model.PinID, bool) {
+		t := prop.At(u)
+		return t.Time, t.From, t.Valid
+	}
+
+	// One global search in pre-CPPR order, stopping after exactly k
+	// pops — the heuristic's defining (and flawed) step.
+	h := newBCandHeap()
+	for ci := range d.FFs {
+		ff := &d.FFs[ci]
+		t := prop.At(ff.Data)
+		if !t.Valid {
+			continue
+		}
+		capArr := r.tree.Arrival(ff.Clock)
+		var pre model.Time
+		if setup {
+			pre = capArr.Early + d.Period - ff.Setup - t.Time
+		} else {
+			pre = t.Time - (capArr.Late + ff.Hold)
+		}
+		h.PushBounded(int64(pre), &bcand{slack: pre, pos: ff.Data, devTo: model.NoPin, capFF: model.FFID(ci)}, k)
+	}
+
+	var paths []model.Path
+	for i := 0; i < k; i++ {
+		kv, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		c := kv.V
+		if rem := k - i - 1; rem > 0 {
+			pushDevs(d, setup, h, at, c, rem)
+		}
+		paths = append(paths, finishPath(d, mode, reconstructAt(d, at, c)))
+	}
+	SortPaths(paths) // re-rank by exact post-CPPR slack
+	return paths
+}
+
+// RerankError compares the heuristic's result against the exact top-k
+// and returns how many of the true top-k paths the heuristic missed and
+// the worst-slack error (heuristic worst minus true worst; >= 0).
+func RerankError(exact, heuristic []model.Path) (missed int, worstErr model.Time) {
+	exactSet := make(map[string]int)
+	for _, p := range exact {
+		exactSet[slackSig(&p)]++
+	}
+	for _, p := range heuristic {
+		sig := slackSig(&p)
+		if exactSet[sig] > 0 {
+			exactSet[sig]--
+		}
+	}
+	for _, n := range exactSet {
+		missed += n
+	}
+	if len(exact) > 0 && len(heuristic) > 0 {
+		if d := heuristic[0].Slack - exact[0].Slack; d > 0 {
+			worstErr = d
+		}
+	}
+	return missed, worstErr
+}
+
+// slackSig identifies a path by slack and endpoints, which is collision-
+// safe enough for error counting on the generated designs.
+func slackSig(p *model.Path) string {
+	return fmt.Sprintf("%d|%d|%d", p.Slack, p.LaunchFF, p.CaptureFF)
+}

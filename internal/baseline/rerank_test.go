@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/lca"
+	"fastcppr/model"
+)
+
+func TestRerankIsSupersetOfPrefixButInexact(t *testing.T) {
+	// Across many seeds the heuristic must (a) return valid paths,
+	// (b) agree with the exact result whenever pre- and post-CPPR
+	// orders coincide, and (c) demonstrably miss paths on at least one
+	// seed — otherwise it would not motivate exact CPPR.
+	for seed := int64(0); seed < 12; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		tree := lca.New(d)
+		rr := NewRerank(d, tree)
+		for _, mode := range model.Modes {
+			k := 10
+			exact := BruteForce(d, mode, k)
+			heur := rr.TopPaths(mode, k)
+			validate(t, d, mode, heur, "rerank")
+			missed, worstErr := RerankError(exact, heur)
+			if missed < 0 || missed > len(exact) {
+				t.Fatalf("nonsensical missed count %d", missed)
+			}
+			if worstErr < 0 {
+				t.Fatalf("negative worst error %v", worstErr)
+			}
+			// The heuristic can never return a better (smaller) worst
+			// slack than the exact answer.
+			if len(heur) > 0 && len(exact) > 0 && heur[0].Slack < exact[0].Slack {
+				t.Fatalf("heuristic found a path better than exact top-1")
+			}
+		}
+	}
+}
+
+// TestRerankMissesTrueCriticalPath constructs the adversarial case the
+// heuristic cannot handle: the true post-CPPR worst path ranks below
+// another path pre-CPPR, so a top-1-by-pre-slack selection never sees it.
+func TestRerankMissesTrueCriticalPath(t *testing.T) {
+	b := model.NewBuilder("adversarial", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+	t1 := b.AddClockBuf("t1")
+	t2 := b.AddClockBuf("t2")
+	b.AddArc(clk, t1, model.Window{Early: 10, Late: 10})  // no skew: credit 0
+	b.AddArc(clk, t2, model.Window{Early: 10, Late: 200}) // credit 190
+	ckq := model.Window{Early: 10, Late: 10}
+	ff1 := b.AddFF("ff1", 0, 0, ckq)
+	ff2 := b.AddFF("ff2", 0, 0, ckq)
+	ff3 := b.AddFF("ff3", 0, 0, ckq)
+	ff4 := b.AddFF("ff4", 0, 0, ckq)
+	leaf := model.Window{Early: 5, Late: 5}
+	b.AddArc(t1, ff1.Clock, leaf)
+	b.AddArc(t1, ff2.Clock, leaf)
+	b.AddArc(t2, ff3.Clock, leaf)
+	b.AddArc(t2, ff4.Clock, leaf)
+	g1 := b.AddComb("g1")
+	g2 := b.AddComb("g2")
+	// Path A (ff1->ff2): pre-slack better than B's, credit 0.
+	b.AddArc(ff1.Q, g1, model.Window{Early: 300, Late: 300})
+	b.AddArc(g1, ff2.D, model.Window{Early: 10, Late: 10})
+	// Path B (ff3->ff4): pre-CPPR worst, but its 190ps credit makes it
+	// harmless post-CPPR; A is the true post-CPPR worst path.
+	b.AddArc(ff3.Q, g2, model.Window{Early: 250, Late: 250})
+	b.AddArc(g2, ff4.D, model.Window{Early: 10, Late: 10})
+	d := b.MustBuild()
+	tree := lca.New(d)
+
+	exact := BruteForce(d, model.Setup, 1)
+	heur := NewRerank(d, tree).TopPaths(model.Setup, 1)
+	if len(exact) != 1 || len(heur) != 1 {
+		t.Fatalf("got %d/%d paths", len(exact), len(heur))
+	}
+	missed, worstErr := RerankError(exact, heur)
+	if missed != 1 {
+		t.Fatalf("missed = %d, want 1 (exact worst %v via FF%d, heuristic returned %v via FF%d)",
+			missed, exact[0].Slack, exact[0].CaptureFF, heur[0].Slack, heur[0].CaptureFF)
+	}
+	if worstErr <= 0 {
+		t.Fatalf("worstErr = %v, want > 0", worstErr)
+	}
+}
+
+func TestRerankEmpty(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(0))
+	rr := NewRerank(d, lca.New(d))
+	if got := rr.TopPaths(model.Setup, 0); got != nil {
+		t.Error("k=0 returned paths")
+	}
+}
+
+func TestRerankErrorCounting(t *testing.T) {
+	mk := func(slack model.Time, lau, cap model.FFID) model.Path {
+		return model.Path{Slack: slack, LaunchFF: lau, CaptureFF: cap}
+	}
+	exact := []model.Path{mk(10, 1, 2), mk(20, 3, 4)}
+	heur := []model.Path{mk(20, 3, 4), mk(30, 5, 6)}
+	missed, worstErr := RerankError(exact, heur)
+	if missed != 1 {
+		t.Errorf("missed = %d, want 1", missed)
+	}
+	if worstErr != 10 {
+		t.Errorf("worstErr = %v, want 10", worstErr)
+	}
+	if m, w := RerankError(exact, exact); m != 0 || w != 0 {
+		t.Errorf("self comparison = %d/%v", m, w)
+	}
+}

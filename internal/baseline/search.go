@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"fmt"
+
+	"fastcppr/internal/mmheap"
+	"fastcppr/model"
+)
+
+// atFunc looks up the propagated arrival tuple at a pin for whatever
+// arrival structure a baseline uses: (time, predecessor, valid).
+type atFunc func(u model.PinID) (model.Time, model.PinID, bool)
+
+// bcand is an implicitly-represented path in a baseline deviation search:
+// parent path plus one deviation edge, exactly like the core engine's
+// candidates but over ungrouped arrival structures.
+type bcand struct {
+	slack  model.Time
+	pos    model.PinID
+	parent *bcand
+	devTo  model.PinID
+	capFF  model.FFID
+	// lau tags blockwise candidates with their launch FF so the right
+	// per-launch tuples are consulted; unused (NoFF) elsewhere.
+	lau model.FFID
+}
+
+func newBCandHeap() *mmheap.KeyHeap[*bcand] {
+	return mmheap.NewKey[*bcand]()
+}
+
+// pushDevs pushes one deviated candidate per non-path in-edge of the
+// backwalk from c.pos (the ungrouped Algorithm 5 inner loop). bound < 0
+// means unbounded.
+func pushDevs(d *model.Design, setup bool, h *mmheap.KeyHeap[*bcand], at atFunc, c *bcand, bound int) {
+	u := c.pos
+	for {
+		if d.IsClockPin(u) {
+			return
+		}
+		_, from, ok := at(u)
+		if !ok {
+			panic("baseline: candidate position has no arrival")
+		}
+		for _, ai := range d.FanIn(u) {
+			arc := &d.Arcs[ai]
+			w := arc.From
+			if w == from {
+				continue
+			}
+			wt, _, wok := at(w)
+			if !wok {
+				continue
+			}
+			ut, _, _ := at(u)
+			var cost model.Time
+			if setup {
+				cost = ut - (wt + arc.Delay.Late)
+			} else {
+				cost = wt + arc.Delay.Early - ut
+			}
+			if cost < 0 {
+				panic(fmt.Sprintf("baseline: negative deviation cost %v at %s -> %s",
+					cost, d.PinName(w), d.PinName(u)))
+			}
+			slack := c.slack + cost
+			if bound >= 0 && h.Len() >= bound {
+				// Cheap pre-check before allocating the candidate.
+				if m, _ := h.MaxKey(); m <= int64(slack) {
+					continue
+				}
+			}
+			nc := &bcand{
+				slack:  slack,
+				pos:    w,
+				parent: c,
+				devTo:  u,
+				capFF:  c.capFF,
+				lau:    c.lau,
+			}
+			if bound < 0 {
+				h.Push(int64(slack), nc)
+			} else {
+				h.PushBounded(int64(slack), nc, bound)
+			}
+		}
+		if from == model.NoPin {
+			return
+		}
+		u = from
+	}
+}
+
+// launchAt walks from-pointers back from pos to the launching CK pin or
+// primary input.
+func launchAt(d *model.Design, at atFunc, pos model.PinID) model.PinID {
+	u := pos
+	for {
+		if d.IsClockPin(u) {
+			return u
+		}
+		_, from, ok := at(u)
+		if !ok || from == model.NoPin {
+			return u
+		}
+		u = from
+	}
+}
+
+// backwalkAt returns the pin sequence from the seed to pos in forward
+// order.
+func backwalkAt(d *model.Design, at atFunc, pos model.PinID) []model.PinID {
+	var rev []model.PinID
+	u := pos
+	for {
+		rev = append(rev, u)
+		if d.IsClockPin(u) {
+			break
+		}
+		_, from, ok := at(u)
+		if !ok || from == model.NoPin {
+			break
+		}
+		u = from
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// reconstructAt materialises the full pin sequence of a candidate chain.
+func reconstructAt(d *model.Design, at atFunc, c *bcand) []model.PinID {
+	var chain []*bcand
+	for x := c; x != nil; x = x.parent {
+		chain = append(chain, x)
+	}
+	var path []model.PinID
+	for i := len(chain) - 1; i >= 0; i-- {
+		x := chain[i]
+		prefix := backwalkAt(d, at, x.pos)
+		if x.devTo == model.NoPin {
+			path = prefix
+			continue
+		}
+		cut := -1
+		for idx, pin := range path {
+			if pin == x.devTo {
+				cut = idx
+				break
+			}
+		}
+		if cut < 0 {
+			panic("baseline: deviation head not on parent path")
+		}
+		spliced := make([]model.PinID, 0, len(prefix)+len(path)-cut)
+		spliced = append(spliced, prefix...)
+		spliced = append(spliced, path[cut:]...)
+		path = spliced
+	}
+	return path
+}
+
+// finishPath turns a reconstructed pin sequence into a fully populated
+// model.Path via the model's first-principles recomputation. Baselines
+// only do this for the final k winners, so the O(p + depth) cost per path
+// is irrelevant next to their search cost.
+func finishPath(d *model.Design, mode model.Mode, pins []model.PinID) model.Path {
+	p, err := d.RecomputePath(mode, pins)
+	if err != nil {
+		panic(fmt.Sprintf("baseline: produced invalid path: %v", err))
+	}
+	return p
+}

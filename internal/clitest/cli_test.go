@@ -1,0 +1,143 @@
+// Package clitest builds the command-line tools and exercises them end
+// to end: generate a design file, time it, and run a small experiment —
+// the workflows README.md promises.
+package clitest
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the three binaries once into a temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI e2e tests build binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"gendesign", "cpprtimer", "cpprbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "fastcppr/cmd/"+tool)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/clitest -> repo root
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestEndToEndFlow(t *testing.T) {
+	bins := buildTools(t)
+	design := filepath.Join(t.TempDir(), "demo.cppr")
+
+	// 1. Generate a design file.
+	out := run(t, filepath.Join(bins, "gendesign"),
+		"-preset", "vga_lcdv2", "-scale", "0.004", "-o", design, "-stats")
+	if !strings.Contains(out, "design vga_lcdv2") {
+		t.Fatalf("gendesign stats missing: %q", out)
+	}
+	if fi, err := os.Stat(design); err != nil || fi.Size() == 0 {
+		t.Fatalf("design file not written: %v", err)
+	}
+
+	// 2. Run the timer on it, both modes, summary table.
+	out = run(t, filepath.Join(bins, "cpprtimer"),
+		"-i", design, "-k", "5", "-mode", "both", "-summary")
+	for _, want := range []string{"== setup:", "== hold:", "slack", "capture"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cpprtimer output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// 3. JSON output parses and carries 5 ranked paths.
+	out = run(t, filepath.Join(bins, "cpprtimer"),
+		"-i", design, "-k", "5", "-mode", "setup", "-json")
+	var rep struct {
+		Design string `json:"design"`
+		Mode   string `json:"mode"`
+		Paths  []struct {
+			Rank    int   `json:"rank"`
+			SlackPs int64 `json:"slack_ps"`
+		} `json:"paths"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("cpprtimer -json produced invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Mode != "setup" || len(rep.Paths) != 5 || rep.Paths[0].Rank != 1 {
+		t.Fatalf("unexpected JSON report: %+v", rep)
+	}
+
+	// 4. Algorithms agree through the CLI.
+	ref := run(t, filepath.Join(bins, "cpprtimer"), "-i", design, "-k", "3", "-summary")
+	for _, algo := range []string{"pairwise", "blockwise", "bnb"} {
+		got := run(t, filepath.Join(bins, "cpprtimer"), "-i", design, "-k", "3", "-summary", "-algo", algo)
+		// Compare the slack column rows (lines starting with a rank).
+		if extractSlacks(ref) != extractSlacks(got) {
+			t.Fatalf("algorithm %s disagrees via CLI:\nref:\n%s\ngot:\n%s", algo, ref, got)
+		}
+	}
+}
+
+// extractSlacks pulls the slack column out of a summary table.
+func extractSlacks(out string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 2 && (f[0] >= "1" && f[0] <= "9") && strings.HasSuffix(f[1], "ns") {
+			sb.WriteString(f[1])
+			sb.WriteString(" ")
+		}
+	}
+	return sb.String()
+}
+
+func TestCpprbenchAccuracySmoke(t *testing.T) {
+	bins := buildTools(t)
+	out := run(t, filepath.Join(bins, "cpprbench"), "-accuracy")
+	if !strings.Contains(out, "Accuracy audit") || !strings.Contains(out, "OK") {
+		t.Fatalf("cpprbench -accuracy output:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("accuracy audit failed:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bins := buildTools(t)
+	// Missing input file must exit non-zero.
+	cmd := exec.Command(filepath.Join(bins, "cpprtimer"), "-i", "/nonexistent.cppr")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("cpprtimer accepted a missing file")
+	}
+	cmd = exec.Command(filepath.Join(bins, "gendesign"), "-preset", "bogus")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("gendesign accepted an unknown preset")
+	}
+	cmd = exec.Command(filepath.Join(bins, "cpprbench"))
+	if err := cmd.Run(); err == nil {
+		t.Fatal("cpprbench with no selection must fail")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/baseline"
+	"fastcppr/model"
+)
+
+// TestCoreAgreesWithBaselinesOnMediumDesigns cross-checks the paper's
+// algorithm against two independent exact implementations on designs too
+// large for exhaustive enumeration.
+func TestCoreAgreesWithBaselinesOnMediumDesigns(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		d := gen.MustGenerate(gen.Medium(100 + seed))
+		e := NewEngine(d)
+		pw := baseline.NewPairwise(d, e.Tree())
+		bb := baseline.NewBranchAndBound(d, e.Tree())
+		for _, mode := range model.Modes {
+			for _, k := range []int{1, 10, 200} {
+				ours := e.TopPaths(Options{K: k, Mode: mode, Threads: 4})
+				validatePaths(t, d, mode, ours.Paths)
+				pws := pw.TopPaths(mode, k, 4)
+				if !equalSlacks(slacksOf(ours.Paths), slacksOf(pws)) {
+					t.Fatalf("seed %d %v k=%d: core vs pairwise differ\ncore: %v\npw:   %v",
+						seed, mode, k, slacksOf(ours.Paths), slacksOf(pws))
+				}
+				bbs, err := bb.TopPaths(mode, k, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalSlacks(slacksOf(ours.Paths), slacksOf(bbs)) {
+					t.Fatalf("seed %d %v k=%d: core vs bnb differ", seed, mode, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCoreAgreesWithBlockwiseLargeK exercises the deep-k regime where
+// candidate bounding and deviation enumeration interact most.
+func TestCoreAgreesWithBlockwiseLargeK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-k crosscheck is slow")
+	}
+	d := gen.MustGenerate(gen.Medium(55))
+	e := NewEngine(d)
+	bw := baseline.NewBlockwise(d, e.Tree())
+	for _, mode := range model.Modes {
+		k := 2000
+		ours := e.TopPaths(Options{K: k, Mode: mode, Threads: 8})
+		bws, err := bw.TopPaths(mode, k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSlacks(slacksOf(ours.Paths), slacksOf(bws)) {
+			t.Fatalf("mode %v: core vs blockwise differ at k=%d (got %d vs %d paths)",
+				mode, k, len(ours.Paths), len(bws))
+		}
+		validatePaths(t, d, mode, ours.Paths)
+	}
+}

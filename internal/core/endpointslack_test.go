@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/baseline"
+	"fastcppr/model"
+)
+
+// TestEndpointSlacksCPPRMatchesBrute verifies the O(nD) per-endpoint
+// post-CPPR summary against exhaustive enumeration.
+func TestEndpointSlacksCPPRMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		e := NewEngine(d)
+		for _, mode := range model.Modes {
+			all := baseline.AllPaths(d, mode)
+			want := make(map[model.FFID]model.Time)
+			for _, p := range all {
+				if cur, ok := want[p.CaptureFF]; !ok || p.Slack < cur {
+					want[p.CaptureFF] = p.Slack
+				}
+			}
+			got := e.EndpointSlacksCPPR(Options{Mode: mode, Threads: 2})
+			if len(got) != d.NumFFs() {
+				t.Fatalf("%d endpoints, want %d", len(got), d.NumFFs())
+			}
+			for _, s := range got {
+				w, ok := want[s.FF]
+				if ok != s.Valid {
+					t.Fatalf("seed %d %v ff%d: valid=%v, oracle has paths=%v", seed, mode, s.FF, s.Valid, ok)
+				}
+				if ok && s.Slack != w {
+					t.Fatalf("seed %d %v ff%d: slack %v, oracle %v", seed, mode, s.FF, s.Slack, w)
+				}
+			}
+		}
+	}
+}
+
+// TestEndpointSlacksCPPRMultiDomain covers the cross-domain job path.
+func TestEndpointSlacksCPPRMultiDomain(t *testing.T) {
+	d := gen.MustGenerate(multiDomainSpec(2, 2))
+	e := NewEngine(d)
+	for _, mode := range model.Modes {
+		all := baseline.AllPaths(d, mode)
+		want := make(map[model.FFID]model.Time)
+		for _, p := range all {
+			if cur, ok := want[p.CaptureFF]; !ok || p.Slack < cur {
+				want[p.CaptureFF] = p.Slack
+			}
+		}
+		for _, s := range e.EndpointSlacksCPPR(Options{Mode: mode, Threads: 3}) {
+			if w, ok := want[s.FF]; ok && (!s.Valid || s.Slack != w) {
+				t.Fatalf("%v ff%d: got %v/%v, want %v", mode, s.FF, s.Slack, s.Valid, w)
+			}
+		}
+	}
+}
+
+// TestEndpointSlacksCPPRConsistentWithTopPaths cross-checks against the
+// per-endpoint top-1 query on a design beyond brute-force reach.
+func TestEndpointSlacksCPPRConsistentWithTopPaths(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(31))
+	e := NewEngine(d)
+	slacks := e.EndpointSlacksCPPR(Options{Mode: model.Hold, Threads: 4})
+	for fi := 0; fi < d.NumFFs(); fi += 7 { // sample endpoints
+		res := e.TopPaths(Options{K: 1, Mode: model.Hold, FilterCapture: true, CaptureFF: model.FFID(fi)})
+		if len(res.Paths) == 0 {
+			if slacks[fi].Valid {
+				t.Fatalf("ff%d: summary valid but no paths", fi)
+			}
+			continue
+		}
+		if !slacks[fi].Valid || slacks[fi].Slack != res.Paths[0].Slack {
+			t.Fatalf("ff%d: summary %v/%v, top-1 %v", fi, slacks[fi].Slack, slacks[fi].Valid, res.Paths[0].Slack)
+		}
+	}
+}

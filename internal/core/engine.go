@@ -1,0 +1,976 @@
+// Package core implements the CPPR algorithm of the paper: top-k
+// post-CPPR critical path generation by enumerating the clock-tree depths
+// of launching/capturing LCA nodes instead of flip-flop pairs
+// (Algorithms 1–6).
+//
+// The engine runs D+2 independent candidate-generation jobs — one per
+// clock-tree level (Definition 4), one for self-loop candidates
+// (Definition 5), and one for primary-input candidates (Definition 6) —
+// and reduces their outputs to the global top-k with a bounded min-max
+// heap (Algorithm 6). Jobs are parallelised across a worker pool with
+// per-worker O(n) scratch, giving the paper's O(T(n+k)+kp) space shape.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastcppr/internal/lca"
+	"fastcppr/internal/mmheap"
+	"fastcppr/internal/sta"
+	"fastcppr/model"
+)
+
+// Options configures a top-k query.
+type Options struct {
+	// K is the number of post-CPPR critical paths to report.
+	K int
+	// Mode selects setup or hold analysis.
+	Mode model.Mode
+	// Threads bounds worker parallelism; <= 0 uses GOMAXPROCS.
+	Threads int
+	// UseLiftingLCA switches the LCA queries used by candidate
+	// filtering from Euler-tour RMQ to binary lifting (ablation knob).
+	UseLiftingLCA bool
+	// IncludePOs adds output-check paths at constrained primary outputs
+	// as an extra candidate class (extension beyond the paper, which
+	// evaluates FF tests only). PO paths carry no credit.
+	IncludePOs bool
+	// FilterCapture restricts the query to paths captured by CaptureFF
+	// (report_timing -to style). When false (default), all endpoints
+	// are analysed.
+	FilterCapture bool
+	CaptureFF     model.FFID
+	// DisableGlobalBound turns off the cross-job pruning on the shared
+	// k-th-best slack (ablation knob; results are identical either way,
+	// only the amount of skipped work changes).
+	DisableGlobalBound bool
+	// ExcludeLaunchFF / ExcludeCaptureFF / ExcludeLaunchPin implement
+	// false-path exceptions at source/endpoint granularity (sdc.Filter):
+	// excluded launches are never seeded and excluded captures never
+	// produce candidates, which prunes soundly — the candidate universe
+	// itself shrinks, so the top-k coverage bounds are unaffected.
+	ExcludeLaunchFF  []bool
+	ExcludeCaptureFF []bool
+	ExcludeLaunchPin map[model.PinID]bool
+}
+
+// launchExcluded reports whether FF i may not launch paths.
+func (o *Options) launchExcluded(i int) bool {
+	return o.ExcludeLaunchFF != nil && o.ExcludeLaunchFF[i]
+}
+
+// captureExcluded reports whether FF i may not capture paths.
+func (o *Options) captureExcluded(i int) bool {
+	if o.FilterCapture && model.FFID(i) != o.CaptureFF {
+		return true
+	}
+	return o.ExcludeCaptureFF != nil && o.ExcludeCaptureFF[i]
+}
+
+// Stats reports work counters from one top-k query.
+type Stats struct {
+	// Jobs is the number of candidate-generation jobs (D+2).
+	Jobs int
+	// Candidates is the number of path candidates produced across all
+	// jobs before depth filtering.
+	Candidates int
+	// Kept is the number of candidates surviving their job's filter
+	// (exact LCA depth, self-loop, or PI membership).
+	Kept int
+	// Reconstructed counts full pin-sequence reconstructions performed.
+	Reconstructed int
+}
+
+// Result is a ranked top-k path report.
+type Result struct {
+	Paths []model.Path
+	Stats Stats
+}
+
+// Engine answers top-k post-CPPR path queries for one design. It is
+// immutable after construction and safe for concurrent queries.
+type Engine struct {
+	d    *model.Design
+	tree *lca.Tree
+	// ckq caches each FF's clock-to-Q delay window.
+	ckq []model.Window
+}
+
+// NewEngine preprocesses d (clock-tree structures, CK->Q lookup).
+func NewEngine(d *model.Design) *Engine {
+	return NewEngineWithTree(d, lca.New(d))
+}
+
+// NewEngineWithTree is NewEngine reusing an existing lca.Tree.
+func NewEngineWithTree(d *model.Design, tree *lca.Tree) *Engine {
+	e := &Engine{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs))}
+	for i := range d.FFs {
+		// The model guarantees Q is driven exactly by the CK->Q arc.
+		ai := d.FanIn(d.FFs[i].Output)[0]
+		e.ckq[i] = d.Arcs[ai].Delay
+	}
+	return e
+}
+
+// Design returns the engine's design.
+func (e *Engine) Design() *model.Design { return e.d }
+
+// Tree returns the engine's clock-tree structures.
+func (e *Engine) Tree() *lca.Tree { return e.tree }
+
+// noGroupQuery is the at_auto query group used by the ungrouped searches
+// (self-loop and PI jobs): it never equals a tuple group, so at_auto
+// degenerates to at(u) exactly as Algorithms 3 and 4 prescribe.
+const noGroupQuery int32 = -2
+
+// cand is an implicitly-represented path in a job's search (Algorithm 5):
+// a parent path plus one deviation edge. The full pin sequence is the
+// backwalk from pos along from-pointers, the deviation edge pos->devTo,
+// then the parent's path from devTo onward.
+type cand struct {
+	slack  model.Time
+	pos    model.PinID
+	parent *cand
+	// devTo is the head u of the deviation edge pos->u; NoPin for the
+	// root candidate of an endpoint.
+	devTo model.PinID
+	capFF model.FFID
+	// gid is the capture group for at_auto queries (noGroupQuery for
+	// ungrouped jobs).
+	gid int32
+}
+
+// jobOut is a filtered candidate leaving a job: its exact post-CPPR slack
+// plus everything needed to materialise a model.Path if it survives the
+// global selection.
+type jobOut struct {
+	slack    model.Time
+	job, idx int
+	capFF    model.FFID
+	launch   model.PinID // launching CK pin or PI
+	lcaDepth int
+	credit   model.Time
+	chain    *cand
+	pins     []model.PinID // filled on acceptance into the global heap
+}
+
+// scratch is per-worker reusable state. The candidate heap is the
+// key-specialised min-max heap: candidate slacks are its int64 keys.
+type scratch struct {
+	prop sta.Prop
+	lt   lca.LevelTables
+	heap *mmheap.KeyHeap[*cand]
+}
+
+func newScratch() *scratch {
+	return &scratch{heap: mmheap.NewKey[*cand]()}
+}
+
+// globalBound publishes the current global k-th best slack once the
+// shared selection heap is full. Jobs stop popping when their next
+// candidate's slack strictly exceeds it: such candidates (and everything
+// after them in their job's slack order) can never enter the global
+// top-k, so pruning on the bound cannot change results — it only skips
+// provably useless work. The bound tightens as jobs complete, so the
+// amount of skipped work varies run to run, but the output does not.
+type globalBound struct {
+	val atomic.Int64
+	set atomic.Bool
+}
+
+func (g *globalBound) get() (model.Time, bool) {
+	if !g.set.Load() {
+		return 0, false
+	}
+	return model.Time(g.val.Load()), true
+}
+
+func (g *globalBound) publish(v model.Time) {
+	g.val.Store(int64(v))
+	g.set.Store(true)
+}
+
+// TopPaths returns the global top-k post-CPPR critical paths
+// (Algorithm 1).
+func (e *Engine) TopPaths(opts Options) Result {
+	k := opts.K
+	if k <= 0 || len(e.d.FFs) == 0 {
+		return Result{}
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	jobs := e.jobPlan(opts)
+	numJobs := len(jobs)
+	if threads > numJobs {
+		threads = numJobs
+	}
+
+	// Global selection (Algorithm 6): a bounded min-max heap over all
+	// filtered candidates under the total order (slack, job, idx), which
+	// makes the surviving set independent of job completion order and
+	// therefore of the thread count.
+	less := func(a, b *jobOut) bool {
+		if a.slack != b.slack {
+			return a.slack < b.slack
+		}
+		if a.job != b.job {
+			return a.job < b.job
+		}
+		return a.idx < b.idx
+	}
+	global := mmheap.New(less)
+	var bound globalBound
+	var mu sync.Mutex
+
+	var candidates, kept, reconstructed atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newScratch()
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= numJobs {
+					return
+				}
+				outs, produced := e.runJob(s, jobs[j], j, k, opts, &bound)
+				candidates.Add(int64(produced))
+				kept.Add(int64(len(outs)))
+				mu.Lock()
+				for _, o := range outs {
+					if global.PushBounded(o, k) {
+						// Materialise the pins while this worker's
+						// propagation arrays are still intact.
+						o.pins = e.reconstruct(&s.prop, o.chain)
+						reconstructed.Add(1)
+					}
+				}
+				if global.Len() >= k {
+					if m, ok := global.Max(); ok {
+						bound.publish(m.slack)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	outs := make([]*jobOut, 0, global.Len())
+	for {
+		o, ok := global.PopMin()
+		if !ok {
+			break
+		}
+		outs = append(outs, o)
+	}
+	paths := make([]model.Path, len(outs))
+	for i, o := range outs {
+		paths[i] = e.materialise(opts.Mode, o)
+	}
+	return Result{
+		Paths: paths,
+		Stats: Stats{
+			Jobs:          numJobs,
+			Candidates:    int(candidates.Load()),
+			Kept:          int(kept.Load()),
+			Reconstructed: int(reconstructed.Load()),
+		},
+	}
+}
+
+// materialise converts an accepted jobOut into a model.Path.
+func (e *Engine) materialise(mode model.Mode, o *jobOut) model.Path {
+	p := model.Path{
+		Mode:      mode,
+		Pins:      o.pins,
+		CaptureFF: o.capFF,
+		Slack:     o.slack,
+		Credit:    o.credit,
+		PreSlack:  o.slack - o.credit,
+		LCADepth:  o.lcaDepth,
+		LaunchFF:  model.NoFF,
+	}
+	if e.d.Pins[o.launch].Kind == model.FFClock {
+		p.LaunchFF = e.d.Pins[o.launch].FF
+	}
+	return p
+}
+
+// jobKind classifies a candidate-generation job.
+type jobKind uint8
+
+const (
+	jobLevel    jobKind = iota // getPathsAtLCALevel(d) — Definition 4
+	jobSelfLoop                // getPathsFromSelfLoops — Definition 5
+	jobPI                      // getPathsFromPIs — Definition 6
+	jobCross                   // cross-domain pairs ("level -1", multi-domain extension)
+	jobPO                      // output checks at constrained POs (extension)
+)
+
+// jobSpec is one entry of a query's job plan.
+type jobSpec struct {
+	kind  jobKind
+	level int // for jobLevel
+}
+
+// jobPlan lists the candidate-generation jobs for a query: one per clock
+// level, self-loop and PI jobs, plus the optional cross-domain and PO
+// jobs.
+func (e *Engine) jobPlan(opts Options) []jobSpec {
+	jobs := make([]jobSpec, 0, e.d.Depth+4)
+	for d := 0; d < e.d.Depth; d++ {
+		jobs = append(jobs, jobSpec{kind: jobLevel, level: d})
+	}
+	jobs = append(jobs, jobSpec{kind: jobSelfLoop}, jobSpec{kind: jobPI})
+	if len(e.d.Roots) > 1 {
+		jobs = append(jobs, jobSpec{kind: jobCross})
+	}
+	if opts.IncludePOs && !opts.FilterCapture {
+		for i := range e.d.POs {
+			if e.d.POConstrained[i] {
+				jobs = append(jobs, jobSpec{kind: jobPO})
+				break
+			}
+		}
+	}
+	return jobs
+}
+
+// runJob executes one candidate-generation job, returning the filtered
+// candidates and the number produced before filtering.
+func (e *Engine) runJob(s *scratch, spec jobSpec, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
+	switch spec.kind {
+	case jobLevel:
+		return e.runLevelJob(s, spec.level, j, k, opts, gb)
+	case jobSelfLoop:
+		return e.runSelfLoopJob(s, j, k, opts, gb)
+	case jobPI:
+		return e.runPIJob(s, j, k, opts, gb)
+	case jobCross:
+		return e.runCrossDomainJob(s, j, k, opts, gb)
+	default:
+		return e.runPOJob(s, j, k, opts, gb)
+	}
+}
+
+// jobSlack computes the endpoint slack from the propagated data arrival
+// (Algorithm 2 lines 19–22).
+func (e *Engine) jobSlack(setup bool, capArr model.Window, ff *model.FF, dAt model.Time) model.Time {
+	if setup {
+		return capArr.Early + e.d.Period - ff.Setup - dAt
+	}
+	return dAt - (capArr.Late + ff.Hold)
+}
+
+// runLevelJob generates top-k path candidates at LCA level d
+// (Algorithm 2 for seeding/propagation, Algorithm 5 for top-k), then
+// filters to candidates whose exact LCA depth is d (Algorithm 6 line 5).
+func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
+	e.tree.FillLevel(d, &s.lt)
+	return e.runGroupedJob(s, j, k, opts, gb, func(o *jobOut) bool {
+		// Exact-depth filter: keep candidates whose LCA depth is d.
+		// Cross-domain pairs (no LCA) are handled by their own job.
+		lcaNode := e.lcaOf(o.launch, e.d.FFs[o.capFF].Clock, opts)
+		if lcaNode == model.NoPin || e.tree.Depth(lcaNode) != d {
+			return false
+		}
+		o.lcaDepth = d
+		o.credit = e.tree.Credit(lcaNode)
+		return true
+	})
+}
+
+// runCrossDomainJob generates candidates whose launching and capturing
+// FFs sit in different clock domains ("level -1"): grouping by domain
+// root, zero credit offset, zero credit.
+func (e *Engine) runCrossDomainJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
+	e.tree.FillCrossDomain(&s.lt)
+	return e.runGroupedJob(s, j, k, opts, gb, func(o *jobOut) bool {
+		if e.tree.SameDomain(o.launch, e.d.FFs[o.capFF].Clock) {
+			return false
+		}
+		o.lcaDepth = -1
+		o.credit = 0
+		return true
+	})
+}
+
+// runGroupedJob is the shared grouped candidate generation: seeds Q pins
+// with the scratch tables' group and credit offset, propagates, builds
+// root candidates per capture FF, and runs the top-k pop/deviate loop
+// with the supplied filter. The caller must FillLevel/FillCrossDomain
+// s.lt first.
+func (e *Engine) runGroupedJob(s *scratch, job, k int, opts Options, gb *globalBound, keep func(*jobOut) bool) ([]*jobOut, int) {
+	setup := opts.Mode == model.Setup
+	s.prop.Reset(e.d.NumPins())
+
+	// Seed Q pins of FFs below the cut, offsetting by credit(f_d(u))
+	// so propagated arrivals rank paths by slack(p, d) (Definition 3).
+	for i := range e.d.FFs {
+		if opts.launchExcluded(i) {
+			continue
+		}
+		ff := &e.d.FFs[i]
+		gid := e.tree.GroupOf(&s.lt, ff.Clock)
+		if gid < 0 {
+			continue // depth(u) <= d
+		}
+		arr := e.tree.Arrival(ff.Clock)
+		credit := e.tree.CreditAtDOf(&s.lt, ff.Clock)
+		var qAt model.Time
+		if setup {
+			qAt = arr.Late + e.ckq[i].Late - credit
+		} else {
+			qAt = arr.Early + e.ckq[i].Early + credit
+		}
+		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
+	}
+	s.prop.Run(e.d, setup)
+
+	// Root candidates: best grouped arrival at each capture D pin.
+	s.heap.Reset()
+	for i := range e.d.FFs {
+		if opts.captureExcluded(i) {
+			continue
+		}
+		ff := &e.d.FFs[i]
+		gid := e.tree.GroupOf(&s.lt, ff.Clock)
+		if gid < 0 {
+			continue
+		}
+		tup := s.prop.Auto(ff.Data, gid)
+		if !tup.Valid {
+			continue
+		}
+		slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
+		s.heap.PushBounded(int64(slack), &cand{
+			slack: slack,
+			pos:   ff.Data,
+			devTo: model.NoPin,
+			capFF: model.FFID(i),
+			gid:   gid,
+		}, k)
+	}
+
+	return e.popAndFilter(s, job, k, opts, gb, keep)
+}
+
+// runSelfLoopJob generates self-loop candidates (Algorithm 3 + the
+// ungrouped variant of Algorithm 5), filtered to true self-loops
+// (Algorithm 6 line 8).
+func (e *Engine) runSelfLoopJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
+	setup := opts.Mode == model.Setup
+	s.prop.Reset(e.d.NumPins())
+	for i := range e.d.FFs {
+		if opts.launchExcluded(i) {
+			continue
+		}
+		ff := &e.d.FFs[i]
+		arr := e.tree.Arrival(ff.Clock)
+		credit := e.tree.Credit(ff.Clock)
+		var qAt model.Time
+		if setup {
+			qAt = arr.Late + e.ckq[i].Late - credit
+		} else {
+			qAt = arr.Early + e.ckq[i].Early + credit
+		}
+		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
+	}
+	s.prop.Run(e.d, setup)
+
+	s.heap.Reset()
+	for i := range e.d.FFs {
+		if opts.captureExcluded(i) {
+			continue
+		}
+		ff := &e.d.FFs[i]
+		tup := s.prop.At(ff.Data)
+		if !tup.Valid {
+			continue
+		}
+		slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
+		s.heap.PushBounded(int64(slack), &cand{
+			slack: slack,
+			pos:   ff.Data,
+			devTo: model.NoPin,
+			capFF: model.FFID(i),
+			gid:   noGroupQuery,
+		}, k)
+	}
+
+	return e.popAndFilter(s, j, k, opts, gb, func(o *jobOut) bool {
+		// Keep true self-loops only.
+		if e.d.Pins[o.launch].Kind != model.FFClock || e.d.Pins[o.launch].FF != o.capFF {
+			return false
+		}
+		o.lcaDepth = e.tree.Depth(o.launch)
+		o.credit = e.tree.Credit(o.launch)
+		return true
+	})
+}
+
+// runPIJob generates primary-input candidates (Algorithm 4 + the
+// ungrouped variant of Algorithm 5). PI paths carry no credit.
+func (e *Engine) runPIJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
+	setup := opts.Mode == model.Setup
+	s.prop.Reset(e.d.NumPins())
+	for i, pi := range e.d.PIs {
+		if opts.ExcludeLaunchPin != nil && opts.ExcludeLaunchPin[pi] {
+			continue
+		}
+		arr := e.d.PIArrival[i]
+		var t model.Time
+		if setup {
+			t = arr.Late
+		} else {
+			t = arr.Early
+		}
+		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
+	}
+	s.prop.Run(e.d, setup)
+
+	s.heap.Reset()
+	for i := range e.d.FFs {
+		if opts.captureExcluded(i) {
+			continue
+		}
+		ff := &e.d.FFs[i]
+		tup := s.prop.At(ff.Data)
+		if !tup.Valid {
+			continue
+		}
+		slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
+		s.heap.PushBounded(int64(slack), &cand{
+			slack: slack,
+			pos:   ff.Data,
+			devTo: model.NoPin,
+			capFF: model.FFID(i),
+			gid:   noGroupQuery,
+		}, k)
+	}
+
+	return e.popAndFilter(s, j, k, opts, gb, func(o *jobOut) bool {
+		o.lcaDepth = -1
+		o.credit = 0
+		return true
+	})
+}
+
+// lcaOf returns the LCA clock node under the configured query method.
+func (e *Engine) lcaOf(u, v model.PinID, opts Options) model.PinID {
+	if opts.UseLiftingLCA {
+		return e.tree.LCALifting(u, v)
+	}
+	return e.tree.LCA(u, v)
+}
+
+// popAndFilter is the top-k pop/deviate loop of Algorithm 5 shared by all
+// job kinds: it pops up to k candidates in slack order, pushes each pop's
+// deviations back (bounded by the remaining output count), resolves each
+// popped candidate's launch point, and applies the job-specific filter.
+func (e *Engine) popAndFilter(s *scratch, job, k int, opts Options, gb *globalBound, keep func(*jobOut) bool) ([]*jobOut, int) {
+	setup := opts.Mode == model.Setup
+	var outs []*jobOut
+	produced := 0
+	for i := 0; i < k; i++ {
+		kv, ok := s.heap.PopMin()
+		if !ok {
+			break
+		}
+		p := kv.V
+		// Global-bound pruning: once the shared selection holds k paths,
+		// candidates strictly beyond the k-th best slack — and everything
+		// this job would pop after them — can never be selected.
+		if !opts.DisableGlobalBound {
+			if v, okB := gb.get(); okB && p.slack > v {
+				break
+			}
+		}
+		produced++
+		remaining := k - i - 1
+		if remaining > 0 {
+			e.pushDeviations(s, p, remaining, setup)
+		}
+		o := &jobOut{
+			slack:  p.slack,
+			job:    job,
+			idx:    i,
+			capFF:  p.capFF,
+			launch: e.launchOf(&s.prop, p),
+			chain:  p,
+		}
+		if keep(o) {
+			outs = append(outs, o)
+		}
+	}
+	return outs, produced
+}
+
+// pushDeviations walks backward from p.pos along from-pointers and pushes
+// one deviated candidate per non-path in-edge (Algorithm 5 lines 11–20).
+func (e *Engine) pushDeviations(s *scratch, p *cand, bound int, setup bool) {
+	d := e.d
+	u := p.pos
+	for {
+		if d.IsClockPin(u) {
+			return // reached the launching CK pin
+		}
+		ft := s.prop.Auto(u, p.gid)
+		from := ft.From
+		for _, ai := range d.FanIn(u) {
+			arc := &d.Arcs[ai]
+			w := arc.From
+			if w == from {
+				continue
+			}
+			wt := s.prop.Auto(w, p.gid)
+			if !wt.Valid {
+				continue
+			}
+			var delay, cost model.Time
+			if setup {
+				delay = arc.Delay.Late
+				cost = ft.Time - (wt.Time + delay)
+			} else {
+				delay = arc.Delay.Early
+				cost = wt.Time + delay - ft.Time
+			}
+			if cost < 0 {
+				panic(fmt.Sprintf("core: negative deviation cost %v at %s -> %s",
+					cost, d.PinName(w), d.PinName(u)))
+			}
+			// Cheap pre-check before allocating the candidate: a full
+			// heap rejects anything at or past its current maximum.
+			slack := p.slack + cost
+			if s.heap.Len() >= bound {
+				if m, _ := s.heap.MaxKey(); m <= int64(slack) {
+					continue
+				}
+			}
+			s.heap.PushBounded(int64(slack), &cand{
+				slack:  slack,
+				pos:    w,
+				parent: p,
+				devTo:  u,
+				capFF:  p.capFF,
+				gid:    p.gid,
+			}, bound)
+		}
+		if from == model.NoPin {
+			return // reached a primary-input seed
+		}
+		u = from
+	}
+}
+
+// launchOf resolves the launching pin (CK pin or PI) of a candidate in
+// O(1) from the origin tag its prefix tuple carries.
+func (e *Engine) launchOf(prop *sta.Prop, p *cand) model.PinID {
+	if e.d.IsClockPin(p.pos) {
+		return p.pos
+	}
+	return prop.Auto(p.pos, p.gid).Origin
+}
+
+// reconstruct materialises the full pin sequence of a candidate:
+// the backwalk of its prefix, then each ancestor's suffix after the
+// corresponding deviation edge.
+func (e *Engine) reconstruct(prop *sta.Prop, p *cand) []model.PinID {
+	// Collect the chain root-first.
+	var chain []*cand
+	for c := p; c != nil; c = c.parent {
+		chain = append(chain, c)
+	}
+	// chain[len-1] is the root candidate.
+	var path []model.PinID
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		prefix := e.backwalk(prop, c.pos, c.gid)
+		if c.devTo == model.NoPin {
+			path = prefix
+			continue
+		}
+		// Splice: prefix + suffix of current path from devTo onward.
+		cut := -1
+		for idx, pin := range path {
+			if pin == c.devTo {
+				cut = idx
+				break
+			}
+		}
+		if cut < 0 {
+			panic("core: deviation head not on parent path")
+		}
+		spliced := make([]model.PinID, 0, len(prefix)+len(path)-cut)
+		spliced = append(spliced, prefix...)
+		spliced = append(spliced, path[cut:]...)
+		path = spliced
+	}
+	return path
+}
+
+// backwalk returns the pin sequence from the seed (CK pin or PI) to pos,
+// in forward order.
+func (e *Engine) backwalk(prop *sta.Prop, pos model.PinID, gid int32) []model.PinID {
+	var rev []model.PinID
+	u := pos
+	for {
+		rev = append(rev, u)
+		if e.d.IsClockPin(u) {
+			break
+		}
+		t := prop.Auto(u, gid)
+		if t.From == model.NoPin {
+			break
+		}
+		u = t.From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// runPOJob generates output-check candidates at constrained primary
+// outputs: pre-CPPR arrivals from every launch point (FF Q pins and
+// PIs), ranked against each PO's required window. Output paths have no
+// capture clock path and carry no credit.
+func (e *Engine) runPOJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
+	setup := opts.Mode == model.Setup
+	s.prop.Reset(e.d.NumPins())
+	for i := range e.d.FFs {
+		if opts.launchExcluded(i) {
+			continue
+		}
+		ff := &e.d.FFs[i]
+		arr := e.tree.Arrival(ff.Clock)
+		var qAt model.Time
+		if setup {
+			qAt = arr.Late + e.ckq[i].Late
+		} else {
+			qAt = arr.Early + e.ckq[i].Early
+		}
+		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
+	}
+	for i, pi := range e.d.PIs {
+		if opts.ExcludeLaunchPin != nil && opts.ExcludeLaunchPin[pi] {
+			continue
+		}
+		arr := e.d.PIArrival[i]
+		var t model.Time
+		if setup {
+			t = arr.Late
+		} else {
+			t = arr.Early
+		}
+		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
+	}
+	s.prop.Run(e.d, setup)
+
+	s.heap.Reset()
+	for i, po := range e.d.POs {
+		if !e.d.POConstrained[i] {
+			continue
+		}
+		tup := s.prop.At(po)
+		if !tup.Valid {
+			continue
+		}
+		req := e.d.PORequired[i]
+		var slack model.Time
+		if setup {
+			slack = req.Late - tup.Time
+		} else {
+			slack = tup.Time - req.Early
+		}
+		s.heap.PushBounded(int64(slack), &cand{
+			slack: slack,
+			pos:   po,
+			devTo: model.NoPin,
+			capFF: model.NoFF,
+			gid:   noGroupQuery,
+		}, k)
+	}
+
+	return e.popAndFilter(s, j, k, opts, gb, func(o *jobOut) bool {
+		o.lcaDepth = -1
+		o.credit = 0
+		return true
+	})
+}
+
+// EndpointSlacksCPPR computes the exact post-CPPR worst slack of every
+// FF test endpoint in O(nD): for each candidate-generation job, the best
+// (root-candidate) slack at each capture FF is recorded, and the
+// per-endpoint minimum across jobs is taken.
+//
+// Correctness: for endpoint e with true worst post-CPPR path p* at LCA
+// depth d*, every job value at e is >= slack_CPPR of some candidate
+// >= slack_CPPR(p*) (the d-PR dominance lemma, PROOFS.md L3), and the
+// level-d* job yields exactly slack_CPPR(p*) (L2). Self-loop, PI and
+// cross-domain jobs cover the remaining path classes the same way.
+//
+// This turns the paper's top-k machinery into a full post-CPPR signoff
+// summary (per-endpoint WNS) at the cost of a single k=1 query.
+func (e *Engine) EndpointSlacksCPPR(opts Options) []EndpointCPPRSlack {
+	out := make([]EndpointCPPRSlack, len(e.d.FFs))
+	for i := range out {
+		out[i].FF = model.FFID(i)
+	}
+	if len(e.d.FFs) == 0 {
+		return out
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	opts.K = 1
+	jobs := e.jobPlan(opts)
+	if threads > len(jobs) {
+		threads = len(jobs)
+	}
+
+	var mu sync.Mutex
+	merge := func(slacks []model.Time, valid []bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range out {
+			if valid[i] && (!out[i].Valid || slacks[i] < out[i].Slack) {
+				out[i].Slack, out[i].Valid = slacks[i], true
+			}
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newScratch()
+			slacks := make([]model.Time, len(e.d.FFs))
+			valid := make([]bool, len(e.d.FFs))
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= len(jobs) {
+					return
+				}
+				if jobs[j].kind == jobPO {
+					continue // PO endpoints are not FF tests
+				}
+				e.endpointBest(s, jobs[j], opts, slacks, valid)
+				merge(slacks, valid)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// EndpointCPPRSlack is one endpoint's exact post-CPPR worst slack.
+type EndpointCPPRSlack struct {
+	FF    model.FFID
+	Slack model.Time
+	Valid bool
+}
+
+// endpointBest runs one job's seeding/propagation and records the best
+// slack at every capture FF (the root-candidate values of Algorithm 5)
+// into slacks/valid.
+func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []model.Time, valid []bool) {
+	setup := opts.Mode == model.Setup
+	for i := range valid {
+		valid[i] = false
+	}
+	s.prop.Reset(e.d.NumPins())
+	grouped := false
+	switch spec.kind {
+	case jobLevel:
+		e.tree.FillLevel(spec.level, &s.lt)
+		grouped = true
+	case jobCross:
+		e.tree.FillCrossDomain(&s.lt)
+		grouped = true
+	case jobSelfLoop:
+		for i := range e.d.FFs {
+			if opts.launchExcluded(i) {
+				continue
+			}
+			ff := &e.d.FFs[i]
+			arr := e.tree.Arrival(ff.Clock)
+			credit := e.tree.Credit(ff.Clock)
+			var qAt model.Time
+			if setup {
+				qAt = arr.Late + e.ckq[i].Late - credit
+			} else {
+				qAt = arr.Early + e.ckq[i].Early + credit
+			}
+			s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
+		}
+	case jobPI:
+		for i, pi := range e.d.PIs {
+			if opts.ExcludeLaunchPin != nil && opts.ExcludeLaunchPin[pi] {
+				continue
+			}
+			arr := e.d.PIArrival[i]
+			var t model.Time
+			if setup {
+				t = arr.Late
+			} else {
+				t = arr.Early
+			}
+			s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
+		}
+	}
+	if grouped {
+		for i := range e.d.FFs {
+			if opts.launchExcluded(i) {
+				continue
+			}
+			ff := &e.d.FFs[i]
+			gid := e.tree.GroupOf(&s.lt, ff.Clock)
+			if gid < 0 {
+				continue
+			}
+			arr := e.tree.Arrival(ff.Clock)
+			credit := e.tree.CreditAtDOf(&s.lt, ff.Clock)
+			var qAt model.Time
+			if setup {
+				qAt = arr.Late + e.ckq[i].Late - credit
+			} else {
+				qAt = arr.Early + e.ckq[i].Early + credit
+			}
+			s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
+		}
+	}
+	s.prop.Run(e.d, setup)
+	for i := range e.d.FFs {
+		if opts.captureExcluded(i) {
+			continue
+		}
+		ff := &e.d.FFs[i]
+		var tup sta.Tuple
+		if grouped {
+			gid := e.tree.GroupOf(&s.lt, ff.Clock)
+			if gid < 0 {
+				continue
+			}
+			tup = s.prop.Auto(ff.Data, gid)
+		} else {
+			tup = s.prop.At(ff.Data)
+		}
+		if !tup.Valid {
+			continue
+		}
+		slacks[i] = e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
+		valid[i] = true
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/baseline"
+	"fastcppr/model"
+)
+
+func TestPOEndpointsMatchOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		spec := gen.SmallOracle(seed)
+		spec.NumPOs = 4
+		d := gen.MustGenerate(spec)
+		e := NewEngine(d)
+		for _, mode := range model.Modes {
+			brute := baseline.AllPathsWithPOs(d, mode)
+			baseline.SortPaths(brute)
+			for _, k := range []int{1, 8, 40, len(brute) + 5} {
+				got := e.TopPaths(Options{K: k, Mode: mode, Threads: 2, IncludePOs: true})
+				validatePaths(t, d, mode, got.Paths)
+				want := brute
+				if len(want) > k {
+					want = want[:k]
+				}
+				if !equalSlacks(slacksOf(got.Paths), baseline.Slacks(want)) {
+					t.Fatalf("seed %d %v k=%d: slacks differ\ngot:  %v\nwant: %v",
+						seed, mode, k, slacksOf(got.Paths), baseline.Slacks(want))
+				}
+			}
+		}
+	}
+}
+
+func TestPOPathsHaveNoCredit(t *testing.T) {
+	spec := gen.SmallOracle(2)
+	spec.NumPOs = 4
+	d := gen.MustGenerate(spec)
+	e := NewEngine(d)
+	res := e.TopPaths(Options{K: 1000, Mode: model.Setup, IncludePOs: true})
+	poPaths := 0
+	for _, p := range res.Paths {
+		if !p.EndsAtPO() {
+			continue
+		}
+		poPaths++
+		if p.Credit != 0 || p.LCADepth != -1 {
+			t.Fatalf("PO path has credit %v depth %d", p.Credit, p.LCADepth)
+		}
+		if d.Pins[p.EndPin()].Kind != model.PO {
+			t.Fatal("EndsAtPO path does not end at a PO")
+		}
+	}
+	if poPaths == 0 {
+		t.Fatal("no PO paths reported with IncludePOs")
+	}
+}
+
+func TestPOsExcludedByDefault(t *testing.T) {
+	spec := gen.SmallOracle(2)
+	spec.NumPOs = 4
+	d := gen.MustGenerate(spec)
+	e := NewEngine(d)
+	res := e.TopPaths(Options{K: 10_000, Mode: model.Setup})
+	for _, p := range res.Paths {
+		if p.EndsAtPO() {
+			t.Fatal("PO path reported without IncludePOs")
+		}
+	}
+	// Default (paper-faithful) behaviour matches the FF-only oracle.
+	brute := baseline.AllPaths(d, model.Setup)
+	if len(res.Paths) != len(brute) {
+		t.Fatalf("got %d paths, FF-only oracle has %d", len(res.Paths), len(brute))
+	}
+}
+
+func TestUnconstrainedPOsProduceNoJob(t *testing.T) {
+	b := model.NewBuilder("nopo", model.Ns(1))
+	clk := b.AddClockRoot("clk")
+	ff := b.AddFF("ff", 1, 1, model.Window{Early: 1, Late: 2})
+	b.AddArc(clk, ff.Clock, model.Window{Early: 1, Late: 2})
+	g := b.AddComb("g")
+	po := b.AddPO("out") // unconstrained
+	b.AddArc(ff.Q, g, model.Window{Early: 1, Late: 2})
+	b.AddArc(g, ff.D, model.Window{Early: 1, Late: 2})
+	b.AddArc(g, po, model.Window{Early: 1, Late: 2})
+	d := b.MustBuild()
+	e := NewEngine(d)
+	with := e.TopPaths(Options{K: 10, Mode: model.Setup, IncludePOs: true})
+	without := e.TopPaths(Options{K: 10, Mode: model.Setup})
+	if with.Stats.Jobs != without.Stats.Jobs {
+		t.Fatalf("unconstrained PO created a job: %d vs %d", with.Stats.Jobs, without.Stats.Jobs)
+	}
+}

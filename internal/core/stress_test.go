@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/baseline"
+	"fastcppr/model"
+)
+
+// TestStressPresetsAgainstPairwise sweeps every Table III preset at a
+// tiny scale and cross-checks the paper's algorithm against the
+// independent pairwise implementation at several k, both modes. This is
+// the widest randomized agreement net in the suite; skipped in -short.
+func TestStressPresetsAgainstPairwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset stress sweep is slow")
+	}
+	for _, name := range gen.PresetNames() {
+		spec, err := gen.PresetSpec(name, 0.004)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := gen.MustGenerate(spec)
+		e := NewEngine(d)
+		pw := baseline.NewPairwise(d, e.Tree())
+		for _, mode := range model.Modes {
+			for _, k := range []int{1, 25, 400} {
+				ours := e.TopPaths(Options{K: k, Mode: mode, Threads: 3})
+				ref := pw.TopPaths(mode, k, 2)
+				if !equalSlacks(slacksOf(ours.Paths), slacksOf(ref)) {
+					t.Fatalf("%s %v k=%d: engines disagree (%d vs %d paths)",
+						name, mode, k, len(ours.Paths), len(ref))
+				}
+			}
+		}
+		// Per-endpoint summary is consistent with global top-1.
+		sl := e.EndpointSlacksCPPR(Options{Mode: model.Setup, Threads: 2})
+		res := e.TopPaths(Options{K: 1, Mode: model.Setup})
+		if len(res.Paths) > 0 {
+			worst := model.MaxTime
+			for _, s := range sl {
+				if s.Valid && s.Slack < worst {
+					worst = s.Slack
+				}
+			}
+			if worst != res.Paths[0].Slack {
+				t.Fatalf("%s: endpoint summary worst %v, top-1 %v", name, worst, res.Paths[0].Slack)
+			}
+		}
+	}
+}

@@ -1,0 +1,433 @@
+// Package experiments regenerates the tables and figures of the paper's
+// evaluation section on synthetic stand-ins for the TAU benchmarks:
+//
+//	Table III — benchmark statistics
+//	Table IV  — runtime/memory of four timers × designs × k, with ratios
+//	Figure 5  — runtime/memory vs. k on the leon2-class design
+//	Figure 6  — runtime/memory vs. thread count at k=1000
+//
+// plus an accuracy audit (the paper's "full accuracy" claim) that checks
+// every algorithm against the brute-force oracle and pairwise against the
+// LCA engine on larger designs.
+//
+// Both cmd/cpprbench and the repository-root benchmarks drive these
+// functions; keeping them here guarantees the CLI and `go test -bench`
+// report the same experiment definitions.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/internal/baseline"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Scale scales the Table III element counts (1.0 = published size).
+	// The default 0.02 sizes the full suite for a laptop-class machine.
+	Scale float64
+	// Designs restricts the preset list; empty means all eight.
+	Designs []string
+	// Ks are the path counts measured by Table IV.
+	Ks []int
+	// Threads is the "parallel" thread count of the paper's setup
+	// (ours/OpenTimer/iTimerC use 8 threads there).
+	Threads int
+	// MaxTuples/MaxPops are the baseline failure budgets (0 = default).
+	MaxTuples, MaxPops int
+	// OursOnly restricts Table IV / Figure 5 to the LCA engine — used
+	// for full-published-size capability runs where the baselines'
+	// #FF-proportional costs are prohibitive.
+	OursOnly bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.02
+	}
+	if len(c.Designs) == 0 {
+		c.Designs = gen.PresetNames()
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{1, 100, 10000}
+	}
+	if c.Threads == 0 {
+		// The paper compares at 8 threads on a 40-core machine. On a
+		// host without real parallelism extra workers are pure
+		// overhead, so default to the host's usable parallelism.
+		c.Threads = 8
+		if n := runtime.NumCPU(); n < 8 {
+			c.Threads = n
+		}
+	}
+	return c
+}
+
+// HostInfo describes the measurement host for report headers.
+func HostInfo() string {
+	return fmt.Sprintf("host: %d CPU core(s), GOMAXPROCS=%d — the paper used 40 cores; with 1 core, multi-thread rows measure scheduling overhead only", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
+
+// designCache generates each preset at most once per run.
+type designCache struct {
+	scale  float64
+	byName map[string]*model.Design
+}
+
+func newDesignCache(scale float64) *designCache {
+	return &designCache{scale: scale, byName: map[string]*model.Design{}}
+}
+
+func (dc *designCache) get(name string) (*model.Design, error) {
+	if d, ok := dc.byName[name]; ok {
+		return d, nil
+	}
+	spec, err := gen.PresetSpec(name, dc.scale)
+	if err != nil {
+		return nil, err
+	}
+	d, err := gen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	dc.byName[name] = d
+	return d, nil
+}
+
+// Table3 prints the benchmark-statistics table with the published values
+// alongside the generated stand-ins.
+func Table3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	t := report.NewTable(
+		fmt.Sprintf("Table III: benchmark statistics (synthetic stand-ins, scale %g; paper values in parentheses)", cfg.Scale),
+		"Benchmark", "#Edges", "#FFs", "D", "#FFs/D", "FF connectivity")
+	for _, name := range cfg.Designs {
+		d, err := dc.get(name)
+		if err != nil {
+			return err
+		}
+		s := d.StatsWithConnectivity()
+		pEdges, pFFs, pDepth, pConn, _ := gen.PaperStats(name)
+		t.Add(
+			name,
+			fmt.Sprintf("%d (%d)", s.NumEdges, pEdges),
+			fmt.Sprintf("%d (%d)", s.NumFFs, pFFs),
+			fmt.Sprintf("%d (%d)", s.Depth, pDepth),
+			fmt.Sprintf("%.2f", s.FFsPerD),
+			fmt.Sprintf("%.2f (%.2f)", s.Connectivity, pConn),
+		)
+	}
+	_, err := fmt.Fprintln(cfg.Out, t)
+	return err
+}
+
+// cell is one measured Table IV entry.
+type cell struct {
+	seconds float64
+	mb      float64
+	failed  bool // budget exceeded (the paper's MLE)
+}
+
+func (c cell) rt() string {
+	if c.failed {
+		return "MLE"
+	}
+	return fmt.Sprintf("%.3f", c.seconds)
+}
+
+func (c cell) mem() string {
+	if c.failed {
+		return "MLE"
+	}
+	return fmt.Sprintf("%.1f", c.mb)
+}
+
+// runCell measures one timer configuration over both setup and hold (the
+// paper's Table IV measures both tests together).
+func runCell(timer *cppr.Timer, algo cppr.Algorithm, k, threads int) cell {
+	var failed bool
+	m := report.Measure(func() {
+		for _, mode := range model.Modes {
+			_, err := timer.Report(cppr.Options{K: k, Mode: mode, Threads: threads, Algorithm: algo})
+			if err != nil {
+				failed = true
+				return
+			}
+		}
+	})
+	return cell{
+		seconds: m.Wall.Seconds(),
+		mb:      float64(m.PeakBytes) / (1 << 20),
+		failed:  failed,
+	}
+}
+
+// table4Config describes one measured column of Table IV.
+type table4Config struct {
+	label   string
+	algo    cppr.Algorithm
+	threads int
+}
+
+func table4Columns(threads int, oursOnly bool) []table4Config {
+	cols := []table4Config{
+		{fmt.Sprintf("ours-%dT", threads), cppr.AlgoLCA, threads},
+	}
+	if threads != 1 {
+		cols = append(cols, table4Config{"ours-1T", cppr.AlgoLCA, 1})
+	}
+	if oursOnly {
+		return cols
+	}
+	return append(cols,
+		table4Config{fmt.Sprintf("pairwise-%dT", threads), cppr.AlgoPairwise, threads},
+		table4Config{"blockwise-1T", cppr.AlgoBlockwise, 1},
+		table4Config{fmt.Sprintf("bnb-%dT", threads), cppr.AlgoBranchAndBound, threads},
+	)
+}
+
+// Table4 prints the performance comparison: runtime and peak memory for
+// every timer on every design and k, plus ratios against ours-8T
+// (mirroring the layout of the paper's Table IV).
+func Table4(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	cols := table4Columns(cfg.Threads, cfg.OursOnly)
+
+	headers := []string{"Benchmark", "k"}
+	for _, c := range cols {
+		headers = append(headers, c.label+" RT(s)", c.label+" Mem(MB)")
+	}
+	for _, c := range cols[1:] {
+		headers = append(headers, c.label+" RTR")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Table IV: top-k post-CPPR runtime/memory, setup+hold (scale %g, ratios vs %s)", cfg.Scale, cols[0].label),
+		headers...)
+
+	type ratioKey struct {
+		label string
+		k     int
+	}
+	type ratioAcc struct {
+		sum   float64
+		count int
+	}
+	ratioByColK := map[ratioKey]*ratioAcc{}
+
+	for _, name := range cfg.Designs {
+		d, err := dc.get(name)
+		if err != nil {
+			return err
+		}
+		timer := cppr.NewTimer(d)
+		timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+		for _, k := range cfg.Ks {
+			row := []string{name, fmt.Sprint(k)}
+			cells := make([]cell, len(cols))
+			for i, c := range cols {
+				cells[i] = runCell(timer, c.algo, k, c.threads)
+				row = append(row, cells[i].rt(), cells[i].mem())
+			}
+			base := cells[0].seconds
+			for i, c := range cols[1:] {
+				if cells[i+1].failed || base == 0 {
+					row = append(row, "MLE")
+					continue
+				}
+				r := cells[i+1].seconds / base
+				row = append(row, fmt.Sprintf("%.2f", r))
+				key := ratioKey{label: c.label, k: k}
+				acc := ratioByColK[key]
+				if acc == nil {
+					acc = &ratioAcc{}
+					ratioByColK[key] = acc
+				}
+				acc.sum += r
+				acc.count++
+			}
+			t.Add(row...)
+		}
+	}
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+
+	avg := report.NewTable("Average runtime ratios (baseline / ours-parallel; >1 means ours is faster)",
+		"Config", "k", "Avg RTR")
+	keys := make([]ratioKey, 0, len(ratioByColK))
+	for key := range ratioByColK {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].label != keys[j].label {
+			return keys[i].label < keys[j].label
+		}
+		return keys[i].k < keys[j].k
+	})
+	for _, key := range keys {
+		acc := ratioByColK[key]
+		avg.Add(key.label, fmt.Sprint(key.k), fmt.Sprintf("%.2f", acc.sum/float64(acc.count)))
+	}
+	_, err := fmt.Fprintln(cfg.Out, avg)
+	return err
+}
+
+// Fig5 prints runtime and memory versus k on the leon2-class design for
+// all four timers (the paper's Figure 5).
+func Fig5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	d, err := dc.get("leon2")
+	if err != nil {
+		return err
+	}
+	timer := cppr.NewTimer(d)
+	timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+	ks := []int{1, 10, 100, 1000, 10000}
+	cols := table4Columns(cfg.Threads, cfg.OursOnly)
+	headers := []string{"k"}
+	for _, c := range cols {
+		headers = append(headers, c.label+" RT", c.label+" Mem")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5: runtime(s) and memory(MB) vs k on leon2 (scale %g, setup+hold)", cfg.Scale),
+		headers...)
+	for _, k := range ks {
+		row := []string{fmt.Sprint(k)}
+		for _, c := range cols {
+			cell := runCell(timer, c.algo, k, c.threads)
+			row = append(row, cell.rt(), cell.mem())
+		}
+		t.Add(row...)
+	}
+	_, err = fmt.Fprintln(cfg.Out, t)
+	return err
+}
+
+// Fig6 prints runtime and memory versus thread count at k=1000 on the
+// leon2-class design for the parallelisable timers (the paper's
+// Figure 6; iTimerC is omitted there too).
+func Fig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	d, err := dc.get("leon2")
+	if err != nil {
+		return err
+	}
+	timer := cppr.NewTimer(d)
+	timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+	const k = 1000
+	threads := []int{1, 2, 4, 8, 16}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 6: runtime(s) and memory(MB) vs threads, k=%d on leon2 (scale %g, setup+hold)", k, cfg.Scale),
+		"threads", "ours RT", "ours Mem", "pairwise RT", "pairwise Mem")
+	for _, th := range threads {
+		row := []string{fmt.Sprint(th)}
+		for _, algo := range []cppr.Algorithm{cppr.AlgoLCA, cppr.AlgoPairwise} {
+			cell := runCell(timer, algo, k, th)
+			row = append(row, cell.rt(), cell.mem())
+		}
+		t.Add(row...)
+	}
+	_, err = fmt.Fprintln(cfg.Out, t)
+	return err
+}
+
+// Accuracy audits the "full accuracy" claim: every algorithm must agree
+// with the brute-force oracle on small designs and with each other on a
+// medium design. It returns an error on any mismatch.
+func Accuracy(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := report.NewTable("Accuracy audit: top-k slack agreement across all algorithms",
+		"design", "mode", "k", "paths", "status")
+	for seed := int64(0); seed < 6; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		timer := cppr.NewTimer(d)
+		for _, mode := range model.Modes {
+			for _, k := range []int{1, 10, 1000} {
+				want := slackKey(baseline.BruteForce(d, mode, k))
+				for _, algo := range cppr.Algorithms {
+					rep, err := timer.Report(cppr.Options{K: k, Mode: mode, Algorithm: algo, Threads: 4})
+					if err != nil {
+						return fmt.Errorf("accuracy: %s %v k=%d %v: %v", d.Name, mode, k, algo, err)
+					}
+					if got := slackKey(rep.Paths); got != want {
+						return fmt.Errorf("accuracy: %s %v k=%d: %v disagrees with brute force",
+							d.Name, mode, k, algo)
+					}
+				}
+				t.Add(d.Name, mode.String(), fmt.Sprint(k), fmt.Sprint(lenBrute(d, mode, k)), "OK")
+			}
+		}
+	}
+	_, err := fmt.Fprintln(cfg.Out, t)
+	return err
+}
+
+func lenBrute(d *model.Design, mode model.Mode, k int) int {
+	return len(baseline.BruteForce(d, mode, k))
+}
+
+// slackKey canonicalises a path list into a comparable string of sorted
+// slacks.
+func slackKey(paths []model.Path) string {
+	s := baseline.Slacks(paths)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return fmt.Sprint(s)
+}
+
+// RerankAblation quantifies the error of the inexact pre-CPPR-then-
+// rerank heuristic against the exact engine — the repository's answer to
+// "why not just re-rank the pre-CPPR report?".
+func RerankAblation(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	t := report.NewTable("Rerank-heuristic ablation: true top-k paths missed by pre-CPPR-then-rerank",
+		"design", "mode", "k", "missed", "worst-slack error")
+	for _, name := range cfg.Designs {
+		d, err := dc.get(name)
+		if err != nil {
+			return err
+		}
+		timer := cppr.NewTimer(d)
+		for _, mode := range model.Modes {
+			for _, k := range []int{10, 100, 1000} {
+				exact, err := timer.Report(cppr.Options{K: k, Mode: mode, Threads: cfg.Threads})
+				if err != nil {
+					return err
+				}
+				heur, err := timer.Report(cppr.Options{K: k, Mode: mode, Algorithm: cppr.AlgoRerankInexact})
+				if err != nil {
+					return err
+				}
+				missed, worstErr := baseline.RerankError(exact.Paths, heur.Paths)
+				t.Add(name, mode.String(), fmt.Sprint(k), fmt.Sprint(missed), worstErr.String())
+			}
+		}
+	}
+	_, err := fmt.Fprintln(cfg.Out, t)
+	return err
+}
+
+// ErrBudget re-exports the baseline budget error for callers that want
+// to render MLE cells themselves.
+var ErrBudget = baseline.ErrBudget
+
+// IsBudget reports whether err is a budget (MLE-analogue) failure.
+func IsBudget(err error) bool { return errors.Is(err, baseline.ErrBudget) }

@@ -1,0 +1,390 @@
+// Package lca provides the clock-tree query structures used by the CPPR
+// timers: per-node arrival windows and credits, ancestor-at-depth queries
+// f_d(u), and lowest-common-ancestor queries via two interchangeable
+// implementations (binary lifting and Euler-tour RMQ).
+//
+// All structures are built once per design in O(n log n) and are
+// read-only afterwards, so they are safe for concurrent use by the
+// parallel per-level jobs.
+package lca
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fastcppr/model"
+)
+
+// Tree holds the preprocessed clock tree of a design.
+type Tree struct {
+	d *model.Design
+
+	// idx maps PinID -> compact clock-pin index (-1 for non-clock pins).
+	idx []int32
+	// pins maps compact index -> PinID, in topological (parent-first)
+	// order.
+	pins []model.PinID
+	// parent/depth are over compact indices; parent[root] = -1.
+	parent []int32
+	depth  []int32
+	// treeID[i] is the compact index of i's domain root; LCA queries
+	// across different roots have no answer (no shared clock path).
+	treeID []int32
+
+	// arrival[i] is the early/late clock arrival window of pins[i];
+	// credit[i] = arrival[i].Width() (the CPPR credit).
+	arrival []model.Window
+	credit  []model.Time
+
+	// up[j][i] is the 2^j-th ancestor of i (compact), or -1.
+	up [][]int32
+
+	// Euler tour for O(1) LCA: tour of compact nodes, first visit
+	// positions, and a sparse table of minimum-depth positions.
+	tourNode  []int32
+	tourFirst []int32
+	sparse    [][]int32
+}
+
+// New builds the clock-tree structures for d.
+func New(d *model.Design) *Tree {
+	t := &Tree{d: d}
+	n := d.NumPins()
+	t.idx = make([]int32, n)
+	for i := range t.idx {
+		t.idx[i] = -1
+	}
+	// Compact pins in topological order so parents precede children.
+	for _, u := range d.Topo {
+		if d.IsClockPin(u) {
+			t.idx[u] = int32(len(t.pins))
+			t.pins = append(t.pins, u)
+		}
+	}
+	nc := len(t.pins)
+	t.parent = make([]int32, nc)
+	t.depth = make([]int32, nc)
+	t.treeID = make([]int32, nc)
+	t.arrival = make([]model.Window, nc)
+	t.credit = make([]model.Time, nc)
+	for i, u := range t.pins {
+		if d.Pins[u].Kind == model.ClockRoot {
+			t.parent[i] = -1
+			t.depth[i] = 0
+			t.treeID[i] = int32(i)
+			t.arrival[i] = model.Window{}
+		} else {
+			p := t.idx[d.ClockParent[u]]
+			t.parent[i] = p
+			t.depth[i] = t.depth[p] + 1
+			t.treeID[i] = t.treeID[p]
+			t.arrival[i] = t.arrival[p].Add(d.Arcs[d.ClockParentArc[u]].Delay)
+		}
+		t.credit[i] = t.arrival[i].Width()
+	}
+	t.buildLifting()
+	t.buildEuler()
+	return t
+}
+
+// buildLifting fills the binary-lifting ancestor tables.
+func (t *Tree) buildLifting() {
+	nc := len(t.pins)
+	maxDepth := int32(0)
+	for _, dep := range t.depth {
+		if dep > maxDepth {
+			maxDepth = dep
+		}
+	}
+	levels := 1
+	if maxDepth > 0 {
+		levels = bits.Len(uint(maxDepth)) // 2^(levels-1) <= maxDepth
+	}
+	t.up = make([][]int32, levels)
+	t.up[0] = t.parent
+	for j := 1; j < levels; j++ {
+		t.up[j] = make([]int32, nc)
+		prev := t.up[j-1]
+		for i := 0; i < nc; i++ {
+			if prev[i] < 0 {
+				t.up[j][i] = -1
+			} else {
+				t.up[j][i] = prev[prev[i]]
+			}
+		}
+	}
+}
+
+// buildEuler constructs the Euler tour and its sparse min-table.
+func (t *Tree) buildEuler() {
+	nc := len(t.pins)
+	// Children lists (compact).
+	childStart := make([]int32, nc+1)
+	for i := 0; i < nc; i++ {
+		if t.parent[i] >= 0 {
+			childStart[t.parent[i]+1]++
+		}
+	}
+	for i := 0; i < nc; i++ {
+		childStart[i+1] += childStart[i]
+	}
+	children := make([]int32, nc-1+1) // nc-1 non-root nodes; +1 guards nc==0 edge
+	pos := make([]int32, nc)
+	for i := 0; i < nc; i++ {
+		if p := t.parent[i]; p >= 0 {
+			children[childStart[p]+pos[p]] = int32(i)
+			pos[p]++
+		}
+	}
+
+	t.tourNode = make([]int32, 0, 2*nc-1)
+	t.tourFirst = make([]int32, nc)
+	for i := range t.tourFirst {
+		t.tourFirst[i] = -1
+	}
+	// Euler tours, one per domain root (roots have parent -1; compaction
+	// follows topological order so each root precedes its tree).
+	// Goroutine stacks grow on demand, so recursion to the clock-tree
+	// depth is fine. Tours are concatenated; same-tree queries stay
+	// within one tour segment, and cross-tree queries are rejected by
+	// the treeID check before the RMQ is consulted.
+	var build func(u int32)
+	build = func(u int32) {
+		t.tourFirst[u] = int32(len(t.tourNode))
+		t.tourNode = append(t.tourNode, u)
+		for c := childStart[u]; c < childStart[u+1]; c++ {
+			build(children[c])
+			t.tourNode = append(t.tourNode, u)
+		}
+	}
+	for i := 0; i < nc; i++ {
+		if t.parent[i] < 0 {
+			build(int32(i))
+		}
+	}
+
+	m := len(t.tourNode)
+	levels := 1
+	if m > 1 {
+		levels = bits.Len(uint(m)) // floor(log2(m)) + 1
+	}
+	t.sparse = make([][]int32, levels)
+	t.sparse[0] = t.tourNode
+	for j := 1; j < levels; j++ {
+		span := 1 << j
+		row := make([]int32, m-span+1)
+		prev := t.sparse[j-1]
+		half := 1 << (j - 1)
+		for i := range row {
+			a, b := prev[i], prev[i+half]
+			if t.depth[a] <= t.depth[b] {
+				row[i] = a
+			} else {
+				row[i] = b
+			}
+		}
+		t.sparse[j] = row
+	}
+}
+
+// compact returns the compact index of clock pin u, panicking on
+// non-clock pins (caller bug).
+func (t *Tree) compact(u model.PinID) int32 {
+	i := t.idx[u]
+	if i < 0 {
+		panic(fmt.Sprintf("lca: pin %q is not a clock pin", t.d.PinName(u)))
+	}
+	return i
+}
+
+// NumClockPins returns the number of clock-tree nodes.
+func (t *Tree) NumClockPins() int { return len(t.pins) }
+
+// ClockPins returns the clock pins in topological (parent-first) order.
+// The returned slice is owned by the Tree; do not modify.
+func (t *Tree) ClockPins() []model.PinID { return t.pins }
+
+// Depth returns the clock-tree depth of u (root = 0).
+func (t *Tree) Depth(u model.PinID) int { return int(t.depth[t.compact(u)]) }
+
+// Arrival returns the early/late clock arrival window at u.
+func (t *Tree) Arrival(u model.PinID) model.Window { return t.arrival[t.compact(u)] }
+
+// Credit returns the CPPR credit at u: at_late(u) - at_early(u).
+func (t *Tree) Credit(u model.PinID) model.Time { return t.credit[t.compact(u)] }
+
+// AncestorAtDepth returns f_dep(u): the ancestor of u at depth dep.
+// It returns model.NoPin when dep exceeds u's depth.
+func (t *Tree) AncestorAtDepth(u model.PinID, dep int) model.PinID {
+	i := t.compact(u)
+	delta := int(t.depth[i]) - dep
+	if delta < 0 {
+		return model.NoPin
+	}
+	for j := 0; delta != 0; j++ {
+		if delta&1 != 0 {
+			i = t.up[j][i]
+		}
+		delta >>= 1
+	}
+	return t.pins[i]
+}
+
+// LCA returns the lowest common ancestor of clock pins u and v using the
+// Euler-tour RMQ structure (O(1) per query), or model.NoPin when u and v
+// belong to different clock domains.
+func (t *Tree) LCA(u, v model.PinID) model.PinID {
+	a, b := t.compact(u), t.compact(v)
+	if t.treeID[a] != t.treeID[b] {
+		return model.NoPin
+	}
+	return t.pins[t.lcaCompact(a, b)]
+}
+
+func (t *Tree) lcaCompact(a, b int32) int32 {
+	l, r := t.tourFirst[a], t.tourFirst[b]
+	if l > r {
+		l, r = r, l
+	}
+	j := bits.Len(uint(r-l+1)) - 1
+	x, y := t.sparse[j][l], t.sparse[j][r-(1<<j)+1]
+	if t.depth[x] <= t.depth[y] {
+		return x
+	}
+	return y
+}
+
+// LCALifting returns the same result as LCA using binary lifting
+// (O(log depth) per query). Kept as an ablation alternative; the two are
+// cross-checked in tests.
+func (t *Tree) LCALifting(u, v model.PinID) model.PinID {
+	a, b := t.compact(u), t.compact(v)
+	if t.treeID[a] != t.treeID[b] {
+		return model.NoPin
+	}
+	if t.depth[a] < t.depth[b] {
+		a, b = b, a
+	}
+	delta := t.depth[a] - t.depth[b]
+	for j := 0; delta != 0; j++ {
+		if delta&1 != 0 {
+			a = t.up[j][a]
+		}
+		delta >>= 1
+	}
+	if a == b {
+		return t.pins[a]
+	}
+	for j := len(t.up) - 1; j >= 0; j-- {
+		if t.up[j][a] != t.up[j][b] {
+			a = t.up[j][a]
+			b = t.up[j][b]
+		}
+	}
+	return t.pins[t.parent[a]]
+}
+
+// LCADepth returns depth(LCA(u, v)), or -1 for cross-domain pairs.
+func (t *Tree) LCADepth(u, v model.PinID) int {
+	a, b := t.compact(u), t.compact(v)
+	if t.treeID[a] != t.treeID[b] {
+		return -1
+	}
+	return int(t.depth[t.lcaCompact(a, b)])
+}
+
+// SameDomain reports whether two clock pins share a clock domain.
+func (t *Tree) SameDomain(u, v model.PinID) bool {
+	return t.treeID[t.compact(u)] == t.treeID[t.compact(v)]
+}
+
+// DomainRoot returns the domain root pin of clock pin u.
+func (t *Tree) DomainRoot(u model.PinID) model.PinID {
+	return t.pins[t.treeID[t.compact(u)]]
+}
+
+// NumDomains returns the number of clock domains (roots).
+func (t *Tree) NumDomains() int {
+	n := 0
+	for i := range t.parent {
+		if t.parent[i] < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// LevelTables holds per-level lookup tables produced by FillLevel. The
+// slices are indexed by compact clock-pin index; reuse one LevelTables
+// per worker across levels to avoid reallocation.
+type LevelTables struct {
+	// Group is the node-grouping key of the paper's Figure 3: the
+	// compact index of f_{d+1}(u) for pins with depth > d, and -1 for
+	// pins at depth <= d.
+	Group []int32
+	// CreditAtD is credit(f_d(u)) for pins with depth >= d; undefined
+	// (stale) for shallower pins — guarded by Group/depth checks at the
+	// call sites.
+	CreditAtD []model.Time
+}
+
+// FillCrossDomain fills tables for the cross-domain candidate job: the
+// group of every clock pin is its domain root and the credit offset is
+// zero (cross-domain pairs share no clock path). This is the "level -1"
+// of the level enumeration, only meaningful for multi-domain designs.
+func (t *Tree) FillCrossDomain(lt *LevelTables) {
+	nc := len(t.pins)
+	if cap(lt.Group) < nc {
+		lt.Group = make([]int32, nc)
+		lt.CreditAtD = make([]model.Time, nc)
+	}
+	lt.Group = lt.Group[:nc]
+	lt.CreditAtD = lt.CreditAtD[:nc]
+	copy(lt.Group, t.treeID)
+	for i := range lt.CreditAtD {
+		lt.CreditAtD[i] = 0
+	}
+}
+
+// FillLevel computes, in one O(#clock pins) pass, the group index
+// f_{d+1}(u) and the offset credit(f_d(u)) for every clock pin, for the
+// candidate-generation job at level dep.
+func (t *Tree) FillLevel(dep int, lt *LevelTables) {
+	nc := len(t.pins)
+	if cap(lt.Group) < nc {
+		lt.Group = make([]int32, nc)
+		lt.CreditAtD = make([]model.Time, nc)
+	}
+	lt.Group = lt.Group[:nc]
+	lt.CreditAtD = lt.CreditAtD[:nc]
+	d32 := int32(dep)
+	for i := 0; i < nc; i++ {
+		switch dp := t.depth[i]; {
+		case dp < d32:
+			lt.Group[i] = -1
+		case dp == d32:
+			lt.Group[i] = -1
+			lt.CreditAtD[i] = t.credit[i]
+		case dp == d32+1:
+			lt.Group[i] = int32(i)
+			lt.CreditAtD[i] = lt.CreditAtD[t.parent[i]]
+		default:
+			p := t.parent[i]
+			lt.Group[i] = lt.Group[p]
+			lt.CreditAtD[i] = lt.CreditAtD[p]
+		}
+	}
+}
+
+// GroupOf returns the compact group index (f_{d+1}) for clock pin u from
+// tables previously filled by FillLevel, or -1 when u is at or above the
+// cut level.
+func (t *Tree) GroupOf(lt *LevelTables, u model.PinID) int32 {
+	return lt.Group[t.compact(u)]
+}
+
+// CreditAtDOf returns credit(f_d(u)) from FillLevel tables. Only valid
+// for pins with depth >= d.
+func (t *Tree) CreditAtDOf(lt *LevelTables, u model.PinID) model.Time {
+	return lt.CreditAtD[t.compact(u)]
+}

@@ -1,0 +1,238 @@
+// Package mmheap implements an implicit binary min-max heap
+// (Atkinson, Sack, Santoro, Strothotte; CACM 1986).
+//
+// A min-max heap supports both pop-min and pop-max in O(log n), which lets
+// the CPPR path searches keep the k best candidates in O(k) space: paths
+// are popped from the min side in slack order while the max side evicts
+// candidates that can no longer rank among the k smallest (the "Min-Max-
+// Heap" of the paper's Algorithms 5 and 6).
+package mmheap
+
+import "math/bits"
+
+// Heap is a min-max heap over elements of type T ordered by a strict
+// less function supplied at construction. The zero value is not usable;
+// call New.
+type Heap[T any] struct {
+	less func(a, b T) bool
+	a    []T
+}
+
+// New returns an empty heap ordered by less. less must be a strict weak
+// ordering ("a orders before b").
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.a) }
+
+// Reset discards all elements but keeps the backing storage.
+func (h *Heap[T]) Reset() { h.a = h.a[:0] }
+
+// Grow pre-allocates capacity for n total elements.
+func (h *Heap[T]) Grow(n int) {
+	if cap(h.a) < n {
+		b := make([]T, len(h.a), n)
+		copy(b, h.a)
+		h.a = b
+	}
+}
+
+// onMinLevel reports whether index i lies on a min level (even depth).
+func onMinLevel(i int) bool {
+	return (bits.Len(uint(i)+1)-1)&1 == 0
+}
+
+// cmp orders a before b on a min level (min=true) or a max level.
+func (h *Heap[T]) cmp(min bool, a, b T) bool {
+	if min {
+		return h.less(a, b)
+	}
+	return h.less(b, a)
+}
+
+// Push inserts x.
+func (h *Heap[T]) Push(x T) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	if i == 0 {
+		return
+	}
+	p := (i - 1) / 2
+	if onMinLevel(i) {
+		if h.less(h.a[p], h.a[i]) {
+			h.a[p], h.a[i] = h.a[i], h.a[p]
+			h.bubbleUp(p, false)
+		} else {
+			h.bubbleUp(i, true)
+		}
+	} else {
+		if h.less(h.a[i], h.a[p]) {
+			h.a[p], h.a[i] = h.a[i], h.a[p]
+			h.bubbleUp(p, true)
+		} else {
+			h.bubbleUp(i, false)
+		}
+	}
+}
+
+// bubbleUp moves the element at i toward the root along grandparents.
+func (h *Heap[T]) bubbleUp(i int, min bool) {
+	for i > 2 {
+		g := ((i-1)/2 - 1) / 2
+		if h.cmp(min, h.a[i], h.a[g]) {
+			h.a[i], h.a[g] = h.a[g], h.a[i]
+			i = g
+		} else {
+			return
+		}
+	}
+}
+
+// Min returns the smallest element without removing it.
+func (h *Heap[T]) Min() (T, bool) {
+	var zero T
+	if len(h.a) == 0 {
+		return zero, false
+	}
+	return h.a[0], true
+}
+
+// Max returns the largest element without removing it.
+func (h *Heap[T]) Max() (T, bool) {
+	var zero T
+	switch len(h.a) {
+	case 0:
+		return zero, false
+	case 1:
+		return h.a[0], true
+	case 2:
+		return h.a[1], true
+	}
+	if h.less(h.a[1], h.a[2]) {
+		return h.a[2], true
+	}
+	return h.a[1], true
+}
+
+// PopMin removes and returns the smallest element.
+func (h *Heap[T]) PopMin() (T, bool) {
+	var zero T
+	n := len(h.a)
+	if n == 0 {
+		return zero, false
+	}
+	x := h.a[0]
+	last := n - 1
+	h.a[0] = h.a[last]
+	h.a[last] = zero // release references for GC
+	h.a = h.a[:last]
+	if last > 0 {
+		h.trickleDown(0, true)
+	}
+	return x, true
+}
+
+// PopMax removes and returns the largest element.
+func (h *Heap[T]) PopMax() (T, bool) {
+	var zero T
+	n := len(h.a)
+	switch n {
+	case 0:
+		return zero, false
+	case 1:
+		x := h.a[0]
+		h.a[0] = zero
+		h.a = h.a[:0]
+		return x, true
+	case 2:
+		x := h.a[1]
+		h.a[1] = zero
+		h.a = h.a[:1]
+		return x, true
+	}
+	i := 1
+	if h.less(h.a[1], h.a[2]) {
+		i = 2
+	}
+	x := h.a[i]
+	last := n - 1
+	if i != last {
+		h.a[i] = h.a[last]
+	}
+	h.a[last] = zero
+	h.a = h.a[:last]
+	if i < last {
+		h.trickleDown(i, false)
+	}
+	return x, true
+}
+
+// PushBounded inserts x into a heap constrained to hold at most bound
+// elements that are candidates for the bound smallest values. If the heap
+// is full and x orders at or after the current maximum, x is discarded and
+// PushBounded returns false; if the heap is full and x orders before the
+// maximum, the maximum is evicted. bound must be positive for any insert
+// to happen.
+func (h *Heap[T]) PushBounded(x T, bound int) bool {
+	if bound <= 0 {
+		return false
+	}
+	if len(h.a) < bound {
+		h.Push(x)
+		return true
+	}
+	max, _ := h.Max()
+	if !h.less(x, max) {
+		return false
+	}
+	// Evict enough to respect the bound (handles a bound that shrank
+	// between calls, as the searches tighten remaining-output counts).
+	for len(h.a) >= bound {
+		h.PopMax()
+	}
+	h.Push(x)
+	return true
+}
+
+// trickleDown restores the heap property downward from i on a min (or max)
+// level.
+func (h *Heap[T]) trickleDown(i int, min bool) {
+	n := len(h.a)
+	for {
+		// Find the extreme among children and grandchildren.
+		best := -1
+		c1, c2 := 2*i+1, 2*i+2
+		for _, j := range [6]int{c1, c2, 2*c1 + 1, 2*c1 + 2, 2*c2 + 1, 2*c2 + 2} {
+			if j < n && (best < 0 || h.cmp(min, h.a[j], h.a[best])) {
+				best = j
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if best <= c2 {
+			// best is a child: single comparison level.
+			if h.cmp(min, h.a[best], h.a[i]) {
+				h.a[best], h.a[i] = h.a[i], h.a[best]
+			}
+			return
+		}
+		// best is a grandchild.
+		if !h.cmp(min, h.a[best], h.a[i]) {
+			return
+		}
+		h.a[best], h.a[i] = h.a[i], h.a[best]
+		p := (best - 1) / 2
+		if h.cmp(min, h.a[p], h.a[best]) {
+			h.a[best], h.a[p] = h.a[p], h.a[best]
+		}
+		i = best
+	}
+}
+
+// Slice returns the underlying storage in heap order. The caller must not
+// modify element ordering-relevant state. Intended for draining: callers
+// that want sorted output should PopMin repeatedly instead.
+func (h *Heap[T]) Slice() []T { return h.a }

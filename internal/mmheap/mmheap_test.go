@@ -1,0 +1,336 @@
+package mmheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+// checkInvariant verifies the min-max heap property: every element on a
+// min level is <= all its descendants; every element on a max level is
+// >= all its descendants.
+func checkInvariant(t *testing.T, h *Heap[int]) {
+	t.Helper()
+	a := h.Slice()
+	var walk func(root, i int, min bool)
+	walk = func(root, i int, min bool) {
+		if i >= len(a) {
+			return
+		}
+		if i != root {
+			if min && a[i] < a[root] {
+				t.Fatalf("min-level violation: a[%d]=%d < a[%d]=%d (heap %v)", i, a[i], root, a[root], a)
+			}
+			if !min && a[i] > a[root] {
+				t.Fatalf("max-level violation: a[%d]=%d > a[%d]=%d (heap %v)", i, a[i], root, a[root], a)
+			}
+		}
+		walk(root, 2*i+1, min)
+		walk(root, 2*i+2, min)
+	}
+	for i := range a {
+		// Only need to check against children+grandchildren transitively;
+		// full subtree check is strictly stronger and still fast at test sizes.
+		walk(i, i, onMinLevel(i))
+	}
+}
+
+func TestOnMinLevel(t *testing.T) {
+	want := map[int]bool{0: true, 1: false, 2: false, 3: true, 4: true, 5: true, 6: true, 7: false, 14: false, 15: true}
+	for i, w := range want {
+		if onMinLevel(i) != w {
+			t.Errorf("onMinLevel(%d) = %v, want %v", i, onMinLevel(i), w)
+		}
+	}
+}
+
+func TestEmptyHeap(t *testing.T) {
+	h := intHeap()
+	if _, ok := h.Min(); ok {
+		t.Error("Min on empty returned ok")
+	}
+	if _, ok := h.Max(); ok {
+		t.Error("Max on empty returned ok")
+	}
+	if _, ok := h.PopMin(); ok {
+		t.Error("PopMin on empty returned ok")
+	}
+	if _, ok := h.PopMax(); ok {
+		t.Error("PopMax on empty returned ok")
+	}
+	if h.Len() != 0 {
+		t.Error("Len != 0")
+	}
+}
+
+func TestSmallSizes(t *testing.T) {
+	h := intHeap()
+	h.Push(5)
+	if mn, _ := h.Min(); mn != 5 {
+		t.Error("Min of single")
+	}
+	if mx, _ := h.Max(); mx != 5 {
+		t.Error("Max of single")
+	}
+	h.Push(3)
+	if mn, _ := h.Min(); mn != 3 {
+		t.Error("Min of two")
+	}
+	if mx, _ := h.Max(); mx != 5 {
+		t.Error("Max of two")
+	}
+	if x, _ := h.PopMax(); x != 5 {
+		t.Error("PopMax of two")
+	}
+	if x, _ := h.PopMin(); x != 3 {
+		t.Error("PopMin after PopMax")
+	}
+}
+
+func TestAscendingDrain(t *testing.T) {
+	h := intHeap()
+	rng := rand.New(rand.NewSource(1))
+	const n = 500
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(100) // duplicates likely
+		h.Push(vals[i])
+		checkInvariant(t, h)
+	}
+	sort.Ints(vals)
+	for i := 0; i < n; i++ {
+		got, ok := h.PopMin()
+		if !ok || got != vals[i] {
+			t.Fatalf("PopMin #%d = %d (ok=%v), want %d", i, got, ok, vals[i])
+		}
+	}
+}
+
+func TestDescendingDrain(t *testing.T) {
+	h := intHeap()
+	rng := rand.New(rand.NewSource(2))
+	const n = 500
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(100)
+		h.Push(vals[i])
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+	for i := 0; i < n; i++ {
+		got, ok := h.PopMax()
+		if !ok || got != vals[i] {
+			t.Fatalf("PopMax #%d = %d (ok=%v), want %d", i, got, ok, vals[i])
+		}
+		checkInvariant(t, h)
+	}
+}
+
+func TestInterleavedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := intHeap()
+	var ref []int
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(4); {
+		case r <= 1 || len(ref) == 0: // push
+			v := rng.Intn(1000)
+			h.Push(v)
+			ref = append(ref, v)
+			sort.Ints(ref)
+		case r == 2: // pop min
+			got, ok := h.PopMin()
+			if !ok || got != ref[0] {
+				t.Fatalf("op %d: PopMin = %d, want %d", op, got, ref[0])
+			}
+			ref = ref[1:]
+		default: // pop max
+			got, ok := h.PopMax()
+			if !ok || got != ref[len(ref)-1] {
+				t.Fatalf("op %d: PopMax = %d, want %d", op, got, ref[len(ref)-1])
+			}
+			ref = ref[:len(ref)-1]
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, h.Len(), len(ref))
+		}
+	}
+}
+
+func TestPushBounded(t *testing.T) {
+	h := intHeap()
+	if h.PushBounded(1, 0) {
+		t.Error("PushBounded with bound 0 accepted")
+	}
+	for i := 10; i > 0; i-- {
+		h.PushBounded(i, 5)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", h.Len())
+	}
+	// The 5 smallest of 10..1 are 1..5.
+	for want := 1; want <= 5; want++ {
+		got, _ := h.PopMin()
+		if got != want {
+			t.Fatalf("PopMin = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestPushBoundedRejectsWorse(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 5; i++ {
+		h.PushBounded(i, 5)
+	}
+	if h.PushBounded(100, 5) {
+		t.Error("accepted element worse than max at capacity")
+	}
+	if !h.PushBounded(-1, 5) {
+		t.Error("rejected element better than max")
+	}
+	if h.Len() != 5 {
+		t.Errorf("Len = %d, want 5", h.Len())
+	}
+	if mx, _ := h.Max(); mx != 3 {
+		t.Errorf("Max = %d, want 3 (4 evicted)", mx)
+	}
+}
+
+func TestPushBoundedShrinkingBound(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 10; i++ {
+		h.PushBounded(i, 10)
+	}
+	// Tighter bound must evict down to it on the next accepted push.
+	if !h.PushBounded(-1, 4) {
+		t.Fatal("push under tighter bound rejected")
+	}
+	if h.Len() != 4 {
+		t.Errorf("Len = %d, want 4", h.Len())
+	}
+	want := []int{-1, 0, 1, 2}
+	for _, w := range want {
+		got, _ := h.PopMin()
+		if got != w {
+			t.Fatalf("PopMin = %d, want %d", got, w)
+		}
+	}
+}
+
+func TestPushBoundedEqualToMax(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 3; i++ {
+		h.PushBounded(7, 3)
+	}
+	if h.PushBounded(7, 3) {
+		t.Error("equal-to-max must be rejected (strict less)")
+	}
+}
+
+func TestGrowAndReset(t *testing.T) {
+	h := intHeap()
+	h.Grow(100)
+	if cap(h.a) < 100 {
+		t.Error("Grow did not allocate")
+	}
+	h.Push(1)
+	h.Push(2)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Error("Reset did not empty heap")
+	}
+	if _, ok := h.PopMin(); ok {
+		t.Error("PopMin after Reset")
+	}
+}
+
+func TestQuickHeapProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := intHeap()
+		ref := make([]int, 0, len(vals))
+		for _, v := range vals {
+			h.Push(int(v))
+			ref = append(ref, int(v))
+		}
+		sort.Ints(ref)
+		// Alternate popping from both ends; must match sorted reference.
+		lo, hi := 0, len(ref)-1
+		for i := 0; lo <= hi; i++ {
+			if i%2 == 0 {
+				got, ok := h.PopMin()
+				if !ok || got != ref[lo] {
+					return false
+				}
+				lo++
+			} else {
+				got, ok := h.PopMax()
+				if !ok || got != ref[hi] {
+					return false
+				}
+				hi--
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoundedKeepsKSmallest(t *testing.T) {
+	f := func(vals []int16, kRaw uint8) bool {
+		k := int(kRaw)%16 + 1
+		h := intHeap()
+		ref := make([]int, 0, len(vals))
+		for _, v := range vals {
+			h.PushBounded(int(v), k)
+			ref = append(ref, int(v))
+		}
+		sort.Ints(ref)
+		if len(ref) > k {
+			ref = ref[:k]
+		}
+		for _, want := range ref {
+			got, ok := h.PopMin()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPopMin(b *testing.B) {
+	h := intHeap()
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int, 1024)
+	for i := range vals {
+		vals[i] = rng.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(vals[i%len(vals)])
+		if h.Len() > 512 {
+			h.PopMin()
+		}
+	}
+}
+
+func BenchmarkPushBounded(b *testing.B) {
+	h := intHeap()
+	rng := rand.New(rand.NewSource(10))
+	vals := make([]int, 1024)
+	for i := range vals {
+		vals[i] = rng.Int()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.PushBounded(vals[i%len(vals)], 256)
+	}
+}

@@ -1,0 +1,176 @@
+// Package report provides the text-table rendering and runtime/memory
+// measurement used by the benchmark harness that regenerates the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; extra or missing cells are tolerated.
+func (t *Table) Add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Addf appends a row of formatted cells: each argument is rendered with
+// %v unless it is already a string.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		if s, ok := c.(string); ok {
+			row[i] = s
+		} else {
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Measurement is the outcome of one measured run.
+type Measurement struct {
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+	// AllocBytes is the total heap allocation performed by the run
+	// (monotonic; unaffected by GC).
+	AllocBytes uint64
+	// PeakBytes is the peak live heap observed by a background sampler
+	// during the run, relative to the pre-run baseline. It approximates
+	// the "memory" columns of the paper's Table IV.
+	PeakBytes uint64
+}
+
+// Measure runs f once and reports wall time, total allocation, and
+// sampled peak heap growth.
+func Measure(f func()) Measurement {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	f()
+	wall := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	m := Measurement{Wall: wall, AllocBytes: after.TotalAlloc - before.TotalAlloc}
+	if p := peak.Load(); p > before.HeapAlloc {
+		m.PeakBytes = p - before.HeapAlloc
+	}
+	if after.HeapAlloc > before.HeapAlloc {
+		if d := after.HeapAlloc - before.HeapAlloc; d > m.PeakBytes {
+			m.PeakBytes = d
+		}
+	}
+	return m
+}
+
+// Seconds renders a duration as seconds with millisecond precision.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// MB renders a byte count in mebibytes.
+func MB(b uint64) string {
+	return fmt.Sprintf("%.1f", float64(b)/(1<<20))
+}
+
+// Ratio renders a/b with two decimals, or "-" when b is zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", a/b)
+}

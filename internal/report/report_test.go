@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Addf("beta", 22.5)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-----") {
+		t.Errorf("rule line = %q", lines[2])
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "22.5") {
+		t.Errorf("missing cells in\n%s", s)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Columns aligned: "alpha" and "beta " share a column width.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "22.5") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("x", "extra", "cells")
+	tb.Add()
+	s := tb.String()
+	if !strings.Contains(s, "extra") {
+		t.Errorf("ragged row dropped: %q", s)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	m := Measure(func() {
+		buf := make([][]byte, 0, 64)
+		for i := 0; i < 64; i++ {
+			buf = append(buf, make([]byte, 1<<20))
+		}
+		time.Sleep(10 * time.Millisecond)
+		_ = buf
+	})
+	if m.Wall < 10*time.Millisecond {
+		t.Errorf("Wall = %v, want >= 10ms", m.Wall)
+	}
+	if m.AllocBytes < 60<<20 {
+		t.Errorf("AllocBytes = %d, want >= 60MiB", m.AllocBytes)
+	}
+	if m.PeakBytes < 30<<20 {
+		t.Errorf("PeakBytes = %d, want >= 30MiB", m.PeakBytes)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := MB(3 << 20); got != "3.0" {
+		t.Errorf("MB = %q", got)
+	}
+	if got := Ratio(3, 2); got != "1.50" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(3, 0); got != "-" {
+		t.Errorf("Ratio/0 = %q", got)
+	}
+}

@@ -1,0 +1,156 @@
+package sta
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fastcppr/model"
+)
+
+// Incr maintains graph-based arrival windows under arc-delay updates:
+// the incremental-timing substrate (the TAU 2015 contest theme the paper
+// targets with its incremental-friendly design). After each batch of
+// SetArcDelay calls, Flush re-propagates only the affected fan-out cone
+// in topological order, touching each affected pin once.
+//
+// Incr reads delays from the design's arc table; callers that mutate
+// delays (cppr.Timer.SetArcDelay) notify Incr through SetArcDelay so the
+// dirty cone is tracked.
+type Incr struct {
+	d   *model.Design
+	gba *GBA
+	// topoIndex orders pins for the dirty-cone worklist.
+	topoIndex []int32
+	// queued marks pins already in the worklist.
+	queued []bool
+	wl     topoQueue
+	// stats
+	recomputed int
+}
+
+// NewIncr builds the incremental engine with a full initial propagation.
+func NewIncr(d *model.Design) *Incr {
+	x := &Incr{
+		d:         d,
+		gba:       Propagate(d),
+		topoIndex: make([]int32, d.NumPins()),
+		queued:    make([]bool, d.NumPins()),
+	}
+	for i, u := range d.Topo {
+		x.topoIndex[u] = int32(i)
+	}
+	x.wl.idx = &x.topoIndex
+	return x
+}
+
+// AT returns the current arrival windows. The returned GBA is live: it
+// reflects updates after each Flush.
+func (x *Incr) AT() *GBA { return x.gba }
+
+// Recomputed returns the number of pin recomputations performed since
+// construction — the measure of incremental work saved versus full
+// propagation.
+func (x *Incr) Recomputed() int { return x.recomputed }
+
+// SetArcDelay updates the delay of arc ai in the underlying design and
+// marks its sink dirty. The change takes effect on Flush.
+func (x *Incr) SetArcDelay(ai int32, delay model.Window) error {
+	if ai < 0 || int(ai) >= x.d.NumArcs() {
+		return fmt.Errorf("sta: arc index %d out of range", ai)
+	}
+	if delay.Early < 0 || delay.Early > delay.Late {
+		return fmt.Errorf("sta: invalid delay window %v", delay)
+	}
+	arc := &x.d.Arcs[ai]
+	if arc.Delay == delay {
+		return nil
+	}
+	arc.Delay = delay
+	x.enqueue(arc.To)
+	return nil
+}
+
+// Flush re-propagates the dirty cone and returns the number of pins
+// whose arrival window changed.
+func (x *Incr) Flush() int {
+	changed := 0
+	for x.wl.Len() > 0 {
+		v := heap.Pop(&x.wl).(model.PinID)
+		x.queued[v] = false
+		x.recomputed++
+		at, valid := x.recomputePin(v)
+		if valid == x.gba.Valid[v] && (!valid || at == x.gba.AT[v]) {
+			continue // no change; cone pruned here
+		}
+		x.gba.AT[v] = at
+		x.gba.Valid[v] = valid
+		changed++
+		for _, ai := range x.d.FanOut(v) {
+			x.enqueue(x.d.Arcs[ai].To)
+		}
+	}
+	return changed
+}
+
+func (x *Incr) enqueue(v model.PinID) {
+	if !x.queued[v] {
+		x.queued[v] = true
+		heap.Push(&x.wl, v)
+	}
+}
+
+// recomputePin rebuilds v's window from its seeds and fan-in.
+func (x *Incr) recomputePin(v model.PinID) (model.Window, bool) {
+	var at model.Window
+	valid := false
+	// Seed contributions.
+	if x.d.Pins[v].Kind == model.ClockRoot {
+		at, valid = model.Window{}, true
+	}
+	for i, p := range x.d.PIs {
+		if p == v {
+			at, valid = x.d.PIArrival[i], true
+			break
+		}
+	}
+	for _, ai := range x.d.FanIn(v) {
+		arc := &x.d.Arcs[ai]
+		if !x.gba.Valid[arc.From] {
+			continue
+		}
+		w := x.gba.AT[arc.From]
+		early := w.Early + arc.Delay.Early
+		late := w.Late + arc.Delay.Late
+		if !valid {
+			at, valid = model.Window{Early: early, Late: late}, true
+			continue
+		}
+		if early < at.Early {
+			at.Early = early
+		}
+		if late > at.Late {
+			at.Late = late
+		}
+	}
+	return at, valid
+}
+
+// topoQueue is a min-heap of pins ordered by topological index, so the
+// dirty cone is processed parents-first and each pin at most once per
+// Flush.
+type topoQueue struct {
+	pins []model.PinID
+	idx  *[]int32
+}
+
+func (q *topoQueue) Len() int { return len(q.pins) }
+func (q *topoQueue) Less(i, j int) bool {
+	return (*q.idx)[q.pins[i]] < (*q.idx)[q.pins[j]]
+}
+func (q *topoQueue) Swap(i, j int) { q.pins[i], q.pins[j] = q.pins[j], q.pins[i] }
+func (q *topoQueue) Push(v any)    { q.pins = append(q.pins, v.(model.PinID)) }
+func (q *topoQueue) Pop() any {
+	v := q.pins[len(q.pins)-1]
+	q.pins = q.pins[:len(q.pins)-1]
+	return v
+}

@@ -1,0 +1,137 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// checkAgainstFull compares incremental state with a from-scratch
+// propagation.
+func checkAgainstFull(t *testing.T, d *model.Design, x *Incr, when string) {
+	t.Helper()
+	ref := Propagate(d)
+	got := x.AT()
+	for u := 0; u < d.NumPins(); u++ {
+		if got.Valid[u] != ref.Valid[u] {
+			t.Fatalf("%s: pin %s validity %v, want %v", when, d.PinName(model.PinID(u)), got.Valid[u], ref.Valid[u])
+		}
+		if got.Valid[u] && got.AT[u] != ref.AT[u] {
+			t.Fatalf("%s: pin %s AT %v, want %v", when, d.PinName(model.PinID(u)), got.AT[u], ref.AT[u])
+		}
+	}
+}
+
+func TestIncrMatchesFullAfterRandomUpdates(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		d := gen.MustGenerate(gen.Medium(seed))
+		x := NewIncr(d)
+		checkAgainstFull(t, d, x, "initial")
+		rng := rand.New(rand.NewSource(seed + 500))
+		for step := 0; step < 30; step++ {
+			ai := int32(rng.Intn(d.NumArcs()))
+			old := d.Arcs[ai].Delay
+			nw := model.Window{
+				Early: old.Early + model.Time(rng.Intn(41)-20),
+				Late:  old.Late + model.Time(rng.Intn(41)-20),
+			}
+			if nw.Early < 0 {
+				nw.Early = 0
+			}
+			if nw.Late < nw.Early {
+				nw.Late = nw.Early
+			}
+			if err := x.SetArcDelay(ai, nw); err != nil {
+				t.Fatal(err)
+			}
+			x.Flush()
+			checkAgainstFull(t, d, x, "after update")
+		}
+	}
+}
+
+func TestIncrBatchedUpdates(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(9))
+	x := NewIncr(d)
+	rng := rand.New(rand.NewSource(1))
+	// Apply a batch before a single Flush.
+	for i := 0; i < 20; i++ {
+		ai := int32(rng.Intn(d.NumArcs()))
+		old := d.Arcs[ai].Delay
+		if err := x.SetArcDelay(ai, model.Window{Early: old.Early, Late: old.Late + 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Flush()
+	checkAgainstFull(t, d, x, "after batch")
+}
+
+func TestIncrNoChangeIsFree(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(3))
+	x := NewIncr(d)
+	before := x.Recomputed()
+	ai := int32(4)
+	if err := x.SetArcDelay(ai, d.Arcs[ai].Delay); err != nil {
+		t.Fatal(err)
+	}
+	if changed := x.Flush(); changed != 0 {
+		t.Fatalf("no-op update changed %d pins", changed)
+	}
+	if x.Recomputed() != before {
+		t.Fatal("no-op update recomputed pins")
+	}
+}
+
+func TestIncrConePruning(t *testing.T) {
+	// A change that cancels out (delay within the slack of a merge)
+	// must not propagate past the merge point.
+	b := model.NewBuilder("prune", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+	ff := b.AddFF("ff", 1, 1, model.Window{Early: 10, Late: 10})
+	b.AddArc(clk, ff.Clock, model.Window{Early: 1, Late: 1})
+	a := b.AddComb("a")
+	m := b.AddComb("m")
+	z := b.AddComb("z")
+	b.AddArc(ff.Q, a, model.Window{Early: 10, Late: 100})
+	b.AddArc(ff.Q, m, model.Window{Early: 5, Late: 200}) // dominates both bounds
+	b.AddArc(a, m, model.Window{Early: 50, Late: 50})
+	b.AddArc(m, z, model.Window{Early: 1, Late: 1})
+	b.AddArc(m, ff.D, model.Window{Early: 1, Late: 1})
+	d := b.MustBuild()
+	x := NewIncr(d)
+
+	// Changing the a->m edge within the dominated range must stop at m.
+	ai := d.ArcBetween(a, m)
+	before := x.Recomputed()
+	if err := x.SetArcDelay(ai, model.Window{Early: 55, Late: 60}); err != nil {
+		t.Fatal(err)
+	}
+	changed := x.Flush()
+	if changed != 0 {
+		t.Fatalf("dominated update changed %d pins", changed)
+	}
+	// Only m itself may have been recomputed.
+	if got := x.Recomputed() - before; got != 1 {
+		t.Fatalf("recomputed %d pins, want 1 (the merge point)", got)
+	}
+	checkAgainstFull(t, d, x, "after dominated update")
+}
+
+func TestIncrRejectsBadInput(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(0))
+	x := NewIncr(d)
+	if err := x.SetArcDelay(-1, model.Window{}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := x.SetArcDelay(int32(d.NumArcs()), model.Window{}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := x.SetArcDelay(0, model.Window{Early: 5, Late: 2}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if err := x.SetArcDelay(0, model.Window{Early: -1, Late: 2}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package sta implements the static timing analysis substrate: graph-based
+// early/late arrival propagation, per-endpoint pre-CPPR slacks, and the
+// tagged arrival-tuple propagation engine (the paper's Table II at/at'
+// structure) on which both the CPPR core algorithm and the baseline timers
+// are built.
+package sta
+
+import (
+	"fastcppr/model"
+)
+
+// GBA holds graph-based (per-pin, path-merged) arrival windows: the
+// classical early/late bounds of block-based STA. AT[u].Early is the
+// minimum early arrival over all paths into u; AT[u].Late is the maximum
+// late arrival. Valid[u] is false for pins with no timing source.
+type GBA struct {
+	AT    []model.Window
+	Valid []bool
+}
+
+// Propagate computes graph-based arrival windows for every pin of d,
+// seeding the clock root at time zero and primary inputs at their external
+// arrival windows.
+func Propagate(d *model.Design) *GBA {
+	n := d.NumPins()
+	g := &GBA{
+		AT:    make([]model.Window, n),
+		Valid: make([]bool, n),
+	}
+	for _, r := range d.Roots {
+		g.Valid[r] = true
+	}
+	for i, p := range d.PIs {
+		g.AT[p] = d.PIArrival[i]
+		g.Valid[p] = true
+	}
+	for _, u := range d.Topo {
+		if !g.Valid[u] {
+			continue
+		}
+		at := g.AT[u]
+		for _, ai := range d.FanOut(u) {
+			a := &d.Arcs[ai]
+			early := at.Early + a.Delay.Early
+			late := at.Late + a.Delay.Late
+			v := a.To
+			if !g.Valid[v] {
+				g.AT[v] = model.Window{Early: early, Late: late}
+				g.Valid[v] = true
+				continue
+			}
+			if early < g.AT[v].Early {
+				g.AT[v].Early = early
+			}
+			if late > g.AT[v].Late {
+				g.AT[v].Late = late
+			}
+		}
+	}
+	return g
+}
+
+// EndpointSlack holds the pre-CPPR worst slack of one FF's test endpoint.
+type EndpointSlack struct {
+	FF    model.FFID
+	Slack model.Time
+	Valid bool // false when no data path reaches the D pin
+}
+
+// EndpointSlacks computes graph-based pre-CPPR slacks at every FF D pin
+// for the given mode. These are the "before CPPR" numbers a conventional
+// timer reports, and the reference for the pessimism statistics in the
+// examples.
+func EndpointSlacks(d *model.Design, g *GBA, mode model.Mode) []EndpointSlack {
+	out := make([]EndpointSlack, len(d.FFs))
+	for i := range d.FFs {
+		ff := &d.FFs[i]
+		out[i].FF = model.FFID(i)
+		if !g.Valid[ff.Data] || !g.Valid[ff.Clock] {
+			continue
+		}
+		ck := g.AT[ff.Clock]
+		dat := g.AT[ff.Data]
+		out[i].Valid = true
+		if mode == model.Setup {
+			out[i].Slack = ck.Early + d.Period - ff.Setup - dat.Late
+		} else {
+			out[i].Slack = dat.Early - (ck.Late + ff.Hold)
+		}
+	}
+	return out
+}
+
+// WorstSlack returns the minimum valid endpoint slack, or ok=false when no
+// endpoint is constrained.
+func WorstSlack(slacks []EndpointSlack) (model.Time, bool) {
+	var worst model.Time
+	found := false
+	for _, s := range slacks {
+		if !s.Valid {
+			continue
+		}
+		if !found || s.Slack < worst {
+			worst = s.Slack
+			found = true
+		}
+	}
+	return worst, found
+}
+
+// ---------------------------------------------------------------------------
+// Tagged arrival-tuple propagation (the paper's Table II structure).
+
+// NoGroup marks a tuple that carries no node-grouping tag (self-loop and
+// primary-input searches, Algorithms 3 and 4).
+const NoGroup int32 = -1
+
+// Tuple is a tagged arrival: the best (latest for setup, earliest for
+// hold) known arrival time at a pin, the predecessor pin it came from, the
+// group tag of the path's origin, and the origin (seed) pin itself —
+// the launching CK pin or primary input the tuple's path starts at.
+type Tuple struct {
+	Time   model.Time
+	From   model.PinID
+	Origin model.PinID
+	Group  int32
+	Valid  bool
+}
+
+// Prop is the dual arrival-tuple array: A[u] is at(u), the best tuple;
+// B[u] is at'(u), the best tuple whose group differs from A[u]'s group.
+// One Prop is scratch space for one candidate-generation job; jobs on
+// different goroutines use separate Props.
+type Prop struct {
+	A, B []Tuple
+}
+
+// Reset prepares the arrays for a design with n pins, clearing previous
+// state while reusing storage.
+func (p *Prop) Reset(n int) {
+	if cap(p.A) < n {
+		p.A = make([]Tuple, n)
+		p.B = make([]Tuple, n)
+	}
+	p.A = p.A[:n]
+	p.B = p.B[:n]
+	clearTuples(p.A)
+	clearTuples(p.B)
+}
+
+func clearTuples(ts []Tuple) {
+	for i := range ts {
+		ts[i] = Tuple{}
+	}
+}
+
+// better reports whether time a beats time b under the mode: larger
+// arrivals are more critical for setup, smaller for hold. Strict, so the
+// first-offered tuple wins ties, keeping reconstruction deterministic.
+func better(setup bool, a, b model.Time) bool {
+	if setup {
+		return a > b
+	}
+	return a < b
+}
+
+// Offer presents a candidate arrival tuple at pin v, maintaining the
+// invariants: A[v] is the best tuple seen; B[v] is the best tuple whose
+// group differs from A[v].Group; B is never better than A.
+func (p *Prop) Offer(v model.PinID, t model.Time, from, origin model.PinID, group int32, setup bool) {
+	a := &p.A[v]
+	if !a.Valid {
+		*a = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
+		return
+	}
+	if group == a.Group {
+		if better(setup, t, a.Time) {
+			a.Time, a.From, a.Origin = t, from, origin
+		}
+		return
+	}
+	if better(setup, t, a.Time) {
+		p.B[v] = *a
+		*a = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
+		return
+	}
+	b := &p.B[v]
+	if !b.Valid || better(setup, t, b.Time) {
+		*b = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
+	}
+}
+
+// Run propagates the seeded tuples through the graph in topological
+// order, using late delays for setup and early delays for hold.
+func (p *Prop) Run(d *model.Design, setup bool) {
+	for _, u := range d.Topo {
+		a := p.A[u]
+		if !a.Valid {
+			continue
+		}
+		b := p.B[u]
+		for _, ai := range d.FanOut(u) {
+			arc := &d.Arcs[ai]
+			var delay model.Time
+			if setup {
+				delay = arc.Delay.Late
+			} else {
+				delay = arc.Delay.Early
+			}
+			p.Offer(arc.To, a.Time+delay, u, a.Origin, a.Group, setup)
+			if b.Valid {
+				p.Offer(arc.To, b.Time+delay, u, b.Origin, b.Group, setup)
+			}
+		}
+	}
+}
+
+// Auto returns at_auto(u, gid): A[u] when its group differs from gid,
+// otherwise the fallback B[u]. The returned tuple may be invalid
+// (Valid=false) when no path from a different group reaches u.
+func (p *Prop) Auto(u model.PinID, gid int32) Tuple {
+	a := p.A[u]
+	if !a.Valid || a.Group != gid {
+		return a
+	}
+	return p.B[u]
+}
+
+// At returns at(u) ignoring grouping — the accessor used by the
+// ungrouped searches (Algorithms 3 and 4), where at_auto(u, gid) is
+// replaced by at(u).
+func (p *Prop) At(u model.PinID) Tuple { return p.A[u] }

@@ -1,0 +1,335 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// buildDiamond creates a small design with reconvergent data paths:
+//
+//	clk -> b -> ff1/CK, ff2/CK
+//	ff1/Q -> g1 -> g3 -> ff2/D
+//	ff1/Q -> g2 -> g3
+//	in -> g2
+func buildDiamond(t testing.TB) *model.Design {
+	t.Helper()
+	b := model.NewBuilder("diamond", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+	cb := b.AddClockBuf("b")
+	b.AddArc(clk, cb, model.Window{Early: 10, Late: 15})
+	ff1 := b.AddFF("ff1", 20, 10, model.Window{Early: 30, Late: 40})
+	ff2 := b.AddFF("ff2", 20, 10, model.Window{Early: 30, Late: 40})
+	b.AddArc(cb, ff1.Clock, model.Window{Early: 5, Late: 8})
+	b.AddArc(cb, ff2.Clock, model.Window{Early: 6, Late: 9})
+	g1 := b.AddComb("g1")
+	g2 := b.AddComb("g2")
+	g3 := b.AddComb("g3")
+	in := b.AddPI("in", model.Window{Early: 2, Late: 4})
+	b.AddArc(ff1.Q, g1, model.Window{Early: 100, Late: 150})
+	b.AddArc(ff1.Q, g2, model.Window{Early: 50, Late: 60})
+	b.AddArc(in, g2, model.Window{Early: 10, Late: 12})
+	b.AddArc(g1, g3, model.Window{Early: 20, Late: 25})
+	b.AddArc(g2, g3, model.Window{Early: 30, Late: 35})
+	b.AddArc(g3, ff2.D, model.Window{Early: 40, Late: 45})
+	return b.MustBuild()
+}
+
+func TestPropagateDiamond(t *testing.T) {
+	d := buildDiamond(t)
+	g := Propagate(d)
+	ck1, _ := d.PinByName("ff1/CK")
+	if got := g.AT[ck1]; got != (model.Window{Early: 15, Late: 23}) {
+		t.Errorf("AT(ff1/CK) = %v", got)
+	}
+	q1, _ := d.PinByName("ff1/Q")
+	if got := g.AT[q1]; got != (model.Window{Early: 45, Late: 63}) {
+		t.Errorf("AT(ff1/Q) = %v", got)
+	}
+	g3p, _ := d.PinByName("g3")
+	// early(g3) = min(45+100+20, min(45+50, 2+10)+30) = min(165, 42) = 42
+	// late(g3)  = max(63+150+25, max(63+60, 4+12)+35) = max(238, 158) = 238
+	if got := g.AT[g3p]; got != (model.Window{Early: 42, Late: 238}) {
+		t.Errorf("AT(g3) = %v", got)
+	}
+	d2, _ := d.PinByName("ff2/D")
+	if got := g.AT[d2]; got != (model.Window{Early: 82, Late: 283}) {
+		t.Errorf("AT(ff2/D) = %v", got)
+	}
+	// Every pin except the undriven ff1/D must be reachable.
+	d1, _ := d.PinByName("ff1/D")
+	for id, v := range g.Valid {
+		if !v && model.PinID(id) != d1 {
+			t.Errorf("pin %s unreachable", d.PinName(model.PinID(id)))
+		}
+	}
+	if g.Valid[d1] {
+		t.Error("ff1/D should be unreachable (no fan-in)")
+	}
+}
+
+func TestEndpointSlacks(t *testing.T) {
+	d := buildDiamond(t)
+	g := Propagate(d)
+	setup := EndpointSlacks(d, g, model.Setup)
+	hold := EndpointSlacks(d, g, model.Hold)
+	// ff1/D has no fan-in: invalid endpoint.
+	if setup[0].Valid {
+		t.Error("ff1 endpoint should be invalid (no D fan-in)")
+	}
+	if !setup[1].Valid || !hold[1].Valid {
+		t.Fatal("ff2 endpoint should be valid")
+	}
+	// ff2: ck = [16, 24]; D = [82, 283]
+	// setup = 16 + 10000 - 20 - 283 = 9713
+	if setup[1].Slack != 9713 {
+		t.Errorf("setup slack = %v, want 9713", setup[1].Slack.Ps())
+	}
+	// hold = 82 - (24 + 10) = 48
+	if hold[1].Slack != 48 {
+		t.Errorf("hold slack = %v, want 48", hold[1].Slack.Ps())
+	}
+	if w, ok := WorstSlack(setup); !ok || w != 9713 {
+		t.Errorf("WorstSlack = %v/%v", w, ok)
+	}
+	if _, ok := WorstSlack(nil); ok {
+		t.Error("WorstSlack of empty should be !ok")
+	}
+}
+
+func TestPropagateMatchesRecomputeOnRandomDesigns(t *testing.T) {
+	// The GBA late arrival at a D pin must equal the max over brute-
+	// force-enumerated path delays (and min for early).
+	for seed := int64(0); seed < 5; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		g := Propagate(d)
+		for fi := range d.FFs {
+			dp := d.FFs[fi].Data
+			if !g.Valid[dp] {
+				continue
+			}
+			early, late, found := bruteArrival(d, dp)
+			if !found {
+				t.Fatalf("seed %d: valid pin with no brute paths", seed)
+			}
+			if g.AT[dp].Early != early || g.AT[dp].Late != late {
+				t.Errorf("seed %d: AT(%s) = %v, brute = [%v, %v]",
+					seed, d.PinName(dp), g.AT[dp], early, late)
+			}
+		}
+	}
+}
+
+// bruteArrival enumerates all source-to-pin paths by reverse DFS and
+// returns the extreme early/late arrivals.
+func bruteArrival(d *model.Design, target model.PinID) (early, late model.Time, found bool) {
+	piArrival := make(map[model.PinID]model.Window)
+	for i, p := range d.PIs {
+		piArrival[p] = d.PIArrival[i]
+	}
+	var dfs func(u model.PinID, accEarly, accLate model.Time)
+	dfs = func(u model.PinID, accEarly, accLate model.Time) {
+		if u == d.Root {
+			report(&early, &late, &found, accEarly, accLate)
+			return
+		}
+		if w, ok := piArrival[u]; ok {
+			report(&early, &late, &found, accEarly+w.Early, accLate+w.Late)
+			return
+		}
+		for _, ai := range d.FanIn(u) {
+			a := d.Arcs[ai]
+			dfs(a.From, accEarly+a.Delay.Early, accLate+a.Delay.Late)
+		}
+	}
+	dfs(target, 0, 0)
+	return early, late, found
+}
+
+func report(early, late *model.Time, found *bool, e, l model.Time) {
+	if !*found {
+		*early, *late, *found = e, l, true
+		return
+	}
+	if e < *early {
+		*early = e
+	}
+	if l > *late {
+		*late = l
+	}
+}
+
+// --- Tuple engine tests ---
+
+func TestOfferMaintainsInvariants(t *testing.T) {
+	for _, setup := range []bool{true, false} {
+		var p Prop
+		p.Reset(1)
+		pin := model.PinID(0)
+		rng := rand.New(rand.NewSource(1))
+		type offered struct {
+			tm model.Time
+			g  int32
+		}
+		var all []offered
+		for i := 0; i < 2000; i++ {
+			tm := model.Time(rng.Intn(1000))
+			gid := int32(rng.Intn(5))
+			p.Offer(pin, tm, model.NoPin, model.NoPin, gid, setup)
+			all = append(all, offered{tm, gid})
+
+			// Reference: best overall; best with group != best's group.
+			bestIdx := 0
+			for j, o := range all {
+				if better(setup, o.tm, all[bestIdx].tm) {
+					bestIdx = j
+				}
+			}
+			a := p.A[pin]
+			if a.Time != all[bestIdx].tm {
+				t.Fatalf("setup=%v step %d: A.time = %v, want %v", setup, i, a.Time, all[bestIdx].tm)
+			}
+			var wantB *offered
+			for j := range all {
+				o := all[j]
+				if o.g == a.Group {
+					continue
+				}
+				if wantB == nil || better(setup, o.tm, wantB.tm) {
+					wantB = &all[j]
+				}
+			}
+			b := p.B[pin]
+			if wantB == nil {
+				if b.Valid {
+					t.Fatalf("setup=%v step %d: B valid with no other-group tuples", setup, i)
+				}
+			} else if !b.Valid || b.Time != wantB.tm {
+				t.Fatalf("setup=%v step %d: B.time = %v (valid %v), want %v", setup, i, b.Time, b.Valid, wantB.tm)
+			}
+		}
+	}
+}
+
+func TestAutoFallback(t *testing.T) {
+	var p Prop
+	p.Reset(1)
+	pin := model.PinID(0)
+	// No tuples: Auto is invalid.
+	if p.Auto(pin, 3).Valid {
+		t.Fatal("Auto on empty pin should be invalid")
+	}
+	p.Offer(pin, 100, model.NoPin, model.NoPin, 3, true)
+	p.Offer(pin, 90, model.NoPin, model.NoPin, 4, true)
+	if got := p.Auto(pin, 5); got.Time != 100 {
+		t.Errorf("Auto(other gid) = %v, want A (100)", got.Time)
+	}
+	if got := p.Auto(pin, 3); got.Time != 90 {
+		t.Errorf("Auto(gid 3) = %v, want B (90)", got.Time)
+	}
+	if got := p.Auto(pin, 4); got.Time != 100 {
+		t.Errorf("Auto(gid 4) = %v, want A (100)", got.Time)
+	}
+	if got := p.At(pin); got.Time != 100 {
+		t.Errorf("At = %v, want 100", got.Time)
+	}
+}
+
+func TestRunPropagatesBothTuples(t *testing.T) {
+	// Two launch groups feed a shared chain; the chain's end must hold
+	// both the best tuple and the other-group fallback.
+	b := model.NewBuilder("chain", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+	ff1 := b.AddFF("ff1", 1, 1, model.Window{Early: 10, Late: 10})
+	ff2 := b.AddFF("ff2", 1, 1, model.Window{Early: 10, Late: 10})
+	ff3 := b.AddFF("ff3", 1, 1, model.Window{Early: 10, Late: 10})
+	b.AddArc(clk, ff1.Clock, model.Window{Early: 1, Late: 2})
+	b.AddArc(clk, ff2.Clock, model.Window{Early: 1, Late: 2})
+	b.AddArc(clk, ff3.Clock, model.Window{Early: 1, Late: 2})
+	g1 := b.AddComb("g1")
+	g2 := b.AddComb("g2")
+	b.AddArc(ff1.Q, g1, model.Window{Early: 100, Late: 100})
+	b.AddArc(ff2.Q, g1, model.Window{Early: 50, Late: 50})
+	b.AddArc(g1, g2, model.Window{Early: 10, Late: 10})
+	b.AddArc(g2, ff3.D, model.Window{Early: 10, Late: 10})
+	d := b.MustBuild()
+
+	var p Prop
+	p.Reset(d.NumPins())
+	// Seed Q pins with distinct groups (setup mode: latest wins).
+	p.Offer(d.FFs[0].Output, 1000, d.FFs[0].Clock, d.FFs[0].Clock, 1, true)
+	p.Offer(d.FFs[1].Output, 1000, d.FFs[1].Clock, d.FFs[1].Clock, 2, true)
+	p.Run(d, true)
+
+	dp := d.FFs[2].Data
+	a := p.At(dp)
+	if !a.Valid || a.Time != 1120 || a.Group != 1 {
+		t.Fatalf("A(dp) = %+v, want time 1120 group 1", a)
+	}
+	fb := p.Auto(dp, 1)
+	if !fb.Valid || fb.Time != 1070 || fb.Group != 2 {
+		t.Fatalf("Auto(dp, 1) = %+v, want time 1070 group 2", fb)
+	}
+	if got := p.Auto(dp, 2); got.Time != 1120 {
+		t.Fatalf("Auto(dp, 2) = %+v, want A", got)
+	}
+}
+
+func TestRunHoldPrefersEarliest(t *testing.T) {
+	b := model.NewBuilder("hold", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+	ff1 := b.AddFF("ff1", 1, 1, model.Window{Early: 10, Late: 10})
+	ff2 := b.AddFF("ff2", 1, 1, model.Window{Early: 10, Late: 10})
+	ff3 := b.AddFF("ff3", 1, 1, model.Window{Early: 10, Late: 10})
+	b.AddArc(clk, ff1.Clock, model.Window{Early: 1, Late: 2})
+	b.AddArc(clk, ff2.Clock, model.Window{Early: 1, Late: 2})
+	b.AddArc(clk, ff3.Clock, model.Window{Early: 1, Late: 2})
+	g1 := b.AddComb("g1")
+	b.AddArc(ff1.Q, g1, model.Window{Early: 100, Late: 100})
+	b.AddArc(ff2.Q, g1, model.Window{Early: 50, Late: 50})
+	b.AddArc(g1, ff3.D, model.Window{Early: 10, Late: 10})
+	d := b.MustBuild()
+
+	var p Prop
+	p.Reset(d.NumPins())
+	p.Offer(d.FFs[0].Output, 1000, d.FFs[0].Clock, d.FFs[0].Clock, 1, false)
+	p.Offer(d.FFs[1].Output, 1000, d.FFs[1].Clock, d.FFs[1].Clock, 2, false)
+	p.Run(d, false)
+	a := p.At(d.FFs[2].Data)
+	if a.Time != 1060 || a.Group != 2 {
+		t.Fatalf("hold A = %+v, want time 1060 group 2", a)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	var p Prop
+	p.Reset(4)
+	p.Offer(2, 50, model.NoPin, model.NoPin, 1, true)
+	p.Reset(4)
+	if p.At(2).Valid {
+		t.Fatal("Reset left stale tuple")
+	}
+	p.Reset(2) // shrink
+	if len(p.A) != 2 {
+		t.Fatalf("len(A) = %d, want 2", len(p.A))
+	}
+	p.Reset(8) // grow
+	if len(p.A) != 8 || p.At(7).Valid {
+		t.Fatal("grow failed")
+	}
+}
+
+func TestTiesKeepFirstOffer(t *testing.T) {
+	var p Prop
+	p.Reset(1)
+	p.Offer(0, 100, 5, 5, 1, true)
+	p.Offer(0, 100, 6, 6, 2, true) // equal time, different group: must not displace A
+	if a := p.At(0); a.From != 5 || a.Group != 1 {
+		t.Fatalf("A = %+v, want from 5 group 1", a)
+	}
+	if b := p.Auto(0, 1); b.From != 6 {
+		t.Fatalf("B = %+v, want from 6", b)
+	}
+}

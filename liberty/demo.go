@@ -1,0 +1,71 @@
+package liberty
+
+// Demo returns a small but complete standard-cell library used by the
+// netlist examples, the netlist generator and the tests: combinational
+// inverters/buffers/NANDs/NORs, a clock buffer, and a D flip-flop. Table
+// values follow the usual NLDM shape — delay and output slew grow with
+// input slew and with load.
+func Demo() *Library {
+	idxSlew := []float64{10, 40, 120, 300}
+	idxLoad := []float64{1, 4, 12, 30}
+	// mk builds a plausible monotone table: base + a*slew + b*load.
+	mk := func(base, a, b float64) LUT {
+		vals := make([]float64, 0, len(idxSlew)*len(idxLoad))
+		for _, s := range idxSlew {
+			for _, l := range idxLoad {
+				vals = append(vals, base+a*s+b*l)
+			}
+		}
+		return LUT{SlewIndex: idxSlew, LoadIndex: idxLoad, Values: vals}
+	}
+	comb := func(name string, inputs int, base float64) *Cell {
+		c := &Cell{Name: name}
+		letters := []string{"A", "B", "C", "D"}
+		for i := 0; i < inputs; i++ {
+			c.Pins = append(c.Pins, Pin{Name: letters[i], Dir: Input, Cap: 2 + float64(i)})
+		}
+		c.Pins = append(c.Pins, Pin{Name: "Y", Dir: Output})
+		for i := 0; i < inputs; i++ {
+			c.Arcs = append(c.Arcs, Arc{
+				From:  letters[i],
+				To:    "Y",
+				Delay: mk(base+2*float64(i), 0.08, 1.6),
+				Slew:  mk(base*0.6, 0.20, 1.1),
+			})
+		}
+		return c
+	}
+	dff := &Cell{
+		Name: "DFF",
+		Pins: []Pin{
+			{Name: "CK", Dir: ClockPin, Cap: 1.5},
+			{Name: "D", Dir: Input, Cap: 2.0},
+			{Name: "Q", Dir: Output},
+		},
+		Arcs: []Arc{{
+			From:  "CK",
+			To:    "Q",
+			Delay: mk(45, 0.05, 1.8),
+			Slew:  mk(25, 0.10, 1.2),
+		}},
+		Setup: 28,
+		Hold:  9,
+	}
+	lib := &Library{
+		Name:        "demo",
+		DerateEarly: 0.92,
+		DerateLate:  1.08,
+		Cells: map[string]*Cell{
+			"INV":    comb("INV", 1, 14),
+			"BUF":    comb("BUF", 1, 20),
+			"NAND2":  comb("NAND2", 2, 18),
+			"NOR2":   comb("NOR2", 2, 22),
+			"CLKBUF": comb("CLKBUF", 1, 16),
+			"DFF":    dff,
+		},
+	}
+	if err := lib.validate(); err != nil {
+		panic("liberty: demo library invalid: " + err.Error())
+	}
+	return lib
+}

@@ -1,0 +1,209 @@
+// Package liberty implements a compact standard-cell timing library in
+// the spirit of Liberty/NLDM: cells with input/output/clock pins, pin
+// capacitances, two-dimensional delay and output-slew lookup tables
+// indexed by input slew and output load, sequential setup/hold
+// constraints, and early/late derating.
+//
+// Together with package netlist it forms the front-end flow the paper's
+// substrate timer (OpenTimer) runs before CPPR: gate-level netlist +
+// library -> delay calculation -> timing graph. The TAU contest
+// benchmarks the paper evaluates on are distributed in exactly this
+// shape.
+//
+// The text format is line-oriented (see Parse) — a deliberately small
+// subset of Liberty that keeps the same modelling power for this
+// repository's purposes.
+package liberty
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PinDir classifies a cell pin.
+type PinDir uint8
+
+const (
+	// Input is an ordinary data input.
+	Input PinDir = iota
+	// Output is a driving output.
+	Output
+	// ClockPin is a clock input (DFF CK or a clock buffer's input when
+	// used in the clock cone).
+	ClockPin
+)
+
+// String returns the keyword used in the library format.
+func (d PinDir) String() string {
+	switch d {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case ClockPin:
+		return "clock"
+	default:
+		return fmt.Sprintf("PinDir(%d)", uint8(d))
+	}
+}
+
+// Pin is a cell pin with its input capacitance (fF; zero for outputs).
+type Pin struct {
+	Name string
+	Dir  PinDir
+	Cap  float64
+}
+
+// LUT is a two-dimensional lookup table indexed by input slew (ps) and
+// output load (fF), with values in ps. Indices are strictly increasing.
+type LUT struct {
+	SlewIndex []float64
+	LoadIndex []float64
+	// Values is row-major: Values[i*len(LoadIndex)+j] for slew i, load j.
+	Values []float64
+}
+
+// Lookup bilinearly interpolates the table at (slew, load), clamping to
+// the index ranges (the standard NLDM edge behaviour).
+func (t *LUT) Lookup(slew, load float64) float64 {
+	i0, i1, fi := bracket(t.SlewIndex, slew)
+	j0, j1, fj := bracket(t.LoadIndex, load)
+	n := len(t.LoadIndex)
+	v00 := t.Values[i0*n+j0]
+	v01 := t.Values[i0*n+j1]
+	v10 := t.Values[i1*n+j0]
+	v11 := t.Values[i1*n+j1]
+	return v00*(1-fi)*(1-fj) + v01*(1-fi)*fj + v10*fi*(1-fj) + v11*fi*fj
+}
+
+// bracket finds the interpolation interval and fraction for x in idx,
+// clamped to the ends.
+func bracket(idx []float64, x float64) (lo, hi int, frac float64) {
+	n := len(idx)
+	if n == 1 || x <= idx[0] {
+		return 0, 0, 0
+	}
+	if x >= idx[n-1] {
+		return n - 1, n - 1, 0
+	}
+	hi = sort.SearchFloat64s(idx, x)
+	lo = hi - 1
+	frac = (x - idx[lo]) / (idx[hi] - idx[lo])
+	return lo, hi, frac
+}
+
+// validate checks monotone indices and table shape.
+func (t *LUT) validate(what string) error {
+	if len(t.SlewIndex) == 0 || len(t.LoadIndex) == 0 {
+		return fmt.Errorf("liberty: %s table has empty index", what)
+	}
+	for i := 1; i < len(t.SlewIndex); i++ {
+		if t.SlewIndex[i] <= t.SlewIndex[i-1] {
+			return fmt.Errorf("liberty: %s slew index not increasing", what)
+		}
+	}
+	for i := 1; i < len(t.LoadIndex); i++ {
+		if t.LoadIndex[i] <= t.LoadIndex[i-1] {
+			return fmt.Errorf("liberty: %s load index not increasing", what)
+		}
+	}
+	if len(t.Values) != len(t.SlewIndex)*len(t.LoadIndex) {
+		return fmt.Errorf("liberty: %s table has %d values, want %d",
+			what, len(t.Values), len(t.SlewIndex)*len(t.LoadIndex))
+	}
+	for _, v := range t.Values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("liberty: %s table has invalid value %v", what, v)
+		}
+	}
+	return nil
+}
+
+// Arc is a cell timing arc from an input (or clock) pin to an output
+// pin, with delay and output-slew tables.
+type Arc struct {
+	From, To string
+	Delay    LUT
+	Slew     LUT
+}
+
+// Cell is a library cell.
+type Cell struct {
+	Name string
+	Pins []Pin
+	Arcs []Arc
+	// Setup/Hold are the sequential constraints (ps); zero for
+	// combinational cells. A cell with either non-zero is sequential
+	// and must have CK/D/Q-style pins.
+	Setup, Hold float64
+	pinIdx      map[string]int
+}
+
+// Pin returns the named pin.
+func (c *Cell) Pin(name string) (Pin, bool) {
+	i, ok := c.pinIdx[name]
+	if !ok {
+		return Pin{}, false
+	}
+	return c.Pins[i], true
+}
+
+// IsSequential reports whether the cell is a flip-flop.
+func (c *Cell) IsSequential() bool { return c.Setup > 0 || c.Hold > 0 }
+
+// Library is a set of cells plus global early/late derate factors
+// applied to every computed delay (a simple OCV model).
+type Library struct {
+	Name string
+	// DerateEarly/DerateLate scale nominal delays into the early/late
+	// bounds; sane libraries have DerateEarly <= 1 <= DerateLate.
+	DerateEarly, DerateLate float64
+	Cells                   map[string]*Cell
+}
+
+// Cell returns the named cell.
+func (l *Library) Cell(name string) (*Cell, bool) {
+	c, ok := l.Cells[name]
+	return c, ok
+}
+
+// validate checks structural consistency of the whole library.
+func (l *Library) validate() error {
+	if l.DerateEarly <= 0 || l.DerateLate < l.DerateEarly {
+		return fmt.Errorf("liberty: invalid derates %v/%v", l.DerateEarly, l.DerateLate)
+	}
+	for name, c := range l.Cells {
+		if len(c.Pins) == 0 {
+			return fmt.Errorf("liberty: cell %s has no pins", name)
+		}
+		c.pinIdx = make(map[string]int, len(c.Pins))
+		for i, p := range c.Pins {
+			if _, dup := c.pinIdx[p.Name]; dup {
+				return fmt.Errorf("liberty: cell %s duplicates pin %s", name, p.Name)
+			}
+			c.pinIdx[p.Name] = i
+		}
+		for ai := range c.Arcs {
+			a := &c.Arcs[ai]
+			from, ok := c.Pin(a.From)
+			if !ok || from.Dir == Output {
+				return fmt.Errorf("liberty: cell %s arc from invalid pin %s", name, a.From)
+			}
+			to, ok := c.Pin(a.To)
+			if !ok || to.Dir != Output {
+				return fmt.Errorf("liberty: cell %s arc to non-output pin %s", name, a.To)
+			}
+			if err := a.Delay.validate(name + " delay"); err != nil {
+				return err
+			}
+			if err := a.Slew.validate(name + " slew"); err != nil {
+				return err
+			}
+		}
+		if c.Setup < 0 || c.Hold < 0 {
+			return fmt.Errorf("liberty: cell %s has negative constraints", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testLUT() LUT {
+	return LUT{
+		SlewIndex: []float64{10, 100},
+		LoadIndex: []float64{1, 11},
+		Values: []float64{
+			20, 40, // slew 10: load 1, 11
+			60, 100, // slew 100
+		},
+	}
+}
+
+func TestLUTLookupCorners(t *testing.T) {
+	l := testLUT()
+	cases := []struct{ s, c, want float64 }{
+		{10, 1, 20},
+		{10, 11, 40},
+		{100, 1, 60},
+		{100, 11, 100},
+	}
+	for _, c := range cases {
+		if got := l.Lookup(c.s, c.c); got != c.want {
+			t.Errorf("Lookup(%g,%g) = %g, want %g", c.s, c.c, got, c.want)
+		}
+	}
+}
+
+func TestLUTLookupInterpolation(t *testing.T) {
+	l := testLUT()
+	// Midpoint in both axes: mean of the four corners.
+	if got := l.Lookup(55, 6); got != 55 {
+		t.Errorf("bilinear midpoint = %g, want 55", got)
+	}
+	// Interpolate along one axis only.
+	if got := l.Lookup(10, 6); got != 30 {
+		t.Errorf("load midpoint = %g, want 30", got)
+	}
+	if got := l.Lookup(55, 1); got != 40 {
+		t.Errorf("slew midpoint = %g, want 40", got)
+	}
+}
+
+func TestLUTLookupClamps(t *testing.T) {
+	l := testLUT()
+	if got := l.Lookup(5, 0.5); got != 20 {
+		t.Errorf("below-range = %g, want 20", got)
+	}
+	if got := l.Lookup(1000, 1000); got != 100 {
+		t.Errorf("above-range = %g, want 100", got)
+	}
+}
+
+func TestLUTQuickWithinBounds(t *testing.T) {
+	l := testLUT()
+	f := func(s, c float64) bool {
+		if math.IsNaN(s) || math.IsNaN(c) || math.IsInf(s, 0) || math.IsInf(c, 0) {
+			return true
+		}
+		v := l.Lookup(math.Abs(s), math.Abs(c))
+		return v >= 20 && v <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleEntryLUT(t *testing.T) {
+	l := LUT{SlewIndex: []float64{50}, LoadIndex: []float64{5}, Values: []float64{42}}
+	if got := l.Lookup(1, 1); got != 42 {
+		t.Errorf("degenerate lookup = %g", got)
+	}
+	if got := l.Lookup(500, 500); got != 42 {
+		t.Errorf("degenerate lookup = %g", got)
+	}
+}
+
+func TestDemoLibraryValid(t *testing.T) {
+	lib := Demo()
+	for _, name := range []string{"INV", "BUF", "NAND2", "NOR2", "CLKBUF", "DFF"} {
+		if _, ok := lib.Cell(name); !ok {
+			t.Errorf("demo lacks %s", name)
+		}
+	}
+	dff, _ := lib.Cell("DFF")
+	if !dff.IsSequential() {
+		t.Error("DFF not sequential")
+	}
+	inv, _ := lib.Cell("INV")
+	if inv.IsSequential() {
+		t.Error("INV sequential")
+	}
+	if _, ok := inv.Pin("A"); !ok {
+		t.Error("INV lacks pin A")
+	}
+	if _, ok := inv.Pin("Z"); ok {
+		t.Error("INV has phantom pin")
+	}
+	// Monotonicity of demo tables: more slew or load => more delay.
+	a := inv.Arcs[0]
+	if a.Delay.Lookup(10, 1) >= a.Delay.Lookup(300, 30) {
+		t.Error("demo table not monotone")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	lib := Demo()
+	var buf bytes.Buffer
+	if err := Format(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	if back.Name != lib.Name || back.DerateEarly != lib.DerateEarly || back.DerateLate != lib.DerateLate {
+		t.Fatal("header differs")
+	}
+	if len(back.Cells) != len(lib.Cells) {
+		t.Fatalf("%d cells, want %d", len(back.Cells), len(lib.Cells))
+	}
+	for name, c := range lib.Cells {
+		b, ok := back.Cell(name)
+		if !ok {
+			t.Fatalf("cell %s lost", name)
+		}
+		if len(b.Pins) != len(c.Pins) || len(b.Arcs) != len(c.Arcs) {
+			t.Fatalf("cell %s shape differs", name)
+		}
+		if b.Setup != c.Setup || b.Hold != c.Hold {
+			t.Fatalf("cell %s constraints differ", name)
+		}
+		for i := range c.Arcs {
+			if got, want := b.Arcs[i].Delay.Lookup(50, 8), c.Arcs[i].Delay.Lookup(50, 8); got != want {
+				t.Fatalf("cell %s arc %d lookup %g vs %g", name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, errPart string }{
+		{"unknown", "bogus", "unknown statement"},
+		{"nested cell", "cell a\ncell b\n", "nested cell"},
+		{"pin outside", "pin A input 1", "outside cell"},
+		{"endcell stray", "endcell", "outside cell"},
+		{"unterminated", "cell a\npin A input 1\n", "unterminated"},
+		{"bad dir", "cell a\npin A sideways\nendcell", "unknown pin direction"},
+		{"bad number", "cell a\narc A Y\nindex_slew x\nendarc\nendcell", "bad number"},
+		{"table shape", "cell a\npin A input 1\npin Y output\narc A Y\nindex_slew 1 2\nindex_load 1\ndelay 1 2 3\nslew 1 2\nendarc\nendcell", "values"},
+		{"dup cell", "cell a\nendcell\ncell a\nendcell", "duplicate cell"},
+		{"bad derate", "derate_early 0\ncell a\npin A input 1\nendcell", "invalid derates"},
+		{"decreasing index", "cell a\npin A input 1\npin Y output\narc A Y\nindex_slew 5 2\nindex_load 1\ndelay 1 2\nslew 1 2\nendarc\nendcell", "not increasing"},
+		{"arc from output", "cell a\npin Y output\narc Y Y\nindex_slew 1\nindex_load 1\ndelay 1\nslew 1\nendarc\nendcell", "arc from invalid pin"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("err = %v, want contains %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent.libt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the line-oriented library format:
+//
+//	library <name>
+//	derate_early <f>
+//	derate_late  <f>
+//	cell <name>
+//	pin <name> input|output|clock [<cap-fF>]
+//	setup <ps>            # sequential cells
+//	hold  <ps>
+//	arc <from> <to>
+//	index_slew <ps>...
+//	index_load <fF>...
+//	delay <v>...          # row-major, len(slew)*len(load) values
+//	slew  <v>...
+//	endarc
+//	endcell
+//
+// '#' starts a comment. Values are floats; times in ps, caps in fF.
+func Parse(r io.Reader) (*Library, error) {
+	lib := &Library{DerateEarly: 1, DerateLate: 1, Cells: map[string]*Cell{}}
+	var cell *Cell
+	var arc *Arc
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		bad := func(msg string) error {
+			return fmt.Errorf("liberty: line %d: %s", lineno, msg)
+		}
+		floats := func(args []string) ([]float64, error) {
+			out := make([]float64, len(args))
+			for i, a := range args {
+				v, err := strconv.ParseFloat(a, 64)
+				if err != nil {
+					return nil, bad(fmt.Sprintf("bad number %q", a))
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+		switch f[0] {
+		case "library":
+			if len(f) != 2 {
+				return nil, bad("library needs a name")
+			}
+			lib.Name = f[1]
+		case "derate_early", "derate_late":
+			if len(f) != 2 {
+				return nil, bad(f[0] + " needs a value")
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, bad("bad derate")
+			}
+			if f[0] == "derate_early" {
+				lib.DerateEarly = v
+			} else {
+				lib.DerateLate = v
+			}
+		case "cell":
+			if cell != nil {
+				return nil, bad("nested cell")
+			}
+			if len(f) != 2 {
+				return nil, bad("cell needs a name")
+			}
+			if _, dup := lib.Cells[f[1]]; dup {
+				return nil, bad("duplicate cell " + f[1])
+			}
+			cell = &Cell{Name: f[1]}
+		case "endcell":
+			if cell == nil {
+				return nil, bad("endcell outside cell")
+			}
+			if arc != nil {
+				return nil, bad("endcell inside arc")
+			}
+			lib.Cells[cell.Name] = cell
+			cell = nil
+		case "pin":
+			if cell == nil || arc != nil {
+				return nil, bad("pin outside cell body")
+			}
+			if len(f) != 3 && len(f) != 4 {
+				return nil, bad("pin needs name, direction and optional cap")
+			}
+			p := Pin{Name: f[1]}
+			switch f[2] {
+			case "input":
+				p.Dir = Input
+			case "output":
+				p.Dir = Output
+			case "clock":
+				p.Dir = ClockPin
+			default:
+				return nil, bad("unknown pin direction " + f[2])
+			}
+			if len(f) == 4 {
+				v, err := strconv.ParseFloat(f[3], 64)
+				if err != nil || v < 0 {
+					return nil, bad("bad pin cap")
+				}
+				p.Cap = v
+			}
+			cell.Pins = append(cell.Pins, p)
+		case "setup", "hold":
+			if cell == nil || arc != nil {
+				return nil, bad(f[0] + " outside cell body")
+			}
+			if len(f) != 2 {
+				return nil, bad(f[0] + " needs a value")
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, bad("bad constraint")
+			}
+			if f[0] == "setup" {
+				cell.Setup = v
+			} else {
+				cell.Hold = v
+			}
+		case "arc":
+			if cell == nil {
+				return nil, bad("arc outside cell")
+			}
+			if arc != nil {
+				return nil, bad("nested arc")
+			}
+			if len(f) != 3 {
+				return nil, bad("arc needs from and to pins")
+			}
+			arc = &Arc{From: f[1], To: f[2]}
+		case "endarc":
+			if arc == nil {
+				return nil, bad("endarc outside arc")
+			}
+			cell.Arcs = append(cell.Arcs, *arc)
+			arc = nil
+		case "index_slew", "index_load", "delay", "slew":
+			if arc == nil {
+				return nil, bad(f[0] + " outside arc")
+			}
+			vals, err := floats(f[1:])
+			if err != nil {
+				return nil, err
+			}
+			switch f[0] {
+			case "index_slew":
+				arc.Delay.SlewIndex = vals
+				arc.Slew.SlewIndex = vals
+			case "index_load":
+				arc.Delay.LoadIndex = vals
+				arc.Slew.LoadIndex = vals
+			case "delay":
+				arc.Delay.Values = vals
+			case "slew":
+				arc.Slew.Values = vals
+			}
+		default:
+			return nil, bad("unknown statement " + f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("liberty: %v", err)
+	}
+	if cell != nil || arc != nil {
+		return nil, fmt.Errorf("liberty: unterminated cell or arc at EOF")
+	}
+	if err := lib.validate(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// ParseFile parses the named library file.
+func ParseFile(path string) (*Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Format serialises the library in the Parse format.
+func Format(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library %s\n", l.Name)
+	fmt.Fprintf(bw, "derate_early %g\nderate_late %g\n", l.DerateEarly, l.DerateLate)
+	names := make([]string, 0, len(l.Cells))
+	for n := range l.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := l.Cells[n]
+		fmt.Fprintf(bw, "cell %s\n", c.Name)
+		for _, p := range c.Pins {
+			if p.Dir == Output {
+				fmt.Fprintf(bw, "pin %s %s\n", p.Name, p.Dir)
+			} else {
+				fmt.Fprintf(bw, "pin %s %s %g\n", p.Name, p.Dir, p.Cap)
+			}
+		}
+		if c.Setup != 0 {
+			fmt.Fprintf(bw, "setup %g\n", c.Setup)
+		}
+		if c.Hold != 0 {
+			fmt.Fprintf(bw, "hold %g\n", c.Hold)
+		}
+		for _, a := range c.Arcs {
+			fmt.Fprintf(bw, "arc %s %s\n", a.From, a.To)
+			writeFloats(bw, "index_slew", a.Delay.SlewIndex)
+			writeFloats(bw, "index_load", a.Delay.LoadIndex)
+			writeFloats(bw, "delay", a.Delay.Values)
+			writeFloats(bw, "slew", a.Slew.Values)
+			fmt.Fprintln(bw, "endarc")
+		}
+		fmt.Fprintln(bw, "endcell")
+	}
+	return bw.Flush()
+}
+
+func writeFloats(w io.Writer, key string, vals []float64) {
+	fmt.Fprint(w, key)
+	for _, v := range vals {
+		fmt.Fprintf(w, " %g", v)
+	}
+	fmt.Fprintln(w)
+}

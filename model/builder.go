@@ -1,0 +1,401 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder assembles a Design incrementally and validates it in Build.
+// A Builder is not safe for concurrent use.
+type Builder struct {
+	name         string
+	period       Time
+	pins         []Pin
+	arcs         []Arc
+	ffs          []FF
+	roots        []PinID
+	pis          []PinID
+	piArrival    []Window
+	pos          []PinID
+	poRequired   []Window
+	poConstraint []bool
+	byName       map[string]PinID
+	errs         []error
+}
+
+// NewBuilder returns a Builder for a design with the given name and
+// clock period.
+func NewBuilder(name string, period Time) *Builder {
+	return &Builder{
+		name:   name,
+		period: period,
+		byName: make(map[string]PinID),
+	}
+}
+
+func (b *Builder) addPin(name string, kind PinKind, ff FFID) PinID {
+	if _, dup := b.byName[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("model: duplicate pin name %q", name))
+		return NoPin
+	}
+	id := PinID(len(b.pins))
+	b.pins = append(b.pins, Pin{Name: name, Kind: kind, FF: ff})
+	b.byName[name] = id
+	return id
+}
+
+// AddComb adds an internal combinational pin.
+func (b *Builder) AddComb(name string) PinID { return b.addPin(name, Comb, NoFF) }
+
+// AddPI adds a primary input with the given external arrival window.
+func (b *Builder) AddPI(name string, arrival Window) PinID {
+	id := b.addPin(name, PI, NoFF)
+	if id != NoPin {
+		b.pis = append(b.pis, id)
+		b.piArrival = append(b.piArrival, arrival)
+	}
+	return id
+}
+
+// AddPO adds an unconstrained primary output pin (no timing check).
+func (b *Builder) AddPO(name string) PinID {
+	id := b.addPin(name, PO, NoFF)
+	if id != NoPin {
+		b.pos = append(b.pos, id)
+		b.poRequired = append(b.poRequired, Window{})
+		b.poConstraint = append(b.poConstraint, false)
+	}
+	return id
+}
+
+// AddPOConstrained adds a primary output with an output timing check:
+// setup requires arrival at or before required.Late, hold requires
+// arrival at or after required.Early.
+func (b *Builder) AddPOConstrained(name string, required Window) PinID {
+	id := b.addPin(name, PO, NoFF)
+	if id != NoPin {
+		b.pos = append(b.pos, id)
+		b.poRequired = append(b.poRequired, required)
+		b.poConstraint = append(b.poConstraint, true)
+	}
+	return id
+}
+
+// AddClockRoot adds a clock source pin. Each call starts a new clock
+// domain; most designs have exactly one.
+func (b *Builder) AddClockRoot(name string) PinID {
+	id := b.addPin(name, ClockRoot, NoFF)
+	if id != NoPin {
+		b.roots = append(b.roots, id)
+	}
+	return id
+}
+
+// AddClockBuf adds an internal clock-tree node.
+func (b *Builder) AddClockBuf(name string) PinID { return b.addPin(name, ClockBuf, NoFF) }
+
+// FFPins bundles the three pins of a flip-flop created by AddFF.
+type FFPins struct {
+	ID          FFID
+	Clock, D, Q PinID
+}
+
+// AddFF adds a flip-flop named name with the given setup/hold constraints
+// and clock-to-Q delay window. It creates three pins (name+"/CK", "/D",
+// "/Q") and the CK->Q launch arc.
+func (b *Builder) AddFF(name string, setup, hold Time, clkToQ Window) FFPins {
+	id := FFID(len(b.ffs))
+	ck := b.addPin(name+"/CK", FFClock, id)
+	dp := b.addPin(name+"/D", FFData, id)
+	qp := b.addPin(name+"/Q", FFOutput, id)
+	b.ffs = append(b.ffs, FF{Name: name, Clock: ck, Data: dp, Output: qp, Setup: setup, Hold: hold})
+	if ck != NoPin && qp != NoPin {
+		b.AddArc(ck, qp, clkToQ)
+	}
+	return FFPins{ID: id, Clock: ck, D: dp, Q: qp}
+}
+
+// AddArc adds a timing arc from -> to with the given delay window.
+func (b *Builder) AddArc(from, to PinID, delay Window) {
+	if from == NoPin || to == NoPin {
+		b.errs = append(b.errs, errors.New("model: arc references an invalid pin"))
+		return
+	}
+	b.arcs = append(b.arcs, Arc{From: from, To: to, Delay: delay})
+}
+
+// Pin returns the id of a previously added pin by name.
+func (b *Builder) Pin(name string) (PinID, bool) {
+	id, ok := b.byName[name]
+	return id, ok
+}
+
+// Build validates the accumulated elements and returns the finished
+// Design. It reports the first structural problem found.
+func (b *Builder) Build() (*Design, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	d := &Design{
+		Name:          b.name,
+		Period:        b.period,
+		Pins:          b.pins,
+		Arcs:          b.arcs,
+		FFs:           b.ffs,
+		Root:          NoPin,
+		Roots:         b.roots,
+		PIs:           b.pis,
+		PIArrival:     b.piArrival,
+		POs:           b.pos,
+		PORequired:    b.poRequired,
+		POConstrained: b.poConstraint,
+		byName:        b.byName,
+	}
+	if len(b.roots) > 0 {
+		d.Root = b.roots[0]
+	}
+	if err := finalize(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustBuild is Build that panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Design {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// finalize computes derived structure and validates the design:
+// CSR adjacency, topological order (rejecting cycles), clock-tree
+// parent/depth arrays, and the structural invariants documented on the
+// field comments of Design.
+func finalize(d *Design) error {
+	n := len(d.Pins)
+	if n == 0 {
+		return errors.New("model: design has no pins")
+	}
+	if len(d.Roots) == 0 {
+		return errors.New("model: design has no clock root")
+	}
+	if d.Period <= 0 {
+		return fmt.Errorf("model: clock period %v must be positive", d.Period)
+	}
+
+	// Delay sanity.
+	for i, a := range d.Arcs {
+		if a.From == a.To {
+			return fmt.Errorf("model: arc %d is a self-loop on pin %q", i, d.PinName(a.From))
+		}
+		if int(a.From) >= n || int(a.To) >= n || a.From < 0 || a.To < 0 {
+			return fmt.Errorf("model: arc %d references pin out of range", i)
+		}
+		if a.Delay.Early < 0 || a.Delay.Early > a.Delay.Late {
+			return fmt.Errorf("model: arc %d (%s -> %s) has invalid delay window %v",
+				i, d.PinName(a.From), d.PinName(a.To), a.Delay)
+		}
+	}
+
+	buildCSR(d)
+	if err := buildTopo(d); err != nil {
+		return err
+	}
+	if err := buildClockTree(d); err != nil {
+		return err
+	}
+	return validateStructure(d)
+}
+
+// buildCSR fills the fan-in/fan-out CSR adjacency tables.
+func buildCSR(d *Design) {
+	n := len(d.Pins)
+	m := len(d.Arcs)
+	d.OutStart = make([]int32, n+1)
+	d.InStart = make([]int32, n+1)
+	for _, a := range d.Arcs {
+		d.OutStart[a.From+1]++
+		d.InStart[a.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		d.OutStart[i+1] += d.OutStart[i]
+		d.InStart[i+1] += d.InStart[i]
+	}
+	d.OutArcs = make([]int32, m)
+	d.InArcs = make([]int32, m)
+	outPos := make([]int32, n)
+	inPos := make([]int32, n)
+	for ai, a := range d.Arcs {
+		d.OutArcs[d.OutStart[a.From]+outPos[a.From]] = int32(ai)
+		outPos[a.From]++
+		d.InArcs[d.InStart[a.To]+inPos[a.To]] = int32(ai)
+		inPos[a.To]++
+	}
+}
+
+// buildTopo computes a topological order with Kahn's algorithm, failing
+// on cycles.
+func buildTopo(d *Design) error {
+	n := len(d.Pins)
+	indeg := make([]int32, n)
+	for _, a := range d.Arcs {
+		indeg[a.To]++
+	}
+	order := make([]PinID, 0, n)
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			order = append(order, PinID(u))
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		for _, ai := range d.FanOut(u) {
+			v := d.Arcs[ai].To
+			indeg[v]--
+			if indeg[v] == 0 {
+				order = append(order, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return errors.New("model: timing graph contains a cycle")
+	}
+	d.Topo = order
+	return nil
+}
+
+// buildClockTree derives parent, depth and D from clock-kind pins and the
+// arcs between them.
+func buildClockTree(d *Design) error {
+	n := len(d.Pins)
+	d.ClockParent = make([]PinID, n)
+	d.ClockParentArc = make([]int32, n)
+	d.ClockDepth = make([]int32, n)
+	for u := range d.ClockParent {
+		d.ClockParent[u] = NoPin
+		d.ClockParentArc[u] = -1
+		d.ClockDepth[u] = -1
+	}
+	for ai, a := range d.Arcs {
+		if d.Pins[a.From].Kind.IsClock() && d.Pins[a.To].Kind.IsClock() {
+			if d.Pins[a.To].Kind == ClockRoot {
+				return fmt.Errorf("model: clock root %q has an incoming clock arc", d.PinName(a.To))
+			}
+			if d.ClockParent[a.To] != NoPin {
+				return fmt.Errorf("model: clock pin %q has two clock-tree parents (%q, %q)",
+					d.PinName(a.To), d.PinName(d.ClockParent[a.To]), d.PinName(a.From))
+			}
+			if d.Pins[a.From].Kind == FFClock {
+				return fmt.Errorf("model: FF clock pin %q drives clock pin %q (FF clock pins must be clock-tree leaves)",
+					d.PinName(a.From), d.PinName(a.To))
+			}
+			d.ClockParent[a.To] = a.From
+			d.ClockParentArc[a.To] = int32(ai)
+		}
+	}
+	// Depths in topological order (parents precede children in Topo).
+	for _, r := range d.Roots {
+		d.ClockDepth[r] = 0
+	}
+	maxFFDepth := int32(-1)
+	for _, u := range d.Topo {
+		if !d.Pins[u].Kind.IsClock() || d.Pins[u].Kind == ClockRoot {
+			continue
+		}
+		p := d.ClockParent[u]
+		if p == NoPin {
+			return fmt.Errorf("model: clock pin %q is not connected to the clock root", d.PinName(u))
+		}
+		if d.ClockDepth[p] < 0 {
+			return fmt.Errorf("model: clock pin %q has parent outside the clock tree", d.PinName(u))
+		}
+		d.ClockDepth[u] = d.ClockDepth[p] + 1
+		if d.Pins[u].Kind == FFClock && d.ClockDepth[u] > maxFFDepth {
+			maxFFDepth = d.ClockDepth[u]
+		}
+	}
+	d.Depth = int(maxFFDepth + 1) // number of levels 0..maxFFDepth
+	return nil
+}
+
+// validateStructure checks the FF pin wiring and endpoint conventions.
+func validateStructure(d *Design) error {
+	for fi, ff := range d.FFs {
+		if ff.Clock == NoPin || ff.Data == NoPin || ff.Output == NoPin {
+			return fmt.Errorf("model: FF %q is missing a pin", ff.Name)
+		}
+		if d.Pins[ff.Clock].Kind != FFClock || d.Pins[ff.Data].Kind != FFData || d.Pins[ff.Output].Kind != FFOutput {
+			return fmt.Errorf("model: FF %q has mis-kinded pins", ff.Name)
+		}
+		if d.Pins[ff.Clock].FF != FFID(fi) || d.Pins[ff.Data].FF != FFID(fi) || d.Pins[ff.Output].FF != FFID(fi) {
+			return fmt.Errorf("model: FF %q pin back-references are wrong", ff.Name)
+		}
+		if ff.Setup < 0 || ff.Hold < 0 {
+			return fmt.Errorf("model: FF %q has negative constraint", ff.Name)
+		}
+		if d.ClockDepth[ff.Clock] < 0 {
+			return fmt.Errorf("model: FF %q clock pin is not in the clock tree", ff.Name)
+		}
+		// Q must be driven (only) by the CK->Q arc.
+		fanin := d.FanIn(ff.Output)
+		if len(fanin) != 1 || d.Arcs[fanin[0]].From != ff.Clock {
+			return fmt.Errorf("model: FF %q Q pin must be driven exactly by its CK->Q arc", ff.Name)
+		}
+		// D pins are test endpoints: no fan-out.
+		if len(d.FanOut(ff.Data)) != 0 {
+			return fmt.Errorf("model: FF %q D pin has fan-out", ff.Name)
+		}
+	}
+	for i, p := range d.PIs {
+		if d.Pins[p].Kind != PI {
+			return fmt.Errorf("model: PI table entry %d is not a PI pin", i)
+		}
+		if len(d.FanIn(p)) != 0 {
+			return fmt.Errorf("model: primary input %q has fan-in", d.PinName(p))
+		}
+		w := d.PIArrival[i]
+		if w.Early > w.Late {
+			return fmt.Errorf("model: primary input %q has invalid arrival window %v", d.PinName(p), w)
+		}
+	}
+	for _, p := range d.POs {
+		if len(d.FanOut(p)) != 0 {
+			return fmt.Errorf("model: primary output %q has fan-out", d.PinName(p))
+		}
+	}
+	// Parallel arcs are forbidden: paths are pin sequences, and two arcs
+	// between the same pins would make a path's delay ambiguous.
+	stamp := make([]PinID, len(d.Pins))
+	for i := range stamp {
+		stamp[i] = NoPin
+	}
+	for u := PinID(0); int(u) < len(d.Pins); u++ {
+		for _, ai := range d.FanOut(u) {
+			to := d.Arcs[ai].To
+			if stamp[to] == u {
+				return fmt.Errorf("model: parallel arcs between %q and %q", d.PinName(u), d.PinName(to))
+			}
+			stamp[to] = u
+		}
+	}
+	// Data pins must not feed the clock tree.
+	for i, a := range d.Arcs {
+		fromClock := d.Pins[a.From].Kind.IsClock()
+		toClock := d.Pins[a.To].Kind.IsClock()
+		if !fromClock && toClock {
+			return fmt.Errorf("model: arc %d (%s -> %s) enters the clock tree from a data pin",
+				i, d.PinName(a.From), d.PinName(a.To))
+		}
+		if fromClock && !toClock && d.Pins[a.From].Kind != FFClock {
+			return fmt.Errorf("model: arc %d (%s -> %s) leaves the clock tree other than via an FF CK->Q launch",
+				i, d.PinName(a.From), d.PinName(a.To))
+		}
+		if fromClock && !toClock && d.Pins[a.To].Kind != FFOutput {
+			return fmt.Errorf("model: arc %d (%s -> %s): FF clock pins may only drive their Q pin",
+				i, d.PinName(a.From), d.PinName(a.To))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTriangle constructs the canonical small test design used across the
+// model tests:
+//
+//	clk ──► b1 ──► ff1/CK, ff2/CK
+//	    └─► b2 ──► ff3/CK
+//
+// data: ff1/Q ─► g1 ─► ff2/D
+//
+//	ff1/Q ─► g2 ─► ff3/D
+//	in1  ─► g2            (PI joins at g2)
+//	ff2/Q ─► g3 ─► ff2/D  (self-loop)
+//	g3 ─► out1            (PO)
+//
+// The clock arcs carry skew (early != late) so CPPR credits are non-zero.
+func buildTriangle(t testing.TB) *Design {
+	t.Helper()
+	b := NewBuilder("triangle", Ns(10))
+	clk := b.AddClockRoot("clk")
+	b1 := b.AddClockBuf("b1")
+	b2 := b.AddClockBuf("b2")
+	b.AddArc(clk, b1, Window{Early: 80, Late: 100})
+	b.AddArc(clk, b2, Window{Early: 90, Late: 140})
+	ff1 := b.AddFF("ff1", 20, 10, Window{Early: 30, Late: 40})
+	ff2 := b.AddFF("ff2", 20, 10, Window{Early: 30, Late: 40})
+	ff3 := b.AddFF("ff3", 25, 15, Window{Early: 35, Late: 45})
+	b.AddArc(b1, ff1.Clock, Window{Early: 50, Late: 70})
+	b.AddArc(b1, ff2.Clock, Window{Early: 55, Late: 65})
+	b.AddArc(b2, ff3.Clock, Window{Early: 60, Late: 95})
+	g1 := b.AddComb("g1")
+	g2 := b.AddComb("g2")
+	g3 := b.AddComb("g3")
+	in1 := b.AddPI("in1", Window{Early: 5, Late: 12})
+	out1 := b.AddPO("out1")
+	b.AddArc(ff1.Q, g1, Window{Early: 100, Late: 200})
+	b.AddArc(g1, ff2.D, Window{Early: 50, Late: 90})
+	b.AddArc(ff1.Q, g2, Window{Early: 120, Late: 260})
+	b.AddArc(in1, g2, Window{Early: 10, Late: 20})
+	b.AddArc(g2, ff3.D, Window{Early: 70, Late: 110})
+	b.AddArc(ff2.Q, g3, Window{Early: 40, Late: 55})
+	b.AddArc(g3, ff2.D, Window{Early: 30, Late: 45})
+	b.AddArc(g3, out1, Window{Early: 15, Late: 25})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d
+}
+
+func TestBuildTriangle(t *testing.T) {
+	d := buildTriangle(t)
+	if d.NumFFs() != 3 {
+		t.Fatalf("NumFFs = %d, want 3", d.NumFFs())
+	}
+	if d.Depth != 3 {
+		t.Errorf("Depth = %d, want 3 (root=0, bufs=1, CKs=2)", d.Depth)
+	}
+	if got := len(d.PIs); got != 1 {
+		t.Errorf("len(PIs) = %d, want 1", got)
+	}
+	if got := len(d.POs); got != 1 {
+		t.Errorf("len(POs) = %d, want 1", got)
+	}
+	// 3 clock arcs + 2 buf->CK... recount: clk->b1, clk->b2, b1->ff1CK,
+	// b1->ff2CK, b2->ff3CK = 5 clock arcs; 3 CK->Q; 8 data arcs.
+	if d.NumArcs() != 16 {
+		t.Errorf("NumArcs = %d, want 16", d.NumArcs())
+	}
+}
+
+func TestPinLookup(t *testing.T) {
+	d := buildTriangle(t)
+	id, ok := d.PinByName("ff2/D")
+	if !ok {
+		t.Fatal("ff2/D not found")
+	}
+	if d.Pins[id].Kind != FFData {
+		t.Errorf("kind = %v, want ffdata", d.Pins[id].Kind)
+	}
+	if d.PinName(id) != "ff2/D" {
+		t.Errorf("PinName = %q", d.PinName(id))
+	}
+	if d.PinName(NoPin) != "<none>" {
+		t.Errorf("PinName(NoPin) = %q", d.PinName(NoPin))
+	}
+	if _, ok := d.PinByName("nope"); ok {
+		t.Error("found nonexistent pin")
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	d := buildTriangle(t)
+	pos := make(map[PinID]int)
+	for i, u := range d.Topo {
+		pos[u] = i
+	}
+	if len(pos) != d.NumPins() {
+		t.Fatalf("topo has %d unique pins, want %d", len(pos), d.NumPins())
+	}
+	for i, a := range d.Arcs {
+		if pos[a.From] >= pos[a.To] {
+			t.Errorf("arc %d (%s -> %s) violates topo order", i, d.PinName(a.From), d.PinName(a.To))
+		}
+	}
+}
+
+func TestCSRAdjacency(t *testing.T) {
+	d := buildTriangle(t)
+	countOut := 0
+	for u := PinID(0); int(u) < d.NumPins(); u++ {
+		for _, ai := range d.FanOut(u) {
+			if d.Arcs[ai].From != u {
+				t.Fatalf("FanOut(%s) contains arc from %s", d.PinName(u), d.PinName(d.Arcs[ai].From))
+			}
+			countOut++
+		}
+		for _, ai := range d.FanIn(u) {
+			if d.Arcs[ai].To != u {
+				t.Fatalf("FanIn(%s) contains arc to %s", d.PinName(u), d.PinName(d.Arcs[ai].To))
+			}
+		}
+	}
+	if countOut != d.NumArcs() {
+		t.Errorf("fan-out covers %d arcs, want %d", countOut, d.NumArcs())
+	}
+}
+
+func TestClockTreeDerivation(t *testing.T) {
+	d := buildTriangle(t)
+	ck1, _ := d.PinByName("ff1/CK")
+	ck3, _ := d.PinByName("ff3/CK")
+	b1, _ := d.PinByName("b1")
+	b2, _ := d.PinByName("b2")
+	if d.ClockParent[ck1] != b1 {
+		t.Errorf("parent(ff1/CK) = %s, want b1", d.PinName(d.ClockParent[ck1]))
+	}
+	if d.ClockParent[ck3] != b2 {
+		t.Errorf("parent(ff3/CK) = %s, want b2", d.PinName(d.ClockParent[ck3]))
+	}
+	if d.ClockDepth[d.Root] != 0 || d.ClockDepth[b1] != 1 || d.ClockDepth[ck1] != 2 {
+		t.Errorf("depths: root=%d b1=%d ck1=%d", d.ClockDepth[d.Root], d.ClockDepth[b1], d.ClockDepth[ck1])
+	}
+	g1, _ := d.PinByName("g1")
+	if d.ClockDepth[g1] != -1 {
+		t.Errorf("data pin has clock depth %d", d.ClockDepth[g1])
+	}
+	if d.IsClockPin(g1) || !d.IsClockPin(b2) {
+		t.Error("IsClockPin misclassifies")
+	}
+}
+
+func TestClockArrivalAndCredit(t *testing.T) {
+	d := buildTriangle(t)
+	ck1, _ := d.PinByName("ff1/CK")
+	ck3, _ := d.PinByName("ff3/CK")
+	b1, _ := d.PinByName("b1")
+	if got := d.ClockArrival(ck1); got != (Window{Early: 130, Late: 170}) {
+		t.Errorf("ClockArrival(ff1/CK) = %v", got)
+	}
+	if got := d.ClockArrival(ck3); got != (Window{Early: 150, Late: 235}) {
+		t.Errorf("ClockArrival(ff3/CK) = %v", got)
+	}
+	if got := d.Credit(b1); got != 20 {
+		t.Errorf("Credit(b1) = %v, want 20", got)
+	}
+	if got := d.Credit(d.Root); got != 0 {
+		t.Errorf("Credit(root) = %v, want 0", got)
+	}
+	if got := d.Credit(ck1); got != 40 {
+		t.Errorf("Credit(ff1/CK) = %v, want 40", got)
+	}
+}
+
+func TestNaiveLCA(t *testing.T) {
+	d := buildTriangle(t)
+	ck1, _ := d.PinByName("ff1/CK")
+	ck2, _ := d.PinByName("ff2/CK")
+	ck3, _ := d.PinByName("ff3/CK")
+	b1, _ := d.PinByName("b1")
+	if got := d.NaiveLCA(ck1, ck2); got != b1 {
+		t.Errorf("LCA(ff1,ff2) = %s, want b1", d.PinName(got))
+	}
+	if got := d.NaiveLCA(ck1, ck3); got != d.Root {
+		t.Errorf("LCA(ff1,ff3) = %s, want clk", d.PinName(got))
+	}
+	if got := d.NaiveLCA(ck2, ck2); got != ck2 {
+		t.Errorf("LCA(ff2,ff2) = %s, want ff2/CK", d.PinName(got))
+	}
+	if got := d.NaiveLCA(b1, ck1); got != b1 {
+		t.Errorf("LCA(b1,ff1) = %s, want b1", d.PinName(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := buildTriangle(t)
+	s := d.StatsWithConnectivity()
+	if s.NumFFs != 3 || s.NumEdges != 16 || s.Depth != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	// ff1 reaches {ff2/D, ff3/D} = 2, ff2 reaches {ff2/D} = 1, ff3 none.
+	want := (2.0 + 1.0 + 0.0) / 3.0
+	if s.Connectivity != want {
+		t.Errorf("connectivity = %v, want %v", s.Connectivity, want)
+	}
+	if s.FFsPerD != 1.0 {
+		t.Errorf("FFsPerD = %v, want 1", s.FFsPerD)
+	}
+}
+
+// --- Builder validation failures ---
+
+func buildBad(mutate func(b *Builder)) error {
+	b := NewBuilder("bad", Ns(1))
+	clk := b.AddClockRoot("clk")
+	ff := b.AddFF("ff", 10, 5, Window{Early: 10, Late: 20})
+	b.AddArc(clk, ff.Clock, Window{Early: 5, Late: 9})
+	g := b.AddComb("g")
+	b.AddArc(ff.Q, g, Window{Early: 1, Late: 2})
+	b.AddArc(g, ff.D, Window{Early: 1, Late: 2})
+	mutate(b)
+	_, err := b.Build()
+	return err
+}
+
+func TestBuilderRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(b *Builder)
+		errPart string
+	}{
+		{"valid baseline", func(b *Builder) {}, ""},
+		{"duplicate pin", func(b *Builder) { b.AddComb("g") }, "duplicate pin"},
+		{"second clock root is valid (multi-domain)", func(b *Builder) { b.AddClockRoot("clk2") }, ""},
+		{"cycle", func(b *Builder) {
+			h, _ := b.byName["g"]
+			k := b.AddComb("k")
+			b.AddArc(h, k, Window{Early: 1, Late: 1})
+			b.AddArc(k, h, Window{Early: 1, Late: 1})
+		}, "cycle"},
+		{"negative delay", func(b *Builder) {
+			k := b.AddComb("k")
+			g := b.byName["g"]
+			b.AddArc(g, k, Window{Early: -1, Late: 1})
+		}, "invalid delay window"},
+		{"early > late", func(b *Builder) {
+			k := b.AddComb("k")
+			g := b.byName["g"]
+			b.AddArc(g, k, Window{Early: 5, Late: 2})
+		}, "invalid delay window"},
+		{"self-loop arc", func(b *Builder) {
+			g := b.byName["g"]
+			b.AddArc(g, g, Window{Early: 1, Late: 1})
+		}, "self-loop"},
+		{"data drives clock", func(b *Builder) {
+			g := b.byName["g"]
+			cb := b.AddClockBuf("cb")
+			b.AddArc(b.byName["clk"], cb, Window{Early: 1, Late: 1})
+			b.AddArc(g, cb, Window{Early: 1, Late: 1})
+		}, "enters the clock tree"},
+		{"disconnected clock buf", func(b *Builder) { b.AddClockBuf("island") }, "not connected"},
+		{"two clock parents", func(b *Builder) {
+			cb := b.AddClockBuf("cb")
+			b.AddArc(b.byName["clk"], cb, Window{Early: 1, Late: 1})
+			b.AddArc(b.byName["clk"], cb, Window{Early: 1, Late: 1})
+		}, "two clock-tree parents"},
+		{"D pin fan-out", func(b *Builder) {
+			k := b.AddComb("k")
+			b.AddArc(b.byName["ff/D"], k, Window{Early: 1, Late: 1})
+		}, "D pin has fan-out"},
+		{"PI with fan-in", func(b *Builder) {
+			p := b.AddPI("in", Window{})
+			b.AddArc(b.byName["g"], p, Window{Early: 1, Late: 1})
+		}, "has fan-in"},
+		{"arc to nowhere", func(b *Builder) {
+			b.AddArc(b.byName["g"], NoPin, Window{})
+		}, "invalid pin"},
+		{"parallel arcs", func(b *Builder) {
+			k := b.AddComb("k")
+			g := b.byName["g"]
+			b.AddArc(g, k, Window{Early: 1, Late: 2})
+			b.AddArc(g, k, Window{Early: 3, Late: 4})
+		}, "parallel arcs"},
+		{"CK drives comb", func(b *Builder) {
+			k := b.AddComb("k")
+			b.AddArc(b.byName["ff/CK"], k, Window{Early: 1, Late: 1})
+		}, "may only drive their Q pin"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := buildBad(c.mutate)
+			if c.errPart == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.errPart)
+			}
+			if !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("error %q does not contain %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+func TestEmptyDesignRejected(t *testing.T) {
+	if _, err := NewBuilder("empty", Ns(1)).Build(); err == nil {
+		t.Fatal("empty design accepted")
+	}
+	b := NewBuilder("noroot", Ns(1))
+	b.AddComb("g")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no clock root") {
+		t.Fatalf("err = %v", err)
+	}
+	b2 := NewBuilder("badperiod", 0)
+	b2.AddClockRoot("clk")
+	if _, err := b2.Build(); err == nil || !strings.Contains(err.Error(), "period") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid design")
+		}
+	}()
+	NewBuilder("empty", Ns(1)).MustBuild()
+}

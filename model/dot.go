@@ -1,0 +1,45 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the timing graph in Graphviz DOT format: clock-tree
+// pins as ellipses (clock arcs bold), data pins as boxes, arcs labelled
+// with their early/late delay windows. Intended for debugging small
+// designs; a million-edge design makes an unreadable plot.
+func (d *Design) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", d.Name)
+	for id, p := range d.Pins {
+		shape := "box"
+		style := ""
+		switch p.Kind {
+		case ClockRoot:
+			shape, style = "doublecircle", ",style=bold"
+		case ClockBuf:
+			shape = "ellipse"
+		case FFClock:
+			shape, style = "ellipse", ",style=filled,fillcolor=lightyellow"
+		case FFData:
+			style = ",style=filled,fillcolor=lightblue"
+		case FFOutput:
+			style = ",style=filled,fillcolor=lightgreen"
+		case PI, PO:
+			shape = "cds"
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q,shape=%s%s];\n", id, p.Name, shape, style)
+	}
+	for _, a := range d.Arcs {
+		attr := ""
+		if d.Pins[a.From].Kind.IsClock() && d.Pins[a.To].Kind.IsClock() {
+			attr = ",style=bold,color=orange"
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d [label=\"[%d,%d]\"%s];\n",
+			a.From, a.To, a.Delay.Early.Ps(), a.Delay.Late.Ps(), attr)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

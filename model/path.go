@@ -1,0 +1,325 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode selects the timing check a path is ranked under.
+type Mode uint8
+
+const (
+	// Setup ranks paths by setup slack: late data arrivals against the
+	// early capture clock edge one period later.
+	Setup Mode = iota
+	// Hold ranks paths by hold slack: early data arrivals against the
+	// late capture clock edge of the same cycle.
+	Hold
+)
+
+// String returns "setup" or "hold".
+func (m Mode) String() string {
+	if m == Hold {
+		return "hold"
+	}
+	return "setup"
+}
+
+// Modes lists both check modes, in report order.
+var Modes = [2]Mode{Setup, Hold}
+
+// Path is a ranked post-CPPR timing path: the full pin sequence from the
+// launch point (an FF clock pin, or a primary input) to the capturing FF's
+// D pin, together with its slack decomposition.
+type Path struct {
+	// Mode is the check this path was ranked under.
+	Mode Mode
+	// Pins is the complete pin sequence. For FF-launched paths it starts
+	// at the launching FF's clock (CK) pin; for PI-launched paths at the
+	// primary input. It ends at the capturing FF's D pin, or at a
+	// constrained primary output for output checks.
+	Pins []PinID
+	// LaunchFF is the launching flip-flop, or NoFF for PI-launched paths.
+	LaunchFF FFID
+	// CaptureFF is the capturing flip-flop, or NoFF for paths ending at
+	// a constrained primary output.
+	CaptureFF FFID
+	// Slack is the post-CPPR slack (the ranking key).
+	Slack Time
+	// PreSlack is the slack before pessimism removal.
+	PreSlack Time
+	// Credit is the CPPR credit applied: Slack - PreSlack. Zero for
+	// PI-launched paths.
+	Credit Time
+	// LCADepth is the clock-tree depth of LCA(launch CK, capture CK);
+	// -1 for PI-launched paths.
+	LCADepth int
+}
+
+// SelfLoop reports whether the path launches and captures at the same FF.
+func (p *Path) SelfLoop() bool {
+	return p.LaunchFF != NoFF && p.LaunchFF == p.CaptureFF
+}
+
+// StartPin returns the first pin (launch CK pin or PI).
+func (p *Path) StartPin() PinID { return p.Pins[0] }
+
+// EndPin returns the final pin (the capturing FF's D pin or a PO).
+func (p *Path) EndPin() PinID { return p.Pins[len(p.Pins)-1] }
+
+// EndsAtPO reports whether the path is an output check.
+func (p *Path) EndsAtPO() bool { return p.CaptureFF == NoFF }
+
+// Format renders a human-readable multi-line path report.
+func (p *Path) Format(d *Design) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s path, slack %v (pre-CPPR %v, credit %v, LCA depth %d)\n",
+		p.Mode, p.Slack, p.PreSlack, p.Credit, p.LCADepth)
+	for i, u := range p.Pins {
+		prefix := "  "
+		if i == 0 {
+			prefix = "^ "
+		} else if i == len(p.Pins)-1 {
+			prefix = "$ "
+		}
+		fmt.Fprintf(&sb, "%s%s\n", prefix, d.PinName(u))
+	}
+	return sb.String()
+}
+
+// ClockArrival returns the early/late arrival window of clock-tree pin u:
+// the accumulated tree delay from u's domain root. It walks parent
+// pointers and is O(depth); use internal/sta for bulk propagation.
+func (d *Design) ClockArrival(u PinID) Window {
+	var w Window
+	for d.Pins[u].Kind != ClockRoot {
+		ai := d.ClockParentArc[u]
+		if ai < 0 {
+			panic(fmt.Sprintf("model: pin %q is not in the clock tree", d.PinName(u)))
+		}
+		w = w.Add(d.Arcs[ai].Delay)
+		u = d.ClockParent[u]
+	}
+	return w
+}
+
+// Credit returns the CPPR credit of clock-tree node u:
+// at_late(u) - at_early(u).
+func (d *Design) Credit(u PinID) Time { return d.ClockArrival(u).Width() }
+
+// NaiveLCA returns the lowest common ancestor of clock pins u and v by
+// walking parent pointers, or NoPin when u and v sit in different clock
+// domains (no common ancestor, no shared pessimism); O(depth). The
+// internal/lca package provides the O(1)-query structures used by the
+// timers; this is the test oracle.
+func (d *Design) NaiveLCA(u, v PinID) PinID {
+	du, dv := d.ClockDepth[u], d.ClockDepth[v]
+	if du < 0 || dv < 0 {
+		panic("model: NaiveLCA on non-clock pin")
+	}
+	for du > dv {
+		u = d.ClockParent[u]
+		du--
+	}
+	for dv > du {
+		v = d.ClockParent[v]
+		dv--
+	}
+	for u != v {
+		if d.ClockParent[u] == NoPin || d.ClockParent[v] == NoPin {
+			return NoPin // different clock domains
+		}
+		u = d.ClockParent[u]
+		v = d.ClockParent[v]
+	}
+	return u
+}
+
+// RecomputePath re-derives a path's slack decomposition from first
+// principles: it checks every consecutive pin pair is connected by an arc,
+// determines launch/capture, accumulates the mode's delay bound, applies
+// the exact LCA credit, and returns a fully populated copy. It is the
+// validation oracle every timer's output is checked against in tests.
+func (d *Design) RecomputePath(mode Mode, pins []PinID) (Path, error) {
+	if len(pins) < 2 {
+		return Path{}, fmt.Errorf("model: path too short (%d pins)", len(pins))
+	}
+	end := pins[len(pins)-1]
+	capFF := NoFF
+	var poRequired Window
+	switch d.Pins[end].Kind {
+	case FFData:
+		capFF = d.Pins[end].FF
+	case PO:
+		found := false
+		for i, po := range d.POs {
+			if po == end {
+				if !d.POConstrained[i] {
+					return Path{}, fmt.Errorf("model: primary output %q is unconstrained", d.PinName(end))
+				}
+				poRequired = d.PORequired[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Path{}, fmt.Errorf("model: pin %q not registered as a primary output", d.PinName(end))
+		}
+	default:
+		return Path{}, fmt.Errorf("model: path must end at an FF D pin or constrained PO, got %q", d.PinName(end))
+	}
+	start := pins[0]
+
+	var launchFF = NoFF
+	switch d.Pins[start].Kind {
+	case FFClock:
+		launchFF = d.Pins[start].FF
+	case PI:
+	default:
+		return Path{}, fmt.Errorf("model: path must start at an FF CK pin or a primary input, got %q (%v)",
+			d.PinName(start), d.Pins[start].Kind)
+	}
+
+	// Accumulate path delay under the mode's bound.
+	var delay Time
+	for i := 0; i+1 < len(pins); i++ {
+		ai := d.ArcBetween(pins[i], pins[i+1])
+		if ai < 0 {
+			return Path{}, fmt.Errorf("model: no arc %q -> %q", d.PinName(pins[i]), d.PinName(pins[i+1]))
+		}
+		if mode == Setup {
+			delay += d.Arcs[ai].Delay.Late
+		} else {
+			delay += d.Arcs[ai].Delay.Early
+		}
+	}
+
+	// Data arrival at the endpoint.
+	var dAt Time
+	if launchFF != NoFF {
+		lauAt := d.ClockArrival(d.FFs[launchFF].Clock)
+		if mode == Setup {
+			dAt = lauAt.Late + delay
+		} else {
+			dAt = lauAt.Early + delay
+		}
+	} else {
+		// PI launch: external arrival window at the input.
+		var w Window
+		found := false
+		for i, p := range d.PIs {
+			if p == start {
+				w = d.PIArrival[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Path{}, fmt.Errorf("model: pin %q not registered as a primary input", d.PinName(start))
+		}
+		if mode == Setup {
+			dAt = w.Late + delay
+		} else {
+			dAt = w.Early + delay
+		}
+	}
+
+	var pre Time
+	if capFF != NoFF {
+		ff := d.FFs[capFF]
+		capAt := d.ClockArrival(ff.Clock)
+		if mode == Setup {
+			pre = capAt.Early + d.Period - ff.Setup - dAt
+		} else {
+			pre = dAt - (capAt.Late + ff.Hold)
+		}
+	} else {
+		// Output check against the PO's required window.
+		if mode == Setup {
+			pre = poRequired.Late - dAt
+		} else {
+			pre = dAt - poRequired.Early
+		}
+	}
+
+	p := Path{
+		Mode:      mode,
+		Pins:      pins,
+		LaunchFF:  launchFF,
+		CaptureFF: capFF,
+		PreSlack:  pre,
+		LCADepth:  -1,
+	}
+	if launchFF != NoFF && capFF != NoFF {
+		// Cross-domain pairs share no clock path: no credit.
+		if l := d.NaiveLCA(d.FFs[launchFF].Clock, d.FFs[capFF].Clock); l != NoPin {
+			p.LCADepth = int(d.ClockDepth[l])
+			p.Credit = d.Credit(l)
+		}
+	}
+	p.Slack = p.PreSlack + p.Credit
+	return p, nil
+}
+
+// FormatDetailed renders a signoff-style per-pin timing report for the
+// path: each line shows the pin, the incremental arc delay under the
+// path's check mode, and the accumulated arrival. The launch line uses
+// the launching clock arrival (late for setup, early for hold) or the
+// PI arrival window.
+func (p *Path) FormatDetailed(d *Design) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s path, slack %v = pre-CPPR %v + credit %v (LCA depth %d)\n",
+		p.Mode, p.Slack, p.PreSlack, p.Credit, p.LCADepth)
+	fmt.Fprintf(&sb, "%-32s %12s %12s\n", "pin", "incr", "arrival")
+
+	var at Time
+	start := p.Pins[0]
+	switch d.Pins[start].Kind {
+	case FFClock:
+		w := d.ClockArrival(start)
+		if p.Mode == Setup {
+			at = w.Late
+		} else {
+			at = w.Early
+		}
+	case PI:
+		for i, pi := range d.PIs {
+			if pi == start {
+				if p.Mode == Setup {
+					at = d.PIArrival[i].Late
+				} else {
+					at = d.PIArrival[i].Early
+				}
+				break
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%-32s %12s %12v  (launch)\n", d.PinName(start), "-", at)
+	for i := 1; i < len(p.Pins); i++ {
+		ai := d.ArcBetween(p.Pins[i-1], p.Pins[i])
+		var incr Time
+		if ai >= 0 {
+			if p.Mode == Setup {
+				incr = d.Arcs[ai].Delay.Late
+			} else {
+				incr = d.Arcs[ai].Delay.Early
+			}
+		}
+		at += incr
+		fmt.Fprintf(&sb, "%-32s %12v %12v\n", d.PinName(p.Pins[i]), incr, at)
+	}
+
+	// Check line: the capture requirement this arrival is tested against.
+	if p.CaptureFF != NoFF {
+		ff := d.FFs[p.CaptureFF]
+		cap := d.ClockArrival(ff.Clock)
+		if p.Mode == Setup {
+			fmt.Fprintf(&sb, "%-32s %12s %12v  (early capture + T - setup)\n",
+				d.FFs[p.CaptureFF].Name+" setup check", "-", cap.Early+d.Period-ff.Setup)
+		} else {
+			fmt.Fprintf(&sb, "%-32s %12s %12v  (late capture + hold)\n",
+				d.FFs[p.CaptureFF].Name+" hold check", "-", cap.Late+ff.Hold)
+		}
+	}
+	return sb.String()
+}

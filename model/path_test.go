@@ -1,0 +1,214 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func pins(d *Design, t *testing.T, names ...string) []PinID {
+	t.Helper()
+	ids := make([]PinID, len(names))
+	for i, n := range names {
+		id, ok := d.PinByName(n)
+		if !ok {
+			t.Fatalf("pin %q not found", n)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestRecomputePathSetup(t *testing.T) {
+	d := buildTriangle(t)
+	// ff1 -> g1 -> ff2: LCA is b1 (depth 1), credit 20.
+	p, err := d.RecomputePath(Setup, pins(d, t, "ff1/CK", "ff1/Q", "g1", "ff2/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// late D arrival = at_late(ff1/CK)=170 + ckq 40 + 200 + 90 = 500
+	// pre slack = at_early(ff2/CK)=135+... recompute: ff2/CK early = 80+55=135
+	// pre = 135 + 10000 - 20 - 500 = 9615
+	if p.PreSlack != 9615 {
+		t.Errorf("PreSlack = %v, want 9615ps", p.PreSlack.Ps())
+	}
+	if p.Credit != 20 {
+		t.Errorf("Credit = %v, want 20", p.Credit)
+	}
+	if p.Slack != 9635 {
+		t.Errorf("Slack = %v, want 9635", p.Slack.Ps())
+	}
+	if p.LCADepth != 1 {
+		t.Errorf("LCADepth = %d, want 1", p.LCADepth)
+	}
+	if p.LaunchFF != 0 || p.CaptureFF != 1 {
+		t.Errorf("launch/capture = %d/%d", p.LaunchFF, p.CaptureFF)
+	}
+	if p.SelfLoop() {
+		t.Error("not a self loop")
+	}
+}
+
+func TestRecomputePathHold(t *testing.T) {
+	d := buildTriangle(t)
+	p, err := d.RecomputePath(Hold, pins(d, t, "ff1/CK", "ff1/Q", "g1", "ff2/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// early D arrival = at_early(ff1/CK)=130 + 30 + 100 + 50 = 310
+	// hold pre = 310 - (at_late(ff2/CK)=165 + Thold 10) = 135
+	if p.PreSlack != 135 {
+		t.Errorf("PreSlack = %v, want 135", p.PreSlack.Ps())
+	}
+	if p.Slack != 155 {
+		t.Errorf("Slack = %v, want 155", p.Slack.Ps())
+	}
+}
+
+func TestRecomputePathCrossSubtree(t *testing.T) {
+	d := buildTriangle(t)
+	// ff1 -> g2 -> ff3: LCA is the root (depth 0), credit 0.
+	p, err := d.RecomputePath(Setup, pins(d, t, "ff1/CK", "ff1/Q", "g2", "ff3/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Credit != 0 || p.LCADepth != 0 {
+		t.Errorf("credit=%v depth=%d, want 0/0", p.Credit, p.LCADepth)
+	}
+	if p.Slack != p.PreSlack {
+		t.Error("slack must equal pre-slack when credit is 0")
+	}
+}
+
+func TestRecomputePathSelfLoop(t *testing.T) {
+	d := buildTriangle(t)
+	p, err := d.RecomputePath(Setup, pins(d, t, "ff2/CK", "ff2/Q", "g3", "ff2/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SelfLoop() {
+		t.Fatal("self loop not detected")
+	}
+	// LCA(ff2,ff2)=ff2/CK, depth 2, credit = 165-135=30.
+	if p.LCADepth != 2 || p.Credit != 30 {
+		t.Errorf("depth=%d credit=%v, want 2/30", p.LCADepth, p.Credit)
+	}
+}
+
+func TestRecomputePathFromPI(t *testing.T) {
+	d := buildTriangle(t)
+	p, err := d.RecomputePath(Setup, pins(d, t, "in1", "g2", "ff3/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LaunchFF != NoFF || p.LCADepth != -1 || p.Credit != 0 {
+		t.Errorf("PI path got launch=%d depth=%d credit=%v", p.LaunchFF, p.LCADepth, p.Credit)
+	}
+	// late D arrival = PI late 12 + 20 + 110 = 142
+	// pre = at_early(ff3/CK)=150 + 10000 - 25 - 142 = 9983
+	if p.Slack != 9983 {
+		t.Errorf("Slack = %v, want 9983", p.Slack.Ps())
+	}
+	if p.StartPin() != pins(d, t, "in1")[0] || d.Pins[p.EndPin()].Kind != FFData {
+		t.Error("start/end pins wrong")
+	}
+}
+
+func TestRecomputePathErrors(t *testing.T) {
+	d := buildTriangle(t)
+	cases := []struct {
+		name    string
+		pins    []string
+		errPart string
+	}{
+		{"too short", []string{"g1"}, "too short"},
+		{"wrong end", []string{"ff1/CK", "ff1/Q", "g1"}, "must end at an FF D pin"},
+		{"wrong start", []string{"g1", "ff2/D"}, "must start at"},
+		{"missing arc", []string{"ff1/CK", "ff1/Q", "g3", "ff2/D"}, "no arc"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := d.RecomputePath(Setup, pins(d, t, c.pins...))
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("err = %v, want contains %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+func TestPathFormat(t *testing.T) {
+	d := buildTriangle(t)
+	p, err := d.RecomputePath(Setup, pins(d, t, "ff1/CK", "ff1/Q", "g1", "ff2/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Format(d)
+	for _, want := range []string{"setup path", "ff1/CK", "ff2/D", "credit 0.020ns", "LCA depth 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q in:\n%s", want, s)
+		}
+	}
+	if !strings.HasPrefix(s[strings.Index(s, "^"):], "^ ff1/CK") {
+		t.Error("start marker wrong")
+	}
+}
+
+func TestPinKindString(t *testing.T) {
+	kinds := map[PinKind]string{
+		Comb: "comb", PI: "pi", PO: "po", ClockRoot: "clockroot",
+		ClockBuf: "clockbuf", FFClock: "ffclock", FFData: "ffdata", FFOutput: "ffoutput",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), want)
+		}
+	}
+	if PinKind(99).String() != "PinKind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestFormatDetailed(t *testing.T) {
+	d := buildTriangle(t)
+	p, err := d.RecomputePath(Setup, pins(d, t, "ff1/CK", "ff1/Q", "g1", "ff2/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.FormatDetailed(d)
+	for _, want := range []string{"pin", "incr", "arrival", "(launch)", "setup check", "ff1/CK", "ff2/D"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatDetailed missing %q in:\n%s", want, s)
+		}
+	}
+	// Launch arrival is the late clock arrival (0.170ns) and the final
+	// arrival is 0.500ns (computed in TestRecomputePathSetup).
+	if !strings.Contains(s, "0.170ns") || !strings.Contains(s, "0.500ns") {
+		t.Errorf("arrivals wrong in:\n%s", s)
+	}
+	// Hold variant uses early numbers and the hold check line.
+	ph, err := d.RecomputePath(Hold, pins(d, t, "ff1/CK", "ff1/Q", "g1", "ff2/D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := ph.FormatDetailed(d)
+	if !strings.Contains(sh, "hold check") || !strings.Contains(sh, "0.130ns") {
+		t.Errorf("hold detail wrong in:\n%s", sh)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	d := buildTriangle(t)
+	var buf strings.Builder
+	if err := d.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`digraph "triangle"`, `"ff1/CK"`, "doublecircle", "color=orange", "rankdir=LR", "}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// One node line per pin, one edge line per arc.
+	if got := strings.Count(s, "->"); got != d.NumArcs() {
+		t.Errorf("%d edges in DOT, want %d", got, d.NumArcs())
+	}
+}

@@ -1,0 +1,130 @@
+// Package model defines the circuit timing-graph data model shared by all
+// timers in this repository: pins, timing arcs with early/late delay bounds,
+// flip-flops, the clock tree, and timing paths.
+//
+// A design is a directed acyclic graph whose nodes are pins and whose edges
+// are timing arcs. The clock tree is the subgraph of clock-kind pins rooted
+// at the clock source; its leaves are flip-flop clock pins. Data paths start
+// at a flip-flop Q pin (launched by the clock) or at a primary input, and
+// end at a flip-flop D pin where a setup or hold test is performed.
+//
+// All times are fixed-point picoseconds (type Time) so that slack
+// comparisons are exact and every algorithm in this repository is
+// bit-for-bit deterministic regardless of evaluation order or thread count.
+package model
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Time is a signed time value in integer picoseconds.
+//
+// Fixed-point arithmetic keeps slack ordering exact: two algorithms that
+// compute the same slack by different arithmetic orders produce identical
+// bits, which the cross-algorithm oracle tests rely on.
+type Time int64
+
+// Common scale factors for constructing Time values.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+)
+
+// MaxTime and MinTime bound the representable range. They are kept well
+// inside the int64 range so that a handful of additions cannot overflow.
+const (
+	MaxTime Time = math.MaxInt64 / 8
+	MinTime Time = math.MinInt64 / 8
+)
+
+// Ps returns a Time of n picoseconds.
+func Ps(n int64) Time { return Time(n) }
+
+// Ns returns a Time of n nanoseconds.
+func Ns(n int64) Time { return Time(n) * Nanosecond }
+
+// Ps returns the value in picoseconds as an int64.
+func (t Time) Ps() int64 { return int64(t) }
+
+// Ns returns the value in (possibly fractional) nanoseconds.
+func (t Time) Ns() float64 { return float64(t) / float64(Nanosecond) }
+
+// String renders the time in nanoseconds with picosecond precision,
+// e.g. "1.250ns" or "-0.003ns".
+func (t Time) String() string {
+	neg := t < 0
+	v := int64(t)
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d.%03dns", v/1000, v%1000)
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// ParseTime parses a time literal. Accepted forms are a plain integer
+// (picoseconds), an integer or decimal with an "ns" suffix, or an integer
+// with a "ps" suffix. Examples: "250", "250ps", "0.25ns", "3ns".
+func ParseTime(s string) (Time, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = strings.TrimSuffix(s, "ns")
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("model: invalid time %q: %v", orig, err)
+		}
+		return Time(math.Round(f * float64(Nanosecond))), nil
+	case strings.HasSuffix(s, "ps"):
+		s = strings.TrimSuffix(s, "ps")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("model: invalid time %q: %v", orig, err)
+	}
+	return Time(n), nil
+}
+
+// MinOf returns the smaller of a and b.
+func MinOf(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxOf returns the larger of a and b.
+func MaxOf(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Window is an early/late pair of times, used for delay bounds and
+// arrival-time bounds. Invariant for valid designs: Early <= Late.
+type Window struct {
+	Early Time
+	Late  Time
+}
+
+// Add returns the component-wise sum of two windows.
+func (w Window) Add(o Window) Window {
+	return Window{Early: w.Early + o.Early, Late: w.Late + o.Late}
+}
+
+// Width returns Late - Early. For arrival windows on clock-tree nodes this
+// is exactly the CPPR credit of the node.
+func (w Window) Width() Time { return w.Late - w.Early }
+
+// String renders the window as "[early, late]".
+func (w Window) String() string {
+	return fmt.Sprintf("[%v, %v]", w.Early, w.Late)
+}

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0.000ns"},
+		{1, "0.001ns"},
+		{999, "0.999ns"},
+		{1000, "1.000ns"},
+		{1250, "1.250ns"},
+		{-3, "-0.003ns"},
+		{-1250, "-1.250ns"},
+		{Ns(2), "2.000ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Time
+		wantErr bool
+	}{
+		{"250", 250, false},
+		{"250ps", 250, false},
+		{" 250ps ", 250, false},
+		{"0.25ns", 250, false},
+		{"3ns", 3000, false},
+		{"-5", -5, false},
+		{"-0.5ns", -500, false},
+		{"abc", 0, true},
+		{"1.5", 0, true}, // fractional ps not allowed
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseTime(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseTime(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTimeRoundTrip(t *testing.T) {
+	f := func(n int32) bool {
+		tm := Time(n)
+		got, err := ParseTime(tm.String())
+		return err == nil && got == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	if MinOf(3, 5) != 3 || MinOf(5, 3) != 3 || MaxOf(3, 5) != 5 || MaxOf(5, 3) != 5 {
+		t.Error("MinOf/MaxOf wrong")
+	}
+	if MinOf(-2, -7) != -7 || MaxOf(-2, -7) != -2 {
+		t.Error("MinOf/MaxOf wrong on negatives")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	a := Window{Early: 10, Late: 30}
+	b := Window{Early: 5, Late: 7}
+	sum := a.Add(b)
+	if sum != (Window{Early: 15, Late: 37}) {
+		t.Errorf("Add = %v", sum)
+	}
+	if a.Width() != 20 {
+		t.Errorf("Width = %v, want 20", a.Width())
+	}
+	if got := a.String(); got != "[0.010ns, 0.030ns]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Setup.String() != "setup" || Hold.String() != "hold" {
+		t.Error("Mode.String wrong")
+	}
+	if Modes != [2]Mode{Setup, Hold} {
+		t.Error("Modes order changed")
+	}
+}

@@ -1,0 +1,368 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fastcppr/liberty"
+	"fastcppr/model"
+)
+
+// enode is a netlist-level timing node: a port or an instance pin.
+type enode struct {
+	ref     pinRef
+	name    string
+	isClock bool // in the clock cone
+	slewE   float64
+	slewL   float64
+}
+
+// earc is a netlist-level timing arc with its computed delay window.
+type earc struct {
+	from, to int
+	delay    model.Window
+	isCkq    bool // DFF CK->Q launch arc (created by AddFF, not AddArc)
+	// lut references the cell arc for delay computation (nil for wires).
+	lut  *liberty.Arc
+	wire *netInfo // non-nil for net arcs
+}
+
+// elaborate performs clock-cone marking, slew propagation, delay
+// calculation and model construction. nets are fully resolved.
+func (n *Netlist) elaborate(lib *liberty.Library, wm WireModel, cells []*liberty.Cell,
+	nets map[string]*netInfo, netNames []string) (*model.Design, error) {
+
+	if wm.PortSlew <= 0 {
+		wm.PortSlew = 25
+	}
+
+	// ---- nodes ----
+	var nodes []enode
+	nodeOf := map[string]int{}
+	addNode := func(r pinRef) int {
+		name := n.pinName(r)
+		if id, ok := nodeOf[name]; ok {
+			return id
+		}
+		id := len(nodes)
+		nodes = append(nodes, enode{ref: r, name: name})
+		nodeOf[name] = id
+		return id
+	}
+	for pi := range n.Ports {
+		addNode(pinRef{inst: -1, port: pi})
+	}
+	for ii, inst := range n.Insts {
+		for _, conn := range inst.Conns {
+			addNode(pinRef{inst: ii, pin: conn.Pin})
+		}
+	}
+
+	// connectedOutputs/Inputs per instance (sorted for determinism).
+	connPins := make([][]Conn, len(n.Insts))
+	for ii, inst := range n.Insts {
+		connPins[ii] = append([]Conn(nil), inst.Conns...)
+		sort.Slice(connPins[ii], func(a, b int) bool { return connPins[ii][a].Pin < connPins[ii][b].Pin })
+	}
+
+	// loads: total capacitance driven by each net.
+	loadOf := func(ni *netInfo) float64 {
+		c := ni.rc.Cap
+		for _, s := range ni.sinks {
+			if s.inst < 0 {
+				c += wm.C0 // port pin load approximation
+				continue
+			}
+			p, _ := cells[s.inst].Pin(s.pin)
+			c += p.Cap
+		}
+		return c
+	}
+
+	// ---- clock cone ----
+	// BFS from clock ports through nets and single-input buffer cells
+	// down to sequential CK pins.
+	type queueItem struct{ net *netInfo }
+	var queue []queueItem
+	for pi, p := range n.Ports {
+		if p.Dir != Clock {
+			continue
+		}
+		nodes[nodeOf[p.Name]].isClock = true
+		ni, ok := nets[n.Ports[pi].Name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: clock port %s drives nothing", p.Name)
+		}
+		queue = append(queue, queueItem{net: ni})
+	}
+	hasClockPort := len(queue) > 0
+	if !hasClockPort {
+		return nil, fmt.Errorf("netlist: design has no clock port")
+	}
+	for len(queue) > 0 {
+		ni := queue[0].net
+		queue = queue[1:]
+		for _, s := range ni.sinks {
+			if s.inst < 0 {
+				return nil, fmt.Errorf("netlist: clock cone reaches output port %s", n.Ports[s.port].Name)
+			}
+			id := nodeOf[n.pinName(s)]
+			if nodes[id].isClock {
+				return nil, fmt.Errorf("netlist: reconvergent clock at %s", nodes[id].name)
+			}
+			nodes[id].isClock = true
+			cell := cells[s.inst]
+			if cell.IsSequential() {
+				p, _ := cell.Pin(s.pin)
+				if p.Dir != liberty.ClockPin {
+					return nil, fmt.Errorf("netlist: clock reaches non-clock pin %s", nodes[id].name)
+				}
+				continue // clock-tree leaf
+			}
+			// Combinational cell in the clock cone: must be a
+			// single-input buffer with one connected output.
+			var inputs, outputs []Conn
+			for _, conn := range connPins[s.inst] {
+				p, _ := cell.Pin(conn.Pin)
+				if p.Dir == liberty.Output {
+					outputs = append(outputs, conn)
+				} else {
+					inputs = append(inputs, conn)
+				}
+			}
+			if len(inputs) != 1 || len(outputs) != 1 {
+				return nil, fmt.Errorf("netlist: clock cone passes through non-buffer %s (%s)",
+					n.Insts[s.inst].Name, cell.Name)
+			}
+			outID := nodeOf[n.Insts[s.inst].Name+"/"+outputs[0].Pin]
+			if nodes[outID].isClock {
+				return nil, fmt.Errorf("netlist: reconvergent clock at %s", nodes[outID].name)
+			}
+			nodes[outID].isClock = true
+			queue = append(queue, queueItem{net: nets[outputs[0].Net]})
+		}
+	}
+
+	// ---- arcs (structure first; delays after slew propagation) ----
+	var arcs []earc
+	for _, name := range netNames {
+		ni := nets[name]
+		from := nodeOf[n.pinName(ni.driver)]
+		for _, s := range ni.sinks {
+			arcs = append(arcs, earc{from: from, to: nodeOf[n.pinName(s)], wire: ni})
+		}
+	}
+	for ii := range n.Insts {
+		cell := cells[ii]
+		for ai := range cell.Arcs {
+			a := &cell.Arcs[ai]
+			fromName := n.Insts[ii].Name + "/" + a.From
+			toName := n.Insts[ii].Name + "/" + a.To
+			fi, okF := nodeOf[fromName]
+			ti, okT := nodeOf[toName]
+			if !okF || !okT {
+				continue // unconnected arc endpoints carry no timing
+			}
+			fromPin, _ := cell.Pin(a.From)
+			arcs = append(arcs, earc{
+				from:  fi,
+				to:    ti,
+				lut:   a,
+				isCkq: cell.IsSequential() && fromPin.Dir == liberty.ClockPin,
+			})
+		}
+	}
+
+	// ---- topological order over netlist nodes ----
+	indeg := make([]int, len(nodes))
+	fanout := make([][]int, len(nodes)) // arc indices
+	for ai, a := range arcs {
+		indeg[a.to]++
+		fanout[a.from] = append(fanout[a.from], ai)
+	}
+	order := make([]int, 0, len(nodes))
+	for id := range nodes {
+		if indeg[id] == 0 {
+			order = append(order, id)
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		for _, ai := range fanout[order[head]] {
+			indeg[arcs[ai].to]--
+			if indeg[arcs[ai].to] == 0 {
+				order = append(order, arcs[ai].to)
+			}
+		}
+	}
+	if len(order) != len(nodes) {
+		return nil, fmt.Errorf("netlist: combinational loop detected")
+	}
+
+	// ---- loads per net and per driving node (computed once) ----
+	netLoad := make(map[*netInfo]float64, len(netNames))
+	outLoad := make([]float64, len(nodes))
+	for _, name := range netNames {
+		ni := nets[name]
+		l := loadOf(ni)
+		netLoad[ni] = l
+		outLoad[nodeOf[n.pinName(ni.driver)]] = l
+	}
+
+	// ---- slew propagation (early = fastest transition, late = slowest) ----
+	for i := range nodes {
+		nodes[i].slewE = math.Inf(1)
+		nodes[i].slewL = math.Inf(-1)
+	}
+	for pi, p := range n.Ports {
+		if p.Dir == Out {
+			continue
+		}
+		s := p.Slew
+		if s <= 0 {
+			s = wm.PortSlew
+		}
+		id := nodeOf[n.Ports[pi].Name]
+		nodes[id].slewE, nodes[id].slewL = s, s
+	}
+	for _, id := range order {
+		nd := &nodes[id]
+		if math.IsInf(nd.slewE, 1) {
+			continue // no transition source reaches this node
+		}
+		for _, ai := range fanout[id] {
+			a := &arcs[ai]
+			to := &nodes[a.to]
+			var se, sl float64
+			if a.wire != nil {
+				deg := wm.SlewPerRC * a.wire.rc.Res * netLoad[a.wire]
+				se, sl = nd.slewE+deg, nd.slewL+deg
+			} else {
+				load := outLoad[a.to]
+				se = a.lut.Slew.Lookup(nd.slewE, load)
+				sl = a.lut.Slew.Lookup(nd.slewL, load)
+			}
+			if se < to.slewE {
+				to.slewE = se
+			}
+			if sl > to.slewL {
+				to.slewL = sl
+			}
+		}
+	}
+
+	// ---- delays ----
+	round := func(v float64) model.Time {
+		if v < 0 {
+			return 0
+		}
+		return model.Time(math.Round(v))
+	}
+	for ai := range arcs {
+		a := &arcs[ai]
+		from := &nodes[a.from]
+		var early, late float64
+		if a.wire != nil {
+			nominal := a.wire.rc.Res * (a.wire.rc.Cap/2 + netLoad[a.wire])
+			early, late = nominal*lib.DerateEarly, nominal*lib.DerateLate
+		} else {
+			load := outLoad[a.to]
+			if math.IsInf(from.slewE, 1) {
+				// Unreached input: keep a nominal midpoint delay so the
+				// graph stays well-formed.
+				mid := a.lut.Delay.Lookup(wm.PortSlew, load)
+				early, late = mid*lib.DerateEarly, mid*lib.DerateLate
+			} else {
+				early = lib.DerateEarly * a.lut.Delay.Lookup(from.slewE, load)
+				late = lib.DerateLate * a.lut.Delay.Lookup(from.slewL, load)
+			}
+		}
+		a.delay = model.Window{Early: round(early), Late: round(late)}
+		if a.delay.Early > a.delay.Late {
+			a.delay.Early = a.delay.Late
+		}
+	}
+
+	// ---- build the model ----
+	b := model.NewBuilder(n.Name, n.Period)
+	pinID := make([]model.PinID, len(nodes))
+	for i := range pinID {
+		pinID[i] = model.NoPin
+	}
+	for _, p := range n.Ports {
+		id := nodeOf[p.Name]
+		switch p.Dir {
+		case Clock:
+			pinID[id] = b.AddClockRoot(p.Name)
+		case In:
+			pinID[id] = b.AddPI(p.Name, p.Arrival)
+		case Out:
+			if p.Constrained {
+				pinID[id] = b.AddPOConstrained(p.Name, p.Required)
+			} else {
+				pinID[id] = b.AddPO(p.Name)
+			}
+		}
+	}
+	// Sequential instances become model FFs; their CK/D/Q nodes map to
+	// the FF's canonical pins.
+	for ii, inst := range n.Insts {
+		cell := cells[ii]
+		if !cell.IsSequential() {
+			continue
+		}
+		var ck, dp, qp string
+		for _, conn := range connPins[ii] {
+			p, _ := cell.Pin(conn.Pin)
+			switch p.Dir {
+			case liberty.ClockPin:
+				ck = conn.Pin
+			case liberty.Input:
+				dp = conn.Pin
+			case liberty.Output:
+				qp = conn.Pin
+			}
+		}
+		if ck == "" || dp == "" || qp == "" {
+			return nil, fmt.Errorf("netlist: flip-flop %s must connect clock, data and output pins", inst.Name)
+		}
+		if !nodes[nodeOf[inst.Name+"/"+ck]].isClock {
+			return nil, fmt.Errorf("netlist: flip-flop %s clock pin is not reached by a clock", inst.Name)
+		}
+		// CK->Q window from the computed arc delays.
+		var ckq model.Window
+		found := false
+		for _, a := range arcs {
+			if a.isCkq && nodes[a.from].name == inst.Name+"/"+ck {
+				ckq = a.delay
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("netlist: flip-flop %s has no CK->Q arc", inst.Name)
+		}
+		ffp := b.AddFF(inst.Name, round(cell.Setup), round(cell.Hold), ckq)
+		pinID[nodeOf[inst.Name+"/"+ck]] = ffp.Clock
+		pinID[nodeOf[inst.Name+"/"+dp]] = ffp.D
+		pinID[nodeOf[inst.Name+"/"+qp]] = ffp.Q
+	}
+	// Remaining nodes: clock buffers or combinational pins.
+	for id := range nodes {
+		if pinID[id] != model.NoPin {
+			continue
+		}
+		if nodes[id].isClock {
+			pinID[id] = b.AddClockBuf(nodes[id].name)
+		} else {
+			pinID[id] = b.AddComb(nodes[id].name)
+		}
+	}
+	for _, a := range arcs {
+		if a.isCkq {
+			continue // created by AddFF
+		}
+		b.AddArc(pinID[a.from], pinID[a.to], a.delay)
+	}
+	return b.Build()
+}

@@ -1,0 +1,210 @@
+// Package netlist models gate-level netlists and elaborates them into
+// timing graphs: the front-end flow that produces the "circuit graph
+// with updated delay values" the CPPR problem statement assumes.
+//
+// Elaboration performs the classical static-timing front end:
+//
+//   - net resolution (one driver, many sinks),
+//   - clock-cone extraction (ports marked clock, through single-input
+//     buffers, down to flip-flop CK pins — the clock tree),
+//   - load computation (pin caps + wire cap),
+//   - slew propagation in topological order,
+//   - NLDM delay lookup per cell arc (liberty.LUT, bilinear),
+//   - Elmore-style lumped wire delays,
+//   - early/late derating (a simple OCV model),
+//
+// and produces a validated model.Design ready for CPPR analysis.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"fastcppr/liberty"
+	"fastcppr/model"
+)
+
+// PortDir classifies a top-level port.
+type PortDir uint8
+
+const (
+	// In is a primary input port.
+	In PortDir = iota
+	// Out is a primary output port.
+	Out
+	// Clock is a clock source port (one clock domain per clock port).
+	Clock
+)
+
+// Port is a top-level port.
+type Port struct {
+	Name string
+	Dir  PortDir
+	// Arrival is the input arrival window (ps; In ports).
+	Arrival model.Window
+	// Required is the output required window (Out ports); Constrained
+	// marks whether the output carries a check.
+	Required    model.Window
+	Constrained bool
+	// Slew is the input transition (ps; In and Clock ports).
+	Slew float64
+}
+
+// Conn connects an instance pin to a net.
+type Conn struct {
+	Pin string // library pin name
+	Net string
+}
+
+// Inst is a placed cell instance.
+type Inst struct {
+	Name  string
+	Cell  string
+	Conns []Conn
+}
+
+// NetRC overrides the wire model for one net.
+type NetRC struct {
+	Res, Cap float64
+}
+
+// Netlist is a parsed gate-level design.
+type Netlist struct {
+	Name   string
+	Period model.Time
+	Ports  []Port
+	Insts  []Inst
+	// RC holds per-net wire overrides.
+	RC map[string]NetRC
+}
+
+// WireModel derives default net parasitics from fanout when no explicit
+// RC is given: Res = R0 + R1*fanout, Cap = C0 + C1*fanout.
+type WireModel struct {
+	R0, R1 float64 // ohm-like units; delay = R*C in ps when C in fF
+	C0, C1 float64 // fF
+	// PortSlew is the default transition at input/clock ports (ps).
+	PortSlew float64
+	// SlewPerRC converts R*C into added transition along a wire.
+	SlewPerRC float64
+}
+
+// DefaultWireModel returns reasonable defaults for the demo library.
+func DefaultWireModel() WireModel {
+	return WireModel{R0: 0.08, R1: 0.03, C0: 2.0, C1: 1.2, PortSlew: 25, SlewPerRC: 2.0}
+}
+
+// netInfo is a resolved net during elaboration.
+type netInfo struct {
+	name   string
+	driver pinRef
+	sinks  []pinRef
+	rc     NetRC
+}
+
+// pinRef addresses an instance pin or a port during elaboration.
+type pinRef struct {
+	inst int // -1 for ports
+	pin  string
+	port int // valid when inst == -1
+}
+
+func (n *Netlist) pinName(r pinRef) string {
+	if r.inst < 0 {
+		return n.Ports[r.port].Name
+	}
+	return n.Insts[r.inst].Name + "/" + r.pin
+}
+
+// Elaborate builds the timing graph for the netlist against lib and wm.
+func (n *Netlist) Elaborate(lib *liberty.Library, wm WireModel) (*model.Design, error) {
+	if n.Period <= 0 {
+		return nil, fmt.Errorf("netlist: period %v must be positive", n.Period)
+	}
+	// ---- resolve cells and nets ----
+	cells := make([]*liberty.Cell, len(n.Insts))
+	for i, inst := range n.Insts {
+		c, ok := lib.Cell(inst.Cell)
+		if !ok {
+			return nil, fmt.Errorf("netlist: instance %s uses unknown cell %s", inst.Name, inst.Cell)
+		}
+		cells[i] = c
+		seen := map[string]bool{}
+		for _, conn := range inst.Conns {
+			if _, ok := c.Pin(conn.Pin); !ok {
+				return nil, fmt.Errorf("netlist: instance %s connects unknown pin %s", inst.Name, conn.Pin)
+			}
+			if seen[conn.Pin] {
+				return nil, fmt.Errorf("netlist: instance %s connects pin %s twice", inst.Name, conn.Pin)
+			}
+			seen[conn.Pin] = true
+		}
+	}
+	nets := map[string]*netInfo{}
+	getNet := func(name string) *netInfo {
+		ni, ok := nets[name]
+		if !ok {
+			ni = &netInfo{name: name, driver: pinRef{inst: -2}}
+			nets[name] = ni
+		}
+		return ni
+	}
+	setDriver := func(ni *netInfo, r pinRef) error {
+		if ni.driver.inst != -2 {
+			return fmt.Errorf("netlist: net %s has two drivers (%s, %s)",
+				ni.name, n.pinName(ni.driver), n.pinName(r))
+		}
+		ni.driver = r
+		return nil
+	}
+	for pi, p := range n.Ports {
+		ni := getNet(p.Name) // ports connect to the same-named net
+		switch p.Dir {
+		case In, Clock:
+			if err := setDriver(ni, pinRef{inst: -1, port: pi}); err != nil {
+				return nil, err
+			}
+		case Out:
+			ni.sinks = append(ni.sinks, pinRef{inst: -1, port: pi})
+		}
+	}
+	for ii, inst := range n.Insts {
+		for _, conn := range inst.Conns {
+			ni := getNet(conn.Net)
+			p, _ := cells[ii].Pin(conn.Pin)
+			r := pinRef{inst: ii, pin: conn.Pin}
+			if p.Dir == liberty.Output {
+				if err := setDriver(ni, r); err != nil {
+					return nil, err
+				}
+			} else {
+				ni.sinks = append(ni.sinks, r)
+			}
+		}
+	}
+	netNames := make([]string, 0, len(nets))
+	for name := range nets {
+		netNames = append(netNames, name)
+	}
+	sort.Strings(netNames)
+	for _, name := range netNames {
+		ni := nets[name]
+		if ni.driver.inst == -2 {
+			return nil, fmt.Errorf("netlist: net %s has no driver", name)
+		}
+		if len(ni.sinks) == 0 {
+			return nil, fmt.Errorf("netlist: net %s has no sinks", name)
+		}
+		if rc, ok := n.RC[name]; ok {
+			ni.rc = rc
+		} else {
+			f := float64(len(ni.sinks))
+			ni.rc = NetRC{Res: wm.R0 + wm.R1*f, Cap: wm.C0 + wm.C1*f}
+		}
+		// Deterministic sink order.
+		sort.Slice(ni.sinks, func(a, b int) bool {
+			return n.pinName(ni.sinks[a]) < n.pinName(ni.sinks[b])
+		})
+	}
+	return n.elaborate(lib, wm, cells, nets, netNames)
+}

@@ -1,0 +1,251 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/liberty"
+	"fastcppr/model"
+)
+
+// demoNetlist is a small complete design on the demo library:
+//
+//	clk -> b1(CLKBUF) -> r1.CK, and clk -> b2(CLKBUF) -> r2.CK
+//	r1.Q -> u1(INV) -> r2.D
+//	in1  -> u2(NAND2).A, r2.Q -> u2.B, u2.Y -> out1
+const demoNetlist = `
+design demo
+period 10ns
+clock clk 20
+input in1 100 150 30
+output out1 0 9000
+inst b1 CLKBUF A=clk Y=ck1
+inst b2 CLKBUF A=clk Y=ck2
+inst r1 DFF CK=ck1 D=din Q=q1
+inst r2 DFF CK=ck2 D=d2 Q=q2
+inst u1 INV A=q1 Y=d2
+inst u2 NAND2 A=in1 B=q2 Y=out1
+inst u0 BUF A=in1 Y=din
+`
+
+func parseDemo(t *testing.T) *Netlist {
+	t.Helper()
+	n, err := Parse(strings.NewReader(demoNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseDemo(t *testing.T) {
+	n := parseDemo(t)
+	if n.Name != "demo" || n.Period != model.Ns(10) {
+		t.Fatalf("header: %s %v", n.Name, n.Period)
+	}
+	if len(n.Ports) != 3 || len(n.Insts) != 7 {
+		t.Fatalf("%d ports, %d insts", len(n.Ports), len(n.Insts))
+	}
+	if n.Ports[0].Dir != Clock || n.Ports[0].Slew != 20 {
+		t.Fatalf("clock port: %+v", n.Ports[0])
+	}
+	if !n.Ports[2].Constrained || n.Ports[2].Required.Late != 9000 {
+		t.Fatalf("output port: %+v", n.Ports[2])
+	}
+}
+
+func TestElaborateDemo(t *testing.T) {
+	n := parseDemo(t)
+	lib := liberty.Demo()
+	d, err := n.Elaborate(lib, DefaultWireModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFFs() != 2 {
+		t.Fatalf("NumFFs = %d", d.NumFFs())
+	}
+	// Clock tree: clk (root) -> b1/A -> b1/Y -> r1/CK and the b2 branch.
+	// Depth: root 0, bufA 1, bufY 2, CK 3 -> D = 4.
+	if d.Depth != 4 {
+		t.Fatalf("Depth = %d, want 4", d.Depth)
+	}
+	ck, ok := d.PinByName("r1/CK")
+	if !ok || d.Pins[ck].Kind != model.FFClock {
+		t.Fatal("r1/CK missing or mis-kinded")
+	}
+	ba, _ := d.PinByName("b1/A")
+	if d.Pins[ba].Kind != model.ClockBuf {
+		t.Fatalf("b1/A kind = %v, want clockbuf", d.Pins[ba].Kind)
+	}
+	// Every arc must have a sane window.
+	for _, a := range d.Arcs {
+		if a.Delay.Early < 0 || a.Delay.Early > a.Delay.Late {
+			t.Fatalf("bad window %v on %s->%s", a.Delay, d.PinName(a.From), d.PinName(a.To))
+		}
+	}
+	// Derating must make early < late on cell arcs.
+	u1a, _ := d.PinByName("u1/A")
+	u1y, _ := d.PinByName("u1/Y")
+	ai := d.ArcBetween(u1a, u1y)
+	if ai < 0 {
+		t.Fatal("u1 arc missing")
+	}
+	if d.Arcs[ai].Delay.Early >= d.Arcs[ai].Delay.Late {
+		t.Fatalf("derating missing: %v", d.Arcs[ai].Delay)
+	}
+}
+
+func TestElaborateDelayMatchesHandComputation(t *testing.T) {
+	// Single inverter between two flops; check the INV arc delay against
+	// a direct LUT evaluation with the known slew and load.
+	n := parseDemo(t)
+	lib := liberty.Demo()
+	wm := DefaultWireModel()
+	d, err := n.Elaborate(lib, wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u1 drives net d2 with sinks: r2/D (cap 2.0). Net RC: 1 sink ->
+	// res=0.08+0.03, cap=2.0+1.2. Load = cap + pincap = 3.2 + 2.0 = 5.2.
+	load := (wm.C0 + wm.C1) + 2.0
+	// u1's input slew: r1 CK->Q slew at (CK slew, q1 load) degraded by
+	// wire q1. Recompute exactly as elaboration does.
+	dff, _ := lib.Cell("DFF")
+	inv, _ := lib.Cell("INV")
+	// CK net ck1: driver b1/Y, sink r1/CK (cap 1.5): load = 3.2+1.5.
+	clkbuf, _ := lib.Cell("CLKBUF")
+	// clk net: driver port, sinks b1/A, b2/A (cap 2 each): load = 0.08+...
+	clkNetLoad := (wm.C0 + wm.C1*2) + 2 + 2
+	clkNetRes := wm.R0 + wm.R1*2
+	slewAtBufA := 20 + wm.SlewPerRC*clkNetRes*clkNetLoad
+	ck1Load := (wm.C0 + wm.C1) + 1.5
+	slewAtBufY := clkbuf.Arcs[0].Slew.Lookup(slewAtBufA, ck1Load)
+	ck1Res := wm.R0 + wm.R1
+	slewAtCK := slewAtBufY + wm.SlewPerRC*ck1Res*ck1Load
+	q1Load := (wm.C0 + wm.C1) + 2.0 // sink u1/A cap 2
+	slewAtQ := dff.Arcs[0].Slew.Lookup(slewAtCK, q1Load)
+	q1Res := wm.R0 + wm.R1
+	slewAtU1A := slewAtQ + wm.SlewPerRC*q1Res*q1Load
+
+	wantLate := model.Time(math.Round(lib.DerateLate * inv.Arcs[0].Delay.Lookup(slewAtU1A, load)))
+	u1a, _ := d.PinByName("u1/A")
+	u1y, _ := d.PinByName("u1/Y")
+	got := d.Arcs[d.ArcBetween(u1a, u1y)].Delay.Late
+	if got != wantLate {
+		t.Fatalf("u1 late delay = %v, hand-computed %v", got, wantLate)
+	}
+}
+
+func TestFullFlowCPPR(t *testing.T) {
+	// End to end: netlist + library -> design -> exact CPPR report,
+	// cross-checked across two independent algorithms.
+	n := parseDemo(t)
+	d, err := n.Elaborate(liberty.Demo(), DefaultWireModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := cppr.NewTimer(d)
+	for _, mode := range model.Modes {
+		a, err := timer.Report(cppr.Options{K: 10, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := timer.Report(cppr.Options{K: 10, Mode: mode, Algorithm: cppr.AlgoBruteForce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Paths) != len(b.Paths) {
+			t.Fatalf("mode %v: %d vs %d paths", mode, len(a.Paths), len(b.Paths))
+		}
+		for i := range a.Paths {
+			if a.Paths[i].Slack != b.Paths[i].Slack {
+				t.Fatalf("mode %v path %d: %v vs %v", mode, i, a.Paths[i].Slack, b.Paths[i].Slack)
+			}
+		}
+		if len(a.Paths) == 0 {
+			t.Fatalf("mode %v: no paths", mode)
+		}
+	}
+}
+
+func TestNetlistFormatRoundTrip(t *testing.T) {
+	n := parseDemo(t)
+	n.RC["d2"] = NetRC{Res: 0.5, Cap: 7}
+	var buf bytes.Buffer
+	if err := Format(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if len(back.Ports) != len(n.Ports) || len(back.Insts) != len(n.Insts) || len(back.RC) != 1 {
+		t.Fatal("round trip lost elements")
+	}
+	// Elaborations must agree exactly.
+	d1, err := n.Elaborate(liberty.Demo(), DefaultWireModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := back.Elaborate(liberty.Demo(), DefaultWireModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumArcs() != d2.NumArcs() {
+		t.Fatal("arc counts differ")
+	}
+	for i := range d1.Arcs {
+		if d1.Arcs[i].Delay != d2.Arcs[i].Delay {
+			t.Fatalf("arc %d delay differs", i)
+		}
+	}
+}
+
+func TestElaborateErrors(t *testing.T) {
+	lib := liberty.Demo()
+	wm := DefaultWireModel()
+	cases := []struct{ name, src, errPart string }{
+		{"no clock", "design d\nperiod 100\ninput a 0 0\noutput o\ninst u BUF A=a Y=o\n", "no clock port"},
+		{"unknown cell", "design d\nperiod 100\nclock clk\ninst u NOPE A=clk Y=x\n", "unknown cell"},
+		{"unknown pin", "design d\nperiod 100\nclock clk\ninst u BUF X=clk Y=x\ninst r DFF CK=x D=y Q=y2\n", "unknown pin"},
+		{"two drivers", "design d\nperiod 100\nclock clk\ninst u BUF A=clk Y=x\ninst v BUF A=clk Y=x\ninst r DFF CK=x D=q Q=q\n", "two drivers"},
+		{"no driver", "design d\nperiod 100\nclock clk\ninst r DFF CK=clk D=floating Q=q\ninst s BUF A=q Y=z\ninst r2 DFF CK=clk D=z Q=q2\n", "no driver"},
+		{"clock through nand", "design d\nperiod 100\nclock clk\ninput a 0 0\ninst g NAND2 A=clk B=a Y=gck\ninst r DFF CK=gck D=q Q=q\n", "non-buffer"},
+		{"clock to output port", "design d\nperiod 100\nclock clk\noutput o\ninst b BUF A=clk Y=o\n", "reaches output port"},
+		{"unclocked ff", "design d\nperiod 100\nclock clk\ninput a 0 0\ninst cb CLKBUF A=clk Y=ckn\ninst r2 DFF CK=ckn D=q Q=q2\ninst r DFF CK=a D=q2 Q=q\n", "not reached by a clock"},
+		{"bad period", "design d\nclock clk\ninst r DFF CK=clk D=q Q=q\n", "period"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, err := Parse(strings.NewReader(c.src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = n.Elaborate(lib, wm)
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("err = %v, want contains %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+func TestParseErrorsNetlist(t *testing.T) {
+	cases := []struct{ name, src, errPart string }{
+		{"unknown stmt", "bogus", "unknown statement"},
+		{"bad conn", "inst u BUF A\n", "bad connection"},
+		{"dup inst", "inst u BUF A=a Y=b\ninst u BUF A=a Y=c\n", "duplicate instance"},
+		{"dup port", "input a 0 0\ninput a 0 0\n", "duplicate port"},
+		{"bad netrc", "netrc n -1 2\n", "negative RC"},
+		{"bad time", "period zzz\n", "invalid time"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("err = %v, want contains %q", err, c.errPart)
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fastcppr/model"
+)
+
+// Parse reads the line-oriented netlist format:
+//
+//	design <name>
+//	period <time>                      # "10000", "10ns"
+//	clock  <port> [<slew-ps>]
+//	input  <port> <early> <late> [<slew-ps>]
+//	output <port> [<req-early> <req-late>]
+//	netrc  <net> <res> <cap>           # wire override
+//	inst   <name> <cell> <PIN>=<net> ...
+//
+// Ports implicitly connect to the net of the same name. '#' starts a
+// comment.
+func Parse(r io.Reader) (*Netlist, error) {
+	n := &Netlist{RC: map[string]NetRC{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	seenPort := map[string]bool{}
+	seenInst := map[string]bool{}
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		bad := func(msg string) error {
+			return fmt.Errorf("netlist: line %d: %s", lineno, msg)
+		}
+		parseTime := func(s string) (model.Time, error) {
+			t, err := model.ParseTime(s)
+			if err != nil {
+				return 0, bad(err.Error())
+			}
+			return t, nil
+		}
+		parseFloat := func(s string) (float64, error) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return 0, bad("bad number " + s)
+			}
+			return v, nil
+		}
+		addPort := func(p Port) error {
+			if seenPort[p.Name] {
+				return bad("duplicate port " + p.Name)
+			}
+			seenPort[p.Name] = true
+			n.Ports = append(n.Ports, p)
+			return nil
+		}
+		switch f[0] {
+		case "design":
+			if len(f) != 2 {
+				return nil, bad("design needs a name")
+			}
+			n.Name = f[1]
+		case "period":
+			if len(f) != 2 {
+				return nil, bad("period needs a value")
+			}
+			t, err := parseTime(f[1])
+			if err != nil {
+				return nil, err
+			}
+			n.Period = t
+		case "clock":
+			if len(f) != 2 && len(f) != 3 {
+				return nil, bad("clock needs a port and optional slew")
+			}
+			p := Port{Name: f[1], Dir: Clock}
+			if len(f) == 3 {
+				v, err := parseFloat(f[2])
+				if err != nil {
+					return nil, err
+				}
+				p.Slew = v
+			}
+			if err := addPort(p); err != nil {
+				return nil, err
+			}
+		case "input":
+			if len(f) != 4 && len(f) != 5 {
+				return nil, bad("input needs port, early, late and optional slew")
+			}
+			p := Port{Name: f[1], Dir: In}
+			var err error
+			if p.Arrival.Early, err = parseTime(f[2]); err != nil {
+				return nil, err
+			}
+			if p.Arrival.Late, err = parseTime(f[3]); err != nil {
+				return nil, err
+			}
+			if len(f) == 5 {
+				if p.Slew, err = parseFloat(f[4]); err != nil {
+					return nil, err
+				}
+			}
+			if err := addPort(p); err != nil {
+				return nil, err
+			}
+		case "output":
+			if len(f) != 2 && len(f) != 4 {
+				return nil, bad("output needs a port and optional required window")
+			}
+			p := Port{Name: f[1], Dir: Out}
+			if len(f) == 4 {
+				var err error
+				if p.Required.Early, err = parseTime(f[2]); err != nil {
+					return nil, err
+				}
+				if p.Required.Late, err = parseTime(f[3]); err != nil {
+					return nil, err
+				}
+				p.Constrained = true
+			}
+			if err := addPort(p); err != nil {
+				return nil, err
+			}
+		case "netrc":
+			if len(f) != 4 {
+				return nil, bad("netrc needs net, res and cap")
+			}
+			res, err := parseFloat(f[2])
+			if err != nil {
+				return nil, err
+			}
+			cap, err := parseFloat(f[3])
+			if err != nil {
+				return nil, err
+			}
+			if res < 0 || cap < 0 {
+				return nil, bad("negative RC")
+			}
+			n.RC[f[1]] = NetRC{Res: res, Cap: cap}
+		case "inst":
+			if len(f) < 4 {
+				return nil, bad("inst needs name, cell and connections")
+			}
+			if seenInst[f[1]] {
+				return nil, bad("duplicate instance " + f[1])
+			}
+			seenInst[f[1]] = true
+			inst := Inst{Name: f[1], Cell: f[2]}
+			for _, conn := range f[3:] {
+				eq := strings.IndexByte(conn, '=')
+				if eq <= 0 || eq == len(conn)-1 {
+					return nil, bad("bad connection " + conn)
+				}
+				inst.Conns = append(inst.Conns, Conn{Pin: conn[:eq], Net: conn[eq+1:]})
+			}
+			n.Insts = append(n.Insts, inst)
+		default:
+			return nil, bad("unknown statement " + f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %v", err)
+	}
+	return n, nil
+}
+
+// ParseFile parses the named netlist file.
+func ParseFile(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Format serialises the netlist in the Parse format.
+func Format(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "design %s\nperiod %d\n", n.Name, n.Period.Ps())
+	for _, p := range n.Ports {
+		switch p.Dir {
+		case Clock:
+			fmt.Fprintf(bw, "clock %s %g\n", p.Name, p.Slew)
+		case In:
+			fmt.Fprintf(bw, "input %s %d %d %g\n", p.Name, p.Arrival.Early.Ps(), p.Arrival.Late.Ps(), p.Slew)
+		case Out:
+			if p.Constrained {
+				fmt.Fprintf(bw, "output %s %d %d\n", p.Name, p.Required.Early.Ps(), p.Required.Late.Ps())
+			} else {
+				fmt.Fprintf(bw, "output %s\n", p.Name)
+			}
+		}
+	}
+	rcNames := make([]string, 0, len(n.RC))
+	for net := range n.RC {
+		rcNames = append(rcNames, net)
+	}
+	sort.Strings(rcNames)
+	for _, net := range rcNames {
+		rc := n.RC[net]
+		fmt.Fprintf(bw, "netrc %s %g %g\n", net, rc.Res, rc.Cap)
+	}
+	for _, inst := range n.Insts {
+		fmt.Fprintf(bw, "inst %s %s", inst.Name, inst.Cell)
+		for _, c := range inst.Conns {
+			fmt.Fprintf(bw, " %s=%s", c.Pin, c.Net)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,192 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastcppr/model"
+)
+
+// RandomSpec parameterises Random.
+type RandomSpec struct {
+	Seed int64
+	// FFs is the flip-flop count; Gates the combinational gate count.
+	FFs, Gates int
+	// ClockLevels is the depth of the synthesized clock buffer chain
+	// fan-out tree.
+	ClockLevels int
+	// Inputs/Outputs are the data port counts.
+	Inputs, Outputs int
+	Period          model.Time
+}
+
+// Random synthesizes a random, structurally valid gate-level netlist on
+// the demo library's cell set: a buffered clock tree, a register bank,
+// and a layered combinational cloud of INV/BUF/NAND2/NOR2 gates. It is
+// the source of arbitrarily large front-end-flow designs for tests,
+// benchmarks and examples.
+func Random(spec RandomSpec) *Netlist {
+	if spec.FFs < 2 {
+		spec.FFs = 2
+	}
+	if spec.Gates < spec.FFs {
+		spec.Gates = spec.FFs
+	}
+	if spec.ClockLevels < 1 {
+		spec.ClockLevels = 1
+	}
+	if spec.Inputs < 1 {
+		spec.Inputs = 1
+	}
+	if spec.Outputs < 1 {
+		spec.Outputs = 1
+	}
+	if spec.Period <= 0 {
+		spec.Period = model.Ns(10)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := &Netlist{
+		Name:   fmt.Sprintf("rand-%d", spec.Seed),
+		Period: spec.Period,
+		RC:     map[string]NetRC{},
+	}
+	n.Ports = append(n.Ports, Port{Name: "clk", Dir: Clock, Slew: 20})
+	for i := 0; i < spec.Inputs; i++ {
+		n.Ports = append(n.Ports, Port{
+			Name:    fmt.Sprintf("in%d", i),
+			Dir:     In,
+			Arrival: model.Window{Early: model.Time(rng.Intn(100)), Late: model.Time(100 + rng.Intn(200))},
+			Slew:    15 + float64(rng.Intn(30)),
+		})
+	}
+
+	// Clock tree: a chain-of-levels buffer tree; each level doubles
+	// until it covers the FFs.
+	leaves := []string{"clk"}
+	buf := 0
+	for lvl := 0; lvl < spec.ClockLevels; lvl++ {
+		var next []string
+		for _, src := range leaves {
+			for c := 0; c < 2; c++ {
+				net := fmt.Sprintf("ckn%d", buf)
+				n.Insts = append(n.Insts, Inst{
+					Name: fmt.Sprintf("cb%d", buf),
+					Cell: "CLKBUF",
+					Conns: []Conn{
+						{Pin: "A", Net: src},
+						{Pin: "Y", Net: net},
+					},
+				})
+				next = append(next, net)
+				buf++
+			}
+		}
+		leaves = next
+	}
+
+	// Registers, distributed over the leaf clock nets.
+	qNets := make([]string, spec.FFs)
+	dNets := make([]string, spec.FFs)
+	for i := 0; i < spec.FFs; i++ {
+		qNets[i] = fmt.Sprintf("q%d", i)
+		dNets[i] = fmt.Sprintf("d%d", i)
+		n.Insts = append(n.Insts, Inst{
+			Name: fmt.Sprintf("r%d", i),
+			Cell: "DFF",
+			Conns: []Conn{
+				{Pin: "CK", Net: leaves[i*len(leaves)/spec.FFs]},
+				{Pin: "D", Net: dNets[i]},
+				{Pin: "Q", Net: qNets[i]},
+			},
+		})
+	}
+
+	// Combinational cloud: gates pick sources among already-driven data
+	// nets (layered implicitly by creation order: DAG by construction).
+	sources := append([]string{}, qNets...)
+	for i := 0; i < spec.Inputs; i++ {
+		sources = append(sources, fmt.Sprintf("in%d", i))
+	}
+	gateNets := make([]string, 0, spec.Gates)
+	for g := 0; g < spec.Gates; g++ {
+		out := fmt.Sprintf("n%d", g)
+		pick := func() string { return sources[rng.Intn(len(sources))] }
+		var inst Inst
+		switch rng.Intn(4) {
+		case 0:
+			inst = Inst{Name: fmt.Sprintf("g%d", g), Cell: "INV",
+				Conns: []Conn{{Pin: "A", Net: pick()}, {Pin: "Y", Net: out}}}
+		case 1:
+			inst = Inst{Name: fmt.Sprintf("g%d", g), Cell: "BUF",
+				Conns: []Conn{{Pin: "A", Net: pick()}, {Pin: "Y", Net: out}}}
+		case 2:
+			inst = Inst{Name: fmt.Sprintf("g%d", g), Cell: "NAND2",
+				Conns: []Conn{{Pin: "A", Net: pick()}, {Pin: "B", Net: pick2(rng, sources)}, {Pin: "Y", Net: out}}}
+		default:
+			inst = Inst{Name: fmt.Sprintf("g%d", g), Cell: "NOR2",
+				Conns: []Conn{{Pin: "A", Net: pick()}, {Pin: "B", Net: pick2(rng, sources)}, {Pin: "Y", Net: out}}}
+		}
+		n.Insts = append(n.Insts, inst)
+		sources = append(sources, out)
+		gateNets = append(gateNets, out)
+	}
+
+	// Close the loop: D pins sink from late gate outputs (or Qs),
+	// guaranteeing every net a sink and every FF a data source.
+	for i := 0; i < spec.FFs; i++ {
+		src := gateNets[len(gateNets)-1-rng.Intn(min(len(gateNets), spec.FFs))]
+		n.Insts = append(n.Insts, Inst{
+			Name:  fmt.Sprintf("fb%d", i),
+			Cell:  "BUF",
+			Conns: []Conn{{Pin: "A", Net: src}, {Pin: "Y", Net: dNets[i]}},
+		})
+	}
+	// Outputs sink every remaining dangling driven net (unused gate
+	// outputs, unread registers, unconsumed inputs).
+	driven := make([]string, 0, len(gateNets)+len(qNets)+spec.Inputs)
+	driven = append(driven, gateNets...)
+	driven = append(driven, qNets...)
+	for i := 0; i < spec.Inputs; i++ {
+		driven = append(driven, fmt.Sprintf("in%d", i))
+	}
+	sinkless := map[string]bool{}
+	for _, net := range driven {
+		sinkless[net] = true
+	}
+	for _, inst := range n.Insts {
+		for _, c := range inst.Conns {
+			// "Y" (gates) and "Q" (DFF) are drivers; everything else
+			// is a sink.
+			if c.Pin != "Y" && c.Pin != "Q" {
+				delete(sinkless, c.Net)
+			}
+		}
+	}
+	var dangling []string
+	for _, net := range driven { // deterministic order
+		if sinkless[net] {
+			dangling = append(dangling, net)
+		}
+	}
+	// Every dangling net gets its own output port: the first
+	// spec.Outputs carry an output check, the rest are unconstrained.
+	for outID, net := range dangling {
+		port := fmt.Sprintf("out%d", outID)
+		p := Port{Name: port, Dir: Out}
+		if outID < spec.Outputs {
+			p.Constrained = true
+			p.Required = model.Window{Early: 0, Late: spec.Period / 2}
+		}
+		n.Ports = append(n.Ports, p)
+		n.Insts = append(n.Insts, Inst{
+			Name:  fmt.Sprintf("ob%d", outID),
+			Cell:  "BUF",
+			Conns: []Conn{{Pin: "A", Net: net}, {Pin: "Y", Net: port}},
+		})
+	}
+	return n
+}
+
+func pick2(rng *rand.Rand, sources []string) string {
+	return sources[rng.Intn(len(sources))]
+}

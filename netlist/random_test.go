@@ -1,0 +1,72 @@
+package netlist
+
+import (
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/liberty"
+	"fastcppr/model"
+)
+
+func TestRandomElaborates(t *testing.T) {
+	lib := liberty.Demo()
+	for seed := int64(0); seed < 6; seed++ {
+		n := Random(RandomSpec{Seed: seed, FFs: 12, Gates: 40, ClockLevels: 3, Inputs: 3, Outputs: 2})
+		d, err := n.Elaborate(lib, DefaultWireModel())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d.NumFFs() < 12 {
+			t.Fatalf("seed %d: %d FFs", seed, d.NumFFs())
+		}
+		if d.Depth < 3 {
+			t.Fatalf("seed %d: clock depth %d", seed, d.Depth)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(RandomSpec{Seed: 5, FFs: 8, Gates: 20})
+	b := Random(RandomSpec{Seed: 5, FFs: 8, Gates: 20})
+	if len(a.Insts) != len(b.Insts) || len(a.Ports) != len(b.Ports) {
+		t.Fatal("nondeterministic synthesis")
+	}
+	for i := range a.Insts {
+		if a.Insts[i].Name != b.Insts[i].Name || a.Insts[i].Cell != b.Insts[i].Cell {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}
+
+func TestRandomFullFlowOracle(t *testing.T) {
+	// The whole front end feeding the whole back end: synthesize,
+	// elaborate, and verify the CPPR engine against brute force.
+	lib := liberty.Demo()
+	for seed := int64(0); seed < 4; seed++ {
+		n := Random(RandomSpec{Seed: seed, FFs: 6, Gates: 12, ClockLevels: 2, Inputs: 2, Outputs: 2})
+		d, err := n.Elaborate(lib, DefaultWireModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		timer := cppr.NewTimer(d)
+		for _, mode := range model.Modes {
+			exact, err := timer.Report(cppr.Options{K: 30, Mode: mode, Algorithm: cppr.AlgoBruteForce})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ours, err := timer.Report(cppr.Options{K: 30, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(exact.Paths) != len(ours.Paths) {
+				t.Fatalf("seed %d %v: %d vs %d paths", seed, mode, len(ours.Paths), len(exact.Paths))
+			}
+			for i := range exact.Paths {
+				if exact.Paths[i].Slack != ours.Paths[i].Slack {
+					t.Fatalf("seed %d %v path %d: %v vs %v",
+						seed, mode, i, ours.Paths[i].Slack, exact.Paths[i].Slack)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fastcppr/model"
+)
+
+// ParseVerilog reads a structural (gate-level) Verilog subset — the
+// shape the TAU contest benchmarks are distributed in — and returns a
+// Netlist. Supported syntax:
+//
+//	module <name> ( <port> [, <port>]* ) ;
+//	input  <name> [, <name>]* ;
+//	output <name> [, <name>]* ;
+//	wire   <name> [, <name>]* ;
+//	<cell> <inst> ( .<PIN>(<net>) [, .<PIN>(<net>)]* ) ;
+//	endmodule
+//
+// Comments (`//` and `/* */`) are stripped. Statements may span lines;
+// they are terminated by ';' (or the keywords module/endmodule).
+//
+// Verilog carries no timing intent, so the clock port and the boundary
+// timing are supplied by the caller: clockPort names the input port
+// driving the clock tree, and period sets T_clk. Input arrivals and
+// output checks default to unconstrained zero windows; apply an
+// sdc.Constraints for real boundary timing.
+func ParseVerilog(r io.Reader, clockPort string, period model.Time) (*Netlist, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: %v", err)
+	}
+	text := stripComments(string(src))
+
+	n := &Netlist{Period: period, RC: map[string]NetRC{}}
+	var inputs, outputs []string
+	seenModule := false
+	ended := false
+
+	for _, stmt := range splitStatements(text) {
+		f := strings.Fields(stmt)
+		if len(f) == 0 {
+			continue
+		}
+		if !seenModule && f[0] != "module" {
+			return nil, fmt.Errorf("verilog: statement before module: %q", compact(stmt))
+		}
+		switch f[0] {
+		case "module":
+			if seenModule {
+				return nil, fmt.Errorf("verilog: multiple modules (flatten first)")
+			}
+			seenModule = true
+			rest := strings.TrimPrefix(stmt, "module")
+			name := rest
+			if i := strings.IndexByte(rest, '('); i >= 0 {
+				name = rest[:i] // port list is redeclared by input/output
+			}
+			n.Name = strings.TrimSpace(name)
+			if n.Name == "" {
+				return nil, fmt.Errorf("verilog: module without a name")
+			}
+		case "endmodule":
+			ended = true
+		case "input":
+			inputs = append(inputs, splitNames(stmt[len("input"):])...)
+		case "output":
+			outputs = append(outputs, splitNames(stmt[len("output"):])...)
+		case "wire":
+			// Wires are implicit in our netlist model; names checked by
+			// elaboration.
+		default:
+			inst, err := parseInstance(stmt)
+			if err != nil {
+				return nil, err
+			}
+			n.Insts = append(n.Insts, inst)
+		}
+	}
+	if !seenModule {
+		return nil, fmt.Errorf("verilog: no module found")
+	}
+	if !ended {
+		return nil, fmt.Errorf("verilog: missing endmodule")
+	}
+
+	foundClock := false
+	for _, in := range inputs {
+		if in == clockPort {
+			n.Ports = append(n.Ports, Port{Name: in, Dir: Clock})
+			foundClock = true
+			continue
+		}
+		n.Ports = append(n.Ports, Port{Name: in, Dir: In})
+	}
+	if !foundClock {
+		return nil, fmt.Errorf("verilog: clock port %q is not an input of module %s", clockPort, n.Name)
+	}
+	for _, out := range outputs {
+		n.Ports = append(n.Ports, Port{Name: out, Dir: Out})
+	}
+	return n, nil
+}
+
+// ParseVerilogFile reads the named Verilog file.
+func ParseVerilogFile(path, clockPort string, period model.Time) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseVerilog(f, clockPort, period)
+}
+
+// parseInstance parses "<cell> <inst> ( .PIN(net), ... )".
+func parseInstance(stmt string) (Inst, error) {
+	open := strings.IndexByte(stmt, '(')
+	if open < 0 {
+		return Inst{}, fmt.Errorf("verilog: malformed instance: %q", compact(stmt))
+	}
+	head := strings.Fields(stmt[:open])
+	if len(head) != 2 {
+		return Inst{}, fmt.Errorf("verilog: instance header needs cell and name: %q", compact(stmt))
+	}
+	close := strings.LastIndexByte(stmt, ')')
+	if close < open {
+		return Inst{}, fmt.Errorf("verilog: unterminated connection list: %q", compact(stmt))
+	}
+	inst := Inst{Cell: head[0], Name: head[1]}
+	for _, conn := range strings.Split(stmt[open+1:close], ",") {
+		conn = strings.TrimSpace(conn)
+		if conn == "" {
+			continue
+		}
+		if !strings.HasPrefix(conn, ".") {
+			return Inst{}, fmt.Errorf("verilog: only named connections are supported: %q", conn)
+		}
+		po := strings.IndexByte(conn, '(')
+		pc := strings.LastIndexByte(conn, ')')
+		if po < 0 || pc < po {
+			return Inst{}, fmt.Errorf("verilog: malformed connection %q", conn)
+		}
+		pin := strings.TrimSpace(conn[1:po])
+		net := strings.TrimSpace(conn[po+1 : pc])
+		if pin == "" || net == "" {
+			return Inst{}, fmt.Errorf("verilog: empty pin or net in %q", conn)
+		}
+		inst.Conns = append(inst.Conns, Conn{Pin: pin, Net: net})
+	}
+	if len(inst.Conns) == 0 {
+		return Inst{}, fmt.Errorf("verilog: instance %s has no connections", inst.Name)
+	}
+	return inst, nil
+}
+
+// stripComments removes // line and /* */ block comments.
+func stripComments(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], "//") {
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		if strings.HasPrefix(s[i:], "/*") {
+			end := strings.Index(s[i+2:], "*/")
+			if end < 0 {
+				return sb.String() // unterminated: drop the rest
+			}
+			i += 2 + end + 2
+			sb.WriteByte(' ')
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// splitStatements splits on ';' while separating the keyword endmodule
+// (which carries no semicolon in Verilog) from whatever shares its chunk.
+func splitStatements(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		for {
+			if i := strings.Index(part, "endmodule"); i >= 0 {
+				if head := strings.TrimSpace(part[:i]); head != "" {
+					out = append(out, head)
+				}
+				out = append(out, "endmodule")
+				part = strings.TrimSpace(part[i+len("endmodule"):])
+				continue
+			}
+			break
+		}
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// compact shortens a statement for error messages.
+func compact(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 60 {
+		s = s[:60] + "…"
+	}
+	return s
+}
+
+// splitNames splits a comma-separated declaration tail into identifiers.
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

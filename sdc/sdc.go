@@ -1,0 +1,284 @@
+// Package sdc applies design constraints in a small SDC-like dialect to
+// a timing analysis: clock period, input/output delays, and false-path
+// exceptions. It is the constraint layer a signoff flow drives the timer
+// with.
+//
+// Supported statements (one per line, '#' comments):
+//
+//	create_clock -period <time>
+//	set_input_delay  <pin> -early <time> -late <time>
+//	set_output_delay <pin> -early <time> -late <time>
+//	set_false_path -from <ff-or-pi>
+//	set_false_path -to <ff>
+//
+// create_clock and the io delays are applied by rebuilding the design
+// view (they change the timing graph's boundary conditions); false
+// paths become a Filter the engines consult. False paths are supported
+// at -from / -to granularity: those prune candidate generation soundly
+// (the pruned set is endpoint- or source-defined, so top-k bounds are
+// unaffected). Pairwise -from X -to Y exceptions would require
+// unbounded candidate generation and are intentionally not supported.
+package sdc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fastcppr/model"
+)
+
+// Constraints is a parsed constraint set.
+type Constraints struct {
+	// Period overrides the design clock period when non-zero.
+	Period model.Time
+	// InputDelay/OutputDelay override PI arrival and PO required
+	// windows, keyed by pin name.
+	InputDelay  map[string]model.Window
+	OutputDelay map[string]model.Window
+	// FalseFrom holds launch points (FF instance names or PI pin
+	// names) whose paths are excluded; FalseTo holds excluded capture
+	// FF instance names.
+	FalseFrom map[string]bool
+	FalseTo   map[string]bool
+}
+
+// New returns an empty constraint set.
+func New() *Constraints {
+	return &Constraints{
+		InputDelay:  map[string]model.Window{},
+		OutputDelay: map[string]model.Window{},
+		FalseFrom:   map[string]bool{},
+		FalseTo:     map[string]bool{},
+	}
+}
+
+// Parse reads the SDC-like dialect.
+func Parse(r io.Reader) (*Constraints, error) {
+	c := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		bad := func(msg string) error {
+			return fmt.Errorf("sdc: line %d: %s", lineno, msg)
+		}
+		switch f[0] {
+		case "create_clock":
+			if len(f) != 3 || f[1] != "-period" {
+				return nil, bad("create_clock -period <time>")
+			}
+			t, err := model.ParseTime(f[2])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			if t <= 0 {
+				return nil, bad("period must be positive")
+			}
+			c.Period = t
+		case "set_input_delay", "set_output_delay":
+			if len(f) != 6 || f[2] != "-early" || f[4] != "-late" {
+				return nil, bad(f[0] + " <pin> -early <t> -late <t>")
+			}
+			early, err := model.ParseTime(f[3])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			late, err := model.ParseTime(f[5])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			if early > late {
+				return nil, bad("early exceeds late")
+			}
+			w := model.Window{Early: early, Late: late}
+			if f[0] == "set_input_delay" {
+				c.InputDelay[f[1]] = w
+			} else {
+				c.OutputDelay[f[1]] = w
+			}
+		case "set_false_path":
+			if len(f) != 3 {
+				return nil, bad("set_false_path -from <x> | -to <x>")
+			}
+			switch f[1] {
+			case "-from":
+				c.FalseFrom[f[2]] = true
+			case "-to":
+				c.FalseTo[f[2]] = true
+			default:
+				return nil, bad("set_false_path needs -from or -to")
+			}
+		default:
+			return nil, bad("unknown statement " + f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sdc: %v", err)
+	}
+	return c, nil
+}
+
+// ParseFile parses the named constraints file.
+func ParseFile(path string) (*Constraints, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Filter is the false-path exclusion view the timing engines consult:
+// pre-resolved to design IDs.
+type Filter struct {
+	// FromFF[i] / ToFF[i] exclude launches/captures at FF i.
+	FromFF, ToFF []bool
+	// FromPin excludes PI launch pins.
+	FromPin map[model.PinID]bool
+}
+
+// Empty reports whether the filter excludes nothing.
+func (f *Filter) Empty() bool {
+	if f == nil {
+		return true
+	}
+	for _, b := range f.FromFF {
+		if b {
+			return false
+		}
+	}
+	for _, b := range f.ToFF {
+		if b {
+			return false
+		}
+	}
+	return len(f.FromPin) == 0
+}
+
+// Apply rebuilds the design under the constraint set (period and io
+// delays require re-validation) and resolves the false-path names into
+// a Filter. Names in false paths must be FF instance names or PI pin
+// names; unknown names are an error (catching typos beats silently
+// timing a path the designer excluded).
+func (c *Constraints) Apply(d *model.Design) (*model.Design, *Filter, error) {
+	period := d.Period
+	if c.Period != 0 {
+		period = c.Period
+	}
+	b := model.NewBuilder(d.Name, period)
+
+	// Rebuild pins; arcs are re-resolved by name (FF pins keep their
+	// canonical <inst>/CK|D|Q names via AddFF).
+	piOf := map[model.PinID]int{}
+	for i, p := range d.PIs {
+		piOf[p] = i
+	}
+	poOf := map[model.PinID]int{}
+	for i, p := range d.POs {
+		poOf[p] = i
+	}
+	usedInput := map[string]bool{}
+	usedOutput := map[string]bool{}
+	for id, p := range d.Pins {
+		pid := model.PinID(id)
+		switch p.Kind {
+		case model.ClockRoot:
+			b.AddClockRoot(p.Name)
+		case model.ClockBuf:
+			b.AddClockBuf(p.Name)
+		case model.Comb:
+			b.AddComb(p.Name)
+		case model.PI:
+			w := d.PIArrival[piOf[pid]]
+			if ov, ok := c.InputDelay[p.Name]; ok {
+				w = ov
+				usedInput[p.Name] = true
+			}
+			b.AddPI(p.Name, w)
+		case model.PO:
+			i := poOf[pid]
+			req, constrained := d.PORequired[i], d.POConstrained[i]
+			if ov, ok := c.OutputDelay[p.Name]; ok {
+				req, constrained = ov, true
+				usedOutput[p.Name] = true
+			}
+			if constrained {
+				b.AddPOConstrained(p.Name, req)
+			} else {
+				b.AddPO(p.Name)
+			}
+		case model.FFClock:
+			// FF pins are created by AddFF below, in FF order; skip.
+		case model.FFData, model.FFOutput:
+		}
+	}
+	for name := range c.InputDelay {
+		if !usedInput[name] {
+			return nil, nil, fmt.Errorf("sdc: set_input_delay on unknown input %q", name)
+		}
+	}
+	for name := range c.OutputDelay {
+		if !usedOutput[name] {
+			return nil, nil, fmt.Errorf("sdc: set_output_delay on unknown output %q", name)
+		}
+	}
+	for _, ff := range d.FFs {
+		ckq := d.Arcs[d.FanIn(ff.Output)[0]].Delay
+		b.AddFF(ff.Name, ff.Setup, ff.Hold, ckq)
+	}
+	for _, a := range d.Arcs {
+		// Skip the CK->Q arcs AddFF already created.
+		if d.Pins[a.From].Kind == model.FFClock && d.Pins[a.To].Kind == model.FFOutput {
+			continue
+		}
+		from, _ := b.Pin(d.PinName(a.From))
+		to, _ := b.Pin(d.PinName(a.To))
+		b.AddArc(from, to, a.Delay)
+	}
+	nd, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sdc: rebuilding design: %v", err)
+	}
+
+	// Resolve false paths against the new design.
+	filt := &Filter{
+		FromFF:  make([]bool, nd.NumFFs()),
+		ToFF:    make([]bool, nd.NumFFs()),
+		FromPin: map[model.PinID]bool{},
+	}
+	ffByName := map[string]int{}
+	for i, ff := range nd.FFs {
+		ffByName[ff.Name] = i
+	}
+	for name := range c.FalseFrom {
+		if i, ok := ffByName[name]; ok {
+			filt.FromFF[i] = true
+			continue
+		}
+		if id, ok := nd.PinByName(name); ok && nd.Pins[id].Kind == model.PI {
+			filt.FromPin[id] = true
+			continue
+		}
+		return nil, nil, fmt.Errorf("sdc: set_false_path -from unknown object %q", name)
+	}
+	for name := range c.FalseTo {
+		i, ok := ffByName[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("sdc: set_false_path -to unknown FF %q", name)
+		}
+		filt.ToFF[i] = true
+	}
+	return nd, filt, nil
+}

@@ -1,0 +1,144 @@
+package sdc
+
+import (
+	"strings"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+func TestParse(t *testing.T) {
+	const src = `
+# constraints
+create_clock -period 5ns
+set_input_delay in0 -early 100 -late 250
+set_output_delay out0 -early 0 -late 4ns
+set_false_path -from ff3
+set_false_path -from in1
+set_false_path -to ff7
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Period != model.Ns(5) {
+		t.Errorf("Period = %v", c.Period)
+	}
+	if w := c.InputDelay["in0"]; w != (model.Window{Early: 100, Late: 250}) {
+		t.Errorf("InputDelay = %v", w)
+	}
+	if w := c.OutputDelay["out0"]; w != (model.Window{Early: 0, Late: 4000}) {
+		t.Errorf("OutputDelay = %v", w)
+	}
+	if !c.FalseFrom["ff3"] || !c.FalseFrom["in1"] || !c.FalseTo["ff7"] {
+		t.Error("false paths lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, errPart string }{
+		{"unknown", "bogus", "unknown statement"},
+		{"bad clock", "create_clock 5", "create_clock -period"},
+		{"zero period", "create_clock -period 0", "positive"},
+		{"bad delay", "set_input_delay x -early 5 -late 2", "early exceeds late"},
+		{"bad fp", "set_false_path -through x", "-from or -to"},
+		{"short fp", "set_false_path -from", "set_false_path"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("err = %v, want contains %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(1))
+	c := New()
+	c.Period = model.Ns(42)
+	c.InputDelay[d.PinName(d.PIs[0])] = model.Window{Early: 7, Late: 9}
+	c.OutputDelay[d.PinName(d.POs[0])] = model.Window{Early: 1, Late: 2}
+	c.FalseFrom[d.FFs[2].Name] = true
+	c.FalseTo[d.FFs[3].Name] = true
+	nd, filt, err := c.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Period != model.Ns(42) {
+		t.Errorf("period = %v", nd.Period)
+	}
+	if nd.PIArrival[0] != (model.Window{Early: 7, Late: 9}) {
+		t.Errorf("PI arrival = %v", nd.PIArrival[0])
+	}
+	if !nd.POConstrained[0] || nd.PORequired[0] != (model.Window{Early: 1, Late: 2}) {
+		t.Errorf("PO required = %v/%v", nd.PORequired[0], nd.POConstrained[0])
+	}
+	if !filt.FromFF[2] || !filt.ToFF[3] || filt.FromFF[0] || filt.Empty() {
+		t.Errorf("filter = %+v", filt)
+	}
+	// Structure preserved.
+	if nd.NumPins() != d.NumPins() || nd.NumArcs() != d.NumArcs() || nd.NumFFs() != d.NumFFs() {
+		t.Error("rebuild changed element counts")
+	}
+	if nd.Depth != d.Depth {
+		t.Error("rebuild changed clock depth")
+	}
+}
+
+func TestApplyUnknownNames(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(1))
+	c := New()
+	c.FalseFrom["nope"] = true
+	if _, _, err := c.Apply(d); err == nil || !strings.Contains(err.Error(), "unknown object") {
+		t.Fatalf("err = %v", err)
+	}
+	c = New()
+	c.FalseTo["nope"] = true
+	if _, _, err := c.Apply(d); err == nil || !strings.Contains(err.Error(), "unknown FF") {
+		t.Fatalf("err = %v", err)
+	}
+	c = New()
+	c.InputDelay["nope"] = model.Window{}
+	if _, _, err := c.Apply(d); err == nil || !strings.Contains(err.Error(), "unknown input") {
+		t.Fatalf("err = %v", err)
+	}
+	c = New()
+	c.OutputDelay["nope"] = model.Window{}
+	if _, _, err := c.Apply(d); err == nil || !strings.Contains(err.Error(), "unknown output") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	var f *Filter
+	if !f.Empty() {
+		t.Error("nil filter not empty")
+	}
+	d := gen.MustGenerate(gen.SmallOracle(2))
+	_, filt, err := New().Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filt.Empty() {
+		t.Error("empty constraints produced a filter")
+	}
+}
+
+func TestApplyIdentityPreservesTiming(t *testing.T) {
+	// Applying empty constraints must not change any path slack.
+	d := gen.MustGenerate(gen.SmallOracle(3))
+	nd, _, err := New().Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ff := range d.FFs {
+		oldCK, _ := d.PinByName(ff.Name + "/CK")
+		newCK, _ := nd.PinByName(ff.Name + "/CK")
+		if d.ClockArrival(oldCK) != nd.ClockArrival(newCK) {
+			t.Fatalf("clock arrival changed for %s", ff.Name)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package tau
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastcppr/gen"
+)
+
+// FuzzRead asserts the parser never panics on arbitrary input, and that
+// any design it does accept survives a write/read round trip with
+// identical element counts (parse–print–parse idempotence).
+func FuzzRead(f *testing.F) {
+	f.Add("design d\nperiod 100\nclockroot clk\n")
+	f.Add("ff f1 1 2 3 4\narc a b 1 2\n")
+	f.Add("# comment only\n\n\n")
+	f.Add("pi in 1 2\npo out\ncomb g\nclockbuf cb\n")
+	f.Add("po out 5 10\nperiod 0.5ns\n")
+	var demo bytes.Buffer
+	if err := Write(&demo, gen.MustGenerate(gen.SmallOracle(1))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(demo.String())
+	f.Add(strings.Repeat("arc x y 1 2\n", 100))
+	f.Add("design \x00\nperiod 9223372036854775807\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("accepted design fails to serialise: %v", err)
+		}
+		d2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("printed design fails to re-parse: %v\n%s", err, buf.String())
+		}
+		if d2.NumPins() != d.NumPins() || d2.NumArcs() != d.NumArcs() || d2.NumFFs() != d.NumFFs() {
+			t.Fatalf("round trip changed element counts: %d/%d/%d vs %d/%d/%d",
+				d.NumPins(), d.NumArcs(), d.NumFFs(), d2.NumPins(), d2.NumArcs(), d2.NumFFs())
+		}
+	})
+}

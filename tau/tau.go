@@ -1,0 +1,295 @@
+// Package tau reads and writes circuit designs in a simple line-oriented
+// text format, standing in for the TAU contest benchmark bundles used by
+// the paper (which are not redistributable).
+//
+// Format (one statement per line, '#' starts a comment):
+//
+//	design  <name>
+//	period  <time>
+//	clockroot <pin>
+//	clockbuf  <pin>
+//	comb    <pin>
+//	pi      <pin> <early> <late>
+//	po      <pin> [<req-early> <req-late>]
+//	ff      <name> <setup> <hold> <ckq-early> <ckq-late>
+//	arc     <from> <to> <early> <late>
+//
+// Times accept "250", "250ps" or "0.25ns". An ff statement implicitly
+// declares pins <name>/CK, <name>/D and <name>/Q plus the CK->Q arc.
+// Statements may appear in any order except that arcs must follow the
+// declaration of both endpoints.
+package tau
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fastcppr/model"
+)
+
+// Write serialises d in the tau text format.
+func Write(w io.Writer, d *model.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# fastcppr design file\n")
+	fmt.Fprintf(bw, "design %s\n", d.Name)
+	fmt.Fprintf(bw, "period %d\n", d.Period.Ps())
+
+	ffPin := make([]bool, d.NumPins())
+	for _, ff := range d.FFs {
+		ffPin[ff.Clock], ffPin[ff.Data], ffPin[ff.Output] = true, true, true
+	}
+	piArrival := make(map[model.PinID]model.Window, len(d.PIs))
+	for i, p := range d.PIs {
+		piArrival[p] = d.PIArrival[i]
+	}
+	type poInfo struct {
+		req         model.Window
+		constrained bool
+	}
+	poByPin := make(map[model.PinID]poInfo, len(d.POs))
+	for i, p := range d.POs {
+		poByPin[p] = poInfo{req: d.PORequired[i], constrained: d.POConstrained[i]}
+	}
+	for id, p := range d.Pins {
+		if ffPin[id] {
+			continue // implied by the ff statement
+		}
+		switch p.Kind {
+		case model.ClockRoot:
+			fmt.Fprintf(bw, "clockroot %s\n", p.Name)
+		case model.ClockBuf:
+			fmt.Fprintf(bw, "clockbuf %s\n", p.Name)
+		case model.Comb:
+			fmt.Fprintf(bw, "comb %s\n", p.Name)
+		case model.PI:
+			w := piArrival[model.PinID(id)]
+			fmt.Fprintf(bw, "pi %s %d %d\n", p.Name, w.Early.Ps(), w.Late.Ps())
+		case model.PO:
+			if info := poByPin[model.PinID(id)]; info.constrained {
+				fmt.Fprintf(bw, "po %s %d %d\n", p.Name, info.req.Early.Ps(), info.req.Late.Ps())
+			} else {
+				fmt.Fprintf(bw, "po %s\n", p.Name)
+			}
+		default:
+			return fmt.Errorf("tau: pin %q has FF kind but no FF", p.Name)
+		}
+	}
+	ckqArc := make([]bool, d.NumArcs())
+	for _, ff := range d.FFs {
+		ai := d.FanIn(ff.Output)[0]
+		ckqArc[ai] = true
+		ckq := d.Arcs[ai].Delay
+		fmt.Fprintf(bw, "ff %s %d %d %d %d\n",
+			ff.Name, ff.Setup.Ps(), ff.Hold.Ps(), ckq.Early.Ps(), ckq.Late.Ps())
+	}
+	for i, a := range d.Arcs {
+		if ckqArc[i] {
+			continue // implied by the ff statement
+		}
+		fmt.Fprintf(bw, "arc %s %s %d %d\n",
+			d.PinName(a.From), d.PinName(a.To), a.Delay.Early.Ps(), a.Delay.Late.Ps())
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes d to the named file.
+func WriteFile(path string, d *model.Design) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a design from the tau text format and validates it.
+func Read(r io.Reader) (*model.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	name := "unnamed"
+	period := model.Ns(1)
+	type arcStmt struct {
+		from, to    string
+		early, late model.Time
+		line        int
+	}
+	type piStmt struct {
+		name        string
+		early, late model.Time
+	}
+	type poStmt struct {
+		name        string
+		req         model.Window
+		constrained bool
+	}
+	type ffStmt struct {
+		name              string
+		setup, hold       model.Time
+		ckqEarly, ckqLate model.Time
+	}
+	var (
+		clockroots, clockbufs, combs []string
+		pos                          []poStmt
+		pis                          []piStmt
+		ffs                          []ffStmt
+		arcs                         []arcStmt
+	)
+
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(msg string) error {
+			return fmt.Errorf("tau: line %d: %s: %q", lineno, msg, strings.TrimSpace(line))
+		}
+		need := func(n int) error {
+			if len(fields) != n {
+				return bad(fmt.Sprintf("%s needs %d fields", fields[0], n))
+			}
+			return nil
+		}
+		times := func(idx int, out ...*model.Time) error {
+			for i, o := range out {
+				t, err := model.ParseTime(fields[idx+i])
+				if err != nil {
+					return bad(err.Error())
+				}
+				*o = t
+			}
+			return nil
+		}
+		switch fields[0] {
+		case "design":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			name = fields[1]
+		case "period":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			if err := times(1, &period); err != nil {
+				return nil, err
+			}
+		case "clockroot":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			clockroots = append(clockroots, fields[1])
+		case "clockbuf":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			clockbufs = append(clockbufs, fields[1])
+		case "comb":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			combs = append(combs, fields[1])
+		case "po":
+			if len(fields) != 2 && len(fields) != 4 {
+				return nil, bad("po needs 2 or 4 fields")
+			}
+			s := poStmt{name: fields[1]}
+			if len(fields) == 4 {
+				s.constrained = true
+				if err := times(2, &s.req.Early, &s.req.Late); err != nil {
+					return nil, err
+				}
+			}
+			pos = append(pos, s)
+		case "pi":
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			s := piStmt{name: fields[1]}
+			if err := times(2, &s.early, &s.late); err != nil {
+				return nil, err
+			}
+			pis = append(pis, s)
+		case "ff":
+			if err := need(6); err != nil {
+				return nil, err
+			}
+			s := ffStmt{name: fields[1]}
+			if err := times(2, &s.setup, &s.hold, &s.ckqEarly, &s.ckqLate); err != nil {
+				return nil, err
+			}
+			ffs = append(ffs, s)
+		case "arc":
+			if err := need(5); err != nil {
+				return nil, err
+			}
+			s := arcStmt{from: fields[1], to: fields[2], line: lineno}
+			if err := times(3, &s.early, &s.late); err != nil {
+				return nil, err
+			}
+			arcs = append(arcs, s)
+		default:
+			return nil, bad("unknown statement")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tau: %v", err)
+	}
+
+	b := model.NewBuilder(name, period)
+	for _, n := range clockroots {
+		b.AddClockRoot(n)
+	}
+	for _, n := range clockbufs {
+		b.AddClockBuf(n)
+	}
+	for _, n := range combs {
+		b.AddComb(n)
+	}
+	for _, s := range pis {
+		b.AddPI(s.name, model.Window{Early: s.early, Late: s.late})
+	}
+	for _, s := range pos {
+		if s.constrained {
+			b.AddPOConstrained(s.name, s.req)
+		} else {
+			b.AddPO(s.name)
+		}
+	}
+	for _, s := range ffs {
+		b.AddFF(s.name, s.setup, s.hold, model.Window{Early: s.ckqEarly, Late: s.ckqLate})
+	}
+	for _, s := range arcs {
+		from, ok := b.Pin(s.from)
+		if !ok {
+			return nil, fmt.Errorf("tau: line %d: arc references undeclared pin %q", s.line, s.from)
+		}
+		to, ok := b.Pin(s.to)
+		if !ok {
+			return nil, fmt.Errorf("tau: line %d: arc references undeclared pin %q", s.line, s.to)
+		}
+		b.AddArc(from, to, model.Window{Early: s.early, Late: s.late})
+	}
+	return b.Build()
+}
+
+// ReadFile parses the named design file.
+func ReadFile(path string) (*model.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,178 @@
+package tau
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/baseline"
+	"fastcppr/model"
+)
+
+func roundTrip(t *testing.T, d *model.Design) *model.Design {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	d2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return d2
+}
+
+func TestRoundTripPreservesStructure(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(3))
+	d2 := roundTrip(t, d)
+	if d2.Name != d.Name || d2.Period != d.Period {
+		t.Fatalf("header differs: %s/%v vs %s/%v", d2.Name, d2.Period, d.Name, d.Period)
+	}
+	if d2.NumPins() != d.NumPins() || d2.NumArcs() != d.NumArcs() || d2.NumFFs() != d.NumFFs() {
+		t.Fatalf("sizes differ: %d/%d/%d vs %d/%d/%d",
+			d2.NumPins(), d2.NumArcs(), d2.NumFFs(), d.NumPins(), d.NumArcs(), d.NumFFs())
+	}
+	if d2.Depth != d.Depth {
+		t.Fatalf("Depth %d vs %d", d2.Depth, d.Depth)
+	}
+	if len(d2.PIs) != len(d.PIs) || len(d2.POs) != len(d.POs) {
+		t.Fatal("PI/PO counts differ")
+	}
+	// Pin identity may be renumbered; compare by name.
+	for _, p := range d.Pins {
+		id2, ok := d2.PinByName(p.Name)
+		if !ok {
+			t.Fatalf("pin %q lost", p.Name)
+		}
+		if d2.Pins[id2].Kind != p.Kind {
+			t.Fatalf("pin %q kind %v vs %v", p.Name, d2.Pins[id2].Kind, p.Kind)
+		}
+	}
+	// Arc delays compared by endpoint names.
+	for _, a := range d.Arcs {
+		f2, _ := d2.PinByName(d.PinName(a.From))
+		t2, _ := d2.PinByName(d.PinName(a.To))
+		ai := d2.ArcBetween(f2, t2)
+		if ai < 0 {
+			t.Fatalf("arc %s->%s lost", d.PinName(a.From), d.PinName(a.To))
+		}
+		if d2.Arcs[ai].Delay != a.Delay {
+			t.Fatalf("arc %s->%s delay %v vs %v",
+				d.PinName(a.From), d.PinName(a.To), d2.Arcs[ai].Delay, a.Delay)
+		}
+	}
+}
+
+func TestRoundTripPreservesTiming(t *testing.T) {
+	// The parsed design must yield identical top-k slacks.
+	d := gen.MustGenerate(gen.SmallOracle(7))
+	d2 := roundTrip(t, d)
+	for _, mode := range model.Modes {
+		a := baseline.BruteForce(d, mode, 40)
+		b := baseline.BruteForce(d2, mode, 40)
+		if len(a) != len(b) {
+			t.Fatalf("mode %v: path counts differ", mode)
+		}
+		for i := range a {
+			if a[i].Slack != b[i].Slack {
+				t.Fatalf("mode %v: slack %d differs: %v vs %v", mode, i, a[i].Slack, b[i].Slack)
+			}
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(2))
+	path := t.TempDir() + "/x.cppr"
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumArcs() != d.NumArcs() {
+		t.Fatal("file round trip lost arcs")
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestReadSyntax(t *testing.T) {
+	const good = `
+# a comment
+design demo
+period 0.5ns
+clockroot clk
+clockbuf cb        # trailing comment
+pi in1 5 12
+po out1
+comb g1
+ff f1 20ps 10 30 40
+arc clk cb 10 12
+arc cb f1/CK 5 8
+arc f1/Q g1 100 200
+arc g1 f1/D 10 20
+arc g1 out1 1 2
+arc in1 g1 3 4
+`
+	d, err := Read(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if d.Name != "demo" || d.Period != 500 {
+		t.Fatalf("header: %s %v", d.Name, d.Period)
+	}
+	if d.NumFFs() != 1 || d.NumArcs() != 7 { // 6 listed + CK->Q
+		t.Fatalf("parsed %d FFs %d arcs", d.NumFFs(), d.NumArcs())
+	}
+	ff := d.FFs[0]
+	if ff.Setup != 20 || ff.Hold != 10 {
+		t.Fatalf("ff constraints %v/%v", ff.Setup, ff.Hold)
+	}
+	ckq := d.Arcs[d.FanIn(ff.Output)[0]].Delay
+	if ckq != (model.Window{Early: 30, Late: 40}) {
+		t.Fatalf("ckq = %v", ckq)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src, errPart string
+	}{
+		{"unknown stmt", "bogus x", "unknown statement"},
+		{"bad field count", "design", "needs 2 fields"},
+		{"bad time", "period abc", "invalid time"},
+		{"undeclared arc pin", "design d\nclockroot clk\narc clk nope 1 2", "undeclared pin"},
+		{"bad pi", "pi x 1", "needs 4 fields"},
+		{"bad ff", "ff x 1 2 3", "needs 6 fields"},
+		{"invalid design", "clockroot clk\nclockbuf cb\n", "not connected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("err = %v, want contains %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+func TestWriterOutputIsStable(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(1))
+	var a, b bytes.Buffer
+	if err := Write(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("writer output not deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "# fastcppr design file\n") {
+		t.Fatal("missing file banner")
+	}
+}
