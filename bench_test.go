@@ -11,6 +11,7 @@
 package fastcppr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -167,7 +168,7 @@ func BenchmarkAblationLCAMethod(b *testing.B) {
 			e := benchEngine(b, "leon2")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.TopPaths(core.Options{K: 1000, Mode: model.Setup, Threads: 1, UseLiftingLCA: lifting})
+				e.TopPaths(context.Background(), core.Options{K: 1000, Mode: model.Setup, Threads: 1, UseLiftingLCA: lifting})
 			}
 		})
 	}
@@ -187,7 +188,7 @@ func BenchmarkAblationDepth(b *testing.B) {
 			e := core.NewEngine(d)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.TopPaths(core.Options{K: 1, Mode: model.Setup, Threads: 1})
+				e.TopPaths(context.Background(), core.Options{K: 1, Mode: model.Setup, Threads: 1})
 			}
 		})
 	}
@@ -207,7 +208,7 @@ func BenchmarkAblationSize(b *testing.B) {
 			e := core.NewEngine(d)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.TopPaths(core.Options{K: 1, Mode: model.Setup, Threads: 1})
+				e.TopPaths(context.Background(), core.Options{K: 1, Mode: model.Setup, Threads: 1})
 			}
 		})
 	}
@@ -225,7 +226,7 @@ func BenchmarkAblationGlobalBound(b *testing.B) {
 			e := benchEngine(b, "leon2")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.TopPaths(core.Options{K: 10000, Mode: model.Setup, Threads: 1, DisableGlobalBound: disable})
+				e.TopPaths(context.Background(), core.Options{K: 10000, Mode: model.Setup, Threads: 1, DisableGlobalBound: disable})
 			}
 		})
 	}

@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"fastcppr/cppr"
 	"fastcppr/internal/experiments"
 )
 
@@ -35,6 +39,7 @@ func main() {
 		ks       = flag.String("k", "1,100,10000", "comma-separated k values for Table IV")
 		threads  = flag.Int("threads", 0, "parallel thread count of the comparison (0 = min(8, host cores))")
 		oursOnly = flag.Bool("oursonly", false, "measure only the LCA engine (full-size capability runs)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit; exit code 3)")
 	)
 	flag.Parse()
 	if *all {
@@ -46,7 +51,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	cfg := experiments.Config{
+		Ctx:      ctx,
 		Out:      os.Stdout,
 		Scale:    *scale,
 		Threads:  *threads,
@@ -70,7 +83,7 @@ func main() {
 		}
 		fmt.Printf("### %s\n\n", name)
 		if err := f(cfg); err != nil {
-			fatal(fmt.Errorf("%s: %v", name, err))
+			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 	}
 	run("Accuracy audit", *accuracy, experiments.Accuracy)
@@ -83,5 +96,21 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cpprbench:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps the query-path error taxonomy onto process exit codes:
+// 3 timeout/cancel, 4 budget exhaustion, 5 contained internal error.
+func exitCode(err error) int {
+	var ie *cppr.InternalError
+	switch {
+	case errors.Is(err, cppr.ErrCanceled), errors.Is(err, cppr.ErrDeadlineExceeded):
+		return 3
+	case errors.Is(err, cppr.ErrBudgetExhausted):
+		return 4
+	case errors.As(err, &ie):
+		return 5
+	default:
+		return 1
+	}
 }

@@ -9,15 +9,30 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"fastcppr/cppr"
 	"fastcppr/internal/report"
 	"fastcppr/model"
 	"fastcppr/sdc"
 	"fastcppr/tau"
+)
+
+// Exit codes beyond the usual 0/1/2 (ok / error / usage), so scripts can
+// distinguish resource failures from bad inputs:
+//
+//	3  the -timeout deadline (or an interrupt) aborted the analysis
+//	4  a budgeted algorithm degraded: the report is partial
+//	5  an internal invariant violation was contained (engine bug)
+const (
+	exitTimeout  = 3
+	exitDegraded = 4
+	exitInternal = 5
 )
 
 func main() {
@@ -32,6 +47,9 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		pos     = flag.Bool("pos", false, "include output checks at constrained primary outputs")
 		sdcPath = flag.String("sdc", "", "constraints file (create_clock, io delays, false paths)")
+		timeout = flag.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit; exit code 3)")
+		maxTup  = flag.Int("maxtuples", 0, "blockwise tuple budget (0 = default; exhaustion degrades, exit code 4)")
+		maxPops = flag.Int("maxpops", 0, "branch-and-bound pop budget (0 = default; exhaustion degrades, exit code 4)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -65,6 +83,9 @@ func main() {
 	}
 
 	timer := cppr.NewTimer(d)
+	if *maxTup > 0 || *maxPops > 0 {
+		timer.SetBudgets(*maxTup, *maxPops)
+	}
 	if *sdcPath != "" {
 		c, err := sdc.ParseFile(*sdcPath)
 		if err != nil {
@@ -74,10 +95,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	degraded := false
 	for _, mode := range modes {
-		rep, err := timer.Report(cppr.Options{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos})
+		rep, err := timer.ReportCtx(ctx, cppr.Options{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos})
 		if err != nil {
 			fatal(err)
+		}
+		if rep.Degraded {
+			degraded = true
+			fmt.Fprintf(os.Stderr, "cpprtimer: warning: %s search exhausted its budget; the %s report is partial\n", algo, mode)
 		}
 		if *jsonOut {
 			if err := cppr.WriteJSON(os.Stdout, d, &rep, mode, *k); err != nil {
@@ -109,6 +142,9 @@ func main() {
 			}
 		}
 	}
+	if degraded {
+		os.Exit(exitDegraded)
+	}
 }
 
 func readDesign(path string) (*model.Design, error) {
@@ -117,5 +153,20 @@ func readDesign(path string) (*model.Design, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cpprtimer:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps the query-path error taxonomy onto process exit codes.
+func exitCode(err error) int {
+	var ie *cppr.InternalError
+	switch {
+	case errors.Is(err, cppr.ErrCanceled), errors.Is(err, cppr.ErrDeadlineExceeded):
+		return exitTimeout
+	case errors.Is(err, cppr.ErrBudgetExhausted):
+		return exitDegraded
+	case errors.As(err, &ie):
+		return exitInternal
+	default:
+		return 1
+	}
 }

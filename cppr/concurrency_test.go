@@ -1,6 +1,8 @@
 package cppr
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -54,4 +56,47 @@ func TestConcurrentQueries(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+}
+
+// TestConcurrentCancellation interleaves canceled and live queries on
+// one Timer: canceled queries must return the taxonomy error without
+// perturbing concurrent live queries. Run with -race for full effect.
+func TestConcurrentCancellation(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(77))
+	timer := NewTimer(d)
+	ref, err := timer.Report(Options{K: 30, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if g%2 == 0 {
+					_, err := timer.ReportCtx(canceledCtx, Options{K: 30, Mode: model.Setup, Threads: 2})
+					if !errors.Is(err, ErrCanceled) {
+						t.Errorf("goroutine %d: err = %v, want ErrCanceled", g, err)
+						return
+					}
+				} else {
+					rep, err := timer.ReportCtx(context.Background(), Options{K: 30, Mode: model.Setup, Threads: 2})
+					if err != nil {
+						t.Errorf("goroutine %d: live query failed: %v", g, err)
+						return
+					}
+					for j := range ref.Paths {
+						if rep.Paths[j].Slack != ref.Paths[j].Slack {
+							t.Errorf("goroutine %d: slack %d diverged next to canceled queries", g, j)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

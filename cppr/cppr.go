@@ -19,12 +19,14 @@
 package cppr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"fastcppr/internal/baseline"
 	"fastcppr/internal/core"
 	"fastcppr/internal/lca"
+	"fastcppr/internal/qerr"
 	"fastcppr/internal/sta"
 	"fastcppr/model"
 	"fastcppr/sdc"
@@ -125,6 +127,12 @@ type Report struct {
 	Algorithm Algorithm
 	// Stats carries core-engine counters (AlgoLCA only).
 	Stats core.Stats
+	// Degraded reports that a budgeted baseline (Blockwise MaxTuples,
+	// BranchAndBound MaxPops) exhausted its budget and Paths holds only
+	// the — individually exact — paths found before truncation; the true
+	// top-k may contain paths this report misses. Always false for
+	// AlgoLCA, which has no failure budget.
+	Degraded bool
 }
 
 // WorstSlack returns the most critical reported slack.
@@ -161,9 +169,15 @@ func NewTimer(d *model.Design) *Timer {
 // that is cached across queries (clock-tree arrivals/credits, CK->Q
 // delay caches).
 func (t *Timer) rebuild() {
+	// Preserve each baseline's budget independently: reading t.bb under
+	// a t.bw nil-check would crash the first time the two fields ever
+	// get out of step (regression test: TestBudgetsSurviveRebuild).
 	maxTuples, maxPops := 0, 0
 	if t.bw != nil {
-		maxTuples, maxPops = t.bw.MaxTuples, t.bb.MaxPops
+		maxTuples = t.bw.MaxTuples
+	}
+	if t.bb != nil {
+		maxPops = t.bb.MaxPops
 	}
 	tree := lca.New(t.d)
 	t.tree = tree
@@ -183,16 +197,38 @@ func (t *Timer) rebuild() {
 // Design returns the timer's design.
 func (t *Timer) Design() *model.Design { return t.d }
 
-// Report runs one top-k query.
+// Report runs one top-k query. It is ReportCtx with a background
+// context: never canceled, no deadline.
 func (t *Timer) Report(opts Options) (Report, error) {
+	return t.ReportCtx(context.Background(), opts)
+}
+
+// ReportCtx runs one top-k query under a context. Cancellation or
+// deadline expiry aborts the query with bounded latency and returns an
+// error matching ErrCanceled / ErrDeadlineExceeded; a panic anywhere in
+// the query path is contained and returned as an *InternalError (the
+// Timer stays usable); a budgeted baseline that exhausts its budget
+// returns the paths found so far with Report.Degraded set.
+func (t *Timer) ReportCtx(ctx context.Context, opts Options) (rep Report, err error) {
+	// Contain panics on the caller's goroutine too (single-threaded
+	// algorithms, reconstruction): one poisoned query must not crash a
+	// process serving many.
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = Report{}, qerr.FromPanic("cppr.Report", r)
+		}
+	}()
 	if opts.K < 0 {
-		return Report{}, fmt.Errorf("cppr: K must be non-negative, got %d", opts.K)
+		return Report{}, qerr.Invalid("K must be non-negative, got %d", opts.K)
 	}
 	if !t.filter.Empty() && opts.Algorithm != AlgoLCA {
-		return Report{}, fmt.Errorf("cppr: false-path constraints are supported by AlgoLCA only, got %v", opts.Algorithm)
+		return Report{}, qerr.Invalid("false-path constraints are supported by AlgoLCA only, got %v", opts.Algorithm)
+	}
+	if err := qerr.FromContext(ctx); err != nil {
+		return Report{}, err
 	}
 	start := time.Now()
-	rep := Report{Algorithm: opts.Algorithm}
+	rep = Report{Algorithm: opts.Algorithm}
 	switch opts.Algorithm {
 	case AlgoLCA:
 		copts := core.Options{
@@ -207,28 +243,43 @@ func (t *Timer) Report(opts Options) (Report, error) {
 			copts.ExcludeCaptureFF = t.filter.ToFF
 			copts.ExcludeLaunchPin = t.filter.FromPin
 		}
-		res := t.engine.TopPaths(copts)
+		res, err := t.engine.TopPaths(ctx, copts)
+		if err != nil {
+			return Report{}, err
+		}
 		rep.Paths, rep.Stats = res.Paths, res.Stats
 	case AlgoPairwise:
-		rep.Paths = t.pw.TopPaths(opts.Mode, opts.K, opts.Threads)
+		paths, err := t.pw.TopPaths(ctx, opts.Mode, opts.K, opts.Threads)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Paths = paths
 	case AlgoBlockwise:
-		paths, err := t.bw.TopPaths(opts.Mode, opts.K, opts.Threads)
+		paths, degraded, err := t.bw.TopPaths(ctx, opts.Mode, opts.K, opts.Threads)
 		if err != nil {
 			return Report{}, err
 		}
-		rep.Paths = paths
+		rep.Paths, rep.Degraded = paths, degraded
 	case AlgoBranchAndBound:
-		paths, err := t.bb.TopPaths(opts.Mode, opts.K, opts.Threads)
+		paths, degraded, err := t.bb.TopPaths(ctx, opts.Mode, opts.K, opts.Threads)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Paths, rep.Degraded = paths, degraded
+	case AlgoBruteForce:
+		paths, err := baseline.BruteForceCtx(ctx, t.d, opts.Mode, opts.K)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
-	case AlgoBruteForce:
-		rep.Paths = baseline.BruteForce(t.d, opts.Mode, opts.K)
 	case AlgoRerankInexact:
-		rep.Paths = t.rr.TopPaths(opts.Mode, opts.K)
+		paths, err := t.rr.TopPathsCtx(ctx, opts.Mode, opts.K)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Paths = paths
 	default:
-		return Report{}, fmt.Errorf("cppr: unknown algorithm %v", opts.Algorithm)
+		return Report{}, qerr.Invalid("unknown algorithm %v", opts.Algorithm)
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
@@ -238,14 +289,25 @@ func (t *Timer) Report(opts Options) (Report, error) {
 // flip-flop (report_timing -to style). Only the LCA engine serves
 // per-endpoint queries; opts.Algorithm must be AlgoLCA (the default).
 func (t *Timer) EndpointReport(ff model.FFID, opts Options) (Report, error) {
+	return t.EndpointReportCtx(context.Background(), ff, opts)
+}
+
+// EndpointReportCtx is EndpointReport under a context, with the same
+// cancellation and panic-containment semantics as ReportCtx.
+func (t *Timer) EndpointReportCtx(ctx context.Context, ff model.FFID, opts Options) (rep Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = Report{}, qerr.FromPanic("cppr.EndpointReport", r)
+		}
+	}()
 	if opts.Algorithm != AlgoLCA {
-		return Report{}, fmt.Errorf("cppr: EndpointReport supports AlgoLCA only, got %v", opts.Algorithm)
+		return Report{}, qerr.Invalid("EndpointReport supports AlgoLCA only, got %v", opts.Algorithm)
 	}
 	if ff < 0 || int(ff) >= t.d.NumFFs() {
-		return Report{}, fmt.Errorf("cppr: FF id %d out of range", ff)
+		return Report{}, qerr.Invalid("FF id %d out of range", ff)
 	}
 	start := time.Now()
-	res := t.engine.TopPaths(core.Options{
+	res, err := t.engine.TopPaths(ctx, core.Options{
 		K:             opts.K,
 		Mode:          opts.Mode,
 		Threads:       opts.Threads,
@@ -253,6 +315,9 @@ func (t *Timer) EndpointReport(ff model.FFID, opts Options) (Report, error) {
 		FilterCapture: true,
 		CaptureFF:     ff,
 	})
+	if err != nil {
+		return Report{}, err
+	}
 	return Report{
 		Paths:     res.Paths,
 		Stats:     res.Stats,
@@ -341,20 +406,36 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 // PostCPPRSlacks returns the exact post-CPPR worst slack at every FF
 // endpoint, computed in O(nD) — a full pessimism-removed signoff
 // summary (compare PreCPPRSlacks to quantify removed pessimism per
-// endpoint). threads <= 0 uses all cores.
+// endpoint). threads <= 0 uses all cores. It is PostCPPRSlacksCtx with
+// a background context (which never errors).
 func (t *Timer) PostCPPRSlacks(mode model.Mode, threads int) []EndpointSlack {
+	out, _ := t.PostCPPRSlacksCtx(context.Background(), mode, threads)
+	return out
+}
+
+// PostCPPRSlacksCtx is PostCPPRSlacks under a context, with the same
+// cancellation and panic-containment semantics as ReportCtx.
+func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, mode model.Mode, threads int) (out []EndpointSlack, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, qerr.FromPanic("cppr.PostCPPRSlacks", r)
+		}
+	}()
 	copts := core.Options{Mode: mode, Threads: threads}
 	if !t.filter.Empty() {
 		copts.ExcludeLaunchFF = t.filter.FromFF
 		copts.ExcludeCaptureFF = t.filter.ToFF
 		copts.ExcludeLaunchPin = t.filter.FromPin
 	}
-	raw := t.engine.EndpointSlacksCPPR(copts)
-	out := make([]EndpointSlack, len(raw))
+	raw, err := t.engine.EndpointSlacksCPPR(ctx, copts)
+	if err != nil {
+		return nil, err
+	}
+	out = make([]EndpointSlack, len(raw))
 	for i, s := range raw {
 		out[i] = EndpointSlack{FF: s.FF, Slack: s.Slack, Valid: s.Valid}
 	}
-	return out
+	return out, nil
 }
 
 // TopPaths is a one-shot convenience for a single query on a design.

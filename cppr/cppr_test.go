@@ -128,11 +128,17 @@ func TestSetBudgets(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(2))
 	timer := NewTimer(d)
 	timer.SetBudgets(5, 2)
-	if _, err := timer.Report(Options{K: 10, Mode: model.Setup, Algorithm: AlgoBlockwise}); err == nil {
-		t.Error("blockwise under tiny budget should fail")
+	rep, err := timer.Report(Options{K: 10, Mode: model.Setup, Algorithm: AlgoBlockwise})
+	if err != nil {
+		t.Errorf("blockwise budget exhaustion must degrade, not error: %v", err)
+	} else if !rep.Degraded {
+		t.Error("blockwise under tiny budget should set Degraded")
 	}
-	if _, err := timer.Report(Options{K: 10, Mode: model.Setup, Algorithm: AlgoBranchAndBound}); err == nil {
-		t.Error("bnb under tiny budget should fail")
+	rep, err = timer.Report(Options{K: 10, Mode: model.Setup, Algorithm: AlgoBranchAndBound})
+	if err != nil {
+		t.Errorf("bnb budget exhaustion must degrade, not error: %v", err)
+	} else if !rep.Degraded {
+		t.Error("bnb under tiny budget should set Degraded")
 	}
 	timer.SetBudgets(0, 0) // no change
 	if _, err := timer.Report(Options{K: 1, Mode: model.Setup, Algorithm: AlgoLCA}); err != nil {

@@ -1,0 +1,36 @@
+package cppr
+
+import "fastcppr/internal/qerr"
+
+// The typed error taxonomy of the query path. Every error returned by
+// ReportCtx / EndpointReportCtx / PostCPPRSlacksCtx (and their legacy
+// wrappers) matches exactly one sentinel under errors.Is, or is an
+// *InternalError matchable with errors.As:
+//
+//	ErrCanceled          the query's context was canceled; also matches
+//	                     context.Canceled
+//	ErrDeadlineExceeded  the query's deadline passed; also matches
+//	                     context.DeadlineExceeded
+//	ErrBudgetExhausted   a budgeted baseline search (Blockwise MaxTuples,
+//	                     BranchAndBound MaxPops) hit its limit without
+//	                     producing a usable result — note that budget
+//	                     exhaustion normally degrades (Report.Degraded)
+//	                     rather than erroring
+//	ErrInvalidQuery      malformed query: negative K, out-of-range
+//	                     endpoint, unsupported algorithm combination
+var (
+	ErrCanceled         = qerr.ErrCanceled
+	ErrDeadlineExceeded = qerr.ErrDeadlineExceeded
+	ErrBudgetExhausted  = qerr.ErrBudgetExhausted
+	ErrInvalidQuery     = qerr.ErrInvalidQuery
+)
+
+// InternalError is a contained invariant violation: a panic inside a
+// query worker (for example the engine's negative-deviation-cost check
+// firing on a poisoned design), recovered and converted into an error so
+// the process survives. It carries the panic message and the panicking
+// goroutine's stack; match with errors.As:
+//
+//	var ie *cppr.InternalError
+//	if errors.As(err, &ie) { log.Printf("engine bug: %s\n%s", ie.Msg, ie.Stack) }
+type InternalError = qerr.InternalError

@@ -1,0 +1,275 @@
+package cppr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fastcppr/gen"
+	"fastcppr/internal/faultinject"
+	"fastcppr/model"
+)
+
+// cancelLatencyBound is how long a canceled query may take to return.
+// The cooperative checks run every cancelStride iterations, so the real
+// latency is microseconds; the bound is generous for loaded CI hosts.
+const cancelLatencyBound = 2 * time.Second
+
+// TestWorkerPanicContained injects a panic into an LCA engine worker and
+// checks the resilience contract: the query returns an *InternalError
+// carrying the panic message and a stack, the process survives, and the
+// Timer answers the same query correctly once the fault is removed.
+func TestWorkerPanicContained(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(3))
+	timer := NewTimer(d)
+	opts := Options{K: 20, Mode: model.Setup, Threads: 2}
+
+	disarm := faultinject.Arm("core.worker", faultinject.Fault{Panic: "injected worker crash"})
+	_, err := timer.ReportCtx(context.Background(), opts)
+	disarm()
+	if err == nil {
+		t.Fatal("query with a panicking worker returned no error")
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if !strings.Contains(ie.Msg, "injected worker crash") {
+		t.Errorf("InternalError.Msg = %q, want the injected message", ie.Msg)
+	}
+	if len(ie.Stack) == 0 {
+		t.Error("InternalError carries no stack trace")
+	}
+
+	// The Timer must be reusable after a contained panic.
+	rep, err := timer.ReportCtx(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("query after contained panic: %v", err)
+	}
+	if len(rep.Paths) == 0 {
+		t.Fatal("query after contained panic returned no paths")
+	}
+}
+
+// TestPairwisePanicContained covers the same contract on the pairwise
+// baseline's worker pool.
+func TestPairwisePanicContained(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(3))
+	timer := NewTimer(d)
+	opts := Options{K: 10, Mode: model.Setup, Threads: 2, Algorithm: AlgoPairwise}
+
+	disarm := faultinject.Arm("baseline.pairwise.worker", faultinject.Fault{Panic: "injected pairwise crash"})
+	_, err := timer.ReportCtx(context.Background(), opts)
+	disarm()
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if _, err := timer.ReportCtx(context.Background(), opts); err != nil {
+		t.Fatalf("pairwise query after contained panic: %v", err)
+	}
+}
+
+// TestEndpointSweepPanicContained covers PostCPPRSlacksCtx's workers.
+func TestEndpointSweepPanicContained(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(3))
+	timer := NewTimer(d)
+
+	disarm := faultinject.Arm("core.endpoint.worker", faultinject.Fault{Panic: "injected sweep crash"})
+	_, err := timer.PostCPPRSlacksCtx(context.Background(), model.Setup, 2)
+	disarm()
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	out, err := timer.PostCPPRSlacksCtx(context.Background(), model.Setup, 2)
+	if err != nil || len(out) != d.NumFFs() {
+		t.Fatalf("sweep after contained panic: %d slacks, err %v", len(out), err)
+	}
+}
+
+// TestCancelMidQuery holds the engine's workers in flight with a delay
+// fault, cancels the context, and checks the query returns promptly with
+// the taxonomy error — then that the Timer still works.
+func TestCancelMidQuery(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(3))
+	timer := NewTimer(d)
+	opts := Options{K: 50, Mode: model.Setup, Threads: 2}
+
+	disarm := faultinject.Arm("core.worker", faultinject.Fault{Delay: 100 * time.Millisecond})
+	defer disarm()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := timer.ReportCtx(ctx, opts)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the query get in flight
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if elapsed := time.Since(start); elapsed > cancelLatencyBound {
+			t.Errorf("cancellation took %v, bound %v", elapsed, cancelLatencyBound)
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v does not match context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled query never returned")
+	}
+
+	disarm()
+	rep, err := timer.ReportCtx(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+	if len(rep.Paths) == 0 {
+		t.Fatal("query after cancellation returned no paths")
+	}
+}
+
+// TestDeadlineExceeded checks the deadline branch of the taxonomy.
+func TestDeadlineExceeded(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(1))
+	timer := NewTimer(d)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // deadline has certainly passed
+	_, err := timer.ReportCtx(ctx, Options{K: 5, Mode: model.Setup})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v does not match context.DeadlineExceeded", err)
+	}
+}
+
+// TestBlockwiseDegradedPartial forces blockwise budget exhaustion at
+// increasing points of the propagation until the truncated search still
+// yields paths: those paths must be individually exact and the report
+// must carry the Degraded flag.
+func TestBlockwiseDegradedPartial(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(2))
+	timer := NewTimer(d)
+	opts := Options{K: 10, Mode: model.Setup, Algorithm: AlgoBlockwise}
+	for after := 64; after <= 1<<20; after *= 2 {
+		disarm := faultinject.Arm("baseline.blockwise.budget", faultinject.Fault{After: after})
+		rep, err := timer.ReportCtx(context.Background(), opts)
+		disarm()
+		if err != nil {
+			t.Fatalf("after=%d: budget exhaustion must degrade, not error: %v", after, err)
+		}
+		if !rep.Degraded {
+			t.Fatalf("propagation finished before any budget hit yielded partial paths (after=%d)", after)
+		}
+		if len(rep.Paths) == 0 {
+			continue // truncated too early to reach any endpoint; try later
+		}
+		for i, p := range rep.Paths {
+			ref, err := d.RecomputePath(model.Setup, p.Pins)
+			if err != nil {
+				t.Fatalf("degraded path %d invalid: %v", i, err)
+			}
+			if ref.Slack != p.Slack {
+				t.Fatalf("degraded path %d slack %v, recomputed %v", i, p.Slack, ref.Slack)
+			}
+		}
+		return
+	}
+	t.Fatal("no truncation point produced a degraded report with partial paths")
+}
+
+// TestBranchAndBoundDegradedPartial starves the BnB pop budget and
+// checks the partial top-k plus Degraded flag.
+func TestBranchAndBoundDegradedPartial(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(2))
+	timer := NewTimer(d)
+	timer.SetBudgets(0, 10)
+	rep, err := timer.ReportCtx(context.Background(), Options{K: 1000, Mode: model.Setup, Algorithm: AlgoBranchAndBound})
+	if err != nil {
+		t.Fatalf("budget exhaustion must degrade, not error: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("MaxPops=10 did not set Degraded")
+	}
+	if len(rep.Paths) == 0 || len(rep.Paths) > 10 {
+		t.Fatalf("%d partial paths from 10 pops", len(rep.Paths))
+	}
+	for i, p := range rep.Paths {
+		ref, err := d.RecomputePath(model.Setup, p.Pins)
+		if err != nil || ref.Slack != p.Slack {
+			t.Fatalf("degraded path %d not exact: %v", i, err)
+		}
+	}
+}
+
+// TestLCAReportNeverDegraded pins the documented guarantee that the LCA
+// engine has no budget and never sets the flag.
+func TestLCAReportNeverDegraded(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(2))
+	timer := NewTimer(d)
+	rep, err := timer.ReportCtx(context.Background(), Options{K: 100, Mode: model.Hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatal("AlgoLCA report marked Degraded")
+	}
+}
+
+// TestInvalidQueryErrors checks the ErrInvalidQuery class.
+func TestInvalidQueryErrors(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(0))
+	timer := NewTimer(d)
+	bg := context.Background()
+	if _, err := timer.ReportCtx(bg, Options{K: -1, Mode: model.Setup}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("negative K: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := timer.ReportCtx(bg, Options{K: 1, Algorithm: Algorithm(99)}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("unknown algorithm: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := timer.EndpointReportCtx(bg, model.FFID(d.NumFFs()), Options{K: 1}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("out-of-range FF: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := timer.EndpointReportCtx(bg, 0, Options{K: 1, Algorithm: AlgoPairwise}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("non-LCA endpoint query: err = %v, want ErrInvalidQuery", err)
+	}
+}
+
+// TestBudgetsSurviveRebuild is the regression test for the rebuild
+// nil-guard: budgets set before a what-if edit must survive the rebuild
+// triggered by a clock-arc delay change.
+func TestBudgetsSurviveRebuild(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(5))
+	timer := NewTimer(d)
+	timer.SetBudgets(123, 456)
+
+	// Re-apply an unchanged delay on a clock arc: semantically a no-op,
+	// but it forces the full rebuild path.
+	found := false
+	for ai := range d.Arcs {
+		arc := &d.Arcs[ai]
+		if d.IsClockPin(arc.From) && d.IsClockPin(arc.To) {
+			if err := timer.SetArcDelay(arc.From, arc.To, arc.Delay); err != nil {
+				t.Fatalf("SetArcDelay: %v", err)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no clock arc in generated design")
+	}
+	if timer.bw.MaxTuples != 123 {
+		t.Errorf("MaxTuples = %d after rebuild, want 123", timer.bw.MaxTuples)
+	}
+	if timer.bb.MaxPops != 456 {
+		t.Errorf("MaxPops = %d after rebuild, want 456", timer.bb.MaxPops)
+	}
+}

@@ -1,14 +1,30 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"testing"
 
 	"fastcppr/gen"
 	"fastcppr/internal/lca"
+	"fastcppr/internal/qerr"
 	"fastcppr/model"
 )
+
+var bg = context.Background()
+
+// must unwraps a (paths, error) pair from a context-aware baseline
+// query that cannot fail under a background context.
+func must(t *testing.T) func([]model.Path, error) []model.Path {
+	return func(paths []model.Path, err error) []model.Path {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected query error: %v", err)
+		}
+		return paths
+	}
+}
 
 func sortedSlacks(paths []model.Path) []model.Time {
 	s := Slacks(paths)
@@ -57,13 +73,13 @@ func TestBaselinesMatchBruteForce(t *testing.T) {
 			for _, k := range []int{1, 5, 40, 10_000} {
 				want := Slacks(BruteForce(d, mode, k))
 
-				got := pw.TopPaths(mode, k, 2)
+				got := must(t)(pw.TopPaths(bg, mode, k, 2))
 				validate(t, d, mode, got, "pairwise")
 				if !equalTimes(sortedSlacks(got), want) {
 					t.Fatalf("seed %d %v k=%d: pairwise %v, want %v", seed, mode, k, sortedSlacks(got), want)
 				}
 
-				got, err := bb.TopPaths(mode, k, 1)
+				got, _, err := bb.TopPaths(bg, mode, k, 1)
 				if err != nil {
 					t.Fatalf("bnb: %v", err)
 				}
@@ -72,7 +88,7 @@ func TestBaselinesMatchBruteForce(t *testing.T) {
 					t.Fatalf("seed %d %v k=%d: bnb %v, want %v", seed, mode, k, sortedSlacks(got), want)
 				}
 
-				got, err = bw.TopPaths(mode, k, 1)
+				got, _, err = bw.TopPaths(bg, mode, k, 1)
 				if err != nil {
 					t.Fatalf("blockwise: %v", err)
 				}
@@ -96,12 +112,12 @@ func TestBaselinesAgreeOnMediumDesigns(t *testing.T) {
 		bw := NewBlockwise(d, tree)
 		for _, mode := range model.Modes {
 			k := 150
-			a := pw.TopPaths(mode, k, 4)
-			bp, err := bb.TopPaths(mode, k, 1)
+			a := must(t)(pw.TopPaths(bg, mode, k, 4))
+			bp, _, err := bb.TopPaths(bg, mode, k, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			cp, err := bw.TopPaths(mode, k, 1)
+			cp, _, err := bw.TopPaths(bg, mode, k, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -120,9 +136,9 @@ func TestPairwiseThreadDeterminism(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(11))
 	tree := lca.New(d)
 	pw := NewPairwise(d, tree)
-	ref := pw.TopPaths(model.Setup, 80, 1)
+	ref := must(t)(pw.TopPaths(bg, model.Setup, 80, 1))
 	for _, threads := range []int{2, 8} {
-		got := pw.TopPaths(model.Setup, 80, threads)
+		got := must(t)(pw.TopPaths(bg, model.Setup, 80, threads))
 		if len(got) != len(ref) {
 			t.Fatalf("threads %d: %d paths, want %d", threads, len(got), len(ref))
 		}
@@ -134,38 +150,55 @@ func TestPairwiseThreadDeterminism(t *testing.T) {
 	}
 }
 
-func TestBlockwiseBudgetExceeded(t *testing.T) {
+func TestBlockwiseBudgetDegrades(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(2))
 	tree := lca.New(d)
 	bw := NewBlockwise(d, tree)
 	bw.MaxTuples = 10
-	_, err := bw.TopPaths(model.Setup, 5, 1)
-	if !errors.Is(err, ErrBudget) {
-		t.Fatalf("err = %v, want ErrBudget", err)
+	paths, degraded, err := bw.TopPaths(bg, model.Setup, 5, 1)
+	if err != nil {
+		t.Fatalf("budget exhaustion must degrade, not error: %v", err)
 	}
+	if !degraded {
+		t.Fatal("MaxTuples=10 did not degrade the search")
+	}
+	validate(t, d, model.Setup, paths, "blockwise-degraded")
 }
 
-func TestBranchAndBoundBudgetExceeded(t *testing.T) {
+func TestBranchAndBoundBudgetDegrades(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(2))
 	tree := lca.New(d)
 	bb := NewBranchAndBound(d, tree)
 	bb.MaxPops = 3
-	_, err := bb.TopPaths(model.Setup, 1000, 1)
-	if !errors.Is(err, ErrBudget) {
-		t.Fatalf("err = %v, want ErrBudget", err)
+	paths, degraded, err := bb.TopPaths(bg, model.Setup, 1000, 1)
+	if err != nil {
+		t.Fatalf("budget exhaustion must degrade, not error: %v", err)
+	}
+	if !degraded {
+		t.Fatal("MaxPops=3 did not degrade the search")
+	}
+	if len(paths) > 3 {
+		t.Fatalf("%d paths resolved from 3 pops", len(paths))
+	}
+	validate(t, d, model.Setup, paths, "bnb-degraded")
+}
+
+func TestErrBudgetAliasesTaxonomy(t *testing.T) {
+	if !errors.Is(ErrBudget, qerr.ErrBudgetExhausted) {
+		t.Fatal("ErrBudget does not match the shared taxonomy sentinel")
 	}
 }
 
 func TestEmptyQueries(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(0))
 	tree := lca.New(d)
-	if got := NewPairwise(d, tree).TopPaths(model.Setup, 0, 1); got != nil {
+	if got := must(t)(NewPairwise(d, tree).TopPaths(bg, model.Setup, 0, 1)); got != nil {
 		t.Error("pairwise k=0 returned paths")
 	}
-	if got, _ := NewBranchAndBound(d, tree).TopPaths(model.Setup, -1, 1); got != nil {
+	if got, _, _ := NewBranchAndBound(d, tree).TopPaths(bg, model.Setup, -1, 1); got != nil {
 		t.Error("bnb k<0 returned paths")
 	}
-	if got, _ := NewBlockwise(d, tree).TopPaths(model.Setup, 0, 1); got != nil {
+	if got, _, _ := NewBlockwise(d, tree).TopPaths(bg, model.Setup, 0, 1); got != nil {
 		t.Error("blockwise k=0 returned paths")
 	}
 }

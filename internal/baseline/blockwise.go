@@ -1,9 +1,12 @@
 package baseline
 
 import (
+	"context"
 	"sort"
 
+	"fastcppr/internal/faultinject"
 	"fastcppr/internal/lca"
+	"fastcppr/internal/qerr"
 	"fastcppr/model"
 )
 
@@ -21,8 +24,9 @@ type Blockwise struct {
 	d    *model.Design
 	tree *lca.Tree
 	ckq  []model.Window
-	// MaxTuples bounds the total launch-set size; exceeding it aborts
-	// with ErrBudget (the paper's MLE).
+	// MaxTuples bounds the total launch-set size (the paper's MLE);
+	// exceeding it truncates propagation and degrades the result to the
+	// paths reachable from the tuples accumulated so far.
 	MaxTuples int
 }
 
@@ -43,14 +47,26 @@ type launchTuple struct {
 	from model.PinID
 }
 
-// TopPaths returns the exact global top-k post-CPPR paths, or ErrBudget
-// when the launch-set memory exceeds MaxTuples. Blockwise is
-// single-threaded, as HappyTimer is.
-func (b *Blockwise) TopPaths(mode model.Mode, k, threads int) ([]model.Path, error) {
+// TopPaths returns the exact global top-k post-CPPR paths. When the
+// launch-set memory exceeds MaxTuples, propagation truncates and the
+// call returns the (still individually exact) paths found so far with
+// degraded=true instead of failing outright — possibly missing paths
+// through the unpropagated region. Blockwise is single-threaded, as
+// HappyTimer is; the context still bounds its runtime.
+func (b *Blockwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int) (paths []model.Path, degraded bool, err error) {
 	_ = threads
-	if k <= 0 || len(b.d.FFs) == 0 {
-		return nil, nil
+	defer func() {
+		if r := recover(); r != nil {
+			paths, degraded, err = nil, false, qerr.FromPanic("baseline.Blockwise", r)
+		}
+	}()
+	if err := qerr.FromContext(ctx); err != nil {
+		return nil, false, err
 	}
+	if k <= 0 || len(b.d.FFs) == 0 {
+		return nil, false, nil
+	}
+	done := ctx.Done()
 	d := b.d
 	setup := mode == model.Setup
 
@@ -66,7 +82,10 @@ func (b *Blockwise) TopPaths(mode model.Mode, k, threads int) ([]model.Path, err
 		}
 		return a < x
 	}
-	for _, u := range d.Topo {
+	for ti, u := range d.Topo {
+		if ti%cancelStride == 0 && canceled(done) {
+			return nil, false, qerr.FromContext(ctx)
+		}
 		clear(scratch)
 		// Seeds.
 		switch d.Pins[u].Kind {
@@ -123,8 +142,12 @@ func (b *Blockwise) TopPaths(mode model.Mode, k, threads int) ([]model.Path, err
 		sort.Slice(list, func(i, j int) bool { return list[i].lau < list[j].lau })
 		perPin[u] = list
 		total += len(list)
-		if total > b.MaxTuples {
-			return nil, ErrBudget
+		if total > b.MaxTuples || faultinject.Forced("baseline.blockwise.budget") {
+			// The paper's MLE case: keep the per-pin sets finalised so
+			// far (each is internally consistent) and degrade to the
+			// paths they can reach instead of failing the query.
+			degraded = true
+			break
 		}
 	}
 
@@ -144,6 +167,9 @@ func (b *Blockwise) TopPaths(mode model.Mode, k, threads int) ([]model.Path, err
 	// enumeration the paper's introduction criticises.
 	h := newBCandHeap()
 	for ci := range d.FFs {
+		if ci%cancelStride == 0 && canceled(done) {
+			return nil, false, qerr.FromContext(ctx)
+		}
 		ff := &d.FFs[ci]
 		capArr := b.tree.Arrival(ff.Clock)
 		for _, t := range perPin[ff.Data] {
@@ -169,8 +195,10 @@ func (b *Blockwise) TopPaths(mode model.Mode, k, threads int) ([]model.Path, err
 		}
 	}
 
-	var paths []model.Path
 	for i := 0; i < k; i++ {
+		if canceled(done) {
+			return nil, false, qerr.FromContext(ctx)
+		}
 		kv, ok := h.PopMin()
 		if !ok {
 			break
@@ -182,5 +210,5 @@ func (b *Blockwise) TopPaths(mode model.Mode, k, threads int) ([]model.Path, err
 		}
 		paths = append(paths, finishPath(d, mode, reconstructAt(d, at, c)))
 	}
-	return paths, nil
+	return paths, degraded, nil
 }

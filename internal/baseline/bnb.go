@@ -1,10 +1,12 @@
 package baseline
 
 import (
-	"errors"
+	"context"
 
+	"fastcppr/internal/faultinject"
 	"fastcppr/internal/lca"
 	"fastcppr/internal/mmheap"
+	"fastcppr/internal/qerr"
 	"fastcppr/internal/sta"
 	"fastcppr/model"
 )
@@ -25,15 +27,19 @@ type BranchAndBound struct {
 	d    *model.Design
 	tree *lca.Tree
 	ckq  []model.Window
-	// MaxPops caps the total pops across all endpoint searches;
-	// exceeding it returns ErrBudget (the analogue of the paper's
-	// time/memory-limit failures).
+	// MaxPops caps the total pops across all endpoint searches (the
+	// analogue of the paper's time/memory-limit failures); exceeding it
+	// stops the search and degrades the result to the paths resolved so
+	// far.
 	MaxPops int
 }
 
-// ErrBudget reports that a baseline exceeded its configured budget, the
-// analogue of the MLE entries in the paper's Table IV.
-var ErrBudget = errors.New("baseline: search budget exceeded")
+// ErrBudget is the budget-exhaustion sentinel (the analogue of the MLE
+// entries in the paper's Table IV), re-exported from the shared taxonomy
+// so errors.Is works across package boundaries. Budgeted searches now
+// degrade instead of returning it, but callers that want a hard error
+// can still match against it.
+var ErrBudget = qerr.ErrBudgetExhausted
 
 // NewBranchAndBound preprocesses d.
 func NewBranchAndBound(d *model.Design, tree *lca.Tree) *BranchAndBound {
@@ -56,12 +62,22 @@ type resOut struct {
 // TopPaths returns the exact global top-k post-CPPR paths. The threads
 // argument is accepted for interface symmetry; endpoint searches share
 // one global result heap and run sequentially, like iTimerC's
-// generation phase.
-func (b *BranchAndBound) TopPaths(mode model.Mode, k, threads int) ([]model.Path, error) {
+// generation phase. Exceeding MaxPops returns the paths resolved so far
+// with degraded=true instead of failing; the context bounds the search.
+func (b *BranchAndBound) TopPaths(ctx context.Context, mode model.Mode, k, threads int) (paths []model.Path, degraded bool, err error) {
 	_ = threads
-	if k <= 0 || len(b.d.FFs) == 0 {
-		return nil, nil
+	defer func() {
+		if r := recover(); r != nil {
+			paths, degraded, err = nil, false, qerr.FromPanic("baseline.BranchAndBound", r)
+		}
+	}()
+	if err := qerr.FromContext(ctx); err != nil {
+		return nil, false, err
 	}
+	if k <= 0 || len(b.d.FFs) == 0 {
+		return nil, false, nil
+	}
+	done := ctx.Done()
 	d := b.d
 	setup := mode == model.Setup
 
@@ -89,7 +105,10 @@ func (b *BranchAndBound) TopPaths(mode model.Mode, k, threads int) ([]model.Path
 		}
 		prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 	}
-	prop.Run(d, setup)
+	prop.RunCtx(d, setup, done)
+	if canceled(done) {
+		return nil, false, qerr.FromContext(ctx)
+	}
 	at := func(u model.PinID) (model.Time, model.PinID, bool) {
 		t := prop.At(u)
 		return t.Time, t.From, t.Valid
@@ -108,6 +127,7 @@ func (b *BranchAndBound) TopPaths(mode model.Mode, k, threads int) ([]model.Path
 	// Per-endpoint branch-and-bound searches.
 	h := newBCandHeap()
 	pops := 0
+search:
 	for ci := range d.FFs {
 		ff := &d.FFs[ci]
 		t := prop.At(ff.Data)
@@ -133,9 +153,15 @@ func (b *BranchAndBound) TopPaths(mode model.Mode, k, threads int) ([]model.Path
 				break
 			}
 			c := kv.V
+			if canceled(done) {
+				return nil, false, qerr.FromContext(ctx)
+			}
 			pops++
-			if pops > b.MaxPops {
-				return nil, ErrBudget
+			if pops > b.MaxPops || faultinject.Forced("baseline.bnb.budget") {
+				// Budget exhausted: keep the paths resolved so far as a
+				// degraded (possibly incomplete) top-k.
+				degraded = true
+				break search
 			}
 			// Prune: pre-slack is a lower bound on post-slack, so the
 			// search for this endpoint ends when the frontier passes
@@ -170,7 +196,7 @@ func (b *BranchAndBound) TopPaths(mode model.Mode, k, threads int) ([]model.Path
 		}
 	}
 
-	paths := make([]model.Path, 0, results.Len())
+	paths = make([]model.Path, 0, results.Len())
 	for {
 		o, ok := results.PopMin()
 		if !ok {
@@ -178,5 +204,5 @@ func (b *BranchAndBound) TopPaths(mode model.Mode, k, threads int) ([]model.Path
 		}
 		paths = append(paths, finishPath(d, mode, o.pins))
 	}
-	return paths, nil
+	return paths, degraded, nil
 }

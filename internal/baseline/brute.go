@@ -15,9 +15,11 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"fastcppr/internal/qerr"
 	"fastcppr/model"
 )
 
@@ -30,23 +32,58 @@ const maxBrutePaths = 2_000_000
 // exponential in the path count and exists as the correctness oracle for
 // every other timer in this repository.
 func BruteForce(d *model.Design, mode model.Mode, k int) []model.Path {
-	all := AllPaths(d, mode)
+	paths, err := BruteForceCtx(context.Background(), d, mode, k)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return paths
+}
+
+// BruteForceCtx is BruteForce bounded by a context: enumeration checks
+// for cancellation periodically and returns the taxonomy error.
+func BruteForceCtx(ctx context.Context, d *model.Design, mode model.Mode, k int) ([]model.Path, error) {
+	eps := make([]model.PinID, 0, len(d.FFs))
+	for i := range d.FFs {
+		eps = append(eps, d.FFs[i].Data)
+	}
+	all, err := allPathsTo(ctx, d, mode, eps)
+	if err != nil {
+		return nil, err
+	}
 	SortPaths(all)
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all
+	return all, nil
 }
 
 // AllPathsTo enumerates every data path ending at the given endpoints
 // (FF D pins and/or constrained POs) with exact slack decompositions,
 // unordered.
 func AllPathsTo(d *model.Design, mode model.Mode, endpoints []model.PinID) []model.Path {
+	all, err := allPathsTo(context.Background(), d, mode, endpoints)
+	if err != nil {
+		panic(err) // unreachable: a background context never cancels
+	}
+	return all
+}
+
+// allPathsTo is the context-aware enumeration behind AllPathsTo: the
+// emit path checks for cancellation every stride of emitted paths, so
+// even exponential enumerations abort with bounded latency.
+func allPathsTo(ctx context.Context, d *model.Design, mode model.Mode, endpoints []model.PinID) ([]model.Path, error) {
+	done := ctx.Done()
 	var all []model.Path
 	var rev []model.PinID
+	stop := false
 
 	var dfs func(u model.PinID)
 	emit := func() {
+		if len(all)%cancelStride == 0 && canceled(done) {
+			stop = true
+			return
+		}
 		pins := make([]model.PinID, len(rev))
 		for i, p := range rev {
 			pins[len(rev)-1-i] = p
@@ -61,6 +98,9 @@ func AllPathsTo(d *model.Design, mode model.Mode, endpoints []model.PinID) []mod
 		}
 	}
 	dfs = func(u model.PinID) {
+		if stop {
+			return
+		}
 		rev = append(rev, u)
 		defer func() { rev = rev[:len(rev)-1] }()
 		switch d.Pins[u].Kind {
@@ -82,7 +122,10 @@ func AllPathsTo(d *model.Design, mode model.Mode, endpoints []model.PinID) []mod
 	for _, ep := range endpoints {
 		dfs(ep)
 	}
-	return all
+	if stop {
+		return nil, qerr.FromContext(ctx)
+	}
+	return all, nil
 }
 
 // AllPaths enumerates every FF-test path (ending at D pins).

@@ -1,12 +1,15 @@
 package baseline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"fastcppr/internal/faultinject"
 	"fastcppr/internal/lca"
 	"fastcppr/internal/mmheap"
+	"fastcppr/internal/qerr"
 	"fastcppr/internal/sta"
 	"fastcppr/model"
 )
@@ -42,10 +45,14 @@ type pwOut struct {
 }
 
 // TopPaths returns the exact global top-k post-CPPR paths for the mode.
-// threads <= 0 uses GOMAXPROCS.
-func (p *Pairwise) TopPaths(mode model.Mode, k, threads int) []model.Path {
+// threads <= 0 uses GOMAXPROCS. The context bounds the query; a panic in
+// any worker is contained and returned as a *qerr.InternalError.
+func (p *Pairwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int) ([]model.Path, error) {
+	if err := qerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	if k <= 0 || len(p.d.FFs) == 0 {
-		return nil
+		return nil, nil
 	}
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
@@ -70,22 +77,41 @@ func (p *Pairwise) TopPaths(mode model.Mode, k, threads int) []model.Path {
 	var mu sync.Mutex
 	var next atomic.Int64
 	var wg sync.WaitGroup
+
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+	done := qctx.Done()
+
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(qerr.FromPanic("baseline.Pairwise", r))
+				}
+			}()
 			var prop sta.Prop
 			heap := newBCandHeap()
 			for {
 				li := int(next.Add(1) - 1)
-				if li >= numJobs {
+				if li >= numJobs || canceled(done) {
 					return
 				}
+				faultinject.Fire("baseline.pairwise.worker")
 				var outs []*pwOut
 				if li < len(p.d.FFs) {
-					outs = p.runLaunch(&prop, heap, li, k, setup)
+					outs = p.runLaunch(&prop, heap, li, k, setup, done)
 				} else {
-					outs = p.runPIs(&prop, heap, li, k, setup)
+					outs = p.runPIs(&prop, heap, li, k, setup, done)
 				}
 				mu.Lock()
 				for _, o := range outs {
@@ -96,6 +122,12 @@ func (p *Pairwise) TopPaths(mode model.Mode, k, threads int) []model.Path {
 		}()
 	}
 	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	if err := qerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 
 	paths := make([]model.Path, 0, global.Len())
 	for {
@@ -105,13 +137,13 @@ func (p *Pairwise) TopPaths(mode model.Mode, k, threads int) []model.Path {
 		}
 		paths = append(paths, finishPath(p.d, mode, o.pins))
 	}
-	return paths
+	return paths, nil
 }
 
 // runLaunch performs the per-launch-FF analysis: propagate arrivals from
 // this FF's Q pin only, seed one root candidate per reachable capture FF
 // with the exact pairwise credit, and extract the launch-local top-k.
-func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool) []*pwOut {
+func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool, done <-chan struct{}) []*pwOut {
 	d := p.d
 	ff := &d.FFs[li]
 	prop.Reset(d.NumPins())
@@ -123,7 +155,7 @@ func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k
 		qAt = arr.Early + p.ckq[li].Early
 	}
 	prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
-	prop.Run(d, setup)
+	prop.RunCtx(d, setup, done)
 
 	at := func(u model.PinID) (model.Time, model.PinID, bool) {
 		t := prop.At(u)
@@ -132,6 +164,9 @@ func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k
 
 	heap.Reset()
 	for ci := range d.FFs {
+		if ci%cancelStride == 0 && canceled(done) {
+			return nil
+		}
 		cap := &d.FFs[ci]
 		t := prop.At(cap.Data)
 		if !t.Valid {
@@ -158,6 +193,9 @@ func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k
 
 	var outs []*pwOut
 	for i := 0; i < k; i++ {
+		if canceled(done) {
+			return nil
+		}
 		kv, ok := heap.PopMin()
 		if !ok {
 			break
@@ -178,7 +216,7 @@ func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k
 
 // runPIs handles all primary-input-launched paths in one propagation:
 // PI paths carry no credit, so a single ungrouped search suffices.
-func (p *Pairwise) runPIs(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool) []*pwOut {
+func (p *Pairwise) runPIs(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool, done <-chan struct{}) []*pwOut {
 	d := p.d
 	if len(d.PIs) == 0 {
 		return nil
@@ -194,7 +232,7 @@ func (p *Pairwise) runPIs(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k in
 		}
 		prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 	}
-	prop.Run(d, setup)
+	prop.RunCtx(d, setup, done)
 	at := func(u model.PinID) (model.Time, model.PinID, bool) {
 		t := prop.At(u)
 		return t.Time, t.From, t.Valid
@@ -202,6 +240,9 @@ func (p *Pairwise) runPIs(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k in
 
 	heap.Reset()
 	for ci := range d.FFs {
+		if ci%cancelStride == 0 && canceled(done) {
+			return nil
+		}
 		cap := &d.FFs[ci]
 		t := prop.At(cap.Data)
 		if !t.Valid {
@@ -224,6 +265,9 @@ func (p *Pairwise) runPIs(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k in
 
 	var outs []*pwOut
 	for i := 0; i < k; i++ {
+		if canceled(done) {
+			return nil
+		}
 		kv, ok := heap.PopMin()
 		if !ok {
 			break

@@ -1,9 +1,11 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"fastcppr/internal/lca"
+	"fastcppr/internal/qerr"
 	"fastcppr/internal/sta"
 	"fastcppr/model"
 )
@@ -35,9 +37,22 @@ func NewRerank(d *model.Design, tree *lca.Tree) *Rerank {
 // TopPaths returns k paths selected by pre-CPPR slack and re-ranked by
 // post-CPPR slack. The result is generally NOT the true post-CPPR top-k.
 func (r *Rerank) TopPaths(mode model.Mode, k int) []model.Path {
-	if k <= 0 || len(r.d.FFs) == 0 {
-		return nil
+	paths, err := r.TopPathsCtx(context.Background(), mode, k)
+	if err != nil {
+		panic(err) // unreachable: a background context never cancels
 	}
+	return paths
+}
+
+// TopPathsCtx is TopPaths bounded by a context.
+func (r *Rerank) TopPathsCtx(ctx context.Context, mode model.Mode, k int) ([]model.Path, error) {
+	if err := qerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
+	if k <= 0 || len(r.d.FFs) == 0 {
+		return nil, nil
+	}
+	done := ctx.Done()
 	d := r.d
 	setup := mode == model.Setup
 
@@ -64,7 +79,10 @@ func (r *Rerank) TopPaths(mode model.Mode, k int) []model.Path {
 		}
 		prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 	}
-	prop.Run(d, setup)
+	prop.RunCtx(d, setup, done)
+	if canceled(done) {
+		return nil, qerr.FromContext(ctx)
+	}
 	at := func(u model.PinID) (model.Time, model.PinID, bool) {
 		t := prop.At(u)
 		return t.Time, t.From, t.Valid
@@ -74,6 +92,9 @@ func (r *Rerank) TopPaths(mode model.Mode, k int) []model.Path {
 	// pops — the heuristic's defining (and flawed) step.
 	h := newBCandHeap()
 	for ci := range d.FFs {
+		if ci%cancelStride == 0 && canceled(done) {
+			return nil, qerr.FromContext(ctx)
+		}
 		ff := &d.FFs[ci]
 		t := prop.At(ff.Data)
 		if !t.Valid {
@@ -91,6 +112,9 @@ func (r *Rerank) TopPaths(mode model.Mode, k int) []model.Path {
 
 	var paths []model.Path
 	for i := 0; i < k; i++ {
+		if canceled(done) {
+			return nil, qerr.FromContext(ctx)
+		}
 		kv, ok := h.PopMin()
 		if !ok {
 			break
@@ -102,7 +126,7 @@ func (r *Rerank) TopPaths(mode model.Mode, k int) []model.Path {
 		paths = append(paths, finishPath(d, mode, reconstructAt(d, at, c)))
 	}
 	SortPaths(paths) // re-rank by exact post-CPPR slack
-	return paths
+	return paths, nil
 }
 
 // RerankError compares the heuristic's result against the exact top-k

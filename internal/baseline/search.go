@@ -29,6 +29,21 @@ func newBCandHeap() *mmheap.KeyHeap[*bcand] {
 	return mmheap.NewKey[*bcand]()
 }
 
+// cancelStride is how many iterations of a per-FF or per-pin loop run
+// between cooperative cancellation checks.
+const cancelStride = 2048
+
+// canceled reports whether the query's done channel is closed. Safe
+// with a nil channel (never cancels).
+func canceled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // pushDevs pushes one deviated candidate per non-path in-edge of the
 // backwalk from c.pos (the ungrouped Algorithm 5 inner loop). bound < 0
 // means unbounded.

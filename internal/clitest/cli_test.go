@@ -125,6 +125,62 @@ func TestCpprbenchAccuracySmoke(t *testing.T) {
 	}
 }
 
+// exitStatus extracts the process exit code from a Run/Wait error.
+func exitStatus(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("command did not run: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestTimeoutExitCode exercises the resilience contract end to end: an
+// unmeetable -timeout must abort the analysis promptly with exit code 3
+// (the taxonomy's canceled/deadline class), not hang or crash.
+func TestTimeoutExitCode(t *testing.T) {
+	bins := buildTools(t)
+	design := filepath.Join(t.TempDir(), "demo.cppr")
+	run(t, filepath.Join(bins, "gendesign"),
+		"-preset", "vga_lcdv2", "-scale", "0.004", "-o", design)
+
+	cmd := exec.Command(filepath.Join(bins, "cpprtimer"),
+		"-i", design, "-k", "5", "-timeout", "1ns")
+	out, err := cmd.CombinedOutput()
+	if code := exitStatus(t, err); code != 3 {
+		t.Fatalf("cpprtimer -timeout 1ns: exit code %d, want 3\n%s", code, out)
+	}
+
+	cmd = exec.Command(filepath.Join(bins, "cpprbench"),
+		"-accuracy", "-timeout", "1ns")
+	out, err = cmd.CombinedOutput()
+	if code := exitStatus(t, err); code != 3 {
+		t.Fatalf("cpprbench -timeout 1ns: exit code %d, want 3\n%s", code, out)
+	}
+}
+
+// TestDegradedExitCode checks the budget-exhaustion class: a tiny search
+// budget yields a partial report, a warning, and exit code 4.
+func TestDegradedExitCode(t *testing.T) {
+	bins := buildTools(t)
+	design := filepath.Join(t.TempDir(), "demo.cppr")
+	run(t, filepath.Join(bins, "gendesign"),
+		"-preset", "vga_lcdv2", "-scale", "0.004", "-o", design)
+
+	cmd := exec.Command(filepath.Join(bins, "cpprtimer"),
+		"-i", design, "-k", "50", "-algo", "bnb", "-maxpops", "3", "-summary")
+	out, err := cmd.CombinedOutput()
+	if code := exitStatus(t, err); code != 4 {
+		t.Fatalf("budget-starved cpprtimer: exit code %d, want 4\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "partial") {
+		t.Fatalf("degraded run printed no warning:\n%s", out)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	bins := buildTools(t)
 	// Missing input file must exit non-zero.

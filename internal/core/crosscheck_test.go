@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fastcppr/gen"
@@ -19,14 +20,17 @@ func TestCoreAgreesWithBaselinesOnMediumDesigns(t *testing.T) {
 		bb := baseline.NewBranchAndBound(d, e.Tree())
 		for _, mode := range model.Modes {
 			for _, k := range []int{1, 10, 200} {
-				ours := e.TopPaths(Options{K: k, Mode: mode, Threads: 4})
+				ours := mustTopPaths(t, e, Options{K: k, Mode: mode, Threads: 4})
 				validatePaths(t, d, mode, ours.Paths)
-				pws := pw.TopPaths(mode, k, 4)
+				pws, err := pw.TopPaths(context.Background(), mode, k, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if !equalSlacks(slacksOf(ours.Paths), slacksOf(pws)) {
 					t.Fatalf("seed %d %v k=%d: core vs pairwise differ\ncore: %v\npw:   %v",
 						seed, mode, k, slacksOf(ours.Paths), slacksOf(pws))
 				}
-				bbs, err := bb.TopPaths(mode, k, 1)
+				bbs, _, err := bb.TopPaths(context.Background(), mode, k, 1)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -49,8 +53,8 @@ func TestCoreAgreesWithBlockwiseLargeK(t *testing.T) {
 	bw := baseline.NewBlockwise(d, e.Tree())
 	for _, mode := range model.Modes {
 		k := 2000
-		ours := e.TopPaths(Options{K: k, Mode: mode, Threads: 8})
-		bws, err := bw.TopPaths(mode, k, 1)
+		ours := mustTopPaths(t, e, Options{K: k, Mode: mode, Threads: 8})
+		bws, _, err := bw.TopPaths(context.Background(), mode, k, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

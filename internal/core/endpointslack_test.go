@@ -22,7 +22,7 @@ func TestEndpointSlacksCPPRMatchesBrute(t *testing.T) {
 					want[p.CaptureFF] = p.Slack
 				}
 			}
-			got := e.EndpointSlacksCPPR(Options{Mode: mode, Threads: 2})
+			got := mustEndpointSlacks(t, e, Options{Mode: mode, Threads: 2})
 			if len(got) != d.NumFFs() {
 				t.Fatalf("%d endpoints, want %d", len(got), d.NumFFs())
 			}
@@ -51,7 +51,7 @@ func TestEndpointSlacksCPPRMultiDomain(t *testing.T) {
 				want[p.CaptureFF] = p.Slack
 			}
 		}
-		for _, s := range e.EndpointSlacksCPPR(Options{Mode: mode, Threads: 3}) {
+		for _, s := range mustEndpointSlacks(t, e, Options{Mode: mode, Threads: 3}) {
 			if w, ok := want[s.FF]; ok && (!s.Valid || s.Slack != w) {
 				t.Fatalf("%v ff%d: got %v/%v, want %v", mode, s.FF, s.Slack, s.Valid, w)
 			}
@@ -64,9 +64,9 @@ func TestEndpointSlacksCPPRMultiDomain(t *testing.T) {
 func TestEndpointSlacksCPPRConsistentWithTopPaths(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(31))
 	e := NewEngine(d)
-	slacks := e.EndpointSlacksCPPR(Options{Mode: model.Hold, Threads: 4})
+	slacks := mustEndpointSlacks(t, e, Options{Mode: model.Hold, Threads: 4})
 	for fi := 0; fi < d.NumFFs(); fi += 7 { // sample endpoints
-		res := e.TopPaths(Options{K: 1, Mode: model.Hold, FilterCapture: true, CaptureFF: model.FFID(fi)})
+		res := mustTopPaths(t, e, Options{K: 1, Mode: model.Hold, FilterCapture: true, CaptureFF: model.FFID(fi)})
 		if len(res.Paths) == 0 {
 			if slacks[fi].Valid {
 				t.Fatalf("ff%d: summary valid but no paths", fi)

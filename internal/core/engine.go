@@ -12,13 +12,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"fastcppr/internal/faultinject"
 	"fastcppr/internal/lca"
 	"fastcppr/internal/mmheap"
+	"fastcppr/internal/qerr"
 	"fastcppr/internal/sta"
 	"fastcppr/model"
 )
@@ -159,15 +162,33 @@ type jobOut struct {
 
 // scratch is per-worker reusable state. The candidate heap is the
 // key-specialised min-max heap: candidate slacks are its int64 keys.
+// done carries the query's cancellation signal into the job bodies so
+// their per-FF loops can bail out cooperatively.
 type scratch struct {
 	prop sta.Prop
 	lt   lca.LevelTables
 	heap *mmheap.KeyHeap[*cand]
+	done <-chan struct{}
 }
 
 func newScratch() *scratch {
 	return &scratch{heap: mmheap.NewKey[*cand]()}
 }
+
+// canceled reports whether the query was canceled. Safe with a nil done.
+func (s *scratch) canceled() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelStride is how many iterations of a per-FF or per-pin loop run
+// between cooperative cancellation checks, bounding cancel latency
+// without measurable steady-state cost.
+const cancelStride = 2048
 
 // globalBound publishes the current global k-th best slack once the
 // shared selection heap is full. Jobs stop popping when their next
@@ -194,11 +215,18 @@ func (g *globalBound) publish(v model.Time) {
 }
 
 // TopPaths returns the global top-k post-CPPR critical paths
-// (Algorithm 1).
-func (e *Engine) TopPaths(opts Options) Result {
+// (Algorithm 1). The context bounds the query: cancellation or deadline
+// expiry returns an error matching qerr.ErrCanceled /
+// qerr.ErrDeadlineExceeded within a bounded number of loop iterations,
+// and a panic in any worker is contained and returned as a
+// *qerr.InternalError instead of crashing the process.
+func (e *Engine) TopPaths(ctx context.Context, opts Options) (Result, error) {
+	if err := qerr.FromContext(ctx); err != nil {
+		return Result{}, err
+	}
 	k := opts.K
 	if k <= 0 || len(e.d.FFs) == 0 {
-		return Result{}
+		return Result{}, nil
 	}
 	threads := opts.Threads
 	if threads <= 0 {
@@ -227,6 +255,20 @@ func (e *Engine) TopPaths(opts Options) Result {
 	var bound globalBound
 	var mu sync.Mutex
 
+	// fail records the first worker failure and cancels the derived
+	// context so the remaining workers stop promptly.
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+	done := qctx.Done()
+
 	var candidates, kept, reconstructed atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -234,12 +276,22 @@ func (e *Engine) TopPaths(opts Options) Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Contain invariant panics (negative deviation cost,
+			// deviation head off parent path, or anything else): one
+			// poisoned design must fail its query, not the process.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(qerr.FromPanic("core.TopPaths", r))
+				}
+			}()
 			s := newScratch()
+			s.done = done
 			for {
 				j := int(next.Add(1) - 1)
-				if j >= numJobs {
+				if j >= numJobs || s.canceled() {
 					return
 				}
+				faultinject.Fire("core.worker")
 				outs, produced := e.runJob(s, jobs[j], j, k, opts, &bound)
 				candidates.Add(int64(produced))
 				kept.Add(int64(len(outs)))
@@ -262,6 +314,14 @@ func (e *Engine) TopPaths(opts Options) Result {
 		}()
 	}
 	wg.Wait()
+	if failErr != nil {
+		return Result{}, failErr
+	}
+	// Check the caller's context, not qctx: qctx is also canceled by our
+	// own deferred cancel and by fail().
+	if err := qerr.FromContext(ctx); err != nil {
+		return Result{}, err
+	}
 
 	outs := make([]*jobOut, 0, global.Len())
 	for {
@@ -283,7 +343,7 @@ func (e *Engine) TopPaths(opts Options) Result {
 			Kept:          int(kept.Load()),
 			Reconstructed: int(reconstructed.Load()),
 		},
-	}
+	}, nil
 }
 
 // materialise converts an accepted jobOut into a model.Path.
@@ -415,6 +475,9 @@ func (e *Engine) runGroupedJob(s *scratch, job, k int, opts Options, gb *globalB
 	// Seed Q pins of FFs below the cut, offsetting by credit(f_d(u))
 	// so propagated arrivals rank paths by slack(p, d) (Definition 3).
 	for i := range e.d.FFs {
+		if i%cancelStride == 0 && s.canceled() {
+			return nil, 0
+		}
 		if opts.launchExcluded(i) {
 			continue
 		}
@@ -433,11 +496,14 @@ func (e *Engine) runGroupedJob(s *scratch, job, k int, opts Options, gb *globalB
 		}
 		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
 	}
-	s.prop.Run(e.d, setup)
+	s.prop.RunCtx(e.d, setup, s.done)
 
 	// Root candidates: best grouped arrival at each capture D pin.
 	s.heap.Reset()
 	for i := range e.d.FFs {
+		if i%cancelStride == 0 && s.canceled() {
+			return nil, 0
+		}
 		if opts.captureExcluded(i) {
 			continue
 		}
@@ -470,6 +536,9 @@ func (e *Engine) runSelfLoopJob(s *scratch, j, k int, opts Options, gb *globalBo
 	setup := opts.Mode == model.Setup
 	s.prop.Reset(e.d.NumPins())
 	for i := range e.d.FFs {
+		if i%cancelStride == 0 && s.canceled() {
+			return nil, 0
+		}
 		if opts.launchExcluded(i) {
 			continue
 		}
@@ -484,10 +553,13 @@ func (e *Engine) runSelfLoopJob(s *scratch, j, k int, opts Options, gb *globalBo
 		}
 		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
 	}
-	s.prop.Run(e.d, setup)
+	s.prop.RunCtx(e.d, setup, s.done)
 
 	s.heap.Reset()
 	for i := range e.d.FFs {
+		if i%cancelStride == 0 && s.canceled() {
+			return nil, 0
+		}
 		if opts.captureExcluded(i) {
 			continue
 		}
@@ -535,10 +607,13 @@ func (e *Engine) runPIJob(s *scratch, j, k int, opts Options, gb *globalBound) (
 		}
 		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 	}
-	s.prop.Run(e.d, setup)
+	s.prop.RunCtx(e.d, setup, s.done)
 
 	s.heap.Reset()
 	for i := range e.d.FFs {
+		if i%cancelStride == 0 && s.canceled() {
+			return nil, 0
+		}
 		if opts.captureExcluded(i) {
 			continue
 		}
@@ -581,6 +656,11 @@ func (e *Engine) popAndFilter(s *scratch, job, k int, opts Options, gb *globalBo
 	var outs []*jobOut
 	produced := 0
 	for i := 0; i < k; i++ {
+		// Each pop can push O(path length × fan-in) deviations, so the
+		// per-pop cancellation check bounds latency here too.
+		if s.canceled() {
+			break
+		}
 		kv, ok := s.heap.PopMin()
 		if !ok {
 			break
@@ -747,6 +827,9 @@ func (e *Engine) runPOJob(s *scratch, j, k int, opts Options, gb *globalBound) (
 	setup := opts.Mode == model.Setup
 	s.prop.Reset(e.d.NumPins())
 	for i := range e.d.FFs {
+		if i%cancelStride == 0 && s.canceled() {
+			return nil, 0
+		}
 		if opts.launchExcluded(i) {
 			continue
 		}
@@ -773,7 +856,7 @@ func (e *Engine) runPOJob(s *scratch, j, k int, opts Options, gb *globalBound) (
 		}
 		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 	}
-	s.prop.Run(e.d, setup)
+	s.prop.RunCtx(e.d, setup, s.done)
 
 	s.heap.Reset()
 	for i, po := range e.d.POs {
@@ -820,13 +903,19 @@ func (e *Engine) runPOJob(s *scratch, j, k int, opts Options, gb *globalBound) (
 //
 // This turns the paper's top-k machinery into a full post-CPPR signoff
 // summary (per-endpoint WNS) at the cost of a single k=1 query.
-func (e *Engine) EndpointSlacksCPPR(opts Options) []EndpointCPPRSlack {
+//
+// Cancellation and panic containment follow TopPaths: the context bounds
+// the query and a worker panic returns a *qerr.InternalError.
+func (e *Engine) EndpointSlacksCPPR(ctx context.Context, opts Options) ([]EndpointCPPRSlack, error) {
+	if err := qerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	out := make([]EndpointCPPRSlack, len(e.d.FFs))
 	for i := range out {
 		out[i].FF = model.FFID(i)
 	}
 	if len(e.d.FFs) == 0 {
-		return out
+		return out, nil
 	}
 	threads := opts.Threads
 	if threads <= 0 {
@@ -849,30 +938,58 @@ func (e *Engine) EndpointSlacksCPPR(opts Options) []EndpointCPPRSlack {
 		}
 	}
 
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+	done := qctx.Done()
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(qerr.FromPanic("core.EndpointSlacksCPPR", r))
+				}
+			}()
 			s := newScratch()
+			s.done = done
 			slacks := make([]model.Time, len(e.d.FFs))
 			valid := make([]bool, len(e.d.FFs))
 			for {
 				j := int(next.Add(1) - 1)
-				if j >= len(jobs) {
+				if j >= len(jobs) || s.canceled() {
 					return
 				}
 				if jobs[j].kind == jobPO {
 					continue // PO endpoints are not FF tests
 				}
+				faultinject.Fire("core.endpoint.worker")
 				e.endpointBest(s, jobs[j], opts, slacks, valid)
+				if s.canceled() {
+					return // partial endpointBest output; don't merge
+				}
 				merge(slacks, valid)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	if failErr != nil {
+		return nil, failErr
+	}
+	if err := qerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // EndpointCPPRSlack is one endpoint's exact post-CPPR worst slack.
@@ -901,6 +1018,9 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 		grouped = true
 	case jobSelfLoop:
 		for i := range e.d.FFs {
+			if i%cancelStride == 0 && s.canceled() {
+				return
+			}
 			if opts.launchExcluded(i) {
 				continue
 			}
@@ -932,6 +1052,9 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 	}
 	if grouped {
 		for i := range e.d.FFs {
+			if i%cancelStride == 0 && s.canceled() {
+				return
+			}
 			if opts.launchExcluded(i) {
 				continue
 			}
@@ -951,8 +1074,11 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 			s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
 		}
 	}
-	s.prop.Run(e.d, setup)
+	s.prop.RunCtx(e.d, setup, s.done)
 	for i := range e.d.FFs {
+		if i%cancelStride == 0 && s.canceled() {
+			return
+		}
 		if opts.captureExcluded(i) {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -9,6 +10,27 @@ import (
 	"fastcppr/internal/baseline"
 	"fastcppr/model"
 )
+
+// mustTopPaths runs a top-k query under a background context, which
+// can only fail on an engine invariant violation — fatal in tests.
+func mustTopPaths(tb testing.TB, e *Engine, opts Options) Result {
+	tb.Helper()
+	res, err := e.TopPaths(context.Background(), opts)
+	if err != nil {
+		tb.Fatalf("TopPaths: %v", err)
+	}
+	return res
+}
+
+// mustEndpointSlacks is mustTopPaths for the endpoint-slack sweep.
+func mustEndpointSlacks(tb testing.TB, e *Engine, opts Options) []EndpointCPPRSlack {
+	tb.Helper()
+	out, err := e.EndpointSlacksCPPR(context.Background(), opts)
+	if err != nil {
+		tb.Fatalf("EndpointSlacksCPPR: %v", err)
+	}
+	return out
+}
 
 // slacksOf returns the sorted slack list of a result.
 func slacksOf(paths []model.Path) []model.Time {
@@ -68,7 +90,7 @@ func TestTopPathsMatchesBruteForceOracle(t *testing.T) {
 			brute := baseline.AllPaths(d, mode)
 			baseline.SortPaths(brute)
 			for _, k := range []int{1, 3, 10, 50, len(brute) + 10} {
-				got := e.TopPaths(Options{K: k, Mode: mode, Threads: 2})
+				got := mustTopPaths(t, e, Options{K: k, Mode: mode, Threads: 2})
 				validatePaths(t, d, mode, got.Paths)
 				want := brute
 				if len(want) > k {
@@ -95,7 +117,7 @@ func TestTopPathsMediumOracle(t *testing.T) {
 	e := NewEngine(d)
 	for _, mode := range model.Modes {
 		brute := baseline.BruteForce(d, mode, 200)
-		got := e.TopPaths(Options{K: 200, Mode: mode})
+		got := mustTopPaths(t, e, Options{K: 200, Mode: mode})
 		validatePaths(t, d, mode, got.Paths)
 		if !equalSlacks(slacksOf(got.Paths), baseline.Slacks(brute)) {
 			t.Fatalf("mode %v: slacks differ", mode)
@@ -107,9 +129,9 @@ func TestThreadCountDeterminism(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(21))
 	e := NewEngine(d)
 	for _, mode := range model.Modes {
-		ref := e.TopPaths(Options{K: 100, Mode: mode, Threads: 1})
+		ref := mustTopPaths(t, e, Options{K: 100, Mode: mode, Threads: 1})
 		for _, threads := range []int{2, 4, 8} {
-			got := e.TopPaths(Options{K: 100, Mode: mode, Threads: threads})
+			got := mustTopPaths(t, e, Options{K: 100, Mode: mode, Threads: threads})
 			if len(got.Paths) != len(ref.Paths) {
 				t.Fatalf("threads %d: %d paths, want %d", threads, len(got.Paths), len(ref.Paths))
 			}
@@ -129,8 +151,8 @@ func TestThreadCountDeterminism(t *testing.T) {
 func TestLCAMethodsAgree(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(5))
 	e := NewEngine(d)
-	a := e.TopPaths(Options{K: 50, Mode: model.Setup})
-	b := e.TopPaths(Options{K: 50, Mode: model.Setup, UseLiftingLCA: true})
+	a := mustTopPaths(t, e, Options{K: 50, Mode: model.Setup})
+	b := mustTopPaths(t, e, Options{K: 50, Mode: model.Setup, UseLiftingLCA: true})
 	if !equalSlacks(slacksOf(a.Paths), slacksOf(b.Paths)) {
 		t.Fatal("Euler and lifting LCA produce different results")
 	}
@@ -140,7 +162,7 @@ func TestTopPathsValidOnMediumDesign(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(33))
 	e := NewEngine(d)
 	for _, mode := range model.Modes {
-		res := e.TopPaths(Options{K: 500, Mode: mode, Threads: 4})
+		res := mustTopPaths(t, e, Options{K: 500, Mode: mode, Threads: 4})
 		if len(res.Paths) == 0 {
 			t.Fatalf("mode %v: no paths", mode)
 		}
@@ -157,10 +179,10 @@ func TestTopPathsValidOnMediumDesign(t *testing.T) {
 func TestKZeroAndNegative(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(1))
 	e := NewEngine(d)
-	if got := e.TopPaths(Options{K: 0, Mode: model.Setup}); len(got.Paths) != 0 {
+	if got := mustTopPaths(t, e, Options{K: 0, Mode: model.Setup}); len(got.Paths) != 0 {
 		t.Error("K=0 returned paths")
 	}
-	if got := e.TopPaths(Options{K: -5, Mode: model.Setup}); len(got.Paths) != 0 {
+	if got := mustTopPaths(t, e, Options{K: -5, Mode: model.Setup}); len(got.Paths) != 0 {
 		t.Error("K<0 returned paths")
 	}
 }
@@ -172,7 +194,7 @@ func TestNoFFDesign(t *testing.T) {
 	b.AddArc(clk, cb, model.Window{Early: 1, Late: 2})
 	d := b.MustBuild()
 	e := NewEngine(d)
-	if got := e.TopPaths(Options{K: 10, Mode: model.Setup}); len(got.Paths) != 0 {
+	if got := mustTopPaths(t, e, Options{K: 10, Mode: model.Setup}); len(got.Paths) != 0 {
 		t.Error("no-FF design returned paths")
 	}
 }
@@ -209,7 +231,7 @@ func TestFigure1Reordering(t *testing.T) {
 	d := b.MustBuild()
 	e := NewEngine(d)
 
-	res := e.TopPaths(Options{K: 2, Mode: model.Setup})
+	res := mustTopPaths(t, e, Options{K: 2, Mode: model.Setup})
 	if len(res.Paths) != 2 {
 		t.Fatalf("got %d paths", len(res.Paths))
 	}
@@ -252,7 +274,7 @@ func TestSelfLoopCandidates(t *testing.T) {
 	e := NewEngine(d)
 
 	for _, mode := range model.Modes {
-		got := e.TopPaths(Options{K: 10, Mode: mode})
+		got := mustTopPaths(t, e, Options{K: 10, Mode: mode})
 		brute := baseline.BruteForce(d, mode, 10)
 		if !equalSlacks(slacksOf(got.Paths), baseline.Slacks(brute)) {
 			t.Fatalf("mode %v: got %v want %v", mode, slacksOf(got.Paths), baseline.Slacks(brute))
@@ -283,7 +305,7 @@ func TestPICandidates(t *testing.T) {
 		spec.NumPIs = 5
 		d := gen.MustGenerate(spec)
 		e := NewEngine(d)
-		got := e.TopPaths(Options{K: 25, Mode: model.Setup})
+		got := mustTopPaths(t, e, Options{K: 25, Mode: model.Setup})
 		validatePaths(t, d, model.Setup, got.Paths)
 		for _, p := range got.Paths {
 			if p.LaunchFF == model.NoFF {
@@ -301,7 +323,7 @@ func TestPICandidates(t *testing.T) {
 func TestStatsReconstructedBounded(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(8))
 	e := NewEngine(d)
-	res := e.TopPaths(Options{K: 50, Mode: model.Setup, Threads: 1})
+	res := mustTopPaths(t, e, Options{K: 50, Mode: model.Setup, Threads: 1})
 	// With one thread and ordered job execution, every acceptance is a
 	// reconstruction; it must stay well below the total candidate count
 	// and at or above the number of returned paths.
@@ -320,8 +342,8 @@ func TestGlobalBoundPruningIsResultNeutral(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(61))
 	e := NewEngine(d)
 	for _, mode := range model.Modes {
-		with := e.TopPaths(Options{K: 300, Mode: mode, Threads: 1})
-		without := e.TopPaths(Options{K: 300, Mode: mode, Threads: 1, DisableGlobalBound: true})
+		with := mustTopPaths(t, e, Options{K: 300, Mode: mode, Threads: 1})
+		without := mustTopPaths(t, e, Options{K: 300, Mode: mode, Threads: 1, DisableGlobalBound: true})
 		if len(with.Paths) != len(without.Paths) {
 			t.Fatalf("mode %v: %d vs %d paths", mode, len(with.Paths), len(without.Paths))
 		}
@@ -345,8 +367,8 @@ func TestGlobalBoundPruningIsResultNeutral(t *testing.T) {
 func TestLiftingLCAMultiDomain(t *testing.T) {
 	d := gen.MustGenerate(multiDomainSpec(4, 2))
 	e := NewEngine(d)
-	a := e.TopPaths(Options{K: 40, Mode: model.Setup})
-	b := e.TopPaths(Options{K: 40, Mode: model.Setup, UseLiftingLCA: true})
+	a := mustTopPaths(t, e, Options{K: 40, Mode: model.Setup})
+	b := mustTopPaths(t, e, Options{K: 40, Mode: model.Setup, UseLiftingLCA: true})
 	if !equalSlacks(slacksOf(a.Paths), slacksOf(b.Paths)) {
 		t.Fatal("lifting LCA disagrees on multi-domain design")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fastcppr/gen"
@@ -31,7 +32,7 @@ func TestMultiDomainOracle(t *testing.T) {
 				brute := baseline.AllPaths(d, mode)
 				baseline.SortPaths(brute)
 				for _, k := range []int{1, 5, 25, len(brute) + 5} {
-					got := e.TopPaths(Options{K: k, Mode: mode, Threads: 2})
+					got := mustTopPaths(t, e, Options{K: k, Mode: mode, Threads: 2})
 					validatePaths(t, d, mode, got.Paths)
 					want := brute
 					if len(want) > k {
@@ -50,7 +51,7 @@ func TestMultiDomainOracle(t *testing.T) {
 func TestMultiDomainCrossPathsHaveNoCredit(t *testing.T) {
 	d := gen.MustGenerate(multiDomainSpec(3, 2))
 	e := NewEngine(d)
-	res := e.TopPaths(Options{K: 10_000, Mode: model.Setup})
+	res := mustTopPaths(t, e, Options{K: 10_000, Mode: model.Setup})
 	crossSeen := 0
 	for _, p := range res.Paths {
 		if p.LaunchFF == model.NoFF {
@@ -81,20 +82,23 @@ func TestMultiDomainBaselinesAgree(t *testing.T) {
 	bw := baseline.NewBlockwise(d, e.Tree())
 	for _, mode := range model.Modes {
 		k := 150
-		ours := e.TopPaths(Options{K: k, Mode: mode, Threads: 4})
+		ours := mustTopPaths(t, e, Options{K: k, Mode: mode, Threads: 4})
 		validatePaths(t, d, mode, ours.Paths)
-		pws := pw.TopPaths(mode, k, 2)
+		pws, err := pw.TopPaths(context.Background(), mode, k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !equalSlacks(slacksOf(ours.Paths), slacksOf(pws)) {
 			t.Fatalf("%v: core vs pairwise differ on multi-domain design", mode)
 		}
-		bbs, err := bb.TopPaths(mode, k, 1)
+		bbs, _, err := bb.TopPaths(context.Background(), mode, k, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !equalSlacks(slacksOf(ours.Paths), slacksOf(bbs)) {
 			t.Fatalf("%v: core vs bnb differ on multi-domain design", mode)
 		}
-		bws, err := bw.TopPaths(mode, k, 1)
+		bws, _, err := bw.TopPaths(context.Background(), mode, k, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,14 +111,14 @@ func TestMultiDomainBaselinesAgree(t *testing.T) {
 func TestSingleDomainHasNoCrossJob(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(1))
 	e := NewEngine(d)
-	res := e.TopPaths(Options{K: 5, Mode: model.Setup})
+	res := mustTopPaths(t, e, Options{K: 5, Mode: model.Setup})
 	if res.Stats.Jobs != d.Depth+2 {
 		t.Fatalf("single-domain Jobs = %d, want %d", res.Stats.Jobs, d.Depth+2)
 	}
 	spec := multiDomainSpec(1, 2)
 	d2 := gen.MustGenerate(spec)
 	e2 := NewEngine(d2)
-	res2 := e2.TopPaths(Options{K: 5, Mode: model.Setup})
+	res2 := mustTopPaths(t, e2, Options{K: 5, Mode: model.Setup})
 	if res2.Stats.Jobs != d2.Depth+3 {
 		t.Fatalf("multi-domain Jobs = %d, want %d", res2.Stats.Jobs, d2.Depth+3)
 	}

@@ -18,7 +18,7 @@ func TestPOEndpointsMatchOracle(t *testing.T) {
 			brute := baseline.AllPathsWithPOs(d, mode)
 			baseline.SortPaths(brute)
 			for _, k := range []int{1, 8, 40, len(brute) + 5} {
-				got := e.TopPaths(Options{K: k, Mode: mode, Threads: 2, IncludePOs: true})
+				got := mustTopPaths(t, e, Options{K: k, Mode: mode, Threads: 2, IncludePOs: true})
 				validatePaths(t, d, mode, got.Paths)
 				want := brute
 				if len(want) > k {
@@ -38,7 +38,7 @@ func TestPOPathsHaveNoCredit(t *testing.T) {
 	spec.NumPOs = 4
 	d := gen.MustGenerate(spec)
 	e := NewEngine(d)
-	res := e.TopPaths(Options{K: 1000, Mode: model.Setup, IncludePOs: true})
+	res := mustTopPaths(t, e, Options{K: 1000, Mode: model.Setup, IncludePOs: true})
 	poPaths := 0
 	for _, p := range res.Paths {
 		if !p.EndsAtPO() {
@@ -62,7 +62,7 @@ func TestPOsExcludedByDefault(t *testing.T) {
 	spec.NumPOs = 4
 	d := gen.MustGenerate(spec)
 	e := NewEngine(d)
-	res := e.TopPaths(Options{K: 10_000, Mode: model.Setup})
+	res := mustTopPaths(t, e, Options{K: 10_000, Mode: model.Setup})
 	for _, p := range res.Paths {
 		if p.EndsAtPO() {
 			t.Fatal("PO path reported without IncludePOs")
@@ -87,8 +87,8 @@ func TestUnconstrainedPOsProduceNoJob(t *testing.T) {
 	b.AddArc(g, po, model.Window{Early: 1, Late: 2})
 	d := b.MustBuild()
 	e := NewEngine(d)
-	with := e.TopPaths(Options{K: 10, Mode: model.Setup, IncludePOs: true})
-	without := e.TopPaths(Options{K: 10, Mode: model.Setup})
+	with := mustTopPaths(t, e, Options{K: 10, Mode: model.Setup, IncludePOs: true})
+	without := mustTopPaths(t, e, Options{K: 10, Mode: model.Setup})
 	if with.Stats.Jobs != without.Stats.Jobs {
 		t.Fatalf("unconstrained PO created a job: %d vs %d", with.Stats.Jobs, without.Stats.Jobs)
 	}

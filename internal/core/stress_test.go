@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fastcppr/gen"
@@ -26,8 +27,11 @@ func TestStressPresetsAgainstPairwise(t *testing.T) {
 		pw := baseline.NewPairwise(d, e.Tree())
 		for _, mode := range model.Modes {
 			for _, k := range []int{1, 25, 400} {
-				ours := e.TopPaths(Options{K: k, Mode: mode, Threads: 3})
-				ref := pw.TopPaths(mode, k, 2)
+				ours := mustTopPaths(t, e, Options{K: k, Mode: mode, Threads: 3})
+				ref, err := pw.TopPaths(context.Background(), mode, k, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if !equalSlacks(slacksOf(ours.Paths), slacksOf(ref)) {
 					t.Fatalf("%s %v k=%d: engines disagree (%d vs %d paths)",
 						name, mode, k, len(ours.Paths), len(ref))
@@ -35,8 +39,8 @@ func TestStressPresetsAgainstPairwise(t *testing.T) {
 			}
 		}
 		// Per-endpoint summary is consistent with global top-1.
-		sl := e.EndpointSlacksCPPR(Options{Mode: model.Setup, Threads: 2})
-		res := e.TopPaths(Options{K: 1, Mode: model.Setup})
+		sl := mustEndpointSlacks(t, e, Options{Mode: model.Setup, Threads: 2})
+		res := mustTopPaths(t, e, Options{K: 1, Mode: model.Setup})
 		if len(res.Paths) > 0 {
 			worst := model.MaxTime
 			for _, s := range sl {

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,10 @@ import (
 
 // Config parameterises an experiment run.
 type Config struct {
+	// Ctx bounds the whole run: cancellation or deadline expiry aborts
+	// the in-flight query and the experiment returns the context error.
+	// Nil means context.Background().
+	Ctx context.Context
 	// Out receives the rendered tables.
 	Out io.Writer
 	// Scale scales the Table III element counts (1.0 = published size).
@@ -53,6 +58,9 @@ type Config struct {
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.Out == nil {
 		c.Out = io.Discard
 	}
@@ -159,12 +167,20 @@ func (c cell) mem() string {
 
 // runCell measures one timer configuration over both setup and hold (the
 // paper's Table IV measures both tests together).
-func runCell(timer *cppr.Timer, algo cppr.Algorithm, k, threads int) cell {
+func runCell(ctx context.Context, timer *cppr.Timer, algo cppr.Algorithm, k, threads int) (cell, error) {
 	var failed bool
+	var qerr error
 	m := report.Measure(func() {
 		for _, mode := range model.Modes {
-			_, err := timer.Report(cppr.Options{K: k, Mode: mode, Threads: threads, Algorithm: algo})
-			if err != nil {
+			rep, err := timer.ReportCtx(ctx, cppr.Options{K: k, Mode: mode, Threads: threads, Algorithm: algo})
+			// A degraded report is the paper's MLE outcome: the budgeted
+			// search ran out before completing the exact top-k. A context
+			// error aborts the whole experiment instead.
+			if errors.Is(err, cppr.ErrCanceled) || errors.Is(err, cppr.ErrDeadlineExceeded) {
+				qerr = err
+				return
+			}
+			if err != nil || rep.Degraded {
 				failed = true
 				return
 			}
@@ -174,7 +190,7 @@ func runCell(timer *cppr.Timer, algo cppr.Algorithm, k, threads int) cell {
 		seconds: m.Wall.Seconds(),
 		mb:      float64(m.PeakBytes) / (1 << 20),
 		failed:  failed,
-	}
+	}, qerr
 }
 
 // table4Config describes one measured column of Table IV.
@@ -241,7 +257,10 @@ func Table4(cfg Config) error {
 			row := []string{name, fmt.Sprint(k)}
 			cells := make([]cell, len(cols))
 			for i, c := range cols {
-				cells[i] = runCell(timer, c.algo, k, c.threads)
+				cells[i], err = runCell(cfg.Ctx, timer, c.algo, k, c.threads)
+				if err != nil {
+					return err
+				}
 				row = append(row, cells[i].rt(), cells[i].mem())
 			}
 			base := cells[0].seconds
@@ -311,7 +330,10 @@ func Fig5(cfg Config) error {
 	for _, k := range ks {
 		row := []string{fmt.Sprint(k)}
 		for _, c := range cols {
-			cell := runCell(timer, c.algo, k, c.threads)
+			cell, err := runCell(cfg.Ctx, timer, c.algo, k, c.threads)
+			if err != nil {
+				return err
+			}
 			row = append(row, cell.rt(), cell.mem())
 		}
 		t.Add(row...)
@@ -340,7 +362,10 @@ func Fig6(cfg Config) error {
 	for _, th := range threads {
 		row := []string{fmt.Sprint(th)}
 		for _, algo := range []cppr.Algorithm{cppr.AlgoLCA, cppr.AlgoPairwise} {
-			cell := runCell(timer, algo, k, th)
+			cell, err := runCell(cfg.Ctx, timer, algo, k, th)
+			if err != nil {
+				return err
+			}
 			row = append(row, cell.rt(), cell.mem())
 		}
 		t.Add(row...)
@@ -363,9 +388,9 @@ func Accuracy(cfg Config) error {
 			for _, k := range []int{1, 10, 1000} {
 				want := slackKey(baseline.BruteForce(d, mode, k))
 				for _, algo := range cppr.Algorithms {
-					rep, err := timer.Report(cppr.Options{K: k, Mode: mode, Algorithm: algo, Threads: 4})
+					rep, err := timer.ReportCtx(cfg.Ctx, cppr.Options{K: k, Mode: mode, Algorithm: algo, Threads: 4})
 					if err != nil {
-						return fmt.Errorf("accuracy: %s %v k=%d %v: %v", d.Name, mode, k, algo, err)
+						return fmt.Errorf("accuracy: %s %v k=%d %v: %w", d.Name, mode, k, algo, err)
 					}
 					if got := slackKey(rep.Paths); got != want {
 						return fmt.Errorf("accuracy: %s %v k=%d: %v disagrees with brute force",
@@ -408,11 +433,11 @@ func RerankAblation(cfg Config) error {
 		timer := cppr.NewTimer(d)
 		for _, mode := range model.Modes {
 			for _, k := range []int{10, 100, 1000} {
-				exact, err := timer.Report(cppr.Options{K: k, Mode: mode, Threads: cfg.Threads})
+				exact, err := timer.ReportCtx(cfg.Ctx, cppr.Options{K: k, Mode: mode, Threads: cfg.Threads})
 				if err != nil {
 					return err
 				}
-				heur, err := timer.Report(cppr.Options{K: k, Mode: mode, Algorithm: cppr.AlgoRerankInexact})
+				heur, err := timer.ReportCtx(cfg.Ctx, cppr.Options{K: k, Mode: mode, Algorithm: cppr.AlgoRerankInexact})
 				if err != nil {
 					return err
 				}

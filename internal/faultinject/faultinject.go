@@ -1,0 +1,117 @@
+// Package faultinject provides deterministic, test-only fault taps for
+// the query path. The engine and the baselines call Fire / Forced at
+// named sites; tests Arm a site with a Fault to force worker panics,
+// slow workers, or budget exhaustion, proving the resilience layer
+// (panic containment, cooperative cancellation, graceful degradation)
+// end to end.
+//
+// When nothing is armed — always, outside tests — Fire and Forced cost
+// one atomic load and return immediately.
+//
+// Known sites:
+//
+//	core.worker               TopPaths candidate-generation worker, per job
+//	core.endpoint.worker      EndpointSlacksCPPR worker, per job
+//	baseline.pairwise.worker  Pairwise worker, per launch job
+//	baseline.blockwise.budget Blockwise MaxTuples check (Forced)
+//	baseline.bnb.budget       BranchAndBound MaxPops check (Forced)
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what an armed site does when hit.
+type Fault struct {
+	// Panic, when non-empty, panics with this message (worker-crash
+	// injection; the resilience layer must convert it to an
+	// InternalError).
+	Panic string
+	// Delay sleeps this long before continuing (slow-worker injection;
+	// used to hold queries in flight for cancellation tests).
+	Delay time.Duration
+	// After skips the first After hits of the site before the fault
+	// takes effect, so a test can let part of the work complete
+	// deterministically (e.g. partial results before forced budget
+	// exhaustion). Zero fires from the first hit.
+	After int
+}
+
+var (
+	// armed counts installed taps; the zero fast path keeps production
+	// overhead at a single atomic load.
+	armed atomic.Int32
+
+	mu   sync.Mutex
+	taps map[string]*tap
+)
+
+type tap struct {
+	f    Fault
+	hits int
+}
+
+// Arm installs f at site and returns its disarm function. Arming an
+// already-armed site panics: overlapping faults at one site would make
+// tests order-dependent.
+func Arm(site string, f Fault) (disarm func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if taps == nil {
+		taps = make(map[string]*tap)
+	}
+	if _, dup := taps[site]; dup {
+		panic(fmt.Sprintf("faultinject: site %q already armed", site))
+	}
+	taps[site] = &tap{f: f}
+	armed.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			mu.Lock()
+			defer mu.Unlock()
+			delete(taps, site)
+			armed.Add(-1)
+		})
+	}
+}
+
+// hit records one hit at site and returns the fault if it is due.
+func hit(site string) (Fault, bool) {
+	if armed.Load() == 0 {
+		return Fault{}, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t := taps[site]
+	if t == nil {
+		return Fault{}, false
+	}
+	t.hits++
+	return t.f, t.hits > t.f.After
+}
+
+// Fire applies the fault armed at site, if any: it sleeps Delay, then
+// panics with Panic when set. A no-op for unarmed sites.
+func Fire(site string) {
+	f, due := hit(site)
+	if !due {
+		return
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != "" {
+		panic(f.Panic)
+	}
+}
+
+// Forced reports whether the tap at site is due — budgeted searches OR
+// it into their budget check to force deterministic exhaustion.
+func Forced(site string) bool {
+	_, due := hit(site)
+	return due
+}

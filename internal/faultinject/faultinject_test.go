@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	Fire("nothing.armed") // must not panic
+	if Forced("nothing.armed") {
+		t.Error("Forced true with nothing armed")
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	disarm := Arm("test.panic", Fault{Panic: "injected"})
+	defer disarm()
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Errorf("recovered %v, want injected panic", r)
+		}
+	}()
+	Fire("test.panic")
+	t.Error("Fire did not panic")
+}
+
+func TestAfterThreshold(t *testing.T) {
+	disarm := Arm("test.after", Fault{After: 2})
+	defer disarm()
+	if Forced("test.after") || Forced("test.after") {
+		t.Error("fault fired before its After threshold")
+	}
+	if !Forced("test.after") {
+		t.Error("fault did not fire past its After threshold")
+	}
+	if !Forced("test.after") {
+		t.Error("fault must keep firing once due")
+	}
+}
+
+func TestDisarmIsIdempotentAndRearmable(t *testing.T) {
+	disarm := Arm("test.rearm", Fault{})
+	disarm()
+	disarm() // second call must be a no-op, not an armed-count leak
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after full disarm", armed.Load())
+	}
+	disarm2 := Arm("test.rearm", Fault{Delay: time.Nanosecond})
+	defer disarm2()
+	Fire("test.rearm")
+}
+
+func TestDuplicateArmPanics(t *testing.T) {
+	disarm := Arm("test.dup", Fault{})
+	defer disarm()
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Arm did not panic")
+		}
+	}()
+	Arm("test.dup", Fault{})
+}

@@ -1,0 +1,102 @@
+// Package qerr defines the typed error taxonomy shared by the public
+// cppr facade and the internal query engines. The facade re-exports the
+// sentinels and the InternalError type, so callers match against
+// cppr.ErrCanceled etc. with errors.Is / errors.As; internal packages
+// import qerr directly to avoid a cycle with the facade.
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// The taxonomy. Every error a query path returns matches exactly one of
+// these sentinels under errors.Is, or is an *InternalError.
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = errors.New("cppr: query canceled")
+	// ErrDeadlineExceeded reports that the query's deadline passed.
+	ErrDeadlineExceeded = errors.New("cppr: query deadline exceeded")
+	// ErrBudgetExhausted reports that a budgeted search (Blockwise
+	// MaxTuples, BranchAndBound MaxPops) hit its limit — the analogue of
+	// the MLE entries in the paper's Table IV.
+	ErrBudgetExhausted = errors.New("cppr: search budget exhausted")
+	// ErrInvalidQuery reports a malformed query (negative K, out-of-range
+	// endpoint, unsupported algorithm combination).
+	ErrInvalidQuery = errors.New("cppr: invalid query")
+)
+
+// InternalError is a contained invariant violation: a panic recovered
+// from a query worker, converted into an error so one poisoned design
+// fails its query instead of the process. It carries the panic message
+// and the panicking goroutine's stack for bug reports.
+type InternalError struct {
+	// Site names the recovery point (e.g. "core.TopPaths").
+	Site string
+	// Msg is the stringified panic value.
+	Msg string
+	// Stack is the stack of the panicking goroutine at recovery time.
+	Stack []byte
+}
+
+// Error implements the error interface. The stack is deliberately not
+// included; read it from the struct when reporting.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("cppr: internal error at %s: %s", e.Site, e.Msg)
+}
+
+// FromPanic converts a recovered panic value into an *InternalError,
+// capturing the current goroutine's stack. Call it directly inside the
+// deferred recover handler so the stack still shows the panic site.
+func FromPanic(site string, r any) *InternalError {
+	return &InternalError{Site: site, Msg: fmt.Sprint(r), Stack: debug.Stack()}
+}
+
+// FromContext maps a context's termination onto the taxonomy: canceled
+// contexts yield an error matching both ErrCanceled and context.Canceled,
+// expired deadlines one matching both ErrDeadlineExceeded and
+// context.DeadlineExceeded. A live context yields nil.
+func FromContext(ctx context.Context) error {
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return &wrapped{sentinel: ErrDeadlineExceeded, cause: err}
+	default:
+		return &wrapped{sentinel: ErrCanceled, cause: err}
+	}
+}
+
+// Invalid returns an error matching ErrInvalidQuery with a formatted
+// detail message.
+func Invalid(format string, args ...any) error {
+	return &wrapped{sentinel: ErrInvalidQuery, cause: fmt.Errorf(format, args...)}
+}
+
+// Budget returns an error matching ErrBudgetExhausted with a formatted
+// detail message.
+func Budget(format string, args ...any) error {
+	return &wrapped{sentinel: ErrBudgetExhausted, cause: fmt.Errorf(format, args...)}
+}
+
+// wrapped pairs a taxonomy sentinel with its underlying cause so
+// errors.Is matches either: Is handles the sentinel, Unwrap exposes the
+// cause chain (including context.Canceled / context.DeadlineExceeded).
+type wrapped struct {
+	sentinel error
+	cause    error
+}
+
+func (w *wrapped) Error() string {
+	if w.cause != nil {
+		return w.sentinel.Error() + ": " + w.cause.Error()
+	}
+	return w.sentinel.Error()
+}
+
+func (w *wrapped) Is(target error) bool { return target == w.sentinel }
+
+func (w *wrapped) Unwrap() error { return w.cause }

@@ -1,0 +1,73 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := FromContext(ctx); err != nil {
+		t.Fatalf("live context mapped to %v", err)
+	}
+	cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled context: errors.Is(err, ErrCanceled) = false, err = %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled context: cause context.Canceled not matched, err = %v", err)
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("canceled context wrongly matches ErrDeadlineExceeded")
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer dcancel()
+	<-dctx.Done()
+	derr := FromContext(dctx)
+	if !errors.Is(derr, ErrDeadlineExceeded) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Errorf("expired deadline mapped to %v", derr)
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	var ie *InternalError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ie = FromPanic("qerr.test", r)
+			}
+		}()
+		panic("boom")
+	}()
+	if ie == nil {
+		t.Fatal("no InternalError captured")
+	}
+	if ie.Msg != "boom" || ie.Site != "qerr.test" {
+		t.Errorf("got site=%q msg=%q", ie.Site, ie.Msg)
+	}
+	if len(ie.Stack) == 0 || !strings.Contains(string(ie.Stack), "TestFromPanic") {
+		t.Errorf("stack does not name the panic site:\n%s", ie.Stack)
+	}
+	var as *InternalError
+	if !errors.As(error(ie), &as) {
+		t.Error("errors.As failed on *InternalError")
+	}
+}
+
+func TestInvalidAndBudget(t *testing.T) {
+	err := Invalid("K must be non-negative, got %d", -1)
+	if !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("Invalid does not match ErrInvalidQuery: %v", err)
+	}
+	if !strings.Contains(err.Error(), "K must be non-negative") {
+		t.Errorf("detail lost: %v", err)
+	}
+	if !errors.Is(Budget("max pops"), ErrBudgetExhausted) {
+		t.Error("Budget does not match ErrBudgetExhausted")
+	}
+}

@@ -193,7 +193,23 @@ func (p *Prop) Offer(v model.PinID, t model.Time, from, origin model.PinID, grou
 // Run propagates the seeded tuples through the graph in topological
 // order, using late delays for setup and early delays for hold.
 func (p *Prop) Run(d *model.Design, setup bool) {
-	for _, u := range d.Topo {
+	p.RunCtx(d, setup, nil)
+}
+
+// RunCtx is Run with cooperative cancellation: it checks done every few
+// thousand topological positions and returns early once it is closed,
+// bounding cancel latency on large designs. The tuple arrays are then
+// partially propagated and must not be consulted — the caller abandons
+// the query. A nil done never cancels.
+func (p *Prop) RunCtx(d *model.Design, setup bool, done <-chan struct{}) {
+	for ti, u := range d.Topo {
+		if done != nil && ti&4095 == 0 {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
 		a := p.A[u]
 		if !a.Valid {
 			continue

@@ -1,0 +1,47 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the library parser never panics, and that any
+// library it accepts is internally consistent: every timing arc's tables
+// carry exactly len(SlewIndex)*len(LoadIndex) values, so later LUT
+// lookups cannot index out of range.
+func FuzzParse(f *testing.F) {
+	var demo bytes.Buffer
+	if err := Format(&demo, Demo()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(demo.String())
+	f.Add("library l\ncell INV\npin A input 2\npin Y output\nendcell\n")
+	f.Add("library l\nderate_early 0.9\nderate_late 1.1\n")
+	f.Add("cell C\narc A Y\nindex_slew 1 2\nindex_load 3 4\ndelay 1 2 3 4\nslew 1 2 3 4\nendarc\nendcell\n")
+	f.Add("cell C\narc A Y\ndelay 1 2 3\nendarc\n")
+	f.Add("pin A input\n")
+	f.Add("endcell\nendarc\n")
+	f.Add("library \x00\ncell X\nsetup -5\nhold 1e308\nendcell\n")
+	f.Add("# comment\n\nlibrary l\ncell A\nendcell\ncell A\nendcell\n")
+	f.Add(strings.Repeat("cell c\nendcell\n", 40))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		lib, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for name, c := range lib.Cells {
+			if name == "" || c == nil {
+				t.Fatal("accepted library with empty/nil cell entry")
+			}
+			for _, a := range c.Arcs {
+				want := len(a.Delay.SlewIndex) * len(a.Delay.LoadIndex)
+				if len(a.Delay.Values) != want {
+					t.Fatalf("cell %s arc %s->%s: %d delay values, want %d",
+						name, a.From, a.To, len(a.Delay.Values), want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"fastcppr/model"
+)
+
+// FuzzParse asserts the netlist parser never panics: arbitrary input is
+// either rejected with an error or produces a structurally consistent
+// netlist (every instance has a cell name, every port a direction).
+func FuzzParse(f *testing.F) {
+	f.Add(demoNetlist)
+	f.Add("design d\nperiod 10ns\nclock clk 20\n")
+	f.Add("input a 1 2 3\noutput b 4 5\n")
+	f.Add("inst u1 INV A=x Y=y\n")
+	f.Add("# comment\n\ndesign only-name\n")
+	f.Add("design d\nperiod -5ns\n")
+	f.Add("inst r DFF CK=ck D=d Q=q\ninst r DFF CK=ck D=d Q=q\n")
+	f.Add("design \x00\nperiod 9223372036854775807ns\nclock c 0\n")
+	f.Add("inst u1 INV A=\n")
+	f.Add(strings.Repeat("inst u INV A=a Y=b\n", 50))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, inst := range n.Insts {
+			if inst.Cell == "" {
+				t.Fatalf("accepted instance %q with empty cell", inst.Name)
+			}
+		}
+		for _, p := range n.Ports {
+			if p.Dir != In && p.Dir != Out && p.Dir != Clock {
+				t.Fatalf("accepted port %q with direction %v", p.Name, p.Dir)
+			}
+		}
+	})
+}
+
+// FuzzParseVerilog covers the structural-Verilog front end the same way.
+func FuzzParseVerilog(f *testing.F) {
+	f.Add(demoVerilog)
+	f.Add("module m (clk);\ninput clk;\nendmodule\n")
+	f.Add("module m (a, b);\ninput a;\noutput b;\nBUF u (.A(a), .Y(b));\nendmodule\n")
+	f.Add("// nothing but comments\n/* block */\n")
+	f.Add("module unterminated (a\ninput a;\n")
+	f.Add("module m ();\nBUF u (.A(), .Y());\nendmodule\n")
+	f.Add("module m (x);\nwire w;\nINV u1 (.A(x), .Y(w));\nINV u2 (.A(w), .Y(x));\nendmodule\n")
+	f.Add("module \x00 (a);\nendmodule\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := ParseVerilog(strings.NewReader(input), "clk", model.Ns(10))
+		if err != nil {
+			return
+		}
+		for _, inst := range n.Insts {
+			if inst.Cell == "" {
+				t.Fatalf("accepted instance %q with empty cell", inst.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package sdc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the constraints parser never panics: arbitrary input
+// is either rejected or yields constraints with sane invariants (no
+// negative period, initialised maps).
+func FuzzParse(f *testing.F) {
+	f.Add("create_clock -period 5ns\n")
+	f.Add("set_input_delay in0 -early 100 -late 250\nset_output_delay out0 -early 0 -late 4ns\n")
+	f.Add("set_false_path -from ff3\nset_false_path -to ff7\n")
+	f.Add("set_false_path -from a -to b\n")
+	f.Add("# comment only\n\n")
+	f.Add("create_clock -period -1ns\n")
+	f.Add("create_clock -period\n")
+	f.Add("set_input_delay\n")
+	f.Add("set_false_path\n")
+	f.Add("unknown_command arg1 arg2\n")
+	f.Add("create_clock -period 9223372036854775807\n")
+	f.Add("set_input_delay \x00 -early 1 -late 2\n")
+	f.Add(strings.Repeat("set_false_path -from x\n", 60))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if c == nil {
+			t.Fatal("nil constraints with nil error")
+		}
+		if c.Period < 0 {
+			t.Fatalf("accepted negative period %v", c.Period)
+		}
+	})
+}
