@@ -82,7 +82,7 @@ func benchEngine(b *testing.B, name string) *core.Engine {
 func runQuery(b *testing.B, t *cppr.Timer, algo cppr.Algorithm, k, threads int) {
 	b.Helper()
 	for _, mode := range model.Modes {
-		if _, err := t.Report(cppr.Options{K: k, Mode: mode, Threads: threads, Algorithm: algo}); err != nil {
+		if _, err := t.Run(context.Background(), cppr.Query{K: k, Mode: mode, Threads: threads, Algorithm: algo}); err != nil {
 			b.Fatalf("%v: %v", algo, err)
 		}
 	}
@@ -285,9 +285,86 @@ func BenchmarkFrontendFullFlow(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep, err := cppr.TopPaths(d, cppr.Options{K: 100, Mode: model.Setup})
+		rep, err := cppr.NewTimer(d).Run(context.Background(), cppr.Query{K: 100, Mode: model.Setup})
 		if err != nil || len(rep.Paths) == 0 {
 			b.Fatal("empty report")
+		}
+	}
+}
+
+// batchQueries is the batch-executor workload: 8 independent queries a
+// signoff client would issue together — both modes at several K values.
+// ReportBatch merges them into one LCA run per mode (exact top-k paths
+// are prefix-consistent across K) and shares pooled scratch, so the
+// batch beats the same 8 queries run serially even on one core.
+var batchQueries = []cppr.Query{
+	{K: 1, Mode: model.Setup},
+	{K: 10, Mode: model.Setup},
+	{K: 100, Mode: model.Setup},
+	{K: 1000, Mode: model.Setup},
+	{K: 1, Mode: model.Hold},
+	{K: 10, Mode: model.Hold},
+	{K: 100, Mode: model.Hold},
+	{K: 1000, Mode: model.Hold},
+}
+
+// BenchmarkBatchReportBatch8 measures ReportBatch on the 8-query batch
+// workload against the largest generated design.
+func BenchmarkBatchReportBatch8(b *testing.B) {
+	t := benchTimer(b, "leon2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := t.ReportBatch(context.Background(), batchQueries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for qi := range results {
+			if results[qi].Err != nil {
+				b.Fatal(results[qi].Err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchSerial8 is the baseline: the same 8 queries, one Run
+// call each.
+func BenchmarkBatchSerial8(b *testing.B) {
+	t := benchTimer(b, "leon2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range batchQueries {
+			if _, err := t.Run(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchDistinct8 measures the no-merge case — 8 queries that
+// cannot share a run (distinct algorithms and capture filters) — to pin
+// the executor's overhead when only scratch pooling is shared.
+func BenchmarkBatchDistinct8(b *testing.B) {
+	t := benchTimer(b, "vga_lcdv2")
+	queries := []cppr.Query{
+		{K: 100, Mode: model.Setup},
+		{K: 100, Mode: model.Hold},
+		{K: 100, Mode: model.Setup, Algorithm: cppr.AlgoPairwise},
+		{K: 100, Mode: model.Hold, Algorithm: cppr.AlgoPairwise},
+		{K: 100, Mode: model.Setup, Algorithm: cppr.AlgoBranchAndBound},
+		{K: 100, Mode: model.Hold, Algorithm: cppr.AlgoBranchAndBound},
+		{K: 10, Mode: model.Setup, FilterCapture: true, CaptureFF: 0},
+		{K: 10, Mode: model.Setup, FilterCapture: true, CaptureFF: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := t.ReportBatch(context.Background(), queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for qi := range results {
+			if results[qi].Err != nil {
+				b.Fatal(results[qi].Err)
+			}
 		}
 	}
 }

@@ -33,6 +33,8 @@ func main() {
 		fig6     = flag.Bool("fig6", false, "print Figure 6 (runtime/memory vs threads)")
 		accuracy = flag.Bool("accuracy", false, "run the accuracy audit")
 		rerank   = flag.Bool("rerank", false, "run the inexact-rerank ablation")
+		batch    = flag.Bool("batch", false, "measure the batch query executor vs serial queries")
+		batchOut = flag.String("batchjson", "BENCH_batch.json", "with -batch, write machine-readable stats to this file (empty = none)")
 		all      = flag.Bool("all", false, "run everything")
 		scale    = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs  = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -43,10 +45,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank = true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch = true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -92,6 +94,17 @@ func main() {
 	run("Table IV", *table4, experiments.Table4)
 	run("Figure 5", *fig5, experiments.Fig5)
 	run("Figure 6", *fig6, experiments.Fig6)
+	if *batch {
+		if *batchOut != "" {
+			f, err := os.Create(*batchOut)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.JSONOut = f
+			defer f.Close()
+		}
+		run("Batch executor", true, experiments.Batch)
+	}
 }
 
 func fatal(err error) {

@@ -104,7 +104,7 @@ func main() {
 	}
 	degraded := false
 	for _, mode := range modes {
-		rep, err := timer.ReportCtx(ctx, cppr.Options{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos})
+		rep, err := timer.Run(ctx, cppr.Query{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,132 @@
+package cppr
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastcppr/internal/qerr"
+	"fastcppr/model"
+)
+
+// BatchResult pairs one batch query's report with its error. Exactly one
+// of the two is meaningful: Err == nil means Report is the query's
+// answer.
+type BatchResult struct {
+	Report Report
+	Err    error
+}
+
+// ReportBatch answers many queries against one snapshot. All queries
+// observe the same design epoch — an edit racing the batch affects
+// either every query or none — and the batch shares work that single
+// queries would repeat: queries that are identical after normalization
+// run once, AlgoLCA queries differing only in K are served by a single
+// top-max(K) run (exact search returns paths in ascending slack order,
+// so a top-k report is the k-prefix of a larger one), and all runs draw
+// propagation and heap scratch from shared pools.
+//
+// Parallelism is managed by the executor: distinct query groups spread
+// over a bounded worker pool and each group's intra-query Threads is set
+// to its fair share, so a query's own Threads field is ignored. A
+// query-merged report carries the Stats and Elapsed of the shared
+// execution that served it.
+//
+// The returned slice always has len(queries) entries, position-matched
+// to the input; a query that fails validation gets its Err set without
+// disturbing the others. The second return value surfaces context
+// cancellation (matching ErrCanceled / ErrDeadlineExceeded), in which
+// case unserved queries carry the same error.
+func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult, error) {
+	s := t.snap.Load()
+	results := make([]BatchResult, len(queries))
+
+	// Group queries that one execution can serve. The key is the
+	// normalized query with Threads erased (parallelism is the
+	// executor's) and, for AlgoLCA, K erased (served by the group's
+	// max-K run via prefix clipping).
+	type group struct {
+		rep     Query // representative actually executed
+		members []int // indices into queries / results
+	}
+	index := make(map[Query]*group)
+	var order []*group
+	for i := range queries {
+		q := queries[i]
+		if err := s.normalize(&q); err != nil {
+			results[i].Err = err
+			continue
+		}
+		key := q
+		key.Threads = 0
+		if key.Algorithm == AlgoLCA {
+			key.K = 0
+		}
+		g, ok := index[key]
+		if !ok {
+			g = &group{rep: q}
+			g.rep.Threads = 0
+			index[key] = g
+			order = append(order, g)
+		}
+		if q.K > g.rep.K {
+			g.rep.K = q.K
+		}
+		g.members = append(g.members, i)
+	}
+	if len(order) == 0 {
+		return results, qerr.FromContext(ctx)
+	}
+
+	cores := runtime.GOMAXPROCS(0)
+	workers := cores
+	if workers > len(order) {
+		workers = len(order)
+	}
+	inner := cores / workers
+	if inner < 1 {
+		inner = 1
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(order) {
+					return
+				}
+				g := order[gi]
+				q := g.rep
+				q.Threads = inner
+				rep, err := s.run(ctx, q)
+				for _, mi := range g.members {
+					if err != nil {
+						results[mi].Err = err
+						continue
+					}
+					results[mi].Report = clipReport(rep, queries[mi].K)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, qerr.FromContext(ctx)
+}
+
+// clipReport narrows a group run's report to a member's K. Exact top-k
+// paths come out in ascending slack order, so the member's answer is
+// the k-prefix; the slice is copied so members never alias each other.
+func clipReport(rep Report, k int) Report {
+	if k >= len(rep.Paths) {
+		return rep
+	}
+	out := rep
+	out.Paths = make([]model.Path, k)
+	copy(out.Paths, rep.Paths[:k])
+	return out
+}

@@ -16,7 +16,7 @@ import (
 func TestConcurrentQueries(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(77))
 	timer := NewTimer(d)
-	ref, err := timer.Report(Options{K: 50, Mode: model.Setup})
+	ref, err := timer.Run(context.Background(), Query{K: 50, Mode: model.Setup})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestConcurrentQueries(t *testing.T) {
 			for i := 0; i < 4; i++ {
 				switch g % 3 {
 				case 0:
-					rep, err := timer.Report(Options{K: 50, Mode: model.Setup, Threads: 2})
+					rep, err := timer.Run(context.Background(), Query{K: 50, Mode: model.Setup, Threads: 2})
 					if err != nil {
 						errs <- err
 						return
@@ -41,12 +41,15 @@ func TestConcurrentQueries(t *testing.T) {
 						}
 					}
 				case 1:
-					if _, err := timer.EndpointReport(model.FFID(g%d.NumFFs()), Options{K: 5, Mode: model.Hold}); err != nil {
+					if _, err := timer.Run(context.Background(), Query{K: 5, Mode: model.Hold, FilterCapture: true, CaptureFF: model.FFID(g % d.NumFFs())}); err != nil {
 						errs <- err
 						return
 					}
 				default:
-					timer.PostCPPRSlacks(model.Hold, 2)
+					if _, err := timer.PostCPPRSlacksCtx(context.Background(), Query{Mode: model.Hold, Threads: 2}); err != nil {
+						errs <- err
+						return
+					}
 				}
 			}
 		}(g)
@@ -64,7 +67,7 @@ func TestConcurrentQueries(t *testing.T) {
 func TestConcurrentCancellation(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(77))
 	timer := NewTimer(d)
-	ref, err := timer.Report(Options{K: 30, Mode: model.Setup})
+	ref, err := timer.Run(context.Background(), Query{K: 30, Mode: model.Setup})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +80,13 @@ func TestConcurrentCancellation(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
 				if g%2 == 0 {
-					_, err := timer.ReportCtx(canceledCtx, Options{K: 30, Mode: model.Setup, Threads: 2})
+					_, err := timer.Run(canceledCtx, Query{K: 30, Mode: model.Setup, Threads: 2})
 					if !errors.Is(err, ErrCanceled) {
 						t.Errorf("goroutine %d: err = %v, want ErrCanceled", g, err)
 						return
 					}
 				} else {
-					rep, err := timer.ReportCtx(context.Background(), Options{K: 30, Mode: model.Setup, Threads: 2})
+					rep, err := timer.Run(context.Background(), Query{K: 30, Mode: model.Setup, Threads: 2})
 					if err != nil {
 						t.Errorf("goroutine %d: live query failed: %v", g, err)
 						return

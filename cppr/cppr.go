@@ -14,13 +14,15 @@
 //
 //	d, err := tau.ReadFile("design.cppr")
 //	t := cppr.NewTimer(d)
-//	rep, err := t.Report(cppr.Options{K: 10, Mode: model.Setup})
+//	rep, err := t.Run(ctx, cppr.Query{K: 10, Mode: model.Setup})
 //	for _, p := range rep.Paths { fmt.Print(p.Format(d)) }
 package cppr
 
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastcppr/internal/baseline"
@@ -92,14 +94,17 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	case "rerank":
 		return AlgoRerankInexact, nil
 	default:
-		return 0, fmt.Errorf("cppr: unknown algorithm %q (want lca|pairwise|blockwise|bnb|brute)", s)
+		return 0, fmt.Errorf("cppr: unknown algorithm %q (want lca|pairwise|blockwise|bnb|brute|rerank)", s)
 	}
 }
 
 // Algorithms lists all selectable algorithms in report order.
 var Algorithms = []Algorithm{AlgoLCA, AlgoPairwise, AlgoBlockwise, AlgoBranchAndBound}
 
-// Options configures one top-k query.
+// Options configures one top-k query through the deprecated entry points
+// (Report, ReportCtx, EndpointReport, EndpointReportCtx, TopPaths). New
+// code should build a Query and call Timer.Run instead; Query carries
+// the same fields plus the capture-endpoint filter.
 type Options struct {
 	// K is the number of post-CPPR critical paths to report (>= 1).
 	K int
@@ -121,11 +126,13 @@ type Options struct {
 type Report struct {
 	// Paths holds up to K paths sorted ascending by post-CPPR slack.
 	Paths []model.Path
-	// Elapsed is the query wall time.
+	// Elapsed is the query wall time. For a batch-merged query it is the
+	// wall time of the shared execution that served it.
 	Elapsed time.Duration
 	// Algorithm is the implementation that produced the report.
 	Algorithm Algorithm
-	// Stats carries core-engine counters (AlgoLCA only).
+	// Stats carries core-engine counters (AlgoLCA only). For a
+	// batch-merged query the counters are those of the shared execution.
 	Stats core.Stats
 	// Degraded reports that a budgeted baseline (Blockwise MaxTuples,
 	// BranchAndBound MaxPops) exhausted its budget and Paths holds only
@@ -143,10 +150,12 @@ func (r *Report) WorstSlack() (model.Time, bool) {
 	return r.Paths[0].Slack, true
 }
 
-// Timer answers CPPR queries for one design. Construction preprocesses
-// the clock tree once; the Timer is then safe for concurrent queries.
-// SetArcDelay (what-if edits) must not race with in-flight queries.
-type Timer struct {
+// snapshot is one immutable epoch of a Timer: a design plus every
+// structure derived from its delays (clock-tree arrivals/credits, CK->Q
+// caches, graph-based arrival windows, false-path filter). Queries load
+// one snapshot pointer and use only it, so an edit that publishes a new
+// snapshot never perturbs queries in flight on the old one.
+type snapshot struct {
 	d      *model.Design
 	tree   *lca.Tree
 	engine *core.Engine
@@ -154,62 +163,98 @@ type Timer struct {
 	bw     *baseline.Blockwise
 	bb     *baseline.BranchAndBound
 	rr     *baseline.Rerank
-	incr   *sta.Incr
+	// pre holds the graph-based (pre-CPPR) arrival windows, maintained
+	// incrementally across edits. It is flushed before the snapshot is
+	// published and read-only afterwards: the "one early/late
+	// propagation per snapshot" all PreCPPRSlacks calls share.
+	pre    *sta.Incr
 	filter *sdc.Filter
 }
 
-// NewTimer preprocesses d.
-func NewTimer(d *model.Design) *Timer {
-	t := &Timer{d: d}
-	t.rebuild()
-	return t
-}
-
-// rebuild refreshes every structure derived from the design's delays
-// that is cached across queries (clock-tree arrivals/credits, CK->Q
-// delay caches).
-func (t *Timer) rebuild() {
-	// Preserve each baseline's budget independently: reading t.bb under
-	// a t.bw nil-check would crash the first time the two fields ever
-	// get out of step (regression test: TestBudgetsSurviveRebuild).
-	maxTuples, maxPops := 0, 0
-	if t.bw != nil {
-		maxTuples = t.bw.MaxTuples
+// newSnapshot builds a full snapshot for d: clock tree, engines, and —
+// unless an up-to-date pre is handed over from the previous epoch — a
+// fresh graph-arrival propagation.
+func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pre *sta.Incr) *snapshot {
+	tree := lca.New(d)
+	s := &snapshot{
+		d:      d,
+		tree:   tree,
+		engine: core.NewEngineWithTree(d, tree),
+		pw:     baseline.NewPairwise(d, tree),
+		bw:     baseline.NewBlockwise(d, tree),
+		bb:     baseline.NewBranchAndBound(d, tree),
+		rr:     baseline.NewRerank(d, tree),
+		pre:    pre,
+		filter: filter,
 	}
-	if t.bb != nil {
-		maxPops = t.bb.MaxPops
+	if s.pre == nil {
+		s.pre = sta.NewIncr(d)
 	}
-	tree := lca.New(t.d)
-	t.tree = tree
-	t.engine = core.NewEngineWithTree(t.d, tree)
-	t.pw = baseline.NewPairwise(t.d, tree)
-	t.bw = baseline.NewBlockwise(t.d, tree)
-	t.bb = baseline.NewBranchAndBound(t.d, tree)
-	t.rr = baseline.NewRerank(t.d, tree)
 	if maxTuples > 0 {
-		t.bw.MaxTuples = maxTuples
+		s.bw.MaxTuples = maxTuples
 	}
 	if maxPops > 0 {
-		t.bb.MaxPops = maxPops
+		s.bb.MaxPops = maxPops
+	}
+	return s
+}
+
+// rebind derives a snapshot for nd without rebuilding the clock tree.
+// Valid only when nd differs from s.d in non-clock arc delays: the
+// shared lca.Tree (arrivals, credits, level tables) and the budgets
+// carried inside the rebound baselines stay correct by construction.
+func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr) *snapshot {
+	return &snapshot{
+		d:      nd,
+		tree:   s.tree,
+		engine: s.engine.Rebind(nd),
+		pw:     s.pw.Rebind(nd),
+		bw:     s.bw.Rebind(nd),
+		bb:     s.bb.Rebind(nd),
+		rr:     s.rr.Rebind(nd),
+		pre:    pre,
+		filter: s.filter,
 	}
 }
 
-// Design returns the timer's design.
-func (t *Timer) Design() *model.Design { return t.d }
-
-// Report runs one top-k query. It is ReportCtx with a background
-// context: never canceled, no deadline.
-func (t *Timer) Report(opts Options) (Report, error) {
-	return t.ReportCtx(context.Background(), opts)
+// normalize validates q against this snapshot: Query.Normalize plus the
+// design-dependent checks (CaptureFF range, false-path filter support).
+func (s *snapshot) normalize(q *Query) error {
+	if err := q.Normalize(); err != nil {
+		return err
+	}
+	if q.FilterCapture && int(q.CaptureFF) >= s.d.NumFFs() {
+		return qerr.Invalid("FF id %d out of range", q.CaptureFF)
+	}
+	if !s.filter.Empty() && q.Algorithm != AlgoLCA {
+		return qerr.Invalid("false-path constraints are supported by AlgoLCA only, got %v", q.Algorithm)
+	}
+	return nil
 }
 
-// ReportCtx runs one top-k query under a context. Cancellation or
-// deadline expiry aborts the query with bounded latency and returns an
-// error matching ErrCanceled / ErrDeadlineExceeded; a panic anywhere in
-// the query path is contained and returned as an *InternalError (the
-// Timer stays usable); a budgeted baseline that exhausts its budget
-// returns the paths found so far with Report.Degraded set.
-func (t *Timer) ReportCtx(ctx context.Context, opts Options) (rep Report, err error) {
+// coreOpts translates a normalized query into engine options, attaching
+// the snapshot's false-path filter.
+func (s *snapshot) coreOpts(q Query) core.Options {
+	copts := core.Options{
+		K:             q.K,
+		Mode:          q.Mode,
+		Threads:       q.Threads,
+		UseLiftingLCA: q.UseLiftingLCA,
+		IncludePOs:    q.IncludePOs,
+		FilterCapture: q.FilterCapture,
+		CaptureFF:     q.CaptureFF,
+	}
+	if !s.filter.Empty() {
+		copts.ExcludeLaunchFF = s.filter.FromFF
+		copts.ExcludeCaptureFF = s.filter.ToFF
+		copts.ExcludeLaunchPin = s.filter.FromPin
+	}
+	return copts
+}
+
+// run executes one normalized query against this snapshot, with the
+// panic containment and cancellation semantics documented on Timer.Run.
+func (s *snapshot) run(ctx context.Context, q Query) (rep Report, err error) {
 	// Contain panics on the caller's goroutine too (single-threaded
 	// algorithms, reconstruction): one poisoned query must not crash a
 	// process serving many.
@@ -218,124 +263,145 @@ func (t *Timer) ReportCtx(ctx context.Context, opts Options) (rep Report, err er
 			rep, err = Report{}, qerr.FromPanic("cppr.Report", r)
 		}
 	}()
-	if opts.K < 0 {
-		return Report{}, qerr.Invalid("K must be non-negative, got %d", opts.K)
-	}
-	if !t.filter.Empty() && opts.Algorithm != AlgoLCA {
-		return Report{}, qerr.Invalid("false-path constraints are supported by AlgoLCA only, got %v", opts.Algorithm)
-	}
 	if err := qerr.FromContext(ctx); err != nil {
 		return Report{}, err
 	}
 	start := time.Now()
-	rep = Report{Algorithm: opts.Algorithm}
-	switch opts.Algorithm {
+	rep = Report{Algorithm: q.Algorithm}
+	switch q.Algorithm {
 	case AlgoLCA:
-		copts := core.Options{
-			K:             opts.K,
-			Mode:          opts.Mode,
-			Threads:       opts.Threads,
-			UseLiftingLCA: opts.UseLiftingLCA,
-			IncludePOs:    opts.IncludePOs,
-		}
-		if !t.filter.Empty() {
-			copts.ExcludeLaunchFF = t.filter.FromFF
-			copts.ExcludeCaptureFF = t.filter.ToFF
-			copts.ExcludeLaunchPin = t.filter.FromPin
-		}
-		res, err := t.engine.TopPaths(ctx, copts)
+		res, err := s.engine.TopPaths(ctx, s.coreOpts(q))
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Stats = res.Paths, res.Stats
 	case AlgoPairwise:
-		paths, err := t.pw.TopPaths(ctx, opts.Mode, opts.K, opts.Threads)
+		paths, err := s.pw.TopPaths(ctx, q.Mode, q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
 	case AlgoBlockwise:
-		paths, degraded, err := t.bw.TopPaths(ctx, opts.Mode, opts.K, opts.Threads)
+		paths, degraded, err := s.bw.TopPaths(ctx, q.Mode, q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Degraded = paths, degraded
 	case AlgoBranchAndBound:
-		paths, degraded, err := t.bb.TopPaths(ctx, opts.Mode, opts.K, opts.Threads)
+		paths, degraded, err := s.bb.TopPaths(ctx, q.Mode, q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Degraded = paths, degraded
 	case AlgoBruteForce:
-		paths, err := baseline.BruteForceCtx(ctx, t.d, opts.Mode, opts.K)
+		paths, err := baseline.BruteForceCtx(ctx, s.d, q.Mode, q.K)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
-	case AlgoRerankInexact:
-		paths, err := t.rr.TopPathsCtx(ctx, opts.Mode, opts.K)
+	default: // AlgoRerankInexact; Normalize rejected everything else
+		paths, err := s.rr.TopPathsCtx(ctx, q.Mode, q.K)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
-	default:
-		return Report{}, qerr.Invalid("unknown algorithm %v", opts.Algorithm)
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
 
+// Timer answers CPPR queries for one design. Construction preprocesses
+// the clock tree once; the Timer is then safe for concurrent use,
+// including queries racing edits: every query runs against the immutable
+// snapshot current when it started, and SetArcDelay / SetBudgets /
+// ApplySDC build a new snapshot and publish it atomically. A query in
+// flight across an edit observes the design either entirely before or
+// entirely after the edit, never a mix.
+type Timer struct {
+	snap atomic.Pointer[snapshot]
+	// mu serializes writers (edits). Readers never take it.
+	mu sync.Mutex
+}
+
+// NewTimer preprocesses d.
+func NewTimer(d *model.Design) *Timer {
+	t := &Timer{}
+	t.snap.Store(newSnapshot(d, nil, 0, 0, nil))
+	return t
+}
+
+// Design returns the design of the current snapshot. After SetArcDelay
+// edits this is a copy-on-write descendant of the design the Timer was
+// built with — the original is never mutated.
+func (t *Timer) Design() *model.Design { return t.snap.Load().d }
+
+// Run executes one query. Cancellation or deadline expiry aborts it with
+// bounded latency and returns an error matching ErrCanceled /
+// ErrDeadlineExceeded; a panic anywhere in the query path is contained
+// and returned as an *InternalError (the Timer stays usable); a budgeted
+// baseline that exhausts its budget returns the paths found so far with
+// Report.Degraded set. An invalid query returns an error matching
+// ErrInvalidQuery.
+func (t *Timer) Run(ctx context.Context, q Query) (Report, error) {
+	s := t.snap.Load()
+	if err := s.normalize(&q); err != nil {
+		return Report{}, err
+	}
+	return s.run(ctx, q)
+}
+
+// Report runs one top-k query with a background context.
+//
+// Deprecated: use Run with a Query.
+func (t *Timer) Report(opts Options) (Report, error) {
+	return t.Run(context.Background(), opts.query())
+}
+
+// ReportCtx runs one top-k query under a context.
+//
+// Deprecated: use Run with a Query.
+func (t *Timer) ReportCtx(ctx context.Context, opts Options) (Report, error) {
+	return t.Run(ctx, opts.query())
+}
+
 // EndpointReport returns the top-k post-CPPR paths captured by a single
-// flip-flop (report_timing -to style). Only the LCA engine serves
-// per-endpoint queries; opts.Algorithm must be AlgoLCA (the default).
+// flip-flop (report_timing -to style).
+//
+// Deprecated: use Run with a Query whose FilterCapture/CaptureFF fields
+// select the endpoint.
 func (t *Timer) EndpointReport(ff model.FFID, opts Options) (Report, error) {
 	return t.EndpointReportCtx(context.Background(), ff, opts)
 }
 
-// EndpointReportCtx is EndpointReport under a context, with the same
-// cancellation and panic-containment semantics as ReportCtx.
-func (t *Timer) EndpointReportCtx(ctx context.Context, ff model.FFID, opts Options) (rep Report, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			rep, err = Report{}, qerr.FromPanic("cppr.EndpointReport", r)
-		}
-	}()
-	if opts.Algorithm != AlgoLCA {
-		return Report{}, qerr.Invalid("EndpointReport supports AlgoLCA only, got %v", opts.Algorithm)
-	}
-	if ff < 0 || int(ff) >= t.d.NumFFs() {
-		return Report{}, qerr.Invalid("FF id %d out of range", ff)
-	}
-	start := time.Now()
-	res, err := t.engine.TopPaths(ctx, core.Options{
-		K:             opts.K,
-		Mode:          opts.Mode,
-		Threads:       opts.Threads,
-		UseLiftingLCA: opts.UseLiftingLCA,
-		FilterCapture: true,
-		CaptureFF:     ff,
-	})
-	if err != nil {
-		return Report{}, err
-	}
-	return Report{
-		Paths:     res.Paths,
-		Stats:     res.Stats,
-		Algorithm: AlgoLCA,
-		Elapsed:   time.Since(start),
-	}, nil
+// EndpointReportCtx is EndpointReport under a context.
+//
+// Deprecated: use Run with a Query whose FilterCapture/CaptureFF fields
+// select the endpoint.
+func (t *Timer) EndpointReportCtx(ctx context.Context, ff model.FFID, opts Options) (Report, error) {
+	q := opts.query()
+	q.FilterCapture, q.CaptureFF = true, ff
+	return t.Run(ctx, q)
 }
 
 // SetBudgets overrides the failure budgets of the budgeted baselines:
 // maxTuples bounds Blockwise's launch-set memory (its "MLE" limit) and
-// maxPops bounds BranchAndBound's search. Zero leaves a budget unchanged.
+// maxPops bounds BranchAndBound's search. Zero leaves a budget
+// unchanged. Like all edits it publishes a new snapshot; queries in
+// flight keep the budgets they started with.
 func (t *Timer) SetBudgets(maxTuples, maxPops int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.snap.Load()
+	ns := *s
 	if maxTuples > 0 {
-		t.bw.MaxTuples = maxTuples
+		ns.bw = s.bw.Rebind(s.d)
+		ns.bw.MaxTuples = maxTuples
 	}
 	if maxPops > 0 {
-		t.bb.MaxPops = maxPops
+		ns.bb = s.bb.Rebind(s.d)
+		ns.bb.MaxPops = maxPops
 	}
+	t.snap.Store(&ns)
 }
 
 // EndpointSlack is a pre-CPPR graph-based slack at one FF's D pin.
@@ -347,98 +413,111 @@ type EndpointSlack struct {
 
 // PreCPPRSlacks returns the conventional (pre-CPPR) graph-based endpoint
 // slacks for the mode — the numbers a timer without pessimism removal
-// would report, used to quantify removed pessimism. Arrival windows are
-// maintained incrementally across SetArcDelay edits.
+// would report, used to quantify removed pessimism. The arrival windows
+// are maintained incrementally across SetArcDelay edits and shared by
+// every query on the same snapshot.
 func (t *Timer) PreCPPRSlacks(mode model.Mode) []EndpointSlack {
-	if t.incr == nil {
-		t.incr = sta.NewIncr(t.d)
-	}
-	t.incr.Flush()
-	raw := sta.EndpointSlacks(t.d, t.incr.AT(), mode)
+	s := t.snap.Load()
+	raw := sta.EndpointSlacks(s.d, s.pre.AT(), mode)
 	out := make([]EndpointSlack, len(raw))
-	for i, s := range raw {
-		out[i] = EndpointSlack{FF: s.FF, Slack: s.Slack, Valid: s.Valid}
+	for i, sl := range raw {
+		out[i] = EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid}
 	}
 	return out
 }
 
-// SetArcDelay performs a what-if edit: it updates the delay window of
-// the arc from -> to and incrementally refreshes the timer's cached
-// state (graph arrivals via dirty-cone propagation; clock-tree credits
-// and launch-arc caches only when the edit touches them). Subsequent
-// Report calls reflect the edit exactly; results are identical to a
-// freshly built Timer on the edited design.
+// SetArcDelay performs a what-if edit: it publishes a new snapshot whose
+// design has the delay window of the arc from -> to updated, refreshing
+// derived state incrementally (graph arrivals via dirty-cone
+// propagation; clock-tree credits and launch-arc caches only when the
+// edit touches them). The caller's original design is never mutated —
+// the snapshot's design is a copy-on-write clone. Subsequent queries
+// reflect the edit exactly, with results identical to a freshly built
+// Timer on the edited design; queries already in flight complete on the
+// pre-edit snapshot.
 func (t *Timer) SetArcDelay(from, to model.PinID, delay model.Window) error {
-	ai := t.d.ArcBetween(from, to)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.snap.Load()
+	ai := s.d.ArcBetween(from, to)
 	if ai < 0 {
-		return fmt.Errorf("cppr: no arc %q -> %q", t.d.PinName(from), t.d.PinName(to))
+		return fmt.Errorf("cppr: no arc %q -> %q", s.d.PinName(from), s.d.PinName(to))
 	}
-	if t.incr == nil {
-		t.incr = sta.NewIncr(t.d)
-	}
-	if err := t.incr.SetArcDelay(ai, delay); err != nil {
+	nd := s.d.CloneWithArcs()
+	pre := s.pre.CloneFor(nd)
+	if err := pre.SetArcDelay(ai, delay); err != nil {
 		return err
 	}
-	// Clock arcs change arrivals/credits cached in the lca tree; CK->Q
-	// edits change the launch-delay caches inside each engine.
-	if t.d.IsClockPin(from) {
-		t.rebuild()
+	pre.Flush()
+	var ns *snapshot
+	if s.d.IsClockPin(from) {
+		// Clock arcs change arrivals/credits cached in the lca tree;
+		// CK->Q edits change the launch-delay caches inside each engine.
+		// Full rebuild on the edited design, preserving budgets.
+		ns = newSnapshot(nd, s.filter, s.bw.MaxTuples, s.bb.MaxPops, pre)
+	} else {
+		ns = s.rebind(nd, pre)
 	}
+	t.snap.Store(ns)
 	return nil
 }
 
 // ApplySDC applies a constraint set: the clock period and io-delay
 // overrides rebuild the timer's design, and false-path exceptions are
 // installed as a candidate filter consulted by subsequent AlgoLCA
-// queries. The rebuilt design is returned (the Timer switches to it).
+// queries. The rebuilt design is returned (the new snapshot uses it).
 func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
-	nd, filt, err := c.Apply(t.d)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.snap.Load()
+	nd, filt, err := c.Apply(s.d)
 	if err != nil {
 		return nil, err
 	}
-	t.d = nd
-	t.incr = nil
-	t.rebuild()
-	t.filter = filt
+	t.snap.Store(newSnapshot(nd, filt, s.bw.MaxTuples, s.bb.MaxPops, nil))
 	return nd, nil
 }
 
 // PostCPPRSlacks returns the exact post-CPPR worst slack at every FF
-// endpoint, computed in O(nD) — a full pessimism-removed signoff
-// summary (compare PreCPPRSlacks to quantify removed pessimism per
-// endpoint). threads <= 0 uses all cores. It is PostCPPRSlacksCtx with
-// a background context (which never errors).
+// endpoint for the mode; threads <= 0 uses all cores.
+//
+// Deprecated: use PostCPPRSlacksCtx with a Query.
 func (t *Timer) PostCPPRSlacks(mode model.Mode, threads int) []EndpointSlack {
-	out, _ := t.PostCPPRSlacksCtx(context.Background(), mode, threads)
+	out, _ := t.PostCPPRSlacksCtx(context.Background(), Query{Mode: mode, Threads: threads})
 	return out
 }
 
-// PostCPPRSlacksCtx is PostCPPRSlacks under a context, with the same
-// cancellation and panic-containment semantics as ReportCtx.
-func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, mode model.Mode, threads int) (out []EndpointSlack, err error) {
+// PostCPPRSlacksCtx computes the exact post-CPPR worst slack at every FF
+// endpoint in O(nD) — a full pessimism-removed signoff summary (compare
+// PreCPPRSlacks to quantify removed pessimism per endpoint). The query's
+// Mode, Threads and capture filter are honoured; K and Algorithm are
+// ignored (the sweep always runs on the LCA engine). Cancellation and
+// panic containment follow Run.
+func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, q Query) (out []EndpointSlack, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, qerr.FromPanic("cppr.PostCPPRSlacks", r)
 		}
 	}()
-	copts := core.Options{Mode: mode, Threads: threads}
-	if !t.filter.Empty() {
-		copts.ExcludeLaunchFF = t.filter.FromFF
-		copts.ExcludeCaptureFF = t.filter.ToFF
-		copts.ExcludeLaunchPin = t.filter.FromPin
+	s := t.snap.Load()
+	q.Algorithm = AlgoLCA
+	if err := s.normalize(&q); err != nil {
+		return nil, err
 	}
-	raw, err := t.engine.EndpointSlacksCPPR(ctx, copts)
+	raw, err := s.engine.EndpointSlacksCPPR(ctx, s.coreOpts(q))
 	if err != nil {
 		return nil, err
 	}
 	out = make([]EndpointSlack, len(raw))
-	for i, s := range raw {
-		out[i] = EndpointSlack{FF: s.FF, Slack: s.Slack, Valid: s.Valid}
+	for i, sl := range raw {
+		out[i] = EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid}
 	}
 	return out, nil
 }
 
 // TopPaths is a one-shot convenience for a single query on a design.
+//
+// Deprecated: build a Timer and call Run with a Query.
 func TopPaths(d *model.Design, opts Options) (Report, error) {
-	return NewTimer(d).Report(opts)
+	return NewTimer(d).Run(context.Background(), opts.query())
 }

@@ -1,6 +1,7 @@
 package cppr
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestAllAlgorithmsAgreeThroughFacade(t *testing.T) {
 	for _, mode := range model.Modes {
 		var ref []model.Time
 		for _, algo := range append(Algorithms, AlgoBruteForce) {
-			rep, err := timer.Report(Options{K: 20, Mode: mode, Algorithm: algo, Threads: 2})
+			rep, err := timer.Run(context.Background(), Query{K: 20, Mode: mode, Algorithm: algo, Threads: 2})
 			if err != nil {
 				t.Fatalf("%v: %v", algo, err)
 			}
@@ -47,7 +48,7 @@ func TestAllAlgorithmsAgreeThroughFacade(t *testing.T) {
 
 func TestReportMetadata(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(1))
-	rep, err := TopPaths(d, Options{K: 5, Mode: model.Setup})
+	rep, err := NewTimer(d).Run(context.Background(), Query{K: 5, Mode: model.Setup})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestReportMetadata(t *testing.T) {
 
 func TestNegativeK(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(1))
-	if _, err := TopPaths(d, Options{K: -1}); err == nil {
+	if _, err := NewTimer(d).Run(context.Background(), Query{K: -1}); err == nil {
 		t.Fatal("negative K accepted")
 	}
 }
@@ -109,7 +110,7 @@ func TestPreCPPRSlacks(t *testing.T) {
 	}
 	// The worst pre-CPPR endpoint slack must be <= the worst post-CPPR
 	// path slack (credits never make things worse).
-	rep, err := timer.Report(Options{K: 1, Mode: model.Setup})
+	rep, err := timer.Run(context.Background(), Query{K: 1, Mode: model.Setup})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,20 +129,20 @@ func TestSetBudgets(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(2))
 	timer := NewTimer(d)
 	timer.SetBudgets(5, 2)
-	rep, err := timer.Report(Options{K: 10, Mode: model.Setup, Algorithm: AlgoBlockwise})
+	rep, err := timer.Run(context.Background(), Query{K: 10, Mode: model.Setup, Algorithm: AlgoBlockwise})
 	if err != nil {
 		t.Errorf("blockwise budget exhaustion must degrade, not error: %v", err)
 	} else if !rep.Degraded {
 		t.Error("blockwise under tiny budget should set Degraded")
 	}
-	rep, err = timer.Report(Options{K: 10, Mode: model.Setup, Algorithm: AlgoBranchAndBound})
+	rep, err = timer.Run(context.Background(), Query{K: 10, Mode: model.Setup, Algorithm: AlgoBranchAndBound})
 	if err != nil {
 		t.Errorf("bnb budget exhaustion must degrade, not error: %v", err)
 	} else if !rep.Degraded {
 		t.Error("bnb under tiny budget should set Degraded")
 	}
 	timer.SetBudgets(0, 0) // no change
-	if _, err := timer.Report(Options{K: 1, Mode: model.Setup, Algorithm: AlgoLCA}); err != nil {
+	if _, err := timer.Run(context.Background(), Query{K: 1, Mode: model.Setup, Algorithm: AlgoLCA}); err != nil {
 		t.Errorf("lca should be unaffected by budgets: %v", err)
 	}
 }

@@ -1,0 +1,100 @@
+//lint:file-ignore SA1019 this file intentionally exercises the deprecated shims.
+
+// This file keeps every deprecated entry point covered: each shim must
+// keep compiling and must answer exactly like its Query/Run replacement.
+package cppr
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+func TestDeprecatedReportShims(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(5))
+	timer := NewTimer(d)
+	opts := Options{K: 8, Mode: model.Setup, Threads: 2}
+	want, err := timer.Run(context.Background(), Query{K: 8, Mode: model.Setup, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := timer.Report(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSlacks(t, "Report", rep.Paths, want.Paths)
+
+	rep, err = timer.ReportCtx(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSlacks(t, "ReportCtx", rep.Paths, want.Paths)
+
+	rep, err = TopPaths(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSlacks(t, "TopPaths", rep.Paths, want.Paths)
+}
+
+func TestDeprecatedEndpointReportShims(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(5))
+	timer := NewTimer(d)
+	ff := model.FFID(1)
+	want, err := timer.Run(context.Background(),
+		Query{K: 5, Mode: model.Setup, FilterCapture: true, CaptureFF: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := timer.EndpointReport(ff, Options{K: 5, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSlacks(t, "EndpointReport", rep.Paths, want.Paths)
+
+	rep, err = timer.EndpointReportCtx(context.Background(), ff, Options{K: 5, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSlacks(t, "EndpointReportCtx", rep.Paths, want.Paths)
+
+	// Validation still flows through the shim.
+	if _, err := timer.EndpointReport(model.FFID(d.NumFFs()), Options{K: 1}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("out-of-range FF through shim: err = %v, want ErrInvalidQuery", err)
+	}
+}
+
+func TestDeprecatedPostCPPRSlacks(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(5))
+	timer := NewTimer(d)
+	want, err := timer.PostCPPRSlacksCtx(context.Background(), Query{Mode: model.Hold, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := timer.PostCPPRSlacks(model.Hold, 2)
+	if len(got) != len(want) {
+		t.Fatalf("%d slacks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slack %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func assertSameSlacks(t *testing.T, label string, got, want []model.Path) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d paths, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Slack != want[i].Slack {
+			t.Fatalf("%s: slack %d = %v, want %v", label, i, got[i].Slack, want[i].Slack)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package cppr
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// TestEditQueryRaceConsistency is the snapshot-isolation contract test
+// (run it with -race for full effect): writers toggle an arc delay
+// between two values and churn budgets while readers run Report and
+// PostCPPRSlacks. Every reader result must be internally consistent
+// with exactly one of the two design states — the full slack vector of
+// either the pre-edit or the post-edit design, never a mix of the two.
+func TestEditQueryRaceConsistency(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(21))
+
+	// Pick a data arc out of an FF so the edit shifts many path slacks.
+	var from, to model.PinID = model.NoPin, model.NoPin
+	var base model.Window
+	for _, a := range d.Arcs {
+		if d.Pins[a.From].Kind == model.FFOutput {
+			from, to, base = a.From, a.To, a.Delay
+			break
+		}
+	}
+	if from == model.NoPin {
+		t.Fatal("no FF output arc in generated design")
+	}
+	alt := model.Window{Early: base.Early, Late: base.Late + model.Ns(3)}
+
+	// Reference answers for both design states, from independent timers.
+	type state struct {
+		report []model.Time
+		post   []EndpointSlack
+	}
+	refFor := func(w model.Window) state {
+		ref := NewTimer(d)
+		if err := ref.SetArcDelay(from, to, w); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ref.Run(context.Background(), Query{K: 20, Mode: model.Setup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		post, err := ref.PostCPPRSlacksCtx(context.Background(), Query{Mode: model.Setup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return state{report: sortedSlacks(rep.Paths), post: post}
+	}
+	states := [2]state{refFor(base), refFor(alt)}
+	if len(states[0].report) == 0 {
+		t.Fatal("no paths in reference report")
+	}
+
+	matchReport := func(got []model.Time) bool {
+		for _, s := range states {
+			if len(got) != len(s.report) {
+				continue
+			}
+			ok := true
+			for i := range got {
+				if got[i] != s.report[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	matchPost := func(got []EndpointSlack) bool {
+		for _, s := range states {
+			if len(got) != len(s.post) {
+				continue
+			}
+			ok := true
+			for i := range got {
+				if got[i] != s.post[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	timer := NewTimer(d)
+	const (
+		writers = 2
+		readers = 6
+		rounds  = 8
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*rounds+readers*rounds)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if w == 0 {
+					nw := base
+					if i%2 == 0 {
+						nw = alt
+					}
+					if err := timer.SetArcDelay(from, to, nw); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					// Budget churn must never perturb query results
+					// (budgets only bound the budgeted baselines).
+					timer.SetBudgets(1_000_000+i, 1_000_000+i)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if r%2 == 0 {
+					rep, err := timer.Run(context.Background(), Query{K: 20, Mode: model.Setup})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !matchReport(sortedSlacks(rep.Paths)) {
+						t.Errorf("reader %d round %d: report matches neither pre- nor post-edit design", r, i)
+						return
+					}
+				} else {
+					post, err := timer.PostCPPRSlacksCtx(context.Background(), Query{Mode: model.Setup})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !matchPost(post) {
+						t.Errorf("reader %d round %d: endpoint sweep matches neither pre- nor post-edit design", r, i)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEditQueryRaceBatch does the same consistency check through the
+// batch executor: all queries of one batch must observe the same epoch.
+func TestEditQueryRaceBatch(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(22))
+	var from, to model.PinID = model.NoPin, model.NoPin
+	var base model.Window
+	for _, a := range d.Arcs {
+		if d.Pins[a.From].Kind == model.FFOutput {
+			from, to, base = a.From, a.To, a.Delay
+			break
+		}
+	}
+	if from == model.NoPin {
+		t.Fatal("no FF output arc in generated design")
+	}
+	alt := model.Window{Early: base.Early, Late: base.Late + model.Ns(3)}
+
+	refFor := func(w model.Window) []model.Time {
+		ref := NewTimer(d)
+		if err := ref.SetArcDelay(from, to, w); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ref.Run(context.Background(), Query{K: 15, Mode: model.Setup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sortedSlacks(rep.Paths)
+	}
+	refs := [2][]model.Time{refFor(base), refFor(alt)}
+
+	same := func(a, b []model.Time) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	timer := NewTimer(d)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			nw := base
+			if i%2 == 0 {
+				nw = alt
+			}
+			if err := timer.SetArcDelay(from, to, nw); err != nil {
+				t.Errorf("SetArcDelay: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		results, err := timer.ReportBatch(context.Background(), []Query{
+			{K: 15, Mode: model.Setup},
+			{K: 15, Mode: model.Setup, Algorithm: AlgoPairwise},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range results {
+			if results[qi].Err != nil {
+				t.Fatal(results[qi].Err)
+			}
+		}
+		a := sortedSlacks(results[0].Report.Paths)
+		b := sortedSlacks(results[1].Report.Paths)
+		// Same epoch for the whole batch: both algorithms agree with the
+		// SAME reference state.
+		if !(same(a, refs[0]) && same(b, refs[0])) && !(same(a, refs[1]) && same(b, refs[1])) {
+			t.Fatalf("round %d: batch members disagree on the design epoch", i)
+		}
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package cppr
 
 import (
+	"context"
 	"testing"
 
 	"fastcppr/gen"
@@ -13,7 +14,7 @@ func TestEndpointReportMatchesFilteredGlobal(t *testing.T) {
 		timer := NewTimer(d)
 		for _, mode := range model.Modes {
 			// Exhaustive global report as reference.
-			global, err := timer.Report(Options{K: 100000, Mode: mode})
+			global, err := timer.Run(context.Background(), Query{K: 100000, Mode: mode})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -27,7 +28,7 @@ func TestEndpointReportMatchesFilteredGlobal(t *testing.T) {
 				if len(want) > 10 {
 					want = want[:10]
 				}
-				rep, err := timer.EndpointReport(model.FFID(ffi), Options{K: 10, Mode: mode})
+				rep, err := timer.Run(context.Background(), Query{K: 10, Mode: mode, FilterCapture: true, CaptureFF: model.FFID(ffi)})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -51,13 +52,14 @@ func TestEndpointReportMatchesFilteredGlobal(t *testing.T) {
 func TestEndpointReportErrors(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(0))
 	timer := NewTimer(d)
-	if _, err := timer.EndpointReport(-1, Options{K: 1}); err == nil {
+	bg := context.Background()
+	if _, err := timer.Run(bg, Query{K: 1, FilterCapture: true, CaptureFF: -1}); err == nil {
 		t.Error("negative FF accepted")
 	}
-	if _, err := timer.EndpointReport(model.FFID(d.NumFFs()), Options{K: 1}); err == nil {
+	if _, err := timer.Run(bg, Query{K: 1, FilterCapture: true, CaptureFF: model.FFID(d.NumFFs())}); err == nil {
 		t.Error("out-of-range FF accepted")
 	}
-	if _, err := timer.EndpointReport(0, Options{K: 1, Algorithm: AlgoPairwise}); err == nil {
+	if _, err := timer.Run(bg, Query{K: 1, Algorithm: AlgoPairwise, FilterCapture: true}); err == nil {
 		t.Error("non-LCA algorithm accepted")
 	}
 }

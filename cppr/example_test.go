@@ -1,6 +1,7 @@
 package cppr_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func buildExample() *model.Design {
 // decomposition of each path.
 func Example() {
 	d := buildExample()
-	rep, err := cppr.TopPaths(d, cppr.Options{K: 2, Mode: model.Setup})
+	rep, err := cppr.NewTimer(d).Run(context.Background(), cppr.Query{K: 2, Mode: model.Setup})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,11 +55,15 @@ func Example() {
 	// #2 ff3->ff4 slack 9.820ns (pre 9.720ns + credit 0.100ns)
 }
 
-// ExampleTimer_EndpointReport shows a report_timing -to style query.
-func ExampleTimer_EndpointReport() {
+// ExampleTimer_Run shows a report_timing -to style query via the
+// capture-endpoint filter.
+func ExampleTimer_Run() {
 	d := buildExample()
 	timer := cppr.NewTimer(d)
-	rep, err := timer.EndpointReport(d.Pins[d.FFs[3].Data].FF, cppr.Options{K: 5, Mode: model.Setup})
+	rep, err := timer.Run(context.Background(), cppr.Query{
+		K: 5, Mode: model.Setup,
+		FilterCapture: true, CaptureFF: d.Pins[d.FFs[3].Data].FF,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +82,7 @@ func ExampleTimer_SetArcDelay() {
 	if err := timer.SetArcDelay(g1, ff2d, model.Window{Early: 10, Late: 300}); err != nil {
 		log.Fatal(err)
 	}
-	rep, _ := timer.Report(cppr.Options{K: 1, Mode: model.Setup})
+	rep, _ := timer.Run(context.Background(), cppr.Query{K: 1, Mode: model.Setup})
 	fmt.Printf("worst setup slack after +290ps: %v\n", rep.Paths[0].Slack)
 	// Output:
 	// worst setup slack after +290ps: 9.490ns

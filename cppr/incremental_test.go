@@ -1,6 +1,7 @@
 package cppr
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -9,9 +10,9 @@ import (
 )
 
 // reportKey extracts the comparable slack list of a report.
-func reportKey(t *testing.T, timer *Timer, opts Options) []model.Time {
+func reportKey(t *testing.T, timer *Timer, opts Query) []model.Time {
 	t.Helper()
-	rep, err := timer.Report(opts)
+	rep, err := timer.Run(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,9 +36,10 @@ func TestSetArcDelayMatchesFreshTimer(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, mode := range model.Modes {
-				got := reportKey(t, timer, Options{K: 40, Mode: mode})
-				// Fresh timer over the mutated design.
-				want := reportKey(t, NewTimer(d), Options{K: 40, Mode: mode})
+				got := reportKey(t, timer, Query{K: 40, Mode: mode})
+				// Fresh timer over the edited design (SetArcDelay is
+				// copy-on-write; the caller's d is never mutated).
+				want := reportKey(t, NewTimer(timer.Design()), Query{K: 40, Mode: mode})
 				if len(got) != len(want) {
 					t.Fatalf("seed %d step %d %v: %d vs %d paths", seed, step, mode, len(got), len(want))
 				}
@@ -69,11 +71,11 @@ func TestSetArcDelayClockArcRefreshesCredits(t *testing.T) {
 	if err := timer.SetArcDelay(from, to, model.Window{Early: old.Early, Late: old.Late + 500}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := timer.Report(Options{K: 10, Mode: model.Hold})
+	rep, err := timer.Run(context.Background(), Query{K: 10, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := TopPaths(d, Options{K: 10, Mode: model.Hold})
+	fresh, err := NewTimer(timer.Design()).Run(context.Background(), Query{K: 10, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package cppr
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 func TestWriteJSONRoundTrip(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(4))
 	timer := NewTimer(d)
-	rep, err := timer.Report(Options{K: 8, Mode: model.Hold})
+	rep, err := timer.Run(context.Background(), Query{K: 8, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 func TestJSONPILaunchAndSelfLoopFlags(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(6))
 	timer := NewTimer(d)
-	rep, err := timer.Report(Options{K: 100000, Mode: model.Setup})
+	rep, err := timer.Run(context.Background(), Query{K: 100000, Mode: model.Setup})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cppr
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -86,7 +87,7 @@ func TestHistogram(t *testing.T) {
 
 func TestCreditStatsOnRealDesign(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(12))
-	rep, err := TopPaths(d, Options{K: 200, Mode: model.Hold})
+	rep, err := NewTimer(d).Run(context.Background(), Query{K: 200, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}

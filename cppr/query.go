@@ -1,0 +1,81 @@
+package cppr
+
+import (
+	"fastcppr/internal/qerr"
+	"fastcppr/model"
+)
+
+// Query describes one CPPR query: the unified request value consumed by
+// Timer.Run, Timer.ReportBatch and Timer.PostCPPRSlacksCtx. It carries
+// the former Options fields plus the optional capture-endpoint filter
+// that previously required the separate EndpointReport entry point.
+//
+// The zero value is a valid query for zero paths; set K and Mode for a
+// useful one. Query is a comparable value type: ReportBatch relies on
+// that to merge equivalent queries.
+type Query struct {
+	// K is the number of post-CPPR critical paths to report (>= 0;
+	// 0 yields an empty report).
+	K int
+	// Mode selects setup or hold analysis.
+	Mode model.Mode
+	// Threads bounds parallelism; <= 0 uses all available cores.
+	Threads int
+	// Algorithm selects the implementation; default AlgoLCA.
+	Algorithm Algorithm
+	// UseLiftingLCA switches AlgoLCA's LCA queries to binary lifting
+	// (ablation knob; default Euler-tour RMQ).
+	UseLiftingLCA bool
+	// IncludePOs adds output-check paths at constrained primary outputs
+	// (AlgoLCA only; extension beyond the paper).
+	IncludePOs bool
+	// FilterCapture restricts the query to paths captured by CaptureFF
+	// (report_timing -to style; AlgoLCA only). When false (default),
+	// all endpoints are analysed and CaptureFF is ignored.
+	FilterCapture bool
+	CaptureFF     model.FFID
+}
+
+// Normalize validates q and canonicalises it in place: negative Threads
+// is clamped to 0 (all cores) and an ignored CaptureFF is cleared so
+// equivalent queries compare equal. It returns an error matching
+// ErrInvalidQuery for a negative K, an unknown Algorithm, or a capture
+// filter on an algorithm that cannot serve it. Range-checking CaptureFF
+// against the design happens at query time, not here.
+func (q *Query) Normalize() error {
+	if q.K < 0 {
+		return qerr.Invalid("K must be non-negative, got %d", q.K)
+	}
+	switch q.Algorithm {
+	case AlgoLCA, AlgoPairwise, AlgoBlockwise, AlgoBranchAndBound,
+		AlgoBruteForce, AlgoRerankInexact:
+	default:
+		return qerr.Invalid("unknown algorithm %v", q.Algorithm)
+	}
+	if q.Threads < 0 {
+		q.Threads = 0
+	}
+	if q.FilterCapture {
+		if q.Algorithm != AlgoLCA {
+			return qerr.Invalid("capture-endpoint filtering supports AlgoLCA only, got %v", q.Algorithm)
+		}
+		if q.CaptureFF < 0 {
+			return qerr.Invalid("FF id %d out of range", q.CaptureFF)
+		}
+	} else {
+		q.CaptureFF = 0
+	}
+	return nil
+}
+
+// query converts the deprecated Options value to its Query equivalent.
+func (o Options) query() Query {
+	return Query{
+		K:             o.K,
+		Mode:          o.Mode,
+		Threads:       o.Threads,
+		Algorithm:     o.Algorithm,
+		UseLiftingLCA: o.UseLiftingLCA,
+		IncludePOs:    o.IncludePOs,
+	}
+}

@@ -1,0 +1,97 @@
+package cppr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fastcppr/model"
+)
+
+// TestParseAlgorithmRoundTrip pins that every accepted name parses to an
+// algorithm whose String() parses back to the same algorithm, and that
+// the canonical name round-trips exactly.
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	names := []string{"lca", "ours", "", "pairwise", "opentimer",
+		"blockwise", "happytimer", "bnb", "itimerc", "brute", "rerank"}
+	for _, name := range names {
+		a, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", name, err)
+		}
+		back, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q.String()=%q): %v", name, a.String(), err)
+		}
+		if back != a {
+			t.Errorf("round trip %q -> %v -> %q -> %v", name, a, a.String(), back)
+		}
+	}
+	// Every defined algorithm's canonical name must parse.
+	for _, a := range []Algorithm{AlgoLCA, AlgoPairwise, AlgoBlockwise,
+		AlgoBranchAndBound, AlgoBruteForce, AlgoRerankInexact} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%v.String()) = %v, %v", a, got, err)
+		}
+	}
+}
+
+// TestParseAlgorithmErrorListsAllNames is the regression test for the
+// "want ..." list: it must mention every accepted canonical name,
+// including rerank (once omitted).
+func TestParseAlgorithmErrorListsAllNames(t *testing.T) {
+	_, err := ParseAlgorithm("nope")
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	for _, name := range []string{"lca", "pairwise", "blockwise", "bnb", "brute", "rerank"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestQueryNormalize(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      Query
+		wantErr bool
+		want    Query // compared only when wantErr is false
+	}{
+		{name: "zero value", in: Query{}, want: Query{}},
+		{name: "negative K", in: Query{K: -1}, wantErr: true},
+		{name: "unknown algorithm", in: Query{Algorithm: Algorithm(42)}, wantErr: true},
+		{name: "negative threads clamped", in: Query{K: 1, Threads: -3},
+			want: Query{K: 1}},
+		{name: "ignored CaptureFF cleared", in: Query{K: 1, CaptureFF: 7},
+			want: Query{K: 1}},
+		{name: "capture filter kept", in: Query{K: 1, FilterCapture: true, CaptureFF: 7},
+			want: Query{K: 1, FilterCapture: true, CaptureFF: 7}},
+		{name: "capture filter on non-LCA",
+			in: Query{K: 1, Algorithm: AlgoPairwise, FilterCapture: true}, wantErr: true},
+		{name: "negative CaptureFF",
+			in: Query{K: 1, FilterCapture: true, CaptureFF: -1}, wantErr: true},
+		{name: "full query unchanged",
+			in:   Query{K: 9, Mode: model.Hold, Threads: 2, Algorithm: AlgoBlockwise, IncludePOs: true},
+			want: Query{K: 9, Mode: model.Hold, Threads: 2, Algorithm: AlgoBlockwise, IncludePOs: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := tc.in
+			err := q.Normalize()
+			if tc.wantErr {
+				if !errors.Is(err, ErrInvalidQuery) {
+					t.Fatalf("err = %v, want ErrInvalidQuery", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q != tc.want {
+				t.Errorf("normalized %+v, want %+v", q, tc.want)
+			}
+		})
+	}
+}

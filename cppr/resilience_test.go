@@ -24,10 +24,10 @@ const cancelLatencyBound = 2 * time.Second
 func TestWorkerPanicContained(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(3))
 	timer := NewTimer(d)
-	opts := Options{K: 20, Mode: model.Setup, Threads: 2}
+	opts := Query{K: 20, Mode: model.Setup, Threads: 2}
 
 	disarm := faultinject.Arm("core.worker", faultinject.Fault{Panic: "injected worker crash"})
-	_, err := timer.ReportCtx(context.Background(), opts)
+	_, err := timer.Run(context.Background(), opts)
 	disarm()
 	if err == nil {
 		t.Fatal("query with a panicking worker returned no error")
@@ -44,7 +44,7 @@ func TestWorkerPanicContained(t *testing.T) {
 	}
 
 	// The Timer must be reusable after a contained panic.
-	rep, err := timer.ReportCtx(context.Background(), opts)
+	rep, err := timer.Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("query after contained panic: %v", err)
 	}
@@ -58,16 +58,16 @@ func TestWorkerPanicContained(t *testing.T) {
 func TestPairwisePanicContained(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(3))
 	timer := NewTimer(d)
-	opts := Options{K: 10, Mode: model.Setup, Threads: 2, Algorithm: AlgoPairwise}
+	opts := Query{K: 10, Mode: model.Setup, Threads: 2, Algorithm: AlgoPairwise}
 
 	disarm := faultinject.Arm("baseline.pairwise.worker", faultinject.Fault{Panic: "injected pairwise crash"})
-	_, err := timer.ReportCtx(context.Background(), opts)
+	_, err := timer.Run(context.Background(), opts)
 	disarm()
 	var ie *InternalError
 	if !errors.As(err, &ie) {
 		t.Fatalf("err = %v (%T), want *InternalError", err, err)
 	}
-	if _, err := timer.ReportCtx(context.Background(), opts); err != nil {
+	if _, err := timer.Run(context.Background(), opts); err != nil {
 		t.Fatalf("pairwise query after contained panic: %v", err)
 	}
 }
@@ -78,13 +78,13 @@ func TestEndpointSweepPanicContained(t *testing.T) {
 	timer := NewTimer(d)
 
 	disarm := faultinject.Arm("core.endpoint.worker", faultinject.Fault{Panic: "injected sweep crash"})
-	_, err := timer.PostCPPRSlacksCtx(context.Background(), model.Setup, 2)
+	_, err := timer.PostCPPRSlacksCtx(context.Background(), Query{Mode: model.Setup, Threads: 2})
 	disarm()
 	var ie *InternalError
 	if !errors.As(err, &ie) {
 		t.Fatalf("err = %v (%T), want *InternalError", err, err)
 	}
-	out, err := timer.PostCPPRSlacksCtx(context.Background(), model.Setup, 2)
+	out, err := timer.PostCPPRSlacksCtx(context.Background(), Query{Mode: model.Setup, Threads: 2})
 	if err != nil || len(out) != d.NumFFs() {
 		t.Fatalf("sweep after contained panic: %d slacks, err %v", len(out), err)
 	}
@@ -96,14 +96,14 @@ func TestEndpointSweepPanicContained(t *testing.T) {
 func TestCancelMidQuery(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(3))
 	timer := NewTimer(d)
-	opts := Options{K: 50, Mode: model.Setup, Threads: 2}
+	opts := Query{K: 50, Mode: model.Setup, Threads: 2}
 
 	disarm := faultinject.Arm("core.worker", faultinject.Fault{Delay: 100 * time.Millisecond})
 	defer disarm()
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := timer.ReportCtx(ctx, opts)
+		_, err := timer.Run(ctx, opts)
 		errc <- err
 	}()
 	time.Sleep(20 * time.Millisecond) // let the query get in flight
@@ -125,7 +125,7 @@ func TestCancelMidQuery(t *testing.T) {
 	}
 
 	disarm()
-	rep, err := timer.ReportCtx(context.Background(), opts)
+	rep, err := timer.Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("query after cancellation: %v", err)
 	}
@@ -141,7 +141,7 @@ func TestDeadlineExceeded(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
 	<-ctx.Done() // deadline has certainly passed
-	_, err := timer.ReportCtx(ctx, Options{K: 5, Mode: model.Setup})
+	_, err := timer.Run(ctx, Query{K: 5, Mode: model.Setup})
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
 	}
@@ -157,10 +157,10 @@ func TestDeadlineExceeded(t *testing.T) {
 func TestBlockwiseDegradedPartial(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(2))
 	timer := NewTimer(d)
-	opts := Options{K: 10, Mode: model.Setup, Algorithm: AlgoBlockwise}
+	opts := Query{K: 10, Mode: model.Setup, Algorithm: AlgoBlockwise}
 	for after := 64; after <= 1<<20; after *= 2 {
 		disarm := faultinject.Arm("baseline.blockwise.budget", faultinject.Fault{After: after})
-		rep, err := timer.ReportCtx(context.Background(), opts)
+		rep, err := timer.Run(context.Background(), opts)
 		disarm()
 		if err != nil {
 			t.Fatalf("after=%d: budget exhaustion must degrade, not error: %v", after, err)
@@ -191,7 +191,7 @@ func TestBranchAndBoundDegradedPartial(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(2))
 	timer := NewTimer(d)
 	timer.SetBudgets(0, 10)
-	rep, err := timer.ReportCtx(context.Background(), Options{K: 1000, Mode: model.Setup, Algorithm: AlgoBranchAndBound})
+	rep, err := timer.Run(context.Background(), Query{K: 1000, Mode: model.Setup, Algorithm: AlgoBranchAndBound})
 	if err != nil {
 		t.Fatalf("budget exhaustion must degrade, not error: %v", err)
 	}
@@ -214,7 +214,7 @@ func TestBranchAndBoundDegradedPartial(t *testing.T) {
 func TestLCAReportNeverDegraded(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(2))
 	timer := NewTimer(d)
-	rep, err := timer.ReportCtx(context.Background(), Options{K: 100, Mode: model.Hold})
+	rep, err := timer.Run(context.Background(), Query{K: 100, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,16 +228,16 @@ func TestInvalidQueryErrors(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(0))
 	timer := NewTimer(d)
 	bg := context.Background()
-	if _, err := timer.ReportCtx(bg, Options{K: -1, Mode: model.Setup}); !errors.Is(err, ErrInvalidQuery) {
+	if _, err := timer.Run(bg, Query{K: -1, Mode: model.Setup}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("negative K: err = %v, want ErrInvalidQuery", err)
 	}
-	if _, err := timer.ReportCtx(bg, Options{K: 1, Algorithm: Algorithm(99)}); !errors.Is(err, ErrInvalidQuery) {
+	if _, err := timer.Run(bg, Query{K: 1, Algorithm: Algorithm(99)}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("unknown algorithm: err = %v, want ErrInvalidQuery", err)
 	}
-	if _, err := timer.EndpointReportCtx(bg, model.FFID(d.NumFFs()), Options{K: 1}); !errors.Is(err, ErrInvalidQuery) {
+	if _, err := timer.Run(bg, Query{K: 1, FilterCapture: true, CaptureFF: model.FFID(d.NumFFs())}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("out-of-range FF: err = %v, want ErrInvalidQuery", err)
 	}
-	if _, err := timer.EndpointReportCtx(bg, 0, Options{K: 1, Algorithm: AlgoPairwise}); !errors.Is(err, ErrInvalidQuery) {
+	if _, err := timer.Run(bg, Query{K: 1, Algorithm: AlgoPairwise, FilterCapture: true}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("non-LCA endpoint query: err = %v, want ErrInvalidQuery", err)
 	}
 }
@@ -266,10 +266,11 @@ func TestBudgetsSurviveRebuild(t *testing.T) {
 	if !found {
 		t.Fatal("no clock arc in generated design")
 	}
-	if timer.bw.MaxTuples != 123 {
-		t.Errorf("MaxTuples = %d after rebuild, want 123", timer.bw.MaxTuples)
+	s := timer.snap.Load()
+	if s.bw.MaxTuples != 123 {
+		t.Errorf("MaxTuples = %d after rebuild, want 123", s.bw.MaxTuples)
 	}
-	if timer.bb.MaxPops != 456 {
-		t.Errorf("MaxPops = %d after rebuild, want 456", timer.bb.MaxPops)
+	if s.bb.MaxPops != 456 {
+		t.Errorf("MaxPops = %d after rebuild, want 456", s.bb.MaxPops)
 	}
 }

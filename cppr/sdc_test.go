@@ -1,6 +1,7 @@
 package cppr
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestFalsePathsMatchFilteredOracle(t *testing.T) {
 				want = append(want, p.Slack)
 			}
 			sortTimes(want)
-			rep, err := timer.Report(Options{K: len(all) + 5, Mode: mode})
+			rep, err := timer.Run(context.Background(), Query{K: len(all) + 5, Mode: mode})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,12 +89,12 @@ func TestFalsePathsRejectBaselines(t *testing.T) {
 	if _, err := timer.ApplySDC(c); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := timer.Report(Options{K: 5, Mode: model.Setup, Algorithm: AlgoPairwise}); err == nil ||
+	if _, err := timer.Run(context.Background(), Query{K: 5, Mode: model.Setup, Algorithm: AlgoPairwise}); err == nil ||
 		!strings.Contains(err.Error(), "AlgoLCA only") {
 		t.Fatalf("err = %v", err)
 	}
 	// The LCA engine still works.
-	if _, err := timer.Report(Options{K: 5, Mode: model.Setup}); err != nil {
+	if _, err := timer.Run(context.Background(), Query{K: 5, Mode: model.Setup}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -101,11 +102,11 @@ func TestFalsePathsRejectBaselines(t *testing.T) {
 func TestApplySDCPeriodShiftsSetupOnly(t *testing.T) {
 	d := gen.MustGenerate(gen.SmallOracle(2))
 	timer := NewTimer(d)
-	before, err := timer.Report(Options{K: 5, Mode: model.Setup})
+	before, err := timer.Run(context.Background(), Query{K: 5, Mode: model.Setup})
 	if err != nil {
 		t.Fatal(err)
 	}
-	beforeHold, err := timer.Report(Options{K: 5, Mode: model.Hold})
+	beforeHold, err := timer.Run(context.Background(), Query{K: 5, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +115,11 @@ func TestApplySDCPeriodShiftsSetupOnly(t *testing.T) {
 	if _, err := timer.ApplySDC(c); err != nil {
 		t.Fatal(err)
 	}
-	after, err := timer.Report(Options{K: 5, Mode: model.Setup})
+	after, err := timer.Run(context.Background(), Query{K: 5, Mode: model.Setup})
 	if err != nil {
 		t.Fatal(err)
 	}
-	afterHold, err := timer.Report(Options{K: 5, Mode: model.Hold})
+	afterHold, err := timer.Run(context.Background(), Query{K: 5, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,10 @@ func TestPostCPPRSlacksHonorFalsePaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	post := timer.PostCPPRSlacks(model.Setup, 2)
+	post, err := timer.PostCPPRSlacksCtx(context.Background(), Query{Mode: model.Setup, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range post {
 		if nd.FFs[s.FF].Name == excluded && s.Valid {
 			t.Fatalf("excluded endpoint %s reported a slack", excluded)

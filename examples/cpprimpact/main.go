@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +37,10 @@ func main() {
 		// Conventional graph-based endpoint slacks (no pessimism
 		// removal) against the exact post-CPPR per-endpoint summary.
 		pre := timer.PreCPPRSlacks(mode)
-		post := timer.PostCPPRSlacks(mode, 0)
+		post, err := timer.PostCPPRSlacksCtx(context.Background(), cppr.Query{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
 		worstPre, preTNS, preViol := model.MaxTime, model.Time(0), 0
 		worstPost, postTNS, postViol := model.MaxTime, model.Time(0), 0
 		recovered := 0
@@ -65,7 +69,7 @@ func main() {
 			}
 		}
 
-		rep, err := timer.Report(cppr.Options{K: *k, Mode: mode})
+		rep, err := timer.Run(context.Background(), cppr.Query{K: *k, Mode: mode})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,11 +33,11 @@ func main() {
 	}
 	fmt.Printf("read back: %d pins, %d arcs, %d FFs, D=%d\n", d2.NumPins(), d2.NumArcs(), d2.NumFFs(), d2.Depth)
 
-	a, err := cppr.TopPaths(d, cppr.Options{K: 10, Mode: model.Hold})
+	a, err := cppr.NewTimer(d).Run(context.Background(), cppr.Query{K: 10, Mode: model.Hold})
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := cppr.TopPaths(d2, cppr.Options{K: 10, Mode: model.Hold})
+	b, err := cppr.NewTimer(d2).Run(context.Background(), cppr.Query{K: 10, Mode: model.Hold})
 	if err != nil {
 		log.Fatal(err)
 	}

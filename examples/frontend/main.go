@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,7 +41,7 @@ func main() {
 
 	timer := cppr.NewTimer(d)
 	for _, mode := range model.Modes {
-		rep, err := timer.Report(cppr.Options{K: 3, Mode: mode, IncludePOs: true})
+		rep, err := timer.Run(context.Background(), cppr.Query{K: 3, Mode: mode, IncludePOs: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func main() {
 
 	// What-if edit: slow the most critical setup path's first data arc
 	// and re-query incrementally.
-	rep, err := timer.Report(cppr.Options{K: 1, Mode: model.Setup})
+	rep, err := timer.Run(context.Background(), cppr.Query{K: 1, Mode: model.Setup})
 	if err != nil || len(rep.Paths) == 0 {
 		log.Fatal("no setup paths")
 	}
@@ -69,7 +70,7 @@ func main() {
 	if err := timer.SetArcDelay(from, to, model.Window{Early: old.Early, Late: old.Late + 300}); err != nil {
 		log.Fatal(err)
 	}
-	rep2, err := timer.Report(cppr.Options{K: 1, Mode: model.Setup})
+	rep2, err := timer.Run(context.Background(), cppr.Query{K: 1, Mode: model.Setup})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep, err := cppr.TopPaths(d, cppr.Options{K: 2, Mode: model.Setup})
+	rep, err := cppr.NewTimer(d).Run(context.Background(), cppr.Query{K: 2, Mode: model.Setup})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,7 +35,7 @@ func main() {
 
 	run := func(algo cppr.Algorithm, k, threads int) (time.Duration, bool) {
 		start := time.Now()
-		_, err := timer.Report(cppr.Options{K: k, Mode: model.Setup, Threads: threads, Algorithm: algo})
+		_, err := timer.Run(context.Background(), cppr.Query{K: k, Mode: model.Setup, Threads: threads, Algorithm: algo})
 		if err != nil {
 			return 0, false
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,7 +48,10 @@ func main() {
 
 	for _, mode := range model.Modes {
 		pre := timer.PreCPPRSlacks(mode)
-		post := timer.PostCPPRSlacks(mode, 0)
+		post, err := timer.PostCPPRSlacksCtx(context.Background(), cppr.Query{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
 		var preWNS, postWNS model.Time
 		preViol, postViol := 0, 0
 		for i := range pre {
@@ -68,7 +72,7 @@ func main() {
 			mode, preWNS, postWNS, preViol, postViol)
 	}
 
-	rep, err := timer.Report(cppr.Options{K: 10, Mode: model.Hold})
+	rep, err := timer.Run(context.Background(), cppr.Query{K: 10, Mode: model.Hold})
 	if err != nil {
 		log.Fatal(err)
 	}

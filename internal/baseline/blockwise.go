@@ -32,11 +32,17 @@ type Blockwise struct {
 
 // NewBlockwise preprocesses d.
 func NewBlockwise(d *model.Design, tree *lca.Tree) *Blockwise {
-	b := &Blockwise{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs)), MaxTuples: 200_000_000}
-	for i := range d.FFs {
-		b.ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
-	}
-	return b
+	return &Blockwise{d: d, tree: tree, ckq: ckqTable(d), MaxTuples: 200_000_000}
+}
+
+// Rebind returns a Blockwise over nd reusing b's clock-tree structures
+// and keeping its MaxTuples budget. nd must differ from b's design only
+// in non-clock arc delays.
+func (b *Blockwise) Rebind(nd *model.Design) *Blockwise {
+	nb := *b
+	nb.d = nd
+	nb.ckq = ckqTable(nd)
+	return &nb
 }
 
 // launchTuple is one entry of a pin's launch set: the extreme arrival at
@@ -165,7 +171,8 @@ func (b *Blockwise) TopPaths(ctx context.Context, mode model.Mode, k, threads in
 
 	// Root candidates: one per (launch, capture) pair — the all-pairs
 	// enumeration the paper's introduction criticises.
-	h := newBCandHeap()
+	h := getBCandHeap()
+	defer putBCandHeap(h)
 	for ci := range d.FFs {
 		if ci%cancelStride == 0 && canceled(done) {
 			return nil, false, qerr.FromContext(ctx)

@@ -43,11 +43,17 @@ var ErrBudget = qerr.ErrBudgetExhausted
 
 // NewBranchAndBound preprocesses d.
 func NewBranchAndBound(d *model.Design, tree *lca.Tree) *BranchAndBound {
-	b := &BranchAndBound{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs)), MaxPops: 100_000_000}
-	for i := range d.FFs {
-		b.ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
-	}
-	return b
+	return &BranchAndBound{d: d, tree: tree, ckq: ckqTable(d), MaxPops: 100_000_000}
+}
+
+// Rebind returns a BranchAndBound over nd reusing b's clock-tree
+// structures and keeping its MaxPops budget. nd must differ from b's
+// design only in non-clock arc delays.
+func (b *BranchAndBound) Rebind(nd *model.Design) *BranchAndBound {
+	nb := *b
+	nb.d = nd
+	nb.ckq = ckqTable(nd)
+	return &nb
 }
 
 // resOut is a resolved path in the global result selection, ordered by
@@ -82,7 +88,8 @@ func (b *BranchAndBound) TopPaths(ctx context.Context, mode model.Mode, k, threa
 	setup := mode == model.Setup
 
 	// One shared pre-CPPR arrival propagation over all launch points.
-	var prop sta.Prop
+	prop := sta.GetProp()
+	defer sta.PutProp(prop)
 	prop.Reset(d.NumPins())
 	for i := range d.FFs {
 		ff := &d.FFs[i]
@@ -125,7 +132,8 @@ func (b *BranchAndBound) TopPaths(ctx context.Context, mode model.Mode, k, threa
 	})
 
 	// Per-endpoint branch-and-bound searches.
-	h := newBCandHeap()
+	h := getBCandHeap()
+	defer putBCandHeap(h)
 	pops := 0
 search:
 	for ci := range d.FFs {

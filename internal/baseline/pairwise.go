@@ -28,11 +28,14 @@ type Pairwise struct {
 
 // NewPairwise preprocesses d for pairwise queries.
 func NewPairwise(d *model.Design, tree *lca.Tree) *Pairwise {
-	p := &Pairwise{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs))}
-	for i := range d.FFs {
-		p.ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
-	}
-	return p
+	return &Pairwise{d: d, tree: tree, ckq: ckqTable(d)}
+}
+
+// Rebind returns a Pairwise over nd reusing p's clock-tree structures.
+// nd must differ from p's design only in non-clock arc delays (the
+// precondition under which the shared lca.Tree stays valid).
+func (p *Pairwise) Rebind(nd *model.Design) *Pairwise {
+	return &Pairwise{d: nd, tree: p.tree, ckq: ckqTable(nd)}
 }
 
 // pwOut is a candidate in the global pairwise selection, ordered by
@@ -99,8 +102,12 @@ func (p *Pairwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int
 					fail(qerr.FromPanic("baseline.Pairwise", r))
 				}
 			}()
-			var prop sta.Prop
-			heap := newBCandHeap()
+			prop := sta.GetProp()
+			heap := getBCandHeap()
+			defer func() {
+				sta.PutProp(prop)
+				putBCandHeap(heap)
+			}()
 			for {
 				li := int(next.Add(1) - 1)
 				if li >= numJobs || canceled(done) {
@@ -109,9 +116,9 @@ func (p *Pairwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int
 				faultinject.Fire("baseline.pairwise.worker")
 				var outs []*pwOut
 				if li < len(p.d.FFs) {
-					outs = p.runLaunch(&prop, heap, li, k, setup, done)
+					outs = p.runLaunch(prop, heap, li, k, setup, done)
 				} else {
-					outs = p.runPIs(&prop, heap, li, k, setup, done)
+					outs = p.runPIs(prop, heap, li, k, setup, done)
 				}
 				mu.Lock()
 				for _, o := range outs {

@@ -27,11 +27,13 @@ type Rerank struct {
 
 // NewRerank preprocesses d.
 func NewRerank(d *model.Design, tree *lca.Tree) *Rerank {
-	r := &Rerank{d: d, tree: tree, ckq: make([]model.Window, len(d.FFs))}
-	for i := range d.FFs {
-		r.ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
-	}
-	return r
+	return &Rerank{d: d, tree: tree, ckq: ckqTable(d)}
+}
+
+// Rebind returns a Rerank over nd reusing r's clock-tree structures.
+// nd must differ from r's design only in non-clock arc delays.
+func (r *Rerank) Rebind(nd *model.Design) *Rerank {
+	return &Rerank{d: nd, tree: r.tree, ckq: ckqTable(nd)}
 }
 
 // TopPaths returns k paths selected by pre-CPPR slack and re-ranked by
@@ -56,7 +58,8 @@ func (r *Rerank) TopPathsCtx(ctx context.Context, mode model.Mode, k int) ([]mod
 	d := r.d
 	setup := mode == model.Setup
 
-	var prop sta.Prop
+	prop := sta.GetProp()
+	defer sta.PutProp(prop)
 	prop.Reset(d.NumPins())
 	for i := range d.FFs {
 		ff := &d.FFs[i]
@@ -90,7 +93,8 @@ func (r *Rerank) TopPathsCtx(ctx context.Context, mode model.Mode, k int) ([]mod
 
 	// One global search in pre-CPPR order, stopping after exactly k
 	// pops — the heuristic's defining (and flawed) step.
-	h := newBCandHeap()
+	h := getBCandHeap()
+	defer putBCandHeap(h)
 	for ci := range d.FFs {
 		if ci%cancelStride == 0 && canceled(done) {
 			return nil, qerr.FromContext(ctx)

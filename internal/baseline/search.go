@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync"
 
 	"fastcppr/internal/mmheap"
 	"fastcppr/model"
@@ -25,8 +26,30 @@ type bcand struct {
 	lau model.FFID
 }
 
-func newBCandHeap() *mmheap.KeyHeap[*bcand] {
-	return mmheap.NewKey[*bcand]()
+// bcandHeapPool recycles candidate heaps across queries, shared by all
+// baseline implementations: batch workloads run many searches back to
+// back and the heap's backing arrays are the per-search allocation that
+// matters after the propagation arrays (pooled in package sta).
+var bcandHeapPool = sync.Pool{New: func() any { return mmheap.NewKey[*bcand]() }}
+
+// getBCandHeap returns a pooled, Reset candidate heap.
+func getBCandHeap() *mmheap.KeyHeap[*bcand] {
+	h := bcandHeapPool.Get().(*mmheap.KeyHeap[*bcand])
+	h.Reset()
+	return h
+}
+
+// putBCandHeap recycles h. The caller must not touch h afterwards.
+func putBCandHeap(h *mmheap.KeyHeap[*bcand]) { bcandHeapPool.Put(h) }
+
+// ckqTable caches each FF's clock-to-Q delay window from d's arc table
+// (the model guarantees Q is driven exactly by the CK->Q arc).
+func ckqTable(d *model.Design) []model.Window {
+	ckq := make([]model.Window, len(d.FFs))
+	for i := range d.FFs {
+		ckq[i] = d.Arcs[d.FanIn(d.FFs[i].Output)[0]].Delay
+	}
+	return ckq
 }
 
 // cancelStride is how many iterations of a per-FF or per-pin loop run

@@ -100,6 +100,10 @@ type Engine struct {
 	tree *lca.Tree
 	// ckq caches each FF's clock-to-Q delay window.
 	ckq []model.Window
+	// pool recycles per-worker scratch (candidate heap plus a pooled
+	// propagation array pair) across queries, so batch workloads do not
+	// re-allocate O(n) scratch per query. Shared by Rebind copies.
+	pool *sync.Pool
 }
 
 // NewEngine preprocesses d (clock-tree structures, CK->Q lookup).
@@ -115,7 +119,23 @@ func NewEngineWithTree(d *model.Design, tree *lca.Tree) *Engine {
 		ai := d.FanIn(d.FFs[i].Output)[0]
 		e.ckq[i] = d.Arcs[ai].Delay
 	}
+	e.pool = &sync.Pool{New: func() any { return &scratch{heap: mmheap.NewKey[*cand]()} }}
 	return e
+}
+
+// Rebind returns an Engine over nd that reuses e's clock-tree structures
+// and scratch pool. nd must differ from e's design only in non-clock arc
+// delays — the precondition under which the shared lca.Tree (and its
+// per-level tables) stays valid. The CK->Q cache is rebuilt from nd's
+// arc table (CK->Q arcs launch from clock pins, so they are unchanged by
+// that precondition, but rebuilding keeps the cache self-consistent).
+func (e *Engine) Rebind(nd *model.Design) *Engine {
+	ne := &Engine{d: nd, tree: e.tree, ckq: make([]model.Window, len(nd.FFs)), pool: e.pool}
+	for i := range nd.FFs {
+		ai := nd.FanIn(nd.FFs[i].Output)[0]
+		ne.ckq[i] = nd.Arcs[ai].Delay
+	}
+	return ne
 }
 
 // Design returns the engine's design.
@@ -162,17 +182,32 @@ type jobOut struct {
 
 // scratch is per-worker reusable state. The candidate heap is the
 // key-specialised min-max heap: candidate slacks are its int64 keys.
-// done carries the query's cancellation signal into the job bodies so
-// their per-FF loops can bail out cooperatively.
+// The propagation arrays come from the sta package's shared pool; the
+// per-level group/credit tables live on the lca.Tree, computed once and
+// shared by all workers. done carries the query's cancellation signal
+// into the job bodies so their per-FF loops can bail out cooperatively.
 type scratch struct {
-	prop sta.Prop
-	lt   lca.LevelTables
+	prop *sta.Prop
 	heap *mmheap.KeyHeap[*cand]
 	done <-chan struct{}
 }
 
-func newScratch() *scratch {
-	return &scratch{heap: mmheap.NewKey[*cand]()}
+// getScratch checks a scratch out of the engine's pool and arms it with
+// the query's cancellation signal.
+func (e *Engine) getScratch(done <-chan struct{}) *scratch {
+	s := e.pool.Get().(*scratch)
+	s.prop = sta.GetProp()
+	s.done = done
+	return s
+}
+
+// putScratch returns s (and its pooled Prop) for reuse. Jobs Reset both
+// before use, so recycling after a contained panic is safe.
+func (e *Engine) putScratch(s *scratch) {
+	sta.PutProp(s.prop)
+	s.prop = nil
+	s.done = nil
+	e.pool.Put(s)
 }
 
 // canceled reports whether the query was canceled. Safe with a nil done.
@@ -284,8 +319,8 @@ func (e *Engine) TopPaths(ctx context.Context, opts Options) (Result, error) {
 					fail(qerr.FromPanic("core.TopPaths", r))
 				}
 			}()
-			s := newScratch()
-			s.done = done
+			s := e.getScratch(done)
+			defer e.putScratch(s)
 			for {
 				j := int(next.Add(1) - 1)
 				if j >= numJobs || s.canceled() {
@@ -300,7 +335,7 @@ func (e *Engine) TopPaths(ctx context.Context, opts Options) (Result, error) {
 					if global.PushBounded(o, k) {
 						// Materialise the pins while this worker's
 						// propagation arrays are still intact.
-						o.pins = e.reconstruct(&s.prop, o.chain)
+						o.pins = e.reconstruct(s.prop, o.chain)
 						reconstructed.Add(1)
 					}
 				}
@@ -434,8 +469,7 @@ func (e *Engine) jobSlack(setup bool, capArr model.Window, ff *model.FF, dAt mod
 // (Algorithm 2 for seeding/propagation, Algorithm 5 for top-k), then
 // filters to candidates whose exact LCA depth is d (Algorithm 6 line 5).
 func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	e.tree.FillLevel(d, &s.lt)
-	return e.runGroupedJob(s, j, k, opts, gb, func(o *jobOut) bool {
+	return e.runGroupedJob(s, e.tree.SharedLevel(d), j, k, opts, gb, func(o *jobOut) bool {
 		// Exact-depth filter: keep candidates whose LCA depth is d.
 		// Cross-domain pairs (no LCA) are handled by their own job.
 		lcaNode := e.lcaOf(o.launch, e.d.FFs[o.capFF].Clock, opts)
@@ -452,8 +486,7 @@ func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBo
 // FFs sit in different clock domains ("level -1"): grouping by domain
 // root, zero credit offset, zero credit.
 func (e *Engine) runCrossDomainJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	e.tree.FillCrossDomain(&s.lt)
-	return e.runGroupedJob(s, j, k, opts, gb, func(o *jobOut) bool {
+	return e.runGroupedJob(s, e.tree.SharedCrossDomain(), j, k, opts, gb, func(o *jobOut) bool {
 		if e.tree.SameDomain(o.launch, e.d.FFs[o.capFF].Clock) {
 			return false
 		}
@@ -464,11 +497,10 @@ func (e *Engine) runCrossDomainJob(s *scratch, j, k int, opts Options, gb *globa
 }
 
 // runGroupedJob is the shared grouped candidate generation: seeds Q pins
-// with the scratch tables' group and credit offset, propagates, builds
-// root candidates per capture FF, and runs the top-k pop/deviate loop
-// with the supplied filter. The caller must FillLevel/FillCrossDomain
-// s.lt first.
-func (e *Engine) runGroupedJob(s *scratch, job, k int, opts Options, gb *globalBound, keep func(*jobOut) bool) ([]*jobOut, int) {
+// with lt's group and credit offset, propagates, builds root candidates
+// per capture FF, and runs the top-k pop/deviate loop with the supplied
+// filter. lt is the tree's shared level table for the job (read-only).
+func (e *Engine) runGroupedJob(s *scratch, lt *lca.LevelTables, job, k int, opts Options, gb *globalBound, keep func(*jobOut) bool) ([]*jobOut, int) {
 	setup := opts.Mode == model.Setup
 	s.prop.Reset(e.d.NumPins())
 
@@ -482,12 +514,12 @@ func (e *Engine) runGroupedJob(s *scratch, job, k int, opts Options, gb *globalB
 			continue
 		}
 		ff := &e.d.FFs[i]
-		gid := e.tree.GroupOf(&s.lt, ff.Clock)
+		gid := e.tree.GroupOf(lt, ff.Clock)
 		if gid < 0 {
 			continue // depth(u) <= d
 		}
 		arr := e.tree.Arrival(ff.Clock)
-		credit := e.tree.CreditAtDOf(&s.lt, ff.Clock)
+		credit := e.tree.CreditAtDOf(lt, ff.Clock)
 		var qAt model.Time
 		if setup {
 			qAt = arr.Late + e.ckq[i].Late - credit
@@ -508,7 +540,7 @@ func (e *Engine) runGroupedJob(s *scratch, job, k int, opts Options, gb *globalB
 			continue
 		}
 		ff := &e.d.FFs[i]
-		gid := e.tree.GroupOf(&s.lt, ff.Clock)
+		gid := e.tree.GroupOf(lt, ff.Clock)
 		if gid < 0 {
 			continue
 		}
@@ -684,7 +716,7 @@ func (e *Engine) popAndFilter(s *scratch, job, k int, opts Options, gb *globalBo
 			job:    job,
 			idx:    i,
 			capFF:  p.capFF,
-			launch: e.launchOf(&s.prop, p),
+			launch: e.launchOf(s.prop, p),
 			chain:  p,
 		}
 		if keep(o) {
@@ -961,8 +993,8 @@ func (e *Engine) EndpointSlacksCPPR(ctx context.Context, opts Options) ([]Endpoi
 					fail(qerr.FromPanic("core.EndpointSlacksCPPR", r))
 				}
 			}()
-			s := newScratch()
-			s.done = done
+			s := e.getScratch(done)
+			defer e.putScratch(s)
 			slacks := make([]model.Time, len(e.d.FFs))
 			valid := make([]bool, len(e.d.FFs))
 			for {
@@ -1008,14 +1040,12 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 		valid[i] = false
 	}
 	s.prop.Reset(e.d.NumPins())
-	grouped := false
+	var lt *lca.LevelTables
 	switch spec.kind {
 	case jobLevel:
-		e.tree.FillLevel(spec.level, &s.lt)
-		grouped = true
+		lt = e.tree.SharedLevel(spec.level)
 	case jobCross:
-		e.tree.FillCrossDomain(&s.lt)
-		grouped = true
+		lt = e.tree.SharedCrossDomain()
 	case jobSelfLoop:
 		for i := range e.d.FFs {
 			if i%cancelStride == 0 && s.canceled() {
@@ -1050,7 +1080,7 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 			s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 		}
 	}
-	if grouped {
+	if lt != nil {
 		for i := range e.d.FFs {
 			if i%cancelStride == 0 && s.canceled() {
 				return
@@ -1059,12 +1089,12 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 				continue
 			}
 			ff := &e.d.FFs[i]
-			gid := e.tree.GroupOf(&s.lt, ff.Clock)
+			gid := e.tree.GroupOf(lt, ff.Clock)
 			if gid < 0 {
 				continue
 			}
 			arr := e.tree.Arrival(ff.Clock)
-			credit := e.tree.CreditAtDOf(&s.lt, ff.Clock)
+			credit := e.tree.CreditAtDOf(lt, ff.Clock)
 			var qAt model.Time
 			if setup {
 				qAt = arr.Late + e.ckq[i].Late - credit
@@ -1084,8 +1114,8 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 		}
 		ff := &e.d.FFs[i]
 		var tup sta.Tuple
-		if grouped {
-			gid := e.tree.GroupOf(&s.lt, ff.Clock)
+		if lt != nil {
+			gid := e.tree.GroupOf(lt, ff.Clock)
 			if gid < 0 {
 				continue
 			}

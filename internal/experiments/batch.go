@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// batchWorkload is the batch-executor benchmark workload: 8 independent
+// queries a signoff client would issue together (both modes at several
+// path counts). Identical to the BenchmarkBatch* workload at the repo
+// root so `go test -bench Batch` and `cpprbench -batch` measure the
+// same thing.
+func batchWorkload() []cppr.Query {
+	return []cppr.Query{
+		{K: 1, Mode: model.Setup},
+		{K: 10, Mode: model.Setup},
+		{K: 100, Mode: model.Setup},
+		{K: 1000, Mode: model.Setup},
+		{K: 1, Mode: model.Hold},
+		{K: 10, Mode: model.Hold},
+		{K: 100, Mode: model.Hold},
+		{K: 1000, Mode: model.Hold},
+	}
+}
+
+// BatchStats is the machine-readable result of the batch experiment,
+// committed as BENCH_batch.json for regression tracking.
+type BatchStats struct {
+	Host      string  `json:"host"`
+	Design    string  `json:"design"`
+	Scale     float64 `json:"scale"`
+	Queries   int     `json:"queries"`
+	Reps      int     `json:"reps"`
+	BatchNs   []int64 `json:"batch_ns"`
+	SerialNs  []int64 `json:"serial_ns"`
+	BestBatch int64   `json:"best_batch_ns"`
+	BestSer   int64   `json:"best_serial_ns"`
+	Speedup   float64 `json:"speedup"`
+	// QPS is the batch executor's aggregate throughput over its best
+	// repetition, in queries per second.
+	QPS float64 `json:"queries_per_second"`
+}
+
+// Batch measures Timer.ReportBatch against the same queries run
+// serially on the largest generated design and prints both, plus the
+// aggregate batch throughput. When cfg.JSONOut is set, the stats are
+// also encoded there as JSON.
+func Batch(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	const design = "leon2"
+	d, err := dc.get(design)
+	if err != nil {
+		return err
+	}
+	timer := cppr.NewTimer(d)
+	timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+	queries := batchWorkload()
+
+	const reps = 3
+	stats := BatchStats{
+		Host:    HostInfo(),
+		Design:  design,
+		Scale:   cfg.Scale,
+		Queries: len(queries),
+		Reps:    reps,
+	}
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		results, err := timer.ReportBatch(cfg.Ctx, queries)
+		if err != nil {
+			return err
+		}
+		for i := range results {
+			if results[i].Err != nil {
+				return results[i].Err
+			}
+		}
+		stats.BatchNs = append(stats.BatchNs, time.Since(start).Nanoseconds())
+
+		start = time.Now()
+		for _, q := range queries {
+			if _, err := timer.Run(cfg.Ctx, q); err != nil {
+				return err
+			}
+		}
+		stats.SerialNs = append(stats.SerialNs, time.Since(start).Nanoseconds())
+	}
+	best := func(ns []int64) int64 {
+		b := ns[0]
+		for _, v := range ns[1:] {
+			if v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	stats.BestBatch = best(stats.BatchNs)
+	stats.BestSer = best(stats.SerialNs)
+	stats.Speedup = float64(stats.BestSer) / float64(stats.BestBatch)
+	stats.QPS = float64(stats.Queries) / (float64(stats.BestBatch) / 1e9)
+
+	t := report.NewTable(
+		fmt.Sprintf("Batch executor: %d queries on %s (scale %g, best of %d)", stats.Queries, design, cfg.Scale, reps),
+		"mode", "runtime(s)", "queries/s")
+	t.Add("serial Run", fmt.Sprintf("%.3f", float64(stats.BestSer)/1e9),
+		fmt.Sprintf("%.2f", float64(stats.Queries)/(float64(stats.BestSer)/1e9)))
+	t.Add("ReportBatch", fmt.Sprintf("%.3f", float64(stats.BestBatch)/1e9),
+		fmt.Sprintf("%.2f", stats.QPS))
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "batch speedup over serial: %.2fx\n\n", stats.Speedup); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -54,6 +54,9 @@ type Config struct {
 	// for full-published-size capability runs where the baselines'
 	// #FF-proportional costs are prohibitive.
 	OursOnly bool
+	// JSONOut, when non-nil, receives a machine-readable encoding of
+	// experiments that produce one (currently Batch).
+	JSONOut io.Writer
 }
 
 // withDefaults fills zero fields.
@@ -172,7 +175,7 @@ func runCell(ctx context.Context, timer *cppr.Timer, algo cppr.Algorithm, k, thr
 	var qerr error
 	m := report.Measure(func() {
 		for _, mode := range model.Modes {
-			rep, err := timer.ReportCtx(ctx, cppr.Options{K: k, Mode: mode, Threads: threads, Algorithm: algo})
+			rep, err := timer.Run(ctx, cppr.Query{K: k, Mode: mode, Threads: threads, Algorithm: algo})
 			// A degraded report is the paper's MLE outcome: the budgeted
 			// search ran out before completing the exact top-k. A context
 			// error aborts the whole experiment instead.
@@ -388,7 +391,7 @@ func Accuracy(cfg Config) error {
 			for _, k := range []int{1, 10, 1000} {
 				want := slackKey(baseline.BruteForce(d, mode, k))
 				for _, algo := range cppr.Algorithms {
-					rep, err := timer.ReportCtx(cfg.Ctx, cppr.Options{K: k, Mode: mode, Algorithm: algo, Threads: 4})
+					rep, err := timer.Run(cfg.Ctx, cppr.Query{K: k, Mode: mode, Algorithm: algo, Threads: 4})
 					if err != nil {
 						return fmt.Errorf("accuracy: %s %v k=%d %v: %w", d.Name, mode, k, algo, err)
 					}
@@ -433,11 +436,11 @@ func RerankAblation(cfg Config) error {
 		timer := cppr.NewTimer(d)
 		for _, mode := range model.Modes {
 			for _, k := range []int{10, 100, 1000} {
-				exact, err := timer.ReportCtx(cfg.Ctx, cppr.Options{K: k, Mode: mode, Threads: cfg.Threads})
+				exact, err := timer.Run(cfg.Ctx, cppr.Query{K: k, Mode: mode, Threads: cfg.Threads})
 				if err != nil {
 					return err
 				}
-				heur, err := timer.ReportCtx(cfg.Ctx, cppr.Options{K: k, Mode: mode, Algorithm: cppr.AlgoRerankInexact})
+				heur, err := timer.Run(cfg.Ctx, cppr.Query{K: k, Mode: mode, Algorithm: cppr.AlgoRerankInexact})
 				if err != nil {
 					return err
 				}

@@ -11,6 +11,7 @@ package lca
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"fastcppr/model"
 )
@@ -44,6 +45,16 @@ type Tree struct {
 	tourNode  []int32
 	tourFirst []int32
 	sparse    [][]int32
+
+	// Shared per-level tables: the FillLevel/FillCrossDomain results
+	// depend only on the tree, so they are computed once on first use
+	// (per level) and then served read-only to every query against this
+	// Tree — concurrent and batched queries share them instead of
+	// refilling per-worker scratch. Indexed by level depth.
+	levelOnce []sync.Once
+	levelLT   []LevelTables
+	crossOnce sync.Once
+	crossLT   LevelTables
 }
 
 // New builds the clock-tree structures for d.
@@ -84,6 +95,14 @@ func New(d *model.Design) *Tree {
 	}
 	t.buildLifting()
 	t.buildEuler()
+	maxDepth := int32(0)
+	for _, dep := range t.depth {
+		if dep > maxDepth {
+			maxDepth = dep
+		}
+	}
+	t.levelOnce = make([]sync.Once, maxDepth+1)
+	t.levelLT = make([]LevelTables, maxDepth+1)
 	return t
 }
 
@@ -374,6 +393,22 @@ func (t *Tree) FillLevel(dep int, lt *LevelTables) {
 			lt.CreditAtD[i] = lt.CreditAtD[p]
 		}
 	}
+}
+
+// SharedLevel returns the level-dep tables, computed once per Tree on
+// first use and read-only afterwards, so concurrent queries share one
+// copy instead of filling per-worker scratch. dep must be in
+// [0, max clock-tree depth]; trading O(D * #clock pins) retained memory
+// for the refill work is what makes batched level jobs cheap.
+func (t *Tree) SharedLevel(dep int) *LevelTables {
+	t.levelOnce[dep].Do(func() { t.FillLevel(dep, &t.levelLT[dep]) })
+	return &t.levelLT[dep]
+}
+
+// SharedCrossDomain is SharedLevel for the cross-domain ("level -1") job.
+func (t *Tree) SharedCrossDomain() *LevelTables {
+	t.crossOnce.Do(func() { t.FillCrossDomain(&t.crossLT) })
+	return &t.crossLT
 }
 
 // GroupOf returns the compact group index (f_{d+1}) for clock pin u from

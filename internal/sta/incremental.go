@@ -47,6 +47,22 @@ func NewIncr(d *model.Design) *Incr {
 // reflects updates after each Flush.
 func (x *Incr) AT() *GBA { return x.gba }
 
+// CloneFor returns an independent Incr that continues x's arrival state
+// over design nd, which must be structurally identical to x's design
+// (same pins, arcs and topological order — e.g. a Design.CloneWithArcs
+// copy). The arrival windows are deep-copied; the topological index is
+// shared read-only. x must have no pending un-Flushed edits.
+func (x *Incr) CloneFor(nd *model.Design) *Incr {
+	nx := &Incr{
+		d:         nd,
+		gba:       x.gba.Clone(),
+		topoIndex: x.topoIndex,
+		queued:    make([]bool, nd.NumPins()),
+	}
+	nx.wl.idx = &nx.topoIndex
+	return nx
+}
+
 // Recomputed returns the number of pin recomputations performed since
 // construction — the measure of incremental work saved versus full
 // propagation.

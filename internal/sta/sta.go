@@ -6,6 +6,8 @@
 package sta
 
 import (
+	"sync"
+
 	"fastcppr/model"
 )
 
@@ -16,6 +18,17 @@ import (
 type GBA struct {
 	AT    []model.Window
 	Valid []bool
+}
+
+// Clone returns a deep copy of the arrival windows, detached from g.
+func (g *GBA) Clone() *GBA {
+	ng := &GBA{
+		AT:    make([]model.Window, len(g.AT)),
+		Valid: make([]bool, len(g.Valid)),
+	}
+	copy(ng.AT, g.AT)
+	copy(ng.Valid, g.Valid)
+	return ng
 }
 
 // Propagate computes graph-based arrival windows for every pin of d,
@@ -133,6 +146,24 @@ type Tuple struct {
 // different goroutines use separate Props.
 type Prop struct {
 	A, B []Tuple
+}
+
+// propPool recycles Prop scratch across queries: a propagation array pair
+// is O(#pins) and every candidate-generation job needs one, so batch
+// workloads would otherwise allocate (and fault in) tens of megabytes per
+// query. Pooled Props may retain arrays sized for a previous design;
+// Reset re-sizes on first use.
+var propPool = sync.Pool{New: func() any { return new(Prop) }}
+
+// GetProp returns a pooled Prop. The caller must Reset it before use and
+// should hand it back with PutProp when the job completes.
+func GetProp() *Prop { return propPool.Get().(*Prop) }
+
+// PutProp recycles p. The caller must not touch p afterwards.
+func PutProp(p *Prop) {
+	if p != nil {
+		propPool.Put(p)
+	}
 }
 
 // Reset prepares the arrays for a design with n pins, clearing previous

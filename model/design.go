@@ -166,6 +166,19 @@ type Design struct {
 	byName map[string]PinID
 }
 
+// CloneWithArcs returns a shallow copy of d whose Arcs table is freshly
+// allocated, so arc delays can be edited without mutating d. Arc delays
+// are the only mutable timing inputs; every other field (pins, FFs, CSR
+// adjacency, topological order, clock-tree arrays, name index) is
+// delay-independent and shared with d. Callers that edit clock-arc
+// delays must rebuild delay-derived caches (lca.Tree etc.) themselves.
+func (d *Design) CloneWithArcs() *Design {
+	nd := *d
+	nd.Arcs = make([]Arc, len(d.Arcs))
+	copy(nd.Arcs, d.Arcs)
+	return &nd
+}
+
 // NumPins returns the number of pins.
 func (d *Design) NumPins() int { return len(d.Pins) }
 

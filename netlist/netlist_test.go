@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -148,11 +149,11 @@ func TestFullFlowCPPR(t *testing.T) {
 	}
 	timer := cppr.NewTimer(d)
 	for _, mode := range model.Modes {
-		a, err := timer.Report(cppr.Options{K: 10, Mode: mode})
+		a, err := timer.Run(context.Background(), cppr.Query{K: 10, Mode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := timer.Report(cppr.Options{K: 10, Mode: mode, Algorithm: cppr.AlgoBruteForce})
+		b, err := timer.Run(context.Background(), cppr.Query{K: 10, Mode: mode, Algorithm: cppr.AlgoBruteForce})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"context"
 	"testing"
 
 	"fastcppr/cppr"
@@ -50,11 +51,11 @@ func TestRandomFullFlowOracle(t *testing.T) {
 		}
 		timer := cppr.NewTimer(d)
 		for _, mode := range model.Modes {
-			exact, err := timer.Report(cppr.Options{K: 30, Mode: mode, Algorithm: cppr.AlgoBruteForce})
+			exact, err := timer.Run(context.Background(), cppr.Query{K: 30, Mode: mode, Algorithm: cppr.AlgoBruteForce})
 			if err != nil {
 				t.Fatal(err)
 			}
-			ours, err := timer.Report(cppr.Options{K: 30, Mode: mode})
+			ours, err := timer.Run(context.Background(), cppr.Query{K: 30, Mode: mode})
 			if err != nil {
 				t.Fatal(err)
 			}

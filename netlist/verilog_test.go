@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestVerilogElaboratesAndTimes(t *testing.T) {
 	if d.NumFFs() != 2 || d.Depth != 4 {
 		t.Fatalf("FFs=%d D=%d", d.NumFFs(), d.Depth)
 	}
-	rep, err := cppr.TopPaths(d, cppr.Options{K: 5, Mode: model.Hold})
+	rep, err := cppr.NewTimer(d).Run(context.Background(), cppr.Query{K: 5, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestVerilogElaboratesAndTimes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep2, err := cppr.TopPaths(d2, cppr.Options{K: 5, Mode: model.Hold})
+	rep2, err := cppr.NewTimer(d2).Run(context.Background(), cppr.Query{K: 5, Mode: model.Hold})
 	if err != nil {
 		t.Fatal(err)
 	}
