@@ -35,6 +35,9 @@ func main() {
 		rerank   = flag.Bool("rerank", false, "run the inexact-rerank ablation")
 		batch    = flag.Bool("batch", false, "measure the batch query executor vs serial queries")
 		batchOut = flag.String("batchjson", "BENCH_batch.json", "with -batch, write machine-readable stats to this file (empty = none)")
+		mcmm     = flag.Bool("mcmm", false, "measure multi-corner fan-out vs serial per-corner analysis")
+		corners  = flag.Int("corners", 4, "with -mcmm, the corner count of the fan-out")
+		mcmmOut  = flag.String("mcmmjson", "BENCH_mcmm.json", "with -mcmm, write machine-readable stats to this file (empty = none)")
 		all      = flag.Bool("all", false, "run everything")
 		scale    = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs  = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -45,10 +48,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch = true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm = true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -66,6 +69,7 @@ func main() {
 		Scale:    *scale,
 		Threads:  *threads,
 		OursOnly: *oursOnly,
+		Corners:  *corners,
 	}
 	if *designs != "" {
 		cfg.Designs = strings.Split(*designs, ",")
@@ -94,17 +98,28 @@ func main() {
 	run("Table IV", *table4, experiments.Table4)
 	run("Figure 5", *fig5, experiments.Fig5)
 	run("Figure 6", *fig6, experiments.Fig6)
-	if *batch {
-		if *batchOut != "" {
-			f, err := os.Create(*batchOut)
+	// The batch and MCMM experiments each emit a machine-readable stats
+	// file; give each its own JSONOut so -all can produce both.
+	runJSON := func(name string, enabled bool, path string, f func(experiments.Config) error) {
+		if !enabled {
+			return
+		}
+		jcfg := cfg
+		if path != "" {
+			out, err := os.Create(path)
 			if err != nil {
 				fatal(err)
 			}
-			cfg.JSONOut = f
-			defer f.Close()
+			jcfg.JSONOut = out
+			defer out.Close()
 		}
-		run("Batch executor", true, experiments.Batch)
+		fmt.Printf("### %s\n\n", name)
+		if err := f(jcfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
 	}
+	runJSON("Batch executor", *batch, *batchOut, experiments.Batch)
+	runJSON("MCMM fan-out", *mcmm, *mcmmOut, experiments.MCMM)
 }
 
 func fatal(err error) {

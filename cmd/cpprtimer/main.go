@@ -6,6 +6,9 @@
 // With -mode both, setup and hold reports are printed back to back.
 // -paths controls how many of the k paths are printed in full detail
 // (all of them by default); -summary suppresses pin sequences.
+// -corners fast:0.85:0.9,slow:1.1:1.2 adds derated delay corners; every
+// report is then the worst-case merge over all corners, with the
+// critical corner named per path.
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"fastcppr/cppr"
 	"fastcppr/internal/report"
@@ -37,19 +42,20 @@ const (
 
 func main() {
 	var (
-		in      = flag.String("i", "", "input design file (tau format; required)")
-		k       = flag.Int("k", 10, "number of post-CPPR critical paths")
-		modeStr = flag.String("mode", "setup", "check mode: setup, hold or both")
-		algoStr = flag.String("algo", "lca", "algorithm: lca, pairwise, blockwise, bnb, brute")
-		threads = flag.Int("threads", 0, "worker threads (0 = all cores)")
-		nPaths  = flag.Int("paths", -1, "paths to print in detail (-1 = all)")
-		summary = flag.Bool("summary", false, "print the slack table only")
-		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
-		pos     = flag.Bool("pos", false, "include output checks at constrained primary outputs")
-		sdcPath = flag.String("sdc", "", "constraints file (create_clock, io delays, false paths)")
-		timeout = flag.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit; exit code 3)")
-		maxTup  = flag.Int("maxtuples", 0, "blockwise tuple budget (0 = default; exhaustion degrades, exit code 4)")
-		maxPops = flag.Int("maxpops", 0, "branch-and-bound pop budget (0 = default; exhaustion degrades, exit code 4)")
+		in        = flag.String("i", "", "input design file (tau format; required)")
+		k         = flag.Int("k", 10, "number of post-CPPR critical paths")
+		modeStr   = flag.String("mode", "setup", "check mode: setup, hold or both")
+		algoStr   = flag.String("algo", "lca", "algorithm: lca, pairwise, blockwise, bnb, brute")
+		threads   = flag.Int("threads", 0, "worker threads (0 = all cores)")
+		nPaths    = flag.Int("paths", -1, "paths to print in detail (-1 = all)")
+		summary   = flag.Bool("summary", false, "print the slack table only")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		pos       = flag.Bool("pos", false, "include output checks at constrained primary outputs")
+		sdcPath   = flag.String("sdc", "", "constraints file (create_clock, io delays, false paths)")
+		timeout   = flag.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit; exit code 3)")
+		maxTup    = flag.Int("maxtuples", 0, "blockwise tuple budget (0 = default; exhaustion degrades, exit code 4)")
+		maxPops   = flag.Int("maxpops", 0, "branch-and-bound pop budget (0 = default; exhaustion degrades, exit code 4)")
+		cornersIn = flag.String("corners", "", "extra delay corners as name:earlyScale:lateScale,... (e.g. fast:0.85:0.9,slow:1.1:1.2); reports merge all corners and name the critical one")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -77,9 +83,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *cornersIn != "" {
+		if d, err = addScaledCorners(d, *cornersIn); err != nil {
+			fatal(err)
+		}
+	}
 	if !*jsonOut {
-		fmt.Printf("design %s: %d pins, %d edges, %d FFs, clock-tree depth D=%d\n",
+		fmt.Printf("design %s: %d pins, %d edges, %d FFs, clock-tree depth D=%d",
 			d.Name, d.NumPins(), d.NumArcs(), d.NumFFs(), d.Depth)
+		if d.NumCorners() > 1 {
+			fmt.Printf(", corners %s", strings.Join(d.CornerNames(), ","))
+		}
+		fmt.Println()
 	}
 
 	timer := cppr.NewTimer(d)
@@ -102,9 +117,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var sel cppr.CornerMask
+	if d.NumCorners() > 1 {
+		sel = cppr.CornerAll
+	}
 	degraded := false
 	for _, mode := range modes {
-		rep, err := timer.Run(ctx, cppr.Query{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos})
+		rep, err := timer.Run(ctx, cppr.Query{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos, Corners: sel})
 		if err != nil {
 			fatal(err)
 		}
@@ -120,15 +139,28 @@ func main() {
 		}
 		fmt.Printf("\n== %s: top-%d post-CPPR paths via %s in %v ==\n",
 			mode, *k, algo, rep.Elapsed)
+		merged := len(rep.PathCorners) > 0
+		if merged {
+			fmt.Printf("worst over %d corners; critical corner: %s\n",
+				rep.Corners.Count(), d.CornerName(rep.Corner))
+		}
 
-		t := report.NewTable("", "#", "slack", "pre-CPPR", "credit", "LCA depth", "launch", "capture")
+		head := []string{"#", "slack", "pre-CPPR", "credit", "LCA depth", "launch", "capture"}
+		if merged {
+			head = append(head, "corner")
+		}
+		t := report.NewTable("", head...)
 		for i, p := range rep.Paths {
 			lau := "<PI>"
 			if p.LaunchFF != model.NoFF {
 				lau = d.FFs[p.LaunchFF].Name
 			}
-			t.Add(fmt.Sprint(i+1), p.Slack.String(), p.PreSlack.String(), p.Credit.String(),
-				fmt.Sprint(p.LCADepth), lau, d.FFs[p.CaptureFF].Name)
+			row := []string{fmt.Sprint(i + 1), p.Slack.String(), p.PreSlack.String(), p.Credit.String(),
+				fmt.Sprint(p.LCADepth), lau, d.FFs[p.CaptureFF].Name}
+			if merged {
+				row = append(row, d.CornerName(rep.PathCorners[i]))
+			}
+			t.Add(row...)
 		}
 		fmt.Print(t)
 
@@ -149,6 +181,30 @@ func main() {
 
 func readDesign(path string) (*model.Design, error) {
 	return tau.ReadFile(path)
+}
+
+// addScaledCorners parses the -corners spec ("name:earlyScale:lateScale"
+// entries, comma-separated) and appends one globally derated corner per
+// entry to the design.
+func addScaledCorners(d *model.Design, spec string) (*model.Design, error) {
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -corners entry %q (want name:earlyScale:lateScale)", entry)
+		}
+		early, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -corners entry %q: %v", entry, err)
+		}
+		late, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -corners entry %q: %v", entry, err)
+		}
+		if d, _, err = d.WithScaledCorner(parts[0], early, late); err != nil {
+			return nil, fmt.Errorf("-corners entry %q: %v", entry, err)
+		}
+	}
+	return d, nil
 }
 
 func fatal(err error) {

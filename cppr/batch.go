@@ -27,11 +27,19 @@ type BatchResult struct {
 // so a top-k report is the k-prefix of a larger one), and all runs draw
 // propagation and heap scratch from shared pools.
 //
-// Parallelism is managed by the executor: distinct query groups spread
-// over a bounded worker pool and each group's intra-query Threads is set
-// to its fair share, so a query's own Threads field is ignored. A
-// query-merged report carries the Stats and Elapsed of the shared
-// execution that served it.
+// A multi-corner query is fanned out into one execution unit per
+// selected corner; the units spread over the worker pool alongside
+// every other query's and the per-corner reports are merged into the
+// worst-corner answer afterwards. Corner units dedupe across queries
+// too: a single-corner query and a CornerAll query share the run for
+// the corner they have in common.
+//
+// Parallelism is managed by the executor: distinct execution units
+// spread over a bounded worker pool and each unit's intra-query Threads
+// is set to its fair share, so a query's own Threads field is ignored.
+// A query-merged report carries the Stats and Elapsed of the shared
+// execution that served it; a corner-merged report sums them over its
+// corner runs.
 //
 // The returned slice always has len(queries) entries, position-matched
 // to the input; a query that fails validation gets its Err set without
@@ -42,38 +50,53 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 	s := t.snap.Load()
 	results := make([]BatchResult, len(queries))
 
-	// Group queries that one execution can serve. The key is the
-	// normalized query with Threads erased (parallelism is the
-	// executor's) and, for AlgoLCA, K erased (served by the group's
-	// max-K run via prefix clipping).
+	// Group execution units one run can serve. A unit is one query at
+	// one corner; the key is the normalized single-corner query with
+	// Threads erased (parallelism is the executor's) and, for AlgoLCA,
+	// K erased (served by the group's max-K run via prefix clipping).
 	type group struct {
-		rep     Query // representative actually executed
-		members []int // indices into queries / results
+		rep    Query // representative actually executed
+		corner model.Corner
+		out    Report
+		err    error
+	}
+	// pending is one validated query awaiting assembly from its units.
+	type pending struct {
+		q       Query
+		corners []model.Corner
+		groups  []*group // unit serving corners[i]
 	}
 	index := make(map[Query]*group)
 	var order []*group
+	pend := make([]*pending, len(queries))
 	for i := range queries {
 		q := queries[i]
 		if err := s.normalize(&q); err != nil {
 			results[i].Err = err
 			continue
 		}
-		key := q
-		key.Threads = 0
-		if key.Algorithm == AlgoLCA {
-			key.K = 0
+		p := &pending{q: q, corners: q.Corners.List()}
+		for _, c := range p.corners {
+			key := q
+			key.Threads = 0
+			key.Corners = CornerBit(c)
+			if key.Algorithm == AlgoLCA {
+				key.K = 0
+			}
+			g, ok := index[key]
+			if !ok {
+				g = &group{rep: q, corner: c}
+				g.rep.Threads = 0
+				g.rep.Corners = CornerBit(c)
+				index[key] = g
+				order = append(order, g)
+			}
+			if q.K > g.rep.K {
+				g.rep.K = q.K
+			}
+			p.groups = append(p.groups, g)
 		}
-		g, ok := index[key]
-		if !ok {
-			g = &group{rep: q}
-			g.rep.Threads = 0
-			index[key] = g
-			order = append(order, g)
-		}
-		if q.K > g.rep.K {
-			g.rep.K = q.K
-		}
-		g.members = append(g.members, i)
+		pend[i] = p
 	}
 	if len(order) == 0 {
 		return results, qerr.FromContext(ctx)
@@ -103,18 +126,45 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 				g := order[gi]
 				q := g.rep
 				q.Threads = inner
-				rep, err := s.run(ctx, q)
-				for _, mi := range g.members {
-					if err != nil {
-						results[mi].Err = err
-						continue
-					}
-					results[mi].Report = clipReport(rep, queries[mi].K)
-				}
+				g.out, g.err = s.runOn(ctx, q, s.corner(g.corner))
 			}
 		}()
 	}
 	wg.Wait()
+
+	// Assemble each query's answer from its units: clip shared runs to
+	// the query's K, then merge across corners when more than one was
+	// selected.
+	for i, p := range pend {
+		if p == nil {
+			continue
+		}
+		reps := make([]Report, len(p.groups))
+		failed := false
+		for j, g := range p.groups {
+			if g.err != nil {
+				results[i].Err = g.err
+				failed = true
+				break
+			}
+			reps[j] = clipReport(g.out, p.q.K)
+		}
+		if failed {
+			continue
+		}
+		if len(reps) == 1 {
+			rep := reps[0]
+			rep.Corner, rep.Corners = p.corners[0], p.q.Corners
+			results[i].Report = rep
+			continue
+		}
+		rep := mergeCornerReports(p.corners, reps, p.q.K)
+		rep.Corners = p.q.Corners
+		for _, r := range reps {
+			rep.Elapsed += r.Elapsed
+		}
+		results[i].Report = rep
+	}
 	return results, qerr.FromContext(ctx)
 }
 

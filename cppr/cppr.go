@@ -140,6 +140,17 @@ type Report struct {
 	// top-k may contain paths this report misses. Always false for
 	// AlgoLCA, which has no failure budget.
 	Degraded bool
+	// Corner is the delay corner the report was computed at. For a
+	// multi-corner (merged) report it is the critical corner: the
+	// corner of Paths[0].
+	Corner model.Corner
+	// Corners is the query's corner selection after normalization (bit
+	// c set means corner c was analysed; see CornerMask).
+	Corners CornerMask
+	// PathCorners, set only on merged multi-corner reports, names the
+	// corner each path was computed at: Paths[i] is a path of corner
+	// PathCorners[i]. Nil on single-corner reports.
+	PathCorners []model.Corner
 }
 
 // WorstSlack returns the most critical reported slack.
@@ -150,12 +161,12 @@ func (r *Report) WorstSlack() (model.Time, bool) {
 	return r.Paths[0].Slack, true
 }
 
-// snapshot is one immutable epoch of a Timer: a design plus every
-// structure derived from its delays (clock-tree arrivals/credits, CK->Q
-// caches, graph-based arrival windows, false-path filter). Queries load
-// one snapshot pointer and use only it, so an edit that publishes a new
-// snapshot never perturbs queries in flight on the old one.
-type snapshot struct {
+// cornerEngines bundles every delay-derived structure of one corner:
+// the corner's design view, its clock tree (arrivals/credits on the
+// shared topology), the LCA engine, the four baselines, and the
+// graph-based arrival windows. One snapshot holds one of these per
+// corner it has analysed.
+type cornerEngines struct {
 	d      *model.Design
 	tree   *lca.Tree
 	engine *core.Engine
@@ -167,16 +178,54 @@ type snapshot struct {
 	// incrementally across edits. It is flushed before the snapshot is
 	// published and read-only afterwards: the "one early/late
 	// propagation per snapshot" all PreCPPRSlacks calls share.
-	pre    *sta.Incr
+	pre *sta.Incr
+}
+
+// lazyCorner is a build-on-first-use slot for one extra corner's
+// engines. Slots are safe for concurrent queries (sync.Once) and are
+// carried across snapshots whenever the edit cannot have invalidated
+// them, so a corner's engines are built at most once per invalidation.
+type lazyCorner struct {
+	once sync.Once
+	ce   *cornerEngines
+}
+
+// snapshot is one immutable epoch of a Timer: a design plus every
+// structure derived from its delays (clock-tree arrivals/credits, CK->Q
+// caches, graph-based arrival windows, false-path filter), at every
+// corner. Queries load one snapshot pointer and use only it, so an edit
+// that publishes a new snapshot never perturbs queries in flight on the
+// old one.
+//
+// Corner 0's engines are built eagerly (the single-corner fast path is
+// exactly the pre-MCMM snapshot); extra corners are built lazily on
+// first use, sharing the base corner's clock-tree shape (depth arrays,
+// jump tables, Euler tour, per-level grouping — topology only, computed
+// once) and propagation scratch pool. Only per-corner arrivals, credits
+// and CreditAtD tables are corner-private.
+type snapshot struct {
+	d      *model.Design
+	base   *cornerEngines
+	extra  []*lazyCorner // slot c-1 serves corner c
 	filter *sdc.Filter
 }
 
-// newSnapshot builds a full snapshot for d: clock tree, engines, and —
-// unless an up-to-date pre is handed over from the previous epoch — a
-// fresh graph-arrival propagation.
+// freshSlots allocates unbuilt lazy slots for n extra corners.
+func freshSlots(n int) []*lazyCorner {
+	out := make([]*lazyCorner, n)
+	for i := range out {
+		out[i] = &lazyCorner{}
+	}
+	return out
+}
+
+// newSnapshot builds a full snapshot for d: clock tree, base-corner
+// engines, lazy slots for the extra corners, and — unless an up-to-date
+// pre is handed over from the previous epoch — a fresh graph-arrival
+// propagation.
 func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pre *sta.Incr) *snapshot {
 	tree := lca.New(d)
-	s := &snapshot{
+	base := &cornerEngines{
 		d:      d,
 		tree:   tree,
 		engine: core.NewEngineWithTree(d, tree),
@@ -185,40 +234,92 @@ func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pr
 		bb:     baseline.NewBranchAndBound(d, tree),
 		rr:     baseline.NewRerank(d, tree),
 		pre:    pre,
-		filter: filter,
 	}
-	if s.pre == nil {
-		s.pre = sta.NewIncr(d)
+	if base.pre == nil {
+		base.pre = sta.NewIncr(d)
 	}
 	if maxTuples > 0 {
-		s.bw.MaxTuples = maxTuples
+		base.bw.MaxTuples = maxTuples
 	}
 	if maxPops > 0 {
-		s.bb.MaxPops = maxPops
+		base.bb.MaxPops = maxPops
 	}
-	return s
+	return &snapshot{
+		d:      d,
+		base:   base,
+		extra:  freshSlots(d.NumCorners() - 1),
+		filter: filter,
+	}
 }
 
 // rebind derives a snapshot for nd without rebuilding the clock tree.
-// Valid only when nd differs from s.d in non-clock arc delays: the
-// shared lca.Tree (arrivals, credits, level tables) and the budgets
-// carried inside the rebound baselines stay correct by construction.
+// Valid only when nd differs from s.d in non-clock base-corner arc
+// delays: the shared lca.Tree (arrivals, credits, level tables) and the
+// budgets carried inside the rebound baselines stay correct by
+// construction. Extra-corner slots are carried as-is — each corner is
+// an independent, complete delay set, so a base-corner edit cannot
+// invalidate it.
 func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr) *snapshot {
 	return &snapshot{
-		d:      nd,
-		tree:   s.tree,
-		engine: s.engine.Rebind(nd),
-		pw:     s.pw.Rebind(nd),
-		bw:     s.bw.Rebind(nd),
-		bb:     s.bb.Rebind(nd),
-		rr:     s.rr.Rebind(nd),
-		pre:    pre,
+		d: nd,
+		base: &cornerEngines{
+			d:      nd,
+			tree:   s.base.tree,
+			engine: s.base.engine.Rebind(nd),
+			pw:     s.base.pw.Rebind(nd),
+			bw:     s.base.bw.Rebind(nd),
+			bb:     s.base.bb.Rebind(nd),
+			rr:     s.base.rr.Rebind(nd),
+			pre:    pre,
+		},
+		extra:  s.extra,
 		filter: s.filter,
 	}
 }
 
+// numCorners returns the corner count of this snapshot's design.
+func (s *snapshot) numCorners() int { return 1 + len(s.extra) }
+
+// fullMask is the mask selecting every corner of the design.
+func (s *snapshot) fullMask() CornerMask {
+	if s.numCorners() >= 64 {
+		return CornerAll
+	}
+	return CornerBit(model.Corner(s.numCorners())) - 1
+}
+
+// corner returns corner c's engines, building them on first use. The
+// derived engines share the base corner's clock-tree shape and
+// propagation scratch pool; arrivals, credits and per-level credit
+// tables are recomputed from the corner's delay table.
+func (s *snapshot) corner(c model.Corner) *cornerEngines {
+	if c == model.BaseCorner {
+		return s.base
+	}
+	slot := s.extra[c-1]
+	slot.once.Do(func() {
+		view := s.d.View(c)
+		tree := s.base.tree.Derive(view)
+		ce := &cornerEngines{
+			d:      view,
+			tree:   tree,
+			engine: s.base.engine.Sibling(view, tree),
+			pw:     baseline.NewPairwise(view, tree),
+			bw:     baseline.NewBlockwise(view, tree),
+			bb:     baseline.NewBranchAndBound(view, tree),
+			rr:     baseline.NewRerank(view, tree),
+			pre:    sta.NewIncr(view),
+		}
+		ce.bw.MaxTuples = s.base.bw.MaxTuples
+		ce.bb.MaxPops = s.base.bb.MaxPops
+		slot.ce = ce
+	})
+	return slot.ce
+}
+
 // normalize validates q against this snapshot: Query.Normalize plus the
-// design-dependent checks (CaptureFF range, false-path filter support).
+// design-dependent checks (CaptureFF range, false-path filter support,
+// corner-mask range). CornerAll is clamped to the design's corners.
 func (s *snapshot) normalize(q *Query) error {
 	if err := q.Normalize(); err != nil {
 		return err
@@ -228,6 +329,11 @@ func (s *snapshot) normalize(q *Query) error {
 	}
 	if !s.filter.Empty() && q.Algorithm != AlgoLCA {
 		return qerr.Invalid("false-path constraints are supported by AlgoLCA only, got %v", q.Algorithm)
+	}
+	if q.Corners == CornerAll {
+		q.Corners = s.fullMask()
+	} else if bad := q.Corners &^ s.fullMask(); bad != 0 {
+		return qerr.Invalid("corner mask %#x selects corners beyond the design's %d", uint64(q.Corners), s.numCorners())
 	}
 	return nil
 }
@@ -252,9 +358,10 @@ func (s *snapshot) coreOpts(q Query) core.Options {
 	return copts
 }
 
-// run executes one normalized query against this snapshot, with the
-// panic containment and cancellation semantics documented on Timer.Run.
-func (s *snapshot) run(ctx context.Context, q Query) (rep Report, err error) {
+// runOn executes one normalized query against one corner's engines,
+// with the panic containment and cancellation semantics documented on
+// Timer.Run.
+func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines) (rep Report, err error) {
 	// Contain panics on the caller's goroutine too (single-threaded
 	// algorithms, reconstruction): one poisoned query must not crash a
 	// process serving many.
@@ -270,42 +377,72 @@ func (s *snapshot) run(ctx context.Context, q Query) (rep Report, err error) {
 	rep = Report{Algorithm: q.Algorithm}
 	switch q.Algorithm {
 	case AlgoLCA:
-		res, err := s.engine.TopPaths(ctx, s.coreOpts(q))
+		res, err := ce.engine.TopPaths(ctx, s.coreOpts(q))
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Stats = res.Paths, res.Stats
 	case AlgoPairwise:
-		paths, err := s.pw.TopPaths(ctx, q.Mode, q.K, q.Threads)
+		paths, err := ce.pw.TopPaths(ctx, q.Mode, q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
 	case AlgoBlockwise:
-		paths, degraded, err := s.bw.TopPaths(ctx, q.Mode, q.K, q.Threads)
+		paths, degraded, err := ce.bw.TopPaths(ctx, q.Mode, q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Degraded = paths, degraded
 	case AlgoBranchAndBound:
-		paths, degraded, err := s.bb.TopPaths(ctx, q.Mode, q.K, q.Threads)
+		paths, degraded, err := ce.bb.TopPaths(ctx, q.Mode, q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Degraded = paths, degraded
 	case AlgoBruteForce:
-		paths, err := baseline.BruteForceCtx(ctx, s.d, q.Mode, q.K)
+		paths, err := baseline.BruteForceCtx(ctx, ce.d, q.Mode, q.K)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
 	default: // AlgoRerankInexact; Normalize rejected everything else
-		paths, err := s.rr.TopPathsCtx(ctx, q.Mode, q.K)
+		paths, err := ce.rr.TopPathsCtx(ctx, q.Mode, q.K)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
 	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// run executes one normalized query: the single-corner fast path goes
+// straight to that corner's engines; a multi-corner query runs once per
+// selected corner and merges into the worst-corner report. The
+// per-corner runs are sequential here — ReportBatch is the entry point
+// that spreads corners over the worker pool.
+func (s *snapshot) run(ctx context.Context, q Query) (Report, error) {
+	if c, ok := q.Corners.single(); ok {
+		rep, err := s.runOn(ctx, q, s.corner(c))
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Corner, rep.Corners = c, q.Corners
+		return rep, nil
+	}
+	start := time.Now()
+	corners := q.Corners.List()
+	reps := make([]Report, len(corners))
+	for i, c := range corners {
+		r, err := s.runOn(ctx, q, s.corner(c))
+		if err != nil {
+			return Report{}, err
+		}
+		reps[i] = r
+	}
+	rep := mergeCornerReports(corners, reps, q.K)
+	rep.Corners = q.Corners
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -392,38 +529,58 @@ func (t *Timer) SetBudgets(maxTuples, maxPops int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := t.snap.Load()
-	ns := *s
+	nb := *s.base
 	if maxTuples > 0 {
-		ns.bw = s.bw.Rebind(s.d)
-		ns.bw.MaxTuples = maxTuples
+		nb.bw = s.base.bw.Rebind(s.d)
+		nb.bw.MaxTuples = maxTuples
 	}
 	if maxPops > 0 {
-		ns.bb = s.bb.Rebind(s.d)
-		ns.bb.MaxPops = maxPops
+		nb.bb = s.base.bb.Rebind(s.d)
+		nb.bb.MaxPops = maxPops
 	}
+	ns := *s
+	ns.base = &nb
+	// Extra-corner baselines copy the base budgets at build time, so
+	// already-built slots are stale: hand out fresh lazy slots.
+	ns.extra = freshSlots(len(s.extra))
 	t.snap.Store(&ns)
 }
 
-// EndpointSlack is a pre-CPPR graph-based slack at one FF's D pin.
+// EndpointSlack is an endpoint slack at one FF's D pin. Corner is the
+// delay corner the slack was computed at; for a multi-corner sweep it
+// is the critical corner of that endpoint.
 type EndpointSlack struct {
-	FF    model.FFID
-	Slack model.Time
-	Valid bool
+	FF     model.FFID
+	Slack  model.Time
+	Valid  bool
+	Corner model.Corner
 }
 
 // PreCPPRSlacks returns the conventional (pre-CPPR) graph-based endpoint
-// slacks for the mode — the numbers a timer without pessimism removal
-// would report, used to quantify removed pessimism. The arrival windows
-// are maintained incrementally across SetArcDelay edits and shared by
-// every query on the same snapshot.
+// slacks for the mode at the base corner — the numbers a timer without
+// pessimism removal would report, used to quantify removed pessimism.
+// The arrival windows are maintained incrementally across SetArcDelay
+// edits and shared by every query on the same snapshot.
 func (t *Timer) PreCPPRSlacks(mode model.Mode) []EndpointSlack {
+	out, _ := t.PreCPPRSlacksAt(model.BaseCorner, mode)
+	return out
+}
+
+// PreCPPRSlacksAt is PreCPPRSlacks at one delay corner. For extra
+// corners the arrival windows come from that corner's engines, built on
+// first use and cached on the snapshot.
+func (t *Timer) PreCPPRSlacksAt(c model.Corner, mode model.Mode) ([]EndpointSlack, error) {
 	s := t.snap.Load()
-	raw := sta.EndpointSlacks(s.d, s.pre.AT(), mode)
+	if c < 0 || int(c) >= s.numCorners() {
+		return nil, qerr.Invalid("corner %d out of range (design has %d corners)", int32(c), s.numCorners())
+	}
+	ce := s.corner(c)
+	raw := sta.EndpointSlacks(ce.d, ce.pre.AT(), mode)
 	out := make([]EndpointSlack, len(raw))
 	for i, sl := range raw {
-		out[i] = EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid}
+		out[i] = EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid, Corner: c}
 	}
-	return out
+	return out, nil
 }
 
 // SetArcDelay performs a what-if edit: it publishes a new snapshot whose
@@ -436,15 +593,40 @@ func (t *Timer) PreCPPRSlacks(mode model.Mode) []EndpointSlack {
 // Timer on the edited design; queries already in flight complete on the
 // pre-edit snapshot.
 func (t *Timer) SetArcDelay(from, to model.PinID, delay model.Window) error {
+	return t.SetArcDelayAt(model.BaseCorner, from, to, delay)
+}
+
+// SetArcDelayAt is SetArcDelay at one delay corner. Corners are
+// independent, complete delay sets: editing one corner never perturbs
+// the timing of any other, and only the edited corner's derived state
+// is invalidated (for an extra corner, its engines rebuild lazily on
+// the next query that selects it).
+func (t *Timer) SetArcDelayAt(c model.Corner, from, to model.PinID, delay model.Window) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := t.snap.Load()
+	if c < 0 || int(c) >= s.numCorners() {
+		return fmt.Errorf("cppr: corner %d out of range (design has %d corners)", int32(c), s.numCorners())
+	}
 	ai := s.d.ArcBetween(from, to)
 	if ai < 0 {
 		return fmt.Errorf("cppr: no arc %q -> %q", s.d.PinName(from), s.d.PinName(to))
 	}
+	if c != model.BaseCorner {
+		nd, err := s.d.WithArcDelayAt(c, ai, delay)
+		if err != nil {
+			return err
+		}
+		ns := *s
+		ns.d = nd
+		ns.extra = make([]*lazyCorner, len(s.extra))
+		copy(ns.extra, s.extra)
+		ns.extra[c-1] = &lazyCorner{}
+		t.snap.Store(&ns)
+		return nil
+	}
 	nd := s.d.CloneWithArcs()
-	pre := s.pre.CloneFor(nd)
+	pre := s.base.pre.CloneFor(nd)
 	if err := pre.SetArcDelay(ai, delay); err != nil {
 		return err
 	}
@@ -453,8 +635,10 @@ func (t *Timer) SetArcDelay(from, to model.PinID, delay model.Window) error {
 	if s.d.IsClockPin(from) {
 		// Clock arcs change arrivals/credits cached in the lca tree;
 		// CK->Q edits change the launch-delay caches inside each engine.
-		// Full rebuild on the edited design, preserving budgets.
-		ns = newSnapshot(nd, s.filter, s.bw.MaxTuples, s.bb.MaxPops, pre)
+		// Full rebuild on the edited design, preserving budgets. The
+		// fresh base tree has its own shape, so extra corners rebuild
+		// too rather than mixing shapes within one snapshot.
+		ns = newSnapshot(nd, s.filter, s.base.bw.MaxTuples, s.base.bb.MaxPops, pre)
 	} else {
 		ns = s.rebind(nd, pre)
 	}
@@ -474,7 +658,13 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.snap.Store(newSnapshot(nd, filt, s.bw.MaxTuples, s.bb.MaxPops, nil))
+	// Apply rebuilds the design through a Builder, which reorders the
+	// arc table; carry the corner delay tables over by arc remapping.
+	nd, err = model.WithCornersFrom(s.d, nd)
+	if err != nil {
+		return nil, err
+	}
+	t.snap.Store(newSnapshot(nd, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil))
 	return nd, nil
 }
 
@@ -490,9 +680,11 @@ func (t *Timer) PostCPPRSlacks(mode model.Mode, threads int) []EndpointSlack {
 // PostCPPRSlacksCtx computes the exact post-CPPR worst slack at every FF
 // endpoint in O(nD) — a full pessimism-removed signoff summary (compare
 // PreCPPRSlacks to quantify removed pessimism per endpoint). The query's
-// Mode, Threads and capture filter are honoured; K and Algorithm are
-// ignored (the sweep always runs on the LCA engine). Cancellation and
-// panic containment follow Run.
+// Mode, Threads, Corners and capture filter are honoured; K and
+// Algorithm are ignored (the sweep always runs on the LCA engine). A
+// multi-corner query sweeps every selected corner and merges to the
+// pointwise worst (minimum) slack per endpoint, recording each test's
+// critical corner. Cancellation and panic containment follow Run.
 func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, q Query) (out []EndpointSlack, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -504,13 +696,23 @@ func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, q Query) (out []EndpointS
 	if err := s.normalize(&q); err != nil {
 		return nil, err
 	}
-	raw, err := s.engine.EndpointSlacksCPPR(ctx, s.coreOpts(q))
-	if err != nil {
-		return nil, err
+	corners := q.Corners.List()
+	byCorner := make([][]sta.EndpointSlack, len(corners))
+	for i, c := range corners {
+		raw, err := s.corner(c).engine.EndpointSlacksCPPR(ctx, s.coreOpts(q))
+		if err != nil {
+			return nil, err
+		}
+		conv := make([]sta.EndpointSlack, len(raw))
+		for j, sl := range raw {
+			conv[j] = sta.EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid, Corner: c}
+		}
+		byCorner[i] = conv
 	}
-	out = make([]EndpointSlack, len(raw))
-	for i, sl := range raw {
-		out[i] = EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid}
+	merged := sta.MergeWorstSlacks(corners, byCorner)
+	out = make([]EndpointSlack, len(merged))
+	for i, sl := range merged {
+		out[i] = EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid, Corner: sl.Corner}
 	}
 	return out, nil
 }

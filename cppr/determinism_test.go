@@ -1,0 +1,99 @@
+package cppr_test
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/model"
+)
+
+// reportBytes serialises a report to its JSON form with the wall-time
+// field zeroed — the only field allowed to vary between identical runs.
+func reportBytes(t *testing.T, d *model.Design, rep cppr.Report, mode model.Mode, k int) []byte {
+	t.Helper()
+	rep.Elapsed = 0
+	var buf bytes.Buffer
+	if err := cppr.WriteJSON(&buf, d, &rep, mode, k); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunDeterministicJSON pins down the determinism contract: the same
+// query run twice, and run single-threaded versus with all cores, must
+// produce byte-identical JSON reports — slacks are fixed-point
+// picoseconds and every tie-break is by stable ids, so nothing may
+// depend on scheduling. Checked single- and multi-corner.
+func TestRunDeterministicJSON(t *testing.T) {
+	d := mcmmDesign(t, 600, 3)
+	timer := cppr.NewTimer(d)
+	ctx := context.Background()
+	threads := runtime.GOMAXPROCS(0)
+	if threads < 4 {
+		// Force a multi-worker run even on small CI boxes: determinism
+		// across worker counts is the property under test.
+		threads = 4
+	}
+	const k = 50
+	for _, corners := range []cppr.CornerMask{cppr.CornerBit(0), cppr.CornerAll} {
+		for _, mode := range model.Modes {
+			q1 := cppr.Query{K: k, Mode: mode, Threads: 1, Corners: corners}
+			qN := cppr.Query{K: k, Mode: mode, Threads: threads, Corners: corners}
+			runOnce := func(q cppr.Query) []byte {
+				rep, err := timer.Run(ctx, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return reportBytes(t, d, rep, mode, k)
+			}
+			a, b := runOnce(q1), runOnce(q1)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("corners %#x %v: two identical runs differ:\n%s\n---\n%s", uint64(corners), mode, a, b)
+			}
+			c := runOnce(qN)
+			if !bytes.Equal(a, c) {
+				t.Fatalf("corners %#x %v: Threads=1 and Threads=%d differ:\n%s\n---\n%s",
+					uint64(corners), mode, threads, a, c)
+			}
+		}
+	}
+}
+
+// TestBatchDeterministicJSON extends the contract to ReportBatch: a
+// batch of mixed single- and multi-corner queries serialises
+// byte-identically across repeated executions, regardless of how the
+// worker pool interleaves the shared execution units.
+func TestBatchDeterministicJSON(t *testing.T) {
+	d := mcmmDesign(t, 601, 3)
+	timer := cppr.NewTimer(d)
+	ctx := context.Background()
+	queries := []cppr.Query{
+		{K: 25, Mode: model.Setup, Corners: cppr.CornerAll},
+		{K: 10, Mode: model.Hold, Corners: cppr.CornerBit(1)},
+		{K: 25, Mode: model.Setup},
+		{K: 5, Mode: model.Hold, Corners: cppr.CornerBit(0) | cppr.CornerBit(2)},
+	}
+	snap := func() [][]byte {
+		results, err := timer.ReportBatch(ctx, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("query %d: %v", i, r.Err)
+			}
+			out[i] = reportBytes(t, d, r.Report, queries[i].Mode, queries[i].K)
+		}
+		return out
+	}
+	a, b := snap(), snap()
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("query %d: batch runs differ:\n%s\n---\n%s", i, a[i], b[i])
+		}
+	}
+}

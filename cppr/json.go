@@ -10,25 +10,34 @@ import (
 // PathJSON is the machine-readable form of one reported path. Times are
 // integer picoseconds (exact; no float rounding).
 type PathJSON struct {
-	Rank       int      `json:"rank"`
-	SlackPs    int64    `json:"slack_ps"`
-	PreSlackPs int64    `json:"pre_cppr_slack_ps"`
-	CreditPs   int64    `json:"cppr_credit_ps"`
-	LCADepth   int      `json:"lca_depth"`
-	Launch     string   `json:"launch"`  // FF instance, or PI pin name
-	Capture    string   `json:"capture"` // FF instance, or PO pin name
-	SelfLoop   bool     `json:"self_loop,omitempty"`
-	Pins       []string `json:"pins"`
+	Rank       int    `json:"rank"`
+	SlackPs    int64  `json:"slack_ps"`
+	PreSlackPs int64  `json:"pre_cppr_slack_ps"`
+	CreditPs   int64  `json:"cppr_credit_ps"`
+	LCADepth   int    `json:"lca_depth"`
+	Launch     string `json:"launch"`  // FF instance, or PI pin name
+	Capture    string `json:"capture"` // FF instance, or PO pin name
+	SelfLoop   bool   `json:"self_loop,omitempty"`
+	// Corner names the delay corner the path was computed at; set only
+	// in merged multi-corner reports.
+	Corner string   `json:"corner,omitempty"`
+	Pins   []string `json:"pins"`
 }
 
-// ReportJSON is the machine-readable form of a Report.
+// ReportJSON is the machine-readable form of a Report. The corner
+// fields are populated only for multi-corner analyses, so single-corner
+// output is byte-identical to the pre-MCMM format.
 type ReportJSON struct {
-	Design    string     `json:"design"`
-	Mode      string     `json:"mode"`
-	Algorithm string     `json:"algorithm"`
-	K         int        `json:"k"`
-	ElapsedUs int64      `json:"elapsed_us"`
-	Paths     []PathJSON `json:"paths"`
+	Design    string `json:"design"`
+	Mode      string `json:"mode"`
+	Algorithm string `json:"algorithm"`
+	K         int    `json:"k"`
+	ElapsedUs int64  `json:"elapsed_us"`
+	// Corners names the analysed delay corners, in corner-id order.
+	Corners []string `json:"corners,omitempty"`
+	// CriticalCorner names the corner of the worst reported path.
+	CriticalCorner string     `json:"critical_corner,omitempty"`
+	Paths          []PathJSON `json:"paths"`
 }
 
 // JSON converts the report into its serialisable form, resolving pin and
@@ -42,6 +51,14 @@ func (r *Report) JSON(d *model.Design, mode model.Mode, k int) ReportJSON {
 		ElapsedUs: r.Elapsed.Microseconds(),
 		Paths:     make([]PathJSON, len(r.Paths)),
 	}
+	if r.Corners.Count() > 1 {
+		corners := r.Corners.List()
+		out.Corners = make([]string, len(corners))
+		for i, c := range corners {
+			out.Corners[i] = d.CornerName(c)
+		}
+		out.CriticalCorner = d.CornerName(r.Corner)
+	}
 	for i, p := range r.Paths {
 		pj := PathJSON{
 			Rank:       i + 1,
@@ -51,6 +68,9 @@ func (r *Report) JSON(d *model.Design, mode model.Mode, k int) ReportJSON {
 			LCADepth:   p.LCADepth,
 			SelfLoop:   p.SelfLoop(),
 			Pins:       make([]string, len(p.Pins)),
+		}
+		if i < len(r.PathCorners) {
+			pj.Corner = d.CornerName(r.PathCorners[i])
 		}
 		if p.LaunchFF != model.NoFF {
 			pj.Launch = d.FFs[p.LaunchFF].Name

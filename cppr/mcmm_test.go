@@ -1,0 +1,264 @@
+package cppr_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/internal/difftest"
+	"fastcppr/model"
+)
+
+// mcmmDesign builds a seeded medium design with n jittered corners.
+func mcmmDesign(t *testing.T, seed int64, n int) *model.Design {
+	t.Helper()
+	d := gen.MustGenerate(gen.Medium(seed))
+	return difftest.WithJitteredCorners(t, d, n, seed)
+}
+
+// equalPaths compares two reported paths exactly: slack decomposition
+// and the full pin trace.
+func equalPaths(a, b model.Path) bool {
+	if a.Slack != b.Slack || a.PreSlack != b.PreSlack || a.Credit != b.Credit ||
+		a.LCADepth != b.LCADepth || a.LaunchFF != b.LaunchFF || a.CaptureFF != b.CaptureFF ||
+		len(a.Pins) != len(b.Pins) {
+		return false
+	}
+	for i := range a.Pins {
+		if a.Pins[i] != b.Pins[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMCMMOracleMatchesStandaloneTimers is the acceptance oracle for
+// the merged multi-corner report: running one multi-corner Timer with
+// Corners=CornerAll must reproduce, exactly, the pointwise merge of N
+// completely independent single-corner Timers each built on View(c) —
+// for both the top-k path report and the endpoint-slack sweep.
+func TestMCMMOracleMatchesStandaloneTimers(t *testing.T) {
+	const corners = 4
+	d := mcmmDesign(t, 500, corners)
+	multi := cppr.NewTimer(d)
+	standalone := make([]*cppr.Timer, corners)
+	for c := 0; c < corners; c++ {
+		standalone[c] = cppr.NewTimer(d.View(model.Corner(c)))
+	}
+	ctx := context.Background()
+
+	for _, mode := range model.Modes {
+		for _, k := range []int{1, 20} {
+			merged, err := multi.Run(ctx, cppr.Query{K: k, Mode: mode, Corners: cppr.CornerAll})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The oracle: per-corner top-k lists are ascending, and the
+			// merge resolves slack ties toward the lowest corner id, so
+			// the expected answer is the (slack, corner)-lexicographic
+			// k-prefix over all standalone reports.
+			type sc struct {
+				s model.Time
+				c model.Corner
+			}
+			var all []sc
+			for c := 0; c < corners; c++ {
+				rep, err := standalone[c].Run(ctx, cppr.Query{K: k, Mode: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range rep.Paths {
+					all = append(all, sc{p.Slack, model.Corner(c)})
+				}
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].s != all[j].s {
+					return all[i].s < all[j].s
+				}
+				return all[i].c < all[j].c
+			})
+			if len(all) > k {
+				all = all[:k]
+			}
+			if len(merged.Paths) != len(all) {
+				t.Fatalf("%v k=%d: merged %d paths, oracle %d", mode, k, len(merged.Paths), len(all))
+			}
+			if len(merged.PathCorners) != len(merged.Paths) {
+				t.Fatalf("%v k=%d: %d PathCorners for %d paths", mode, k, len(merged.PathCorners), len(merged.Paths))
+			}
+			for i := range all {
+				if merged.Paths[i].Slack != all[i].s || merged.PathCorners[i] != all[i].c {
+					t.Fatalf("%v k=%d rank %d: merged (%v, corner %d), oracle (%v, corner %d)",
+						mode, k, i, merged.Paths[i].Slack, merged.PathCorners[i], all[i].s, all[i].c)
+				}
+			}
+			if len(all) > 0 && merged.Corner != all[0].c {
+				t.Fatalf("%v k=%d: critical corner %d, oracle %d", mode, k, merged.Corner, all[0].c)
+			}
+		}
+
+		// Endpoint sweep: pointwise minimum per FF, valid at any corner,
+		// ties keeping the earliest corner.
+		got, err := multi.PostCPPRSlacksCtx(ctx, cppr.Query{Mode: mode, Corners: cppr.CornerAll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := make([][]cppr.EndpointSlack, corners)
+		for c := 0; c < corners; c++ {
+			per[c], err = standalone[c].PostCPPRSlacksCtx(ctx, cppr.Query{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range got {
+			want := cppr.EndpointSlack{FF: model.FFID(i)}
+			for c := 0; c < corners; c++ {
+				sl := per[c][i]
+				if sl.Valid && (!want.Valid || sl.Slack < want.Slack) {
+					want.Slack, want.Valid, want.Corner = sl.Slack, true, model.Corner(c)
+				}
+			}
+			if got[i] != want {
+				t.Fatalf("%v FF %d: merged %+v, oracle %+v", mode, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestMCMMBatchMatchesRun checks that ReportBatch's per-corner work
+// sharing is invisible: every query — single-corner, subset, CornerAll,
+// duplicates, mixed algorithms — gets exactly the report a standalone
+// Run would produce (modulo timing fields).
+func TestMCMMBatchMatchesRun(t *testing.T) {
+	d := mcmmDesign(t, 501, 3)
+	timer := cppr.NewTimer(d)
+	ctx := context.Background()
+	queries := []cppr.Query{
+		{K: 10, Mode: model.Setup, Corners: cppr.CornerAll},
+		{K: 3, Mode: model.Setup, Corners: cppr.CornerBit(1)},
+		{K: 10, Mode: model.Setup, Corners: cppr.CornerAll},
+		{K: 7, Mode: model.Hold, Corners: cppr.CornerBit(0) | cppr.CornerBit(2)},
+		{K: 5, Mode: model.Hold},
+		{K: 4, Mode: model.Setup, Algorithm: cppr.AlgoPairwise, Corners: cppr.CornerBit(2)},
+		{K: -1},
+	}
+	results, err := timer.ReportBatch(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[6].Err == nil {
+		t.Fatal("invalid query did not fail in batch")
+	}
+	for i, q := range queries[:6] {
+		if results[i].Err != nil {
+			t.Fatalf("query %d: %v", i, results[i].Err)
+		}
+		got := results[i].Report
+		want, err := timer.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Corner != want.Corner || got.Corners != want.Corners || got.Degraded != want.Degraded {
+			t.Fatalf("query %d: batch (corner %d, mask %#x), run (corner %d, mask %#x)",
+				i, got.Corner, uint64(got.Corners), want.Corner, uint64(want.Corners))
+		}
+		if len(got.Paths) != len(want.Paths) {
+			t.Fatalf("query %d: batch %d paths, run %d", i, len(got.Paths), len(want.Paths))
+		}
+		for j := range got.Paths {
+			if !equalPaths(got.Paths[j], want.Paths[j]) {
+				t.Fatalf("query %d rank %d: batch and run paths differ", i, j)
+			}
+		}
+		if len(got.PathCorners) != len(want.PathCorners) {
+			t.Fatalf("query %d: PathCorners %d vs %d", i, len(got.PathCorners), len(want.PathCorners))
+		}
+		for j := range got.PathCorners {
+			if got.PathCorners[j] != want.PathCorners[j] {
+				t.Fatalf("query %d rank %d: corner %d vs %d", i, j, got.PathCorners[j], want.PathCorners[j])
+			}
+		}
+	}
+}
+
+// TestSetArcDelayAtCornerIndependence checks the edit isolation
+// contract: an edit at one corner changes only that corner's timing,
+// and the edited corner matches a Timer built fresh on the edited
+// design.
+func TestSetArcDelayAtCornerIndependence(t *testing.T) {
+	d := mcmmDesign(t, 502, 3)
+	timer := cppr.NewTimer(d)
+	ctx := context.Background()
+
+	report := func(tm *cppr.Timer, c model.Corner) cppr.Report {
+		rep, err := tm.Run(ctx, cppr.Query{K: 10, Mode: model.Setup, Corners: cppr.CornerBit(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	same := func(a, b cppr.Report) bool {
+		if len(a.Paths) != len(b.Paths) {
+			return false
+		}
+		for i := range a.Paths {
+			if !equalPaths(a.Paths[i], b.Paths[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	before := []cppr.Report{report(timer, 0), report(timer, 1), report(timer, 2)}
+
+	// Pick a data arc on the critical path of corner 1 so the edit
+	// provably moves corner 1's numbers.
+	var from, to model.PinID
+	found := false
+	p := before[1].Paths[0]
+	for i := 0; i+1 < len(p.Pins); i++ {
+		if !d.IsClockPin(p.Pins[i]) {
+			from, to = p.Pins[i], p.Pins[i+1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no data arc on corner 1's critical path")
+	}
+	ai := d.ArcBetween(from, to)
+	old := d.ArcDelay(1, ai)
+	edited := model.Window{Early: old.Early + 400, Late: old.Late + 400}
+	if err := timer.SetArcDelayAt(1, from, to, edited); err != nil {
+		t.Fatal(err)
+	}
+
+	if !same(before[0], report(timer, 0)) || !same(before[2], report(timer, 2)) {
+		t.Fatal("corner 1 edit changed another corner's report")
+	}
+	after1 := report(timer, 1)
+	if same(before[1], after1) {
+		t.Fatal("corner 1 edit did not change corner 1's report")
+	}
+	nd, err := d.WithArcDelayAt(1, ai, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(after1, report(cppr.NewTimer(nd), 1)) {
+		t.Fatal("edited corner differs from a fresh Timer on the edited design")
+	}
+
+	// The reverse direction: a base-corner edit leaves extra corners
+	// untouched.
+	base := d.Arcs[ai].Delay
+	if err := timer.SetArcDelay(from, to, model.Window{Early: base.Early + 300, Late: base.Late + 350}); err != nil {
+		t.Fatal(err)
+	}
+	if !same(after1, report(timer, 1)) || !same(before[2], report(timer, 2)) {
+		t.Fatal("base-corner edit changed an extra corner's report")
+	}
+	if same(before[0], report(timer, 0)) {
+		t.Fatal("base-corner edit did not change the base report")
+	}
+}

@@ -34,11 +34,20 @@ type Query struct {
 	// all endpoints are analysed and CaptureFF is ignored.
 	FilterCapture bool
 	CaptureFF     model.FFID
+	// Corners selects the delay corners analysed, as a bitmask: bit c
+	// selects corner c (see CornerBit). The zero mask means corner 0
+	// only — the single-corner fast path — and CornerAll selects every
+	// corner of the design. A multi-corner query fans out per corner
+	// and merges into a worst-corner report: paths from all selected
+	// corners compete by post-CPPR slack and Report.PathCorners names
+	// the corner each reported path was computed at.
+	Corners CornerMask
 }
 
 // Normalize validates q and canonicalises it in place: negative Threads
-// is clamped to 0 (all cores) and an ignored CaptureFF is cleared so
-// equivalent queries compare equal. It returns an error matching
+// is clamped to 0 (all cores), a zero Corners mask becomes corner 0,
+// and an ignored CaptureFF is cleared so equivalent queries compare
+// equal. CornerAll is clamped to the design's corners at query time. It returns an error matching
 // ErrInvalidQuery for a negative K, an unknown Algorithm, or a capture
 // filter on an algorithm that cannot serve it. Range-checking CaptureFF
 // against the design happens at query time, not here.
@@ -54,6 +63,9 @@ func (q *Query) Normalize() error {
 	}
 	if q.Threads < 0 {
 		q.Threads = 0
+	}
+	if q.Corners == 0 {
+		q.Corners = CornerBit(model.BaseCorner)
 	}
 	if q.FilterCapture {
 		if q.Algorithm != AlgoLCA {

@@ -59,22 +59,28 @@ func TestQueryNormalize(t *testing.T) {
 		wantErr bool
 		want    Query // compared only when wantErr is false
 	}{
-		{name: "zero value", in: Query{}, want: Query{}},
+		{name: "zero value", in: Query{}, want: Query{Corners: CornerBit(0)}},
 		{name: "negative K", in: Query{K: -1}, wantErr: true},
 		{name: "unknown algorithm", in: Query{Algorithm: Algorithm(42)}, wantErr: true},
 		{name: "negative threads clamped", in: Query{K: 1, Threads: -3},
-			want: Query{K: 1}},
+			want: Query{K: 1, Corners: CornerBit(0)}},
 		{name: "ignored CaptureFF cleared", in: Query{K: 1, CaptureFF: 7},
-			want: Query{K: 1}},
+			want: Query{K: 1, Corners: CornerBit(0)}},
 		{name: "capture filter kept", in: Query{K: 1, FilterCapture: true, CaptureFF: 7},
-			want: Query{K: 1, FilterCapture: true, CaptureFF: 7}},
+			want: Query{K: 1, FilterCapture: true, CaptureFF: 7, Corners: CornerBit(0)}},
 		{name: "capture filter on non-LCA",
 			in: Query{K: 1, Algorithm: AlgoPairwise, FilterCapture: true}, wantErr: true},
 		{name: "negative CaptureFF",
 			in: Query{K: 1, FilterCapture: true, CaptureFF: -1}, wantErr: true},
 		{name: "full query unchanged",
 			in:   Query{K: 9, Mode: model.Hold, Threads: 2, Algorithm: AlgoBlockwise, IncludePOs: true},
-			want: Query{K: 9, Mode: model.Hold, Threads: 2, Algorithm: AlgoBlockwise, IncludePOs: true}},
+			want: Query{K: 9, Mode: model.Hold, Threads: 2, Algorithm: AlgoBlockwise, IncludePOs: true, Corners: CornerBit(0)}},
+		{name: "corner mask kept",
+			in:   Query{K: 1, Corners: CornerBit(2) | CornerBit(0)},
+			want: Query{K: 1, Corners: CornerBit(2) | CornerBit(0)}},
+		{name: "corner-all kept for query-time clamping",
+			in:   Query{K: 1, Corners: CornerAll},
+			want: Query{K: 1, Corners: CornerAll}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -267,10 +267,10 @@ func TestBudgetsSurviveRebuild(t *testing.T) {
 		t.Fatal("no clock arc in generated design")
 	}
 	s := timer.snap.Load()
-	if s.bw.MaxTuples != 123 {
-		t.Errorf("MaxTuples = %d after rebuild, want 123", s.bw.MaxTuples)
+	if s.base.bw.MaxTuples != 123 {
+		t.Errorf("MaxTuples = %d after rebuild, want 123", s.base.bw.MaxTuples)
 	}
-	if s.bb.MaxPops != 456 {
-		t.Errorf("MaxPops = %d after rebuild, want 456", s.bb.MaxPops)
+	if s.base.bb.MaxPops != 456 {
+		t.Errorf("MaxPops = %d after rebuild, want 456", s.base.bb.MaxPops)
 	}
 }

@@ -138,6 +138,21 @@ func (e *Engine) Rebind(nd *model.Design) *Engine {
 	return ne
 }
 
+// Sibling returns an Engine over nd using tree for its clock-tree
+// structures while sharing e's scratch pool. Unlike Rebind it accepts a
+// different delay corner: nd may differ from e's design in any arc
+// delay (clock arcs included) as long as tree matches nd — typically
+// tree is Derive'd from e's tree, so the corners share the clock-tree
+// shape and the engines share per-worker scratch across corner queries.
+func (e *Engine) Sibling(nd *model.Design, tree *lca.Tree) *Engine {
+	ne := &Engine{d: nd, tree: tree, ckq: make([]model.Window, len(nd.FFs)), pool: e.pool}
+	for i := range nd.FFs {
+		ai := nd.FanIn(nd.FFs[i].Output)[0]
+		ne.ckq[i] = nd.Arcs[ai].Delay
+	}
+	return ne
+}
+
 // Design returns the engine's design.
 func (e *Engine) Design() *model.Design { return e.d }
 

@@ -1,0 +1,117 @@
+package difftest
+
+import (
+	"context"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/liberty"
+	"fastcppr/model"
+	"fastcppr/netlist"
+)
+
+// requireCornersDiffer guards the battery against corner plumbing that
+// silently answers every query from the base corner: a jittered corner
+// must produce a different top slack than the base somewhere.
+func requireCornersDiffer(t *testing.T, timer *cppr.Timer, numCorners int) {
+	t.Helper()
+	base, err := timer.Run(context.Background(), cppr.Query{K: 1, Mode: model.Setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := model.Corner(1); int(c) < numCorners; c++ {
+		rep, err := timer.Run(context.Background(), cppr.Query{K: 1, Mode: model.Setup, Corners: cppr.CornerBit(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, _ := base.WorstSlack(); rep.Paths[0].Slack != b {
+			return
+		}
+	}
+	t.Fatal("every corner reports the base corner's worst slack — corner delays not reaching the engines?")
+}
+
+// algos is the exact-algorithm set every battery run compares: the
+// paper's algorithm first (the reference), then the three reimplemented
+// baselines.
+var algos = []cppr.Algorithm{cppr.AlgoLCA, cppr.AlgoPairwise, cppr.AlgoBlockwise, cppr.AlgoBranchAndBound}
+
+// TestBatteryMediumDesigns cross-checks all exact algorithms on seeded
+// medium random designs, at every corner of a three-corner MCMM setup,
+// through the public cppr API.
+func TestBatteryMediumDesigns(t *testing.T) {
+	seeds := []int64{300, 301, 302}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		d := gen.MustGenerate(gen.Medium(seed))
+		d = WithJitteredCorners(t, d, 3, seed)
+		timer := cppr.NewTimer(d)
+		requireCornersDiffer(t, timer, d.NumCorners())
+		for c := model.Corner(0); int(c) < d.NumCorners(); c++ {
+			for _, mode := range model.Modes {
+				for _, k := range []int{1, 25} {
+					CrossCheck(t, timer, cppr.Query{K: k, Mode: mode, Corners: cppr.CornerBit(c)}, algos...)
+				}
+				CheckEndpointSweep(t, timer, cppr.Query{Mode: mode, Corners: cppr.CornerBit(c)})
+			}
+		}
+		for _, mode := range model.Modes {
+			CheckEndpointSweep(t, timer, cppr.Query{Mode: mode, Corners: cppr.CornerAll})
+		}
+	}
+}
+
+// TestBatteryTinyDesignsVsBruteForce adds exhaustive enumeration to the
+// comparison set on oracle-sized designs, where every path can be
+// listed.
+func TestBatteryTinyDesignsVsBruteForce(t *testing.T) {
+	withBrute := append([]cppr.Algorithm{cppr.AlgoBruteForce}, algos...)
+	for _, seed := range []int64{70, 71, 72, 73} {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		d = WithJitteredCorners(t, d, 2, seed)
+		timer := cppr.NewTimer(d)
+		for c := model.Corner(0); int(c) < d.NumCorners(); c++ {
+			for _, mode := range model.Modes {
+				for _, k := range []int{1, 5, 50} {
+					CrossCheck(t, timer, cppr.Query{K: k, Mode: mode, Corners: cppr.CornerBit(c)}, withBrute...)
+				}
+			}
+		}
+	}
+}
+
+// TestBatteryNetlistFrontEnd runs the battery on designs that went
+// through the full front-end flow — random gate-level netlists
+// elaborated against per-corner derated libraries — so the differential
+// net also covers ElaborateCorners' arc binding.
+func TestBatteryNetlistFrontEnd(t *testing.T) {
+	fast := *liberty.Demo()
+	fast.DerateEarly, fast.DerateLate = 0.78, 1.02
+	slow := *liberty.Demo()
+	slow.DerateEarly, slow.DerateLate = 0.97, 1.31
+	for _, seed := range []int64{9, 10} {
+		n := netlist.Random(netlist.RandomSpec{
+			Seed: seed, FFs: 24, Gates: 90, ClockLevels: 3, Period: model.Ns(4),
+		})
+		d, err := n.ElaborateCorners(netlist.DefaultWireModel(),
+			netlist.CornerLib{Name: "typ", Lib: liberty.Demo()},
+			netlist.CornerLib{Name: "fast", Lib: &fast},
+			netlist.CornerLib{Name: "slow", Lib: &slow},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumCorners() != 3 {
+			t.Fatalf("elaborated %d corners, want 3", d.NumCorners())
+		}
+		timer := cppr.NewTimer(d)
+		for c := model.Corner(0); int(c) < d.NumCorners(); c++ {
+			for _, mode := range model.Modes {
+				CrossCheck(t, timer, cppr.Query{K: 10, Mode: mode, Corners: cppr.CornerBit(c)}, algos...)
+			}
+		}
+	}
+}

@@ -54,6 +54,9 @@ type Config struct {
 	// for full-published-size capability runs where the baselines'
 	// #FF-proportional costs are prohibitive.
 	OursOnly bool
+	// Corners is the corner count of the MCMM fan-out experiment
+	// (0 = 4). Extra corners are seeded per-arc jitters of the base.
+	Corners int
 	// JSONOut, when non-nil, receives a machine-readable encoding of
 	// experiments that produce one (currently Batch).
 	JSONOut io.Writer
@@ -75,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Ks) == 0 {
 		c.Ks = []int{1, 100, 10000}
+	}
+	if c.Corners == 0 {
+		c.Corners = 4
 	}
 	if c.Threads == 0 {
 		// The paper compares at 8 threads on a 40-core machine. On a

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/difftest"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// MCMMStats is the machine-readable result of the multi-corner fan-out
+// experiment, committed as BENCH_mcmm.json for regression tracking. The
+// headline Speedup compares ReportBatch's corner fan-out (per-corner
+// execution units deduplicated and K-prefix-merged across the workload,
+// all corners sharing one clock-tree/LCA substrate) against the serial
+// path: each query answered by Run's sequential corner loop.
+type MCMMStats struct {
+	Host    string  `json:"host"`
+	Design  string  `json:"design"`
+	Scale   float64 `json:"scale"`
+	Corners int     `json:"corners"`
+	Queries int     `json:"queries"`
+	Reps    int     `json:"reps"`
+	// BatchNs: one multi-corner Timer, ReportBatch over the workload
+	// with every query selecting CornerAll.
+	BatchNs []int64 `json:"batch_ns"`
+	// SerialNs: the same Timer and queries, each answered by Run —
+	// which evaluates corners one at a time with no sharing across
+	// queries or corners.
+	SerialNs []int64 `json:"serial_ns"`
+	// StandaloneNs: the pre-MCMM workflow — one independent
+	// single-corner Timer per corner (construction not measured), the
+	// workload run serially on each; the client merges afterwards.
+	StandaloneNs   []int64 `json:"standalone_ns"`
+	BestBatch      int64   `json:"best_batch_ns"`
+	BestSer        int64   `json:"best_serial_ns"`
+	BestStandalone int64   `json:"best_standalone_ns"`
+	// Speedup is best serial over best batch — the acceptance number.
+	Speedup           float64 `json:"speedup"`
+	StandaloneSpeedup float64 `json:"standalone_speedup"`
+	// QPS is the fan-out executor's aggregate throughput over its best
+	// repetition, counting user-visible (merged) queries per second.
+	QPS float64 `json:"queries_per_second"`
+}
+
+// mcmmCorners extends the preset design to n corners whose arc delays
+// are seeded per-arc jitters of the base corner, so every corner owns a
+// full delay table and genuinely different critical paths.
+func mcmmCorners(d *model.Design, n int) (*model.Design, error) {
+	for i := 1; i < n; i++ {
+		var err error
+		d, _, err = difftest.JitteredCorner(d, fmt.Sprintf("corner%d", i), int64(4000+i), 0.25)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// MCMM measures the multi-corner fan-out: the batch workload with every
+// query asking for all corners, answered three ways — ReportBatch on one
+// multi-corner Timer, serial Run on the same Timer, and the pre-MCMM
+// baseline of N independent single-corner Timers. When cfg.JSONOut is
+// set, the stats are also encoded there as JSON.
+func MCMM(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if cfg.Corners < 1 || cfg.Corners > model.MaxCorners {
+		return fmt.Errorf("mcmm: corner count %d out of range [1, %d]", cfg.Corners, model.MaxCorners)
+	}
+	dc := newDesignCache(cfg.Scale)
+	const design = "leon2"
+	base, err := dc.get(design)
+	if err != nil {
+		return err
+	}
+	d, err := mcmmCorners(base, cfg.Corners)
+	if err != nil {
+		return err
+	}
+
+	timer := cppr.NewTimer(d)
+	timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+	standalone := make([]*cppr.Timer, cfg.Corners)
+	for c := 0; c < cfg.Corners; c++ {
+		standalone[c] = cppr.NewTimer(d.View(model.Corner(c)))
+		standalone[c].SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+	}
+	queries := batchWorkload()
+	for i := range queries {
+		queries[i].Corners = cppr.CornerAll
+	}
+
+	const reps = 3
+	stats := MCMMStats{
+		Host:    HostInfo(),
+		Design:  design,
+		Scale:   cfg.Scale,
+		Corners: cfg.Corners,
+		Queries: len(queries),
+		Reps:    reps,
+	}
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		results, err := timer.ReportBatch(cfg.Ctx, queries)
+		if err != nil {
+			return err
+		}
+		for i := range results {
+			if results[i].Err != nil {
+				return results[i].Err
+			}
+		}
+		stats.BatchNs = append(stats.BatchNs, time.Since(start).Nanoseconds())
+
+		start = time.Now()
+		for _, q := range queries {
+			if _, err := timer.Run(cfg.Ctx, q); err != nil {
+				return err
+			}
+		}
+		stats.SerialNs = append(stats.SerialNs, time.Since(start).Nanoseconds())
+
+		start = time.Now()
+		for c := 0; c < cfg.Corners; c++ {
+			for _, q := range queries {
+				q.Corners = 0 // each standalone timer is single-corner
+				if _, err := standalone[c].Run(cfg.Ctx, q); err != nil {
+					return err
+				}
+			}
+		}
+		stats.StandaloneNs = append(stats.StandaloneNs, time.Since(start).Nanoseconds())
+	}
+	best := func(ns []int64) int64 {
+		b := ns[0]
+		for _, v := range ns[1:] {
+			if v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	stats.BestBatch = best(stats.BatchNs)
+	stats.BestSer = best(stats.SerialNs)
+	stats.BestStandalone = best(stats.StandaloneNs)
+	stats.Speedup = float64(stats.BestSer) / float64(stats.BestBatch)
+	stats.StandaloneSpeedup = float64(stats.BestStandalone) / float64(stats.BestBatch)
+	stats.QPS = float64(stats.Queries) / (float64(stats.BestBatch) / 1e9)
+
+	t := report.NewTable(
+		fmt.Sprintf("MCMM fan-out: %d queries × %d corners on %s (scale %g, best of %d)",
+			stats.Queries, stats.Corners, design, cfg.Scale, reps),
+		"mode", "runtime(s)", "queries/s")
+	t.Add("serial Run (corner loop)", fmt.Sprintf("%.3f", float64(stats.BestSer)/1e9),
+		fmt.Sprintf("%.2f", float64(stats.Queries)/(float64(stats.BestSer)/1e9)))
+	t.Add("standalone single-corner timers", fmt.Sprintf("%.3f", float64(stats.BestStandalone)/1e9),
+		fmt.Sprintf("%.2f", float64(stats.Queries)/(float64(stats.BestStandalone)/1e9)))
+	t.Add("ReportBatch fan-out", fmt.Sprintf("%.3f", float64(stats.BestBatch)/1e9),
+		fmt.Sprintf("%.2f", stats.QPS))
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "fan-out speedup over serial corners: %.2fx (over standalone timers: %.2fx)\n\n",
+		stats.Speedup, stats.StandaloneSpeedup); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

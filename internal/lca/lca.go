@@ -3,8 +3,17 @@
 // f_d(u), and lowest-common-ancestor queries via two interchangeable
 // implementations (binary lifting and Euler-tour RMQ).
 //
-// All structures are built once per design in O(n log n) and are
-// read-only afterwards, so they are safe for concurrent use by the
+// A Tree is split into two layers. The shape — compaction, parent/depth
+// arrays, domain ids, binary-lifting jump tables, the Euler tour with
+// its RMQ sparse table, and the per-level grouping f_{d+1} — depends
+// only on the clock-tree topology and is built once; every delay corner
+// of a design shares it (Derive). The overlay — arrival windows, CPPR
+// credits, and the per-level credit(f_d) tables — depends on the
+// corner's clock-arc delays and is recomputed per corner in O(#clock
+// pins).
+//
+// All structures are immutable once built (lazily built tables are
+// sync.Once-guarded), so they are safe for concurrent use by the
 // parallel per-level jobs.
 package lca
 
@@ -16,10 +25,10 @@ import (
 	"fastcppr/model"
 )
 
-// Tree holds the preprocessed clock tree of a design.
-type Tree struct {
-	d *model.Design
-
+// shape holds the delay-independent clock-tree structures: everything a
+// Tree needs except arrivals and credits. One shape is shared by the
+// Trees of every delay corner of a design.
+type shape struct {
 	// idx maps PinID -> compact clock-pin index (-1 for non-clock pins).
 	idx []int32
 	// pins maps compact index -> PinID, in topological (parent-first)
@@ -32,11 +41,6 @@ type Tree struct {
 	// across different roots have no answer (no shared clock path).
 	treeID []int32
 
-	// arrival[i] is the early/late clock arrival window of pins[i];
-	// credit[i] = arrival[i].Width() (the CPPR credit).
-	arrival []model.Window
-	credit  []model.Time
-
 	// up[j][i] is the 2^j-th ancestor of i (compact), or -1.
 	up [][]int32
 
@@ -46,11 +50,34 @@ type Tree struct {
 	tourFirst []int32
 	sparse    [][]int32
 
+	maxDepth int32
+
+	// group[dep] is the per-level node-grouping table f_{d+1} (the
+	// topology half of FillLevel), computed once on first use and shared
+	// by every corner's Tree. zeroCredit is the all-zero credit table of
+	// the cross-domain job, likewise corner-independent.
+	groupOnce  []sync.Once
+	group      [][]int32
+	zeroCredit []model.Time
+}
+
+// Tree holds the preprocessed clock tree of a design at one delay
+// corner: the shared shape plus this corner's arrival/credit overlay.
+type Tree struct {
+	d *model.Design
+	*shape
+
+	// arrival[i] is the early/late clock arrival window of pins[i];
+	// credit[i] = arrival[i].Width() (the CPPR credit).
+	arrival []model.Window
+	credit  []model.Time
+
 	// Shared per-level tables: the FillLevel/FillCrossDomain results
 	// depend only on the tree, so they are computed once on first use
 	// (per level) and then served read-only to every query against this
 	// Tree — concurrent and batched queries share them instead of
-	// refilling per-worker scratch. Indexed by level depth.
+	// refilling per-worker scratch. The Group half aliases the shape's
+	// corner-independent table; only CreditAtD is per-corner storage.
 	levelOnce []sync.Once
 	levelLT   []LevelTables
 	crossOnce sync.Once
@@ -59,58 +86,88 @@ type Tree struct {
 
 // New builds the clock-tree structures for d.
 func New(d *model.Design) *Tree {
-	t := &Tree{d: d}
+	s := &shape{}
 	n := d.NumPins()
-	t.idx = make([]int32, n)
-	for i := range t.idx {
-		t.idx[i] = -1
+	s.idx = make([]int32, n)
+	for i := range s.idx {
+		s.idx[i] = -1
 	}
 	// Compact pins in topological order so parents precede children.
 	for _, u := range d.Topo {
 		if d.IsClockPin(u) {
-			t.idx[u] = int32(len(t.pins))
-			t.pins = append(t.pins, u)
+			s.idx[u] = int32(len(s.pins))
+			s.pins = append(s.pins, u)
 		}
 	}
+	nc := len(s.pins)
+	s.parent = make([]int32, nc)
+	s.depth = make([]int32, nc)
+	s.treeID = make([]int32, nc)
+	for i, u := range s.pins {
+		if d.Pins[u].Kind == model.ClockRoot {
+			s.parent[i] = -1
+			s.depth[i] = 0
+			s.treeID[i] = int32(i)
+		} else {
+			p := s.idx[d.ClockParent[u]]
+			s.parent[i] = p
+			s.depth[i] = s.depth[p] + 1
+			s.treeID[i] = s.treeID[p]
+		}
+	}
+	s.buildLifting()
+	s.buildEuler()
+	for _, dep := range s.depth {
+		if dep > s.maxDepth {
+			s.maxDepth = dep
+		}
+	}
+	s.groupOnce = make([]sync.Once, s.maxDepth+1)
+	s.group = make([][]int32, s.maxDepth+1)
+	s.zeroCredit = make([]model.Time, nc)
+
+	t := &Tree{d: d, shape: s}
+	t.fillOverlay()
+	return t
+}
+
+// Derive returns a Tree for nd — the same clock-tree topology as t's
+// design at a different delay corner — sharing t's shape (compaction,
+// parent/depth, jump tables, Euler RMQ, per-level grouping) and
+// recomputing only the arrival/credit overlay from nd's arc delays.
+// nd must be a corner view of t's design (model.Design.View): identical
+// pins, arcs and clock-tree topology, delays free to differ.
+func (t *Tree) Derive(nd *model.Design) *Tree {
+	nt := &Tree{d: nd, shape: t.shape}
+	nt.fillOverlay()
+	return nt
+}
+
+// fillOverlay computes the per-corner arrival/credit tables from the
+// tree's design and resets the lazily built per-level credit tables.
+func (t *Tree) fillOverlay() {
+	d := t.d
 	nc := len(t.pins)
-	t.parent = make([]int32, nc)
-	t.depth = make([]int32, nc)
-	t.treeID = make([]int32, nc)
 	t.arrival = make([]model.Window, nc)
 	t.credit = make([]model.Time, nc)
 	for i, u := range t.pins {
 		if d.Pins[u].Kind == model.ClockRoot {
-			t.parent[i] = -1
-			t.depth[i] = 0
-			t.treeID[i] = int32(i)
 			t.arrival[i] = model.Window{}
 		} else {
-			p := t.idx[d.ClockParent[u]]
-			t.parent[i] = p
-			t.depth[i] = t.depth[p] + 1
-			t.treeID[i] = t.treeID[p]
+			p := t.parent[i]
 			t.arrival[i] = t.arrival[p].Add(d.Arcs[d.ClockParentArc[u]].Delay)
 		}
 		t.credit[i] = t.arrival[i].Width()
 	}
-	t.buildLifting()
-	t.buildEuler()
-	maxDepth := int32(0)
-	for _, dep := range t.depth {
-		if dep > maxDepth {
-			maxDepth = dep
-		}
-	}
-	t.levelOnce = make([]sync.Once, maxDepth+1)
-	t.levelLT = make([]LevelTables, maxDepth+1)
-	return t
+	t.levelOnce = make([]sync.Once, t.maxDepth+1)
+	t.levelLT = make([]LevelTables, t.maxDepth+1)
 }
 
 // buildLifting fills the binary-lifting ancestor tables.
-func (t *Tree) buildLifting() {
-	nc := len(t.pins)
+func (s *shape) buildLifting() {
+	nc := len(s.pins)
 	maxDepth := int32(0)
-	for _, dep := range t.depth {
+	for _, dep := range s.depth {
 		if dep > maxDepth {
 			maxDepth = dep
 		}
@@ -119,29 +176,29 @@ func (t *Tree) buildLifting() {
 	if maxDepth > 0 {
 		levels = bits.Len(uint(maxDepth)) // 2^(levels-1) <= maxDepth
 	}
-	t.up = make([][]int32, levels)
-	t.up[0] = t.parent
+	s.up = make([][]int32, levels)
+	s.up[0] = s.parent
 	for j := 1; j < levels; j++ {
-		t.up[j] = make([]int32, nc)
-		prev := t.up[j-1]
+		s.up[j] = make([]int32, nc)
+		prev := s.up[j-1]
 		for i := 0; i < nc; i++ {
 			if prev[i] < 0 {
-				t.up[j][i] = -1
+				s.up[j][i] = -1
 			} else {
-				t.up[j][i] = prev[prev[i]]
+				s.up[j][i] = prev[prev[i]]
 			}
 		}
 	}
 }
 
 // buildEuler constructs the Euler tour and its sparse min-table.
-func (t *Tree) buildEuler() {
-	nc := len(t.pins)
+func (s *shape) buildEuler() {
+	nc := len(s.pins)
 	// Children lists (compact).
 	childStart := make([]int32, nc+1)
 	for i := 0; i < nc; i++ {
-		if t.parent[i] >= 0 {
-			childStart[t.parent[i]+1]++
+		if s.parent[i] >= 0 {
+			childStart[s.parent[i]+1]++
 		}
 	}
 	for i := 0; i < nc; i++ {
@@ -150,16 +207,16 @@ func (t *Tree) buildEuler() {
 	children := make([]int32, nc-1+1) // nc-1 non-root nodes; +1 guards nc==0 edge
 	pos := make([]int32, nc)
 	for i := 0; i < nc; i++ {
-		if p := t.parent[i]; p >= 0 {
+		if p := s.parent[i]; p >= 0 {
 			children[childStart[p]+pos[p]] = int32(i)
 			pos[p]++
 		}
 	}
 
-	t.tourNode = make([]int32, 0, 2*nc-1)
-	t.tourFirst = make([]int32, nc)
-	for i := range t.tourFirst {
-		t.tourFirst[i] = -1
+	s.tourNode = make([]int32, 0, 2*nc-1)
+	s.tourFirst = make([]int32, nc)
+	for i := range s.tourFirst {
+		s.tourFirst[i] = -1
 	}
 	// Euler tours, one per domain root (roots have parent -1; compaction
 	// follows topological order so each root precedes its tree).
@@ -169,40 +226,40 @@ func (t *Tree) buildEuler() {
 	// the treeID check before the RMQ is consulted.
 	var build func(u int32)
 	build = func(u int32) {
-		t.tourFirst[u] = int32(len(t.tourNode))
-		t.tourNode = append(t.tourNode, u)
+		s.tourFirst[u] = int32(len(s.tourNode))
+		s.tourNode = append(s.tourNode, u)
 		for c := childStart[u]; c < childStart[u+1]; c++ {
 			build(children[c])
-			t.tourNode = append(t.tourNode, u)
+			s.tourNode = append(s.tourNode, u)
 		}
 	}
 	for i := 0; i < nc; i++ {
-		if t.parent[i] < 0 {
+		if s.parent[i] < 0 {
 			build(int32(i))
 		}
 	}
 
-	m := len(t.tourNode)
+	m := len(s.tourNode)
 	levels := 1
 	if m > 1 {
 		levels = bits.Len(uint(m)) // floor(log2(m)) + 1
 	}
-	t.sparse = make([][]int32, levels)
-	t.sparse[0] = t.tourNode
+	s.sparse = make([][]int32, levels)
+	s.sparse[0] = s.tourNode
 	for j := 1; j < levels; j++ {
 		span := 1 << j
 		row := make([]int32, m-span+1)
-		prev := t.sparse[j-1]
+		prev := s.sparse[j-1]
 		half := 1 << (j - 1)
 		for i := range row {
 			a, b := prev[i], prev[i+half]
-			if t.depth[a] <= t.depth[b] {
+			if s.depth[a] <= s.depth[b] {
 				row[i] = a
 			} else {
 				row[i] = b
 			}
 		}
-		t.sparse[j] = row
+		s.sparse[j] = row
 	}
 }
 
@@ -231,6 +288,10 @@ func (t *Tree) Arrival(u model.PinID) model.Window { return t.arrival[t.compact(
 
 // Credit returns the CPPR credit at u: at_late(u) - at_early(u).
 func (t *Tree) Credit(u model.PinID) model.Time { return t.credit[t.compact(u)] }
+
+// SharesShape reports whether o shares t's topology structures — the
+// property Derive establishes across the corners of a design.
+func (t *Tree) SharesShape(o *Tree) bool { return t.shape == o.shape }
 
 // AncestorAtDepth returns f_dep(u): the ancestor of u at depth dep.
 // It returns model.NoPin when dep exceeds u's depth.
@@ -339,11 +400,12 @@ func (t *Tree) NumDomains() int {
 type LevelTables struct {
 	// Group is the node-grouping key of the paper's Figure 3: the
 	// compact index of f_{d+1}(u) for pins with depth > d, and -1 for
-	// pins at depth <= d.
+	// pins at depth <= d. It depends only on the clock-tree topology,
+	// never on delays.
 	Group []int32
 	// CreditAtD is credit(f_d(u)) for pins with depth >= d; undefined
 	// (stale) for shallower pins — guarded by Group/depth checks at the
-	// call sites.
+	// call sites. It is the delay-dependent (per-corner) half.
 	CreditAtD []model.Time
 }
 
@@ -395,19 +457,63 @@ func (t *Tree) FillLevel(dep int, lt *LevelTables) {
 	}
 }
 
+// sharedGroup returns the corner-independent grouping table for level
+// dep, computing it once per shape on first use.
+func (s *shape) sharedGroup(dep int) []int32 {
+	s.groupOnce[dep].Do(func() {
+		nc := len(s.pins)
+		g := make([]int32, nc)
+		d32 := int32(dep)
+		for i := 0; i < nc; i++ {
+			switch dp := s.depth[i]; {
+			case dp <= d32:
+				g[i] = -1
+			case dp == d32+1:
+				g[i] = int32(i)
+			default:
+				g[i] = g[s.parent[i]]
+			}
+		}
+		s.group[dep] = g
+	})
+	return s.group[dep]
+}
+
 // SharedLevel returns the level-dep tables, computed once per Tree on
 // first use and read-only afterwards, so concurrent queries share one
-// copy instead of filling per-worker scratch. dep must be in
-// [0, max clock-tree depth]; trading O(D * #clock pins) retained memory
-// for the refill work is what makes batched level jobs cheap.
+// copy instead of filling per-worker scratch. The Group half is further
+// shared across every corner Tree derived from the same shape — only
+// the credit(f_d) half is per-corner. dep must be in [0, max clock-tree
+// depth]; trading O(D * #clock pins) retained memory for the refill
+// work is what makes batched level jobs cheap.
 func (t *Tree) SharedLevel(dep int) *LevelTables {
-	t.levelOnce[dep].Do(func() { t.FillLevel(dep, &t.levelLT[dep]) })
+	t.levelOnce[dep].Do(func() {
+		lt := &t.levelLT[dep]
+		lt.Group = t.sharedGroup(dep)
+		nc := len(t.pins)
+		lt.CreditAtD = make([]model.Time, nc)
+		d32 := int32(dep)
+		for i := 0; i < nc; i++ {
+			switch dp := t.depth[i]; {
+			case dp < d32:
+				// undefined; guarded by Group/depth checks at call sites
+			case dp == d32:
+				lt.CreditAtD[i] = t.credit[i]
+			default:
+				lt.CreditAtD[i] = lt.CreditAtD[t.parent[i]]
+			}
+		}
+	})
 	return &t.levelLT[dep]
 }
 
-// SharedCrossDomain is SharedLevel for the cross-domain ("level -1") job.
+// SharedCrossDomain is SharedLevel for the cross-domain ("level -1")
+// job. Both halves are corner-independent (group = domain root, credit
+// offset = 0), so the tables alias shape storage.
 func (t *Tree) SharedCrossDomain() *LevelTables {
-	t.crossOnce.Do(func() { t.FillCrossDomain(&t.crossLT) })
+	t.crossOnce.Do(func() {
+		t.crossLT = LevelTables{Group: t.treeID, CreditAtD: t.zeroCredit}
+	})
 	return &t.crossLT
 }
 

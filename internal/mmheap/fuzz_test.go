@@ -1,0 +1,132 @@
+package mmheap
+
+import (
+	"sort"
+	"testing"
+)
+
+// insertSorted keeps the reference model ordered.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// FuzzHeapAgainstReference drives the min-max heap with an operation
+// stream decoded from fuzz data and checks every result and invariant
+// against a sorted-slice reference model: Min/Max always equal the
+// reference ends, pops return the reference ends, and PushBounded
+// admits exactly the elements that belong to the bounded smallest set.
+func FuzzHeapAgainstReference(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 3, 1, 0, 0, 7, 2, 0})
+	f.Add([]byte{3, 1, 3, 2, 3, 3, 3, 4, 3, 5, 1, 0, 2, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := New(func(a, b int) bool { return a < b })
+		var ref []int
+		const bound = 5
+		for i := 0; i+1 < len(data); i += 2 {
+			op, val := data[i]%4, int(int8(data[i+1]))
+			switch op {
+			case 0:
+				h.Push(val)
+				ref = insertSorted(ref, val)
+			case 1:
+				got, ok := h.PopMin()
+				if ok != (len(ref) > 0) {
+					t.Fatalf("op %d: PopMin ok=%v with %d reference elements", i, ok, len(ref))
+				}
+				if ok {
+					if got != ref[0] {
+						t.Fatalf("op %d: PopMin = %d, want %d", i, got, ref[0])
+					}
+					ref = ref[1:]
+				}
+			case 2:
+				got, ok := h.PopMax()
+				if ok != (len(ref) > 0) {
+					t.Fatalf("op %d: PopMax ok=%v with %d reference elements", i, ok, len(ref))
+				}
+				if ok {
+					if got != ref[len(ref)-1] {
+						t.Fatalf("op %d: PopMax = %d, want %d", i, got, ref[len(ref)-1])
+					}
+					ref = ref[:len(ref)-1]
+				}
+			case 3:
+				kept := h.PushBounded(val, bound)
+				wantKept := len(ref) < bound || val < ref[len(ref)-1]
+				if kept != wantKept {
+					t.Fatalf("op %d: PushBounded(%d) kept=%v, want %v (ref %v)", i, val, kept, wantKept, ref)
+				}
+				if wantKept {
+					// Mirror the implementation: when plain Pushes have
+					// overfilled past the bound, maxes are evicted down
+					// to bound-1 BEFORE the insert — possibly evicting
+					// elements smaller than val.
+					for len(ref) >= bound {
+						ref = ref[:len(ref)-1]
+					}
+					ref = insertSorted(ref, val)
+				}
+			}
+			if h.Len() != len(ref) {
+				t.Fatalf("op %d: Len=%d, reference %d", i, h.Len(), len(ref))
+			}
+			mn, okMn := h.Min()
+			mx, okMx := h.Max()
+			if okMn != (len(ref) > 0) || okMx != (len(ref) > 0) {
+				t.Fatalf("op %d: Min/Max ok mismatch", i)
+			}
+			if len(ref) > 0 && (mn != ref[0] || mx != ref[len(ref)-1]) {
+				t.Fatalf("op %d: Min/Max = %d/%d, want %d/%d", i, mn, mx, ref[0], ref[len(ref)-1])
+			}
+		}
+	})
+}
+
+// FuzzKeyHeapAgainstReference is the same model check for the
+// cache-friendly int64-keyed variant used on the hot candidate paths.
+func FuzzKeyHeapAgainstReference(f *testing.F) {
+	f.Add([]byte{0, 9, 0, 1, 1, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewKey[int]()
+		var ref []int
+		for i := 0; i+1 < len(data); i += 2 {
+			op, val := data[i]%3, int(int8(data[i+1]))
+			switch op {
+			case 0:
+				h.Push(int64(val), val)
+				ref = insertSorted(ref, val)
+			case 1:
+				got, ok := h.PopMin()
+				if ok != (len(ref) > 0) {
+					t.Fatalf("op %d: PopMin ok=%v with %d reference elements", i, ok, len(ref))
+				}
+				if ok {
+					if got.K != int64(ref[0]) || got.V != ref[0] {
+						t.Fatalf("op %d: PopMin = %d/%d, want %d", i, got.K, got.V, ref[0])
+					}
+					ref = ref[1:]
+				}
+			case 2:
+				got, ok := h.PopMax()
+				if ok != (len(ref) > 0) {
+					t.Fatalf("op %d: PopMax ok=%v with %d reference elements", i, ok, len(ref))
+				}
+				if ok {
+					last := ref[len(ref)-1]
+					if got.K != int64(last) {
+						t.Fatalf("op %d: PopMax key = %d, want %d", i, got.K, last)
+					}
+					ref = ref[:len(ref)-1]
+				}
+			}
+			if h.Len() != len(ref) {
+				t.Fatalf("op %d: Len=%d, reference %d", i, h.Len(), len(ref))
+			}
+		}
+	})
+}

@@ -78,6 +78,39 @@ type EndpointSlack struct {
 	FF    model.FFID
 	Slack model.Time
 	Valid bool // false when no data path reaches the D pin
+	// Corner is the delay corner the slack was computed at. For a
+	// multi-corner merge (MergeWorstSlacks) it is the critical corner:
+	// the corner whose slack is the per-test minimum.
+	Corner model.Corner
+}
+
+// MergeWorstSlacks reduces per-corner endpoint-slack sweeps to the MCMM
+// signoff summary: the pointwise minimum slack over the corners, with
+// each test's critical corner recorded. All slices must be indexed
+// identically (one entry per FF); corners[i] names the corner of
+// byCorner[i]. An endpoint is valid in the merge when it is valid at
+// any corner. Ties keep the earliest corner in the list, making the
+// merge deterministic and independent of execution order.
+func MergeWorstSlacks(corners []model.Corner, byCorner [][]EndpointSlack) []EndpointSlack {
+	if len(byCorner) == 0 {
+		return nil
+	}
+	out := make([]EndpointSlack, len(byCorner[0]))
+	for i := range out {
+		out[i] = byCorner[0][i]
+		out[i].Corner = corners[0]
+	}
+	for ci := 1; ci < len(byCorner); ci++ {
+		for i, sl := range byCorner[ci] {
+			switch {
+			case !sl.Valid:
+			case !out[i].Valid || sl.Slack < out[i].Slack:
+				out[i] = sl
+				out[i].Corner = corners[ci]
+			}
+		}
+	}
+	return out
 }
 
 // EndpointSlacks computes graph-based pre-CPPR slacks at every FF D pin

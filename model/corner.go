@@ -1,0 +1,240 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Corner identifies a delay corner of a Design: one complete assignment
+// of early/late delay windows to every timing arc, modelling one
+// process/voltage/temperature point (multi-corner multi-mode analysis
+// runs every mode at every corner). Corner 0 is the base corner, whose
+// delays live directly in the Arcs table — the single-corner fast path
+// every pre-MCMM caller keeps using unchanged. Additional corners carry
+// full per-arc delay tables and share every delay-independent structure
+// (pins, FFs, adjacency, topological order, clock-tree topology) with
+// the base design.
+type Corner int32
+
+// BaseCorner is corner 0: the corner stored in Design.Arcs.
+const BaseCorner Corner = 0
+
+// MaxCorners bounds the number of corners a design may carry. The limit
+// exists because cppr queries select corners with a 64-bit mask.
+const MaxCorners = 64
+
+// CornerDelays is one extra delay corner: a name plus a complete
+// per-arc delay table indexed like Design.Arcs.
+type CornerDelays struct {
+	Name string
+	// Delay[ai] is the early/late delay of arc ai at this corner.
+	Delay []Window
+}
+
+// NumCorners returns the number of delay corners (>= 1; corner 0 is the
+// base corner).
+func (d *Design) NumCorners() int { return 1 + len(d.ExtraCorners) }
+
+// CornerName returns the name of corner c. The base corner reads as
+// "base" unless the design names it explicitly.
+func (d *Design) CornerName(c Corner) string {
+	if c == BaseCorner {
+		if d.BaseCornerName != "" {
+			return d.BaseCornerName
+		}
+		return "base"
+	}
+	if int(c) >= d.NumCorners() || c < 0 {
+		return fmt.Sprintf("Corner(%d)", int32(c))
+	}
+	return d.ExtraCorners[c-1].Name
+}
+
+// CornerNames returns the names of all corners, indexed by Corner.
+func (d *Design) CornerNames() []string {
+	out := make([]string, d.NumCorners())
+	for c := range out {
+		out[c] = d.CornerName(Corner(c))
+	}
+	return out
+}
+
+// CornerByName resolves a corner name (as reported by CornerName).
+func (d *Design) CornerByName(name string) (Corner, bool) {
+	for c := 0; c < d.NumCorners(); c++ {
+		if d.CornerName(Corner(c)) == name {
+			return Corner(c), true
+		}
+	}
+	return 0, false
+}
+
+// ArcDelay returns the delay window of arc ai at corner c.
+func (d *Design) ArcDelay(c Corner, ai int32) Window {
+	if c == BaseCorner {
+		return d.Arcs[ai].Delay
+	}
+	return d.ExtraCorners[c-1].Delay[ai]
+}
+
+// validCornerDelays checks a per-arc delay table against d.
+func (d *Design) validCornerDelays(name string, delay []Window) error {
+	if name == "" {
+		return fmt.Errorf("model: corner name must be non-empty")
+	}
+	if _, dup := d.CornerByName(name); dup {
+		return fmt.Errorf("model: duplicate corner name %q", name)
+	}
+	if d.NumCorners() >= MaxCorners {
+		return fmt.Errorf("model: design already has %d corners (max %d)", d.NumCorners(), MaxCorners)
+	}
+	if len(delay) != len(d.Arcs) {
+		return fmt.Errorf("model: corner %q has %d arc delays, design has %d arcs", name, len(delay), len(d.Arcs))
+	}
+	for ai, w := range delay {
+		if w.Early < 0 || w.Early > w.Late {
+			return fmt.Errorf("model: corner %q arc %d (%s -> %s) has invalid delay window %v",
+				name, ai, d.PinName(d.Arcs[ai].From), d.PinName(d.Arcs[ai].To), w)
+		}
+	}
+	return nil
+}
+
+// WithCorner returns a copy of d extended by one corner holding the
+// given per-arc delay table (indexed like d.Arcs; the table is cloned).
+// Every delay-independent structure is shared with d, which is never
+// mutated. Corners added later do not track subsequent edits to the
+// base corner — they are independent, complete delay sets.
+func (d *Design) WithCorner(name string, delay []Window) (*Design, Corner, error) {
+	if err := d.validCornerDelays(name, delay); err != nil {
+		return nil, 0, err
+	}
+	nd := *d
+	nd.ExtraCorners = make([]CornerDelays, len(d.ExtraCorners)+1)
+	copy(nd.ExtraCorners, d.ExtraCorners)
+	cd := CornerDelays{Name: name, Delay: make([]Window, len(delay))}
+	copy(cd.Delay, delay)
+	nd.ExtraCorners[len(d.ExtraCorners)] = cd
+	return &nd, Corner(len(nd.ExtraCorners)), nil
+}
+
+// WithDerivedCorner is WithCorner with the delay table derived arc by
+// arc from the base corner: derive is called with each arc index and
+// its base-corner window and returns the window at the new corner.
+func (d *Design) WithDerivedCorner(name string, derive func(ai int, base Window) Window) (*Design, Corner, error) {
+	delay := make([]Window, len(d.Arcs))
+	for ai := range d.Arcs {
+		delay[ai] = derive(ai, d.Arcs[ai].Delay)
+	}
+	return d.WithCorner(name, delay)
+}
+
+// WithScaledCorner appends a corner whose delays are the base corner's
+// scaled by earlyScale/lateScale (a global-derate PVT approximation;
+// 0 < earlyScale <= lateScale keeps windows valid). Scaled values are
+// rounded to whole picoseconds.
+func (d *Design) WithScaledCorner(name string, earlyScale, lateScale float64) (*Design, Corner, error) {
+	if earlyScale <= 0 || lateScale < earlyScale {
+		return nil, 0, fmt.Errorf("model: corner %q has invalid scales %g/%g (want 0 < early <= late)",
+			name, earlyScale, lateScale)
+	}
+	return d.WithDerivedCorner(name, func(_ int, base Window) Window {
+		return Window{
+			Early: Time(math.Round(float64(base.Early) * earlyScale)),
+			Late:  Time(math.Round(float64(base.Late) * lateScale)),
+		}
+	})
+}
+
+// WithArcDelayAt returns a copy of d with the delay of arc ai at
+// corner c replaced. Only corner c's table is cloned; every other
+// corner and all delay-independent structure is shared, and d itself is
+// never mutated. For the base corner use CloneWithArcs and edit the arc
+// directly (that path also feeds incremental arrival maintenance).
+func (d *Design) WithArcDelayAt(c Corner, ai int32, delay Window) (*Design, error) {
+	if c <= BaseCorner || int(c) >= d.NumCorners() {
+		return nil, fmt.Errorf("model: corner %d out of range (design has %d corners)", int32(c), d.NumCorners())
+	}
+	if ai < 0 || int(ai) >= len(d.Arcs) {
+		return nil, fmt.Errorf("model: arc index %d out of range", ai)
+	}
+	if delay.Early < 0 || delay.Early > delay.Late {
+		return nil, fmt.Errorf("model: invalid delay window %v", delay)
+	}
+	nd := *d
+	nd.ExtraCorners = make([]CornerDelays, len(d.ExtraCorners))
+	copy(nd.ExtraCorners, d.ExtraCorners)
+	cd := &nd.ExtraCorners[c-1]
+	table := make([]Window, len(cd.Delay))
+	copy(table, cd.Delay)
+	table[ai] = delay
+	cd.Delay = table
+	return &nd, nil
+}
+
+// View returns the design as seen at corner c: a design whose Arcs
+// table carries corner c's delays and whose every delay-independent
+// structure is shared with d. View(BaseCorner) is d itself — the
+// single-corner fast path has zero cost. Views are single-corner
+// designs (they carry no extra corners) and are what per-corner engines
+// are built on.
+func (d *Design) View(c Corner) *Design {
+	if c == BaseCorner {
+		return d
+	}
+	cd := &d.ExtraCorners[c-1]
+	nd := *d
+	nd.BaseCornerName = cd.Name
+	nd.ExtraCorners = nil
+	nd.Arcs = make([]Arc, len(d.Arcs))
+	for i := range d.Arcs {
+		nd.Arcs[i] = Arc{From: d.Arcs[i].From, To: d.Arcs[i].To, Delay: cd.Delay[i]}
+	}
+	return &nd
+}
+
+// WithCornersFrom returns a copy of nd carrying src's extra corners,
+// with each per-arc delay table remapped to nd's arc order (arcs are
+// matched by endpoint pins, resolved through pin names). It is used
+// when a transform that rebuilds a design — sdc application, for
+// example — reorders the arc table. nd must contain an arc for every
+// arc of src, between identically named pins.
+func WithCornersFrom(src, nd *Design) (*Design, error) {
+	if len(src.ExtraCorners) == 0 {
+		return nd, nil
+	}
+	if len(nd.Arcs) != len(src.Arcs) {
+		return nil, fmt.Errorf("model: cannot carry corners: %d arcs became %d", len(src.Arcs), len(nd.Arcs))
+	}
+	// remap[ai] is the src arc index matching nd arc ai.
+	remap := make([]int32, len(nd.Arcs))
+	for ai := range nd.Arcs {
+		a := &nd.Arcs[ai]
+		from, okF := src.PinByName(nd.PinName(a.From))
+		to, okT := src.PinByName(nd.PinName(a.To))
+		if !okF || !okT {
+			return nil, fmt.Errorf("model: cannot carry corners: arc %s -> %s has no source-design pins",
+				nd.PinName(a.From), nd.PinName(a.To))
+		}
+		si := src.ArcBetween(from, to)
+		if si < 0 {
+			return nil, fmt.Errorf("model: cannot carry corners: no source arc %s -> %s",
+				nd.PinName(a.From), nd.PinName(a.To))
+		}
+		remap[ai] = si
+	}
+	out := *nd
+	out.BaseCornerName = src.BaseCornerName
+	out.ExtraCorners = make([]CornerDelays, len(src.ExtraCorners))
+	for ci := range src.ExtraCorners {
+		cd := CornerDelays{
+			Name:  src.ExtraCorners[ci].Name,
+			Delay: make([]Window, len(nd.Arcs)),
+		}
+		for ai := range cd.Delay {
+			cd.Delay[ai] = src.ExtraCorners[ci].Delay[remap[ai]]
+		}
+		out.ExtraCorners[ci] = cd
+	}
+	return &out, nil
+}

@@ -1,0 +1,152 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// cornerTestDesign builds a small two-FF design for corner tests.
+func cornerTestDesign(t *testing.T) *Design {
+	t.Helper()
+	b := NewBuilder("corners", Ns(10))
+	root := b.AddClockRoot("clk")
+	buf := b.AddClockBuf("buf")
+	b.AddArc(root, buf, Window{Early: 100, Late: 120})
+	f1 := b.AddFF("f1", 20, 10, Window{Early: 50, Late: 60})
+	f2 := b.AddFF("f2", 20, 10, Window{Early: 50, Late: 60})
+	b.AddArc(buf, f1.Clock, Window{Early: 30, Late: 40})
+	b.AddArc(buf, f2.Clock, Window{Early: 35, Late: 45})
+	u := b.AddComb("u")
+	b.AddArc(f1.Q, u, Window{Early: 200, Late: 300})
+	b.AddArc(u, f2.D, Window{Early: 100, Late: 150})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWithScaledCornerAndView(t *testing.T) {
+	d := cornerTestDesign(t)
+	if got := d.NumCorners(); got != 1 {
+		t.Fatalf("base design has %d corners, want 1", got)
+	}
+	if got := d.CornerName(BaseCorner); got != "base" {
+		t.Fatalf("base corner name = %q", got)
+	}
+	nd, c, err := d.WithScaledCorner("slow", 1.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 || nd.NumCorners() != 2 {
+		t.Fatalf("corner id %d / %d corners, want 1 / 2", c, nd.NumCorners())
+	}
+	if got, ok := nd.CornerByName("slow"); !ok || got != c {
+		t.Fatalf("CornerByName(slow) = %d, %v", got, ok)
+	}
+	if len(d.ExtraCorners) != 0 {
+		t.Fatal("WithScaledCorner mutated the receiver")
+	}
+
+	// The base view is the design itself; the corner view rescales
+	// every arc delay and shares structure.
+	if nd.View(BaseCorner) != nd {
+		t.Fatal("View(BaseCorner) is not the fast path")
+	}
+	v := nd.View(c)
+	if v.NumCorners() != 1 || v.CornerName(BaseCorner) != "slow" {
+		t.Fatalf("view corners = %d name %q", v.NumCorners(), v.CornerName(BaseCorner))
+	}
+	for ai := range nd.Arcs {
+		base := nd.Arcs[ai].Delay
+		want := Window{Early: base.Early, Late: Time(math.Round(float64(base.Late) * 1.5))}
+		if v.Arcs[ai].Delay != want {
+			t.Fatalf("arc %d view delay %v, want %v", ai, v.Arcs[ai].Delay, want)
+		}
+		if nd.ArcDelay(c, int32(ai)) != want {
+			t.Fatalf("ArcDelay(%d, %d) = %v, want %v", c, ai, nd.ArcDelay(c, int32(ai)), want)
+		}
+	}
+	if &v.Pins[0] != &nd.Pins[0] || &v.Topo[0] != &nd.Topo[0] {
+		t.Fatal("view does not share delay-independent structure")
+	}
+}
+
+func TestWithCornerValidation(t *testing.T) {
+	d := cornerTestDesign(t)
+	if _, _, err := d.WithCorner("", make([]Window, len(d.Arcs))); err == nil {
+		t.Fatal("empty corner name accepted")
+	}
+	if _, _, err := d.WithCorner("short", make([]Window, 1)); err == nil {
+		t.Fatal("wrong-length delay table accepted")
+	}
+	bad := make([]Window, len(d.Arcs))
+	bad[0] = Window{Early: 10, Late: 5}
+	if _, _, err := d.WithCorner("inv", bad); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	nd, _, err := d.WithScaledCorner("fast", 0.8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nd.WithCorner("fast", make([]Window, len(d.Arcs))); err == nil {
+		t.Fatal("duplicate corner name accepted")
+	}
+	if _, _, err := d.WithScaledCorner("x", 1.2, 1.0); err == nil {
+		t.Fatal("inverted scales accepted")
+	}
+}
+
+func TestWithCornersFromRemapsArcOrder(t *testing.T) {
+	d := cornerTestDesign(t)
+	d, c, err := d.WithScaledCorner("slow", 1.1, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the design with a permuted arc table (CK->Q arcs first,
+	// as sdc.Apply does), then carry the corners over.
+	b := NewBuilder(d.Name, d.Period)
+	for _, p := range d.Pins {
+		switch p.Kind {
+		case ClockRoot:
+			b.AddClockRoot(p.Name)
+		case ClockBuf:
+			b.AddClockBuf(p.Name)
+		case Comb:
+			b.AddComb(p.Name)
+		}
+	}
+	for _, ff := range d.FFs {
+		ckq := d.Arcs[d.FanIn(ff.Output)[0]].Delay
+		b.AddFF(ff.Name, ff.Setup, ff.Hold, ckq)
+	}
+	for _, a := range d.Arcs {
+		if d.Pins[a.From].Kind == FFClock && d.Pins[a.To].Kind == FFOutput {
+			continue
+		}
+		from, _ := b.Pin(d.PinName(a.From))
+		to, _ := b.Pin(d.PinName(a.To))
+		b.AddArc(from, to, a.Delay)
+	}
+	nd, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err = WithCornersFrom(d, nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.NumCorners() != d.NumCorners() {
+		t.Fatalf("carried %d corners, want %d", nd.NumCorners(), d.NumCorners())
+	}
+	// Per-arc delays at the corner must agree arc-by-arc despite the
+	// different arc order.
+	for ai := range nd.Arcs {
+		from, _ := d.PinByName(nd.PinName(nd.Arcs[ai].From))
+		to, _ := d.PinByName(nd.PinName(nd.Arcs[ai].To))
+		want := d.ArcDelay(c, d.ArcBetween(from, to))
+		if got := nd.ArcDelay(c, int32(ai)); got != want {
+			t.Fatalf("arc %d corner delay %v, want %v", ai, got, want)
+		}
+	}
+}

@@ -151,6 +151,13 @@ type Design struct {
 	// Topo is a topological order over all pins (clock tree included).
 	Topo []PinID
 
+	// BaseCornerName optionally names corner 0 in reports ("" reads as
+	// "base"). ExtraCorners holds the delay tables of corners
+	// 1..NumCorners-1; see corner.go. Both are empty for the common
+	// single-corner case.
+	BaseCornerName string
+	ExtraCorners   []CornerDelays
+
 	// ClockParent[u] is the clock-tree parent arc's source for clock
 	// pins, NoPin for the root and for non-clock pins. ClockParentArc
 	// is the corresponding arc index (-1 where absent).

@@ -1,0 +1,67 @@
+package netlist
+
+import (
+	"fmt"
+
+	"fastcppr/liberty"
+	"fastcppr/model"
+)
+
+// CornerLib names one delay corner and the liberty library that
+// characterises it — one PVT-specific set of NLDM tables and derates.
+type CornerLib struct {
+	Name string
+	Lib  *liberty.Library
+}
+
+// ElaborateCorners elaborates the netlist once per corner and returns a
+// multi-corner design: corner 0 carries corners[0]'s delays in the Arcs
+// table (the single-corner fast path) and each further corner carries a
+// complete per-arc delay table from its own library. The graph itself —
+// pins, arcs, clock cone, topological order — comes from the base
+// elaboration; every corner elaboration is verified against it arc by
+// arc, so libraries that disagree on cell structure (not just delays)
+// are rejected rather than silently misbound.
+func (n *Netlist) ElaborateCorners(wm WireModel, corners ...CornerLib) (*model.Design, error) {
+	if len(corners) == 0 {
+		return nil, fmt.Errorf("netlist: ElaborateCorners needs at least one corner")
+	}
+	if len(corners) > model.MaxCorners {
+		return nil, fmt.Errorf("netlist: %d corners exceed the limit of %d", len(corners), model.MaxCorners)
+	}
+	base, err := n.Elaborate(corners[0].Lib, wm)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: corner %q: %w", corners[0].Name, err)
+	}
+	// base is freshly built and unshared, so naming its corner in place
+	// is safe.
+	base.BaseCornerName = corners[0].Name
+	for _, cl := range corners[1:] {
+		cd, err := n.Elaborate(cl.Lib, wm)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: corner %q: %w", cl.Name, err)
+		}
+		if len(cd.Arcs) != len(base.Arcs) {
+			return nil, fmt.Errorf("netlist: corner %q elaborates to %d arcs, base corner %q to %d",
+				cl.Name, len(cd.Arcs), base.CornerName(model.BaseCorner), len(base.Arcs))
+		}
+		table := make([]model.Window, len(base.Arcs))
+		for ai := range base.Arcs {
+			// Elaboration order is a function of the netlist alone, so
+			// arcs line up index for index; verify by endpoint names.
+			if cd.PinName(cd.Arcs[ai].From) != base.PinName(base.Arcs[ai].From) ||
+				cd.PinName(cd.Arcs[ai].To) != base.PinName(base.Arcs[ai].To) {
+				return nil, fmt.Errorf("netlist: corner %q arc %d is %s -> %s, base corner has %s -> %s",
+					cl.Name, ai,
+					cd.PinName(cd.Arcs[ai].From), cd.PinName(cd.Arcs[ai].To),
+					base.PinName(base.Arcs[ai].From), base.PinName(base.Arcs[ai].To))
+			}
+			table[ai] = cd.Arcs[ai].Delay
+		}
+		base, _, err = base.WithCorner(cl.Name, table)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: corner %q: %w", cl.Name, err)
+		}
+	}
+	return base, nil
+}
