@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -27,33 +29,63 @@ import (
 
 func main() {
 	var (
-		table3   = flag.Bool("table3", false, "print Table III (benchmark statistics)")
-		table4   = flag.Bool("table4", false, "print Table IV (runtime/memory comparison)")
-		fig5     = flag.Bool("fig5", false, "print Figure 5 (runtime/memory vs k)")
-		fig6     = flag.Bool("fig6", false, "print Figure 6 (runtime/memory vs threads)")
-		accuracy = flag.Bool("accuracy", false, "run the accuracy audit")
-		rerank   = flag.Bool("rerank", false, "run the inexact-rerank ablation")
-		batch    = flag.Bool("batch", false, "measure the batch query executor vs serial queries")
-		batchOut = flag.String("batchjson", "BENCH_batch.json", "with -batch, write machine-readable stats to this file (empty = none)")
-		mcmm     = flag.Bool("mcmm", false, "measure multi-corner fan-out vs serial per-corner analysis")
-		corners  = flag.Int("corners", 4, "with -mcmm, the corner count of the fan-out")
-		mcmmOut  = flag.String("mcmmjson", "BENCH_mcmm.json", "with -mcmm, write machine-readable stats to this file (empty = none)")
-		all      = flag.Bool("all", false, "run everything")
-		scale    = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
-		designs  = flag.String("designs", "", "comma-separated preset subset (default all)")
-		ks       = flag.String("k", "1,100,10000", "comma-separated k values for Table IV")
-		threads  = flag.Int("threads", 0, "parallel thread count of the comparison (0 = min(8, host cores))")
-		oursOnly = flag.Bool("oursonly", false, "measure only the LCA engine (full-size capability runs)")
-		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit; exit code 3)")
+		table3    = flag.Bool("table3", false, "print Table III (benchmark statistics)")
+		table4    = flag.Bool("table4", false, "print Table IV (runtime/memory comparison)")
+		fig5      = flag.Bool("fig5", false, "print Figure 5 (runtime/memory vs k)")
+		fig6      = flag.Bool("fig6", false, "print Figure 6 (runtime/memory vs threads)")
+		accuracy  = flag.Bool("accuracy", false, "run the accuracy audit")
+		rerank    = flag.Bool("rerank", false, "run the inexact-rerank ablation")
+		batch     = flag.Bool("batch", false, "measure the batch query executor vs serial queries")
+		batchOut  = flag.String("batchjson", "BENCH_batch.json", "with -batch, write machine-readable stats to this file (empty = none)")
+		mcmm      = flag.Bool("mcmm", false, "measure multi-corner fan-out vs serial per-corner analysis")
+		corners   = flag.Int("corners", 4, "with -mcmm, the corner count of the fan-out")
+		mcmmOut   = flag.String("mcmmjson", "BENCH_mcmm.json", "with -mcmm, write machine-readable stats to this file (empty = none)")
+		sparse    = flag.Bool("sparse", false, "measure the sparse propagation kernel vs the dense reference kernel")
+		sparseOut = flag.String("sparsejson", "BENCH_sparse.json", "with -sparse, write machine-readable stats to this file (empty = none)")
+		all       = flag.Bool("all", false, "run everything")
+		scale     = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
+		designs   = flag.String("designs", "", "comma-separated preset subset (default all)")
+		ks        = flag.String("k", "1,100,10000", "comma-separated k values for Table IV")
+		threads   = flag.Int("threads", 0, "parallel thread count of the comparison (0 = min(8, host cores))")
+		oursOnly  = flag.Bool("oursonly", false, "measure only the LCA engine (full-size capability runs)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit; exit code 3)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm = true, true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse = true, true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -all")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -120,6 +152,7 @@ func main() {
 	}
 	runJSON("Batch executor", *batch, *batchOut, experiments.Batch)
 	runJSON("MCMM fan-out", *mcmm, *mcmmOut, experiments.MCMM)
+	runJSON("Sparse kernel", *sparse, *sparseOut, experiments.Sparse)
 }
 
 func fatal(err error) {

@@ -349,6 +349,7 @@ func (s *snapshot) coreOpts(q Query) core.Options {
 		IncludePOs:    q.IncludePOs,
 		FilterCapture: q.FilterCapture,
 		CaptureFF:     q.CaptureFF,
+		DenseKernel:   q.DenseKernel,
 	}
 	if !s.filter.Empty() {
 		copts.ExcludeLaunchFF = s.filter.FromFF

@@ -55,8 +55,18 @@ func TestReportMetadata(t *testing.T) {
 	if rep.Algorithm != AlgoLCA {
 		t.Errorf("Algorithm = %v", rep.Algorithm)
 	}
-	if rep.Stats.Jobs != d.Depth+2 {
-		t.Errorf("Stats.Jobs = %d, want %d", rep.Stats.Jobs, d.Depth+2)
+	// The sparse plan prunes LCA-inactive levels, so Jobs is at most
+	// depth+2 (every level plus self-loop and PI) and at least the
+	// ungrouped jobs alone; the dense reference runs the full plan.
+	if rep.Stats.Jobs < 2 || rep.Stats.Jobs > d.Depth+2 {
+		t.Errorf("Stats.Jobs = %d, want in [2, %d]", rep.Stats.Jobs, d.Depth+2)
+	}
+	dense, err := NewTimer(d).Run(context.Background(), Query{K: 5, Mode: model.Setup, DenseKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Stats.Jobs != d.Depth+2 {
+		t.Errorf("dense Stats.Jobs = %d, want %d", dense.Stats.Jobs, d.Depth+2)
 	}
 	if w, ok := rep.WorstSlack(); !ok || w != rep.Paths[0].Slack {
 		t.Errorf("WorstSlack = %v/%v", w, ok)

@@ -42,6 +42,11 @@ type Query struct {
 	// corners compete by post-CPPR slack and Report.PathCorners names
 	// the corner each reported path was computed at.
 	Corners CornerMask
+	// DenseKernel forces AlgoLCA's candidate-generation jobs onto the
+	// dense full-scan propagation kernel instead of the sparse
+	// frontier-driven one (verification/ablation knob). Both kernels
+	// produce byte-identical reports; only the work performed differs.
+	DenseKernel bool
 }
 
 // Normalize validates q and canonicalises it in place: negative Threads

@@ -50,6 +50,12 @@ type Options struct {
 	// k-th-best slack (ablation knob; results are identical either way,
 	// only the amount of skipped work changes).
 	DisableGlobalBound bool
+	// DenseKernel switches candidate propagation from the sparse
+	// frontier kernel (epoch reset + worklist over the seeded cone) back
+	// to the dense full-topological-order kernel. Verification/ablation
+	// knob: the two kernels produce byte-identical reports, only the
+	// amount of work differs. The differential battery runs both.
+	DenseKernel bool
 	// ExcludeLaunchFF / ExcludeCaptureFF / ExcludeLaunchPin implement
 	// false-path exceptions at source/endpoint granularity (sdc.Filter):
 	// excluded launches are never seeded and excluded captures never
@@ -239,6 +245,27 @@ func (s *scratch) canceled() bool {
 // between cooperative cancellation checks, bounding cancel latency
 // without measurable steady-state cost.
 const cancelStride = 2048
+
+// resetProp prepares the worker's propagation arrays for one job under
+// the selected kernel: an O(1) epoch bump either way, with the sparse
+// kernel additionally binding the design's topological order so seeding
+// Offers feed the frontier.
+func (e *Engine) resetProp(s *scratch, opts *Options) {
+	if opts.DenseKernel {
+		s.prop.Reset(e.d.NumPins())
+	} else {
+		s.prop.ResetFor(e.d)
+	}
+}
+
+// runProp propagates the seeded tuples under the selected kernel.
+func (e *Engine) runProp(s *scratch, setup bool, opts *Options) {
+	if opts.DenseKernel {
+		s.prop.RunCtx(e.d, setup, s.done)
+	} else {
+		s.prop.RunSparse(e.d, setup, s.done)
+	}
+}
 
 // globalBound publishes the current global k-th best slack once the
 // shared selection heap is full. Jobs stop popping when their next
@@ -437,6 +464,14 @@ type jobSpec struct {
 func (e *Engine) jobPlan(opts Options) []jobSpec {
 	jobs := make([]jobSpec, 0, e.d.Depth+4)
 	for d := 0; d < e.d.Depth; d++ {
+		// A depth where no FF pair has its exact clock LCA generates zero
+		// candidates: the level job would propagate the full cone and then
+		// filter everything. Skip it. The dense reference kernel keeps the
+		// full plan (the replaced kernel's behaviour), so the differential
+		// battery also proves the skip exact.
+		if !opts.DenseKernel && !e.tree.LevelActive(d) {
+			continue
+		}
 		jobs = append(jobs, jobSpec{kind: jobLevel, level: d})
 	}
 	jobs = append(jobs, jobSpec{kind: jobSelfLoop}, jobSpec{kind: jobPI})
@@ -484,7 +519,7 @@ func (e *Engine) jobSlack(setup bool, capArr model.Window, ff *model.FF, dAt mod
 // (Algorithm 2 for seeding/propagation, Algorithm 5 for top-k), then
 // filters to candidates whose exact LCA depth is d (Algorithm 6 line 5).
 func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	return e.runGroupedJob(s, e.tree.SharedLevel(d), j, k, opts, gb, func(o *jobOut) bool {
+	return e.runGroupedJob(s, e.tree.SharedLevel(d), e.tree.LevelFFs(d), j, k, opts, gb, func(o *jobOut) bool {
 		// Exact-depth filter: keep candidates whose LCA depth is d.
 		// Cross-domain pairs (no LCA) are handled by their own job.
 		lcaNode := e.lcaOf(o.launch, e.d.FFs[o.capFF].Clock, opts)
@@ -501,7 +536,7 @@ func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBo
 // FFs sit in different clock domains ("level -1"): grouping by domain
 // root, zero credit offset, zero credit.
 func (e *Engine) runCrossDomainJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	return e.runGroupedJob(s, e.tree.SharedCrossDomain(), j, k, opts, gb, func(o *jobOut) bool {
+	return e.runGroupedJob(s, e.tree.SharedCrossDomain(), e.tree.AllFFs(), j, k, opts, gb, func(o *jobOut) bool {
 		if e.tree.SameDomain(o.launch, e.d.FFs[o.capFF].Clock) {
 			return false
 		}
@@ -514,17 +549,21 @@ func (e *Engine) runCrossDomainJob(s *scratch, j, k int, opts Options, gb *globa
 // runGroupedJob is the shared grouped candidate generation: seeds Q pins
 // with lt's group and credit offset, propagates, builds root candidates
 // per capture FF, and runs the top-k pop/deviate loop with the supplied
-// filter. lt is the tree's shared level table for the job (read-only).
-func (e *Engine) runGroupedJob(s *scratch, lt *lca.LevelTables, job, k int, opts Options, gb *globalBound, keep func(*jobOut) bool) ([]*jobOut, int) {
+// filter. lt is the tree's shared level table for the job (read-only);
+// seeds is the job's launch/capture universe (the per-level seed list
+// for level jobs, every FF for the cross-domain job), so both per-FF
+// loops cost O(#seeds) rather than O(#FFs).
+func (e *Engine) runGroupedJob(s *scratch, lt *lca.LevelTables, seeds []model.FFID, job, k int, opts Options, gb *globalBound, keep func(*jobOut) bool) ([]*jobOut, int) {
 	setup := opts.Mode == model.Setup
-	s.prop.Reset(e.d.NumPins())
+	e.resetProp(s, &opts)
 
 	// Seed Q pins of FFs below the cut, offsetting by credit(f_d(u))
 	// so propagated arrivals rank paths by slack(p, d) (Definition 3).
-	for i := range e.d.FFs {
-		if i%cancelStride == 0 && s.canceled() {
+	for si, fi := range seeds {
+		if si%cancelStride == 0 && s.canceled() {
 			return nil, 0
 		}
+		i := int(fi)
 		if opts.launchExcluded(i) {
 			continue
 		}
@@ -543,14 +582,17 @@ func (e *Engine) runGroupedJob(s *scratch, lt *lca.LevelTables, job, k int, opts
 		}
 		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
 	}
-	s.prop.RunCtx(e.d, setup, s.done)
+	e.runProp(s, setup, &opts)
 
-	// Root candidates: best grouped arrival at each capture D pin.
+	// Root candidates: best grouped arrival at each capture D pin. Only
+	// FFs below the cut can capture at this level (gid >= 0), so the
+	// seed list is the capture universe too.
 	s.heap.Reset()
-	for i := range e.d.FFs {
-		if i%cancelStride == 0 && s.canceled() {
+	for si, fi := range seeds {
+		if si%cancelStride == 0 && s.canceled() {
 			return nil, 0
 		}
+		i := int(fi)
 		if opts.captureExcluded(i) {
 			continue
 		}
@@ -581,7 +623,7 @@ func (e *Engine) runGroupedJob(s *scratch, lt *lca.LevelTables, job, k int, opts
 // (Algorithm 6 line 8).
 func (e *Engine) runSelfLoopJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
 	setup := opts.Mode == model.Setup
-	s.prop.Reset(e.d.NumPins())
+	e.resetProp(s, &opts)
 	for i := range e.d.FFs {
 		if i%cancelStride == 0 && s.canceled() {
 			return nil, 0
@@ -600,7 +642,7 @@ func (e *Engine) runSelfLoopJob(s *scratch, j, k int, opts Options, gb *globalBo
 		}
 		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
 	}
-	s.prop.RunCtx(e.d, setup, s.done)
+	e.runProp(s, setup, &opts)
 
 	s.heap.Reset()
 	for i := range e.d.FFs {
@@ -640,7 +682,7 @@ func (e *Engine) runSelfLoopJob(s *scratch, j, k int, opts Options, gb *globalBo
 // ungrouped variant of Algorithm 5). PI paths carry no credit.
 func (e *Engine) runPIJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
 	setup := opts.Mode == model.Setup
-	s.prop.Reset(e.d.NumPins())
+	e.resetProp(s, &opts)
 	for i, pi := range e.d.PIs {
 		if opts.ExcludeLaunchPin != nil && opts.ExcludeLaunchPin[pi] {
 			continue
@@ -654,7 +696,7 @@ func (e *Engine) runPIJob(s *scratch, j, k int, opts Options, gb *globalBound) (
 		}
 		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 	}
-	s.prop.RunCtx(e.d, setup, s.done)
+	e.runProp(s, setup, &opts)
 
 	s.heap.Reset()
 	for i := range e.d.FFs {
@@ -872,7 +914,7 @@ func (e *Engine) backwalk(prop *sta.Prop, pos model.PinID, gid int32) []model.Pi
 // capture clock path and carry no credit.
 func (e *Engine) runPOJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
 	setup := opts.Mode == model.Setup
-	s.prop.Reset(e.d.NumPins())
+	e.resetProp(s, &opts)
 	for i := range e.d.FFs {
 		if i%cancelStride == 0 && s.canceled() {
 			return nil, 0
@@ -903,7 +945,7 @@ func (e *Engine) runPOJob(s *scratch, j, k int, opts Options, gb *globalBound) (
 		}
 		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 	}
-	s.prop.RunCtx(e.d, setup, s.done)
+	e.runProp(s, setup, &opts)
 
 	s.heap.Reset()
 	for i, po := range e.d.POs {
@@ -1054,13 +1096,16 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 	for i := range valid {
 		valid[i] = false
 	}
-	s.prop.Reset(e.d.NumPins())
+	e.resetProp(s, &opts)
 	var lt *lca.LevelTables
+	var seeds []model.FFID
 	switch spec.kind {
 	case jobLevel:
 		lt = e.tree.SharedLevel(spec.level)
+		seeds = e.tree.LevelFFs(spec.level)
 	case jobCross:
 		lt = e.tree.SharedCrossDomain()
+		seeds = e.tree.AllFFs()
 	case jobSelfLoop:
 		for i := range e.d.FFs {
 			if i%cancelStride == 0 && s.canceled() {
@@ -1096,10 +1141,11 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 		}
 	}
 	if lt != nil {
-		for i := range e.d.FFs {
-			if i%cancelStride == 0 && s.canceled() {
+		for si, fi := range seeds {
+			if si%cancelStride == 0 && s.canceled() {
 				return
 			}
+			i := int(fi)
 			if opts.launchExcluded(i) {
 				continue
 			}
@@ -1119,7 +1165,32 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 			s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
 		}
 	}
-	s.prop.RunCtx(e.d, setup, s.done)
+	e.runProp(s, setup, &opts)
+	if lt != nil {
+		// Only the job's seed FFs can be valid captures here: any FF
+		// outside the list has gid < 0 under this cut.
+		for si, fi := range seeds {
+			if si%cancelStride == 0 && s.canceled() {
+				return
+			}
+			i := int(fi)
+			if opts.captureExcluded(i) {
+				continue
+			}
+			ff := &e.d.FFs[i]
+			gid := e.tree.GroupOf(lt, ff.Clock)
+			if gid < 0 {
+				continue
+			}
+			tup := s.prop.Auto(ff.Data, gid)
+			if !tup.Valid {
+				continue
+			}
+			slacks[i] = e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
+			valid[i] = true
+		}
+		return
+	}
 	for i := range e.d.FFs {
 		if i%cancelStride == 0 && s.canceled() {
 			return
@@ -1128,16 +1199,7 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 			continue
 		}
 		ff := &e.d.FFs[i]
-		var tup sta.Tuple
-		if lt != nil {
-			gid := e.tree.GroupOf(lt, ff.Clock)
-			if gid < 0 {
-				continue
-			}
-			tup = s.prop.Auto(ff.Data, gid)
-		} else {
-			tup = s.prop.At(ff.Data)
-		}
+		tup := s.prop.At(ff.Data)
 		if !tup.Valid {
 			continue
 		}

@@ -167,8 +167,8 @@ func TestTopPathsValidOnMediumDesign(t *testing.T) {
 			t.Fatalf("mode %v: no paths", mode)
 		}
 		validatePaths(t, d, mode, res.Paths)
-		if res.Stats.Jobs != d.Depth+2 {
-			t.Errorf("Jobs = %d, want %d", res.Stats.Jobs, d.Depth+2)
+		if res.Stats.Jobs < 2 || res.Stats.Jobs > d.Depth+2 {
+			t.Errorf("Jobs = %d, want in [2, %d]", res.Stats.Jobs, d.Depth+2)
 		}
 		if res.Stats.Candidates < res.Stats.Kept {
 			t.Errorf("Candidates %d < Kept %d", res.Stats.Candidates, res.Stats.Kept)

@@ -109,17 +109,33 @@ func TestMultiDomainBaselinesAgree(t *testing.T) {
 }
 
 func TestSingleDomainHasNoCrossJob(t *testing.T) {
+	// The sparse plan runs one job per LCA-active level plus self-loop
+	// and PI; the cross-domain job appears only with several domains.
+	activeLevels := func(e *Engine, depth int) int {
+		n := 0
+		for d := 0; d < depth; d++ {
+			if e.tree.LevelActive(d) {
+				n++
+			}
+		}
+		return n
+	}
 	d := gen.MustGenerate(gen.SmallOracle(1))
 	e := NewEngine(d)
 	res := mustTopPaths(t, e, Options{K: 5, Mode: model.Setup})
+	if want := activeLevels(e, d.Depth) + 2; res.Stats.Jobs != want {
+		t.Fatalf("single-domain Jobs = %d, want %d", res.Stats.Jobs, want)
+	}
+	// The dense reference kernel keeps the replaced kernel's full plan.
+	res = mustTopPaths(t, e, Options{K: 5, Mode: model.Setup, DenseKernel: true})
 	if res.Stats.Jobs != d.Depth+2 {
-		t.Fatalf("single-domain Jobs = %d, want %d", res.Stats.Jobs, d.Depth+2)
+		t.Fatalf("single-domain dense Jobs = %d, want %d", res.Stats.Jobs, d.Depth+2)
 	}
 	spec := multiDomainSpec(1, 2)
 	d2 := gen.MustGenerate(spec)
 	e2 := NewEngine(d2)
 	res2 := mustTopPaths(t, e2, Options{K: 5, Mode: model.Setup})
-	if res2.Stats.Jobs != d2.Depth+3 {
-		t.Fatalf("multi-domain Jobs = %d, want %d", res2.Stats.Jobs, d2.Depth+3)
+	if want := activeLevels(e2, d2.Depth) + 3; res2.Stats.Jobs != want {
+		t.Fatalf("multi-domain Jobs = %d, want %d", res2.Stats.Jobs, want)
 	}
 }

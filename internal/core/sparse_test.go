@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// TestSparseKernelMatchesDenseEngine compares complete engine results —
+// paths with pins, slacks, credits, and the endpoint sweep — between the
+// sparse frontier kernel (default) and the dense reference kernel
+// (Options.DenseKernel), across modes, k values and thread counts. The
+// two kernels must agree exactly, not just on slack spectra: identical
+// tuples imply identical reconstruction.
+func TestSparseKernelMatchesDenseEngine(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 4; seed++ {
+		d := gen.MustGenerate(gen.Medium(seed))
+		e := NewEngine(d)
+		for _, mode := range []model.Mode{model.Setup, model.Hold} {
+			for _, k := range []int{1, 8, 64} {
+				for _, threads := range []int{1, 4} {
+					opts := Options{K: k, Mode: mode, Threads: threads}
+					dense := opts
+					dense.DenseKernel = true
+					rs, err := e.TopPaths(ctx, opts)
+					if err != nil {
+						t.Fatalf("sparse: %v", err)
+					}
+					rd, err := e.TopPaths(ctx, dense)
+					if err != nil {
+						t.Fatalf("dense: %v", err)
+					}
+					comparePaths(t, seed, mode, k, rs.Paths, rd.Paths)
+				}
+			}
+
+			opts := Options{K: 1, Mode: mode}
+			dense := opts
+			dense.DenseKernel = true
+			ss, err := e.EndpointSlacksCPPR(ctx, opts)
+			if err != nil {
+				t.Fatalf("sparse sweep: %v", err)
+			}
+			sd, err := e.EndpointSlacksCPPR(ctx, dense)
+			if err != nil {
+				t.Fatalf("dense sweep: %v", err)
+			}
+			for i := range ss {
+				if ss[i] != sd[i] {
+					t.Fatalf("seed %d mode %v: endpoint %d sweep differs: sparse %+v, dense %+v",
+						seed, mode, i, ss[i], sd[i])
+				}
+			}
+		}
+	}
+}
+
+func comparePaths(t *testing.T, seed int64, mode model.Mode, k int, sparse, dense []model.Path) {
+	t.Helper()
+	if len(sparse) != len(dense) {
+		t.Fatalf("seed %d mode %v k=%d: sparse %d paths, dense %d", seed, mode, k, len(sparse), len(dense))
+	}
+	for i := range sparse {
+		s, d := &sparse[i], &dense[i]
+		if s.Slack != d.Slack || s.Credit != d.Credit || s.CaptureFF != d.CaptureFF ||
+			s.LaunchFF != d.LaunchFF || s.LCADepth != d.LCADepth || len(s.Pins) != len(d.Pins) {
+			t.Fatalf("seed %d mode %v k=%d: path %d differs\nsparse: %+v\ndense:  %+v", seed, mode, k, i, s, d)
+		}
+		for j := range s.Pins {
+			if s.Pins[j] != d.Pins[j] {
+				t.Fatalf("seed %d mode %v k=%d: path %d pin %d: sparse %d, dense %d",
+					seed, mode, k, i, j, s.Pins[j], d.Pins[j])
+			}
+		}
+	}
+}
+
+// TestEndpointBestZeroAllocs pins the steady-state allocation count of a
+// level job's kernel work inside the engine — endpointBest covers the
+// reset/seed/propagate/capture cycle shared with runGroupedJob, minus the
+// per-candidate output that necessarily allocates — at zero per job.
+func TestEndpointBestZeroAllocs(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(4))
+	e := NewEngine(d)
+	s := e.getScratch(nil)
+	defer e.putScratch(s)
+	opts := Options{K: 1, Mode: model.Setup}
+	slacks := make([]model.Time, len(d.FFs))
+	valid := make([]bool, len(d.FFs))
+
+	specs := []jobSpec{
+		{kind: jobLevel, level: 0},
+		{kind: jobLevel, level: 1},
+		{kind: jobSelfLoop},
+		{kind: jobPI},
+	}
+	for _, spec := range specs {
+		e.endpointBest(s, spec, opts, slacks, valid) // warm-up: arrays, seed lists, level tables
+		if allocs := testing.AllocsPerRun(20, func() {
+			e.endpointBest(s, spec, opts, slacks, valid)
+		}); allocs != 0 {
+			t.Errorf("endpointBest kind=%d level=%d allocates %v per job, want 0", spec.kind, spec.level, allocs)
+		}
+	}
+}

@@ -8,7 +8,9 @@
 package difftest
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -124,6 +126,40 @@ func CrossCheck(tb testing.TB, timer *cppr.Timer, q cppr.Query, algos ...cppr.Al
 			tb.Fatalf("difftest: %v and %v disagree (corners %#x, mode %v, k=%d)\n%v: %v\n%v: %v",
 				refAlgo, a, uint64(q.Corners), q.Mode, q.K, refAlgo, ref, a, s)
 		}
+	}
+}
+
+// CheckKernelsByteIdentical runs q under AlgoLCA with the sparse
+// frontier propagation kernel (the default) and again with the dense
+// reference kernel (Query.DenseKernel), and fails tb unless the two
+// marshalled JSON reports are byte-for-byte identical. This is a
+// stronger contract than slack-spectrum equality: the full report —
+// every path's pin sequence, credits, endpoint names, stats — must
+// match, which holds only if the kernels produce bit-identical
+// propagation tuples including tie-breaks. Wall time is zeroed before
+// marshalling; it is the one field allowed to differ.
+func CheckKernelsByteIdentical(tb testing.TB, timer *cppr.Timer, d *model.Design, q cppr.Query) {
+	tb.Helper()
+	q.Algorithm = cppr.AlgoLCA
+	run := func(denseKernel bool) []byte {
+		qq := q
+		qq.DenseKernel = denseKernel
+		rep, err := timer.Run(context.Background(), qq)
+		if err != nil {
+			tb.Fatalf("difftest: kernel dense=%v: %v", denseKernel, err)
+		}
+		rep.Elapsed = 0
+		out, err := json.Marshal(rep.JSON(d, q.Mode, q.K))
+		if err != nil {
+			tb.Fatalf("difftest: marshal: %v", err)
+		}
+		return out
+	}
+	sparse := run(false)
+	dense := run(true)
+	if !bytes.Equal(sparse, dense) {
+		tb.Fatalf("difftest: sparse and dense kernels disagree (corners %#x, mode %v, k=%d)\nsparse: %s\ndense:  %s",
+			uint64(q.Corners), q.Mode, q.K, sparse, dense)
 	}
 }
 

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// SparseQueryStat is one query's sparse-vs-dense kernel measurement.
+type SparseQueryStat struct {
+	Mode     string  `json:"mode"`
+	K        int     `json:"k"`
+	SparseNs int64   `json:"sparse_ns"`
+	DenseNs  int64   `json:"dense_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// SparseStats is the machine-readable result of the sparse-kernel
+// experiment, committed as BENCH_sparse.json for regression tracking.
+// Speedups are dense/sparse wall-time ratios on identical queries whose
+// reports are byte-identical (see internal/difftest), so the ratio is
+// pure kernel work, not an accuracy trade.
+type SparseStats struct {
+	Host    string            `json:"host"`
+	Design  string            `json:"design"`
+	Scale   float64           `json:"scale"`
+	Threads int               `json:"threads"`
+	Reps    int               `json:"reps"`
+	Queries []SparseQueryStat `json:"queries"`
+	// MinSpeedup is the smallest per-query speedup — the conservative
+	// headline number.
+	MinSpeedup float64 `json:"min_speedup"`
+	// GeoMeanSpeedup is the geometric mean over the measured queries.
+	GeoMeanSpeedup float64 `json:"geomean_speedup"`
+}
+
+// Sparse measures the sparse frontier propagation kernel against the
+// dense reference kernel (Query.DenseKernel) on the leon2-class preset —
+// the deepest clock tree of the suite (85 levels at full size), where
+// the dense kernel's Θ(levels × (pins + arcs)) cost is most pronounced.
+// Single-threaded, so the ratio is per-job kernel work rather than
+// scheduling. When cfg.JSONOut is set, the stats are also encoded there
+// as JSON.
+func Sparse(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	const design = "leon2"
+	d, err := dc.get(design)
+	if err != nil {
+		return err
+	}
+	timer := cppr.NewTimer(d)
+	timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+
+	const reps = 3
+	stats := SparseStats{
+		Host:    HostInfo(),
+		Design:  design,
+		Scale:   cfg.Scale,
+		Threads: 1,
+		Reps:    reps,
+	}
+	measure := func(q cppr.Query) (int64, error) {
+		best := int64(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := timer.Run(cfg.Ctx, q); err != nil {
+				return 0, err
+			}
+			if ns := time.Since(start).Nanoseconds(); ns < best {
+				best = ns
+			}
+		}
+		return best, nil
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Sparse vs dense kernel: %s (scale %g, 1 thread, best of %d)", design, cfg.Scale, reps),
+		"mode", "k", "dense(s)", "sparse(s)", "speedup")
+	for _, mode := range model.Modes {
+		for _, k := range []int{1, 100} {
+			q := cppr.Query{K: k, Mode: mode, Threads: 1}
+			sparseNs, err := measure(q)
+			if err != nil {
+				return err
+			}
+			q.DenseKernel = true
+			denseNs, err := measure(q)
+			if err != nil {
+				return err
+			}
+			qs := SparseQueryStat{
+				Mode:     mode.String(),
+				K:        k,
+				SparseNs: sparseNs,
+				DenseNs:  denseNs,
+				Speedup:  float64(denseNs) / float64(sparseNs),
+			}
+			stats.Queries = append(stats.Queries, qs)
+			t.Add(qs.Mode, fmt.Sprintf("%d", k),
+				fmt.Sprintf("%.3f", float64(denseNs)/1e9),
+				fmt.Sprintf("%.3f", float64(sparseNs)/1e9),
+				fmt.Sprintf("%.2fx", qs.Speedup))
+		}
+	}
+	stats.MinSpeedup = math.Inf(1)
+	logSum := 0.0
+	for _, qs := range stats.Queries {
+		if qs.Speedup < stats.MinSpeedup {
+			stats.MinSpeedup = qs.Speedup
+		}
+		logSum += math.Log(qs.Speedup)
+	}
+	stats.GeoMeanSpeedup = math.Exp(logSum / float64(len(stats.Queries)))
+
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "kernel speedup: min %.2fx, geomean %.2fx\n\n",
+		stats.MinSpeedup, stats.GeoMeanSpeedup); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -59,6 +59,28 @@ type shape struct {
 	groupOnce  []sync.Once
 	group      [][]int32
 	zeroCredit []model.Time
+
+	// ffDepth[i] is the clock-tree depth of FF i's CK pin. seedFFs[dep]
+	// is the lazily built per-level seed list: the FFs whose clock sits
+	// strictly below the level-dep cut (depth > dep), in ascending FF
+	// order. Level-dep candidate jobs seed and scan exactly this list, so
+	// their per-FF work is O(#seeds at dep) instead of O(#FFs). Both are
+	// topology-only, so every corner's Tree shares them. allFFs is the
+	// degenerate "every FF" list the ungrouped and cross-domain jobs use.
+	ffDepth  []int32
+	seedOnce []sync.Once
+	seedFFs  [][]model.FFID
+	allFFs   []model.FFID
+
+	// activeLevel[dep] is true iff some FF pair has its clock LCA at
+	// exactly depth dep — equivalently, some node at depth dep has two
+	// or more children whose subtrees contain FF clock pins. A level cut
+	// with activeLevel false generates zero candidates (every pair
+	// visible under the cut diverges strictly above it and is handled,
+	// with its exact credit, at its own LCA depth), so the engine skips
+	// the whole job. Real clock trees are branching crowns feeding long
+	// buffer chains, so most depths are inactive chain links.
+	activeLevel []bool
 }
 
 // Tree holds the preprocessed clock tree of a design at one delay
@@ -125,6 +147,37 @@ func New(d *model.Design) *Tree {
 	s.groupOnce = make([]sync.Once, s.maxDepth+1)
 	s.group = make([][]int32, s.maxDepth+1)
 	s.zeroCredit = make([]model.Time, nc)
+	s.ffDepth = make([]int32, len(d.FFs))
+	s.allFFs = make([]model.FFID, len(d.FFs))
+	for i := range d.FFs {
+		s.ffDepth[i] = s.depth[s.idx[d.FFs[i].Clock]]
+		s.allFFs[i] = model.FFID(i)
+	}
+	s.seedOnce = make([]sync.Once, s.maxDepth+1)
+	s.seedFFs = make([][]model.FFID, s.maxDepth+1)
+
+	// Mark the depths that can host an LCA of two FF clock pins: a
+	// bottom-up subtree count of FF clocks, flagging each node's depth
+	// once a second FF-bearing child is seen. Compact indices are
+	// parent-first, so a reverse scan accumulates children first.
+	ffCnt := make([]int32, nc)
+	for i := range d.FFs {
+		ffCnt[s.idx[d.FFs[i].Clock]]++
+	}
+	bearing := make([]int32, nc)
+	s.activeLevel = make([]bool, s.maxDepth+1)
+	for i := nc - 1; i >= 0; i-- {
+		if ffCnt[i] == 0 {
+			continue
+		}
+		if p := s.parent[i]; p >= 0 {
+			ffCnt[p] += ffCnt[i]
+			bearing[p]++
+			if bearing[p] == 2 {
+				s.activeLevel[s.depth[p]] = true
+			}
+		}
+	}
 
 	t := &Tree{d: d, shape: s}
 	t.fillOverlay()
@@ -516,6 +569,58 @@ func (t *Tree) SharedCrossDomain() *LevelTables {
 	})
 	return &t.crossLT
 }
+
+// LevelFFs returns the FFs whose clock pin sits strictly below the
+// level-dep cut (clock-tree depth > dep), in ascending FF order — the
+// exact launch/capture universe of the level-dep candidate job: deeper
+// cuts have (usually far) fewer FFs below them, so seeding and scanning
+// this list makes per-level work proportional to the active cone rather
+// than the design. Ascending FF order keeps tie-breaking identical to a
+// full-FF scan that skips out-of-level FFs, which is what makes the
+// sparse and dense kernels byte-identical.
+//
+// Lists are built lazily, once per shape, and shared read-only by every
+// corner Tree and every concurrent query. dep must be in [0, max
+// clock-tree depth]. Retained memory is O(Σ_d #seeds at d) across the
+// levels actually queried, bounded by #FFs × max FF depth.
+func (t *Tree) LevelFFs(dep int) []model.FFID {
+	s := t.shape
+	s.seedOnce[dep].Do(func() {
+		d32 := int32(dep)
+		n := 0
+		for _, fd := range s.ffDepth {
+			if fd > d32 {
+				n++
+			}
+		}
+		ffs := make([]model.FFID, 0, n)
+		for i, fd := range s.ffDepth {
+			if fd > d32 {
+				ffs = append(ffs, model.FFID(i))
+			}
+		}
+		s.seedFFs[dep] = ffs
+	})
+	return s.seedFFs[dep]
+}
+
+// LevelActive reports whether any FF pair has its clock LCA at exactly
+// depth dep. An inactive level's candidate job is provably empty — the
+// exact-depth filter rejects everything it could generate, and for
+// endpoint sweeps every pair visible under the cut carries an
+// over-credit dominated by the pair's own (active) LCA depth — so
+// callers skip the propagation outright. Topology-only; shared by every
+// corner Tree. Out-of-range depths report false.
+func (t *Tree) LevelActive(dep int) bool {
+	s := t.shape
+	return dep >= 0 && dep < len(s.activeLevel) && s.activeLevel[dep]
+}
+
+// AllFFs returns every FF of the design, in ascending order: the seed
+// list of the ungrouped (self-loop, PI-capture, PO) and cross-domain
+// jobs, whose launch universe is not restricted by a level cut. The
+// returned slice is owned by the Tree; do not modify.
+func (t *Tree) AllFFs() []model.FFID { return t.allFFs }
 
 // GroupOf returns the compact group index (f_{d+1}) for clock pin u from
 // tables previously filled by FillLevel, or -1 when u is at or above the

@@ -1,0 +1,148 @@
+package lca
+
+import (
+	"sync"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+func TestLevelFFsMatchesDepthScan(t *testing.T) {
+	// LevelFFs(d) must be exactly the FFs whose clock-tree depth exceeds
+	// d — the seeding predicate of the grouped jobs — in ascending FF
+	// order, which is what keeps seed-list iteration tie-break-identical
+	// to the dense full scan.
+	for seed := int64(0); seed < 4; seed++ {
+		d := gen.MustGenerate(gen.Medium(seed))
+		tree := New(d)
+		maxDepth := 0
+		for i := range d.FFs {
+			if dep := tree.Depth(d.FFs[i].Clock); dep > maxDepth {
+				maxDepth = dep
+			}
+		}
+		for dep := 0; dep <= maxDepth; dep++ {
+			var want []model.FFID
+			for i := range d.FFs {
+				if tree.Depth(d.FFs[i].Clock) > dep {
+					want = append(want, model.FFID(i))
+				}
+			}
+			got := tree.LevelFFs(dep)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d level %d: %d seeds, want %d", seed, dep, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d level %d: seeds[%d] = %d, want %d (order must be ascending)",
+						seed, dep, j, got[j], want[j])
+				}
+			}
+		}
+		// Beyond the deepest FF no seeds remain.
+		if got := tree.LevelFFs(maxDepth); len(got) != 0 {
+			t.Fatalf("seed %d: LevelFFs(maxDepth=%d) = %d FFs, want 0", seed, maxDepth, len(got))
+		}
+	}
+}
+
+func TestLevelActiveMatchesPairwiseLCAScan(t *testing.T) {
+	// LevelActive(d) must be true exactly when some FF pair (including
+	// pairs of distinct FFs sharing a clock pin) has its clock LCA at
+	// depth d AND both clocks strictly below the cut — the engine's
+	// level-d candidate universe. Brute force over all pairs.
+	for seed := int64(0); seed < 4; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		tree := New(d)
+		maxDepth := 0
+		for i := range d.FFs {
+			if dep := tree.Depth(d.FFs[i].Clock); dep > maxDepth {
+				maxDepth = dep
+			}
+		}
+		want := make([]bool, maxDepth+1)
+		for i := range d.FFs {
+			for j := i + 1; j < len(d.FFs); j++ {
+				u, v := d.FFs[i].Clock, d.FFs[j].Clock
+				if !tree.SameDomain(u, v) {
+					continue
+				}
+				if lca := tree.LCA(u, v); lca != model.NoPin {
+					dep := tree.Depth(lca)
+					// Pairs whose LCA is one of the clock pins themselves
+					// are outside every level job's universe (that FF sits
+					// at, not below, the cut).
+					if dep < tree.Depth(u) && dep < tree.Depth(v) {
+						want[dep] = true
+					}
+				}
+			}
+		}
+		for dep := 0; dep <= maxDepth; dep++ {
+			if got := tree.LevelActive(dep); got != want[dep] {
+				t.Errorf("seed %d: LevelActive(%d) = %v, want %v", seed, dep, got, want[dep])
+			}
+		}
+		if tree.LevelActive(-1) || tree.LevelActive(maxDepth+1) {
+			t.Errorf("seed %d: out-of-range depths must be inactive", seed)
+		}
+	}
+}
+
+func TestAllFFsIsEveryFFAscending(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(1))
+	tree := New(d)
+	all := tree.AllFFs()
+	if len(all) != len(d.FFs) {
+		t.Fatalf("AllFFs len = %d, want %d", len(all), len(d.FFs))
+	}
+	for i, fi := range all {
+		if fi != model.FFID(i) {
+			t.Fatalf("AllFFs[%d] = %d, want %d", i, fi, i)
+		}
+	}
+}
+
+func TestLevelFFsSharedAcrossDerivedTrees(t *testing.T) {
+	// The seed lists are topology-only, so corner Trees derived from one
+	// base must share the same backing slices (built once per shape).
+	d := gen.MustGenerate(gen.Medium(2))
+	d2, _, err := d.WithDerivedCorner("slow", func(_ int, w model.Window) model.Window {
+		return model.Window{Early: w.Early * 2, Late: w.Late * 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := New(d)
+	derived := base.Derive(d2.View(1))
+	if !base.SharesShape(derived) {
+		t.Fatal("derived tree does not share shape")
+	}
+	a, b := base.LevelFFs(0), derived.LevelFFs(0)
+	if len(a) == 0 {
+		t.Fatal("level 0 should have seeds")
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("LevelFFs not shared across derived trees (rebuilt per corner)")
+	}
+}
+
+func TestLevelFFsConcurrentAccess(t *testing.T) {
+	// Level jobs run on parallel workers; the lazy build must be safe
+	// under concurrent first access (exercised with -race).
+	d := gen.MustGenerate(gen.Medium(6))
+	tree := New(d)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dep := 0; dep < 4; dep++ {
+				_ = tree.LevelFFs(dep)
+				_ = tree.AllFFs()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,80 @@
+package sta
+
+import "math/bits"
+
+// frontier is a monotone worklist of topological indices: the structure
+// shared by the sparse propagation kernel (Prop.RunSparse) and the
+// incremental engine (Incr.Flush). Keys are positions in a design's Topo
+// order, and popping minimum-first processes a dirty cone
+// parents-before-children.
+//
+// It is a bitset with a word-skipping cursor rather than a heap. Both
+// users obey the monotone-drain contract: keys pushed before the drain
+// starts may be arbitrary, but every key pushed during the drain exceeds
+// the last popped key (DAG edges only ever point forward in topological
+// order). Under that contract the cursor never has to move backwards, so
+// pop is amortized O(1) plus a 64-keys-per-word skip over dead regions —
+// cheaper than a heap's O(log n) sift and 64x less memory traffic than
+// the dense kernel's per-pin stamp scan. This matters because the
+// frontier is the sparse kernel's entire overhead versus the dense one;
+// a log-factor here was measured to cost more than the dense scan it
+// replaces on small, well-connected designs.
+//
+// The zero value is an empty frontier; push grows the bitset on demand
+// and the backing array is retained across drains.
+type frontier struct {
+	// words is the bitset: bit k of words[k/64] set means topological
+	// index k is queued.
+	words []uint64
+	// cur is the lowest word index that may hold a set bit: the pop
+	// cursor. push lowers it, pop advances it.
+	cur int
+	// count is the number of queued keys.
+	count int
+}
+
+// reset empties the frontier, keeping the backing array for reuse. A
+// fully drained frontier is already all-zero, so reset is O(1) on the
+// common path; only an interrupted drain (cancellation) pays a clear.
+func (f *frontier) reset() {
+	if f.count > 0 {
+		clear(f.words)
+		f.count = 0
+	}
+	f.cur = len(f.words)
+}
+
+// empty reports whether the frontier holds no keys.
+func (f *frontier) empty() bool { return f.count == 0 }
+
+// len returns the number of queued keys.
+func (f *frontier) len() int { return f.count }
+
+// push inserts topological index k, which must not currently be queued
+// (Prop.touch and Incr.enqueue guarantee single insertion per drain).
+func (f *frontier) push(k int32) {
+	w := int(k >> 6)
+	for w >= len(f.words) {
+		f.words = append(f.words, 0)
+	}
+	f.words[w] |= 1 << (uint(k) & 63)
+	if w < f.cur {
+		f.cur = w
+	}
+	f.count++
+}
+
+// pop removes and returns the minimum key. The frontier must not be
+// empty. Correct only under the monotone-drain contract documented on
+// the type: keys pushed since the last pop must all exceed it.
+func (f *frontier) pop() int32 {
+	w := f.cur
+	for f.words[w] == 0 {
+		w++
+	}
+	b := bits.TrailingZeros64(f.words[w])
+	f.words[w] &^= 1 << uint(b)
+	f.cur = w
+	f.count--
+	return int32(w<<6 | b)
+}

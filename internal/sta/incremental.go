@@ -1,7 +1,6 @@
 package sta
 
 import (
-	"container/heap"
 	"fmt"
 
 	"fastcppr/model"
@@ -19,28 +18,21 @@ import (
 type Incr struct {
 	d   *model.Design
 	gba *GBA
-	// topoIndex orders pins for the dirty-cone worklist.
-	topoIndex []int32
 	// queued marks pins already in the worklist.
 	queued []bool
-	wl     topoQueue
+	// wl is the dirty-cone worklist, ordered by the design's TopoIndex.
+	wl frontier
 	// stats
 	recomputed int
 }
 
 // NewIncr builds the incremental engine with a full initial propagation.
 func NewIncr(d *model.Design) *Incr {
-	x := &Incr{
-		d:         d,
-		gba:       Propagate(d),
-		topoIndex: make([]int32, d.NumPins()),
-		queued:    make([]bool, d.NumPins()),
+	return &Incr{
+		d:      d,
+		gba:    Propagate(d),
+		queued: make([]bool, d.NumPins()),
 	}
-	for i, u := range d.Topo {
-		x.topoIndex[u] = int32(i)
-	}
-	x.wl.idx = &x.topoIndex
-	return x
 }
 
 // AT returns the current arrival windows. The returned GBA is live: it
@@ -50,17 +42,14 @@ func (x *Incr) AT() *GBA { return x.gba }
 // CloneFor returns an independent Incr that continues x's arrival state
 // over design nd, which must be structurally identical to x's design
 // (same pins, arcs and topological order — e.g. a Design.CloneWithArcs
-// copy). The arrival windows are deep-copied; the topological index is
-// shared read-only. x must have no pending un-Flushed edits.
+// copy). The arrival windows are deep-copied. x must have no pending
+// un-Flushed edits.
 func (x *Incr) CloneFor(nd *model.Design) *Incr {
-	nx := &Incr{
-		d:         nd,
-		gba:       x.gba.Clone(),
-		topoIndex: x.topoIndex,
-		queued:    make([]bool, nd.NumPins()),
+	return &Incr{
+		d:      nd,
+		gba:    x.gba.Clone(),
+		queued: make([]bool, nd.NumPins()),
 	}
-	nx.wl.idx = &nx.topoIndex
-	return nx
 }
 
 // Recomputed returns the number of pin recomputations performed since
@@ -90,8 +79,8 @@ func (x *Incr) SetArcDelay(ai int32, delay model.Window) error {
 // whose arrival window changed.
 func (x *Incr) Flush() int {
 	changed := 0
-	for x.wl.Len() > 0 {
-		v := heap.Pop(&x.wl).(model.PinID)
+	for !x.wl.empty() {
+		v := x.d.Topo[x.wl.pop()]
 		x.queued[v] = false
 		x.recomputed++
 		at, valid := x.recomputePin(v)
@@ -111,7 +100,7 @@ func (x *Incr) Flush() int {
 func (x *Incr) enqueue(v model.PinID) {
 	if !x.queued[v] {
 		x.queued[v] = true
-		heap.Push(&x.wl, v)
+		x.wl.push(x.d.TopoIndex[v])
 	}
 }
 
@@ -149,24 +138,4 @@ func (x *Incr) recomputePin(v model.PinID) (model.Window, bool) {
 		}
 	}
 	return at, valid
-}
-
-// topoQueue is a min-heap of pins ordered by topological index, so the
-// dirty cone is processed parents-first and each pin at most once per
-// Flush.
-type topoQueue struct {
-	pins []model.PinID
-	idx  *[]int32
-}
-
-func (q *topoQueue) Len() int { return len(q.pins) }
-func (q *topoQueue) Less(i, j int) bool {
-	return (*q.idx)[q.pins[i]] < (*q.idx)[q.pins[j]]
-}
-func (q *topoQueue) Swap(i, j int) { q.pins[i], q.pins[j] = q.pins[j], q.pins[i] }
-func (q *topoQueue) Push(v any)    { q.pins = append(q.pins, v.(model.PinID)) }
-func (q *topoQueue) Pop() any {
-	v := q.pins[len(q.pins)-1]
-	q.pins = q.pins[:len(q.pins)-1]
-	return v
 }

@@ -173,12 +173,61 @@ type Tuple struct {
 	Valid  bool
 }
 
-// Prop is the dual arrival-tuple array: A[u] is at(u), the best tuple;
-// B[u] is at'(u), the best tuple whose group differs from A[u]'s group.
+// propSlot is one pin's propagation state under the sparse kernel: the
+// epoch stamp and both tuples packed into a single 64-byte cache line.
+// The hot operation of either kernel is offering a tuple to a sink pin
+// whose address is effectively random (arc targets); the reference
+// kernel's parallel arrays touch three cache lines per offer (stamp,
+// at, at'), this layout touches one. That constant matters more than
+// any asymptotic term on designs whose active cone approaches the whole
+// data network.
+type propSlot struct {
+	// stamp == the Prop's epoch marks a/b live; any other value means
+	// both are logically zero.
+	stamp uint64
+	a, b  Tuple
+	_     [64 - 8 - 2*24]byte // pad to a full cache line
+}
+
+// Prop is the dual arrival-tuple store: at(u), the best tuple at pin u,
+// and at'(u), the best tuple whose group differs from at(u)'s group.
 // One Prop is scratch space for one candidate-generation job; jobs on
 // different goroutines use separate Props.
+//
+// The store is epoch-versioned: a slot is live only while its stamp
+// equals the current epoch, so Reset is an O(1) epoch bump with lazy
+// invalidation on read — no per-job O(#pins) clear.
+//
+// Prop carries two representations, one per kernel:
+//
+//   - Reset arms the dense reference kernel (Run/RunCtx): parallel
+//     a/b/stamp arrays scanned over the full topological order. This is
+//     the layout and loop structure the sparse kernel replaced, kept as
+//     the byte-identical reference for differential verification
+//     (Options/Query DenseKernel) and as the natural kernel for the
+//     baselines, which seed every FF anyway.
+//   - ResetFor arms the sparse frontier kernel (RunSparse): cache-line
+//     slots plus a worklist of live pins' topological indices, so one
+//     run costs O(active cone), not Θ(#pins + #arcs).
+//
+// Only the armed representation's storage is grown; the other is left
+// untouched.
 type Prop struct {
-	A, B []Tuple
+	// Dense (reference) representation.
+	a, b  []Tuple
+	stamp []uint64
+	epoch uint64
+
+	// Sparse representation, armed by ResetFor: the slot array, the
+	// bound design's topological order and its inverse, and the
+	// worklist of live pins' topological indices that Offer feeds and
+	// RunSparse drains.
+	slots     []propSlot
+	topo      []model.PinID
+	topoIndex []int32
+	fr        frontier
+	// sparse selects which representation Offer/At/Auto address.
+	sparse bool
 }
 
 // propPool recycles Prop scratch across queries: a propagation array pair
@@ -188,34 +237,85 @@ type Prop struct {
 // Reset re-sizes on first use.
 var propPool = sync.Pool{New: func() any { return new(Prop) }}
 
-// GetProp returns a pooled Prop. The caller must Reset it before use and
-// should hand it back with PutProp when the job completes.
+// propRetainPins bounds the arrays a pooled Prop may retain: PutProp
+// drops buffers sized beyond this high-water cap, so one query against a
+// giant design does not pin tens of megabytes per pooled Prop for the
+// life of the process. A variable, not a constant, so the eviction path
+// is testable without building a cap-sized design.
+var propRetainPins = 4 << 20
+
+// GetProp returns a pooled Prop. The caller must Reset (or ResetFor) it
+// before use and should hand it back with PutProp when the job completes.
 func GetProp() *Prop { return propPool.Get().(*Prop) }
 
-// PutProp recycles p. The caller must not touch p afterwards.
+// PutProp recycles p. The caller must not touch p afterwards. Oversized
+// buffers (beyond propRetainPins) are dropped rather than retained, and
+// the design binding is cleared so a pooled Prop never pins a design's
+// topological tables.
 func PutProp(p *Prop) {
-	if p != nil {
-		propPool.Put(p)
+	if p == nil {
+		return
 	}
+	if cap(p.a) > propRetainPins || cap(p.slots) > propRetainPins {
+		*p = Prop{}
+	}
+	p.topo, p.topoIndex = nil, nil
+	p.sparse = false
+	p.fr.reset()
+	propPool.Put(p)
 }
 
-// Reset prepares the arrays for a design with n pins, clearing previous
-// state while reusing storage.
+// Reset prepares the store for a design with n pins and arms the dense
+// reference kernel, discarding previous state in O(1): the epoch
+// advances, so every slot written under an older epoch reads as unset
+// regardless of what the arrays still hold. Storage is reused; only
+// growth allocates. Reset alone leaves the Prop unbound — only the dense
+// Run/RunCtx kernel may follow. Use ResetFor to arm RunSparse.
 func (p *Prop) Reset(n int) {
-	if cap(p.A) < n {
-		p.A = make([]Tuple, n)
-		p.B = make([]Tuple, n)
+	p.epoch++
+	p.fr.reset()
+	p.topo, p.topoIndex = nil, nil
+	p.sparse = false
+	if cap(p.a) < n {
+		p.a = make([]Tuple, n)
+		p.b = make([]Tuple, n)
+		p.stamp = make([]uint64, n)
 	}
-	p.A = p.A[:n]
-	p.B = p.B[:n]
-	clearTuples(p.A)
-	clearTuples(p.B)
+	p.a = p.a[:n]
+	p.b = p.b[:n]
+	p.stamp = p.stamp[:n]
 }
 
-func clearTuples(ts []Tuple) {
-	for i := range ts {
-		ts[i] = Tuple{}
+// ResetFor prepares the store for design d and arms the sparse frontier
+// kernel: subsequent Offer calls enqueue the touched pins and RunSparse
+// drains only their fanout cone. Like Reset, an O(1) epoch bump.
+func (p *Prop) ResetFor(d *model.Design) {
+	n := d.NumPins()
+	p.epoch++
+	p.fr.reset()
+	p.topo, p.topoIndex = d.Topo, d.TopoIndex
+	p.sparse = true
+	if cap(p.slots) < n {
+		p.slots = make([]propSlot, n)
 	}
+	p.slots = p.slots[:n]
+}
+
+// Invalidate discards every tuple in O(1) by advancing the epoch. The
+// cancellation paths of RunCtx and RunSparse call it so a partially
+// propagated array physically cannot be consulted: every read after an
+// early cancel sees unset tuples until the next Reset.
+func (p *Prop) Invalidate() {
+	p.epoch++
+	p.fr.reset()
+}
+
+// touch transitions pin v's dense slots from stale to live, clearing
+// them. Called exactly once per pin per epoch, from Offer's dense path.
+func (p *Prop) touch(v model.PinID) {
+	p.stamp[v] = p.epoch
+	p.a[v] = Tuple{}
+	p.b[v] = Tuple{}
 }
 
 // better reports whether time a beats time b under the mode: larger
@@ -229,10 +329,27 @@ func better(setup bool, a, b model.Time) bool {
 }
 
 // Offer presents a candidate arrival tuple at pin v, maintaining the
-// invariants: A[v] is the best tuple seen; B[v] is the best tuple whose
-// group differs from A[v].Group; B is never better than A.
+// invariants: at(v) is the best tuple seen; at'(v) is the best tuple
+// whose group differs from at(v)'s group; at' is never better than at.
+// The first Offer to a pin in an epoch revives its slot and, under the
+// sparse kernel, enqueues the pin on the frontier.
 func (p *Prop) Offer(v model.PinID, t model.Time, from, origin model.PinID, group int32, setup bool) {
-	a := &p.A[v]
+	if p.sparse {
+		s := &p.slots[v]
+		if s.stamp != p.epoch {
+			s.stamp = p.epoch
+			s.a = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
+			s.b = Tuple{}
+			p.fr.push(p.topoIndex[v])
+			return
+		}
+		p.offerSlot(s, t, from, origin, group, setup)
+		return
+	}
+	if p.stamp[v] != p.epoch {
+		p.touch(v)
+	}
+	a := &p.a[v]
 	if !a.Valid {
 		*a = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
 		return
@@ -244,11 +361,32 @@ func (p *Prop) Offer(v model.PinID, t model.Time, from, origin model.PinID, grou
 		return
 	}
 	if better(setup, t, a.Time) {
-		p.B[v] = *a
+		p.b[v] = *a
 		*a = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
 		return
 	}
-	b := &p.B[v]
+	b := &p.b[v]
+	if !b.Valid || better(setup, t, b.Time) {
+		*b = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
+	}
+}
+
+// offerSlot is Offer against an already-live sparse slot: identical
+// invariant maintenance, one cache line.
+func (p *Prop) offerSlot(s *propSlot, t model.Time, from, origin model.PinID, group int32, setup bool) {
+	a := &s.a
+	if group == a.Group {
+		if better(setup, t, a.Time) {
+			a.Time, a.From, a.Origin = t, from, origin
+		}
+		return
+	}
+	if better(setup, t, a.Time) {
+		s.b = *a
+		*a = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
+		return
+	}
+	b := &s.b
 	if !b.Valid || better(setup, t, b.Time) {
 		*b = Tuple{Time: t, From: from, Origin: origin, Group: group, Valid: true}
 	}
@@ -262,23 +400,74 @@ func (p *Prop) Run(d *model.Design, setup bool) {
 
 // RunCtx is Run with cooperative cancellation: it checks done every few
 // thousand topological positions and returns early once it is closed,
-// bounding cancel latency on large designs. The tuple arrays are then
-// partially propagated and must not be consulted — the caller abandons
-// the query. A nil done never cancels.
+// bounding cancel latency on large designs. Early cancel Invalidates the
+// arrays, so a partially propagated state physically cannot be consulted
+// — every read until the next Reset returns unset tuples. A nil done
+// never cancels.
+//
+// RunCtx is the dense kernel: it walks the entire topological order,
+// Θ(#pins + #arcs) regardless of how few pins hold tuples. Sparse-seeded
+// jobs should use ResetFor + RunSparse; RunCtx is kept for full-graph
+// propagations (the baselines seed every FF) and as the reference kernel
+// the differential battery compares RunSparse against.
 func (p *Prop) RunCtx(d *model.Design, setup bool, done <-chan struct{}) {
+	if p.sparse {
+		panic("sta: RunCtx on a Prop prepared with ResetFor; use RunSparse")
+	}
 	for ti, u := range d.Topo {
 		if done != nil && ti&4095 == 0 {
 			select {
 			case <-done:
+				p.Invalidate()
 				return
 			default:
 			}
 		}
-		a := p.A[u]
+		if p.stamp[u] != p.epoch {
+			continue
+		}
+		a := p.a[u]
 		if !a.Valid {
 			continue
 		}
-		b := p.B[u]
+		b := p.b[u]
+		p.relax(d, u, a, b, setup)
+	}
+}
+
+// RunSparse propagates the seeded tuples by draining the frontier in
+// topological-index order: only pins actually holding tuples are visited,
+// so one run costs O(cone vertices + cone edges) instead of the dense
+// kernel's Θ(#pins + #arcs), and each sink offer touches one cache line
+// (the pin's propSlot) instead of the dense layout's three. The Prop must
+// have been prepared with ResetFor (which binds the design's topological
+// order); seeding Offers enqueue the seeds, and relaxation enqueues each
+// newly reached pin exactly once.
+//
+// Popping minimum topological index first guarantees every pin is
+// processed after all of its in-cone predecessors, so the offer sequence
+// into any pin is exactly the dense kernel's restricted to live pins —
+// RunSparse and RunCtx produce identical tuples, bit for bit, including
+// tie-breaks. Early cancel Invalidates the arrays like RunCtx.
+func (p *Prop) RunSparse(d *model.Design, setup bool, done <-chan struct{}) {
+	if !p.sparse {
+		panic("sta: RunSparse on a Prop not prepared with ResetFor")
+	}
+	steps := 0
+	for !p.fr.empty() {
+		if done != nil && steps&1023 == 0 {
+			select {
+			case <-done:
+				p.Invalidate()
+				return
+			default:
+			}
+		}
+		steps++
+		u := p.topo[p.fr.pop()]
+		s := &p.slots[u] // live: only touched pins enter the frontier
+		a := s.a
+		b := s.b
 		for _, ai := range d.FanOut(u) {
 			arc := &d.Arcs[ai]
 			var delay model.Time
@@ -287,26 +476,85 @@ func (p *Prop) RunCtx(d *model.Design, setup bool, done <-chan struct{}) {
 			} else {
 				delay = arc.Delay.Early
 			}
-			p.Offer(arc.To, a.Time+delay, u, a.Origin, a.Group, setup)
+			v := arc.To
+			sv := &p.slots[v]
+			if sv.stamp != p.epoch {
+				// First touch: write both tuples in one pass. Equivalent
+				// to two Offers because at' is never better than at and
+				// their groups always differ.
+				sv.stamp = p.epoch
+				sv.a = Tuple{Time: a.Time + delay, From: u, Origin: a.Origin, Group: a.Group, Valid: true}
+				if b.Valid {
+					sv.b = Tuple{Time: b.Time + delay, From: u, Origin: b.Origin, Group: b.Group, Valid: true}
+				} else {
+					sv.b = Tuple{}
+				}
+				p.fr.push(p.topoIndex[v])
+				continue
+			}
+			p.offerSlot(sv, a.Time+delay, u, a.Origin, a.Group, setup)
 			if b.Valid {
-				p.Offer(arc.To, b.Time+delay, u, b.Origin, b.Group, setup)
+				p.offerSlot(sv, b.Time+delay, u, b.Origin, b.Group, setup)
 			}
 		}
 	}
 }
 
-// Auto returns at_auto(u, gid): A[u] when its group differs from gid,
-// otherwise the fallback B[u]. The returned tuple may be invalid
+// relax offers u's tuples along its fanout arcs: the shared inner step of
+// both kernels.
+func (p *Prop) relax(d *model.Design, u model.PinID, a, b Tuple, setup bool) {
+	for _, ai := range d.FanOut(u) {
+		arc := &d.Arcs[ai]
+		var delay model.Time
+		if setup {
+			delay = arc.Delay.Late
+		} else {
+			delay = arc.Delay.Early
+		}
+		p.Offer(arc.To, a.Time+delay, u, a.Origin, a.Group, setup)
+		if b.Valid {
+			p.Offer(arc.To, b.Time+delay, u, b.Origin, b.Group, setup)
+		}
+	}
+}
+
+// Auto returns at_auto(u, gid): at(u) when its group differs from gid,
+// otherwise the fallback at'(u). The returned tuple may be invalid
 // (Valid=false) when no path from a different group reaches u.
 func (p *Prop) Auto(u model.PinID, gid int32) Tuple {
-	a := p.A[u]
+	if p.sparse {
+		s := &p.slots[u]
+		if s.stamp != p.epoch {
+			return Tuple{}
+		}
+		if a := s.a; !a.Valid || a.Group != gid {
+			return a
+		}
+		return s.b
+	}
+	if p.stamp[u] != p.epoch {
+		return Tuple{}
+	}
+	a := p.a[u]
 	if !a.Valid || a.Group != gid {
 		return a
 	}
-	return p.B[u]
+	return p.b[u]
 }
 
 // At returns at(u) ignoring grouping — the accessor used by the
 // ungrouped searches (Algorithms 3 and 4), where at_auto(u, gid) is
 // replaced by at(u).
-func (p *Prop) At(u model.PinID) Tuple { return p.A[u] }
+func (p *Prop) At(u model.PinID) Tuple {
+	if p.sparse {
+		s := &p.slots[u]
+		if s.stamp != p.epoch {
+			return Tuple{}
+		}
+		return s.a
+	}
+	if p.stamp[u] != p.epoch {
+		return Tuple{}
+	}
+	return p.a[u]
+}

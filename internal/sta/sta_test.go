@@ -187,7 +187,7 @@ func TestOfferMaintainsInvariants(t *testing.T) {
 					bestIdx = j
 				}
 			}
-			a := p.A[pin]
+			a := p.a[pin]
 			if a.Time != all[bestIdx].tm {
 				t.Fatalf("setup=%v step %d: A.time = %v, want %v", setup, i, a.Time, all[bestIdx].tm)
 			}
@@ -201,7 +201,7 @@ func TestOfferMaintainsInvariants(t *testing.T) {
 					wantB = &all[j]
 				}
 			}
-			b := p.B[pin]
+			b := p.b[pin]
 			if wantB == nil {
 				if b.Valid {
 					t.Fatalf("setup=%v step %d: B valid with no other-group tuples", setup, i)
@@ -312,11 +312,11 @@ func TestResetClearsState(t *testing.T) {
 		t.Fatal("Reset left stale tuple")
 	}
 	p.Reset(2) // shrink
-	if len(p.A) != 2 {
-		t.Fatalf("len(A) = %d, want 2", len(p.A))
+	if len(p.a) != 2 {
+		t.Fatalf("len(A) = %d, want 2", len(p.a))
 	}
 	p.Reset(8) // grow
-	if len(p.A) != 8 || p.At(7).Valid {
+	if len(p.a) != 8 || p.At(7).Valid {
 		t.Fatal("grow failed")
 	}
 }

@@ -263,6 +263,10 @@ func buildTopo(d *Design) error {
 		return errors.New("model: timing graph contains a cycle")
 	}
 	d.Topo = order
+	d.TopoIndex = make([]int32, n)
+	for i, u := range order {
+		d.TopoIndex[u] = int32(i)
+	}
 	return nil
 }
 

@@ -149,7 +149,11 @@ type Design struct {
 	InArcs   []int32
 
 	// Topo is a topological order over all pins (clock tree included).
-	Topo []PinID
+	// TopoIndex is its inverse: TopoIndex[u] is u's position in Topo.
+	// Worklist-driven kernels (sta.Prop.RunSparse, sta.Incr) order their
+	// frontiers by it.
+	Topo      []PinID
+	TopoIndex []int32
 
 	// BaseCornerName optionally names corner 0 in reports ("" reads as
 	// "base"). ExtraCorners holds the delay tables of corners
