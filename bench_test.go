@@ -79,10 +79,13 @@ func benchEngine(b *testing.B, name string) *core.Engine {
 }
 
 // runQuery executes one setup+hold top-k query, as Table IV measures.
+// NoCache keeps every b.N iteration (and every thread-sweep variant —
+// the query memo's key erases Threads) doing real engine work instead
+// of serving from the timer's incremental caches.
 func runQuery(b *testing.B, t *cppr.Timer, algo cppr.Algorithm, k, threads int) {
 	b.Helper()
 	for _, mode := range model.Modes {
-		if _, err := t.Run(context.Background(), cppr.Query{K: k, Mode: mode, Threads: threads, Algorithm: algo}); err != nil {
+		if _, err := t.Run(context.Background(), cppr.Query{K: k, Mode: mode, Threads: threads, Algorithm: algo, NoCache: true}); err != nil {
 			b.Fatalf("%v: %v", algo, err)
 		}
 	}
@@ -297,15 +300,18 @@ func BenchmarkFrontendFullFlow(b *testing.B) {
 // ReportBatch merges them into one LCA run per mode (exact top-k paths
 // are prefix-consistent across K) and shares pooled scratch, so the
 // batch beats the same 8 queries run serially even on one core.
+// NoCache keeps every b.N iteration doing real work — otherwise the
+// cross-call query memo would serve every rep after the first and the
+// batch-vs-serial comparison would measure map lookups.
 var batchQueries = []cppr.Query{
-	{K: 1, Mode: model.Setup},
-	{K: 10, Mode: model.Setup},
-	{K: 100, Mode: model.Setup},
-	{K: 1000, Mode: model.Setup},
-	{K: 1, Mode: model.Hold},
-	{K: 10, Mode: model.Hold},
-	{K: 100, Mode: model.Hold},
-	{K: 1000, Mode: model.Hold},
+	{K: 1, Mode: model.Setup, NoCache: true},
+	{K: 10, Mode: model.Setup, NoCache: true},
+	{K: 100, Mode: model.Setup, NoCache: true},
+	{K: 1000, Mode: model.Setup, NoCache: true},
+	{K: 1, Mode: model.Hold, NoCache: true},
+	{K: 10, Mode: model.Hold, NoCache: true},
+	{K: 100, Mode: model.Hold, NoCache: true},
+	{K: 1000, Mode: model.Hold, NoCache: true},
 }
 
 // BenchmarkBatchReportBatch8 measures ReportBatch on the 8-query batch
@@ -346,14 +352,14 @@ func BenchmarkBatchSerial8(b *testing.B) {
 func BenchmarkBatchDistinct8(b *testing.B) {
 	t := benchTimer(b, "vga_lcdv2")
 	queries := []cppr.Query{
-		{K: 100, Mode: model.Setup},
-		{K: 100, Mode: model.Hold},
+		{K: 100, Mode: model.Setup, NoCache: true},
+		{K: 100, Mode: model.Hold, NoCache: true},
 		{K: 100, Mode: model.Setup, Algorithm: cppr.AlgoPairwise},
 		{K: 100, Mode: model.Hold, Algorithm: cppr.AlgoPairwise},
 		{K: 100, Mode: model.Setup, Algorithm: cppr.AlgoBranchAndBound},
 		{K: 100, Mode: model.Hold, Algorithm: cppr.AlgoBranchAndBound},
-		{K: 10, Mode: model.Setup, FilterCapture: true, CaptureFF: 0},
-		{K: 10, Mode: model.Setup, FilterCapture: true, CaptureFF: 1},
+		{K: 10, Mode: model.Setup, FilterCapture: true, CaptureFF: 0, NoCache: true},
+		{K: 10, Mode: model.Setup, FilterCapture: true, CaptureFF: 1, NoCache: true},
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

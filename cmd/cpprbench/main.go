@@ -42,6 +42,8 @@ func main() {
 		mcmmOut   = flag.String("mcmmjson", "BENCH_mcmm.json", "with -mcmm, write machine-readable stats to this file (empty = none)")
 		sparse    = flag.Bool("sparse", false, "measure the sparse propagation kernel vs the dense reference kernel")
 		sparseOut = flag.String("sparsejson", "BENCH_sparse.json", "with -sparse, write machine-readable stats to this file (empty = none)")
+		incr      = flag.Bool("incremental", false, "measure warm edit→requery through the incremental caches vs cold runs")
+		incrOut   = flag.String("incrementaljson", "BENCH_incremental.json", "with -incremental, write machine-readable stats to this file (empty = none)")
 		all       = flag.Bool("all", false, "run everything")
 		scale     = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs   = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -54,10 +56,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse = true, true, true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr = true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -153,6 +155,7 @@ func main() {
 	runJSON("Batch executor", *batch, *batchOut, experiments.Batch)
 	runJSON("MCMM fan-out", *mcmm, *mcmmOut, experiments.MCMM)
 	runJSON("Sparse kernel", *sparse, *sparseOut, experiments.Sparse)
+	runJSON("Incremental edit→requery", *incr, *incrOut, experiments.Incremental)
 }
 
 func fatal(err error) {

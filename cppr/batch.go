@@ -126,7 +126,10 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 				g := order[gi]
 				q := g.rep
 				q.Threads = inner
-				g.out, g.err = s.runOn(ctx, q, s.corner(g.corner))
+				// execute extends the batch's dedup across calls: a group
+				// already answered by a previous batch or Run on this
+				// snapshot is served from the query memo.
+				g.out, g.err = s.execute(ctx, q, g.corner)
 			}
 		}()
 	}

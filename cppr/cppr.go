@@ -167,6 +167,7 @@ func (r *Report) WorstSlack() (model.Time, bool) {
 // graph-based arrival windows. One snapshot holds one of these per
 // corner it has analysed.
 type cornerEngines struct {
+	corner model.Corner
 	d      *model.Design
 	tree   *lca.Tree
 	engine *core.Engine
@@ -174,6 +175,11 @@ type cornerEngines struct {
 	bw     *baseline.Blockwise
 	bb     *baseline.BranchAndBound
 	rr     *baseline.Rerank
+	// cache memoizes this corner's candidate-generation job results
+	// across the snapshot chain, validated against the edit journal.
+	// Carried over edits that provably cannot dirty it (other-corner
+	// edits); rebuilt fresh whenever the corner's engines are.
+	cache *core.JobCache
 	// pre holds the graph-based (pre-CPPR) arrival windows, maintained
 	// incrementally across edits. It is flushed before the snapshot is
 	// published and read-only afterwards: the "one early/late
@@ -208,6 +214,21 @@ type snapshot struct {
 	base   *cornerEngines
 	extra  []*lazyCorner // slot c-1 serves corner c
 	filter *sdc.Filter
+
+	// journal is the persistent chain of non-rebuilding arc edits since
+	// the last full build, and seq its head sequence number (== the
+	// snapshot's epoch within the chain). Job-cache entries are
+	// validated against it: an entry stored at seq g stays exact iff no
+	// journaled edit after g lands a source pin inside the entry's cone.
+	// Topology-changing edits (clock arcs, ApplySDC) rebuild everything
+	// and reset the journal to nil.
+	journal *model.EditJournal
+	seq     uint64
+	// memo caches whole reports for repeated queries on THIS snapshot;
+	// every edit publishes a snapshot with a fresh one.
+	memo *queryMemo
+	// ctr aggregates cache counters across the Timer's life.
+	ctr *timerCounters
 }
 
 // freshSlots allocates unbuilt lazy slots for n extra corners.
@@ -223,9 +244,10 @@ func freshSlots(n int) []*lazyCorner {
 // engines, lazy slots for the extra corners, and — unless an up-to-date
 // pre is handed over from the previous epoch — a fresh graph-arrival
 // propagation.
-func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pre *sta.Incr) *snapshot {
+func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pre *sta.Incr, ctr *timerCounters) *snapshot {
 	tree := lca.New(d)
 	base := &cornerEngines{
+		corner: model.BaseCorner,
 		d:      d,
 		tree:   tree,
 		engine: core.NewEngineWithTree(d, tree),
@@ -233,6 +255,7 @@ func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pr
 		bw:     baseline.NewBlockwise(d, tree),
 		bb:     baseline.NewBranchAndBound(d, tree),
 		rr:     baseline.NewRerank(d, tree),
+		cache:  core.NewJobCache(&ctr.job),
 		pre:    pre,
 	}
 	if base.pre == nil {
@@ -249,20 +272,27 @@ func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pr
 		base:   base,
 		extra:  freshSlots(d.NumCorners() - 1),
 		filter: filter,
+		memo:   newQueryMemo(),
+		ctr:    ctr,
 	}
 }
 
-// rebind derives a snapshot for nd without rebuilding the clock tree.
-// Valid only when nd differs from s.d in non-clock base-corner arc
-// delays: the shared lca.Tree (arrivals, credits, level tables) and the
-// budgets carried inside the rebound baselines stay correct by
-// construction. Extra-corner slots are carried as-is — each corner is
-// an independent, complete delay set, so a base-corner edit cannot
-// invalidate it.
-func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr) *snapshot {
+// rebind derives a snapshot for nd without rebuilding the clock tree,
+// journaling the edited arc from -> to. Valid only when nd differs from
+// s.d in non-clock base-corner arc delays: the shared lca.Tree
+// (arrivals, credits, level tables) and the budgets carried inside the
+// rebound baselines stay correct by construction. Extra-corner slots
+// are carried as-is — each corner is an independent, complete delay
+// set, so a base-corner edit cannot invalidate it — and so are the job
+// caches: the journal entry is what invalidates (exactly) the base
+// entries whose cone the edit can reach. Only the whole-report query
+// memo starts fresh, being bound to one snapshot by construction.
+func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr, from, to model.PinID) *snapshot {
+	journal := s.journal.Append(model.BaseCorner, from, to)
 	return &snapshot{
 		d: nd,
 		base: &cornerEngines{
+			corner: model.BaseCorner,
 			d:      nd,
 			tree:   s.base.tree,
 			engine: s.base.engine.Rebind(nd),
@@ -270,10 +300,15 @@ func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr) *snapshot {
 			bw:     s.base.bw.Rebind(nd),
 			bb:     s.base.bb.Rebind(nd),
 			rr:     s.base.rr.Rebind(nd),
+			cache:  s.base.cache,
 			pre:    pre,
 		},
-		extra:  s.extra,
-		filter: s.filter,
+		extra:   s.extra,
+		filter:  s.filter,
+		journal: journal,
+		seq:     journal.Seq(),
+		memo:    newQueryMemo(),
+		ctr:     s.ctr,
 	}
 }
 
@@ -301,6 +336,7 @@ func (s *snapshot) corner(c model.Corner) *cornerEngines {
 		view := s.d.View(c)
 		tree := s.base.tree.Derive(view)
 		ce := &cornerEngines{
+			corner: c,
 			d:      view,
 			tree:   tree,
 			engine: s.base.engine.Sibling(view, tree),
@@ -308,6 +344,7 @@ func (s *snapshot) corner(c model.Corner) *cornerEngines {
 			bw:     baseline.NewBlockwise(view, tree),
 			bb:     baseline.NewBranchAndBound(view, tree),
 			rr:     baseline.NewRerank(view, tree),
+			cache:  core.NewJobCache(&s.ctr.job),
 			pre:    sta.NewIncr(view),
 		}
 		ce.bw.MaxTuples = s.base.bw.MaxTuples
@@ -378,9 +415,21 @@ func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines) (rep R
 	rep = Report{Algorithm: q.Algorithm}
 	switch q.Algorithm {
 	case AlgoLCA:
-		res, err := ce.engine.TopPaths(ctx, s.coreOpts(q))
-		if err != nil {
-			return Report{}, err
+		var res core.Result
+		var rerr error
+		if s.jobMemoEligible(q) && ce.cache != nil {
+			// Memoized path: per-job results cached on this corner's
+			// engines, revalidated against the edit journal, merged to a
+			// report byte-identical to the uncached run.
+			res, rerr = ce.engine.TopPathsMemo(ctx, s.coreOpts(q), ce.cache, s.seq,
+				func(entrySeq uint64, cone *model.PinSet) bool {
+					return !s.journal.DirtySince(entrySeq, ce.corner, cone)
+				})
+		} else {
+			res, rerr = ce.engine.TopPaths(ctx, s.coreOpts(q))
+		}
+		if rerr != nil {
+			return Report{}, rerr
 		}
 		rep.Paths, rep.Stats = res.Paths, res.Stats
 	case AlgoPairwise:
@@ -425,7 +474,7 @@ func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines) (rep R
 // that spreads corners over the worker pool.
 func (s *snapshot) run(ctx context.Context, q Query) (Report, error) {
 	if c, ok := q.Corners.single(); ok {
-		rep, err := s.runOn(ctx, q, s.corner(c))
+		rep, err := s.execute(ctx, q, c)
 		if err != nil {
 			return Report{}, err
 		}
@@ -436,7 +485,7 @@ func (s *snapshot) run(ctx context.Context, q Query) (Report, error) {
 	corners := q.Corners.List()
 	reps := make([]Report, len(corners))
 	for i, c := range corners {
-		r, err := s.runOn(ctx, q, s.corner(c))
+		r, err := s.execute(ctx, q, c)
 		if err != nil {
 			return Report{}, err
 		}
@@ -464,8 +513,17 @@ type Timer struct {
 // NewTimer preprocesses d.
 func NewTimer(d *model.Design) *Timer {
 	t := &Timer{}
-	t.snap.Store(newSnapshot(d, nil, 0, 0, nil))
+	t.snap.Store(newSnapshot(d, nil, 0, 0, nil, &timerCounters{}))
 	return t
+}
+
+// jobMemoEligible reports whether an AlgoLCA query may use the
+// candidate-job cache. Capture filtering and false-path exclusions
+// change job outputs but are not part of the cache key, and queries
+// beyond MemoMaxK would make entries arbitrarily large, so those run
+// uncached; Query.NoCache opts out explicitly (verification/ablation).
+func (s *snapshot) jobMemoEligible(q Query) bool {
+	return !q.NoCache && !q.FilterCapture && s.filter.Empty() && q.K <= core.MemoMaxK
 }
 
 // Design returns the design of the current snapshot. After SetArcDelay
@@ -622,7 +680,12 @@ func (t *Timer) SetArcDelayAt(c model.Corner, from, to model.PinID, delay model.
 		ns.d = nd
 		ns.extra = make([]*lazyCorner, len(s.extra))
 		copy(ns.extra, s.extra)
+		// The fresh slot rebuilds the corner's engines — job cache
+		// included — on next use, so the edit needs no journal entry;
+		// every other corner's caches stay live. Only the per-snapshot
+		// query memo starts over.
 		ns.extra[c-1] = &lazyCorner{}
+		ns.memo = newQueryMemo()
 		t.snap.Store(&ns)
 		return nil
 	}
@@ -638,10 +701,12 @@ func (t *Timer) SetArcDelayAt(c model.Corner, from, to model.PinID, delay model.
 		// CK->Q edits change the launch-delay caches inside each engine.
 		// Full rebuild on the edited design, preserving budgets. The
 		// fresh base tree has its own shape, so extra corners rebuild
-		// too rather than mixing shapes within one snapshot.
-		ns = newSnapshot(nd, s.filter, s.base.bw.MaxTuples, s.base.bb.MaxPops, pre)
+		// too rather than mixing shapes within one snapshot. The fresh
+		// snapshot also drops every memo and resets the edit journal:
+		// clock-path changes are outside the cone-invalidation model.
+		ns = newSnapshot(nd, s.filter, s.base.bw.MaxTuples, s.base.bb.MaxPops, pre, s.ctr)
 	} else {
-		ns = s.rebind(nd, pre)
+		ns = s.rebind(nd, pre, from, to)
 	}
 	t.snap.Store(ns)
 	return nil
@@ -665,7 +730,10 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.snap.Store(newSnapshot(nd, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil))
+	// Constraints change slacks globally (period, io delays, filter), so
+	// the fresh snapshot drops every cache: job caches, query memo, and
+	// the edit journal all start over.
+	t.snap.Store(newSnapshot(nd, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil, s.ctr))
 	return nd, nil
 }
 

@@ -1,0 +1,165 @@
+package cppr
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastcppr/internal/core"
+	"fastcppr/internal/qerr"
+	"fastcppr/model"
+)
+
+// timerCounters aggregates cache-effectiveness counters across a timer's
+// whole snapshot chain: the per-corner job caches all report into the
+// shared core.CacheCounters, and the per-snapshot query memos into the
+// query counters. One instance lives for the life of the Timer and is
+// carried from snapshot to snapshot.
+type timerCounters struct {
+	job         core.CacheCounters
+	queryHits   atomic.Int64
+	queryMisses atomic.Int64
+}
+
+// queryMemoMax bounds the per-snapshot query-memo size. Reports are
+// O(K × path length); a query mix wider than this per edit epoch keeps
+// working, it just re-runs evicted shapes (the job cache underneath
+// still absorbs most of the cost).
+const queryMemoMax = 128
+
+// queryMemoEntry is one cached report. exhausted marks a report with
+// fewer paths than its K: the design has no more paths of that shape,
+// so the entry serves any larger K too.
+type queryMemoEntry struct {
+	k         int
+	exhausted bool
+	rep       Report
+}
+
+// queryMemo caches whole normalized-query reports for one snapshot —
+// the cross-call extension of ReportBatch's in-call dedup. Keys are
+// single-corner queries with Threads erased and, like the batch
+// grouping, K erased: a top-k report is the k-prefix of any larger
+// exact report, so one max-K entry serves every smaller K. The memo
+// dies with its snapshot (every edit publishes a fresh one), which
+// makes it trivially sound: within a snapshot a normalized query is a
+// pure function of the immutable engines. Safe for concurrent use.
+type queryMemo struct {
+	mu      sync.Mutex
+	entries map[Query]*queryMemoEntry
+}
+
+func newQueryMemo() *queryMemo {
+	return &queryMemo{entries: make(map[Query]*queryMemoEntry)}
+}
+
+// queryMemoKey normalizes q into its memo key for corner c.
+func queryMemoKey(q Query, c model.Corner) Query {
+	q.Threads = 0
+	q.Corners = CornerBit(c)
+	q.K = 0
+	return q
+}
+
+// lookup serves key at budget k if a covering entry exists.
+func (m *queryMemo) lookup(key Query, k int) (Report, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok || (e.k < k && !e.exhausted) {
+		return Report{}, false
+	}
+	return clipReport(e.rep, k), true
+}
+
+// store records a successful report computed at budget k, keeping the
+// larger-K entry when two runs race. At capacity an arbitrary entry is
+// evicted — the memo is a bounded accelerator, not a registry.
+func (m *queryMemo) store(key Query, k int, rep Report) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[key]; ok {
+		if e.k >= k {
+			return
+		}
+	} else if len(m.entries) >= queryMemoMax {
+		for victim := range m.entries {
+			delete(m.entries, victim)
+			break
+		}
+	}
+	m.entries[key] = &queryMemoEntry{k: k, exhausted: len(rep.Paths) < k, rep: rep}
+}
+
+// execute runs one normalized query against corner c, serving it from
+// the snapshot's query memo when possible. Only AlgoLCA reports are
+// memoized (the baselines exist for comparison studies, where cached
+// timings would mislead), and Query.NoCache bypasses the memo entirely.
+// Errors are never cached.
+func (s *snapshot) execute(ctx context.Context, q Query, c model.Corner) (Report, error) {
+	if q.Algorithm != AlgoLCA || q.NoCache || s.memo == nil {
+		return s.runOn(ctx, q, s.corner(c))
+	}
+	// The cancellation contract holds even when the answer is free: a
+	// canceled query errors, it does not serve from cache.
+	if err := qerr.FromContext(ctx); err != nil {
+		return Report{}, err
+	}
+	start := time.Now()
+	key := queryMemoKey(q, c)
+	if rep, ok := s.memo.lookup(key, q.K); ok {
+		s.ctr.queryHits.Add(1)
+		rep.Elapsed = time.Since(start)
+		return rep, nil
+	}
+	s.ctr.queryMisses.Add(1)
+	rep, err := s.runOn(ctx, q, s.corner(c))
+	if err != nil {
+		return Report{}, err
+	}
+	s.memo.store(key, q.K, rep)
+	return rep, nil
+}
+
+// TimerStats is Timer.Stats's snapshot of the incremental-machinery
+// counters: how much work the edit→requery loop is actually saving.
+type TimerStats struct {
+	// EditSeq is the current snapshot's edit-journal sequence number:
+	// the number of journaled (non-rebuilding) edits since the last full
+	// rebuild.
+	EditSeq uint64 `json:"edit_seq"`
+	// IncrRecomputed is the cumulative number of pin recomputations the
+	// incremental graph-arrival engine performed across the snapshot
+	// chain — the incremental-substrate work that replaced full
+	// repropagations.
+	IncrRecomputed int `json:"incr_recomputed"`
+	// JobCache* count candidate-generation job memoization outcomes
+	// across all corners since the Timer was built. Invalidated is the
+	// subset of misses caused by an edit landing inside a cached job's
+	// cone.
+	JobCacheHits        int64 `json:"job_cache_hits"`
+	JobCacheMisses      int64 `json:"job_cache_misses"`
+	JobCacheInvalidated int64 `json:"job_cache_invalidated"`
+	// QueryMemo* count whole-report memoization outcomes (AlgoLCA
+	// queries repeated on an unedited snapshot).
+	QueryMemoHits   int64 `json:"query_memo_hits"`
+	QueryMemoMisses int64 `json:"query_memo_misses"`
+}
+
+// Stats reports the timer's incremental-machinery counters. Counters
+// accumulate for the life of the Timer (they survive edits and
+// rebuilds); EditSeq and IncrRecomputed describe the current snapshot
+// chain.
+func (t *Timer) Stats() TimerStats {
+	s := t.snap.Load()
+	return TimerStats{
+		EditSeq:             s.seq,
+		IncrRecomputed:      s.base.pre.Recomputed(),
+		JobCacheHits:        s.ctr.job.Hits.Load(),
+		JobCacheMisses:      s.ctr.job.Misses.Load(),
+		JobCacheInvalidated: s.ctr.job.Invalidated.Load(),
+		QueryMemoHits:       s.ctr.queryHits.Load(),
+		QueryMemoMisses:     s.ctr.queryMisses.Load(),
+	}
+}

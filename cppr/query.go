@@ -47,6 +47,12 @@ type Query struct {
 	// frontier-driven one (verification/ablation knob). Both kernels
 	// produce byte-identical reports; only the work performed differs.
 	DenseKernel bool
+	// NoCache bypasses the timer's incremental caches — the per-corner
+	// candidate-job cache and the per-snapshot query memo — forcing a
+	// cold run (verification/ablation knob, like DenseKernel). Cached
+	// and uncached runs produce byte-identical reports; only the work
+	// performed differs.
+	NoCache bool
 }
 
 // Normalize validates q and canonicalises it in place: negative Threads

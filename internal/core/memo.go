@@ -1,0 +1,354 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastcppr/internal/faultinject"
+	"fastcppr/internal/mmheap"
+	"fastcppr/internal/qerr"
+	"fastcppr/model"
+)
+
+// MemoMaxK bounds the query K the memoized path accepts: per-job cache
+// entries materialise every kept candidate's pin sequence, so their
+// retained memory is O(K × path length) per job. Queries beyond the
+// bound fall back to the uncached TopPaths.
+const MemoMaxK = 1024
+
+// CacheCounters aggregates job-cache effectiveness counters, shared by
+// every per-corner JobCache of a timer so Stats() reports one total.
+type CacheCounters struct {
+	Hits        atomic.Int64 // jobs served from cache
+	Misses      atomic.Int64 // jobs executed (no entry, stale entry, or insufficient K)
+	Invalidated atomic.Int64 // misses caused by a dirty-cone intersection
+}
+
+// jobKey identifies a cacheable job result. The plan index is NOT part
+// of the key: a job's candidate stream depends only on its kind/level
+// and the query knobs below, so an entry stays valid when plan shape
+// changes (e.g. IncludePOs toggling) re-number the jobs — the merge
+// assigns the current plan index at serve time. K is handled by the
+// entry's k/exhausted pair (the enumeration has the prefix property),
+// and Threads never affects per-job output. The kernel and LCA-method
+// knobs are kept in the key so ablation sweeps (sparse vs dense,
+// RMQ vs lifting) exercise real runs of both variants.
+type jobKey struct {
+	kind    jobKind
+	level   int
+	mode    model.Mode
+	lifting bool
+	dense   bool
+}
+
+// cachedOut is one kept candidate of a memoized job: the jobOut fields
+// that survive across queries, with the pin sequence already
+// materialised (reconstruction needs the producing run's propagation
+// arrays, which are gone once the worker moves on).
+type cachedOut struct {
+	slack    model.Time
+	idx      int
+	capFF    model.FFID
+	launch   model.PinID
+	lcaDepth int
+	credit   model.Time
+	pins     []model.PinID
+}
+
+// jobEntry is a cached job result. Immutable once stored except for
+// seq, which lookups bump (under the cache lock) after revalidation so
+// journal walks stay short.
+//
+// Serving smaller budgets is sound by the prefix property: the pop
+// sequence under budget k' <= k is exactly the first pops under budget
+// k truncated at idx < k' (deviation costs are non-negative, so the
+// bounded heap's evictions never touch the next `remaining` outputs).
+// Serving LARGER budgets is sound only from an exhausted entry: if the
+// job's heap ran dry before its budget (produced < k), no push was ever
+// evicted or bound-rejected — an eviction requires the heap to reach
+// the remaining-output bound, after which it provably sustains
+// full-budget pops — so the entry holds the job's complete candidate
+// stream and is valid for every k'.
+type jobEntry struct {
+	seq       uint64
+	k         int
+	exhausted bool
+	produced  int
+	cone      *model.PinSet
+	outs      []cachedOut
+}
+
+// JobCache memoizes candidate-generation job results for one (design
+// corner, engine) pair across the queries of a snapshot chain. Entries
+// are tagged with the job's seed cone (forward data-graph reachability
+// of its launch points); a validator supplied per query decides, from
+// the snapshot's edit journal, whether an entry stored at seq s is
+// still exact — a job output can change only if an edited arc's source
+// pin lies in the cone. Safe for concurrent use.
+type JobCache struct {
+	mu      sync.Mutex
+	entries map[jobKey]*jobEntry
+	ctr     *CacheCounters
+}
+
+// NewJobCache returns an empty cache reporting into ctr (shared across
+// the timer's per-corner caches; nil disables counting).
+func NewJobCache(ctr *CacheCounters) *JobCache {
+	if ctr == nil {
+		ctr = &CacheCounters{}
+	}
+	return &JobCache{entries: make(map[jobKey]*jobEntry), ctr: ctr}
+}
+
+// Len returns the number of cached job entries.
+func (c *JobCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// lookup serves key at budget k if a valid entry covers it, returning
+// the served outs (a prefix view of the entry; read-only), the produced
+// count a cold run at budget k would report, and whether it hit. On a
+// hit the entry's seq advances to seq — the validator just proved no
+// dirtying edit lies in (entry.seq, seq].
+func (c *JobCache) lookup(key jobKey, k int, seq uint64, valid func(entrySeq uint64, cone *model.PinSet) bool) ([]cachedOut, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.ctr.Misses.Add(1)
+		return nil, 0, false
+	}
+	if !valid(e.seq, e.cone) {
+		delete(c.entries, key)
+		c.ctr.Misses.Add(1)
+		c.ctr.Invalidated.Add(1)
+		return nil, 0, false
+	}
+	e.seq = seq
+	if e.k < k && !e.exhausted {
+		// Valid but computed under a smaller budget whose stream did not
+		// run dry: the tail beyond e.k is unknown.
+		c.ctr.Misses.Add(1)
+		return nil, 0, false
+	}
+	c.ctr.Hits.Add(1)
+	outs := e.outs
+	for len(outs) > 0 && outs[len(outs)-1].idx >= k {
+		outs = outs[:len(outs)-1]
+	}
+	produced := e.produced
+	if produced > k {
+		produced = k
+	}
+	return outs, produced, true
+}
+
+// store records a job result computed at budget k from a run started at
+// journal seq.
+func (c *JobCache) store(key jobKey, seq uint64, k, produced int, cone *model.PinSet, outs []cachedOut) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = &jobEntry{
+		seq:       seq,
+		k:         k,
+		exhausted: produced < k,
+		produced:  produced,
+		cone:      cone,
+		outs:      outs,
+	}
+}
+
+// jobCone returns the data-graph footprint of spec: the set of pins a
+// tuple seeded by this job can visit. An arc delay can influence the
+// job's output only if the arc's SOURCE is in this set (propagation and
+// deviation scanning both read only arcs leaving reached pins), so
+// journal validation tests edit sources against it. Clock-arc, CK->Q,
+// and constraint changes are outside this model and rebuild the whole
+// snapshot (dropping the cache) instead.
+func (e *Engine) jobCone(spec jobSpec) *model.PinSet {
+	switch spec.kind {
+	case jobLevel:
+		return e.tree.LevelCone(spec.level)
+	case jobPI:
+		return e.tree.PICone()
+	case jobPO:
+		return e.tree.LaunchCone()
+	default: // self-loop, cross-domain: the full FF launch universe
+		return e.tree.AllCone()
+	}
+}
+
+// TopPathsMemo is TopPaths with per-job memoization: each
+// candidate-generation job's kept outputs are cached in cache, tagged
+// with the job's seed cone and the journal seq, and reused across
+// queries on the same snapshot chain whenever the validator proves no
+// edit since the entry's seq can reach the job's cone. The merged
+// report is byte-identical to an uncached TopPaths run:
+//
+//   - cache misses run their job with global-bound pruning disabled, so
+//     the stored stream is the job's true ranked candidate prefix
+//     rather than a bound-truncated one (the bound depends on job
+//     completion order, which a cache must not capture);
+//   - the global merge applies the same total order (slack, plan index,
+//     pop index) over per-job supersets of what a cold run would
+//     contribute — the extra elements all rank beyond the k-th best, so
+//     the selected top-k is unchanged (see DESIGN.md §12).
+//
+// Cancellation and panic containment follow TopPaths. Partial (canceled)
+// job runs are never stored.
+func (e *Engine) TopPathsMemo(ctx context.Context, opts Options, cache *JobCache, seq uint64, valid func(entrySeq uint64, cone *model.PinSet) bool) (Result, error) {
+	if err := qerr.FromContext(ctx); err != nil {
+		return Result{}, err
+	}
+	k := opts.K
+	if k <= 0 || len(e.d.FFs) == 0 {
+		return Result{}, nil
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	jobs := e.jobPlan(opts)
+	numJobs := len(jobs)
+	if threads > numJobs {
+		threads = numJobs
+	}
+
+	less := func(a, b *jobOut) bool {
+		if a.slack != b.slack {
+			return a.slack < b.slack
+		}
+		if a.job != b.job {
+			return a.job < b.job
+		}
+		return a.idx < b.idx
+	}
+	global := mmheap.New(less)
+	var mu sync.Mutex
+
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+	done := qctx.Done()
+
+	var candidates, kept, reconstructed atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(qerr.FromPanic("core.TopPathsMemo", r))
+				}
+			}()
+			s := e.getScratch(done)
+			defer e.putScratch(s)
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= numJobs || s.canceled() {
+					return
+				}
+				faultinject.Fire("core.worker")
+				spec := jobs[j]
+				key := jobKey{
+					kind:    spec.kind,
+					level:   spec.level,
+					mode:    opts.Mode,
+					lifting: opts.UseLiftingLCA,
+					dense:   opts.DenseKernel,
+				}
+				outs, produced, hit := cache.lookup(key, k, seq, valid)
+				if !hit {
+					// Run the job at full fidelity: no global bound (its
+					// truncation point depends on sibling-job timing) and
+					// every kept candidate's pins materialised while this
+					// worker's propagation arrays are still intact.
+					runOpts := opts
+					runOpts.DisableGlobalBound = true
+					var dummy globalBound
+					jobOuts, prod := e.runJob(s, spec, j, k, runOpts, &dummy)
+					if s.canceled() {
+						return // partial stream; do not store or merge
+					}
+					outs = make([]cachedOut, len(jobOuts))
+					for i, o := range jobOuts {
+						outs[i] = cachedOut{
+							slack:    o.slack,
+							idx:      o.idx,
+							capFF:    o.capFF,
+							launch:   o.launch,
+							lcaDepth: o.lcaDepth,
+							credit:   o.credit,
+							pins:     e.reconstruct(s.prop, o.chain),
+						}
+						reconstructed.Add(1)
+					}
+					produced = prod
+					cache.store(key, seq, k, prod, e.jobCone(spec), outs)
+				}
+				candidates.Add(int64(produced))
+				kept.Add(int64(len(outs)))
+				mu.Lock()
+				for i := range outs {
+					c := &outs[i]
+					global.PushBounded(&jobOut{
+						slack:    c.slack,
+						job:      j,
+						idx:      c.idx,
+						capFF:    c.capFF,
+						launch:   c.launch,
+						lcaDepth: c.lcaDepth,
+						credit:   c.credit,
+						pins:     c.pins,
+					}, k)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return Result{}, failErr
+	}
+	if err := qerr.FromContext(ctx); err != nil {
+		return Result{}, err
+	}
+
+	outs := make([]*jobOut, 0, global.Len())
+	for {
+		o, ok := global.PopMin()
+		if !ok {
+			break
+		}
+		outs = append(outs, o)
+	}
+	paths := make([]model.Path, len(outs))
+	for i, o := range outs {
+		paths[i] = e.materialise(opts.Mode, o)
+		// Cached pin slices are shared across queries; reports own their
+		// pins, so hand out a copy.
+		paths[i].Pins = append([]model.PinID(nil), o.pins...)
+	}
+	return Result{
+		Paths: paths,
+		Stats: Stats{
+			Jobs:          numJobs,
+			Candidates:    int(candidates.Load()),
+			Kept:          int(kept.Load()),
+			Reconstructed: int(reconstructed.Load()),
+		},
+	}, nil
+}

@@ -163,6 +163,41 @@ func CheckKernelsByteIdentical(tb testing.TB, timer *cppr.Timer, d *model.Design
 	}
 }
 
+// CheckWarmColdByteIdentical runs q under AlgoLCA twice against the
+// same timer — once through the incremental caches (warm: journal
+// revalidation plus whatever job-cache and query-memo entries the
+// timer has accumulated) and once with Query.NoCache forcing a cold
+// uncached run — and fails tb unless the two marshalled JSON reports
+// are byte-for-byte identical. Like CheckKernelsByteIdentical this is
+// stronger than slack equality: pins, credits, endpoint names and
+// stats must all match, which holds only if cache revalidation is
+// exact. Wall time is zeroed before marshalling; it is the one field
+// allowed to differ.
+func CheckWarmColdByteIdentical(tb testing.TB, timer *cppr.Timer, d *model.Design, q cppr.Query) {
+	tb.Helper()
+	q.Algorithm = cppr.AlgoLCA
+	run := func(noCache bool) []byte {
+		qq := q
+		qq.NoCache = noCache
+		rep, err := timer.Run(context.Background(), qq)
+		if err != nil {
+			tb.Fatalf("difftest: noCache=%v: %v", noCache, err)
+		}
+		rep.Elapsed = 0
+		out, err := json.Marshal(rep.JSON(d, q.Mode, q.K))
+		if err != nil {
+			tb.Fatalf("difftest: marshal: %v", err)
+		}
+		return out
+	}
+	warm := run(false)
+	cold := run(true)
+	if !bytes.Equal(warm, cold) {
+		tb.Fatalf("difftest: warm and cold runs disagree (corners %#x, mode %v, k=%d)\nwarm: %s\ncold: %s",
+			uint64(q.Corners), q.Mode, q.K, warm, cold)
+	}
+}
+
 // CheckEndpointSweep cross-checks the two independent post-CPPR
 // surfaces of the Timer: the worst slack of the endpoint sweep
 // (PostCPPRSlacksCtx) must equal the slack of the top reported path

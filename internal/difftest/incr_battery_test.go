@@ -1,0 +1,116 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// editDataArc perturbs one rng-chosen data arc (FF output source — a
+// journalled edit, not a clock-tree rebuild) at corner c and returns
+// nothing; the timer's design is copy-on-write.
+func editDataArc(tb testing.TB, timer *cppr.Timer, c model.Corner, rng *rand.Rand) {
+	tb.Helper()
+	d := timer.Design()
+	for tries := 0; tries < 10*d.NumArcs(); tries++ {
+		ai := rng.Intn(d.NumArcs())
+		a := d.Arcs[ai]
+		if d.Pins[a.From].Kind != model.FFOutput {
+			continue
+		}
+		w := d.ArcDelay(c, int32(ai))
+		nw := model.Window{
+			Early: w.Early + model.Time(rng.Intn(20)),
+			Late:  w.Late + model.Time(rng.Intn(50)+20),
+		}
+		if err := timer.SetArcDelayAt(c, a.From, a.To, nw); err != nil {
+			tb.Fatalf("difftest: edit arc %d at corner %d: %v", ai, c, err)
+		}
+		return
+	}
+	tb.Fatal("difftest: no data arc found")
+}
+
+// TestBatteryWarmVsColdIncremental proves the incremental-cache
+// exactness claim at the public API level: on down-scaled versions of
+// every paper preset with jittered MCMM corners, a warm requery after
+// interleaved base- and extra-corner edits is byte-identical to a cold
+// NoCache run of the same snapshot for every corner selection, mode and
+// k — and anchored against a from-scratch timer over the edited design,
+// so a bug fooling both cached and uncached paths of one timer cannot
+// hide.
+func TestBatteryWarmVsColdIncremental(t *testing.T) {
+	names := gen.PresetNames()
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		spec, err := gen.PresetSpec(name, 0.004)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := gen.MustGenerate(spec)
+		d = WithJitteredCorners(t, d, 2, 500+int64(len(name)))
+		timer := cppr.NewTimer(d)
+		rng := rand.New(rand.NewSource(900 + int64(len(name))))
+
+		// Prime the caches so post-edit queries exercise revalidation.
+		for c := model.Corner(0); int(c) < d.NumCorners(); c++ {
+			for _, mode := range model.Modes {
+				CheckWarmColdByteIdentical(t, timer, d, cppr.Query{
+					K: 10, Mode: mode, Corners: cppr.CornerBit(c),
+				})
+			}
+		}
+
+		for step := 0; step < 3; step++ {
+			// Alternate which corner the edit lands in: base-corner edits
+			// exercise journal-cone invalidation, extra-corner edits
+			// exercise the corner-scoped cache reset.
+			editDataArc(t, timer, model.Corner(step%d.NumCorners()), rng)
+			nd := timer.Design()
+			for c := model.Corner(0); int(c) < nd.NumCorners(); c++ {
+				for _, mode := range model.Modes {
+					for _, k := range []int{1, 10} {
+						CheckWarmColdByteIdentical(t, timer, nd, cppr.Query{
+							K: k, Mode: mode, Corners: cppr.CornerBit(c),
+						})
+					}
+				}
+			}
+			// Multi-corner merged report, anchored against a fresh timer
+			// preprocessing the edited design from scratch.
+			fresh := cppr.NewTimer(nd)
+			for _, mode := range model.Modes {
+				q := cppr.Query{K: 10, Mode: mode, Corners: cppr.CornerAll}
+				CheckWarmColdByteIdentical(t, timer, nd, q)
+				warm := runJSON(t, timer, nd, q)
+				ref := runJSON(t, fresh, nd, q)
+				if !bytes.Equal(warm, ref) {
+					t.Fatalf("%s step %d %v: edited timer differs from fresh timer\nwarm:  %s\nfresh: %s",
+						name, step, mode, warm, ref)
+				}
+			}
+		}
+	}
+}
+
+func runJSON(tb testing.TB, timer *cppr.Timer, d *model.Design, q cppr.Query) []byte {
+	tb.Helper()
+	rep, err := timer.Run(context.Background(), q)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rep.Elapsed = 0
+	out, err := json.Marshal(rep.JSON(d, q.Mode, q.K))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}

@@ -61,6 +61,15 @@ func Batch(cfg Config) error {
 	timer := cppr.NewTimer(d)
 	timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
 	queries := batchWorkload()
+	// NoCache keeps this experiment measuring what it claims: executor
+	// work-sharing within one call versus a serial loop with none. With
+	// the incremental caches live, the serial baseline would be served
+	// from the cross-call query memo (and every rep after the first
+	// would be pure memo hits on both sides) — that effect is the
+	// Incremental experiment's subject, not this one's.
+	for i := range queries {
+		queries[i].NoCache = true
+	}
 
 	const reps = 3
 	stats := BatchStats{

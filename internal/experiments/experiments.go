@@ -181,7 +181,10 @@ func runCell(ctx context.Context, timer *cppr.Timer, algo cppr.Algorithm, k, thr
 	var qerr error
 	m := report.Measure(func() {
 		for _, mode := range model.Modes {
-			rep, err := timer.Run(ctx, cppr.Query{K: k, Mode: mode, Threads: threads, Algorithm: algo})
+			// NoCache: cells on one timer differ only in threads or k, and
+			// the query memo's key erases Threads — without the bypass a
+			// thread sweep's later cells would measure cache lookups.
+			rep, err := timer.Run(ctx, cppr.Query{K: k, Mode: mode, Threads: threads, Algorithm: algo, NoCache: true})
 			// A degraded report is the paper's MLE outcome: the budgeted
 			// search ran out before completing the exact top-k. A context
 			// error aborts the whole experiment instead.

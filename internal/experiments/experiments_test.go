@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -110,5 +111,38 @@ func TestColumnsCollapseAtOneThread(t *testing.T) {
 func TestHostInfo(t *testing.T) {
 	if !strings.Contains(HostInfo(), "CPU core") {
 		t.Error("HostInfo malformed")
+	}
+}
+
+func TestIncrementalSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("incremental smoke is slow")
+	}
+	var buf, jsonBuf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.JSONOut = &jsonBuf
+	if err := Incremental(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Incremental edit", "leon2", "vga_lcdv2", "memo-hit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Incremental output missing %q", want)
+		}
+	}
+	var st IncrementalStats
+	if err := json.Unmarshal(jsonBuf.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Scenarios) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(st.Scenarios))
+	}
+	if st.HeadlineSpeedup <= 0 {
+		t.Fatalf("headline speedup %v not positive", st.HeadlineSpeedup)
+	}
+	for _, sc := range st.Scenarios {
+		if sc.WarmNs <= 0 || sc.ColdNs <= 0 || sc.MemoHitNs <= 0 {
+			t.Fatalf("unmeasured scenario: %+v", sc)
+		}
 	}
 }

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// IncrementalScenario is one design's edit→requery measurement. The
+// warm and cold columns time the same queries on the same snapshots —
+// warm through the timer's incremental caches (edit journal, per-corner
+// job cache, per-snapshot query memo), cold with Query.NoCache forcing
+// a from-scratch run — and every warm report is byte-checked against
+// its cold twin before the pair is counted.
+type IncrementalScenario struct {
+	Design  string `json:"design"`
+	Corners int    `json:"corners"`
+	K       int    `json:"k"`
+	Edits   int    `json:"edits"`
+	// WarmNs/ColdNs total the post-edit requery times over the edit
+	// sequence; Speedup is their ratio.
+	WarmNs  int64   `json:"warm_ns"`
+	ColdNs  int64   `json:"cold_ns"`
+	Speedup float64 `json:"speedup"`
+	// MemoHitNs times a repeated query on an unedited snapshot (a pure
+	// query-memo hit); MemoSpeedup compares it to the cold run.
+	MemoHitNs   int64   `json:"memo_hit_ns"`
+	MemoSpeedup float64 `json:"memo_speedup"`
+	// Stats is the timer's counter state at the end of the scenario —
+	// the cache behaviour behind the wall-clock numbers.
+	Stats cppr.TimerStats `json:"timer_stats"`
+}
+
+// IncrementalStats is the machine-readable result of the incremental
+// edit→requery experiment, committed as BENCH_incremental.json for
+// regression tracking.
+type IncrementalStats struct {
+	Host      string                `json:"host"`
+	Scale     float64               `json:"scale"`
+	Reps      int                   `json:"reps"`
+	Scenarios []IncrementalScenario `json:"scenarios"`
+	// HeadlineSpeedup is the multi-corner leon2 scenario's warm-vs-cold
+	// ratio — the acceptance number.
+	HeadlineSpeedup float64 `json:"headline_speedup"`
+}
+
+const incrementalReps = 3
+
+// incrementalScenario runs one design through an edit→requery loop.
+// Edits perturb one base-corner data arc each, so per-corner cache
+// scoping does the heavy lifting on multi-corner timers: the extra
+// corners' delay tables are untouched and their job caches revalidate
+// wholesale, while the base corner re-runs only the jobs whose seed
+// cone contains the edited arc.
+func incrementalScenario(cfg Config, dc *designCache, design string, corners, k, edits int) (IncrementalScenario, error) {
+	sc := IncrementalScenario{Design: design, Corners: corners, K: k, Edits: edits}
+	d, err := dc.get(design)
+	if err != nil {
+		return sc, err
+	}
+	if corners > 1 {
+		if d, err = mcmmCorners(d, corners); err != nil {
+			return sc, err
+		}
+	}
+	timer := cppr.NewTimer(d)
+	timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+
+	q := cppr.Query{K: k, Mode: model.Setup}
+	if corners > 1 {
+		q.Corners = cppr.CornerAll
+	}
+	cold := q
+	cold.NoCache = true
+
+	run := func(qq cppr.Query) (cppr.Report, int64, error) {
+		start := time.Now()
+		rep, err := timer.Run(cfg.Ctx, qq)
+		return rep, time.Since(start).Nanoseconds(), err
+	}
+	check := func(warm, coldRep cppr.Report) error {
+		warm.Elapsed, coldRep.Elapsed = 0, 0
+		a, err := json.Marshal(warm.JSON(timer.Design(), q.Mode, q.K))
+		if err != nil {
+			return err
+		}
+		b, err := json.Marshal(coldRep.JSON(timer.Design(), q.Mode, q.K))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("incremental: %s warm report differs from cold", design)
+		}
+		return nil
+	}
+
+	// Prime the caches (unmeasured cold fill), then time the repeat
+	// query — a pure query-memo hit — against an uncached run.
+	if _, _, err := run(q); err != nil {
+		return sc, err
+	}
+	sc.MemoHitNs = int64(1) << 62
+	var memoCold int64
+	for r := 0; r < incrementalReps; r++ {
+		if _, ns, err := run(q); err != nil {
+			return sc, err
+		} else if ns < sc.MemoHitNs {
+			sc.MemoHitNs = ns
+		}
+		_, ns, err := run(cold)
+		if err != nil {
+			return sc, err
+		}
+		if r == 0 || ns < memoCold {
+			memoCold = ns
+		}
+	}
+	sc.MemoSpeedup = float64(memoCold) / float64(sc.MemoHitNs)
+
+	// The edit→requery loop: one base-corner data-arc edit, then the
+	// warm requery it is the whole point of the machinery, then the
+	// cold twin for the ratio and the byte check.
+	rng := rand.New(rand.NewSource(77))
+	for e := 0; e < edits; e++ {
+		nd := timer.Design()
+		ai := -1
+		for {
+			ai = rng.Intn(nd.NumArcs())
+			if nd.Pins[nd.Arcs[ai].From].Kind == model.FFOutput {
+				break
+			}
+		}
+		a := nd.Arcs[ai]
+		nw := model.Window{
+			Early: a.Delay.Early + model.Time(rng.Intn(20)),
+			Late:  a.Delay.Late + model.Time(rng.Intn(40)+10),
+		}
+		if err := timer.SetArcDelay(a.From, a.To, nw); err != nil {
+			return sc, err
+		}
+		warmRep, warmNs, err := run(q)
+		if err != nil {
+			return sc, err
+		}
+		coldRep, coldNs, err := run(cold)
+		if err != nil {
+			return sc, err
+		}
+		if err := check(warmRep, coldRep); err != nil {
+			return sc, err
+		}
+		sc.WarmNs += warmNs
+		sc.ColdNs += coldNs
+	}
+	sc.Speedup = float64(sc.ColdNs) / float64(sc.WarmNs)
+	sc.Stats = timer.Stats()
+	return sc, nil
+}
+
+// Incremental measures the edit→requery loop: after a single arc-delay
+// edit, how much faster is a requery through the incremental caches
+// than a from-scratch run of the same snapshot? The headline scenario
+// is leon2 with 8 jittered corners queried at CornerAll — the EDA
+// signoff shape, where a base-corner edit leaves seven corners' caches
+// fully valid — alongside the honest single-corner spectrum on leon2
+// and the vga-class preset, where a single edit's cone covers most of
+// the graph and the win is small. When cfg.JSONOut is set, the stats
+// are also encoded there as JSON.
+func Incremental(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	stats := IncrementalStats{Host: HostInfo(), Scale: cfg.Scale, Reps: incrementalReps}
+
+	scenarios := []struct {
+		design  string
+		corners int
+		k       int
+	}{
+		{"leon2", 8, 100},     // headline: MCMM edit→requery
+		{"leon2", 1, 100},     // single corner: cone invalidation only
+		{"vga_lcdv2", 1, 100}, // chain-topology preset, single corner
+	}
+	const edits = 5
+	t := report.NewTable(
+		fmt.Sprintf("Incremental edit→requery: single-arc edits (scale %g, %d edits, memo best of %d)",
+			cfg.Scale, edits, incrementalReps),
+		"design", "corners", "k", "cold(s)", "warm(s)", "speedup", "memo-hit speedup")
+	for _, s := range scenarios {
+		sc, err := incrementalScenario(cfg, dc, s.design, s.corners, s.k, edits)
+		if err != nil {
+			return err
+		}
+		stats.Scenarios = append(stats.Scenarios, sc)
+		if s.corners > 1 {
+			stats.HeadlineSpeedup = sc.Speedup
+		}
+		t.Add(sc.Design, fmt.Sprintf("%d", sc.Corners), fmt.Sprintf("%d", sc.K),
+			fmt.Sprintf("%.3f", float64(sc.ColdNs)/1e9),
+			fmt.Sprintf("%.3f", float64(sc.WarmNs)/1e9),
+			fmt.Sprintf("%.2fx", sc.Speedup),
+			fmt.Sprintf("%.0fx", sc.MemoSpeedup))
+	}
+
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "edit→requery speedup (multi-corner headline): %.2fx\n\n",
+		stats.HeadlineSpeedup); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -89,8 +89,13 @@ func MCMM(cfg Config) error {
 		standalone[c].SetBudgets(cfg.MaxTuples, cfg.MaxPops)
 	}
 	queries := batchWorkload()
+	// NoCache for the same reason as the Batch experiment: the serial
+	// and standalone baselines must not be served from the cross-call
+	// query memo, or the fan-out ratio measures cache hits, not corner
+	// work-sharing.
 	for i := range queries {
 		queries[i].Corners = cppr.CornerAll
+		queries[i].NoCache = true
 	}
 
 	const reps = 3

@@ -1,0 +1,135 @@
+package lca
+
+import (
+	"sync"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// bfsCone is the reference: plain BFS over fanout arcs from seeds.
+func bfsCone(d *model.Design, seeds []model.PinID) []bool {
+	ref := make([]bool, d.NumPins())
+	queue := append([]model.PinID(nil), seeds...)
+	for _, p := range seeds {
+		ref[p] = true
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ai := range d.FanOut(u) {
+			if v := d.Arcs[ai].To; !ref[v] {
+				ref[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return ref
+}
+
+func checkCone(t *testing.T, d *model.Design, set *model.PinSet, ref []bool, what string) {
+	t.Helper()
+	want := 0
+	for u := 0; u < d.NumPins(); u++ {
+		if ref[u] {
+			want++
+		}
+		if set.Contains(model.PinID(u)) != ref[u] {
+			t.Fatalf("%s: pin %s membership %v, want %v",
+				what, d.PinName(model.PinID(u)), set.Contains(model.PinID(u)), ref[u])
+		}
+	}
+	if set.Len() != want {
+		t.Fatalf("%s: Len = %d, want %d", what, set.Len(), want)
+	}
+}
+
+func TestConesMatchBruteForceReachability(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		d := gen.MustGenerate(gen.Medium(seed))
+		tree := New(d)
+		maxDepth := 0
+		for i := range d.FFs {
+			if dep := tree.Depth(d.FFs[i].Clock); dep > maxDepth {
+				maxDepth = dep
+			}
+		}
+		for dep := 0; dep <= maxDepth; dep++ {
+			var seeds []model.PinID
+			for i := range d.FFs {
+				if tree.Depth(d.FFs[i].Clock) > dep {
+					seeds = append(seeds, d.FFs[i].Output)
+				}
+			}
+			checkCone(t, d, tree.LevelCone(dep), bfsCone(d, seeds), "LevelCone")
+		}
+		var allQ []model.PinID
+		for i := range d.FFs {
+			allQ = append(allQ, d.FFs[i].Output)
+		}
+		checkCone(t, d, tree.AllCone(), bfsCone(d, allQ), "AllCone")
+		checkCone(t, d, tree.PICone(), bfsCone(d, d.PIs), "PICone")
+		checkCone(t, d, tree.LaunchCone(), bfsCone(d, append(allQ, d.PIs...)), "LaunchCone")
+
+		// Cone nesting: deeper cuts seed a subset of shallower cuts, so
+		// LevelCone(d+1) ⊆ LevelCone(d) ⊆ AllCone — the monotonicity the
+		// invalidation soundness argument leans on.
+		for dep := 0; dep < maxDepth; dep++ {
+			inner, outer := tree.LevelCone(dep+1), tree.LevelCone(dep)
+			for u := 0; u < d.NumPins(); u++ {
+				if inner.Contains(model.PinID(u)) && !outer.Contains(model.PinID(u)) {
+					t.Fatalf("seed %d: LevelCone(%d) not nested in LevelCone(%d) at pin %s",
+						seed, dep+1, dep, d.PinName(model.PinID(u)))
+				}
+			}
+		}
+	}
+}
+
+func TestConesSharedAcrossDerivedTrees(t *testing.T) {
+	// Cones are data-graph reachability, identical across corner views, so
+	// Trees derived from one base must return the same *PinSet instances.
+	d := gen.MustGenerate(gen.Medium(4))
+	d2, _, err := d.WithDerivedCorner("slow", func(_ int, w model.Window) model.Window {
+		return model.Window{Early: w.Early * 2, Late: w.Late * 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := New(d)
+	derived := base.Derive(d2.View(1))
+	if base.LevelCone(0) != derived.LevelCone(0) {
+		t.Fatal("LevelCone rebuilt per corner, want shared per shape")
+	}
+	if base.AllCone() != derived.AllCone() {
+		t.Fatal("AllCone rebuilt per corner, want shared per shape")
+	}
+	if base.PICone() != derived.PICone() {
+		t.Fatal("PICone rebuilt per corner, want shared per shape")
+	}
+	if base.LaunchCone() != derived.LaunchCone() {
+		t.Fatal("LaunchCone rebuilt per corner, want shared per shape")
+	}
+}
+
+func TestConesConcurrentAccess(t *testing.T) {
+	// Cache validators consult cones from parallel workers; the lazy
+	// build must be safe under concurrent first access (run with -race).
+	d := gen.MustGenerate(gen.Medium(7))
+	tree := New(d)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dep := 0; dep < 4; dep++ {
+				_ = tree.LevelCone(dep)
+			}
+			_ = tree.AllCone()
+			_ = tree.PICone()
+			_ = tree.LaunchCone()
+		}()
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"fastcppr/internal/sta"
 	"fastcppr/model"
 )
 
@@ -81,6 +82,23 @@ type shape struct {
 	// the whole job. Real clock trees are branching crowns feeding long
 	// buffer chains, so most depths are inactive chain links.
 	activeLevel []bool
+
+	// cone[dep] is the lazily built level->seed-cone table: every pin
+	// forward-reachable from the level-dep job's seed Q pins (the
+	// LevelFFs list). allCone / piCone / launchCone are the analogous
+	// footprints of the whole-FF-universe jobs (self-loop, cross-domain),
+	// the PI job, and the PO job (FF Q pins plus PIs). Cones depend only
+	// on the data-graph topology, which every corner view shares, so one
+	// build serves all corners; the incremental job caches tag entries
+	// with these sets and invalidate on edit-journal intersection.
+	coneOnce   []sync.Once
+	cone       []*model.PinSet
+	allOnce    sync.Once
+	allCone    *model.PinSet
+	piOnce     sync.Once
+	piCone     *model.PinSet
+	launchOnce sync.Once
+	launchCone *model.PinSet
 }
 
 // Tree holds the preprocessed clock tree of a design at one delay
@@ -155,6 +173,8 @@ func New(d *model.Design) *Tree {
 	}
 	s.seedOnce = make([]sync.Once, s.maxDepth+1)
 	s.seedFFs = make([][]model.FFID, s.maxDepth+1)
+	s.coneOnce = make([]sync.Once, s.maxDepth+1)
+	s.cone = make([]*model.PinSet, s.maxDepth+1)
 
 	// Mark the depths that can host an LCA of two FF clock pins: a
 	// bottom-up subtree count of FF clocks, flagging each node's depth
@@ -633,4 +653,79 @@ func (t *Tree) GroupOf(lt *LevelTables, u model.PinID) int32 {
 // for pins with depth >= d.
 func (t *Tree) CreditAtDOf(lt *LevelTables, u model.PinID) model.Time {
 	return lt.CreditAtD[t.compact(u)]
+}
+
+// LevelCone returns the data-graph footprint of the level-dep candidate
+// job: every pin forward-reachable from the Q pins of LevelFFs(dep). A
+// level job's output can depend on a data-arc delay only if the arc's
+// source lies in this set, so the incremental job cache tags level-job
+// entries with it and invalidates exactly when an edit journal records
+// an in-cone source. Cones are reachability over the data graph, which
+// corner views share, so they are built once per shape (from whichever
+// corner asks first) and served read-only to all corners and concurrent
+// queries. dep must be in [0, max clock-tree depth].
+func (t *Tree) LevelCone(dep int) *model.PinSet {
+	s := t.shape
+	s.coneOnce[dep].Do(func() {
+		set := model.NewPinSet(t.d.NumPins())
+		sta.ForwardCone(t.d, t.levelSeeds(dep), set)
+		s.cone[dep] = set
+	})
+	return s.cone[dep]
+}
+
+// levelSeeds returns the Q pins of LevelFFs(dep): the launch points a
+// level-dep job propagates from.
+func (t *Tree) levelSeeds(dep int) []model.PinID {
+	ffs := t.LevelFFs(dep)
+	seeds := make([]model.PinID, len(ffs))
+	for i, ff := range ffs {
+		seeds[i] = t.d.FFs[ff].Output
+	}
+	return seeds
+}
+
+// AllCone is the footprint of the whole-FF-universe jobs (self-loop,
+// cross-domain): forward reachability from every FF Q pin. Equivalent to
+// LevelCone(0) unioned with depth-0 FFs' cones; kept separate so the
+// whole-universe jobs don't depend on level-0 laziness. Built once per
+// shape; read-only thereafter.
+func (t *Tree) AllCone() *model.PinSet {
+	s := t.shape
+	s.allOnce.Do(func() {
+		seeds := make([]model.PinID, len(t.d.FFs))
+		for i := range t.d.FFs {
+			seeds[i] = t.d.FFs[i].Output
+		}
+		set := model.NewPinSet(t.d.NumPins())
+		sta.ForwardCone(t.d, seeds, set)
+		s.allCone = set
+	})
+	return s.allCone
+}
+
+// PICone is the footprint of the PI-launched job: forward reachability
+// from the primary inputs. Built once per shape; read-only thereafter.
+func (t *Tree) PICone() *model.PinSet {
+	s := t.shape
+	s.piOnce.Do(func() {
+		set := model.NewPinSet(t.d.NumPins())
+		sta.ForwardCone(t.d, t.d.PIs, set)
+		s.piCone = set
+	})
+	return s.piCone
+}
+
+// LaunchCone is the footprint of every launch point — FF Q pins and
+// primary inputs together: the PO job's universe (AllCone ∪ PICone).
+// Built once per shape; read-only thereafter.
+func (t *Tree) LaunchCone() *model.PinSet {
+	s := t.shape
+	s.launchOnce.Do(func() {
+		set := model.NewPinSet(t.d.NumPins())
+		set.Or(t.AllCone())
+		set.Or(t.PICone())
+		s.launchCone = set
+	})
+	return s.launchCone
 }

@@ -1,0 +1,36 @@
+package sta
+
+import "fastcppr/model"
+
+// ForwardCone adds to set every pin forward-reachable from seeds
+// (including the seeds themselves): the footprint a propagation seeded
+// at those pins can touch. It reuses the sparse kernel's frontier
+// worklist, draining in topological-index order so each pin's fanout is
+// expanded exactly once — O(cone vertices + cone edges), independent of
+// design size.
+//
+// This is the cone-tagging primitive of the incremental query path: a
+// candidate-generation job's output can depend on an arc's delay only if
+// the arc's source pin lies in the cone of the job's seeds, so caches
+// tagged with ForwardCone sets are invalidated exactly by the edits that
+// can reach them. set must have capacity d.NumPins(); it is OR-extended,
+// not reset, so callers can union multiple seed classes into one cone.
+func ForwardCone(d *model.Design, seeds []model.PinID, set *model.PinSet) {
+	var fr frontier
+	for _, p := range seeds {
+		if !set.Contains(p) {
+			set.Add(p)
+			fr.push(d.TopoIndex[p])
+		}
+	}
+	for !fr.empty() {
+		u := d.Topo[fr.pop()]
+		for _, ai := range d.FanOut(u) {
+			v := d.Arcs[ai].To
+			if !set.Contains(v) {
+				set.Add(v)
+				fr.push(d.TopoIndex[v])
+			}
+		}
+	}
+}

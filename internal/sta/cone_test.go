@@ -1,0 +1,69 @@
+package sta
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+func TestForwardConeMatchesBFS(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		d := gen.MustGenerate(gen.Medium(seed))
+		// Seeds: every fourth FF's Q pin plus the first PI.
+		var seeds []model.PinID
+		for i := 0; i < len(d.FFs); i += 4 {
+			seeds = append(seeds, d.FFs[i].Output)
+		}
+		if len(d.PIs) > 0 {
+			seeds = append(seeds, d.PIs[0])
+		}
+		set := model.NewPinSet(d.NumPins())
+		ForwardCone(d, seeds, set)
+
+		// Reference: plain BFS over fanout arcs.
+		ref := make([]bool, d.NumPins())
+		queue := append([]model.PinID(nil), seeds...)
+		for _, p := range seeds {
+			ref[p] = true
+		}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ai := range d.FanOut(u) {
+				if v := d.Arcs[ai].To; !ref[v] {
+					ref[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		want := 0
+		for u := 0; u < d.NumPins(); u++ {
+			if ref[u] {
+				want++
+			}
+			if set.Contains(model.PinID(u)) != ref[u] {
+				t.Fatalf("seed %d: pin %s membership %v, want %v",
+					seed, d.PinName(model.PinID(u)), set.Contains(model.PinID(u)), ref[u])
+			}
+		}
+		if set.Len() != want {
+			t.Fatalf("seed %d: Len = %d, want %d", seed, set.Len(), want)
+		}
+	}
+}
+
+func TestForwardConeUnions(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(0))
+	a := model.NewPinSet(d.NumPins())
+	ForwardCone(d, []model.PinID{d.FFs[0].Output}, a)
+	// A second call OR-extends rather than resetting.
+	before := a.Len()
+	ForwardCone(d, d.PIs, a)
+	if a.Len() < before {
+		t.Fatalf("union shrank: %d -> %d", before, a.Len())
+	}
+	if !a.Contains(d.FFs[0].Output) {
+		t.Fatal("earlier seed class lost")
+	}
+}

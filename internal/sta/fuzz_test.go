@@ -1,0 +1,71 @@
+package sta
+
+import (
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// FuzzIncrVsPropagate drives Incr with an edit stream decoded from fuzz
+// data and checks, after every Flush, that the incrementally maintained
+// arrival windows are identical to a from-scratch Propagate of the edited
+// design — the same differential oracle as the seeded random tests in
+// incremental_test.go, but with adversarial edit schedules: repeated
+// edits to one arc, edits that revert to the original delay (the
+// no-change pruning path), batches flushed together, and interleaved
+// CloneFor handoffs (the snapshot-chain pattern cppr.Timer uses).
+func FuzzIncrVsPropagate(f *testing.F) {
+	// Seed corpus: single edit, a flushed batch, a revert, and a clone
+	// handoff (op byte 3 forces CloneFor).
+	f.Add([]byte{0, 0, 0, 5, 9})
+	f.Add([]byte{1, 0, 3, 1, 2, 0, 7, 4, 4, 2, 1, 0, 0})
+	f.Add([]byte{2, 0, 0, 10, 10, 0, 0, 0, 0, 3, 0, 1, 6, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		d := gen.MustGenerate(gen.SmallOracle(int64(data[0] % 4)))
+		data = data[1:]
+		x := NewIncr(d)
+		dirty := false
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 4
+			ai := int32(int(data[i+1])<<2|int(data[i]>>2)) % int32(d.NumArcs())
+			early := model.Time(data[i+2] % 32)
+			late := early + model.Time(data[i+3]%32)
+			if err := x.SetArcDelay(ai, model.Window{Early: early, Late: late}); err != nil {
+				t.Fatalf("SetArcDelay(%d): %v", ai, err)
+			}
+			dirty = true
+			switch op {
+			case 1, 2:
+				x.Flush()
+				dirty = false
+				checkAgainstFull(t, d, x, "mid-stream flush")
+			case 3:
+				// Snapshot handoff: flush, then continue on a clone over a
+				// copy-on-write design, as the timer does per edit.
+				x.Flush()
+				dirty = false
+				nd := d.CloneWithArcs()
+				x = x.CloneFor(nd)
+				d = nd
+				checkAgainstFull(t, d, x, "after CloneFor")
+			}
+		}
+		if dirty {
+			x.Flush()
+		}
+		checkAgainstFull(t, d, x, "final flush")
+
+		// Error paths must reject without corrupting state.
+		if err := x.SetArcDelay(int32(d.NumArcs()), model.Window{}); err == nil {
+			t.Fatal("out-of-range arc accepted")
+		}
+		if err := x.SetArcDelay(0, model.Window{Early: 5, Late: 1}); err == nil {
+			t.Fatal("inverted delay window accepted")
+		}
+		checkAgainstFull(t, d, x, "after rejected edits")
+	})
+}

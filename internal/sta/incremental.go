@@ -22,16 +22,30 @@ type Incr struct {
 	queued []bool
 	// wl is the dirty-cone worklist, ordered by the design's TopoIndex.
 	wl frontier
+	// piOf maps PinID -> index into d.PIArrival, or -1: recomputePin
+	// runs once per dirty pin, so a linear scan of d.PIs there would put
+	// an O(|PIs|) factor on every recomputation. Immutable after
+	// construction and shared by CloneFor copies (clones see the same
+	// pin table).
+	piOf []int32
 	// stats
 	recomputed int
 }
 
 // NewIncr builds the incremental engine with a full initial propagation.
 func NewIncr(d *model.Design) *Incr {
+	piOf := make([]int32, d.NumPins())
+	for i := range piOf {
+		piOf[i] = -1
+	}
+	for i, p := range d.PIs {
+		piOf[p] = int32(i)
+	}
 	return &Incr{
 		d:      d,
 		gba:    Propagate(d),
 		queued: make([]bool, d.NumPins()),
+		piOf:   piOf,
 	}
 }
 
@@ -42,19 +56,23 @@ func (x *Incr) AT() *GBA { return x.gba }
 // CloneFor returns an independent Incr that continues x's arrival state
 // over design nd, which must be structurally identical to x's design
 // (same pins, arcs and topological order — e.g. a Design.CloneWithArcs
-// copy). The arrival windows are deep-copied. x must have no pending
-// un-Flushed edits.
+// copy). The arrival windows are deep-copied; the recomputation counter
+// carries over, so the clone reports cumulative incremental work across
+// the whole snapshot chain. x must have no pending un-Flushed edits.
 func (x *Incr) CloneFor(nd *model.Design) *Incr {
 	return &Incr{
-		d:      nd,
-		gba:    x.gba.Clone(),
-		queued: make([]bool, nd.NumPins()),
+		d:          nd,
+		gba:        x.gba.Clone(),
+		queued:     make([]bool, nd.NumPins()),
+		piOf:       x.piOf,
+		recomputed: x.recomputed,
 	}
 }
 
 // Recomputed returns the number of pin recomputations performed since
-// construction — the measure of incremental work saved versus full
-// propagation.
+// the chain's initial full propagation (CloneFor copies carry the count
+// forward) — the measure of incremental work saved versus repropagating
+// each edit from scratch.
 func (x *Incr) Recomputed() int { return x.recomputed }
 
 // SetArcDelay updates the delay of arc ai in the underlying design and
@@ -112,11 +130,8 @@ func (x *Incr) recomputePin(v model.PinID) (model.Window, bool) {
 	if x.d.Pins[v].Kind == model.ClockRoot {
 		at, valid = model.Window{}, true
 	}
-	for i, p := range x.d.PIs {
-		if p == v {
-			at, valid = x.d.PIArrival[i], true
-			break
-		}
+	if pi := x.piOf[v]; pi >= 0 {
+		at, valid = x.d.PIArrival[pi], true
 	}
 	for _, ai := range x.d.FanIn(v) {
 		arc := &x.d.Arcs[ai]

@@ -1,0 +1,94 @@
+package model
+
+// EditJournal is a persistent chain of arc-delay edits: each node records
+// one edit's sequence number, delay corner, and the edited arc's dirty
+// pins (source and sink). Nodes are immutable after Append, and child
+// snapshots share their ancestors structurally, so publishing an edit is
+// O(1) and a query on any snapshot can ask "was anything inside this
+// cone edited after sequence g?" by walking the chain from its own head
+// down to g.
+//
+// A per-edit chain, not an accumulated bitset, because accumulation
+// cannot answer ranged questions: once a pin is re-dirtied its membership
+// in "dirtied since g" depends on when g was, which only the ordered
+// chain retains. Cache entries store the sequence they were last
+// validated at and bump it on every successful reuse, so walks stay
+// proportional to the edits since the previous query, not to the total
+// edit history.
+//
+// The nil *EditJournal is the empty journal (sequence 0, nothing dirty):
+// a freshly built snapshot starts from nil, and topology-changing
+// rebuilds (ApplySDC, clock-arc edits) reset to nil because they drop
+// every cache outright rather than tracking a dirty set for it.
+type EditJournal struct {
+	seq    uint64
+	corner Corner
+	// src/dst are the edited arc's endpoints. Only src participates in
+	// cone tests — see DirtySince — but both are recorded so the journal
+	// is a complete edit log.
+	src, dst PinID
+	parent   *EditJournal
+	depth    int32
+	// collapsed marks a truncation sentinel: edits at or before seq are
+	// no longer individually recorded, so any entry older than seq must
+	// be treated as dirty.
+	collapsed bool
+}
+
+// journalMaxDepth caps the chain length: appending past the cap replaces
+// the tail with a collapsed sentinel, bounding both walk time and the
+// memory a long-lived edit loop can accumulate. Entries older than the
+// sentinel conservatively read as dirty, which only costs a recompute.
+const journalMaxDepth = 4096
+
+// Seq returns the journal's head sequence number; the nil journal is 0.
+func (j *EditJournal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq
+}
+
+// Append returns a new journal head recording an edit of the arc
+// src -> dst at corner c. j is not modified; the nil receiver appends
+// onto the empty journal.
+func (j *EditJournal) Append(c Corner, src, dst PinID) *EditJournal {
+	parent := j
+	var depth int32
+	if j != nil {
+		if j.depth >= journalMaxDepth {
+			parent = &EditJournal{seq: j.seq, collapsed: true}
+		} else {
+			depth = j.depth + 1
+		}
+	}
+	return &EditJournal{
+		seq:    j.Seq() + 1,
+		corner: c,
+		src:    src,
+		dst:    dst,
+		parent: parent,
+		depth:  depth,
+	}
+}
+
+// DirtySince reports whether any edit after sequence seq could perturb a
+// result computed from cone at corner c. The test is exact on the arc's
+// source pin: a candidate job's output depends on an edited arc iff a
+// propagated tuple can traverse it, iff the source holds a tuple, iff the
+// source is in the job's seed cone (the cone is closed under fanout, so
+// testing the sink too would add only spurious invalidations — a sink
+// reachable around the edited arc does not make the arc's delay
+// observable). Reaching a collapsed sentinel newer than seq reports
+// dirty: the individual records needed to prove cleanliness are gone.
+func (j *EditJournal) DirtySince(seq uint64, c Corner, cone *PinSet) bool {
+	for ; j != nil && j.seq > seq; j = j.parent {
+		if j.collapsed {
+			return true
+		}
+		if j.corner == c && cone.Contains(j.src) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package model
+
+import "math/bits"
+
+// PinSet is a fixed-capacity bitset over PinIDs: the representation of
+// dirty-pin sets and reachability cones in the incremental query path.
+// The zero value is an empty set of capacity zero; NewPinSet sizes one
+// for a design. A PinSet is not safe for concurrent mutation, but a
+// fully built set is safe for concurrent reads — the incremental caches
+// build cones once and then share them read-only across queries.
+type PinSet struct {
+	words []uint64
+	n     int
+}
+
+// NewPinSet returns an empty set with capacity for pins [0, n).
+func NewPinSet(n int) *PinSet {
+	return &PinSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the pin-capacity the set was built with.
+func (s *PinSet) Cap() int { return s.n }
+
+// Add inserts pin p. p must be in [0, Cap).
+func (s *PinSet) Add(p PinID) {
+	s.words[uint32(p)>>6] |= 1 << (uint32(p) & 63)
+}
+
+// Contains reports whether pin p is in the set. Out-of-range pins
+// (including NoPin) report false, so callers can probe arbitrary tags.
+func (s *PinSet) Contains(p PinID) bool {
+	if p < 0 || int(p) >= s.n {
+		return false
+	}
+	return s.words[uint32(p)>>6]&(1<<(uint32(p)&63)) != 0
+}
+
+// Or adds every pin of o to s. The two sets must have the same capacity.
+func (s *PinSet) Or(o *PinSet) {
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Len returns the number of pins in the set.
+func (s *PinSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset empties the set, keeping its capacity.
+func (s *PinSet) Reset() {
+	clear(s.words)
+}

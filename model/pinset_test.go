@@ -1,0 +1,104 @@
+package model
+
+import "testing"
+
+func TestPinSetBasics(t *testing.T) {
+	s := NewPinSet(130)
+	if s.Cap() != 130 || s.Len() != 0 {
+		t.Fatalf("fresh set: cap %d len %d", s.Cap(), s.Len())
+	}
+	for _, p := range []PinID{0, 63, 64, 129} {
+		s.Add(p)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	for _, p := range []PinID{0, 63, 64, 129} {
+		if !s.Contains(p) {
+			t.Errorf("Contains(%d) = false", p)
+		}
+	}
+	for _, p := range []PinID{1, 62, 65, 128} {
+		if s.Contains(p) {
+			t.Errorf("Contains(%d) = true", p)
+		}
+	}
+	// Out-of-range probes (including NoPin tags) must be safe and false.
+	if s.Contains(NoPin) || s.Contains(130) || s.Contains(1<<20) {
+		t.Error("out-of-range Contains = true")
+	}
+
+	o := NewPinSet(130)
+	o.Add(5)
+	o.Add(63)
+	s.Or(o)
+	if s.Len() != 5 || !s.Contains(5) {
+		t.Errorf("after Or: len %d, Contains(5)=%v", s.Len(), s.Contains(5))
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Contains(0) {
+		t.Error("Reset did not empty the set")
+	}
+}
+
+func TestEditJournalDirtySince(t *testing.T) {
+	cone := NewPinSet(10)
+	cone.Add(3)
+	other := NewPinSet(10)
+	other.Add(7)
+
+	var j *EditJournal // empty journal
+	if j.Seq() != 0 {
+		t.Fatalf("nil journal Seq = %d", j.Seq())
+	}
+	if j.DirtySince(0, BaseCorner, cone) {
+		t.Fatal("empty journal reports dirty")
+	}
+
+	j1 := j.Append(BaseCorner, 3, 4)  // seq 1, inside cone
+	j2 := j1.Append(BaseCorner, 8, 9) // seq 2, outside both cones
+	j3 := j2.Append(Corner(2), 7, 1)  // seq 3, corner-2 edit inside other
+
+	if j3.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", j3.Seq())
+	}
+	// Entry validated at seq 0 sees the seq-1 edit inside its cone.
+	if !j3.DirtySince(0, BaseCorner, cone) {
+		t.Error("seq-1 in-cone edit not reported")
+	}
+	// Entry validated at seq 1 is clean: later base edits miss the cone.
+	if j3.DirtySince(1, BaseCorner, cone) {
+		t.Error("clean entry reported dirty")
+	}
+	// Corner scoping: the corner-2 edit touches other's cone, but only
+	// for corner-2 entries.
+	if j3.DirtySince(0, BaseCorner, other) {
+		t.Error("corner-2 edit dirtied a base-corner entry")
+	}
+	if !j3.DirtySince(2, Corner(2), other) {
+		t.Error("corner-2 in-cone edit not reported for its corner")
+	}
+	// Sink-only overlap does not invalidate: seq-1 edited 3 -> 4; a cone
+	// containing only the sink 4 cannot observe the arc's delay.
+	sinkOnly := NewPinSet(10)
+	sinkOnly.Add(4)
+	if j3.DirtySince(0, BaseCorner, sinkOnly) {
+		t.Error("sink-only cone overlap reported dirty")
+	}
+}
+
+func TestEditJournalCollapse(t *testing.T) {
+	cone := NewPinSet(4) // never contains pin 1
+	var j *EditJournal
+	for i := 0; i < journalMaxDepth+10; i++ {
+		j = j.Append(BaseCorner, 1, 2)
+	}
+	// Entries newer than the collapse point still validate exactly.
+	if j.DirtySince(j.Seq()-5, BaseCorner, cone) {
+		t.Error("recent clean entry reported dirty after collapse")
+	}
+	// Entries older than the sentinel must conservatively read dirty.
+	if !j.DirtySince(0, BaseCorner, cone) {
+		t.Error("pre-collapse entry not conservatively dirty")
+	}
+}
