@@ -44,6 +44,8 @@ func main() {
 		sparseOut = flag.String("sparsejson", "BENCH_sparse.json", "with -sparse, write machine-readable stats to this file (empty = none)")
 		incr      = flag.Bool("incremental", false, "measure warm edit→requery through the incremental caches vs cold runs")
 		incrOut   = flag.String("incrementaljson", "BENCH_incremental.json", "with -incremental, write machine-readable stats to this file (empty = none)")
+		srvBench  = flag.Bool("serve", false, "measure the HTTP service front end: latency/QPS at several client counts, coalescing on vs off")
+		srvOut    = flag.String("servejson", "BENCH_serve.json", "with -serve, write machine-readable stats to this file (empty = none)")
 		all       = flag.Bool("all", false, "run everything")
 		scale     = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs   = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -56,10 +58,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr = true, true, true, true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench = true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -156,6 +158,7 @@ func main() {
 	runJSON("MCMM fan-out", *mcmm, *mcmmOut, experiments.MCMM)
 	runJSON("Sparse kernel", *sparse, *sparseOut, experiments.Sparse)
 	runJSON("Incremental edit→requery", *incr, *incrOut, experiments.Incremental)
+	runJSON("Service front end", *srvBench, *srvOut, experiments.Serve)
 }
 
 func fatal(err error) {

@@ -37,6 +37,10 @@ type BatchResult struct {
 // Parallelism is managed by the executor: distinct execution units
 // spread over a bounded worker pool and each unit's intra-query Threads
 // is set to its fair share, so a query's own Threads field is ignored.
+// A query's Timeout bounds its own units: each unit runs under a child
+// context carrying the most generous member budget, so one unit hitting
+// its deadline fails only its own members with ErrDeadlineExceeded —
+// the rest of the batch completes under the parent context.
 // A query-merged report carries the Stats and Elapsed of the shared
 // execution that served it; a corner-merged report sums them over its
 // corner runs.
@@ -52,13 +56,16 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 
 	// Group execution units one run can serve. A unit is one query at
 	// one corner; the key is the normalized single-corner query with
-	// Threads erased (parallelism is the executor's) and, for AlgoLCA,
+	// Threads and Timeout erased (parallelism is the executor's; the
+	// shared run gets the most generous member budget) and, for AlgoLCA,
 	// K erased (served by the group's max-K run via prefix clipping).
 	type group struct {
-		rep    Query // representative actually executed
-		corner model.Corner
-		out    Report
-		err    error
+		rep     Query // representative actually executed
+		corner  model.Corner
+		noLimit bool // some member has no Timeout: the run gets none
+		members int  // distinct queries this unit serves
+		out     Report
+		err     error
 	}
 	// pending is one validated query awaiting assembly from its units.
 	type pending struct {
@@ -79,6 +86,7 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 		for _, c := range p.corners {
 			key := q
 			key.Threads = 0
+			key.Timeout = 0
 			key.Corners = CornerBit(c)
 			if key.Algorithm == AlgoLCA {
 				key.K = 0
@@ -94,6 +102,17 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 			if q.K > g.rep.K {
 				g.rep.K = q.K
 			}
+			// The shared run's deadline budget is the most generous of
+			// its members': a member with no limit lifts the limit, and
+			// otherwise the longest timeout wins. A member whose own
+			// budget is shorter still gets a complete (early) answer.
+			if q.Timeout == 0 {
+				g.noLimit = true
+				g.rep.Timeout = 0
+			} else if !g.noLimit && q.Timeout > g.rep.Timeout {
+				g.rep.Timeout = q.Timeout
+			}
+			g.members++
 			p.groups = append(p.groups, g)
 		}
 		pend[i] = p
@@ -126,10 +145,21 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 				g := order[gi]
 				q := g.rep
 				q.Threads = inner
+				// Each execution unit runs under its own deadline child
+				// context, so one slow unit exhausts its own budget — and
+				// only its own members fail — while the rest of the batch
+				// keeps the parent's.
+				qctx, cancel := ctx, context.CancelFunc(nil)
+				if q.Timeout > 0 {
+					qctx, cancel = context.WithTimeout(ctx, q.Timeout)
+				}
 				// execute extends the batch's dedup across calls: a group
 				// already answered by a previous batch or Run on this
 				// snapshot is served from the query memo.
-				g.out, g.err = s.execute(ctx, q, g.corner)
+				g.out, g.err = s.execute(qctx, q, g.corner)
+				if cancel != nil {
+					cancel()
+				}
 			}
 		}()
 	}
@@ -143,21 +173,30 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 			continue
 		}
 		reps := make([]Report, len(p.groups))
-		failed := false
+		failed, shared := false, false
 		for j, g := range p.groups {
 			if g.err != nil {
 				results[i].Err = g.err
 				failed = true
 				break
 			}
+			if g.members > 1 {
+				shared = true
+			}
 			reps[j] = clipReport(g.out, p.q.K)
 		}
 		if failed {
 			continue
 		}
+		if shared {
+			s.ctr.servedCoalesced.Add(1)
+		}
 		if len(reps) == 1 {
 			rep := reps[0]
 			rep.Corner, rep.Corners = p.corners[0], p.q.Corners
+			if rep.Degraded {
+				s.ctr.servedDegraded.Add(1)
+			}
 			results[i].Report = rep
 			continue
 		}
@@ -165,6 +204,9 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 		rep.Corners = p.q.Corners
 		for _, r := range reps {
 			rep.Elapsed += r.Elapsed
+		}
+		if rep.Degraded {
+			s.ctr.servedDegraded.Add(1)
 		}
 		results[i].Report = rep
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"fastcppr/gen"
 	"fastcppr/model"
@@ -136,5 +137,56 @@ func TestReportBatchEmpty(t *testing.T) {
 	results, err := timer.ReportBatch(context.Background(), nil)
 	if err != nil || len(results) != 0 {
 		t.Fatalf("ReportBatch(nil) = %v, %v", results, err)
+	}
+}
+
+// TestReportBatchPerQueryDeadline: a query's Timeout bounds only its
+// own execution unit. The starved query fails with ErrDeadlineExceeded;
+// the other batch entries complete and the batch-level error stays nil
+// (the parent context is alive).
+func TestReportBatchPerQueryDeadline(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(7))
+	timer := NewTimer(d)
+	queries := []Query{
+		{K: 10, Mode: model.Setup, Timeout: time.Nanosecond},
+		{K: 10, Mode: model.Hold},
+	}
+	results, err := timer.ReportBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatalf("batch err = %v, want nil: one starved query must not fail the batch", err)
+	}
+	if !errors.Is(results[0].Err, ErrDeadlineExceeded) {
+		t.Errorf("starved query err = %v, want ErrDeadlineExceeded", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Errorf("healthy query err = %v, want nil", results[1].Err)
+	}
+	if len(results[1].Report.Paths) == 0 {
+		t.Error("healthy query returned no paths")
+	}
+}
+
+// TestReportBatchTimeoutCoalescing: queries differing only in Timeout
+// share one execution unit, and the shared run takes the most generous
+// member budget — unlimited when any member is unlimited.
+func TestReportBatchTimeoutCoalescing(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(7))
+	timer := NewTimer(d)
+	base := timer.Stats().ServedCoalesced
+	queries := []Query{
+		{K: 10, Mode: model.Setup, Timeout: time.Nanosecond},
+		{K: 10, Mode: model.Setup}, // unlimited member lifts the limit
+	}
+	results, err := timer.ReportBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			t.Fatalf("query %d: %v (the unlimited member must lift the shared run's deadline)", i, results[i].Err)
+		}
+	}
+	if got := timer.Stats().ServedCoalesced - base; got != 2 {
+		t.Errorf("ServedCoalesced delta = %d, want 2 (both members shared one unit)", got)
 	}
 }

@@ -531,11 +531,12 @@ func (s *snapshot) jobMemoEligible(q Query) bool {
 // built with — the original is never mutated.
 func (t *Timer) Design() *model.Design { return t.snap.Load().d }
 
-// Run executes one query. Cancellation or deadline expiry aborts it with
-// bounded latency and returns an error matching ErrCanceled /
-// ErrDeadlineExceeded; a panic anywhere in the query path is contained
-// and returned as an *InternalError (the Timer stays usable); a budgeted
-// baseline that exhausts its budget returns the paths found so far with
+// Run executes one query. Cancellation or deadline expiry — the
+// caller's, or the query's own Timeout — aborts it with bounded latency
+// and returns an error matching ErrCanceled / ErrDeadlineExceeded; a
+// panic anywhere in the query path is contained and returned as an
+// *InternalError (the Timer stays usable); a budgeted baseline that
+// exhausts its budget returns the paths found so far with
 // Report.Degraded set. An invalid query returns an error matching
 // ErrInvalidQuery.
 func (t *Timer) Run(ctx context.Context, q Query) (Report, error) {
@@ -543,7 +544,16 @@ func (t *Timer) Run(ctx context.Context, q Query) (Report, error) {
 	if err := s.normalize(&q); err != nil {
 		return Report{}, err
 	}
-	return s.run(ctx, q)
+	if q.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.Timeout)
+		defer cancel()
+	}
+	rep, err := s.run(ctx, q)
+	if err == nil && rep.Degraded {
+		s.ctr.servedDegraded.Add(1)
+	}
+	return rep, err
 }
 
 // Report runs one top-k query with a background context.

@@ -18,11 +18,18 @@ import "fastcppr/internal/qerr"
 //	                     rather than erroring
 //	ErrInvalidQuery      malformed query: negative K, out-of-range
 //	                     endpoint, unsupported algorithm combination
+//	ErrOverloaded        the service front end shed the request under
+//	                     load (admission queue full); never admitted,
+//	                     safe to retry after a backoff
+//	ErrShuttingDown      the service front end is draining for shutdown
+//	                     and refused the request
 var (
 	ErrCanceled         = qerr.ErrCanceled
 	ErrDeadlineExceeded = qerr.ErrDeadlineExceeded
 	ErrBudgetExhausted  = qerr.ErrBudgetExhausted
 	ErrInvalidQuery     = qerr.ErrInvalidQuery
+	ErrOverloaded       = qerr.ErrOverloaded
+	ErrShuttingDown     = qerr.ErrShuttingDown
 )
 
 // InternalError is a contained invariant violation: a panic inside a

@@ -251,6 +251,12 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustRun(t, timer, q) // journal revalidation: hits, misses or invalidations
+	timer.NoteServed(3, 1)
+	// Two identical batch queries share one execution unit, so both
+	// count as coalesced.
+	if _, err := timer.ReportBatch(context.Background(), []Query{q, q}); err != nil {
+		t.Fatal(err)
+	}
 
 	st := timer.Stats()
 	if st.EditSeq != 1 {
@@ -258,6 +264,9 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	}
 	if st.QueryMemoHits == 0 || st.QueryMemoMisses == 0 || st.JobCacheMisses == 0 {
 		t.Fatalf("counters not exercised: %+v", st)
+	}
+	if st.ServedAdmitted != 3 || st.ServedShed != 1 || st.ServedCoalesced != 2 {
+		t.Fatalf("served counters not exercised: %+v", st)
 	}
 	b, err := json.Marshal(st)
 	if err != nil {

@@ -20,6 +20,13 @@ type timerCounters struct {
 	job         core.CacheCounters
 	queryHits   atomic.Int64
 	queryMisses atomic.Int64
+	// Served-traffic counters. Admitted and shed are reported by the
+	// service front end (Timer.NoteServed); degraded and coalesced are
+	// counted by the Timer itself as reports leave Run / ReportBatch.
+	servedAdmitted  atomic.Int64
+	servedShed      atomic.Int64
+	servedDegraded  atomic.Int64
+	servedCoalesced atomic.Int64
 }
 
 // queryMemoMax bounds the per-snapshot query-memo size. Reports are
@@ -54,9 +61,12 @@ func newQueryMemo() *queryMemo {
 	return &queryMemo{entries: make(map[Query]*queryMemoEntry)}
 }
 
-// queryMemoKey normalizes q into its memo key for corner c.
+// queryMemoKey normalizes q into its memo key for corner c. Timeout is
+// erased alongside Threads: neither changes what a completed report
+// contains, only how the run was scheduled.
 func queryMemoKey(q Query, c model.Corner) Query {
 	q.Threads = 0
+	q.Timeout = 0
 	q.Corners = CornerBit(c)
 	q.K = 0
 	return q
@@ -145,6 +155,16 @@ type TimerStats struct {
 	// queries repeated on an unedited snapshot).
 	QueryMemoHits   int64 `json:"query_memo_hits"`
 	QueryMemoMisses int64 `json:"query_memo_misses"`
+	// Served* are the served-traffic counters of the service front end
+	// (internal/serve) and the batch executor. Admitted and shed are
+	// reported by the admission controller via NoteServed; degraded
+	// counts reports returned with Report.Degraded set, and coalesced
+	// counts batch queries served by an execution unit shared with at
+	// least one other query.
+	ServedAdmitted  int64 `json:"served_admitted"`
+	ServedShed      int64 `json:"served_shed"`
+	ServedDegraded  int64 `json:"served_degraded"`
+	ServedCoalesced int64 `json:"served_coalesced"`
 }
 
 // Stats reports the timer's incremental-machinery counters. Counters
@@ -161,5 +181,24 @@ func (t *Timer) Stats() TimerStats {
 		JobCacheInvalidated: s.ctr.job.Invalidated.Load(),
 		QueryMemoHits:       s.ctr.queryHits.Load(),
 		QueryMemoMisses:     s.ctr.queryMisses.Load(),
+		ServedAdmitted:      s.ctr.servedAdmitted.Load(),
+		ServedShed:          s.ctr.servedShed.Load(),
+		ServedDegraded:      s.ctr.servedDegraded.Load(),
+		ServedCoalesced:     s.ctr.servedCoalesced.Load(),
+	}
+}
+
+// NoteServed adds to the served-traffic counters reported by Stats():
+// the service front end calls it at admission time with the number of
+// requests admitted to this timer and the number shed (load-shedding or
+// shutdown refusals). Degraded and coalesced outcomes are counted by
+// the Timer itself. Safe for concurrent use; counters survive edits.
+func (t *Timer) NoteServed(admitted, shed int64) {
+	ctr := t.snap.Load().ctr
+	if admitted != 0 {
+		ctr.servedAdmitted.Add(admitted)
+	}
+	if shed != 0 {
+		ctr.servedShed.Add(shed)
 	}
 }

@@ -1,6 +1,8 @@
 package cppr
 
 import (
+	"time"
+
 	"fastcppr/internal/qerr"
 	"fastcppr/model"
 )
@@ -53,12 +55,21 @@ type Query struct {
 	// and uncached runs produce byte-identical reports; only the work
 	// performed differs.
 	NoCache bool
+	// Timeout, when positive, bounds this query's execution: Run (and,
+	// per execution unit, ReportBatch) derives a child context with this
+	// deadline, so one slow query cannot consume a whole batch's budget —
+	// it alone fails with ErrDeadlineExceeded while the other batch
+	// entries complete. Zero means no per-query limit (the caller's
+	// context still applies). ReportBatch coalesces queries that differ
+	// only in Timeout; the shared run gets the most generous budget of
+	// its members (unlimited if any member is unlimited).
+	Timeout time.Duration
 }
 
 // Normalize validates q and canonicalises it in place: negative Threads
-// is clamped to 0 (all cores), a zero Corners mask becomes corner 0,
-// and an ignored CaptureFF is cleared so equivalent queries compare
-// equal. CornerAll is clamped to the design's corners at query time. It returns an error matching
+// and Timeout are clamped to 0 (all cores / no limit), a zero Corners
+// mask becomes corner 0, and an ignored CaptureFF is cleared so
+// equivalent queries compare equal. CornerAll is clamped to the design's corners at query time. It returns an error matching
 // ErrInvalidQuery for a negative K, an unknown Algorithm, or a capture
 // filter on an algorithm that cannot serve it. Range-checking CaptureFF
 // against the design happens at query time, not here.
@@ -74,6 +85,9 @@ func (q *Query) Normalize() error {
 	}
 	if q.Threads < 0 {
 		q.Threads = 0
+	}
+	if q.Timeout < 0 {
+		q.Timeout = 0
 	}
 	if q.Corners == 0 {
 		q.Corners = CornerBit(model.BaseCorner)

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fastcppr/internal/report"
+	"fastcppr/internal/serve"
+)
+
+// ServeLevel is one measured operating point of the service benchmark:
+// a closed-loop client population at one concurrency against one
+// batcher configuration.
+type ServeLevel struct {
+	// Concurrency is the closed-loop client count.
+	Concurrency int `json:"concurrency"`
+	// MaxBatch is the server's coalescing bound (1 = coalescing off).
+	MaxBatch int `json:"max_batch"`
+	// Requests is the number of completed requests measured.
+	Requests int `json:"requests"`
+	// P50Us / P99Us are end-to-end request latency percentiles.
+	P50Us int64 `json:"p50_us"`
+	P99Us int64 `json:"p99_us"`
+	// QPS is aggregate served throughput over the level's wall time.
+	QPS float64 `json:"qps"`
+	// MeanBatch is the mean flush size that served the requests; > 1
+	// means coalescing did real work.
+	MeanBatch float64 `json:"mean_batch"`
+	// Shed counts 429s (should be 0 — admission is sized wide so the
+	// benchmark measures coalescing, not shedding).
+	Shed int `json:"shed"`
+}
+
+// ServeStats is the machine-readable result of the service benchmark,
+// committed as BENCH_serve.json for regression tracking.
+type ServeStats struct {
+	Host   string  `json:"host"`
+	Design string  `json:"design"`
+	Scale  float64 `json:"scale"`
+	// K is the per-request path count.
+	K      int          `json:"k"`
+	Levels []ServeLevel `json:"levels"`
+	// CoalescingGain is (coalesced QPS / uncoalesced QPS) at the highest
+	// measured concurrency — the headline number: how much throughput
+	// the batcher buys when the server is busiest.
+	CoalescingGain float64 `json:"coalescing_gain"`
+}
+
+// serveLevels are the measured closed-loop client counts.
+var serveLevels = []int{1, 8, 32}
+
+// Serve measures the HTTP service end to end over loopback: closed-loop
+// clients at several concurrency levels, with the coalescing batcher on
+// (MaxBatch 16) and off (MaxBatch 1). Queries carry NoCache so every
+// request does real engine work — the point is to measure how much of
+// that work coalescing shares, not how fast the memo replays it.
+func Serve(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	const design = "leon2"
+	const k = 50
+	const perClient = 12
+	d, err := dc.get(design)
+	if err != nil {
+		return err
+	}
+
+	stats := ServeStats{Host: HostInfo(), Design: design, Scale: cfg.Scale, K: k}
+	for _, maxBatch := range []int{1, 16} {
+		// Fresh server per batcher config; admission sized so nothing
+		// sheds at the highest client count.
+		srv := serve.New(serve.Config{
+			MaxBatch:      maxBatch,
+			MaxWait:       2 * time.Millisecond,
+			MaxConcurrent: serveLevels[len(serveLevels)-1],
+			MaxQueue:      4 * serveLevels[len(serveLevels)-1],
+		})
+		if err := srv.Registry().Load(design, d); err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		base := "http://" + ln.Addr().String()
+
+		for _, conc := range serveLevels {
+			if err := cfg.Ctx.Err(); err != nil {
+				return err
+			}
+			lvl, err := serveRunLevel(base, design, k, conc, perClient, maxBatch)
+			if err != nil {
+				return err
+			}
+			stats.Levels = append(stats.Levels, lvl)
+		}
+		srv.Close(30 * time.Second)
+		hs.Close()
+	}
+
+	// Headline: coalesced vs uncoalesced throughput at the top level.
+	top := serveLevels[len(serveLevels)-1]
+	var on, off float64
+	for _, l := range stats.Levels {
+		if l.Concurrency != top {
+			continue
+		}
+		if l.MaxBatch > 1 {
+			on = l.QPS
+		} else {
+			off = l.QPS
+		}
+	}
+	if off > 0 {
+		stats.CoalescingGain = on / off
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Service front end: k=%d NoCache queries on %s (scale %g, %d per client)", k, design, cfg.Scale, perClient),
+		"clients", "coalescing", "p50(ms)", "p99(ms)", "QPS", "mean batch")
+	for _, l := range stats.Levels {
+		mode := "off"
+		if l.MaxBatch > 1 {
+			mode = fmt.Sprintf("on (≤%d)", l.MaxBatch)
+		}
+		t.Add(fmt.Sprint(l.Concurrency), mode,
+			fmt.Sprintf("%.2f", float64(l.P50Us)/1e3),
+			fmt.Sprintf("%.2f", float64(l.P99Us)/1e3),
+			fmt.Sprintf("%.1f", l.QPS),
+			fmt.Sprintf("%.2f", l.MeanBatch))
+	}
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "coalescing throughput gain at %d clients: %.2fx\n\n", top, stats.CoalescingGain); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveRunLevel drives conc closed-loop clients, each issuing perClient
+// identical NoCache queries, and folds the observed latencies into one
+// ServeLevel.
+func serveRunLevel(base, design string, k, conc, perClient, maxBatch int) (ServeLevel, error) {
+	lvl := ServeLevel{Concurrency: conc, MaxBatch: maxBatch}
+	reqBody, err := json.Marshal(serve.QueryRequest{Design: design, K: k, NoCache: true})
+	if err != nil {
+		return lvl, err
+	}
+
+	type sample struct {
+		us    int64
+		batch int
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		shed    int
+		firstE  error
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = err
+					}
+					mu.Unlock()
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				el := time.Since(t0).Microseconds()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var qr serve.QueryResponse
+					if err := json.Unmarshal(body, &qr); err != nil {
+						if firstE == nil {
+							firstE = err
+						}
+					} else {
+						samples = append(samples, sample{us: el, batch: qr.Timing.BatchSize})
+					}
+				case http.StatusTooManyRequests:
+					shed++
+				default:
+					if firstE == nil {
+						firstE = fmt.Errorf("query: status %d: %s", resp.StatusCode, body)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstE != nil {
+		return lvl, firstE
+	}
+	if len(samples) == 0 {
+		return lvl, fmt.Errorf("level conc=%d batch=%d served nothing", conc, maxBatch)
+	}
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i].us < samples[j].us })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(samples)-1))
+		return samples[i].us
+	}
+	var batchSum int
+	for _, s := range samples {
+		batchSum += s.batch
+	}
+	lvl.Requests = len(samples)
+	lvl.P50Us = pct(0.50)
+	lvl.P99Us = pct(0.99)
+	lvl.QPS = float64(len(samples)) / wall.Seconds()
+	lvl.MeanBatch = float64(batchSum) / float64(len(samples))
+	lvl.Shed = shed
+	return lvl, nil
+}

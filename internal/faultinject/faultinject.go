@@ -3,10 +3,12 @@
 // named sites; tests Arm a site with a Fault to force worker panics,
 // slow workers, or budget exhaustion, proving the resilience layer
 // (panic containment, cooperative cancellation, graceful degradation)
-// end to end.
+// end to end. Service binaries can additionally arm sites from the
+// CPPR_FAULTS environment variable (ArmFromEnv), so a running server
+// can be chaos-tested without recompiling.
 //
-// When nothing is armed — always, outside tests — Fire and Forced cost
-// one atomic load and return immediately.
+// When nothing is armed — always, outside tests and chaos runs — Fire
+// and Forced cost one atomic load and return immediately.
 //
 // Known sites:
 //
@@ -15,10 +17,17 @@
 //	baseline.pairwise.worker  Pairwise worker, per launch job
 //	baseline.blockwise.budget Blockwise MaxTuples check (Forced)
 //	baseline.bnb.budget       BranchAndBound MaxPops check (Forced)
+//	serve.registry.load       Registry.Load, after validation
+//	serve.registry.acquire    Registry.Acquire, per admitted query
+//	serve.batcher.enqueue     batcher submit path, per request
+//	serve.batcher.flush       batcher flush, per dispatched batch
 package faultinject
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,13 +40,20 @@ type Fault struct {
 	// InternalError).
 	Panic string
 	// Delay sleeps this long before continuing (slow-worker injection;
-	// used to hold queries in flight for cancellation tests).
+	// used to hold queries in flight for cancellation tests and as the
+	// chaos harness's latency fault kind).
 	Delay time.Duration
 	// After skips the first After hits of the site before the fault
 	// takes effect, so a test can let part of the work complete
 	// deterministically (e.g. partial results before forced budget
 	// exhaustion). Zero fires from the first hit.
 	After int
+	// Prob, when in (0, 1), makes the fault probabilistic: each hit past
+	// After fires independently with this probability, decided by a
+	// deterministic hash of the site's hit counter so a given hit
+	// sequence always produces the same fault sequence. Zero (and any
+	// value >= 1) keeps the deterministic always-fire behaviour.
+	Prob float64
 }
 
 var (
@@ -79,6 +95,92 @@ func Arm(site string, f Fault) (disarm func()) {
 	}
 }
 
+// ArmFromEnv arms every fault listed in the named environment variable
+// (conventionally "CPPR_FAULTS") and returns a disarm-all function.
+// The format is a comma-separated list of specs:
+//
+//	site:kind:arg[:prob]
+//
+// where kind is "panic" (arg = message), "delay" (arg = a
+// time.ParseDuration string, e.g. 5ms) or "forced" (arg ignored;
+// trips Forced budget checks), and the optional prob in (0,1) makes
+// the fault probabilistic per hit. Examples:
+//
+//	CPPR_FAULTS=serve.batcher.flush:delay:2ms
+//	CPPR_FAULTS=core.worker:panic:chaos:0.01,serve.registry.acquire:delay:1ms:0.2
+//
+// An unset or empty variable arms nothing. A malformed spec returns an
+// error with nothing armed.
+func ArmFromEnv(envVar string) (disarm func(), err error) {
+	raw := os.Getenv(envVar)
+	if raw == "" {
+		return func() {}, nil
+	}
+	var disarms []func()
+	undo := func() {
+		for _, d := range disarms {
+			d()
+		}
+	}
+	for _, spec := range strings.Split(raw, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		site, f, err := parseSpec(spec)
+		if err != nil {
+			undo()
+			return nil, fmt.Errorf("faultinject: %s=%q: %v", envVar, raw, err)
+		}
+		disarms = append(disarms, Arm(site, f))
+	}
+	return undo, nil
+}
+
+// parseSpec parses one site:kind:arg[:prob] spec.
+func parseSpec(spec string) (site string, f Fault, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		return "", Fault{}, fmt.Errorf("spec %q: want site:kind:arg[:prob]", spec)
+	}
+	site = parts[0]
+	kind := parts[1]
+	// The arg may itself contain colons only for panic messages; for the
+	// other kinds a 4th field is the probability.
+	arg := parts[2]
+	prob := ""
+	if len(parts) == 4 {
+		prob = parts[3]
+	} else if len(parts) > 4 {
+		return "", Fault{}, fmt.Errorf("spec %q: too many fields", spec)
+	}
+	switch kind {
+	case "panic":
+		if arg == "" {
+			arg = "faultinject: injected panic"
+		}
+		f.Panic = arg
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return "", Fault{}, fmt.Errorf("spec %q: bad delay %q", spec, arg)
+		}
+		f.Delay = d
+	case "forced":
+		// Zero-valued fault: due hits only trip Forced checks.
+	default:
+		return "", Fault{}, fmt.Errorf("spec %q: unknown kind %q (want panic|delay|forced)", spec, kind)
+	}
+	if prob != "" {
+		p, err := strconv.ParseFloat(prob, 64)
+		if err != nil || p <= 0 || p >= 1 {
+			return "", Fault{}, fmt.Errorf("spec %q: bad probability %q (want (0,1))", spec, prob)
+		}
+		f.Prob = p
+	}
+	return site, f, nil
+}
+
 // hit records one hit at site and returns the fault if it is due.
 func hit(site string) (Fault, bool) {
 	if armed.Load() == 0 {
@@ -91,7 +193,22 @@ func hit(site string) (Fault, bool) {
 		return Fault{}, false
 	}
 	t.hits++
-	return t.f, t.hits > t.f.After
+	due := t.hits > t.f.After
+	if due && t.f.Prob > 0 && t.f.Prob < 1 {
+		due = probFires(t.hits, t.f.Prob)
+	}
+	return t.f, due
+}
+
+// probFires decides hit n of a probabilistic fault: a splitmix64 hash
+// of the hit counter compared against p, so the fault sequence is a
+// deterministic function of the hit sequence (reproducible chaos).
+func probFires(n int, p float64) bool {
+	z := uint64(n) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < p
 }
 
 // Fire applies the fault armed at site, if any: it sleeps Delay, then

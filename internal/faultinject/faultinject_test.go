@@ -50,6 +50,106 @@ func TestDisarmIsIdempotentAndRearmable(t *testing.T) {
 	Fire("test.rearm")
 }
 
+func TestProbabilisticFault(t *testing.T) {
+	disarm := Arm("test.prob", Fault{Prob: 0.25})
+	defer disarm()
+	const hits = 4000
+	fired := 0
+	for i := 0; i < hits; i++ {
+		if Forced("test.prob") {
+			fired++
+		}
+	}
+	// splitmix64 of the hit counter is uniform enough that 4000 hits at
+	// p=0.25 land well inside [0.15, 0.35].
+	if fired < hits*15/100 || fired > hits*35/100 {
+		t.Errorf("probabilistic fault fired %d/%d times, want ~%d", fired, hits, hits/4)
+	}
+	// Determinism: the same hit sequence must produce the same fault
+	// sequence.
+	disarm()
+	var first, second []bool
+	d1 := Arm("test.prob", Fault{Prob: 0.25})
+	for i := 0; i < 64; i++ {
+		first = append(first, Forced("test.prob"))
+	}
+	d1()
+	d2 := Arm("test.prob", Fault{Prob: 0.25})
+	defer d2()
+	for i := 0; i < 64; i++ {
+		second = append(second, Forced("test.prob"))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("probabilistic fault sequence not deterministic at hit %d", i)
+		}
+	}
+}
+
+func TestProbWithAfter(t *testing.T) {
+	disarm := Arm("test.probafter", Fault{After: 10, Prob: 0.99})
+	defer disarm()
+	for i := 0; i < 10; i++ {
+		if Forced("test.probafter") {
+			t.Fatal("probabilistic fault fired before its After threshold")
+		}
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Setenv("CPPR_FAULTS", "a.site:delay:1ms, b.site:panic:boom:0.5 ,c.site:forced:x")
+	disarm, err := ArmFromEnv("CPPR_FAULTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.Load() != 3 {
+		t.Fatalf("armed %d sites, want 3", armed.Load())
+	}
+	mu.Lock()
+	a, b := taps["a.site"].f, taps["b.site"].f
+	mu.Unlock()
+	if a.Delay != time.Millisecond || a.Prob != 0 {
+		t.Errorf("a.site = %+v, want 1ms delay", a)
+	}
+	if b.Panic != "boom" || b.Prob != 0.5 {
+		t.Errorf("b.site = %+v, want panic boom at p=0.5", b)
+	}
+	if !Forced("c.site") {
+		t.Error("c.site forced fault not due")
+	}
+	disarm()
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after disarm-all", armed.Load())
+	}
+}
+
+func TestArmFromEnvEmpty(t *testing.T) {
+	t.Setenv("CPPR_FAULTS", "")
+	disarm, err := ArmFromEnv("CPPR_FAULTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	disarm()
+}
+
+func TestArmFromEnvMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no-kind",
+		"s:delay:notaduration",
+		"s:delay:1ms:1.5",
+		"s:wat:x",
+		"s:delay:1ms:0.5:extra",
+	} {
+		t.Setenv("CPPR_FAULTS", "ok.site:delay:1ms,"+bad)
+		if _, err := ArmFromEnv("CPPR_FAULTS"); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+		if armed.Load() != 0 {
+			t.Fatalf("spec %q: partial arming left %d sites armed", bad, armed.Load())
+		}
+	}
+}
+
 func TestDuplicateArmPanics(t *testing.T) {
 	disarm := Arm("test.dup", Fault{})
 	defer disarm()

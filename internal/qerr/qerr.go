@@ -26,6 +26,14 @@ var (
 	// ErrInvalidQuery reports a malformed query (negative K, out-of-range
 	// endpoint, unsupported algorithm combination).
 	ErrInvalidQuery = errors.New("cppr: invalid query")
+	// ErrOverloaded reports that the service front end shed the request
+	// under load: its admission queue was full. The request was never
+	// admitted; retrying after a backoff is safe.
+	ErrOverloaded = errors.New("cppr: server overloaded")
+	// ErrShuttingDown reports that the service front end refused the
+	// request because it is draining for shutdown. Retrying against a
+	// replica (or after the restart) is safe.
+	ErrShuttingDown = errors.New("cppr: server shutting down")
 )
 
 // InternalError is a contained invariant violation: a panic recovered
@@ -80,6 +88,18 @@ func Invalid(format string, args ...any) error {
 // detail message.
 func Budget(format string, args ...any) error {
 	return &wrapped{sentinel: ErrBudgetExhausted, cause: fmt.Errorf(format, args...)}
+}
+
+// Overloaded returns an error matching ErrOverloaded with a formatted
+// detail message.
+func Overloaded(format string, args ...any) error {
+	return &wrapped{sentinel: ErrOverloaded, cause: fmt.Errorf(format, args...)}
+}
+
+// ShuttingDown returns an error matching ErrShuttingDown with a
+// formatted detail message.
+func ShuttingDown(format string, args ...any) error {
+	return &wrapped{sentinel: ErrShuttingDown, cause: fmt.Errorf(format, args...)}
 }
 
 // wrapped pairs a taxonomy sentinel with its underlying cause so

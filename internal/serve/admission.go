@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"fastcppr/internal/qerr"
+)
+
+// admission is the overload gate in front of the query path: a
+// semaphore bounding concurrent in-service requests plus a bounded wait
+// queue. A request past both bounds is shed immediately with a typed
+// ErrOverloaded — callers get a Retry-After, never a silent drop or an
+// unbounded queue — and a request that waits is still subject to its
+// own context deadline.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+	closed   atomic.Bool
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// admit blocks until a slot is free, the context expires, or the
+// request is shed. On success it returns the release function and the
+// time spent queued.
+func (a *admission) admit(ctx context.Context) (release func(), queued time.Duration, err error) {
+	if a.closed.Load() {
+		return nil, 0, qerr.ShuttingDown("draining; not admitting new queries")
+	}
+	if n := a.waiting.Add(1); n > a.maxQueue {
+		a.waiting.Add(-1)
+		return nil, 0, qerr.Overloaded("admission queue full (%d waiting, %d slots)", n-1, cap(a.slots))
+	}
+	defer a.waiting.Add(-1)
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		if a.closed.Load() {
+			// Shutdown raced the slot grant: hand it back and refuse.
+			<-a.slots
+			return nil, 0, qerr.ShuttingDown("draining; not admitting new queries")
+		}
+		return func() { <-a.slots }, time.Since(start), nil
+	case <-ctx.Done():
+		return nil, 0, qerr.FromContext(ctx)
+	}
+}
+
+// close makes every subsequent admit refuse with ErrShuttingDown.
+// Requests already holding slots are unaffected — shutdown drains them.
+func (a *admission) close() { a.closed.Store(true) }
+
+// depth reports the current wait-queue depth and in-service count.
+func (a *admission) depth() (waiting int64, inService int) {
+	return a.waiting.Load(), len(a.slots)
+}
+
+// retryAfter estimates a client backoff from the current congestion:
+// one second per full queue's worth of waiters, clamped to [1s, 30s].
+// Deliberately coarse — its job is to spread retries, not predict
+// latency.
+func (a *admission) retryAfter() time.Duration {
+	w := a.waiting.Load()
+	d := time.Duration(1+w/int64(cap(a.slots)+1)) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/faultinject"
+	"fastcppr/internal/qerr"
+)
+
+// request is one query waiting in a batcher for its flush.
+type request struct {
+	q   cppr.Query
+	enq time.Time
+	// reply is buffered (capacity 1) so a flush never blocks on a
+	// submitter that gave up waiting — the abandoned reply parks in the
+	// buffer and is collected with the request.
+	reply chan reply
+}
+
+// reply is the batcher's answer to one request, carrying the timing
+// breakdown of the shared execution that served it.
+type reply struct {
+	res cppr.BatchResult
+	// batchSize is the number of requests flushed together with this
+	// one; > 1 means the request was coalesced.
+	batchSize int
+	// wait is the time the request spent queued in the batcher before
+	// its flush dispatched.
+	wait time.Duration
+	// exec is the wall time of the ReportBatch call that served it.
+	exec time.Duration
+}
+
+// batcher funnels concurrent single queries into Timer.ReportBatch: a
+// collector goroutine gathers requests until the batch is full
+// (maxBatch) or the oldest request has waited maxWait, then dispatches
+// the batch on its own goroutine so collection continues during
+// execution. Coalescing happens inside ReportBatch itself — identical
+// and K-mergeable queries in one flush share an execution unit — so the
+// batcher's job is purely to get concurrent requests into the same
+// call.
+//
+// Lifecycle invariant: every submitter holds a registry Handle for the
+// duration of submit, and stop() runs only after the last Handle
+// releases, so no submit can race a stop.
+type batcher struct {
+	timer    *cppr.Timer
+	maxBatch int
+	maxWait  time.Duration
+	in       chan *request
+	stopped  chan struct{}
+	done     chan struct{} // collector exited; in-flight flushes tracked separately
+}
+
+func newBatcher(timer *cppr.Timer, maxBatch int, maxWait time.Duration) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		timer:    timer,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		in:       make(chan *request, 4*maxBatch),
+		stopped:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// stop terminates the collector and waits for it to exit. Per the
+// lifecycle invariant there are no queued or in-flight requests by the
+// time stop is called.
+func (b *batcher) stop() {
+	close(b.stopped)
+	<-b.done
+}
+
+// submit enqueues q and waits for its reply or the context. On context
+// expiry the request is abandoned: the flush still runs it (bounded by
+// the query's own Timeout) and the reply is dropped into the buffered
+// channel.
+func (b *batcher) submit(ctx context.Context, q cppr.Query) (reply, error) {
+	faultinject.Fire("serve.batcher.enqueue")
+	r := &request{q: q, enq: time.Now(), reply: make(chan reply, 1)}
+	select {
+	case b.in <- r:
+	case <-ctx.Done():
+		return reply{}, qerr.FromContext(ctx)
+	case <-b.stopped:
+		return reply{}, qerr.ShuttingDown("design batcher stopped")
+	}
+	select {
+	case rep := <-r.reply:
+		return rep, nil
+	case <-ctx.Done():
+		return reply{}, qerr.FromContext(ctx)
+	}
+}
+
+// collect is the batcher's collector loop: one batch per iteration.
+func (b *batcher) collect() {
+	defer close(b.done)
+	for {
+		var first *request
+		select {
+		case first = <-b.in:
+		case <-b.stopped:
+			return
+		}
+		batch := []*request{first}
+		if b.maxBatch > 1 {
+			deadline := time.NewTimer(b.maxWait)
+		fill:
+			for len(batch) < b.maxBatch {
+				select {
+				case r := <-b.in:
+					batch = append(batch, r)
+				case <-deadline.C:
+					break fill
+				case <-b.stopped:
+					break fill
+				}
+			}
+			deadline.Stop()
+		}
+		// Dispatch on a fresh goroutine so the collector keeps
+		// coalescing the next batch while this one executes.
+		go b.flush(batch)
+	}
+}
+
+// flush runs one batch through ReportBatch and delivers every reply.
+// A panic in the dispatch path (fault injection, engine invariant) is
+// contained here: every request in the batch gets an *InternalError
+// reply instead of the server losing its collector.
+func (b *batcher) flush(batch []*request) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			err := qerr.FromPanic("serve.batcher.flush", r)
+			for _, req := range batch {
+				req.reply <- reply{
+					res:       cppr.BatchResult{Err: err},
+					batchSize: len(batch),
+					wait:      start.Sub(req.enq),
+					exec:      time.Since(start),
+				}
+			}
+		}
+	}()
+	faultinject.Fire("serve.batcher.flush")
+	queries := make([]cppr.Query, len(batch))
+	for i, req := range batch {
+		queries[i] = req.q
+	}
+	// The batch context is deliberately background: each request's
+	// deadline rides in as Query.Timeout, bounding its own execution
+	// unit inside ReportBatch without cutting short its batchmates.
+	results, err := b.timer.ReportBatch(context.Background(), queries)
+	exec := time.Since(start)
+	for i, req := range batch {
+		res := results[i]
+		if res.Err == nil && err != nil {
+			res.Err = err
+		}
+		req.reply <- reply{res: res, batchSize: len(batch), wait: start.Sub(req.enq), exec: exec}
+	}
+}

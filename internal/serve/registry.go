@@ -1,0 +1,239 @@
+// Package serve is the CPPR service front end: a multi-tenant design
+// registry, a channel-based coalescing batcher funnelling concurrent
+// requests into Timer.ReportBatch, a semaphore admission controller
+// with bounded queueing and load-shedding, and a stdlib net/http JSON
+// surface over all of it. Robustness is the design axis: shed requests
+// get typed qerr-taxonomy errors (never silent drops), per-request
+// deadlines propagate as contexts into the engine, panics are contained
+// per request, and shutdown drains in-flight work while refusing new
+// work. See DESIGN.md §13.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/faultinject"
+	"fastcppr/internal/qerr"
+	"fastcppr/model"
+)
+
+// ErrUnknownDesign reports a query or eviction against an id that is
+// not loaded (or was already evicted — externally indistinguishable).
+// The HTTP layer maps it to 404.
+var ErrUnknownDesign = errors.New("serve: unknown design")
+
+func unknownDesign(id string) error {
+	return fmt.Errorf("%w %q", ErrUnknownDesign, id)
+}
+
+// Registry is the multi-tenant design table: timers loadable and
+// evictable by id. Every query path holds a Handle (a ref count) on its
+// entry, so eviction is graceful by construction — an evicted entry
+// disappears from the table immediately but its batcher keeps answering
+// the queries already holding refs, and is torn down only when the last
+// ref releases.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	closed  bool
+}
+
+// entry is one loaded design: its timer, its coalescing batcher, and
+// the ref count gating teardown.
+type entry struct {
+	id       string
+	timer    *cppr.Timer
+	batcher  *batcher
+	loadedAt time.Time
+
+	mu      sync.Mutex
+	refs    int
+	evicted bool
+	drained chan struct{} // closed once evicted and refs == 0
+}
+
+// Handle is a counted reference to a loaded design. Release it when the
+// query is done; eviction waits on outstanding handles.
+type Handle struct {
+	e    *entry
+	once sync.Once
+}
+
+// Timer returns the design's timer.
+func (h *Handle) Timer() *cppr.Timer { return h.e.timer }
+
+// Release drops the reference. Idempotent.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		e := h.e
+		e.mu.Lock()
+		e.refs--
+		last := e.evicted && e.refs == 0
+		e.mu.Unlock()
+		if last {
+			e.teardown()
+		}
+	})
+}
+
+// teardown stops the entry's batcher and signals drained. Called
+// exactly once: either by Evict (no refs outstanding) or by the last
+// Release after eviction.
+func (e *entry) teardown() {
+	e.batcher.stop()
+	close(e.drained)
+}
+
+// NewRegistry returns an empty registry using cfg's batcher settings
+// for every loaded design.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), entries: make(map[string]*entry)}
+}
+
+// Load registers d under id and starts its batcher. It fails with
+// ErrInvalidQuery on a duplicate id, ErrOverloaded when the registry is
+// at its MaxDesigns bound, and ErrShuttingDown after Close.
+func (r *Registry) Load(id string, d *model.Design) error {
+	if id == "" {
+		return qerr.Invalid("empty design id")
+	}
+	faultinject.Fire("serve.registry.load")
+	timer := cppr.NewTimer(d)
+	b := newBatcher(timer, r.cfg.MaxBatch, r.cfg.MaxWait)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		b.stop()
+		return qerr.ShuttingDown("registry closed")
+	}
+	if _, dup := r.entries[id]; dup {
+		b.stop()
+		return qerr.Invalid("design %q already loaded", id)
+	}
+	if len(r.entries) >= r.cfg.MaxDesigns {
+		b.stop()
+		return qerr.Overloaded("registry full (%d designs loaded)", len(r.entries))
+	}
+	r.entries[id] = &entry{
+		id:       id,
+		timer:    timer,
+		batcher:  b,
+		loadedAt: time.Now(),
+		drained:  make(chan struct{}),
+	}
+	return nil
+}
+
+// Acquire returns a counted handle on id, or an ErrInvalidQuery-tagged
+// error when the id is unknown (or already evicted — externally the
+// same thing).
+func (r *Registry) Acquire(id string) (*Handle, error) {
+	faultinject.Fire("serve.registry.acquire")
+	r.mu.Lock()
+	e := r.entries[id]
+	r.mu.Unlock()
+	if e == nil {
+		return nil, unknownDesign(id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.evicted {
+		// Raced an eviction between the table lookup and here.
+		return nil, unknownDesign(id)
+	}
+	e.refs++
+	return &Handle{e: e}, nil
+}
+
+// Evict removes id from the table — new Acquires fail immediately — and
+// returns a channel closed when every outstanding handle has released
+// and the design's batcher has stopped. Unknown ids error.
+func (r *Registry) Evict(id string) (<-chan struct{}, error) {
+	r.mu.Lock()
+	e := r.entries[id]
+	delete(r.entries, id)
+	r.mu.Unlock()
+	if e == nil {
+		return nil, unknownDesign(id)
+	}
+	e.mu.Lock()
+	if e.evicted {
+		// Double-evict cannot happen through the table (deleted above),
+		// but guard anyway: the drained channel is the single teardown.
+		e.mu.Unlock()
+		return e.drained, nil
+	}
+	e.evicted = true
+	idle := e.refs == 0
+	e.mu.Unlock()
+	if idle {
+		e.teardown()
+	}
+	return e.drained, nil
+}
+
+// IDs lists the loaded design ids (unordered).
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Get returns a design's entry metadata without taking a ref; ok is
+// false for unknown ids. Used by the stats surface.
+func (r *Registry) get(id string) (*entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	return e, ok
+}
+
+// refCount reports the entry's current outstanding handles.
+func (e *entry) refCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.refs
+}
+
+// Close marks the registry closed (Load refuses), evicts every design
+// and waits — up to deadline, zero meaning forever — for all of them to
+// drain. It reports whether every entry drained in time.
+func (r *Registry) Close(deadline time.Duration) bool {
+	r.mu.Lock()
+	r.closed = true
+	ids := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	var chans []<-chan struct{}
+	for _, id := range ids {
+		if ch, err := r.Evict(id); err == nil {
+			chans = append(chans, ch)
+		}
+	}
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for _, ch := range chans {
+		select {
+		case <-ch:
+		case <-timeout:
+			return false
+		}
+	}
+	return true
+}

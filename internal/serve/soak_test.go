@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastcppr/gen"
+	"fastcppr/internal/faultinject"
+	"fastcppr/model"
+)
+
+// TestChaosSoak hammers one server with concurrent loaders, evictors,
+// queriers and editors while probabilistic faults fire at four serve
+// sites (plus the engine worker). The invariants under chaos:
+//
+//   - every request terminates with a known status — 2xx, or a typed
+//     4xx/5xx from the qerr taxonomy; never a hang, never an untyped 500
+//   - the process survives injected panics (containment per request)
+//   - shutdown drains cleanly afterwards
+//   - no goroutines leak once the dust settles
+//
+// Run it under -race: the soak doubles as the data-race battery for the
+// registry/batcher/admission interlock.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Probabilistic chaos at every serve site: rare panics on the
+	// registry paths, latency + rare panics in the batcher. Determinism
+	// comes from the hit-counter hash, so failures replay.
+	var disarms []func()
+	for site, f := range map[string]faultinject.Fault{
+		"serve.registry.load":    {Panic: "chaos: load", Prob: 0.05},
+		"serve.registry.acquire": {Panic: "chaos: acquire", Prob: 0.02},
+		"serve.batcher.enqueue":  {Delay: 2 * time.Millisecond, Prob: 0.2},
+		"serve.batcher.flush":    {Delay: 5 * time.Millisecond, Prob: 0.3},
+		"core.worker":            {Delay: time.Millisecond, Prob: 0.05},
+	} {
+		disarms = append(disarms, faultinject.Arm(site, f))
+	}
+	disarmAll := func() {
+		for _, d := range disarms {
+			d()
+		}
+		disarms = nil
+	}
+	defer disarmAll()
+
+	s := New(Config{
+		MaxBatch:      4,
+		MaxWait:       time.Millisecond,
+		MaxConcurrent: 4,
+		MaxQueue:      8,
+		MaxDesigns:    8,
+	})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Seed designs the queriers can always aim at; the loader/evictor
+	// churns a disjoint id space so queries racing evictions happen via
+	// the rotating ids too.
+	designs := make(map[string]*model.Design)
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("seed%d", i)
+		d := gen.MustGenerate(gen.Medium(int64(100 + i)))
+		if err := s.Registry().Load(id, d); err != nil {
+			t.Fatal(err)
+		}
+		designs[id] = d
+	}
+
+	const (
+		duration = 2 * time.Second
+		queriers = 8
+		editors  = 2
+		churners = 2
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served, typed atomic.Int64
+
+	post := func(path string, body any) (int, []byte) {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(hs.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			// Transport-level failure: tolerated only because httptest
+			// closes keep-alive conns when handlers panic; the server
+			// itself must still be alive (checked below).
+			return 0, nil
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	checkStatus := func(code int, body []byte) {
+		switch code {
+		case 0: // transport error, see post()
+			return
+		case http.StatusOK, http.StatusCreated, http.StatusAccepted:
+			served.Add(1)
+		case http.StatusNotFound, http.StatusTooManyRequests,
+			http.StatusBadRequest, http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout, http.StatusUnprocessableEntity,
+			http.StatusInternalServerError, 499:
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Kind == "" {
+				t.Errorf("status %d with untyped body: %s", code, body)
+				return
+			}
+			typed.Add(1)
+		default:
+			t.Errorf("unexpected status %d: %s", code, body)
+		}
+	}
+
+	// Queriers: random design (seed + rotating), random K, short
+	// deadlines so batcher latency faults trip the 504 path too.
+	for i := 0; i < queriers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("seed%d", rng.Intn(3))
+				if rng.Intn(4) == 0 {
+					id = fmt.Sprintf("churn%d", rng.Intn(2))
+				}
+				req := QueryRequest{Design: id, K: 1 + rng.Intn(8), TimeoutMs: 50}
+				if rng.Intn(2) == 0 {
+					req.Mode = "hold"
+				}
+				checkStatus(post("/v1/query", req))
+			}
+		}(i)
+	}
+
+	// Editors: journal arc edits on the seed designs while queries run.
+	for i := 0; i < editors; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("seed%d", rng.Intn(3))
+				d := designs[id]
+				a := d.Arcs[rng.Intn(len(d.Arcs))]
+				code, body := post("/v1/designs/"+id+"/arc", EditRequest{
+					From:    d.PinName(a.From),
+					To:      d.PinName(a.To),
+					EarlyPs: a.Delay.Early.Ps(),
+					LatePs:  a.Delay.Late.Ps() + int64(rng.Intn(200)),
+				})
+				checkStatus(code, body)
+			}
+		}(i)
+	}
+
+	// Churners: load and evict rotating ids so Acquire races Evict and
+	// teardown while queries are in flight against the same ids.
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("churn%d", i)
+			d := gen.MustGenerate(gen.Medium(int64(200 + i)))
+			// Direct registry calls bypass the HTTP containment layer, so
+			// the injected load panic must be absorbed here, like any
+			// non-HTTP embedder of the registry would.
+			load := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("injected: %v", r)
+					}
+				}()
+				return s.Registry().Load(id, d)
+			}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := load(); err != nil {
+					continue
+				}
+				time.Sleep(time.Duration(1+n%3) * time.Millisecond)
+				if ch, err := s.Registry().Evict(id); err == nil {
+					<-ch
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("soak served nothing")
+	}
+	t.Logf("soak: %d served, %d typed refusals", served.Load(), typed.Load())
+
+	// The server must still be fully functional after the chaos.
+	disarmAll()
+	code, body := post("/v1/query", QueryRequest{Design: "seed0", K: 5})
+	if code != http.StatusOK {
+		t.Fatalf("post-chaos query: status %d: %s", code, body)
+	}
+
+	if !s.Close(15 * time.Second) {
+		t.Fatal("post-soak drain did not complete")
+	}
+	hs.Close()
+
+	// Goroutine-leak check: everything the soak spawned (batcher
+	// collectors, flushes, admission waiters, HTTP conns) must wind
+	// down. Allow a grace period for conn teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s", n, baseline, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosSoakChurnPanics exercises the registry churn path where the
+// injected panic fires inside Registry.Load itself (not behind HTTP
+// containment): the loader must tolerate it and the registry must stay
+// consistent.
+func TestChaosSoakChurnPanics(t *testing.T) {
+	disarm := faultinject.Arm("serve.registry.load", faultinject.Fault{Panic: "chaos", Prob: 0.5})
+	defer disarm()
+
+	s := New(Config{MaxBatch: 2, MaxWait: time.Millisecond})
+	defer s.Close(5 * time.Second)
+	d := gen.MustGenerate(gen.Medium(77))
+
+	loaded := 0
+	for i := 0; i < 40; i++ {
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("panic: %v", r)
+				}
+			}()
+			return s.Registry().Load(fmt.Sprintf("d%d", i), d)
+		}()
+		if err == nil {
+			loaded++
+		}
+	}
+	if loaded == 0 {
+		t.Fatal("no load survived 50% panic probability over 40 tries")
+	}
+	// Every surviving design must be queryable.
+	for _, id := range s.Registry().IDs() {
+		h, err := s.Registry().Acquire(id)
+		if err != nil {
+			t.Fatalf("acquire %s: %v", id, err)
+		}
+		h.Release()
+	}
+}
