@@ -1,0 +1,66 @@
+package fastcppr
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"fastcppr/internal/experiments"
+)
+
+// TestBenchParallelJSONSchema strictly validates the committed
+// BENCH_parallel.json against the experiment's stats schema: unknown or
+// renamed fields fail the decode, and the invariants the file exists to
+// track — a full 1/2/4/8 thread sweep with every multi-thread report
+// byte-identical to the single-threaded reference — must hold. Speedup
+// magnitudes are NOT asserted: they are a property of the recording
+// host (named in the host line), not of the code.
+func TestBenchParallelJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_parallel.json")
+	if err != nil {
+		t.Fatalf("committed benchmark file missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var stats experiments.ParallelStats
+	if err := dec.Decode(&stats); err != nil {
+		t.Fatalf("BENCH_parallel.json does not match experiments.ParallelStats: %v", err)
+	}
+	if stats.Host == "" {
+		t.Fatal("host line missing — speedups are meaningless without the machine that produced them")
+	}
+	if stats.Design != "leon2" {
+		t.Fatalf("design %q, want leon2 (the deepest-clock-tree preset)", stats.Design)
+	}
+	if stats.Scale < 0.2 {
+		t.Fatalf("scale %g below the 0.2 floor the sweep is committed at", stats.Scale)
+	}
+	if stats.Reps < 1 {
+		t.Fatalf("reps %d", stats.Reps)
+	}
+	want := []int{1, 2, 4, 8}
+	if len(stats.Points) != len(want) {
+		t.Fatalf("%d points, want %d (threads %v)", len(stats.Points), len(want), want)
+	}
+	for i, p := range stats.Points {
+		if p.Threads != want[i] {
+			t.Fatalf("point %d measured %d threads, want %d", i, p.Threads, want[i])
+		}
+		if p.BatchNs <= 0 || p.QueryNs <= 0 {
+			t.Fatalf("point %d has non-positive wall times: %+v", i, p)
+		}
+		if p.BatchSpeedup <= 0 || p.QuerySpeedup <= 0 {
+			t.Fatalf("point %d has non-positive speedups: %+v", i, p)
+		}
+		if !p.Identical {
+			t.Fatalf("point %d (%d threads) was not byte-identical to the reference", i, p.Threads)
+		}
+	}
+	if !stats.Identical {
+		t.Fatal("identical flag false: some thread count diverged from the reference")
+	}
+	if stats.MaxBatchSpeedup <= 0 {
+		t.Fatalf("max_batch_speedup %g", stats.MaxBatchSpeedup)
+	}
+}

@@ -46,6 +46,8 @@ func main() {
 		incrOut   = flag.String("incrementaljson", "BENCH_incremental.json", "with -incremental, write machine-readable stats to this file (empty = none)")
 		srvBench  = flag.Bool("serve", false, "measure the HTTP service front end: latency/QPS at several client counts, coalescing on vs off")
 		srvOut    = flag.String("servejson", "BENCH_serve.json", "with -serve, write machine-readable stats to this file (empty = none)")
+		parallel  = flag.Bool("parallel", false, "measure the work-stealing executor and partitioned kernel at 1/2/4/8 threads")
+		parOut    = flag.String("paralleljson", "BENCH_parallel.json", "with -parallel, write machine-readable stats to this file (empty = none)")
 		all       = flag.Bool("all", false, "run everything")
 		scale     = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs   = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -58,10 +60,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench = true, true, true, true, true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench, *parallel = true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench && !*parallel {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -parallel -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -159,6 +161,7 @@ func main() {
 	runJSON("Sparse kernel", *sparse, *sparseOut, experiments.Sparse)
 	runJSON("Incremental edit→requery", *incr, *incrOut, experiments.Incremental)
 	runJSON("Service front end", *srvBench, *srvOut, experiments.Serve)
+	runJSON("Thread scaling", *parallel, *parOut, experiments.Parallel)
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"fastcppr/cppr"
 	"fastcppr/gen"
 	"fastcppr/internal/faultinject"
 	"fastcppr/internal/serve"
@@ -44,6 +45,8 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 0, "admission wait-queue bound (0 = 4x slots)")
 		maxDesigns = flag.Int("max-designs", 64, "registry capacity")
 		defTimeout = flag.Duration("default-timeout", 30*time.Second, "per-query deadline when the request sets none")
+		workers    = flag.Int("workers", 0, "batch-executor worker pool per design (0 = GOMAXPROCS)")
+		qthreads   = flag.Int("query-threads", 0, "default intra-query threads (0 = GOMAXPROCS)")
 		preload    = flag.String("preload", "", "comma-separated presets to load at startup, each preset[:scale[:corners]] (id = preset name)")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 		smoke      = flag.Bool("smoke", false, "run the self-test sequence (load, query, shed under saturation, drain) and exit")
@@ -65,6 +68,7 @@ func main() {
 		MaxQueue:       *maxQueue,
 		MaxDesigns:     *maxDesigns,
 		DefaultTimeout: *defTimeout,
+		Parallelism:    cppr.Parallelism{Workers: *workers, QueryThreads: *qthreads},
 	}
 
 	if *smoke {

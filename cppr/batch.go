@@ -2,11 +2,9 @@ package cppr
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"fastcppr/internal/qerr"
+	"fastcppr/internal/sched"
 	"fastcppr/model"
 )
 
@@ -34,10 +32,15 @@ type BatchResult struct {
 // too: a single-corner query and a CornerAll query share the run for
 // the corner they have in common.
 //
-// Parallelism is managed by the executor: distinct execution units
-// spread over a bounded worker pool and each unit's intra-query Threads
-// is set to its fair share, so a query's own Threads field is ignored.
-// A query's Timeout bounds its own units: each unit runs under a child
+// Parallelism is managed by the executor: a work-stealing pool sized by
+// the Timer's Parallelism budget (see SetParallelism) runs one stealable
+// task per execution unit, and each AlgoLCA unit's candidate-generation
+// jobs are themselves spawned as stealable tasks on the same pool. A
+// batch of one big query and many small ones therefore saturates every
+// worker — idle workers steal the big query's jobs instead of waiting —
+// and a query's own Threads field is ignored. Baseline-algorithm units,
+// whose parallelism is a plain thread count, get an even share of the
+// pool. A query's Timeout bounds its own units: each unit runs under a child
 // context carrying the most generous member budget, so one unit hitting
 // its deadline fails only its own members with ErrDeadlineExceeded —
 // the rest of the batch completes under the parent context.
@@ -121,49 +124,44 @@ func (t *Timer) ReportBatch(ctx context.Context, queries []Query) ([]BatchResult
 		return results, qerr.FromContext(ctx)
 	}
 
-	cores := runtime.GOMAXPROCS(0)
-	workers := cores
-	if workers > len(order) {
-		workers = len(order)
-	}
-	inner := cores / workers
+	// One stealable task per execution unit on a pool sized by the
+	// Timer's Parallelism budget. AlgoLCA units fan their jobs back onto
+	// the pool through their task context, so the pool — not the unit
+	// count — is the only parallelism bound; baseline units, which take a
+	// plain thread count, split the pool evenly (never below one thread:
+	// the old cores/workers division could starve units when the batch
+	// was wider than the machine).
+	workers := t.Parallelism().workers()
+	inner := workers / len(order)
 	if inner < 1 {
 		inner = 1
 	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				gi := int(next.Add(1)) - 1
-				if gi >= len(order) {
-					return
-				}
-				g := order[gi]
-				q := g.rep
-				q.Threads = inner
-				// Each execution unit runs under its own deadline child
-				// context, so one slow unit exhausts its own budget — and
-				// only its own members fail — while the rest of the batch
-				// keeps the parent's.
-				qctx, cancel := ctx, context.CancelFunc(nil)
-				if q.Timeout > 0 {
-					qctx, cancel = context.WithTimeout(ctx, q.Timeout)
-				}
-				// execute extends the batch's dedup across calls: a group
-				// already answered by a previous batch or Run on this
-				// snapshot is served from the query memo.
-				g.out, g.err = s.execute(qctx, q, g.corner)
-				if cancel != nil {
-					cancel()
-				}
+	pool := sched.New(workers)
+	grp := pool.NewGroup()
+	for _, g := range order {
+		g := g
+		grp.Spawn(func(tc *sched.TC) {
+			q := g.rep
+			q.Threads = inner
+			// Each execution unit runs under its own deadline child
+			// context, so one slow unit exhausts its own budget — and
+			// only its own members fail — while the rest of the batch
+			// keeps the parent's.
+			qctx, cancel := ctx, context.CancelFunc(nil)
+			if q.Timeout > 0 {
+				qctx, cancel = context.WithTimeout(ctx, q.Timeout)
 			}
-		}()
+			// execute extends the batch's dedup across calls: a group
+			// already answered by a previous batch or Run on this
+			// snapshot is served from the query memo.
+			g.out, g.err = s.execute(qctx, q, g.corner, tc)
+			if cancel != nil {
+				cancel()
+			}
+		})
 	}
-	wg.Wait()
+	grp.Wait(nil)
+	pool.Close()
 
 	// Assemble each query's answer from its units: clip shared runs to
 	// the query's K, then merge across corners when more than one was

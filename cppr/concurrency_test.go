@@ -11,7 +11,7 @@ import (
 )
 
 // TestConcurrentQueries backs the documented claim that a Timer is safe
-// for concurrent Report/EndpointReport/PostCPPRSlacks calls.
+// for concurrent Run/ReportBatch/PostCPPRSlacksCtx calls.
 // Run with -race for full effect.
 func TestConcurrentQueries(t *testing.T) {
 	d := gen.MustGenerate(gen.Medium(77))

@@ -16,6 +16,15 @@
 //	t := cppr.NewTimer(d)
 //	rep, err := t.Run(ctx, cppr.Query{K: 10, Mode: model.Setup})
 //	for _, p := range rep.Paths { fmt.Print(p.Format(d)) }
+//
+// Parallelism is configured once per Timer via SetParallelism and
+// resolved per axis: a query's intra-query budget is Query.Threads,
+// falling back to Parallelism.QueryThreads, falling back to
+// GOMAXPROCS; the executor pool that spreads (query × corner) units in
+// ReportBatch and corners in multi-corner Run/PostCPPRSlacksCtx is
+// Parallelism.Workers, falling back to GOMAXPROCS. Every setting
+// produces byte-identical reports — thread counts change wall-clock
+// only.
 package cppr
 
 import (
@@ -29,6 +38,7 @@ import (
 	"fastcppr/internal/core"
 	"fastcppr/internal/lca"
 	"fastcppr/internal/qerr"
+	"fastcppr/internal/sched"
 	"fastcppr/internal/sta"
 	"fastcppr/model"
 	"fastcppr/sdc"
@@ -100,27 +110,6 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 
 // Algorithms lists all selectable algorithms in report order.
 var Algorithms = []Algorithm{AlgoLCA, AlgoPairwise, AlgoBlockwise, AlgoBranchAndBound}
-
-// Options configures one top-k query through the deprecated entry points
-// (Report, ReportCtx, EndpointReport, EndpointReportCtx, TopPaths). New
-// code should build a Query and call Timer.Run instead; Query carries
-// the same fields plus the capture-endpoint filter.
-type Options struct {
-	// K is the number of post-CPPR critical paths to report (>= 1).
-	K int
-	// Mode selects setup or hold analysis.
-	Mode model.Mode
-	// Threads bounds parallelism; <= 0 uses all available cores.
-	Threads int
-	// Algorithm selects the implementation; default AlgoLCA.
-	Algorithm Algorithm
-	// UseLiftingLCA switches AlgoLCA's LCA queries to binary lifting
-	// (ablation knob; default Euler-tour RMQ).
-	UseLiftingLCA bool
-	// IncludePOs adds output-check paths at constrained primary outputs
-	// (AlgoLCA only; extension beyond the paper).
-	IncludePOs bool
-}
 
 // Report is the result of one top-k query.
 type Report struct {
@@ -398,8 +387,11 @@ func (s *snapshot) coreOpts(q Query) core.Options {
 
 // runOn executes one normalized query against one corner's engines,
 // with the panic containment and cancellation semantics documented on
-// Timer.Run.
-func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines) (rep Report, err error) {
+// Timer.Run. A non-nil tc marks the call as an executor task: AlgoLCA
+// spawns its candidate-generation jobs as stealable tasks on tc's pool
+// instead of private goroutines, so concurrent units share the worker
+// budget instead of oversubscribing it.
+func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines, tc *sched.TC) (rep Report, err error) {
 	// Contain panics on the caller's goroutine too (single-threaded
 	// algorithms, reconstruction): one poisoned query must not crash a
 	// process serving many.
@@ -415,18 +407,20 @@ func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines) (rep R
 	rep = Report{Algorithm: q.Algorithm}
 	switch q.Algorithm {
 	case AlgoLCA:
+		copts := s.coreOpts(q)
+		copts.Exec = tc
 		var res core.Result
 		var rerr error
 		if s.jobMemoEligible(q) && ce.cache != nil {
 			// Memoized path: per-job results cached on this corner's
 			// engines, revalidated against the edit journal, merged to a
 			// report byte-identical to the uncached run.
-			res, rerr = ce.engine.TopPathsMemo(ctx, s.coreOpts(q), ce.cache, s.seq,
+			res, rerr = ce.engine.TopPathsMemo(ctx, copts, ce.cache, s.seq,
 				func(entrySeq uint64, cone *model.PinSet) bool {
 					return !s.journal.DirtySince(entrySeq, ce.corner, cone)
 				})
 		} else {
-			res, rerr = ce.engine.TopPaths(ctx, s.coreOpts(q))
+			res, rerr = ce.engine.TopPaths(ctx, copts)
 		}
 		if rerr != nil {
 			return Report{}, rerr
@@ -468,13 +462,12 @@ func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines) (rep R
 }
 
 // run executes one normalized query: the single-corner fast path goes
-// straight to that corner's engines; a multi-corner query runs once per
-// selected corner and merges into the worst-corner report. The
-// per-corner runs are sequential here — ReportBatch is the entry point
-// that spreads corners over the worker pool.
-func (s *snapshot) run(ctx context.Context, q Query) (Report, error) {
+// straight to that corner's engines; a multi-corner query fans its
+// corners out over a work-stealing pool sized by the parallelism budget
+// and merges into the worst-corner report.
+func (s *snapshot) run(ctx context.Context, q Query, par Parallelism) (Report, error) {
 	if c, ok := q.Corners.single(); ok {
-		rep, err := s.execute(ctx, q, c)
+		rep, err := s.execute(ctx, q, c, nil)
 		if err != nil {
 			return Report{}, err
 		}
@@ -484,12 +477,27 @@ func (s *snapshot) run(ctx context.Context, q Query) (Report, error) {
 	start := time.Now()
 	corners := q.Corners.List()
 	reps := make([]Report, len(corners))
-	for i, c := range corners {
-		r, err := s.execute(ctx, q, c)
+	errs := make([]error, len(corners))
+	if w := par.workers(); w > 1 {
+		pool := sched.New(w)
+		g := pool.NewGroup()
+		for i, c := range corners {
+			i, c := i, c
+			g.Spawn(func(tc *sched.TC) {
+				reps[i], errs[i] = s.execute(ctx, q, c, tc)
+			})
+		}
+		g.Wait(nil)
+		pool.Close()
+	} else {
+		for i, c := range corners {
+			reps[i], errs[i] = s.execute(ctx, q, c, nil)
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
 			return Report{}, err
 		}
-		reps[i] = r
 	}
 	rep := mergeCornerReports(corners, reps, q.K)
 	rep.Corners = q.Corners
@@ -506,6 +514,8 @@ func (s *snapshot) run(ctx context.Context, q Query) (Report, error) {
 // entirely after the edit, never a mix.
 type Timer struct {
 	snap atomic.Pointer[snapshot]
+	// par is the installed Parallelism budget (nil means default).
+	par atomic.Pointer[Parallelism]
 	// mu serializes writers (edits). Readers never take it.
 	mu sync.Mutex
 }
@@ -544,49 +554,18 @@ func (t *Timer) Run(ctx context.Context, q Query) (Report, error) {
 	if err := s.normalize(&q); err != nil {
 		return Report{}, err
 	}
+	par := t.Parallelism()
+	q.Threads = par.threadsFor(q)
 	if q.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, q.Timeout)
 		defer cancel()
 	}
-	rep, err := s.run(ctx, q)
+	rep, err := s.run(ctx, q, par)
 	if err == nil && rep.Degraded {
 		s.ctr.servedDegraded.Add(1)
 	}
 	return rep, err
-}
-
-// Report runs one top-k query with a background context.
-//
-// Deprecated: use Run with a Query.
-func (t *Timer) Report(opts Options) (Report, error) {
-	return t.Run(context.Background(), opts.query())
-}
-
-// ReportCtx runs one top-k query under a context.
-//
-// Deprecated: use Run with a Query.
-func (t *Timer) ReportCtx(ctx context.Context, opts Options) (Report, error) {
-	return t.Run(ctx, opts.query())
-}
-
-// EndpointReport returns the top-k post-CPPR paths captured by a single
-// flip-flop (report_timing -to style).
-//
-// Deprecated: use Run with a Query whose FilterCapture/CaptureFF fields
-// select the endpoint.
-func (t *Timer) EndpointReport(ff model.FFID, opts Options) (Report, error) {
-	return t.EndpointReportCtx(context.Background(), ff, opts)
-}
-
-// EndpointReportCtx is EndpointReport under a context.
-//
-// Deprecated: use Run with a Query whose FilterCapture/CaptureFF fields
-// select the endpoint.
-func (t *Timer) EndpointReportCtx(ctx context.Context, ff model.FFID, opts Options) (Report, error) {
-	q := opts.query()
-	q.FilterCapture, q.CaptureFF = true, ff
-	return t.Run(ctx, q)
 }
 
 // SetBudgets overrides the failure budgets of the budgeted baselines:
@@ -747,21 +726,13 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 	return nd, nil
 }
 
-// PostCPPRSlacks returns the exact post-CPPR worst slack at every FF
-// endpoint for the mode; threads <= 0 uses all cores.
-//
-// Deprecated: use PostCPPRSlacksCtx with a Query.
-func (t *Timer) PostCPPRSlacks(mode model.Mode, threads int) []EndpointSlack {
-	out, _ := t.PostCPPRSlacksCtx(context.Background(), Query{Mode: mode, Threads: threads})
-	return out
-}
-
 // PostCPPRSlacksCtx computes the exact post-CPPR worst slack at every FF
 // endpoint in O(nD) — a full pessimism-removed signoff summary (compare
 // PreCPPRSlacks to quantify removed pessimism per endpoint). The query's
 // Mode, Threads, Corners and capture filter are honoured; K and
 // Algorithm are ignored (the sweep always runs on the LCA engine). A
-// multi-corner query sweeps every selected corner and merges to the
+// multi-corner query sweeps every selected corner — spread over the
+// executor pool under the Timer's Parallelism budget — and merges to the
 // pointwise worst (minimum) slack per endpoint, recording each test's
 // critical corner. Cancellation and panic containment follow Run.
 func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, q Query) (out []EndpointSlack, err error) {
@@ -775,12 +746,18 @@ func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, q Query) (out []EndpointS
 	if err := s.normalize(&q); err != nil {
 		return nil, err
 	}
+	par := t.Parallelism()
+	q.Threads = par.threadsFor(q)
 	corners := q.Corners.List()
 	byCorner := make([][]sta.EndpointSlack, len(corners))
-	for i, c := range corners {
-		raw, err := s.corner(c).engine.EndpointSlacksCPPR(ctx, s.coreOpts(q))
+	errs := make([]error, len(corners))
+	sweep := func(i int, c model.Corner, tc *sched.TC) {
+		copts := s.coreOpts(q)
+		copts.Exec = tc
+		raw, err := s.corner(c).engine.EndpointSlacksCPPR(ctx, copts)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		conv := make([]sta.EndpointSlack, len(raw))
 		for j, sl := range raw {
@@ -788,17 +765,29 @@ func (t *Timer) PostCPPRSlacksCtx(ctx context.Context, q Query) (out []EndpointS
 		}
 		byCorner[i] = conv
 	}
+	if w := par.workers(); len(corners) > 1 && w > 1 {
+		pool := sched.New(w)
+		g := pool.NewGroup()
+		for i, c := range corners {
+			i, c := i, c
+			g.Spawn(func(tc *sched.TC) { sweep(i, c, tc) })
+		}
+		g.Wait(nil)
+		pool.Close()
+	} else {
+		for i, c := range corners {
+			sweep(i, c, nil)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	merged := sta.MergeWorstSlacks(corners, byCorner)
 	out = make([]EndpointSlack, len(merged))
 	for i, sl := range merged {
 		out[i] = EndpointSlack{FF: sl.FF, Slack: sl.Slack, Valid: sl.Valid, Corner: sl.Corner}
 	}
 	return out, nil
-}
-
-// TopPaths is a one-shot convenience for a single query on a design.
-//
-// Deprecated: build a Timer and call Run with a Query.
-func TopPaths(d *model.Design, opts Options) (Report, error) {
-	return NewTimer(d).Run(context.Background(), opts.query())
 }

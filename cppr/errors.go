@@ -3,9 +3,8 @@ package cppr
 import "fastcppr/internal/qerr"
 
 // The typed error taxonomy of the query path. Every error returned by
-// ReportCtx / EndpointReportCtx / PostCPPRSlacksCtx (and their legacy
-// wrappers) matches exactly one sentinel under errors.Is, or is an
-// *InternalError matchable with errors.As:
+// Run / ReportBatch / PostCPPRSlacksCtx matches exactly one sentinel
+// under errors.Is, or is an *InternalError matchable with errors.As:
 //
 //	ErrCanceled          the query's context was canceled; also matches
 //	                     context.Canceled

@@ -8,6 +8,7 @@ import (
 
 	"fastcppr/internal/core"
 	"fastcppr/internal/qerr"
+	"fastcppr/internal/sched"
 	"fastcppr/model"
 )
 
@@ -51,14 +52,23 @@ type queryMemoEntry struct {
 // exact report, so one max-K entry serves every smaller K. The memo
 // dies with its snapshot (every edit publishes a fresh one), which
 // makes it trivially sound: within a snapshot a normalized query is a
-// pure function of the immutable engines. Safe for concurrent use.
+// pure function of the immutable engines.
+//
+// Safe for concurrent use, with a lock-free read path: idx holds an
+// atomic pointer to an immutable map, so a lookup under the batch
+// executor never serializes worker threads. Writers copy the map under
+// mu and publish the successor atomically (entries themselves are
+// immutable once stored).
 type queryMemo struct {
-	mu      sync.Mutex
-	entries map[Query]*queryMemoEntry
+	idx atomic.Pointer[map[Query]*queryMemoEntry]
+	mu  sync.Mutex // serializes writers (store) only
 }
 
 func newQueryMemo() *queryMemo {
-	return &queryMemo{entries: make(map[Query]*queryMemoEntry)}
+	m := &queryMemo{}
+	empty := make(map[Query]*queryMemoEntry)
+	m.idx.Store(&empty)
+	return m
 }
 
 // queryMemoKey normalizes q into its memo key for corner c. Timeout is
@@ -72,11 +82,10 @@ func queryMemoKey(q Query, c model.Corner) Query {
 	return q
 }
 
-// lookup serves key at budget k if a covering entry exists.
+// lookup serves key at budget k if a covering entry exists. Lock-free:
+// one atomic load of the current map.
 func (m *queryMemo) lookup(key Query, k int) (Report, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[key]
+	e, ok := (*m.idx.Load())[key]
 	if !ok || (e.k < k && !e.exhausted) {
 		return Report{}, false
 	}
@@ -85,31 +94,41 @@ func (m *queryMemo) lookup(key Query, k int) (Report, bool) {
 
 // store records a successful report computed at budget k, keeping the
 // larger-K entry when two runs race. At capacity an arbitrary entry is
-// evicted — the memo is a bounded accelerator, not a registry.
+// evicted — the memo is a bounded accelerator, not a registry. The
+// successor map is built under mu and published with one atomic store,
+// so concurrent lookups always see a complete map.
 func (m *queryMemo) store(key Query, k int, rep Report) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if e, ok := m.entries[key]; ok {
+	old := *m.idx.Load()
+	if e, ok := old[key]; ok {
 		if e.k >= k {
 			return
 		}
-	} else if len(m.entries) >= queryMemoMax {
-		for victim := range m.entries {
-			delete(m.entries, victim)
+	}
+	next := make(map[Query]*queryMemoEntry, len(old)+1)
+	for ok, ov := range old {
+		next[ok] = ov
+	}
+	if _, ok := next[key]; !ok && len(next) >= queryMemoMax {
+		for victim := range next {
+			delete(next, victim)
 			break
 		}
 	}
-	m.entries[key] = &queryMemoEntry{k: k, exhausted: len(rep.Paths) < k, rep: rep}
+	next[key] = &queryMemoEntry{k: k, exhausted: len(rep.Paths) < k, rep: rep}
+	m.idx.Store(&next)
 }
 
 // execute runs one normalized query against corner c, serving it from
 // the snapshot's query memo when possible. Only AlgoLCA reports are
 // memoized (the baselines exist for comparison studies, where cached
 // timings would mislead), and Query.NoCache bypasses the memo entirely.
-// Errors are never cached.
-func (s *snapshot) execute(ctx context.Context, q Query, c model.Corner) (Report, error) {
+// Errors are never cached. A non-nil tc threads the executor context
+// down to the engine (see snapshot.runOn).
+func (s *snapshot) execute(ctx context.Context, q Query, c model.Corner, tc *sched.TC) (Report, error) {
 	if q.Algorithm != AlgoLCA || q.NoCache || s.memo == nil {
-		return s.runOn(ctx, q, s.corner(c))
+		return s.runOn(ctx, q, s.corner(c), tc)
 	}
 	// The cancellation contract holds even when the answer is free: a
 	// canceled query errors, it does not serve from cache.
@@ -124,7 +143,7 @@ func (s *snapshot) execute(ctx context.Context, q Query, c model.Corner) (Report
 		return rep, nil
 	}
 	s.ctr.queryMisses.Add(1)
-	rep, err := s.runOn(ctx, q, s.corner(c))
+	rep, err := s.runOn(ctx, q, s.corner(c), tc)
 	if err != nil {
 		return Report{}, err
 	}

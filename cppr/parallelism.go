@@ -1,0 +1,68 @@
+package cppr
+
+import "runtime"
+
+// Parallelism is the Timer-level parallelism budget, unifying the knobs
+// that were previously spread over per-call thread arguments. Two
+// independent axes:
+//
+//   - Workers sizes the work-stealing executor that spreads execution
+//     units — (query, corner) pairs in ReportBatch, corners in a
+//     multi-corner Run or PostCPPRSlacksCtx — across cores. Inside the
+//     executor each unit's candidate-generation jobs are themselves
+//     stealable tasks, so a batch of one big query and many small ones
+//     still saturates the pool.
+//   - QueryThreads is the default intra-query parallelism for queries
+//     that leave Query.Threads at 0.
+//
+// Zero (or negative) values mean "use all available cores"
+// (runtime.GOMAXPROCS). Precedence, per axis:
+//
+//	intra-query:  Query.Threads  >  Parallelism.QueryThreads  >  GOMAXPROCS
+//	executor:     Parallelism.Workers                         >  GOMAXPROCS
+//
+// Results never depend on either setting: every thread count produces
+// byte-identical reports. Parallelism changes wall-clock only.
+type Parallelism struct {
+	// Workers bounds the executor pool; <= 0 uses all available cores.
+	Workers int
+	// QueryThreads is the intra-query default when Query.Threads is 0;
+	// <= 0 uses all available cores.
+	QueryThreads int
+}
+
+// workers resolves the executor pool size.
+func (p Parallelism) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// threadsFor resolves a normalized query's intra-query thread budget
+// under the precedence documented on Parallelism.
+func (p Parallelism) threadsFor(q Query) int {
+	if q.Threads > 0 {
+		return q.Threads
+	}
+	if p.QueryThreads > 0 {
+		return p.QueryThreads
+	}
+	return 0 // downstream resolves 0 to GOMAXPROCS
+}
+
+// SetParallelism installs the Timer's parallelism budget. Like every
+// Timer setting it takes effect atomically: queries already in flight
+// keep the budget they started with, subsequent calls observe the new
+// one. The zero value restores the default (all cores everywhere).
+func (t *Timer) SetParallelism(p Parallelism) {
+	t.par.Store(&p)
+}
+
+// Parallelism returns the currently installed budget.
+func (t *Timer) Parallelism() Parallelism {
+	if p := t.par.Load(); p != nil {
+		return *p
+	}
+	return Parallelism{}
+}

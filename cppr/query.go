@@ -104,15 +104,3 @@ func (q *Query) Normalize() error {
 	}
 	return nil
 }
-
-// query converts the deprecated Options value to its Query equivalent.
-func (o Options) query() Query {
-	return Query{
-		K:             o.K,
-		Mode:          o.Mode,
-		Threads:       o.Threads,
-		Algorithm:     o.Algorithm,
-		UseLiftingLCA: o.UseLiftingLCA,
-		IncludePOs:    o.IncludePOs,
-	}
-}

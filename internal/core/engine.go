@@ -22,6 +22,7 @@ import (
 	"fastcppr/internal/lca"
 	"fastcppr/internal/mmheap"
 	"fastcppr/internal/qerr"
+	"fastcppr/internal/sched"
 	"fastcppr/internal/sta"
 	"fastcppr/model"
 )
@@ -32,8 +33,23 @@ type Options struct {
 	K int
 	// Mode selects setup or hold analysis.
 	Mode model.Mode
-	// Threads bounds worker parallelism; <= 0 uses GOMAXPROCS.
+	// Threads bounds worker parallelism; <= 0 uses GOMAXPROCS. Ignored
+	// when Exec is set — the pool's size is the parallelism budget.
 	Threads int
+	// Exec, when non-nil, is the work-stealing worker context the query
+	// runs under: candidate-generation jobs are spawned as stealable
+	// tasks onto the caller's sched.Pool instead of dedicated goroutines,
+	// so one pool load-balances jobs across every in-flight query (the
+	// batch executor's (query × corner) units). The calling task
+	// help-waits, so a unit never parks a pool worker.
+	Exec *sched.TC
+	// PropThreads bounds intra-job kernel parallelism: above 1, sparse
+	// propagation runs under the partitioned frontier kernel
+	// (sta.Prop.RunSparseParallel) with this many threads. <= 0 lets the
+	// engine derive it (standalone queries split Threads across jobs;
+	// pool-run queries keep 1 — the pool is already saturated by jobs).
+	// Results are bit-identical at any setting.
+	PropThreads int
 	// UseLiftingLCA switches the LCA queries used by candidate
 	// filtering from Euler-tour RMQ to binary lifting (ablation knob).
 	UseLiftingLCA bool
@@ -211,6 +227,21 @@ type scratch struct {
 	prop *sta.Prop
 	heap *mmheap.KeyHeap[*cand]
 	done <-chan struct{}
+	// slacks/valid are the per-job endpoint sweep buffers of
+	// EndpointSlacksCPPR, kept on the scratch so pool reuse amortises
+	// their O(#FFs) allocation across jobs and queries.
+	slacks []model.Time
+	valid  []bool
+}
+
+// endpointBuffers returns the scratch's slacks/valid arrays sized for n
+// endpoints, growing them on first use.
+func (s *scratch) endpointBuffers(n int) ([]model.Time, []bool) {
+	if cap(s.slacks) < n {
+		s.slacks = make([]model.Time, n)
+		s.valid = make([]bool, n)
+	}
+	return s.slacks[:n], s.valid[:n]
 }
 
 // getScratch checks a scratch out of the engine's pool and arms it with
@@ -258,11 +289,17 @@ func (e *Engine) resetProp(s *scratch, opts *Options) {
 	}
 }
 
-// runProp propagates the seeded tuples under the selected kernel.
+// runProp propagates the seeded tuples under the selected kernel. With
+// PropThreads above 1 the sparse kernel runs partitioned across barrier
+// blocks; tuples are bit-identical at any thread count, so the knob
+// changes wall-clock only.
 func (e *Engine) runProp(s *scratch, setup bool, opts *Options) {
-	if opts.DenseKernel {
+	switch {
+	case opts.DenseKernel:
 		s.prop.RunCtx(e.d, setup, s.done)
-	} else {
+	case opts.PropThreads > 1:
+		s.prop.RunSparseParallel(e.d, setup, s.done, opts.PropThreads)
+	default:
 		s.prop.RunSparse(e.d, setup, s.done)
 	}
 }
@@ -291,6 +328,103 @@ func (g *globalBound) publish(v model.Time) {
 	g.set.Store(true)
 }
 
+// derivePropThreads resolves PropThreads when the caller left it
+// automatic: a standalone query with more threads than jobs hands each
+// job the leftover parallelism for its propagation kernel; pool-run
+// queries keep serial kernels (sibling jobs and units already saturate
+// the pool). Results are identical either way.
+func derivePropThreads(opts *Options, numJobs int) {
+	if opts.PropThreads > 0 {
+		return
+	}
+	opts.PropThreads = 1
+	if opts.Exec != nil || opts.DenseKernel || numJobs == 0 {
+		return
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > numJobs {
+		opts.PropThreads = threads / numJobs
+	}
+}
+
+// forEachJob runs body(s, j) exactly once for every job index in
+// [0, numJobs), containing panics via fail. Two scheduling regimes:
+//
+//   - opts.Exec set: each job is spawned as one stealable task on the
+//     caller's work-stealing pool and the calling task help-waits, so
+//     jobs of concurrent queries share one load-balanced worker set and
+//     a waiting unit never parks a pool worker.
+//   - otherwise: min(Threads, numJobs) dedicated goroutines drain the
+//     job list through an atomic counter (the standalone query shape).
+//
+// Either way each body invocation owns a scratch checked out of the
+// engine's pool — per worker in goroutine mode, per task in pool mode —
+// so a stolen job never cold-allocates its O(n) propagation arrays.
+// body must tolerate running concurrently with itself; output
+// determinism comes from the callers' order-insensitive merges.
+func (e *Engine) forEachJob(opts *Options, numJobs int, done <-chan struct{}, fail func(error), site, fire string, body func(s *scratch, j int)) {
+	contain := func(j int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(qerr.FromPanic(site, r))
+			}
+		}()
+		s := e.getScratch(done)
+		defer e.putScratch(s)
+		if s.canceled() {
+			return
+		}
+		faultinject.Fire(fire)
+		body(s, j)
+	}
+	if tc := opts.Exec; tc != nil {
+		g := tc.Pool().NewGroup()
+		for j := 0; j < numJobs; j++ {
+			j := j
+			tc.Spawn(g, func(*sched.TC) { contain(j) })
+		}
+		g.Wait(tc)
+		return
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > numJobs {
+		threads = numJobs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Contain invariant panics (negative deviation cost,
+			// deviation head off parent path, or anything else): one
+			// poisoned design must fail its query, not the process.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(qerr.FromPanic(site, r))
+				}
+			}()
+			s := e.getScratch(done)
+			defer e.putScratch(s)
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= numJobs || s.canceled() {
+					return
+				}
+				faultinject.Fire(fire)
+				body(s, j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TopPaths returns the global top-k post-CPPR critical paths
 // (Algorithm 1). The context bounds the query: cancellation or deadline
 // expiry returns an error matching qerr.ErrCanceled /
@@ -305,15 +439,9 @@ func (e *Engine) TopPaths(ctx context.Context, opts Options) (Result, error) {
 	if k <= 0 || len(e.d.FFs) == 0 {
 		return Result{}, nil
 	}
-	threads := opts.Threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
 	jobs := e.jobPlan(opts)
 	numJobs := len(jobs)
-	if threads > numJobs {
-		threads = numJobs
-	}
+	derivePropThreads(&opts, numJobs)
 
 	// Global selection (Algorithm 6): a bounded min-max heap over all
 	// filtered candidates under the total order (slack, job, idx), which
@@ -347,50 +475,26 @@ func (e *Engine) TopPaths(ctx context.Context, opts Options) (Result, error) {
 	done := qctx.Done()
 
 	var candidates, kept, reconstructed atomic.Int64
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Contain invariant panics (negative deviation cost,
-			// deviation head off parent path, or anything else): one
-			// poisoned design must fail its query, not the process.
-			defer func() {
-				if r := recover(); r != nil {
-					fail(qerr.FromPanic("core.TopPaths", r))
-				}
-			}()
-			s := e.getScratch(done)
-			defer e.putScratch(s)
-			for {
-				j := int(next.Add(1) - 1)
-				if j >= numJobs || s.canceled() {
-					return
-				}
-				faultinject.Fire("core.worker")
-				outs, produced := e.runJob(s, jobs[j], j, k, opts, &bound)
-				candidates.Add(int64(produced))
-				kept.Add(int64(len(outs)))
-				mu.Lock()
-				for _, o := range outs {
-					if global.PushBounded(o, k) {
-						// Materialise the pins while this worker's
-						// propagation arrays are still intact.
-						o.pins = e.reconstruct(s.prop, o.chain)
-						reconstructed.Add(1)
-					}
-				}
-				if global.Len() >= k {
-					if m, ok := global.Max(); ok {
-						bound.publish(m.slack)
-					}
-				}
-				mu.Unlock()
+	e.forEachJob(&opts, numJobs, done, fail, "core.TopPaths", "core.worker", func(s *scratch, j int) {
+		outs, produced := e.runJob(s, jobs[j], j, k, opts, &bound)
+		candidates.Add(int64(produced))
+		kept.Add(int64(len(outs)))
+		mu.Lock()
+		for _, o := range outs {
+			if global.PushBounded(o, k) {
+				// Materialise the pins while this worker's propagation
+				// arrays are still intact.
+				o.pins = e.reconstruct(s.prop, o.chain)
+				reconstructed.Add(1)
 			}
-		}()
-	}
-	wg.Wait()
+		}
+		if global.Len() >= k {
+			if m, ok := global.Max(); ok {
+				bound.publish(m.slack)
+			}
+		}
+		mu.Unlock()
+	})
 	if failErr != nil {
 		return Result{}, failErr
 	}
@@ -1006,15 +1110,9 @@ func (e *Engine) EndpointSlacksCPPR(ctx context.Context, opts Options) ([]Endpoi
 	if len(e.d.FFs) == 0 {
 		return out, nil
 	}
-	threads := opts.Threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
 	opts.K = 1
 	jobs := e.jobPlan(opts)
-	if threads > len(jobs) {
-		threads = len(jobs)
-	}
+	derivePropThreads(&opts, len(jobs))
 
 	var mu sync.Mutex
 	merge := func(slacks []model.Time, valid []bool) {
@@ -1039,39 +1137,17 @@ func (e *Engine) EndpointSlacksCPPR(ctx context.Context, opts Options) ([]Endpoi
 	}
 	done := qctx.Done()
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					fail(qerr.FromPanic("core.EndpointSlacksCPPR", r))
-				}
-			}()
-			s := e.getScratch(done)
-			defer e.putScratch(s)
-			slacks := make([]model.Time, len(e.d.FFs))
-			valid := make([]bool, len(e.d.FFs))
-			for {
-				j := int(next.Add(1) - 1)
-				if j >= len(jobs) || s.canceled() {
-					return
-				}
-				if jobs[j].kind == jobPO {
-					continue // PO endpoints are not FF tests
-				}
-				faultinject.Fire("core.endpoint.worker")
-				e.endpointBest(s, jobs[j], opts, slacks, valid)
-				if s.canceled() {
-					return // partial endpointBest output; don't merge
-				}
-				merge(slacks, valid)
-			}
-		}()
-	}
-	wg.Wait()
+	e.forEachJob(&opts, len(jobs), done, fail, "core.EndpointSlacksCPPR", "core.endpoint.worker", func(s *scratch, j int) {
+		if jobs[j].kind == jobPO {
+			return // PO endpoints are not FF tests
+		}
+		slacks, valid := s.endpointBuffers(len(e.d.FFs))
+		e.endpointBest(s, jobs[j], opts, slacks, valid)
+		if s.canceled() {
+			return // partial endpointBest output; don't merge
+		}
+		merge(slacks, valid)
+	})
 	if failErr != nil {
 		return nil, failErr
 	}

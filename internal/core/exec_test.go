@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/internal/sched"
+	"fastcppr/model"
+)
+
+// requireSamePaths asserts two results are byte-identical: same slacks
+// and same pin sequences in the same order.
+func requireSamePaths(t *testing.T, label string, ref, got Result) {
+	t.Helper()
+	if len(got.Paths) != len(ref.Paths) {
+		t.Fatalf("%s: %d paths, want %d", label, len(got.Paths), len(ref.Paths))
+	}
+	for i := range ref.Paths {
+		if got.Paths[i].Slack != ref.Paths[i].Slack {
+			t.Fatalf("%s: path %d slack %v, want %v", label, i, got.Paths[i].Slack, ref.Paths[i].Slack)
+		}
+		if fmt.Sprint(got.Paths[i].Pins) != fmt.Sprint(ref.Paths[i].Pins) {
+			t.Fatalf("%s: path %d pins differ", label, i)
+		}
+	}
+}
+
+// onPool runs fn as a task on a fresh work-stealing pool of the given
+// size and returns after it (and everything it spawned) completes.
+func onPool(workers int, fn func(tc *sched.TC)) {
+	p := sched.New(workers)
+	defer p.Close()
+	g := p.NewGroup()
+	g.Spawn(func(tc *sched.TC) { fn(tc) })
+	g.Wait(nil)
+}
+
+// TestExecPoolDeterminism: queries scheduled onto a work-stealing pool
+// (the batch executor regime) return byte-identical reports to the
+// standalone goroutine regime, for any pool size.
+func TestExecPoolDeterminism(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(21))
+	e := NewEngine(d)
+	for _, mode := range model.Modes {
+		ref := mustTopPaths(t, e, Options{K: 100, Mode: mode, Threads: 1})
+		for _, workers := range []int{1, 2, 8} {
+			var got Result
+			var err error
+			onPool(workers, func(tc *sched.TC) {
+				got, err = e.TopPaths(context.Background(), Options{K: 100, Mode: mode, Exec: tc})
+			})
+			if err != nil {
+				t.Fatalf("pool(%d) TopPaths: %v", workers, err)
+			}
+			requireSamePaths(t, fmt.Sprintf("mode %v pool %d", mode, workers), ref, got)
+		}
+	}
+}
+
+// TestExecPoolConcurrentQueries: several queries sharing one pool (the
+// batch shape: their jobs interleave on the same deques) each return
+// exactly their standalone result.
+func TestExecPoolConcurrentQueries(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(9))
+	e := NewEngine(d)
+	type q struct {
+		k    int
+		mode model.Mode
+	}
+	queries := []q{{10, model.Setup}, {25, model.Hold}, {100, model.Setup}, {1, model.Hold}}
+	refs := make([]Result, len(queries))
+	for i, qu := range queries {
+		refs[i] = mustTopPaths(t, e, Options{K: qu.k, Mode: qu.mode, Threads: 1})
+	}
+	p := sched.New(4)
+	defer p.Close()
+	g := p.NewGroup()
+	got := make([]Result, len(queries))
+	errs := make([]error, len(queries))
+	for i, qu := range queries {
+		i, qu := i, qu
+		g.Spawn(func(tc *sched.TC) {
+			got[i], errs[i] = e.TopPaths(context.Background(), Options{K: qu.k, Mode: qu.mode, Exec: tc})
+		})
+	}
+	g.Wait(nil)
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		requireSamePaths(t, fmt.Sprintf("query %d", i), refs[i], got[i])
+	}
+}
+
+// TestPropThreadsDeterminism: the partitioned propagation kernel changes
+// wall-clock, never output.
+func TestPropThreadsDeterminism(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(13))
+	e := NewEngine(d)
+	for _, mode := range model.Modes {
+		ref := mustTopPaths(t, e, Options{K: 50, Mode: mode, Threads: 1})
+		for _, pt := range []int{2, 8} {
+			got := mustTopPaths(t, e, Options{K: 50, Mode: mode, Threads: 1, PropThreads: pt})
+			requireSamePaths(t, fmt.Sprintf("mode %v propthreads %d", mode, pt), ref, got)
+		}
+	}
+}
+
+// TestExecPoolEndpointSlacks: the endpoint sweep under a pool matches
+// the standalone sweep.
+func TestExecPoolEndpointSlacks(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(7))
+	e := NewEngine(d)
+	for _, mode := range model.Modes {
+		ref := mustEndpointSlacks(t, e, Options{Mode: mode, Threads: 1})
+		var got []EndpointCPPRSlack
+		var err error
+		onPool(4, func(tc *sched.TC) {
+			got, err = e.EndpointSlacksCPPR(context.Background(), Options{Mode: mode, Exec: tc})
+		})
+		if err != nil {
+			t.Fatalf("pool EndpointSlacksCPPR: %v", err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("len %d, want %d", len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("endpoint %d: %+v, want %+v", i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestExecPoolReuse: one pool serves repeated queries through fresh
+// groups without leaking tasks or wedging the deques.
+func TestExecPoolReuse(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(1))
+	e := NewEngine(d)
+	p := sched.New(2)
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		g := p.NewGroup()
+		var err error
+		g.Spawn(func(tc *sched.TC) {
+			_, err = e.TopPaths(context.Background(), Options{K: 5, Mode: model.Setup, Exec: tc})
+		})
+		g.Wait(nil)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}

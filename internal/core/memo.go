@@ -2,11 +2,9 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"fastcppr/internal/faultinject"
 	"fastcppr/internal/mmheap"
 	"fastcppr/internal/qerr"
 	"fastcppr/model"
@@ -58,8 +56,8 @@ type cachedOut struct {
 }
 
 // jobEntry is a cached job result. Immutable once stored except for
-// seq, which lookups bump (under the cache lock) after revalidation so
-// journal walks stay short.
+// seq, which lookups advance (atomically, monotonically) after
+// revalidation so journal walks stay short.
 //
 // Serving smaller budgets is sound by the prefix property: the pop
 // sequence under budget k' <= k is exactly the first pops under budget
@@ -72,12 +70,25 @@ type cachedOut struct {
 // full-budget pops — so the entry holds the job's complete candidate
 // stream and is valid for every k'.
 type jobEntry struct {
-	seq       uint64
+	seq       atomic.Uint64
 	k         int
 	exhausted bool
 	produced  int
 	cone      *model.PinSet
 	outs      []cachedOut
+}
+
+// advanceSeq moves the entry's validation watermark forward to seq,
+// never backward: concurrent lookups may validate against different
+// journal positions, and the watermark must not regress past a
+// validation another reader already proved.
+func (e *jobEntry) advanceSeq(seq uint64) {
+	for {
+		cur := e.seq.Load()
+		if cur >= seq || e.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // JobCache memoizes candidate-generation job results for one (design
@@ -87,10 +98,19 @@ type jobEntry struct {
 // the snapshot's edit journal, whether an entry stored at seq s is
 // still exact — a job output can change only if an edited arc's source
 // pin lies in the cone. Safe for concurrent use.
+//
+// The hot path — lookup from parallel candidate-generation jobs — is
+// lock-free: readers load an atomic pointer to an immutable index map
+// and never contend. Writers (store, and lookup's invalidation removals)
+// serialize on a mutex and publish a fresh map copy-on-write; entries
+// themselves are immutable after publication except for the atomic seq
+// watermark, so a reader holding a superseded map still reads coherent
+// data. Warm queries on a populated cache therefore scale with thread
+// count instead of convoying on a cache mutex.
 type JobCache struct {
-	mu      sync.Mutex
-	entries map[jobKey]*jobEntry
-	ctr     *CacheCounters
+	idx atomic.Pointer[map[jobKey]*jobEntry]
+	mu  sync.Mutex // serializes copy-on-write publication
+	ctr *CacheCounters
 }
 
 // NewJobCache returns an empty cache reporting into ctr (shared across
@@ -99,36 +119,55 @@ func NewJobCache(ctr *CacheCounters) *JobCache {
 	if ctr == nil {
 		ctr = &CacheCounters{}
 	}
-	return &JobCache{entries: make(map[jobKey]*jobEntry), ctr: ctr}
+	c := &JobCache{ctr: ctr}
+	empty := make(map[jobKey]*jobEntry)
+	c.idx.Store(&empty)
+	return c
 }
 
 // Len returns the number of cached job entries.
-func (c *JobCache) Len() int {
+func (c *JobCache) Len() int { return len(*c.idx.Load()) }
+
+// publish replaces the index with a copy that has mutate applied, under
+// the writer mutex. The copy is re-read inside the lock so concurrent
+// publishes never lose each other's writes.
+func (c *JobCache) publish(mutate func(m map[jobKey]*jobEntry)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	cur := *c.idx.Load()
+	next := make(map[jobKey]*jobEntry, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	mutate(next)
+	c.idx.Store(&next)
 }
 
 // lookup serves key at budget k if a valid entry covers it, returning
 // the served outs (a prefix view of the entry; read-only), the produced
 // count a cold run at budget k would report, and whether it hit. On a
 // hit the entry's seq advances to seq — the validator just proved no
-// dirtying edit lies in (entry.seq, seq].
+// dirtying edit lies in (entry.seq, seq]. Lock-free except when an
+// invalidated entry must be removed.
 func (c *JobCache) lookup(key jobKey, k int, seq uint64, valid func(entrySeq uint64, cone *model.PinSet) bool) ([]cachedOut, int, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	e, ok := (*c.idx.Load())[key]
 	if !ok {
 		c.ctr.Misses.Add(1)
 		return nil, 0, false
 	}
-	if !valid(e.seq, e.cone) {
-		delete(c.entries, key)
+	if !valid(e.seq.Load(), e.cone) {
+		c.publish(func(m map[jobKey]*jobEntry) {
+			// Remove only the entry we proved stale; a concurrent store
+			// may already have replaced it with a fresh one.
+			if m[key] == e {
+				delete(m, key)
+			}
+		})
 		c.ctr.Misses.Add(1)
 		c.ctr.Invalidated.Add(1)
 		return nil, 0, false
 	}
-	e.seq = seq
+	e.advanceSeq(seq)
 	if e.k < k && !e.exhausted {
 		// Valid but computed under a smaller budget whose stream did not
 		// run dry: the tail beyond e.k is unknown.
@@ -150,16 +189,15 @@ func (c *JobCache) lookup(key jobKey, k int, seq uint64, valid func(entrySeq uin
 // store records a job result computed at budget k from a run started at
 // journal seq.
 func (c *JobCache) store(key jobKey, seq uint64, k, produced int, cone *model.PinSet, outs []cachedOut) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[key] = &jobEntry{
-		seq:       seq,
+	e := &jobEntry{
 		k:         k,
 		exhausted: produced < k,
 		produced:  produced,
 		cone:      cone,
 		outs:      outs,
 	}
+	e.seq.Store(seq)
+	c.publish(func(m map[jobKey]*jobEntry) { m[key] = e })
 }
 
 // jobCone returns the data-graph footprint of spec: the set of pins a
@@ -208,15 +246,9 @@ func (e *Engine) TopPathsMemo(ctx context.Context, opts Options, cache *JobCache
 	if k <= 0 || len(e.d.FFs) == 0 {
 		return Result{}, nil
 	}
-	threads := opts.Threads
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
 	jobs := e.jobPlan(opts)
 	numJobs := len(jobs)
-	if threads > numJobs {
-		threads = numJobs
-	}
+	derivePropThreads(&opts, numJobs)
 
 	less := func(a, b *jobOut) bool {
 		if a.slack != b.slack {
@@ -243,83 +275,62 @@ func (e *Engine) TopPathsMemo(ctx context.Context, opts Options, cache *JobCache
 	done := qctx.Done()
 
 	var candidates, kept, reconstructed atomic.Int64
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					fail(qerr.FromPanic("core.TopPathsMemo", r))
-				}
-			}()
-			s := e.getScratch(done)
-			defer e.putScratch(s)
-			for {
-				j := int(next.Add(1) - 1)
-				if j >= numJobs || s.canceled() {
-					return
-				}
-				faultinject.Fire("core.worker")
-				spec := jobs[j]
-				key := jobKey{
-					kind:    spec.kind,
-					level:   spec.level,
-					mode:    opts.Mode,
-					lifting: opts.UseLiftingLCA,
-					dense:   opts.DenseKernel,
-				}
-				outs, produced, hit := cache.lookup(key, k, seq, valid)
-				if !hit {
-					// Run the job at full fidelity: no global bound (its
-					// truncation point depends on sibling-job timing) and
-					// every kept candidate's pins materialised while this
-					// worker's propagation arrays are still intact.
-					runOpts := opts
-					runOpts.DisableGlobalBound = true
-					var dummy globalBound
-					jobOuts, prod := e.runJob(s, spec, j, k, runOpts, &dummy)
-					if s.canceled() {
-						return // partial stream; do not store or merge
-					}
-					outs = make([]cachedOut, len(jobOuts))
-					for i, o := range jobOuts {
-						outs[i] = cachedOut{
-							slack:    o.slack,
-							idx:      o.idx,
-							capFF:    o.capFF,
-							launch:   o.launch,
-							lcaDepth: o.lcaDepth,
-							credit:   o.credit,
-							pins:     e.reconstruct(s.prop, o.chain),
-						}
-						reconstructed.Add(1)
-					}
-					produced = prod
-					cache.store(key, seq, k, prod, e.jobCone(spec), outs)
-				}
-				candidates.Add(int64(produced))
-				kept.Add(int64(len(outs)))
-				mu.Lock()
-				for i := range outs {
-					c := &outs[i]
-					global.PushBounded(&jobOut{
-						slack:    c.slack,
-						job:      j,
-						idx:      c.idx,
-						capFF:    c.capFF,
-						launch:   c.launch,
-						lcaDepth: c.lcaDepth,
-						credit:   c.credit,
-						pins:     c.pins,
-					}, k)
-				}
-				mu.Unlock()
+	e.forEachJob(&opts, numJobs, done, fail, "core.TopPathsMemo", "core.worker", func(s *scratch, j int) {
+		spec := jobs[j]
+		key := jobKey{
+			kind:    spec.kind,
+			level:   spec.level,
+			mode:    opts.Mode,
+			lifting: opts.UseLiftingLCA,
+			dense:   opts.DenseKernel,
+		}
+		outs, produced, hit := cache.lookup(key, k, seq, valid)
+		if !hit {
+			// Run the job at full fidelity: no global bound (its
+			// truncation point depends on sibling-job timing) and
+			// every kept candidate's pins materialised while this
+			// worker's propagation arrays are still intact.
+			runOpts := opts
+			runOpts.DisableGlobalBound = true
+			var dummy globalBound
+			jobOuts, prod := e.runJob(s, spec, j, k, runOpts, &dummy)
+			if s.canceled() {
+				return // partial stream; do not store or merge
 			}
-		}()
-	}
-	wg.Wait()
+			outs = make([]cachedOut, len(jobOuts))
+			for i, o := range jobOuts {
+				outs[i] = cachedOut{
+					slack:    o.slack,
+					idx:      o.idx,
+					capFF:    o.capFF,
+					launch:   o.launch,
+					lcaDepth: o.lcaDepth,
+					credit:   o.credit,
+					pins:     e.reconstruct(s.prop, o.chain),
+				}
+				reconstructed.Add(1)
+			}
+			produced = prod
+			cache.store(key, seq, k, prod, e.jobCone(spec), outs)
+		}
+		candidates.Add(int64(produced))
+		kept.Add(int64(len(outs)))
+		mu.Lock()
+		for i := range outs {
+			c := &outs[i]
+			global.PushBounded(&jobOut{
+				slack:    c.slack,
+				job:      j,
+				idx:      c.idx,
+				capFF:    c.capFF,
+				launch:   c.launch,
+				lcaDepth: c.lcaDepth,
+				credit:   c.credit,
+				pins:     c.pins,
+			}, k)
+		}
+		mu.Unlock()
+	})
 	if failErr != nil {
 		return Result{}, failErr
 	}

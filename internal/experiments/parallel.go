@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// ParallelThreadStat is one thread-count measurement of the scaling
+// experiment: the same workload, executed under a Parallelism budget of
+// the given size, byte-compared against the single-threaded reference.
+type ParallelThreadStat struct {
+	Threads int `json:"threads"`
+	// BatchNs is the best wall time of the steal-heavy ReportBatch
+	// workload (one big query plus many small ones).
+	BatchNs int64 `json:"batch_ns"`
+	// QueryNs is the best wall time of the single large intra-query run.
+	QueryNs int64 `json:"query_ns"`
+	// *Speedup are the T=1 walls divided by this row's.
+	BatchSpeedup float64 `json:"batch_speedup"`
+	QuerySpeedup float64 `json:"query_speedup"`
+	// Identical records that every report of this row was byte-identical
+	// to the single-threaded reference — the determinism contract the
+	// speedups ride on.
+	Identical bool `json:"identical"`
+}
+
+// ParallelStats is the machine-readable result of the thread-scaling
+// experiment, committed as BENCH_parallel.json for regression tracking.
+// The shape mirrors the paper's Table IV thread column: the same exact
+// analysis at 1/2/4/8 threads. The host line records the machine —
+// speedups above 1 require the cores to exist.
+type ParallelStats struct {
+	Host   string               `json:"host"`
+	Design string               `json:"design"`
+	Scale  float64              `json:"scale"`
+	Reps   int                  `json:"reps"`
+	Points []ParallelThreadStat `json:"points"`
+	// MaxBatchSpeedup is the best batch speedup over the sweep.
+	MaxBatchSpeedup float64 `json:"max_batch_speedup"`
+	// Identical is the conjunction over all points.
+	Identical bool `json:"identical"`
+}
+
+// parallelFingerprint canonicalises a report for cross-thread-count
+// comparison: every path's slack and complete pin sequence, in order.
+func parallelFingerprint(b *strings.Builder, rep cppr.Report, err error) {
+	if err != nil {
+		fmt.Fprintf(b, "err:%v\n", err)
+		return
+	}
+	for _, p := range rep.Paths {
+		fmt.Fprintf(b, "%v|%v\n", p.Slack, p.Pins)
+	}
+	b.WriteString("--\n")
+}
+
+// Parallel measures the work-stealing executor and the partitioned
+// propagation kernel at 1/2/4/8 threads on the leon2-class preset:
+//
+//   - a steal-heavy ReportBatch workload — one large top-k query plus a
+//     tail of small ones, the shape that starves a static partitioner —
+//     under Parallelism{Workers: T};
+//   - one large query alone, whose candidate jobs split their frontier
+//     propagation across Parallelism{QueryThreads: T}.
+//
+// Every multi-threaded report is byte-compared against the T=1
+// reference; a mismatch fails the experiment. Queries run with NoCache
+// so each rep measures real work, not memo hits. When cfg.JSONOut is
+// set the stats are also encoded there as JSON.
+func Parallel(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	const design = "leon2"
+	d, err := dc.get(design)
+	if err != nil {
+		return err
+	}
+
+	// Steal-heavy batch: one big unit and a dozen small ones across both
+	// modes. NoCache keeps the timing honest across reps.
+	var batchQ []cppr.Query
+	batchQ = append(batchQ, cppr.Query{K: 200, Mode: model.Setup, NoCache: true})
+	for i := 0; i < 12; i++ {
+		batchQ = append(batchQ, cppr.Query{K: 1 + 2*i, Mode: model.Modes[i%2], NoCache: true})
+	}
+	bigQ := cppr.Query{K: 500, Mode: model.Setup, NoCache: true}
+
+	const reps = 3
+	stats := ParallelStats{
+		Host:      HostInfo(),
+		Design:    design,
+		Scale:     cfg.Scale,
+		Reps:      reps,
+		Identical: true,
+	}
+
+	var refBatch, refQuery string
+	t := report.NewTable(
+		fmt.Sprintf("Thread scaling: %s (scale %g, best of %d)", design, cfg.Scale, reps),
+		"threads", "batch(s)", "speedup", "query(s)", "speedup", "identical")
+	for _, threads := range []int{1, 2, 4, 8} {
+		timer := cppr.NewTimer(d)
+		timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+		timer.SetParallelism(cppr.Parallelism{Workers: threads, QueryThreads: threads})
+
+		measure := func(run func() (string, error)) (int64, string, error) {
+			best := int64(math.MaxInt64)
+			var fp string
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				got, err := run()
+				if err != nil {
+					return 0, "", err
+				}
+				if ns := time.Since(start).Nanoseconds(); ns < best {
+					best = ns
+				}
+				if fp == "" {
+					fp = got
+				} else if fp != got {
+					return 0, "", fmt.Errorf("parallel: %d-thread reports differ across reps", threads)
+				}
+			}
+			return best, fp, nil
+		}
+
+		batchNs, fpBatch, err := measure(func() (string, error) {
+			results, err := timer.ReportBatch(cfg.Ctx, batchQ)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			for _, r := range results {
+				parallelFingerprint(&b, r.Report, r.Err)
+			}
+			return b.String(), nil
+		})
+		if err != nil {
+			return err
+		}
+		queryNs, fpQuery, err := measure(func() (string, error) {
+			rep, err := timer.Run(cfg.Ctx, bigQ)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			parallelFingerprint(&b, rep, nil)
+			return b.String(), nil
+		})
+		if err != nil {
+			return err
+		}
+
+		p := ParallelThreadStat{Threads: threads, BatchNs: batchNs, QueryNs: queryNs, Identical: true}
+		if threads == 1 {
+			refBatch, refQuery = fpBatch, fpQuery
+			p.BatchSpeedup, p.QuerySpeedup = 1, 1
+		} else {
+			p.Identical = fpBatch == refBatch && fpQuery == refQuery
+			p.BatchSpeedup = float64(stats.Points[0].BatchNs) / float64(batchNs)
+			p.QuerySpeedup = float64(stats.Points[0].QueryNs) / float64(queryNs)
+		}
+		if !p.Identical {
+			return fmt.Errorf("parallel: %d-thread report differs from the single-threaded reference", threads)
+		}
+		if p.BatchSpeedup > stats.MaxBatchSpeedup {
+			stats.MaxBatchSpeedup = p.BatchSpeedup
+		}
+		stats.Identical = stats.Identical && p.Identical
+		stats.Points = append(stats.Points, p)
+		t.Add(fmt.Sprintf("%d", threads),
+			fmt.Sprintf("%.3f", float64(batchNs)/1e9),
+			fmt.Sprintf("%.2fx", p.BatchSpeedup),
+			fmt.Sprintf("%.3f", float64(queryNs)/1e9),
+			fmt.Sprintf("%.2fx", p.QuerySpeedup),
+			fmt.Sprintf("%v", p.Identical))
+	}
+
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "thread scaling: max batch speedup %.2fx, all reports identical: %v\n\n",
+		stats.MaxBatchSpeedup, stats.Identical); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+// Package sched is the work-stealing executor behind the engine's
+// candidate-generation jobs and the batch layer's (query × corner)
+// execution units. One Pool hosts a fixed set of worker goroutines, each
+// with its own deque: a worker pushes and pops tasks it spawns at the
+// bottom (LIFO, for locality with the scratch it just warmed) and, when
+// its deque runs dry, steals from the top of a sibling's deque (FIFO, so
+// thieves take the oldest — typically largest — pending work). Externally
+// submitted tasks land on a shared inject queue that idle workers drain
+// before stealing.
+//
+// Tasks are coarse — an entire candidate-generation job or batch unit,
+// microseconds to milliseconds each — so the pool optimises for
+// correctness and determinism, not nanosecond dispatch: all queues hang
+// off one mutex, and wakeups are condition-variable broadcasts. What
+// makes it an executor rather than a semaphore is the fork-join shape:
+// a task may spawn subtasks into its own deque and Wait for them while
+// HELPING — running pending tasks (its own or stolen) instead of
+// blocking — so a batch unit that fans out its engine jobs never parks a
+// worker, and idle workers finishing small units steal the big unit's
+// jobs. That is what retires the old static inner/outer thread split:
+// total parallelism is simply the pool size, however lopsided the units.
+//
+// Determinism: the pool guarantees nothing about execution ORDER, only
+// that every spawned task runs exactly once before Wait returns. Callers
+// that need thread-count-independent output must make their merge order
+// insensitive (the engine's global selection orders by (slack, job,
+// idx); the batch layer merges by unit rank).
+package sched
+
+import "sync"
+
+// Task is one unit of work. The TC identifies the worker running it (nil
+// when run inline by a Wait helper outside the pool) and is the handle
+// for spawning subtasks onto the same pool.
+type Task func(tc *TC)
+
+// task pairs a Task with the group accounting it reports into.
+type task struct {
+	g  *Group
+	fn Task
+}
+
+// Pool is a fixed-size work-stealing worker pool. Create with New, feed
+// it through Groups, and Close it when every group has been waited on.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]task // deques[w]: bottom = end (owner side), top = front (steal side)
+	inject []task   // external submissions, FIFO
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a pool of n workers (n < 1 is clamped to 1).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{deques: make([][]task, n)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.deques) }
+
+// Close shuts the pool down and joins its workers. Every Group must have
+// been Waited on first: workers drain whatever is still queued before
+// exiting, but nothing will be left to Wait on those strays.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Group tracks a set of tasks to join on: a fork-join scope. Groups are
+// cheap; create one per query (or per nested fan-out) and Wait it before
+// the pool is Closed. A Group may be fed from multiple goroutines.
+type Group struct {
+	p       *Pool
+	pending int // guarded by p.mu
+	panicv  any // first task panic, re-raised by Wait
+	set     bool
+}
+
+// NewGroup returns an empty group on p.
+func (p *Pool) NewGroup() *Group { return &Group{p: p} }
+
+// Spawn schedules fn from outside the pool: the task lands on the shared
+// inject queue. From inside a task, prefer TC.Spawn.
+func (g *Group) Spawn(fn Task) {
+	p := g.p
+	p.mu.Lock()
+	g.pending++
+	p.inject = append(p.inject, task{g: g, fn: fn})
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// TC is the worker context handed to every running task.
+type TC struct {
+	p *Pool
+	w int
+}
+
+// Pool returns the pool this context belongs to.
+func (tc *TC) Pool() *Pool { return tc.p }
+
+// Spawn schedules fn onto this worker's own deque (bottom), where the
+// worker will pop it LIFO unless a sibling steals it first.
+func (tc *TC) Spawn(g *Group, fn Task) {
+	p := tc.p
+	p.mu.Lock()
+	g.pending++
+	p.deques[tc.w] = append(p.deques[tc.w], task{g: g, fn: fn})
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Wait blocks until every task spawned into g has finished. When tc is a
+// worker context of the same pool, Wait helps: instead of parking, it
+// runs pending tasks (its own deque first, then steals) — required when
+// waiting from inside a task, or the pool could deadlock with every
+// worker parked in Wait. If any task panicked, Wait re-raises the first
+// panic after the group drains.
+func (g *Group) Wait(tc *TC) {
+	p := g.p
+	p.mu.Lock()
+	for g.pending > 0 {
+		if tc != nil {
+			if t, ok := p.grabLocked(tc.w); ok {
+				p.mu.Unlock()
+				t.run(tc)
+				p.mu.Lock()
+				continue
+			}
+		}
+		p.cond.Wait()
+	}
+	pv, set := g.panicv, g.set
+	p.mu.Unlock()
+	if set {
+		panic(pv)
+	}
+}
+
+// grabLocked finds a runnable task for worker w: own deque bottom, then
+// the inject queue, then steal from siblings' tops in ring order.
+func (p *Pool) grabLocked(w int) (task, bool) {
+	if dq := p.deques[w]; len(dq) > 0 {
+		t := dq[len(dq)-1]
+		p.deques[w] = dq[:len(dq)-1]
+		return t, true
+	}
+	if len(p.inject) > 0 {
+		t := p.inject[0]
+		p.inject = p.inject[1:]
+		if len(p.inject) == 0 {
+			p.inject = nil // release the drained backing array
+		}
+		return t, true
+	}
+	n := len(p.deques)
+	for i := 1; i < n; i++ {
+		v := (w + i) % n
+		if dq := p.deques[v]; len(dq) > 0 {
+			t := dq[0]
+			p.deques[v] = dq[1:]
+			return t, true
+		}
+	}
+	return task{}, false
+}
+
+// run executes t on worker context tc, containing panics into the
+// group's first-panic slot and signalling completion.
+func (t task) run(tc *TC) {
+	defer func() {
+		r := recover()
+		p := t.g.p
+		p.mu.Lock()
+		if r != nil && !t.g.set {
+			t.g.panicv, t.g.set = r, true
+		}
+		t.g.pending--
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	t.fn(tc)
+}
+
+// worker is one pool goroutine: grab, run, park when dry.
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	tc := &TC{p: p, w: w}
+	p.mu.Lock()
+	for {
+		if t, ok := p.grabLocked(w); ok {
+			p.mu.Unlock()
+			t.run(tc)
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			break
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}

@@ -105,6 +105,7 @@ func (r *Registry) Load(id string, d *model.Design) error {
 	}
 	faultinject.Fire("serve.registry.load")
 	timer := cppr.NewTimer(d)
+	timer.SetParallelism(r.cfg.Parallelism)
 	b := newBatcher(timer, r.cfg.MaxBatch, r.cfg.MaxWait)
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -42,6 +42,10 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps any requested per-query deadline. Default 5m.
 	MaxTimeout time.Duration
+	// Parallelism is installed on every loaded design's Timer (see
+	// cppr.Timer.SetParallelism). The zero value keeps the Timer default:
+	// all cores for both the batch executor and intra-query work.
+	Parallelism cppr.Parallelism
 }
 
 func (c Config) withDefaults() Config {

@@ -50,6 +50,19 @@ func (f *frontier) empty() bool { return f.count == 0 }
 // len returns the number of queued keys.
 func (f *frontier) len() int { return f.count }
 
+// grow pre-sizes the bitset to hold nbits keys, so concurrent writers
+// (RunSparseParallel's apply phase) can set word-exclusive bits without
+// the append path's reallocation. push remains usable afterwards.
+func (f *frontier) grow(nbits int) {
+	need := (nbits + 63) >> 6
+	if need <= len(f.words) {
+		return
+	}
+	words := make([]uint64, need)
+	copy(words, f.words)
+	f.words = words
+}
+
 // push inserts topological index k, which must not currently be queued
 // (Prop.touch and Incr.enqueue guarantee single insertion per drain).
 func (f *frontier) push(k int32) {

@@ -1,0 +1,145 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// runParallel runs ops through RunSparseParallel at the given thread
+// count and grain, returning the Prop for comparison.
+func runParallel(d *model.Design, ops []seedOp, setup bool, threads, grain int) *Prop {
+	old := sparseParGrain
+	sparseParGrain = grain
+	defer func() { sparseParGrain = old }()
+	p := new(Prop)
+	p.ResetFor(d)
+	applySeeds(p, ops, setup)
+	p.RunSparseParallel(d, setup, nil, threads)
+	return p
+}
+
+// TestRunSparseParallelMatchesSerial: for any design, seed set, mode and
+// thread count, the partitioned kernel produces bit-identical tuples to
+// the serial sparse kernel (and therefore to the dense reference). The
+// grain is forced to 1 so even tiny test designs exercise the buffered
+// hand-off path rather than falling back to the serial inner loop.
+func TestRunSparseParallelMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		rng := rand.New(rand.NewSource(seed*13 + 1))
+		for rep := 0; rep < 4; rep++ {
+			ops := randomSeeds(d, rng)
+			for _, setup := range []bool{true, false} {
+				var serial Prop
+				serial.ResetFor(d)
+				applySeeds(&serial, ops, setup)
+				serial.RunSparse(d, setup, nil)
+				for _, threads := range []int{2, 3, 8} {
+					par := runParallel(d, ops, setup, threads, 1)
+					requireKernelsEqual(t, d, &serial, par)
+				}
+			}
+		}
+	}
+	// Mid-size design with real reconvergence, both the forced-parallel
+	// grain and the production grain (which mixes serial and parallel
+	// blocks in one run).
+	d := gen.MustGenerate(gen.Medium(3))
+	rng := rand.New(rand.NewSource(41))
+	for rep := 0; rep < 3; rep++ {
+		ops := randomSeeds(d, rng)
+		var serial Prop
+		serial.ResetFor(d)
+		applySeeds(&serial, ops, true)
+		serial.RunSparse(d, true, nil)
+		for _, grain := range []int{1, 64, sparseParGrain} {
+			for _, threads := range []int{2, 8} {
+				par := runParallel(d, ops, true, threads, grain)
+				requireKernelsEqual(t, d, &serial, par)
+			}
+		}
+	}
+}
+
+// TestRunSparseParallelReusedProp: one Prop reused across epochs and
+// thread counts stays exact — the production pattern once the engine
+// pools Props across parallel queries.
+func TestRunSparseParallelReusedProp(t *testing.T) {
+	old := sparseParGrain
+	sparseParGrain = 1
+	defer func() { sparseParGrain = old }()
+
+	d := gen.MustGenerate(gen.Medium(5))
+	rng := rand.New(rand.NewSource(17))
+	var par Prop
+	for rep := 0; rep < 6; rep++ {
+		ops := randomSeeds(d, rng)
+		setup := rep%2 == 0
+		threads := 2 + rep%7
+
+		var serial Prop
+		serial.ResetFor(d)
+		applySeeds(&serial, ops, setup)
+		serial.RunSparse(d, setup, nil)
+
+		par.ResetFor(d)
+		applySeeds(&par, ops, setup)
+		par.RunSparseParallel(d, setup, nil, threads)
+
+		requireKernelsEqual(t, d, &serial, &par)
+	}
+}
+
+// TestRunSparseParallelCancelInvalidates: early cancel leaves the arrays
+// unreadable, exactly like the serial kernels.
+func TestRunSparseParallelCancelInvalidates(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(2))
+	done := make(chan struct{})
+	close(done)
+	var p Prop
+	p.ResetFor(d)
+	for i := range d.FFs {
+		ff := &d.FFs[i]
+		p.Offer(ff.Output, model.Time(100+i), ff.Clock, ff.Clock, int32(i%3), true)
+	}
+	p.RunSparseParallel(d, true, done, 4)
+	for u := 0; u < d.NumPins(); u++ {
+		if p.At(model.PinID(u)).Valid {
+			t.Fatalf("At(%s) readable after canceled parallel run", d.PinName(model.PinID(u)))
+		}
+	}
+}
+
+// TestRunSparseParallelSingleThreadDelegates: threads < 2 must take the
+// serial path byte-for-byte (it IS RunSparse).
+func TestRunSparseParallelSingleThreadDelegates(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(2))
+	rng := rand.New(rand.NewSource(3))
+	ops := randomSeeds(d, rng)
+
+	var serial, par Prop
+	serial.ResetFor(d)
+	applySeeds(&serial, ops, true)
+	serial.RunSparse(d, true, nil)
+	par.ResetFor(d)
+	applySeeds(&par, ops, true)
+	par.RunSparseParallel(d, true, nil, 1)
+	requireKernelsEqual(t, d, &serial, &par)
+}
+
+// TestRunSparseParallelPanicsWithoutResetFor mirrors the RunSparse
+// arming contract.
+func TestRunSparseParallelPanicsWithoutResetFor(t *testing.T) {
+	d := gen.MustGenerate(gen.SmallOracle(0))
+	var p Prop
+	p.Reset(d.NumPins())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunSparseParallel on a dense-Reset Prop should panic")
+		}
+	}()
+	p.RunSparseParallel(d, true, nil, 4)
+}

@@ -228,6 +228,10 @@ type Prop struct {
 	fr        frontier
 	// sparse selects which representation Offer/At/Auto address.
 	sparse bool
+
+	// par is RunSparseParallel's reusable hand-off scratch (see
+	// parallel.go); lazily allocated, retained across runs.
+	par *parScratch
 }
 
 // propPool recycles Prop scratch across queries: a propagation array pair
@@ -466,37 +470,10 @@ func (p *Prop) RunSparse(d *model.Design, setup bool, done <-chan struct{}) {
 		steps++
 		u := p.topo[p.fr.pop()]
 		s := &p.slots[u] // live: only touched pins enter the frontier
-		a := s.a
-		b := s.b
-		for _, ai := range d.FanOut(u) {
-			arc := &d.Arcs[ai]
-			var delay model.Time
-			if setup {
-				delay = arc.Delay.Late
-			} else {
-				delay = arc.Delay.Early
-			}
-			v := arc.To
-			sv := &p.slots[v]
-			if sv.stamp != p.epoch {
-				// First touch: write both tuples in one pass. Equivalent
-				// to two Offers because at' is never better than at and
-				// their groups always differ.
-				sv.stamp = p.epoch
-				sv.a = Tuple{Time: a.Time + delay, From: u, Origin: a.Origin, Group: a.Group, Valid: true}
-				if b.Valid {
-					sv.b = Tuple{Time: b.Time + delay, From: u, Origin: b.Origin, Group: b.Group, Valid: true}
-				} else {
-					sv.b = Tuple{}
-				}
-				p.fr.push(p.topoIndex[v])
-				continue
-			}
-			p.offerSlot(sv, a.Time+delay, u, a.Origin, a.Group, setup)
-			if b.Valid {
-				p.offerSlot(sv, b.Time+delay, u, b.Origin, b.Group, setup)
-			}
-		}
+		// relaxSparse first-touches sinks in one pass (equivalent to two
+		// Offers because at' is never better than at and their groups
+		// always differ) and offerSlots the rest.
+		p.relaxSparse(d, u, s.a, s.b, setup)
 	}
 }
 

@@ -267,6 +267,7 @@ func buildTopo(d *Design) error {
 	for i, u := range order {
 		d.TopoIndex[u] = int32(i)
 	}
+	d.TopoBlockEnds = topoBlockEnds(d)
 	return nil
 }
 

@@ -154,6 +154,14 @@ type Design struct {
 	// frontiers by it.
 	Topo      []PinID
 	TopoIndex []int32
+	// TopoBlockEnds partitions Topo into barrier blocks: block b spans
+	// topological indices [TopoBlockEnds[b-1], TopoBlockEnds[b]) (block 0
+	// starts at 0) and no arc connects two pins of the same block, so a
+	// block's pins may be relaxed concurrently and the concatenation of
+	// blocks in order is exactly Topo. Computed greedily at build time;
+	// parallel kernels (sta.Prop.RunSparseParallel) use the blocks as
+	// their synchronization barriers.
+	TopoBlockEnds []int32
 
 	// BaseCornerName optionally names corner 0 in reports ("" reads as
 	// "base"). ExtraCorners holds the delay tables of corners

@@ -1,0 +1,47 @@
+package model
+
+// TopoBlocks returns the barrier-block partition of d.Topo: a strictly
+// increasing sequence of exclusive end indices whose last entry is
+// len(Topo). Block b spans topological indices [ends[b-1], ends[b])
+// (block 0 starts at 0), and no timing arc connects two pins of the same
+// block — every arc leaving a block member lands in a strictly later
+// block. Relaxing a block's pins in any order (or concurrently) therefore
+// produces the same arrival state as relaxing them in topological order.
+//
+// Designs built by Builder carry the partition precomputed; the method
+// recomputes it (without caching, so it stays safe on shared Designs)
+// only for hand-assembled values that bypassed finalize.
+func (d *Design) TopoBlocks() []int32 {
+	if d.TopoBlockEnds != nil {
+		return d.TopoBlockEnds
+	}
+	return topoBlockEnds(d)
+}
+
+// topoBlockEnds computes the greedy barrier-block partition in one pass
+// over the topological order: a block is extended until reaching the
+// smallest topological index any earlier member's fanout points at, at
+// which point the block must close (the arc would otherwise be
+// intra-block). Greedy maximal extension keeps the block count — and so
+// the number of parallel barriers — as small as a left-to-right scan
+// allows.
+func topoBlockEnds(d *Design) []int32 {
+	n := len(d.Topo)
+	if n == 0 {
+		return nil
+	}
+	ends := make([]int32, 0, 64)
+	bound := int32(n)
+	for i := 0; i < n; i++ {
+		if int32(i) >= bound {
+			ends = append(ends, int32(i))
+			bound = int32(n)
+		}
+		for _, ai := range d.FanOut(d.Topo[i]) {
+			if t := d.TopoIndex[d.Arcs[ai].To]; t < bound {
+				bound = t
+			}
+		}
+	}
+	return append(ends, int32(n))
+}

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkBlocks asserts the TopoBlocks contract on d: strictly increasing
+// ends covering exactly [0, len(Topo)), and no arc between two pins of
+// the same block.
+func checkBlocks(t *testing.T, d *Design) {
+	t.Helper()
+	ends := d.TopoBlocks()
+	n := len(d.Topo)
+	if len(ends) == 0 || int(ends[len(ends)-1]) != n {
+		t.Fatalf("ends = %v, want last entry %d", ends, n)
+	}
+	prev := int32(0)
+	block := make([]int32, n) // block[topo index] = block number
+	for b, e := range ends {
+		if e <= prev && !(b == 0 && e == 0) {
+			t.Fatalf("ends not strictly increasing: %v", ends)
+		}
+		for i := prev; i < e; i++ {
+			block[i] = int32(b)
+		}
+		prev = e
+	}
+	for i, a := range d.Arcs {
+		bf, bt := block[d.TopoIndex[a.From]], block[d.TopoIndex[a.To]]
+		if bf >= bt {
+			t.Errorf("arc %d (%s -> %s): source block %d, target block %d — want source strictly earlier",
+				i, d.PinName(a.From), d.PinName(a.To), bf, bt)
+		}
+	}
+}
+
+func TestTopoBlocksTriangle(t *testing.T) {
+	d := buildTriangle(t)
+	checkBlocks(t, d)
+	if d.TopoBlockEnds == nil {
+		t.Fatal("Build did not precompute TopoBlockEnds")
+	}
+	// The method must serve the cached partition.
+	if got := &d.TopoBlocks()[0]; got != &d.TopoBlockEnds[0] {
+		t.Error("TopoBlocks did not return the cached partition")
+	}
+}
+
+// TestTopoBlocksChain: a pure chain forces singleton blocks — the worst
+// case for parallelism but the partition must still be valid.
+func TestTopoBlocksChain(t *testing.T) {
+	b := NewBuilder("chain", Ns(10))
+	clk := b.AddClockRoot("clk")
+	ff := b.AddFF("ff", 1, 1, Window{Early: 1, Late: 1})
+	b.AddArc(clk, ff.Clock, Window{Early: 1, Late: 2})
+	prev := ff.Q
+	for i := 0; i < 20; i++ {
+		g := b.AddComb("g" + string(rune('a'+i)))
+		b.AddArc(prev, g, Window{Early: 1, Late: 2})
+		prev = g
+	}
+	b.AddArc(prev, ff.D, Window{Early: 1, Late: 2})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBlocks(t, d)
+}
+
+// TestTopoBlocksRandom: random layered DAGs keep the contract.
+func TestTopoBlocksRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		b := NewBuilder("rand", Ns(100))
+		clk := b.AddClockRoot("clk")
+		ff := b.AddFF("ff", 1, 1, Window{Early: 1, Late: 1})
+		b.AddArc(clk, ff.Clock, Window{Early: 1, Late: 2})
+		layers := [][]PinID{{ff.Q}}
+		id := 0
+		for l := 0; l < 4; l++ {
+			width := 1 + rng.Intn(6)
+			var layer []PinID
+			for w := 0; w < width; w++ {
+				g := b.AddComb("g" + string(rune('A'+id%26)) + string(rune('a'+(id/26)%26)))
+				id++
+				// Wire from 1..3 distinct pins of random earlier layers
+				// (the builder rejects parallel arcs).
+				used := map[PinID]bool{}
+				for e := 0; e < 1+rng.Intn(3); e++ {
+					src := layers[rng.Intn(len(layers))]
+					from := src[rng.Intn(len(src))]
+					if used[from] {
+						continue
+					}
+					used[from] = true
+					b.AddArc(from, g, Window{Early: Time(1 + rng.Intn(5)), Late: Time(6 + rng.Intn(5))})
+				}
+				layer = append(layer, g)
+			}
+			layers = append(layers, layer)
+		}
+		last := layers[len(layers)-1]
+		b.AddArc(last[rng.Intn(len(last))], ff.D, Window{Early: 1, Late: 2})
+		d, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBlocks(t, d)
+	}
+}
