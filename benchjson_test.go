@@ -64,3 +64,57 @@ func TestBenchParallelJSONSchema(t *testing.T) {
 		t.Fatalf("max_batch_speedup %g", stats.MaxBatchSpeedup)
 	}
 }
+
+// TestBenchSignoffJSONSchema strictly validates the committed
+// BENCH_signoff.json: the industrial-semantics smoke must cover every
+// knob in both modes, every leg must have agreed with the brute-force
+// oracle, each knob must have moved the report in at least one mode
+// (proof the plumbing is connected, not a semantic requirement), and
+// the same_pin/same_transition divergence bit must be set — the
+// recorded design mixes clock inverters precisely so the two CRPR modes
+// cannot agree.
+func TestBenchSignoffJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_signoff.json")
+	if err != nil {
+		t.Fatalf("committed benchmark file missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var stats experiments.SignoffStats
+	if err := dec.Decode(&stats); err != nil {
+		t.Fatalf("BENCH_signoff.json does not match experiments.SignoffStats: %v", err)
+	}
+	if stats.Host == "" {
+		t.Fatal("host line missing")
+	}
+	if stats.K < 1 {
+		t.Fatalf("k %d", stats.K)
+	}
+	if !stats.AllOracleMatch {
+		t.Fatal("all_oracle_match false: some knob leg diverged from the brute-force oracle")
+	}
+	if !stats.Diverged {
+		t.Fatal("same_transition_diverged false: the two CRPR modes agreed on the inverter-mixed design")
+	}
+	knobs := []string{"uncertainty", "derate", "ideal_clock", "io_delay", "same_transition"}
+	modes := map[string][]string{}
+	changed := map[string]bool{}
+	for _, l := range stats.Legs {
+		modes[l.Knob] = append(modes[l.Knob], l.Mode)
+		changed[l.Knob] = changed[l.Knob] || l.Changed
+		if !l.OracleMatch {
+			t.Errorf("leg %s/%s did not match the oracle", l.Knob, l.Mode)
+		}
+	}
+	for _, k := range knobs {
+		if len(modes[k]) != 2 {
+			t.Errorf("knob %q covered modes %v, want both setup and hold", k, modes[k])
+		}
+		if !changed[k] {
+			t.Errorf("knob %q never changed the worst slack in either mode", k)
+		}
+	}
+	if len(stats.Legs) != 2*len(knobs) {
+		t.Errorf("%d legs, want %d", len(stats.Legs), 2*len(knobs))
+	}
+}

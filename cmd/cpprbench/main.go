@@ -48,6 +48,8 @@ func main() {
 		srvOut    = flag.String("servejson", "BENCH_serve.json", "with -serve, write machine-readable stats to this file (empty = none)")
 		parallel  = flag.Bool("parallel", false, "measure the work-stealing executor and partitioned kernel at 1/2/4/8 threads")
 		parOut    = flag.String("paralleljson", "BENCH_parallel.json", "with -parallel, write machine-readable stats to this file (empty = none)")
+		signoff   = flag.Bool("signoff", false, "run the industrial-CRPR-semantics smoke: every SDC knob verified against the brute-force oracle")
+		signOut   = flag.String("signoffjson", "BENCH_signoff.json", "with -signoff, write machine-readable stats to this file (empty = none)")
 		all       = flag.Bool("all", false, "run everything")
 		scale     = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs   = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -60,10 +62,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench, *parallel = true, true, true, true, true, true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench, *parallel, *signoff = true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench && !*parallel {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -parallel -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench && !*parallel && !*signoff {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -parallel -signoff -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -162,6 +164,7 @@ func main() {
 	runJSON("Incremental edit→requery", *incr, *incrOut, experiments.Incremental)
 	runJSON("Service front end", *srvBench, *srvOut, experiments.Serve)
 	runJSON("Thread scaling", *parallel, *parOut, experiments.Parallel)
+	runJSON("Signoff semantics smoke", *signoff, *signOut, experiments.Signoff)
 }
 
 func fatal(err error) {

@@ -56,6 +56,8 @@ func main() {
 		maxTup    = flag.Int("maxtuples", 0, "blockwise tuple budget (0 = default; exhaustion degrades, exit code 4)")
 		maxPops   = flag.Int("maxpops", 0, "branch-and-bound pop budget (0 = default; exhaustion degrades, exit code 4)")
 		cornersIn = flag.String("corners", "", "extra delay corners as name:earlyScale:lateScale,... (e.g. fast:0.85:0.9,slow:1.1:1.2); reports merge all corners and name the critical one")
+		crprStr   = flag.String("crpr", "", "CRPR credit mode: same_pin or same_transition (default: the SDC's set_crpr_mode, else same_pin)")
+		skew      = flag.Bool("skew", false, "also print the worst CRPR-corrected clock skew per clock domain")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -66,6 +68,18 @@ func main() {
 	algo, err := cppr.ParseAlgorithm(*algoStr)
 	if err != nil {
 		fatal(err)
+	}
+	crpr := cppr.CRPRDefault
+	if *crprStr != "" {
+		m, err := model.ParseCRPRMode(*crprStr)
+		if err != nil {
+			fatal(err)
+		}
+		if m == model.CRPRSameTransition {
+			crpr = cppr.CRPRSameTransition
+		} else {
+			crpr = cppr.CRPRSamePin
+		}
 	}
 	var modes []model.Mode
 	switch *modeStr {
@@ -123,7 +137,7 @@ func main() {
 	}
 	degraded := false
 	for _, mode := range modes {
-		rep, err := timer.Run(ctx, cppr.Query{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos, Corners: sel})
+		rep, err := timer.Run(ctx, cppr.Query{K: *k, Mode: mode, Threads: *threads, Algorithm: algo, IncludePOs: *pos, Corners: sel, CRPR: crpr})
 		if err != nil {
 			fatal(err)
 		}
@@ -173,6 +187,18 @@ func main() {
 				fmt.Printf("\npath %d:\n%s", i+1, rep.Paths[i].FormatDetailed(d))
 			}
 		}
+	}
+	if *skew && !*jsonOut {
+		entries, err := timer.ClockSkew(model.BaseCorner, crpr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n== worst CRPR-corrected clock skew per domain ==")
+		t := report.NewTable("", "clock", "FFs", "setup skew", "hold skew")
+		for _, e := range entries {
+			t.Add(e.Clock, fmt.Sprint(e.FFs), e.Setup.String(), e.Hold.String())
+		}
+		fmt.Print(t)
 	}
 	if degraded {
 		os.Exit(exitDegraded)

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		preset = flag.String("preset", "", "Table III preset name ("+strings.Join(gen.PresetNames(), ", ")+")")
+		preset = flag.String("preset", "", "Table III preset name ("+strings.Join(gen.PresetNames(), ", ")+"), or \"divergent\" (inverter-mixed clock tree, -seed applies)")
 		scale  = flag.Float64("scale", 0.02, "preset scale factor (1.0 = published size)")
 		seed   = flag.Int64("seed", 1, "random seed (custom designs)")
 		name   = flag.String("name", "", "design name (custom designs)")
@@ -40,7 +40,12 @@ func main() {
 	flag.Parse()
 
 	var spec gen.Spec
-	if *preset != "" {
+	if *preset == "divergent" {
+		// The oracle-size same_pin/same_transition divergence preset:
+		// a reconvergent clock tree mixing inverting and non-inverting
+		// cells (scale does not apply; the preset is oracle-sized).
+		spec = gen.DivergentClock(*seed)
+	} else if *preset != "" {
 		s, err := gen.PresetSpec(*preset, *scale)
 		if err != nil {
 			fatal(err)

@@ -203,6 +203,9 @@ type snapshot struct {
 	base   *cornerEngines
 	extra  []*lazyCorner // slot c-1 serves corner c
 	filter *sdc.Filter
+	// crprDefault is the credit semantics a Query with CRPRDefault
+	// resolves to: same_pin unless an applied SDC set same_transition.
+	crprDefault model.CRPRMode
 
 	// journal is the persistent chain of non-rebuilding arc edits since
 	// the last full build, and seq its head sequence number (== the
@@ -233,7 +236,7 @@ func freshSlots(n int) []*lazyCorner {
 // engines, lazy slots for the extra corners, and — unless an up-to-date
 // pre is handed over from the previous epoch — a fresh graph-arrival
 // propagation.
-func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pre *sta.Incr, ctr *timerCounters) *snapshot {
+func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pre *sta.Incr, ctr *timerCounters, crprDefault model.CRPRMode) *snapshot {
 	tree := lca.New(d)
 	base := &cornerEngines{
 		corner: model.BaseCorner,
@@ -257,12 +260,13 @@ func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pr
 		base.bb.MaxPops = maxPops
 	}
 	return &snapshot{
-		d:      d,
-		base:   base,
-		extra:  freshSlots(d.NumCorners() - 1),
-		filter: filter,
-		memo:   newQueryMemo(),
-		ctr:    ctr,
+		d:           d,
+		base:        base,
+		extra:       freshSlots(d.NumCorners() - 1),
+		filter:      filter,
+		crprDefault: crprDefault,
+		memo:        newQueryMemo(),
+		ctr:         ctr,
 	}
 }
 
@@ -292,12 +296,13 @@ func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr, from, to model.PinID)
 			cache:  s.base.cache,
 			pre:    pre,
 		},
-		extra:   s.extra,
-		filter:  s.filter,
-		journal: journal,
-		seq:     journal.Seq(),
-		memo:    newQueryMemo(),
-		ctr:     s.ctr,
+		extra:       s.extra,
+		filter:      s.filter,
+		crprDefault: s.crprDefault,
+		journal:     journal,
+		seq:         journal.Seq(),
+		memo:        newQueryMemo(),
+		ctr:         s.ctr,
 	}
 }
 
@@ -361,6 +366,12 @@ func (s *snapshot) normalize(q *Query) error {
 	} else if bad := q.Corners &^ s.fullMask(); bad != 0 {
 		return qerr.Invalid("corner mask %#x selects corners beyond the design's %d", uint64(q.Corners), s.numCorners())
 	}
+	if q.CRPR == CRPRDefault {
+		q.CRPR = crprSettingOf(s.crprDefault)
+	}
+	if q.CRPR == CRPRSameTransition {
+		s.ctr.crprSameTransition.Add(1)
+	}
 	return nil
 }
 
@@ -375,6 +386,7 @@ func (s *snapshot) coreOpts(q Query) core.Options {
 		IncludePOs:    q.IncludePOs,
 		FilterCapture: q.FilterCapture,
 		CaptureFF:     q.CaptureFF,
+		CRPR:          q.CRPR.mode(),
 		DenseKernel:   q.DenseKernel,
 	}
 	if !s.filter.Empty() {
@@ -427,31 +439,31 @@ func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines, tc *sc
 		}
 		rep.Paths, rep.Stats = res.Paths, res.Stats
 	case AlgoPairwise:
-		paths, err := ce.pw.TopPaths(ctx, q.Mode, q.K, q.Threads)
+		paths, err := ce.pw.TopPathsCRPR(ctx, q.Mode, q.CRPR.mode(), q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
 	case AlgoBlockwise:
-		paths, degraded, err := ce.bw.TopPaths(ctx, q.Mode, q.K, q.Threads)
+		paths, degraded, err := ce.bw.TopPathsCRPR(ctx, q.Mode, q.CRPR.mode(), q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Degraded = paths, degraded
 	case AlgoBranchAndBound:
-		paths, degraded, err := ce.bb.TopPaths(ctx, q.Mode, q.K, q.Threads)
+		paths, degraded, err := ce.bb.TopPathsCRPR(ctx, q.Mode, q.CRPR.mode(), q.K, q.Threads)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths, rep.Degraded = paths, degraded
 	case AlgoBruteForce:
-		paths, err := baseline.BruteForceCtx(ctx, ce.d, q.Mode, q.K)
+		paths, err := baseline.BruteForceCRPR(ctx, ce.d, q.Mode, q.CRPR.mode(), q.K)
 		if err != nil {
 			return Report{}, err
 		}
 		rep.Paths = paths
 	default: // AlgoRerankInexact; Normalize rejected everything else
-		paths, err := ce.rr.TopPathsCtx(ctx, q.Mode, q.K)
+		paths, err := ce.rr.TopPathsCRPR(ctx, q.Mode, q.CRPR.mode(), q.K)
 		if err != nil {
 			return Report{}, err
 		}
@@ -523,7 +535,7 @@ type Timer struct {
 // NewTimer preprocesses d.
 func NewTimer(d *model.Design) *Timer {
 	t := &Timer{}
-	t.snap.Store(newSnapshot(d, nil, 0, 0, nil, &timerCounters{}))
+	t.snap.Store(newSnapshot(d, nil, 0, 0, nil, &timerCounters{}, model.CRPRSamePin))
 	return t
 }
 
@@ -693,7 +705,7 @@ func (t *Timer) SetArcDelayAt(c model.Corner, from, to model.PinID, delay model.
 		// too rather than mixing shapes within one snapshot. The fresh
 		// snapshot also drops every memo and resets the edit journal:
 		// clock-path changes are outside the cone-invalidation model.
-		ns = newSnapshot(nd, s.filter, s.base.bw.MaxTuples, s.base.bb.MaxPops, pre, s.ctr)
+		ns = newSnapshot(nd, s.filter, s.base.bw.MaxTuples, s.base.bb.MaxPops, pre, s.ctr, s.crprDefault)
 	} else {
 		ns = s.rebind(nd, pre, from, to)
 	}
@@ -713,16 +725,32 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Apply rebuilds the design through a Builder, which reorders the
-	// arc table; carry the corner delay tables over by arc remapping.
-	nd, err = model.WithCornersFrom(s.d, nd)
-	if err != nil {
-		return nil, err
+	// An unstated set_crpr_mode keeps the previously installed default.
+	crpr := s.crprDefault
+	if c.CRPRSet {
+		crpr = c.CRPR
 	}
-	// Constraints change slacks globally (period, io delays, filter), so
-	// the fresh snapshot drops every cache: job caches, query memo, and
-	// the edit journal all start over.
-	t.snap.Store(newSnapshot(nd, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil, s.ctr))
+	if c.HasUncertainty[model.Setup] || c.HasUncertainty[model.Hold] {
+		s.ctr.sdcUncertainty.Add(1)
+	}
+	if c.HasDerate() {
+		s.ctr.sdcDerate.Add(1)
+	}
+	if c.Ideal {
+		s.ctr.sdcIdealClock.Add(1)
+	}
+	if len(c.InputDelay)+len(c.OutputDelay) > 0 {
+		s.ctr.sdcIODelay.Add(1)
+	}
+	if c.CRPRSet {
+		s.ctr.sdcCRPRMode.Add(1)
+	}
+	// Constraints change slacks globally (period, io delays, derates,
+	// filter), so the fresh snapshot drops every cache: job caches, query
+	// memo, and the edit journal all start over. Apply itself carries the
+	// extra-corner delay tables (transformed like the base corner) onto
+	// the rebuilt design.
+	t.snap.Store(newSnapshot(nd, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil, s.ctr, crpr))
 	return nd, nil
 }
 

@@ -28,6 +28,16 @@ type timerCounters struct {
 	servedShed      atomic.Int64
 	servedDegraded  atomic.Int64
 	servedCoalesced atomic.Int64
+	// Signoff-knob usage counters: how many ApplySDC calls installed
+	// each industrial-semantics knob, and how many queries resolved to
+	// same_transition credit. They let operators of long-lived services
+	// see which semantics their traffic actually exercises.
+	sdcUncertainty     atomic.Int64
+	sdcDerate          atomic.Int64
+	sdcIdealClock      atomic.Int64
+	sdcIODelay         atomic.Int64
+	sdcCRPRMode        atomic.Int64
+	crprSameTransition atomic.Int64
 }
 
 // queryMemoMax bounds the per-snapshot query-memo size. Reports are
@@ -184,6 +194,16 @@ type TimerStats struct {
 	ServedShed      int64 `json:"served_shed"`
 	ServedDegraded  int64 `json:"served_degraded"`
 	ServedCoalesced int64 `json:"served_coalesced"`
+	// Sdc* count ApplySDC calls that installed each signoff knob
+	// (clock uncertainty, timing derates, ideal clocks, I/O delays,
+	// an explicit CRPR mode); CRPRSameTransition counts queries that
+	// resolved to same_transition credit semantics.
+	SdcUncertainty     int64 `json:"sdc_uncertainty_applied"`
+	SdcDerate          int64 `json:"sdc_derate_applied"`
+	SdcIdealClock      int64 `json:"sdc_ideal_clock_applied"`
+	SdcIODelay         int64 `json:"sdc_io_delay_applied"`
+	SdcCRPRMode        int64 `json:"sdc_crpr_mode_applied"`
+	CRPRSameTransition int64 `json:"crpr_same_transition_queries"`
 }
 
 // Stats reports the timer's incremental-machinery counters. Counters
@@ -204,6 +224,12 @@ func (t *Timer) Stats() TimerStats {
 		ServedShed:          s.ctr.servedShed.Load(),
 		ServedDegraded:      s.ctr.servedDegraded.Load(),
 		ServedCoalesced:     s.ctr.servedCoalesced.Load(),
+		SdcUncertainty:      s.ctr.sdcUncertainty.Load(),
+		SdcDerate:           s.ctr.sdcDerate.Load(),
+		SdcIdealClock:       s.ctr.sdcIdealClock.Load(),
+		SdcIODelay:          s.ctr.sdcIODelay.Load(),
+		SdcCRPRMode:         s.ctr.sdcCRPRMode.Load(),
+		CRPRSameTransition:  s.ctr.crprSameTransition.Load(),
 	}
 }
 

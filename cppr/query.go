@@ -7,6 +7,40 @@ import (
 	"fastcppr/model"
 )
 
+// CRPRSetting selects a query's pessimism-removal credit semantics.
+// The zero value defers to the timer's SDC-installed default, so plain
+// queries automatically follow set_crpr_mode.
+type CRPRSetting int
+
+const (
+	// CRPRDefault resolves to the snapshot's default mode: same_pin
+	// unless an applied SDC said "set_crpr_mode same_transition".
+	CRPRDefault CRPRSetting = iota
+	// CRPRSamePin credits the full common-path window regardless of
+	// clock-edge sense — the classic (most generous) CRPR.
+	CRPRSamePin
+	// CRPRSameTransition credits only launch/capture pairs whose clock
+	// edges traverse the shared path with the same transition sense;
+	// pairs split by an inverting clock cell get zero credit.
+	CRPRSameTransition
+)
+
+// mode maps a resolved (non-default) setting to the model-layer mode.
+func (c CRPRSetting) mode() model.CRPRMode {
+	if c == CRPRSameTransition {
+		return model.CRPRSameTransition
+	}
+	return model.CRPRSamePin
+}
+
+// crprSettingOf lifts a model-layer mode into the query setting.
+func crprSettingOf(m model.CRPRMode) CRPRSetting {
+	if m == model.CRPRSameTransition {
+		return CRPRSameTransition
+	}
+	return CRPRSamePin
+}
+
 // Query describes one CPPR query: the unified request value consumed by
 // Timer.Run, Timer.ReportBatch and Timer.PostCPPRSlacksCtx. It carries
 // the former Options fields plus the optional capture-endpoint filter
@@ -55,6 +89,11 @@ type Query struct {
 	// and uncached runs produce byte-identical reports; only the work
 	// performed differs.
 	NoCache bool
+	// CRPR selects the credit semantics (same_pin vs same_transition).
+	// CRPRDefault defers to the snapshot's SDC default; normalization
+	// resolves it to a concrete mode so equivalent queries compare
+	// equal. Supported by every algorithm, oracle included.
+	CRPR CRPRSetting
 	// Timeout, when positive, bounds this query's execution: Run (and,
 	// per execution unit, ReportBatch) derives a child context with this
 	// deadline, so one slow query cannot consume a whole batch's budget —
@@ -82,6 +121,11 @@ func (q *Query) Normalize() error {
 		AlgoBruteForce, AlgoRerankInexact:
 	default:
 		return qerr.Invalid("unknown algorithm %v", q.Algorithm)
+	}
+	switch q.CRPR {
+	case CRPRDefault, CRPRSamePin, CRPRSameTransition:
+	default:
+		return qerr.Invalid("unknown CRPR setting %d", int(q.CRPR))
 	}
 	if q.Threads < 0 {
 		q.Threads = 0

@@ -1,0 +1,194 @@
+package cppr_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/model"
+	"fastcppr/sdc"
+)
+
+// TestStatsSignoffCounters checks the knob-usage counters end to end:
+// fresh timers report zero, one ApplySDC carrying every knob bumps each
+// Sdc* counter exactly once, and only queries that resolve to
+// same_transition credit semantics — explicitly or through the SDC
+// default — bump the query counter.
+func TestStatsSignoffCounters(t *testing.T) {
+	d := gen.MustGenerate(gen.DivergentClock(7))
+	timer := cppr.NewTimer(d)
+	st := timer.Stats()
+	if st.SdcUncertainty != 0 || st.SdcDerate != 0 || st.SdcIdealClock != 0 ||
+		st.SdcIODelay != 0 || st.SdcCRPRMode != 0 || st.CRPRSameTransition != 0 {
+		t.Fatalf("fresh timer has non-zero signoff counters: %+v", st)
+	}
+	c, err := sdc.ParseString(`
+set_clock_uncertainty -setup 60ps
+set_timing_derate -early 0.94 -late 1.07
+set_ideal_clock
+set_input_delay in0 -early 0ps -late 250ps
+set_crpr_mode same_transition
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timer.ApplySDC(c); err != nil {
+		t.Fatal(err)
+	}
+	st = timer.Stats()
+	if st.SdcUncertainty != 1 || st.SdcDerate != 1 || st.SdcIdealClock != 1 ||
+		st.SdcIODelay != 1 || st.SdcCRPRMode != 1 {
+		t.Fatalf("after full-knob ApplySDC: %+v", st)
+	}
+	run := func(crpr cppr.CRPRSetting) {
+		if _, err := timer.Run(context.Background(), cppr.Query{K: 5, Mode: model.Setup, CRPR: crpr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(cppr.CRPRDefault) // SDC default is same_transition
+	if got := timer.Stats().CRPRSameTransition; got != 1 {
+		t.Fatalf("same_transition queries = %d after default query, want 1", got)
+	}
+	run(cppr.CRPRSamePin)
+	if got := timer.Stats().CRPRSameTransition; got != 1 {
+		t.Fatalf("same_transition queries = %d after same_pin query, want 1", got)
+	}
+	run(cppr.CRPRSameTransition)
+	if got := timer.Stats().CRPRSameTransition; got != 2 {
+		t.Fatalf("same_transition queries = %d after explicit query, want 2", got)
+	}
+}
+
+// TestStatsJSONRoundTrip marshals a live TimerStats and strictly
+// decodes it back: every field must survive the round trip and no
+// unknown JSON keys may appear — the schema the committed BENCH files
+// and the service's /stats endpoint rely on.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	d := gen.MustGenerate(gen.DivergentClock(7))
+	timer := cppr.NewTimer(d)
+	c, err := sdc.ParseString("set_timing_derate -late 1.05\nset_crpr_mode same_transition\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timer.ApplySDC(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timer.Run(context.Background(), cppr.Query{K: 5, Mode: model.Hold}); err != nil {
+		t.Fatal(err)
+	}
+	st := timer.Stats()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var back cppr.TimerStats
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict re-decode: %v\n%s", err, raw)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("stats changed across the JSON round trip:\n%+v\n%+v", st, back)
+	}
+	if back.SdcDerate != 1 || back.SdcCRPRMode != 1 || back.CRPRSameTransition != 1 {
+		t.Fatalf("decoded counters wrong: %+v", back)
+	}
+}
+
+// skewGoldenDesign hand-builds a two-domain design with known clock
+// arrivals: domain clk has a credited trunk t (window {100,140}, credit
+// 40) splitting into a non-inverting branch (ff1, ff2) and an inverting
+// branch (ff3), so same_pin and same_transition skews differ by
+// construction; domain clk2 clocks a single FF and must report zero.
+func skewGoldenDesign(t *testing.T) *model.Design {
+	t.Helper()
+	b := model.NewBuilder("skewgold", model.Ns(10))
+	clk := b.AddClockRoot("clk")
+	trunk := b.AddClockBuf("t")
+	a := b.AddClockBuf("a")
+	binv := b.AddClockBuf("binv")
+	b.AddArc(clk, trunk, model.Window{Early: 100, Late: 140})
+	b.AddArc(trunk, a, model.Window{})
+	b.AddInvertingArc(trunk, binv, model.Window{})
+	ckq := model.Window{Early: 10, Late: 10}
+	ff1 := b.AddFF("ff1", 0, 0, ckq)
+	ff2 := b.AddFF("ff2", 0, 0, ckq)
+	ff3 := b.AddFF("ff3", 0, 0, ckq)
+	b.AddArc(a, ff1.Clock, model.Window{})
+	b.AddArc(a, ff2.Clock, model.Window{Early: 30, Late: 50})
+	b.AddArc(binv, ff3.Clock, model.Window{Early: 0, Late: 10})
+	b.AddArc(ff1.Q, ff2.D, model.Window{Early: 5, Late: 5})
+	b.AddArc(ff3.Q, ff1.D, model.Window{Early: 5, Late: 5})
+	clk2 := b.AddClockRoot("clk2")
+	ff4 := b.AddFF("ff4", 0, 0, ckq)
+	b.AddArc(clk2, ff4.Clock, model.Window{Early: 7, Late: 9})
+	b.AddArc(ff2.Q, ff4.D, model.Window{Early: 5, Late: 5})
+	return b.MustBuild()
+}
+
+// TestClockSkewGolden pins the report_clock_skew-style numbers of the
+// hand-built design. Clock arrivals: ff1 {100,140}, ff2 {130,190},
+// ff3 {100,150}. Under same_pin every pair takes the LCA credit
+// (trunk: 40, branch a: 40), worst setup pair is (launch ff2, capture
+// ff3): 100-190+40 = -50. Under same_transition the inverted ff3 pairs
+// with ff1/ff2 at zero credit, so the same pair pays the full
+// divergence: 100-190 = -90. Hold is the exact negative; the single-FF
+// clk2 domain reports zero.
+func TestClockSkewGolden(t *testing.T) {
+	d := skewGoldenDesign(t)
+	timer := cppr.NewTimer(d)
+	check := func(crpr cppr.CRPRSetting, wantClk model.Time) {
+		t.Helper()
+		entries, err := timer.ClockSkew(model.BaseCorner, crpr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 2 {
+			t.Fatalf("%d skew entries, want 2: %+v", len(entries), entries)
+		}
+		byClock := map[string]cppr.ClockSkewEntry{}
+		for _, e := range entries {
+			byClock[e.Clock] = e
+			if e.Hold != -e.Setup {
+				t.Fatalf("%s: hold %v is not the negative of setup %v", e.Clock, e.Hold, e.Setup)
+			}
+			if e.Corner != model.BaseCorner {
+				t.Fatalf("%s: corner %v", e.Clock, e.Corner)
+			}
+		}
+		if e := byClock["clk"]; e.FFs != 3 || e.Setup != wantClk {
+			t.Fatalf("clk domain = %+v, want 3 FFs setup %v", e, wantClk)
+		}
+		if e := byClock["clk2"]; e.FFs != 1 || e.Setup != 0 || e.Hold != 0 {
+			t.Fatalf("single-FF clk2 domain = %+v, want zero skew", e)
+		}
+	}
+	check(cppr.CRPRSamePin, -50)
+	check(cppr.CRPRSameTransition, -90)
+	check(cppr.CRPRDefault, -50) // no SDC: default is same_pin
+
+	// The default follows set_crpr_mode.
+	c, err := sdc.ParseString("set_crpr_mode same_transition\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timer.ApplySDC(c); err != nil {
+		t.Fatal(err)
+	}
+	check(cppr.CRPRDefault, -90)
+}
+
+// TestClockSkewErrors covers the argument validation of the report.
+func TestClockSkewErrors(t *testing.T) {
+	timer := cppr.NewTimer(skewGoldenDesign(t))
+	if _, err := timer.ClockSkew(model.Corner(9), cppr.CRPRDefault); err == nil {
+		t.Fatal("out-of-range corner accepted")
+	}
+	if _, err := timer.ClockSkew(model.BaseCorner, cppr.CRPRSetting(99)); err == nil {
+		t.Fatal("unknown CRPR setting accepted")
+	}
+}

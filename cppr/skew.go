@@ -1,0 +1,57 @@
+package cppr
+
+import (
+	"fastcppr/internal/qerr"
+	"fastcppr/model"
+)
+
+// ClockSkewEntry is one clock domain's worst-skew summary, the
+// report_clock_skew-style companion to the path reports: the largest
+// CRPR-corrected launch/capture clock-arrival divergence over the
+// domain's FF clock pins.
+type ClockSkewEntry struct {
+	// Clock is the domain's source pin name.
+	Clock string `json:"clock"`
+	// FFs is the number of flip-flops clocked by the domain.
+	FFs int `json:"ffs"`
+	// Setup is the worst (most negative) setup skew: min over FF pairs
+	// (launch l, capture c) of early(c) - late(l) + credit(l, c). Hold
+	// is its exact negative (the worst hold skew). Both are 0 for
+	// domains with at most one FF or no FFs at all.
+	Setup model.Time `json:"setup"`
+	Hold  model.Time `json:"hold"`
+	// Corner is the delay corner the skews were computed at.
+	Corner model.Corner `json:"corner"`
+}
+
+// ClockSkew reports the worst CRPR-corrected clock skew of every clock
+// domain at one delay corner, in one O(#clock pins) pass — no path
+// search. crpr selects the credit semantics; CRPRDefault follows the
+// timer's SDC default, like a Query would. Domains are reported in
+// deterministic clock-tree order.
+func (t *Timer) ClockSkew(c model.Corner, crpr CRPRSetting) ([]ClockSkewEntry, error) {
+	s := t.snap.Load()
+	if c < 0 || int(c) >= s.numCorners() {
+		return nil, qerr.Invalid("corner %d out of range (design has %d corners)", int32(c), s.numCorners())
+	}
+	switch crpr {
+	case CRPRDefault:
+		crpr = crprSettingOf(s.crprDefault)
+	case CRPRSamePin, CRPRSameTransition:
+	default:
+		return nil, qerr.Invalid("unknown CRPR setting %d", int(crpr))
+	}
+	ce := s.corner(c)
+	raw := ce.tree.ClockSkew(crpr.mode())
+	out := make([]ClockSkewEntry, len(raw))
+	for i, r := range raw {
+		out[i] = ClockSkewEntry{
+			Clock:  ce.d.PinName(r.Root),
+			FFs:    r.FFs,
+			Setup:  r.Setup,
+			Hold:   r.Hold,
+			Corner: c,
+		}
+	}
+	return out, nil
+}

@@ -89,6 +89,15 @@ type Spec struct {
 	// tree and becomes the CPPR credit.
 	ClockDelayMin, ClockDelayMax model.Time
 	ClockSkew                    model.Time
+
+	// ClockInvertFrac is the fraction of clock-tree arcs driven by an
+	// inverting cell. Inverters flip the clock-edge sense below them, so
+	// FF pairs whose clock paths cross an odd number of inverters see
+	// opposite launch/capture transitions — the pairs the
+	// same_transition CRPR mode denies credit to. 0 (the default) keeps
+	// every generated tree non-inverting, preserving the historical
+	// designs bit for bit.
+	ClockInvertFrac float64
 }
 
 // setDefaults fills zero fields with usable values.
@@ -172,6 +181,17 @@ func Generate(spec Spec) (*model.Design, error) {
 		e := spec.ClockDelayMin + model.Time(rng.Int63n(int64(spec.ClockDelayMax-spec.ClockDelayMin)+1))
 		return model.Window{Early: e, Late: e + model.Time(rng.Int63n(int64(spec.ClockSkew)+1))}
 	}
+	// addClockArc inserts one clock-tree arc, inverting per
+	// ClockInvertFrac. The frac check precedes any rng draw so specs
+	// with the default 0 consume the identical random stream as before
+	// the knob existed.
+	addClockArc := func(from, to model.PinID) {
+		if spec.ClockInvertFrac > 0 && rng.Float64() < spec.ClockInvertFrac {
+			b.AddInvertingArc(from, to, clockDelay())
+			return
+		}
+		b.AddArc(from, to, clockDelay())
+	}
 	dataDelay := func(dist float64) model.Window {
 		l := spec.DataDelayMin + model.Time(rng.Int63n(int64(spec.DataDelayMax-spec.DataDelayMin)+1))
 		if spec.DistanceDelay > 0 {
@@ -230,7 +250,7 @@ func Generate(spec Spec) (*model.Design, error) {
 				for c := 0; c < fanout && len(next) < numLeafBufs; c++ {
 					n := b.AddClockBuf(fmt.Sprintf("cb%d", bufID))
 					bufID++
-					b.AddArc(p, n, clockDelay())
+					addClockArc(p, n)
 					next = append(next, n)
 				}
 				if len(next) >= numLeafBufs && level == crownDepth-1 {
@@ -253,7 +273,7 @@ func Generate(spec Spec) (*model.Design, error) {
 			for j := 0; j < cl; j++ {
 				n := b.AddClockBuf(fmt.Sprintf("cb%d", bufID))
 				bufID++
-				b.AddArc(cur, n, clockDelay())
+				addClockArc(cur, n)
 				cur = n
 			}
 			leafBufs[i] = cur
@@ -277,7 +297,7 @@ func Generate(spec Spec) (*model.Design, error) {
 		if leaf >= len(dom.leafBufs) {
 			leaf = len(dom.leafBufs) - 1
 		}
-		b.AddArc(dom.leafBufs[leaf], ffs[i].Clock, clockDelay())
+		addClockArc(dom.leafBufs[leaf], ffs[i].Clock)
 	}
 
 	// --- Data network: layered DAG with locality ---

@@ -146,6 +146,25 @@ func SmallOracle(seed int64) Spec {
 	}
 }
 
+// DivergentClock returns an oracle-size spec whose clock tree mixes
+// inverting and non-inverting cells (about half the arcs invert), so
+// reconverging FF pairs split across an inverter see opposite clock
+// transitions. On such designs the same_pin and same_transition CRPR
+// modes genuinely disagree: same_pin credits every shared path while
+// same_transition zeroes the mixed-parity pairs. Tests use it to prove
+// the two modes are not conflated anywhere in the stack.
+func DivergentClock(seed int64) Spec {
+	s := SmallOracle(seed)
+	s.Name = fmt.Sprintf("divergent-%d", seed)
+	// A deep, skinny tree with few FFs per leaf maximises shared clock
+	// path (big credits) while the inverter mix splits the leaves into
+	// both parity classes.
+	s.ClockInvertFrac = 0.5
+	s.ClockSkew = 40
+	s.ShiftFrac = 0.8
+	return s
+}
+
 // Medium returns a spec for a mid-size design used by integration tests:
 // large enough to exercise multi-level candidate generation and
 // parallelism, small enough for exhaustive cross-algorithm comparison.

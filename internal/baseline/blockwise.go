@@ -60,6 +60,11 @@ type launchTuple struct {
 // through the unpropagated region. Blockwise is single-threaded, as
 // HappyTimer is; the context still bounds its runtime.
 func (b *Blockwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int) (paths []model.Path, degraded bool, err error) {
+	return b.TopPathsCRPR(ctx, mode, model.CRPRSamePin, k, threads)
+}
+
+// TopPathsCRPR is TopPaths under the given CRPR credit semantics.
+func (b *Blockwise) TopPathsCRPR(ctx context.Context, mode model.Mode, crpr model.CRPRMode, k, threads int) (paths []model.Path, degraded bool, err error) {
 	_ = threads
 	defer func() {
 		if r := recover(); r != nil {
@@ -188,9 +193,7 @@ func (b *Blockwise) TopPaths(ctx context.Context, mode model.Mode, k, threads in
 			}
 			post := pre
 			if t.lau >= 0 {
-				if l := b.tree.LCA(d.FFs[t.lau].Clock, ff.Clock); l != model.NoPin {
-					post += b.tree.Credit(l)
-				}
+				post += b.tree.PairCredit(d.FFs[t.lau].Clock, ff.Clock, crpr)
 			}
 			h.PushBounded(int64(post), &bcand{
 				slack: post,
@@ -215,7 +218,7 @@ func (b *Blockwise) TopPaths(ctx context.Context, mode model.Mode, k, threads in
 		if rem := k - i - 1; rem > 0 {
 			pushDevs(d, setup, h, at, c, rem)
 		}
-		paths = append(paths, finishPath(d, mode, reconstructAt(d, at, c)))
+		paths = append(paths, finishPath(d, mode, crpr, reconstructAt(d, at, c)))
 	}
 	return paths, degraded, nil
 }

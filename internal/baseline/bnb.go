@@ -71,6 +71,11 @@ type resOut struct {
 // generation phase. Exceeding MaxPops returns the paths resolved so far
 // with degraded=true instead of failing; the context bounds the search.
 func (b *BranchAndBound) TopPaths(ctx context.Context, mode model.Mode, k, threads int) (paths []model.Path, degraded bool, err error) {
+	return b.TopPathsCRPR(ctx, mode, model.CRPRSamePin, k, threads)
+}
+
+// TopPathsCRPR is TopPaths under the given CRPR credit semantics.
+func (b *BranchAndBound) TopPathsCRPR(ctx context.Context, mode model.Mode, crpr model.CRPRMode, k, threads int) (paths []model.Path, degraded bool, err error) {
 	_ = threads
 	defer func() {
 		if r := recover(); r != nil {
@@ -189,9 +194,7 @@ search:
 			launch := launchAt(d, at, c.pos)
 			post := c.slack
 			if d.Pins[launch].Kind == model.FFClock {
-				if l := b.tree.LCA(launch, ff.Clock); l != model.NoPin {
-					post += b.tree.Credit(l)
-				}
+				post += b.tree.PairCredit(launch, ff.Clock, crpr)
 			}
 			localPost.PushBounded(int64(post), struct{}{}, k)
 			results.PushBounded(&resOut{
@@ -210,7 +213,7 @@ search:
 		if !ok {
 			break
 		}
-		paths = append(paths, finishPath(d, mode, o.pins))
+		paths = append(paths, finishPath(d, mode, crpr, o.pins))
 	}
 	return paths, degraded, nil
 }

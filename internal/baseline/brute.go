@@ -43,11 +43,19 @@ func BruteForce(d *model.Design, mode model.Mode, k int) []model.Path {
 // BruteForceCtx is BruteForce bounded by a context: enumeration checks
 // for cancellation periodically and returns the taxonomy error.
 func BruteForceCtx(ctx context.Context, d *model.Design, mode model.Mode, k int) ([]model.Path, error) {
+	return BruteForceCRPR(ctx, d, mode, model.CRPRSamePin, k)
+}
+
+// BruteForceCRPR is BruteForceCtx under the given CRPR credit semantics:
+// every enumerated path's credit is recomputed from first principles
+// honouring the mode, so it oracles same_transition exactly like
+// same_pin.
+func BruteForceCRPR(ctx context.Context, d *model.Design, mode model.Mode, crpr model.CRPRMode, k int) ([]model.Path, error) {
 	eps := make([]model.PinID, 0, len(d.FFs))
 	for i := range d.FFs {
 		eps = append(eps, d.FFs[i].Data)
 	}
-	all, err := allPathsTo(ctx, d, mode, eps)
+	all, err := allPathsTo(ctx, d, mode, crpr, eps)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +70,7 @@ func BruteForceCtx(ctx context.Context, d *model.Design, mode model.Mode, k int)
 // (FF D pins and/or constrained POs) with exact slack decompositions,
 // unordered.
 func AllPathsTo(d *model.Design, mode model.Mode, endpoints []model.PinID) []model.Path {
-	all, err := allPathsTo(context.Background(), d, mode, endpoints)
+	all, err := allPathsTo(context.Background(), d, mode, model.CRPRSamePin, endpoints)
 	if err != nil {
 		panic(err) // unreachable: a background context never cancels
 	}
@@ -72,7 +80,7 @@ func AllPathsTo(d *model.Design, mode model.Mode, endpoints []model.PinID) []mod
 // allPathsTo is the context-aware enumeration behind AllPathsTo: the
 // emit path checks for cancellation every stride of emitted paths, so
 // even exponential enumerations abort with bounded latency.
-func allPathsTo(ctx context.Context, d *model.Design, mode model.Mode, endpoints []model.PinID) ([]model.Path, error) {
+func allPathsTo(ctx context.Context, d *model.Design, mode model.Mode, crpr model.CRPRMode, endpoints []model.PinID) ([]model.Path, error) {
 	done := ctx.Done()
 	var all []model.Path
 	var rev []model.PinID
@@ -88,7 +96,7 @@ func allPathsTo(ctx context.Context, d *model.Design, mode model.Mode, endpoints
 		for i, p := range rev {
 			pins[len(rev)-1-i] = p
 		}
-		p, err := d.RecomputePath(mode, pins)
+		p, err := d.RecomputePathCRPR(mode, crpr, pins)
 		if err != nil {
 			panic(fmt.Sprintf("baseline: enumerated invalid path: %v", err))
 		}

@@ -47,10 +47,16 @@ type pwOut struct {
 	pins  []model.PinID
 }
 
-// TopPaths returns the exact global top-k post-CPPR paths for the mode.
-// threads <= 0 uses GOMAXPROCS. The context bounds the query; a panic in
-// any worker is contained and returned as a *qerr.InternalError.
+// TopPaths is TopPathsCRPR under the default same_pin credit model.
 func (p *Pairwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int) ([]model.Path, error) {
+	return p.TopPathsCRPR(ctx, mode, model.CRPRSamePin, k, threads)
+}
+
+// TopPathsCRPR returns the exact global top-k post-CPPR paths for the
+// mode under the given CRPR credit semantics. threads <= 0 uses
+// GOMAXPROCS. The context bounds the query; a panic in any worker is
+// contained and returned as a *qerr.InternalError.
+func (p *Pairwise) TopPathsCRPR(ctx context.Context, mode model.Mode, crpr model.CRPRMode, k, threads int) ([]model.Path, error) {
 	if err := qerr.FromContext(ctx); err != nil {
 		return nil, err
 	}
@@ -116,7 +122,7 @@ func (p *Pairwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int
 				faultinject.Fire("baseline.pairwise.worker")
 				var outs []*pwOut
 				if li < len(p.d.FFs) {
-					outs = p.runLaunch(prop, heap, li, k, setup, done)
+					outs = p.runLaunch(prop, heap, li, k, setup, crpr, done)
 				} else {
 					outs = p.runPIs(prop, heap, li, k, setup, done)
 				}
@@ -142,7 +148,7 @@ func (p *Pairwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int
 		if !ok {
 			break
 		}
-		paths = append(paths, finishPath(p.d, mode, o.pins))
+		paths = append(paths, finishPath(p.d, mode, crpr, o.pins))
 	}
 	return paths, nil
 }
@@ -150,7 +156,7 @@ func (p *Pairwise) TopPaths(ctx context.Context, mode model.Mode, k, threads int
 // runLaunch performs the per-launch-FF analysis: propagate arrivals from
 // this FF's Q pin only, seed one root candidate per reachable capture FF
 // with the exact pairwise credit, and extract the launch-local top-k.
-func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool, done <-chan struct{}) []*pwOut {
+func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k int, setup bool, crpr model.CRPRMode, done <-chan struct{}) []*pwOut {
 	d := p.d
 	ff := &d.FFs[li]
 	prop.Reset(d.NumPins())
@@ -179,10 +185,7 @@ func (p *Pairwise) runLaunch(prop *sta.Prop, heap *mmheap.KeyHeap[*bcand], li, k
 		if !t.Valid {
 			continue
 		}
-		var credit model.Time
-		if l := p.tree.LCA(ff.Clock, cap.Clock); l != model.NoPin {
-			credit = p.tree.Credit(l) // same-domain pair
-		}
+		credit := p.tree.PairCredit(ff.Clock, cap.Clock, crpr)
 		capArr := p.tree.Arrival(cap.Clock)
 		var pre model.Time
 		if setup {

@@ -48,6 +48,13 @@ func (r *Rerank) TopPaths(mode model.Mode, k int) []model.Path {
 
 // TopPathsCtx is TopPaths bounded by a context.
 func (r *Rerank) TopPathsCtx(ctx context.Context, mode model.Mode, k int) ([]model.Path, error) {
+	return r.TopPathsCRPR(ctx, mode, model.CRPRSamePin, k)
+}
+
+// TopPathsCRPR is TopPathsCtx under the given CRPR credit semantics:
+// the pre-CPPR selection is credit-blind either way, but the re-ranking
+// credit honours the mode.
+func (r *Rerank) TopPathsCRPR(ctx context.Context, mode model.Mode, crpr model.CRPRMode, k int) ([]model.Path, error) {
 	if err := qerr.FromContext(ctx); err != nil {
 		return nil, err
 	}
@@ -127,7 +134,7 @@ func (r *Rerank) TopPathsCtx(ctx context.Context, mode model.Mode, k int) ([]mod
 		if rem := k - i - 1; rem > 0 {
 			pushDevs(d, setup, h, at, c, rem)
 		}
-		paths = append(paths, finishPath(d, mode, reconstructAt(d, at, c)))
+		paths = append(paths, finishPath(d, mode, crpr, reconstructAt(d, at, c)))
 	}
 	SortPaths(paths) // re-rank by exact post-CPPR slack
 	return paths, nil

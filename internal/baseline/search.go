@@ -203,8 +203,8 @@ func reconstructAt(d *model.Design, at atFunc, c *bcand) []model.PinID {
 // model.Path via the model's first-principles recomputation. Baselines
 // only do this for the final k winners, so the O(p + depth) cost per path
 // is irrelevant next to their search cost.
-func finishPath(d *model.Design, mode model.Mode, pins []model.PinID) model.Path {
-	p, err := d.RecomputePath(mode, pins)
+func finishPath(d *model.Design, mode model.Mode, crpr model.CRPRMode, pins []model.PinID) model.Path {
+	p, err := d.RecomputePathCRPR(mode, crpr, pins)
 	if err != nil {
 		panic(fmt.Sprintf("baseline: produced invalid path: %v", err))
 	}

@@ -62,6 +62,14 @@ type Options struct {
 	// are analysed.
 	FilterCapture bool
 	CaptureFF     model.FFID
+	// CRPR selects the credit semantics: CRPRSamePin (default, the
+	// paper's model) credits the window width at the last common clock
+	// pin; CRPRSameTransition additionally zeroes the credit of
+	// launch/capture pairs whose clock pins differ in inversion parity
+	// (their edges disagree at every common ancestor). Parity-mismatched
+	// same-domain pairs then route through the cross-parity job instead
+	// of the level jobs.
+	CRPR model.CRPRMode
 	// DisableGlobalBound turns off the cross-job pruning on the shared
 	// k-th-best slack (ablation knob; results are identical either way,
 	// only the amount of skipped work changes).
@@ -579,7 +587,10 @@ func (e *Engine) jobPlan(opts Options) []jobSpec {
 		jobs = append(jobs, jobSpec{kind: jobLevel, level: d})
 	}
 	jobs = append(jobs, jobSpec{kind: jobSelfLoop}, jobSpec{kind: jobPI})
-	if len(e.d.Roots) > 1 {
+	// The zero-credit job covers cross-domain pairs and, under
+	// same_transition on parity-mixed trees, same-domain pairs whose
+	// clock parities differ (both carry no credit).
+	if len(e.d.Roots) > 1 || (opts.CRPR == model.CRPRSameTransition && e.tree.ParityMixed()) {
 		jobs = append(jobs, jobSpec{kind: jobCross})
 	}
 	if opts.IncludePOs && !opts.FilterCapture {
@@ -611,12 +622,16 @@ func (e *Engine) runJob(s *scratch, spec jobSpec, j, k int, opts Options, gb *gl
 }
 
 // jobSlack computes the endpoint slack from the propagated data arrival
-// (Algorithm 2 lines 19–22).
+// (Algorithm 2 lines 19–22), less the mode's clock uncertainty margin.
+// The margin is a constant over all FF captures of the mode, so in-job
+// heap ordering and cross-job bounds are unaffected by where it lands;
+// applying it here keeps every reported slack signoff-exact. PO checks
+// (runPOJob) have no capture clock and carry no uncertainty.
 func (e *Engine) jobSlack(setup bool, capArr model.Window, ff *model.FF, dAt model.Time) model.Time {
 	if setup {
-		return capArr.Early + e.d.Period - ff.Setup - dAt
+		return capArr.Early + e.d.Period - ff.Setup - dAt - e.d.Uncertainty[model.Setup]
 	}
-	return dAt - (capArr.Late + ff.Hold)
+	return dAt - (capArr.Late + ff.Hold) - e.d.Uncertainty[model.Hold]
 }
 
 // runLevelJob generates top-k path candidates at LCA level d
@@ -625,8 +640,15 @@ func (e *Engine) jobSlack(setup bool, capArr model.Window, ff *model.FF, dAt mod
 func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
 	return e.runGroupedJob(s, e.tree.SharedLevel(d), e.tree.LevelFFs(d), j, k, opts, gb, func(o *jobOut) bool {
 		// Exact-depth filter: keep candidates whose LCA depth is d.
-		// Cross-domain pairs (no LCA) are handled by their own job.
-		lcaNode := e.lcaOf(o.launch, e.d.FFs[o.capFF].Clock, opts)
+		// Cross-domain pairs (no LCA) are handled by their own job, as —
+		// under same_transition — are parity-mismatched pairs (their
+		// credit is zero at every common ancestor, so the level credit
+		// this job applied would overstate it).
+		capCK := e.d.FFs[o.capFF].Clock
+		if opts.CRPR == model.CRPRSameTransition && e.tree.Parity(o.launch) != e.tree.Parity(capCK) {
+			return false
+		}
+		lcaNode := e.lcaOf(o.launch, capCK, opts)
 		if lcaNode == model.NoPin || e.tree.Depth(lcaNode) != d {
 			return false
 		}
@@ -636,12 +658,21 @@ func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBo
 	})
 }
 
-// runCrossDomainJob generates candidates whose launching and capturing
-// FFs sit in different clock domains ("level -1"): grouping by domain
-// root, zero credit offset, zero credit.
+// runCrossDomainJob generates the zero-credit candidates ("level -1"):
+// pairs in different clock domains, plus — under same_transition —
+// same-domain pairs of unequal inversion parity. Grouping is by domain
+// root (same_pin) or by domain root and parity (same_transition), with
+// zero credit offset and zero credit either way.
 func (e *Engine) runCrossDomainJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	return e.runGroupedJob(s, e.tree.SharedCrossDomain(), e.tree.AllFFs(), j, k, opts, gb, func(o *jobOut) bool {
-		if e.tree.SameDomain(o.launch, e.d.FFs[o.capFF].Clock) {
+	lt := e.tree.SharedCrossDomain()
+	sameTrans := opts.CRPR == model.CRPRSameTransition
+	if sameTrans {
+		lt = e.tree.SharedCrossParity()
+	}
+	return e.runGroupedJob(s, lt, e.tree.AllFFs(), j, k, opts, gb, func(o *jobOut) bool {
+		capCK := e.d.FFs[o.capFF].Clock
+		if e.tree.SameDomain(o.launch, capCK) &&
+			(!sameTrans || e.tree.Parity(o.launch) == e.tree.Parity(capCK)) {
 			return false
 		}
 		o.lcaDepth = -1
@@ -1180,7 +1211,11 @@ func (e *Engine) endpointBest(s *scratch, spec jobSpec, opts Options, slacks []m
 		lt = e.tree.SharedLevel(spec.level)
 		seeds = e.tree.LevelFFs(spec.level)
 	case jobCross:
-		lt = e.tree.SharedCrossDomain()
+		if opts.CRPR == model.CRPRSameTransition {
+			lt = e.tree.SharedCrossParity()
+		} else {
+			lt = e.tree.SharedCrossDomain()
+		}
 		seeds = e.tree.AllFFs()
 	case jobSelfLoop:
 		for i := range e.d.FFs {

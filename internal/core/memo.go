@@ -39,6 +39,24 @@ type jobKey struct {
 	mode    model.Mode
 	lifting bool
 	dense   bool
+	// crpr is normalized by jobKeyCRPR: only level and cross jobs
+	// depend on the CRPR mode, so self-loop/PI/PO entries are keyed
+	// (and therefore shared) across modes.
+	crpr model.CRPRMode
+}
+
+// jobKeyCRPR returns the CRPR mode a job's cache key carries. Self-loop
+// candidates (launch == capture clock pin: parity trivially equal), PI
+// launches and PO endpoints (no credit at all) produce identical output
+// under either mode, so their keys normalize to CRPRSamePin and one
+// cached run serves both.
+func jobKeyCRPR(kind jobKind, crpr model.CRPRMode) model.CRPRMode {
+	switch kind {
+	case jobLevel, jobCross:
+		return crpr
+	default:
+		return model.CRPRSamePin
+	}
 }
 
 // cachedOut is one kept candidate of a memoized job: the jobOut fields
@@ -283,6 +301,7 @@ func (e *Engine) TopPathsMemo(ctx context.Context, opts Options, cache *JobCache
 			mode:    opts.Mode,
 			lifting: opts.UseLiftingLCA,
 			dense:   opts.DenseKernel,
+			crpr:    jobKeyCRPR(spec.kind, opts.CRPR),
 		}
 		outs, produced, hit := cache.lookup(key, k, seq, valid)
 		if !hit {

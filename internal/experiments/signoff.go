@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+	"fastcppr/sdc"
+)
+
+// SignoffLegStat is one knob leg of the signoff smoke: the worst
+// post-CPPR slack with the knob off and on, whether the knob moved the
+// answer on this design, and whether the LCA engine agreed with the
+// brute-force oracle in the on state.
+type SignoffLegStat struct {
+	Knob       string `json:"knob"`
+	Mode       string `json:"mode"`
+	WorstOffPs int64  `json:"worst_off_ps"`
+	WorstOnPs  int64  `json:"worst_on_ps"`
+	// Changed records that the knob moved the worst slack. Not every
+	// knob must move every mode (an ideal clock can cancel against the
+	// credit it removes), but a knob that never changes anything in
+	// either mode would mean the plumbing is disconnected.
+	Changed bool `json:"changed"`
+	// OracleMatch is the headline bit: the LCA engine's slack sequence
+	// equals the brute-force oracle's with the knob applied.
+	OracleMatch bool `json:"oracle_match"`
+}
+
+// SignoffStats is the machine-readable result of the signoff smoke,
+// committed as BENCH_signoff.json and schema-checked by the tier-1
+// tests. It certifies that every industrial-semantics knob — clock
+// uncertainty, global derates, ideal clocks, I/O delays, and the
+// same_transition CRPR mode — is exercised end to end (SDC parse →
+// Apply → query) and agrees with the exhaustive oracle.
+type SignoffStats struct {
+	Host   string           `json:"host"`
+	Design string           `json:"design"`
+	K      int              `json:"k"`
+	Legs   []SignoffLegStat `json:"legs"`
+	// AllOracleMatch ANDs every leg's OracleMatch.
+	AllOracleMatch bool `json:"all_oracle_match"`
+	// Diverged records that same_pin and same_transition produced
+	// different reports on the inverter-mixed design — proof the two
+	// modes are not conflated anywhere in the stack.
+	Diverged bool `json:"same_transition_diverged"`
+}
+
+// signoffSDC maps each SDC-driven knob to the constraint text that
+// switches it on. The same_transition knob is query-driven (Query.CRPR)
+// and handled separately.
+var signoffSDC = []struct{ knob, text string }{
+	{"uncertainty", "set_clock_uncertainty -setup 60ps\nset_clock_uncertainty -hold 25ps\n"},
+	{"derate", "set_timing_derate -early 0.94 -late 1.07\n"},
+	{"ideal_clock", "set_ideal_clock\n"},
+	// The overridden windows are deliberately extreme (an input arriving
+	// most of a cycle late, an output due almost immediately) so the
+	// I/O paths become critical and the knob visibly moves the report.
+	{"io_delay", "set_input_delay in0 -early 0ps -late 40000ps\nset_output_delay out0 -early 100ps -late 400ps\n"},
+}
+
+// Signoff runs the industrial-CRPR-semantics smoke: one leg per knob
+// per mode on an oracle-size design whose clock tree mixes inverting
+// and non-inverting cells, each leg verified against the brute-force
+// oracle. When cfg.JSONOut is set, the stats are also encoded there as
+// JSON (the committed BENCH_signoff.json).
+func Signoff(cfg Config) error {
+	cfg = cfg.withDefaults()
+	const k = 8
+	d := gen.MustGenerate(gen.DivergentClock(7))
+	stats := SignoffStats{Host: HostInfo(), Design: d.Name, K: k, AllOracleMatch: true}
+
+	// worst runs both the LCA engine and the oracle on t and returns the
+	// worst slack plus whether the two full slack sequences agree.
+	worst := func(t *cppr.Timer, mode model.Mode, crpr cppr.CRPRSetting) (model.Time, bool, error) {
+		lca, err := t.Run(cfg.Ctx, cppr.Query{K: k, Mode: mode, Algorithm: cppr.AlgoLCA, CRPR: crpr})
+		if err != nil {
+			return 0, false, err
+		}
+		oracle, err := t.Run(cfg.Ctx, cppr.Query{K: k, Mode: mode, Algorithm: cppr.AlgoBruteForce, CRPR: crpr})
+		if err != nil {
+			return 0, false, err
+		}
+		match := len(lca.Paths) == len(oracle.Paths)
+		for i := 0; match && i < len(lca.Paths); i++ {
+			match = lca.Paths[i].Slack == oracle.Paths[i].Slack
+		}
+		w, _ := lca.WorstSlack()
+		return w, match, nil
+	}
+
+	leg := func(knob string, mode model.Mode, off, on model.Time, match bool) {
+		stats.Legs = append(stats.Legs, SignoffLegStat{
+			Knob:        knob,
+			Mode:        mode.String(),
+			WorstOffPs:  off.Ps(),
+			WorstOnPs:   on.Ps(),
+			Changed:     off != on,
+			OracleMatch: match,
+		})
+		stats.AllOracleMatch = stats.AllOracleMatch && match
+	}
+
+	for _, s := range signoffSDC {
+		c, err := sdc.ParseString(s.text)
+		if err != nil {
+			return fmt.Errorf("signoff: %s: %v", s.knob, err)
+		}
+		for _, mode := range model.Modes {
+			offT := cppr.NewTimer(d)
+			off, _, err := worst(offT, mode, cppr.CRPRSamePin)
+			if err != nil {
+				return err
+			}
+			onT := cppr.NewTimer(d)
+			if _, err := onT.ApplySDC(c); err != nil {
+				return fmt.Errorf("signoff: %s: %v", s.knob, err)
+			}
+			on, match, err := worst(onT, mode, cppr.CRPRSamePin)
+			if err != nil {
+				return err
+			}
+			leg(s.knob, mode, off, on, match)
+		}
+	}
+	// same_transition is a query knob: off = same_pin, on =
+	// same_transition, same design, oracle checked in the on state.
+	t := cppr.NewTimer(d)
+	for _, mode := range model.Modes {
+		off, _, err := worst(t, mode, cppr.CRPRSamePin)
+		if err != nil {
+			return err
+		}
+		on, match, err := worst(t, mode, cppr.CRPRSameTransition)
+		if err != nil {
+			return err
+		}
+		leg("same_transition", mode, off, on, match)
+		if off != on {
+			stats.Diverged = true
+		}
+	}
+
+	tab := report.NewTable("signoff knob legs (worst post-CPPR slack, off vs on)",
+		"knob", "mode", "worst off", "worst on", "changed", "oracle")
+	for _, l := range stats.Legs {
+		tab.Add(l.Knob, l.Mode, fmt.Sprintf("%dps", l.WorstOffPs), fmt.Sprintf("%dps", l.WorstOnPs),
+			fmt.Sprint(l.Changed), fmt.Sprint(l.OracleMatch))
+	}
+	fmt.Fprint(cfg.Out, tab)
+	fmt.Fprintf(cfg.Out, "\nall legs oracle-matched: %v; same_transition diverged from same_pin: %v\n\n",
+		stats.AllOracleMatch, stats.Diverged)
+	if !stats.AllOracleMatch {
+		return fmt.Errorf("signoff: a knob leg diverged from the brute-force oracle")
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

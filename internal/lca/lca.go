@@ -41,6 +41,18 @@ type shape struct {
 	// treeID[i] is the compact index of i's domain root; LCA queries
 	// across different roots have no answer (no shared clock path).
 	treeID []int32
+	// parity[i] is the inversion parity of pins[i] (Design.ClockParity
+	// compacted): the number of inverting clock arcs on the root path,
+	// mod 2. parityMixed reports whether some domain holds FF clock
+	// pins of both parities — the only case where same_transition CRPR
+	// differs from same_pin. crossParLT is the lazily built
+	// cross-parity job tables: group = 2*treeID + parity (distinct for
+	// different domains and for different parities within a domain),
+	// credit offset 0.
+	parity       []uint8
+	parityMixed  bool
+	crossParOnce sync.Once
+	crossParLT   LevelTables
 
 	// up[j][i] is the 2^j-th ancestor of i (compact), or -1.
 	up [][]int32
@@ -170,6 +182,21 @@ func New(d *model.Design) *Tree {
 	for i := range d.FFs {
 		s.ffDepth[i] = s.depth[s.idx[d.FFs[i].Clock]]
 		s.allFFs[i] = model.FFID(i)
+	}
+	s.parity = make([]uint8, nc)
+	for i, u := range s.pins {
+		s.parity[i] = d.ClockParity[u]
+	}
+	sawPar := map[int32]uint8{}
+	for i := range d.FFs {
+		ci := s.idx[d.FFs[i].Clock]
+		sawPar[s.treeID[ci]] |= 1 << s.parity[ci]
+	}
+	for _, m := range sawPar {
+		if m == 3 {
+			s.parityMixed = true
+			break
+		}
 	}
 	s.seedOnce = make([]sync.Once, s.maxDepth+1)
 	s.seedFFs = make([][]model.FFID, s.maxDepth+1)
@@ -451,6 +478,35 @@ func (t *Tree) SameDomain(u, v model.PinID) bool {
 	return t.treeID[t.compact(u)] == t.treeID[t.compact(v)]
 }
 
+// Parity returns the inversion parity of clock pin u: the number of
+// inverting clock arcs between u and its domain root, mod 2.
+func (t *Tree) Parity(u model.PinID) uint8 { return t.parity[t.compact(u)] }
+
+// ParityMixed reports whether some clock domain holds FF clock pins of
+// both inversion parities — the only topology where same_transition
+// CRPR can differ from same_pin. On parity-uniform trees the engine
+// skips the cross-parity job entirely.
+func (t *Tree) ParityMixed() bool { return t.parityMixed }
+
+// PairCredit returns the CPPR credit of the launch/capture clock-pin
+// pair (u, v) under the given CRPR mode: the credit at LCA(u, v),
+// except that cross-domain pairs and — under same_transition —
+// parity-mismatched pairs carry none. Parity mismatch zeroes credit
+// exactly (not just at the LCA): the edge sense the u-path sees at any
+// common ancestor a is parity(u) XOR parity(a) inversions from the root
+// edge, so the two paths' senses disagree at every common ancestor when
+// parity(u) != parity(v).
+func (t *Tree) PairCredit(u, v model.PinID, crpr model.CRPRMode) model.Time {
+	a, b := t.compact(u), t.compact(v)
+	if t.treeID[a] != t.treeID[b] {
+		return 0
+	}
+	if crpr == model.CRPRSameTransition && t.parity[a] != t.parity[b] {
+		return 0
+	}
+	return t.credit[t.lcaCompact(a, b)]
+}
+
 // DomainRoot returns the domain root pin of clock pin u.
 func (t *Tree) DomainRoot(u model.PinID) model.PinID {
 	return t.pins[t.treeID[t.compact(u)]]
@@ -588,6 +644,25 @@ func (t *Tree) SharedCrossDomain() *LevelTables {
 		t.crossLT = LevelTables{Group: t.treeID, CreditAtD: t.zeroCredit}
 	})
 	return &t.crossLT
+}
+
+// SharedCrossParity is the same_transition variant of SharedCrossDomain:
+// tables for the zero-credit job covering every launch/capture pair
+// whose clock pins differ in domain or inversion parity. Grouping by
+// 2*treeID + parity separates exactly those pairs (the Auto dual-tuple
+// machinery then guarantees each capture is matched against the best
+// launch outside its own group). Both halves are corner-independent,
+// so the tables live on the shared shape.
+func (t *Tree) SharedCrossParity() *LevelTables {
+	s := t.shape
+	s.crossParOnce.Do(func() {
+		g := make([]int32, len(s.pins))
+		for i := range g {
+			g[i] = 2*s.treeID[i] + int32(s.parity[i])
+		}
+		s.crossParLT = LevelTables{Group: g, CreditAtD: s.zeroCredit}
+	})
+	return &s.crossParLT
 }
 
 // LevelFFs returns the FFs whose clock pin sits strictly below the

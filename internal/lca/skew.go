@@ -1,0 +1,133 @@
+package lca
+
+import "fastcppr/model"
+
+// SkewReport is one clock domain's worst-skew summary
+// (report_clock_skew style): the largest launch/capture clock-arrival
+// divergence over FF clock-pin pairs of the domain, after CPPR
+// correction under the requested mode.
+//
+// Setup is the worst (most negative) setup skew
+// min over pairs (l, c) of early(c) - late(l) + credit(l, c):
+// the capture-early vs. launch-late divergence the setup check pays,
+// less the shared-path credit. Hold is the worst (largest) hold skew
+// max over pairs (l, c) of late(c) - early(l) - credit(l, c). The two
+// are exact negatives of each other (hold skew of (l, c) is minus the
+// setup skew of (c, l)); both are reported in signoff-report style.
+// The trivial same-pin pair is included, so a single-FF domain reports
+// zero skew.
+type SkewReport struct {
+	// Root is the domain's clock source pin.
+	Root model.PinID
+	// FFs is the number of flip-flops clocked by this domain.
+	FFs int
+	// Setup and Hold are the worst CRPR-corrected skews (see above).
+	Setup model.Time
+	Hold  model.Time
+}
+
+// ClockSkew computes the worst CRPR-corrected clock skew of every
+// domain in one O(#clock pins) bottom-up pass. For each tree node the
+// pass keeps the per-parity min-early / max-late FF-leaf arrivals of
+// the subtree; merging a child into its parent pairs the child's
+// leaves against previously merged siblings' leaves — exactly the
+// pairs whose LCA is the parent — with the parent's credit. Under
+// same_transition only equal-parity pairs take the LCA credit;
+// mixed-parity pairs are paired once per domain with zero credit.
+// Domains with no FFs report zero skew.
+func (t *Tree) ClockSkew(crpr model.CRPRMode) []SkewReport {
+	nc := len(t.pins)
+	const inf = model.MaxTime
+	const ninf = model.MinTime
+	// Per-parity subtree aggregates over FF clock leaves. Under
+	// same_pin every leaf is filed under parity 0, making the parity
+	// split a no-op.
+	var mnE, mxL [2][]model.Time
+	for p := 0; p < 2; p++ {
+		mnE[p] = make([]model.Time, nc)
+		mxL[p] = make([]model.Time, nc)
+		for i := range mnE[p] {
+			mnE[p][i] = inf
+			mxL[p][i] = ninf
+		}
+	}
+	best := make([]model.Time, nc) // per-domain (indexed by treeID) worst setup skew
+	ffs := make([]int, nc)
+	for i := range best {
+		best[i] = inf
+	}
+	for i := range t.d.FFs {
+		ci := t.idx[t.d.FFs[i].Clock]
+		par := 0
+		if crpr == model.CRPRSameTransition {
+			par = int(t.parity[ci])
+		}
+		a := t.arrival[ci]
+		if a.Early < mnE[par][ci] {
+			mnE[par][ci] = a.Early
+		}
+		if a.Late > mxL[par][ci] {
+			mxL[par][ci] = a.Late
+		}
+		ffs[t.treeID[ci]]++
+	}
+	// Children precede parents in reverse compact order; merging child
+	// i into parent p pairs i's subtree against p's earlier-merged
+	// children, i.e. exactly the pairs with LCA p.
+	for i := nc - 1; i > 0; i-- {
+		p := t.parent[i]
+		if p < 0 {
+			continue
+		}
+		dom := t.treeID[i]
+		for par := 0; par < 2; par++ {
+			if mnE[par][i] != inf && mxL[par][p] != ninf {
+				if sk := mnE[par][i] - mxL[par][p] + t.credit[p]; sk < best[dom] {
+					best[dom] = sk
+				}
+			}
+			if mnE[par][p] != inf && mxL[par][i] != ninf {
+				if sk := mnE[par][p] - mxL[par][i] + t.credit[p]; sk < best[dom] {
+					best[dom] = sk
+				}
+			}
+			if mnE[par][i] < mnE[par][p] {
+				mnE[par][p] = mnE[par][i]
+			}
+			if mxL[par][i] > mxL[par][p] {
+				mxL[par][p] = mxL[par][i]
+			}
+		}
+	}
+	var out []SkewReport
+	for r := 0; r < nc; r++ {
+		if t.parent[r] >= 0 {
+			continue
+		}
+		sr := SkewReport{Root: t.pins[r], FFs: ffs[r]}
+		w := best[r]
+		// Mixed-parity pairs share no credited transition: pair the two
+		// parity classes at the domain level with zero credit.
+		if crpr == model.CRPRSameTransition {
+			for par := 0; par < 2; par++ {
+				if mnE[par][r] != inf && mxL[1-par][r] != ninf {
+					if sk := mnE[par][r] - mxL[1-par][r]; sk < w {
+						w = sk
+					}
+				}
+			}
+		}
+		// The same-pin pair skews by exactly zero; it floors the report
+		// and covers single-FF domains.
+		if sr.FFs > 0 && w > 0 {
+			w = 0
+		}
+		if sr.FFs == 0 {
+			w = 0
+		}
+		sr.Setup = w
+		sr.Hold = -w
+		out = append(out, sr)
+	}
+	return out
+}

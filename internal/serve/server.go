@@ -414,6 +414,9 @@ type QueryRequest struct {
 	// query does real work (benchmark control; see cppr.Query.NoCache).
 	NoCache    bool `json:"no_cache,omitempty"`
 	IncludePOs bool `json:"include_pos,omitempty"`
+	// CRPR selects the credit semantics: "" (the design's SDC default),
+	// "same_pin" or "same_transition".
+	CRPR string `json:"crpr,omitempty"`
 }
 
 // TimingBreakdown is the per-request latency decomposition returned
@@ -473,6 +476,17 @@ func (s *Server) parseQuery(req QueryRequest) (cppr.Query, error) {
 				return q, qerr.Invalid("bad corners entry %q", part)
 			}
 			q.Corners |= cppr.CornerBit(model.Corner(c))
+		}
+	}
+	if req.CRPR != "" {
+		m, err := model.ParseCRPRMode(req.CRPR)
+		if err != nil {
+			return q, qerr.Invalid("%v", err)
+		}
+		if m == model.CRPRSameTransition {
+			q.CRPR = cppr.CRPRSameTransition
+		} else {
+			q.CRPR = cppr.CRPRSamePin
 		}
 	}
 	timeout := s.cfg.DefaultTimeout

@@ -133,6 +133,8 @@ func EndpointSlacks(d *model.Design, g *GBA, mode model.Mode) []EndpointSlack {
 		} else {
 			out[i].Slack = dat.Early - (ck.Late + ff.Hold)
 		}
+		// Clock uncertainty tightens every FF-capture check of the mode.
+		out[i].Slack -= d.Uncertainty[mode]
 	}
 	return out
 }

@@ -19,6 +19,7 @@ type Builder struct {
 	pos          []PinID
 	poRequired   []Window
 	poConstraint []bool
+	uncertainty  [2]Time
 	byName       map[string]PinID
 	errs         []error
 }
@@ -124,6 +125,24 @@ func (b *Builder) AddArc(from, to PinID, delay Window) {
 	b.arcs = append(b.arcs, Arc{From: from, To: to, Delay: delay})
 }
 
+// AddInvertingArc adds a polarity-inverting clock-tree arc (an
+// inverting buffer stage). Both endpoints must be clock-kind pins;
+// Build rejects inversion elsewhere.
+func (b *Builder) AddInvertingArc(from, to PinID, delay Window) {
+	if from == NoPin || to == NoPin {
+		b.errs = append(b.errs, errors.New("model: arc references an invalid pin"))
+		return
+	}
+	b.arcs = append(b.arcs, Arc{From: from, To: to, Delay: delay, Invert: true})
+}
+
+// SetClockUncertainty sets the per-mode clock uncertainty margin
+// (set_clock_uncertainty): subtracted from every FF-capture slack of
+// that mode. Build rejects negative values.
+func (b *Builder) SetClockUncertainty(mode Mode, u Time) {
+	b.uncertainty[mode] = u
+}
+
 // Pin returns the id of a previously added pin by name.
 func (b *Builder) Pin(name string) (PinID, bool) {
 	id, ok := b.byName[name]
@@ -149,6 +168,7 @@ func (b *Builder) Build() (*Design, error) {
 		POs:           b.pos,
 		PORequired:    b.poRequired,
 		POConstrained: b.poConstraint,
+		Uncertainty:   b.uncertainty,
 		byName:        b.byName,
 	}
 	if len(b.roots) > 0 {
@@ -183,6 +203,11 @@ func finalize(d *Design) error {
 	}
 	if d.Period <= 0 {
 		return fmt.Errorf("model: clock period %v must be positive", d.Period)
+	}
+	for mode, u := range d.Uncertainty {
+		if u < 0 {
+			return fmt.Errorf("model: %v clock uncertainty %v must be non-negative", Mode(mode), u)
+		}
 	}
 
 	// Delay sanity.
@@ -300,7 +325,9 @@ func buildClockTree(d *Design) error {
 			d.ClockParentArc[a.To] = int32(ai)
 		}
 	}
-	// Depths in topological order (parents precede children in Topo).
+	// Depths and inversion parities in topological order (parents
+	// precede children in Topo).
+	d.ClockParity = make([]uint8, n)
 	for _, r := range d.Roots {
 		d.ClockDepth[r] = 0
 	}
@@ -317,6 +344,10 @@ func buildClockTree(d *Design) error {
 			return fmt.Errorf("model: clock pin %q has parent outside the clock tree", d.PinName(u))
 		}
 		d.ClockDepth[u] = d.ClockDepth[p] + 1
+		d.ClockParity[u] = d.ClockParity[p]
+		if d.Arcs[d.ClockParentArc[u]].Invert {
+			d.ClockParity[u] ^= 1
+		}
 		if d.Pins[u].Kind == FFClock && d.ClockDepth[u] > maxFFDepth {
 			maxFFDepth = d.ClockDepth[u]
 		}
@@ -389,6 +420,10 @@ func validateStructure(d *Design) error {
 	for i, a := range d.Arcs {
 		fromClock := d.Pins[a.From].Kind.IsClock()
 		toClock := d.Pins[a.To].Kind.IsClock()
+		if a.Invert && !(fromClock && toClock) {
+			return fmt.Errorf("model: arc %d (%s -> %s) inverts outside the clock tree",
+				i, d.PinName(a.From), d.PinName(a.To))
+		}
 		if !fromClock && toClock {
 			return fmt.Errorf("model: arc %d (%s -> %s) enters the clock tree from a data pin",
 				i, d.PinName(a.From), d.PinName(a.To))

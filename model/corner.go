@@ -188,7 +188,7 @@ func (d *Design) View(c Corner) *Design {
 	nd.ExtraCorners = nil
 	nd.Arcs = make([]Arc, len(d.Arcs))
 	for i := range d.Arcs {
-		nd.Arcs[i] = Arc{From: d.Arcs[i].From, To: d.Arcs[i].To, Delay: cd.Delay[i]}
+		nd.Arcs[i] = Arc{From: d.Arcs[i].From, To: d.Arcs[i].To, Delay: cd.Delay[i], Invert: d.Arcs[i].Invert}
 	}
 	return &nd
 }

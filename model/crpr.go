@@ -1,0 +1,49 @@
+package model
+
+import "fmt"
+
+// CRPRMode selects how much of the shared clock path is credited back
+// when removing common path pessimism. Industrial signoff tools expose
+// the same pair of modes (OpenSTA: `set_cmd_units`-independent
+// `crpr_mode` variable).
+type CRPRMode uint8
+
+const (
+	// CRPRSamePin credits the full early/late window width at the last
+	// physically common clock-tree pin of the launch and capture clock
+	// paths. This is the paper's model and the default.
+	CRPRSamePin CRPRMode = iota
+	// CRPRSameTransition additionally requires the launch and capture
+	// clock edges to have the same sense (rise/rise or fall/fall) at the
+	// common pin. With single-edge clocking the transition seen at an
+	// ancestor a by the path to a leaf u is parity(u) XOR parity(a)
+	// inversions away from the root edge, so the transitions at ANY
+	// common ancestor match exactly when parity(launch CK) equals
+	// parity(capture CK); a mismatch therefore yields zero credit (no
+	// deeper or shallower ancestor can recover it).
+	CRPRSameTransition
+)
+
+// String returns the SDC spelling of the mode.
+func (m CRPRMode) String() string {
+	switch m {
+	case CRPRSamePin:
+		return "same_pin"
+	case CRPRSameTransition:
+		return "same_transition"
+	default:
+		return fmt.Sprintf("CRPRMode(%d)", uint8(m))
+	}
+}
+
+// ParseCRPRMode parses the SDC spelling of a CRPR mode.
+func ParseCRPRMode(s string) (CRPRMode, error) {
+	switch s {
+	case "same_pin":
+		return CRPRSamePin, nil
+	case "same_transition":
+		return CRPRSameTransition, nil
+	default:
+		return 0, fmt.Errorf("model: unknown CRPR mode %q (want same_pin or same_transition)", s)
+	}
+}

@@ -86,6 +86,11 @@ type Arc struct {
 	// Delay holds the early (minimum) and late (maximum) arc delay.
 	// Valid designs have 0 <= Early <= Late.
 	Delay Window
+	// Invert marks a polarity-inverting clock-tree arc (an inverting
+	// buffer): the edge sense flips between From and To. Only arcs with
+	// both endpoints inside the clock tree may invert; transition-aware
+	// CRPR (CRPRSameTransition) consumes the parity this induces.
+	Invert bool
 }
 
 // FF is a D flip-flop: the unit at which setup and hold tests are checked.
@@ -178,9 +183,19 @@ type Design struct {
 	// ClockDepth[u] is the clock-tree depth (root = 0); -1 for
 	// non-clock pins.
 	ClockDepth []int32
+	// ClockParity[u] is the number of inverting clock arcs on the
+	// root-to-u clock path, mod 2 (roots are 0); meaningless for
+	// non-clock pins. Two clock pins of the same domain see the same
+	// edge sense at a common ancestor iff their parities are equal.
+	ClockParity []uint8
 	// Depth is 1 + the maximum clock-tree depth over FF clock pins:
 	// the "D" of the paper (number of clock tree levels).
 	Depth int
+
+	// Uncertainty is the per-mode clock uncertainty (setup, hold):
+	// a margin subtracted from every FF-capture slack of that mode
+	// (set_clock_uncertainty). Always >= 0.
+	Uncertainty [2]Time
 
 	byName map[string]PinID
 }

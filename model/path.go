@@ -135,12 +135,22 @@ func (d *Design) NaiveLCA(u, v PinID) PinID {
 	return u
 }
 
-// RecomputePath re-derives a path's slack decomposition from first
-// principles: it checks every consecutive pin pair is connected by an arc,
-// determines launch/capture, accumulates the mode's delay bound, applies
-// the exact LCA credit, and returns a fully populated copy. It is the
-// validation oracle every timer's output is checked against in tests.
+// RecomputePath is RecomputePathCRPR under the default CRPRSamePin
+// mode: the paper's credit model.
 func (d *Design) RecomputePath(mode Mode, pins []PinID) (Path, error) {
+	return d.RecomputePathCRPR(mode, CRPRSamePin, pins)
+}
+
+// RecomputePathCRPR re-derives a path's slack decomposition from first
+// principles: it checks every consecutive pin pair is connected by an arc,
+// determines launch/capture, accumulates the mode's delay bound, subtracts
+// the mode's clock uncertainty from FF-capture slacks, applies the exact
+// LCA credit under the given CRPR mode, and returns a fully populated
+// copy. It is the validation oracle every timer's output is checked
+// against in tests. Under CRPRSameTransition, launch/capture clock pins
+// of unequal inversion parity get zero credit (their edges disagree at
+// every common ancestor) and the path reports LCADepth -1.
+func (d *Design) RecomputePathCRPR(mode Mode, crpr CRPRMode, pins []PinID) (Path, error) {
 	if len(pins) < 2 {
 		return Path{}, fmt.Errorf("model: path too short (%d pins)", len(pins))
 	}
@@ -233,6 +243,9 @@ func (d *Design) RecomputePath(mode Mode, pins []PinID) (Path, error) {
 		} else {
 			pre = dAt - (capAt.Late + ff.Hold)
 		}
+		// Clock uncertainty is a capture-clock margin: it tightens every
+		// FF-capture check of the mode by a constant.
+		pre -= d.Uncertainty[mode]
 	} else {
 		// Output check against the PO's required window.
 		if mode == Setup {
@@ -251,8 +264,13 @@ func (d *Design) RecomputePath(mode Mode, pins []PinID) (Path, error) {
 		LCADepth:  -1,
 	}
 	if launchFF != NoFF && capFF != NoFF {
-		// Cross-domain pairs share no clock path: no credit.
-		if l := d.NaiveLCA(d.FFs[launchFF].Clock, d.FFs[capFF].Clock); l != NoPin {
+		lck, cck := d.FFs[launchFF].Clock, d.FFs[capFF].Clock
+		// Cross-domain pairs share no clock path; under same_transition,
+		// parity-mismatched pairs see opposite edges at every common
+		// ancestor. Neither carries credit.
+		if crpr == CRPRSameTransition && d.ClockParity[lck] != d.ClockParity[cck] {
+			// no credit
+		} else if l := d.NaiveLCA(lck, cck); l != NoPin {
 			p.LCADepth = int(d.ClockDepth[l])
 			p.Credit = d.Credit(l)
 		}

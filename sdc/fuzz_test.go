@@ -22,6 +22,15 @@ func FuzzParse(f *testing.F) {
 	f.Add("create_clock -period 9223372036854775807\n")
 	f.Add("set_input_delay \x00 -early 1 -late 2\n")
 	f.Add(strings.Repeat("set_false_path -from x\n", 60))
+	f.Add("set_clock_uncertainty -setup 60ps\nset_clock_uncertainty -hold 25ps\n")
+	f.Add("set_clock_uncertainty -setup -60ps\n")
+	f.Add("set_timing_derate -early 0.94 -late 1.07\n")
+	f.Add("set_timing_derate -late 1e308\nset_timing_derate -early NaN\n")
+	f.Add("set_timing_derate -early 1.2 -late 0.9\n")
+	f.Add("set_propagated_clock\nset_ideal_clock\n")
+	f.Add("set_ideal_clock\n")
+	f.Add("set_crpr_mode same_transition\nset_crpr_mode same_pin\n")
+	f.Add("set_crpr_mode\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		c, err := Parse(strings.NewReader(input))
@@ -33,6 +42,15 @@ func FuzzParse(f *testing.F) {
 		}
 		if c.Period < 0 {
 			t.Fatalf("accepted negative period %v", c.Period)
+		}
+		if c.Uncertainty[0] < 0 || c.Uncertainty[1] < 0 {
+			t.Fatalf("accepted negative uncertainty %v", c.Uncertainty)
+		}
+		if e, l := c.derates(); e > l || e <= 0 || l <= 0 {
+			t.Fatalf("accepted invalid derates %g/%g", e, l)
+		}
+		if _, err := ParseString(c.Emit()); err != nil {
+			t.Fatalf("emitted text does not re-parse: %v\n%s", err, c.Emit())
 		}
 	})
 }

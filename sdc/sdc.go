@@ -1,7 +1,8 @@
 // Package sdc applies design constraints in a small SDC-like dialect to
-// a timing analysis: clock period, input/output delays, and false-path
-// exceptions. It is the constraint layer a signoff flow drives the timer
-// with.
+// a timing analysis: clock period, input/output delays, false-path
+// exceptions, and the signoff knob pack (clock uncertainty, global
+// timing derates, ideal vs. propagated clocks, CRPR mode). It is the
+// constraint layer a signoff flow drives the timer with.
 //
 // Supported statements (one per line, '#' comments):
 //
@@ -10,25 +11,57 @@
 //	set_output_delay <pin> -early <time> -late <time>
 //	set_false_path -from <ff-or-pi>
 //	set_false_path -to <ff>
+//	set_clock_uncertainty -setup <time>
+//	set_clock_uncertainty -hold <time>
+//	set_timing_derate -early <factor> [-late <factor>]
+//	set_timing_derate -late <factor>
+//	set_propagated_clock
+//	set_ideal_clock
+//	set_crpr_mode same_pin|same_transition
 //
-// create_clock and the io delays are applied by rebuilding the design
-// view (they change the timing graph's boundary conditions); false
-// paths become a Filter the engines consult. False paths are supported
-// at -from / -to granularity: those prune candidate generation soundly
-// (the pruned set is endpoint- or source-defined, so top-k bounds are
-// unaffected). Pairwise -from X -to Y exceptions would require
-// unbounded candidate generation and are intentionally not supported.
+// create_clock, the io delays, uncertainty, derates and the clock model
+// are applied by rebuilding the design view (they change the timing
+// graph's boundary conditions or its delay tables); false paths become
+// a Filter the engines consult, and the CRPR mode becomes the timer's
+// default Query.CRPR. False paths are supported at -from / -to
+// granularity: those prune candidate generation soundly (the pruned set
+// is endpoint- or source-defined, so top-k bounds are unaffected).
+// Pairwise -from X -to Y exceptions would require unbounded candidate
+// generation and are intentionally not supported.
+//
+// Timing derates scale arc delays (clock tree, data arcs and CK->Q
+// launch arcs alike; values round to whole picoseconds), not the
+// constraint windows of set_input_delay/set_output_delay — those are
+// externally imposed times, not circuit delays. set_ideal_clock zeroes
+// every clock-tree arc delay (zero skew, hence zero CPPR credit);
+// set_propagated_clock restates the default.
 package sdc
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"fastcppr/model"
 )
+
+// SyntaxError is the typed rejection a malformed statement parses to.
+// Its message matches the historical "sdc: line N: ..." format.
+type SyntaxError struct {
+	// Line is the 1-based line number of the offending statement.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sdc: line %d: %s", e.Line, e.Msg)
+}
 
 // Constraints is a parsed constraint set.
 type Constraints struct {
@@ -43,6 +76,22 @@ type Constraints struct {
 	// FF instance names.
 	FalseFrom map[string]bool
 	FalseTo   map[string]bool
+	// Uncertainty holds the per-mode clock uncertainty margins;
+	// HasUncertainty marks which modes were stated (a stated zero
+	// clears a design-level uncertainty, an unstated mode keeps it).
+	Uncertainty    [2]model.Time
+	HasUncertainty [2]bool
+	// DerateEarly/DerateLate are the global timing derate factors;
+	// zero means unstated (factor 1). The effective early factor must
+	// not exceed the effective late factor.
+	DerateEarly float64
+	DerateLate  float64
+	// Ideal selects the ideal-clock model (zero clock-tree delays).
+	Ideal bool
+	// CRPR is the CRPR mode the timer should default to; meaningful
+	// only when CRPRSet (same_pin is also the unstated default).
+	CRPR    model.CRPRMode
+	CRPRSet bool
 }
 
 // New returns an empty constraint set.
@@ -55,12 +104,40 @@ func New() *Constraints {
 	}
 }
 
+// HasDerate reports whether either derate factor was stated.
+func (c *Constraints) HasDerate() bool { return c.DerateEarly != 0 || c.DerateLate != 0 }
+
+// derates returns the effective early/late factors (1 where unstated).
+func (c *Constraints) derates() (float64, float64) {
+	e, l := c.DerateEarly, c.DerateLate
+	if e == 0 {
+		e = 1
+	}
+	if l == 0 {
+		l = 1
+	}
+	return e, l
+}
+
+// parseDerate validates one derate factor argument.
+func parseDerate(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid derate factor %q", s)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+		return 0, fmt.Errorf("derate factor %v out of range (want a finite factor > 0)", s)
+	}
+	return f, nil
+}
+
 // Parse reads the SDC-like dialect.
 func Parse(r io.Reader) (*Constraints, error) {
 	c := New()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineno := 0
+	sawPropagated, sawIdeal := false, false
 	for sc.Scan() {
 		lineno++
 		line := sc.Text()
@@ -72,7 +149,7 @@ func Parse(r io.Reader) (*Constraints, error) {
 			continue
 		}
 		bad := func(msg string) error {
-			return fmt.Errorf("sdc: line %d: %s", lineno, msg)
+			return &SyntaxError{Line: lineno, Msg: msg}
 		}
 		switch f[0] {
 		case "create_clock":
@@ -120,6 +197,80 @@ func Parse(r io.Reader) (*Constraints, error) {
 			default:
 				return nil, bad("set_false_path needs -from or -to")
 			}
+		case "set_clock_uncertainty":
+			if len(f) != 3 {
+				return nil, bad("set_clock_uncertainty -setup|-hold <time>")
+			}
+			var mode model.Mode
+			switch f[1] {
+			case "-setup":
+				mode = model.Setup
+			case "-hold":
+				mode = model.Hold
+			default:
+				return nil, bad("set_clock_uncertainty needs -setup or -hold")
+			}
+			t, err := model.ParseTime(f[2])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			if t < 0 {
+				return nil, bad("uncertainty must be non-negative")
+			}
+			c.Uncertainty[mode] = t
+			c.HasUncertainty[mode] = true
+		case "set_timing_derate":
+			ok := false
+			switch {
+			case len(f) == 3 && (f[1] == "-early" || f[1] == "-late"):
+				ok = true
+			case len(f) == 5 && f[1] == "-early" && f[3] == "-late":
+				ok = true
+			}
+			if !ok {
+				return nil, bad("set_timing_derate -early <factor> and/or -late <factor>")
+			}
+			for i := 1; i+1 < len(f); i += 2 {
+				v, err := parseDerate(f[i+1])
+				if err != nil {
+					return nil, bad(err.Error())
+				}
+				if f[i] == "-early" {
+					c.DerateEarly = v
+				} else {
+					c.DerateLate = v
+				}
+			}
+			if e, l := c.derates(); e > l {
+				return nil, bad(fmt.Sprintf("early derate %g exceeds late derate %g", e, l))
+			}
+		case "set_propagated_clock":
+			if len(f) != 1 {
+				return nil, bad("set_propagated_clock takes no arguments")
+			}
+			if sawIdeal {
+				return nil, bad("set_propagated_clock conflicts with earlier set_ideal_clock")
+			}
+			sawPropagated = true
+		case "set_ideal_clock":
+			if len(f) != 1 {
+				return nil, bad("set_ideal_clock takes no arguments")
+			}
+			if sawPropagated {
+				return nil, bad("set_ideal_clock conflicts with earlier set_propagated_clock")
+			}
+			sawIdeal = true
+			c.Ideal = true
+		case "set_crpr_mode":
+			if len(f) != 2 {
+				return nil, bad("set_crpr_mode same_pin|same_transition")
+			}
+			m, err := model.ParseCRPRMode(f[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			c.CRPR = m
+			c.CRPRSet = true
 		default:
 			return nil, bad("unknown statement " + f[0])
 		}
@@ -130,6 +281,11 @@ func Parse(r io.Reader) (*Constraints, error) {
 	return c, nil
 }
 
+// ParseString parses constraints held in a string.
+func ParseString(s string) (*Constraints, error) {
+	return Parse(strings.NewReader(s))
+}
+
 // ParseFile parses the named constraints file.
 func ParseFile(path string) (*Constraints, error) {
 	f, err := os.Open(path)
@@ -138,6 +294,67 @@ func ParseFile(path string) (*Constraints, error) {
 	}
 	defer f.Close()
 	return Parse(f)
+}
+
+// emitTime renders a time as the picosecond literal ParseTime accepts.
+func emitTime(t model.Time) string { return strconv.FormatInt(t.Ps(), 10) + "ps" }
+
+// Emit renders the constraint set back into the dialect Parse reads.
+// Parse(Emit(c)) reproduces c (round-trip identity); output is
+// deterministic (statements in a fixed order, names sorted).
+func (c *Constraints) Emit() string {
+	var sb strings.Builder
+	if c.Period != 0 {
+		fmt.Fprintf(&sb, "create_clock -period %s\n", emitTime(c.Period))
+	}
+	if c.Ideal {
+		sb.WriteString("set_ideal_clock\n")
+	}
+	if c.CRPRSet {
+		fmt.Fprintf(&sb, "set_crpr_mode %s\n", c.CRPR)
+	}
+	if c.DerateEarly != 0 {
+		fmt.Fprintf(&sb, "set_timing_derate -early %s\n", strconv.FormatFloat(c.DerateEarly, 'g', -1, 64))
+	}
+	if c.DerateLate != 0 {
+		fmt.Fprintf(&sb, "set_timing_derate -late %s\n", strconv.FormatFloat(c.DerateLate, 'g', -1, 64))
+	}
+	for _, mode := range model.Modes {
+		if c.HasUncertainty[mode] {
+			fmt.Fprintf(&sb, "set_clock_uncertainty -%s %s\n", mode, emitTime(c.Uncertainty[mode]))
+		}
+	}
+	sortedKeys := func(m map[string]model.Window) []string {
+		ks := make([]string, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	for _, name := range sortedKeys(c.InputDelay) {
+		w := c.InputDelay[name]
+		fmt.Fprintf(&sb, "set_input_delay %s -early %s -late %s\n", name, emitTime(w.Early), emitTime(w.Late))
+	}
+	for _, name := range sortedKeys(c.OutputDelay) {
+		w := c.OutputDelay[name]
+		fmt.Fprintf(&sb, "set_output_delay %s -early %s -late %s\n", name, emitTime(w.Early), emitTime(w.Late))
+	}
+	sortedSet := func(m map[string]bool) []string {
+		ks := make([]string, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	for _, name := range sortedSet(c.FalseFrom) {
+		fmt.Fprintf(&sb, "set_false_path -from %s\n", name)
+	}
+	for _, name := range sortedSet(c.FalseTo) {
+		fmt.Fprintf(&sb, "set_false_path -to %s\n", name)
+	}
+	return sb.String()
 }
 
 // Filter is the false-path exclusion view the timing engines consult:
@@ -167,17 +384,43 @@ func (f *Filter) Empty() bool {
 	return len(f.FromPin) == 0
 }
 
-// Apply rebuilds the design under the constraint set (period and io
-// delays require re-validation) and resolves the false-path names into
-// a Filter. Names in false paths must be FF instance names or PI pin
-// names; unknown names are an error (catching typos beats silently
-// timing a path the designer excluded).
+// transform returns the constraint set's per-arc delay transform: ideal
+// clocks zero clock-tree arcs, then derates scale (rounding to whole
+// picoseconds). isClockTreeArc marks arcs with both endpoints inside
+// the clock tree (CK->Q launch arcs are not clock-tree arcs). The
+// transform preserves 0 <= Early <= Late because the effective early
+// factor never exceeds the late factor.
+func (c *Constraints) transform() func(w model.Window, isClockTreeArc bool) model.Window {
+	de, dl := c.derates()
+	ideal, derate := c.Ideal, c.HasDerate()
+	return func(w model.Window, isClockTreeArc bool) model.Window {
+		if ideal && isClockTreeArc {
+			return model.Window{}
+		}
+		if !derate {
+			return w
+		}
+		return model.Window{
+			Early: model.Time(math.Round(float64(w.Early) * de)),
+			Late:  model.Time(math.Round(float64(w.Late) * dl)),
+		}
+	}
+}
+
+// Apply rebuilds the design under the constraint set (period, io
+// delays, uncertainty, derates and the clock model require
+// re-validation) and resolves the false-path names into a Filter.
+// Extra delay corners are carried over with the same derate/ideal
+// transform applied to each corner's table. Names in false paths must
+// be FF instance names or PI pin names; unknown names are an error
+// (catching typos beats silently timing a path the designer excluded).
 func (c *Constraints) Apply(d *model.Design) (*model.Design, *Filter, error) {
 	period := d.Period
 	if c.Period != 0 {
 		period = c.Period
 	}
 	b := model.NewBuilder(d.Name, period)
+	xf := c.transform()
 
 	// Rebuild pins; arcs are re-resolved by name (FF pins keep their
 	// canonical <inst>/CK|D|Q names via AddFF).
@@ -235,8 +478,17 @@ func (c *Constraints) Apply(d *model.Design) (*model.Design, *Filter, error) {
 		}
 	}
 	for _, ff := range d.FFs {
-		ckq := d.Arcs[d.FanIn(ff.Output)[0]].Delay
+		// CK->Q launch arcs are circuit delays, so derates scale them;
+		// they leave the clock tree, so ideal-clock zeroing does not apply.
+		ckq := xf(d.Arcs[d.FanIn(ff.Output)[0]].Delay, false)
 		b.AddFF(ff.Name, ff.Setup, ff.Hold, ckq)
+	}
+	for mode := range d.Uncertainty {
+		u := d.Uncertainty[mode]
+		if c.HasUncertainty[mode] {
+			u = c.Uncertainty[mode]
+		}
+		b.SetClockUncertainty(model.Mode(mode), u)
 	}
 	for _, a := range d.Arcs {
 		// Skip the CK->Q arcs AddFF already created.
@@ -245,11 +497,35 @@ func (c *Constraints) Apply(d *model.Design) (*model.Design, *Filter, error) {
 		}
 		from, _ := b.Pin(d.PinName(a.From))
 		to, _ := b.Pin(d.PinName(a.To))
-		b.AddArc(from, to, a.Delay)
+		clockArc := d.Pins[a.From].Kind.IsClock() && d.Pins[a.To].Kind.IsClock()
+		delay := xf(a.Delay, clockArc)
+		if a.Invert {
+			b.AddInvertingArc(from, to, delay)
+		} else {
+			b.AddArc(from, to, delay)
+		}
 	}
 	nd, err := b.Build()
 	if err != nil {
 		return nil, nil, fmt.Errorf("sdc: rebuilding design: %v", err)
+	}
+
+	// Carry extra delay corners across the rebuild, applying the same
+	// per-arc transform to each corner's table (WithCornersFrom hands
+	// back freshly allocated tables, so editing in place is safe).
+	nd, err = model.WithCornersFrom(d, nd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sdc: carrying corners: %v", err)
+	}
+	if c.Ideal || c.HasDerate() {
+		for ci := range nd.ExtraCorners {
+			table := nd.ExtraCorners[ci].Delay
+			for ai := range table {
+				a := &nd.Arcs[ai]
+				clockArc := nd.Pins[a.From].Kind.IsClock() && nd.Pins[a.To].Kind.IsClock()
+				table[ai] = xf(table[ai], clockArc)
+			}
+		}
 	}
 
 	// Resolve false paths against the new design.

@@ -1,0 +1,163 @@
+package sdc
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// signoffSrc states every directive of the dialect at least once (the
+// signoff knob pack plus the historical statements), in a deliberately
+// scrambled order so the round-trip tests prove Emit's canonical
+// ordering rather than echoing the input.
+const signoffSrc = `
+set_output_delay out0 -early 100ps -late 400ps
+set_crpr_mode same_transition
+set_clock_uncertainty -hold 25ps
+set_timing_derate -early 0.94 -late 1.07
+create_clock -period 5ns
+set_false_path -to ff7
+set_clock_uncertainty -setup 60ps
+set_input_delay in0 -early 0ps -late 250ps
+set_ideal_clock
+set_false_path -from ff3
+`
+
+func TestParseSignoffDirectives(t *testing.T) {
+	c, err := ParseString(signoffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasUncertainty[model.Setup] || c.Uncertainty[model.Setup] != 60 {
+		t.Errorf("setup uncertainty = %v (stated %v)", c.Uncertainty[model.Setup], c.HasUncertainty[model.Setup])
+	}
+	if !c.HasUncertainty[model.Hold] || c.Uncertainty[model.Hold] != 25 {
+		t.Errorf("hold uncertainty = %v (stated %v)", c.Uncertainty[model.Hold], c.HasUncertainty[model.Hold])
+	}
+	if c.DerateEarly != 0.94 || c.DerateLate != 1.07 {
+		t.Errorf("derates = %g/%g", c.DerateEarly, c.DerateLate)
+	}
+	if !c.Ideal {
+		t.Error("ideal clock lost")
+	}
+	if !c.CRPRSet || c.CRPR != model.CRPRSameTransition {
+		t.Errorf("crpr = %v (set %v)", c.CRPR, c.CRPRSet)
+	}
+}
+
+// TestParseUncertaintyClearsAndDefaults pins the stated-zero semantics:
+// an explicit zero clears a design-level uncertainty for that mode
+// (HasUncertainty true), while an unstated mode keeps the design value.
+func TestParseUncertaintyClearsAndDefaults(t *testing.T) {
+	c, err := ParseString("set_clock_uncertainty -setup 0ps\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasUncertainty[model.Setup] || c.Uncertainty[model.Setup] != 0 {
+		t.Errorf("stated zero: %v/%v", c.Uncertainty[model.Setup], c.HasUncertainty[model.Setup])
+	}
+	if c.HasUncertainty[model.Hold] {
+		t.Error("unstated hold mode marked as stated")
+	}
+}
+
+// TestEmitRoundTrip checks Parse∘Emit is the identity on the parsed
+// constraint set, and that Emit is deterministic across re-parses.
+func TestEmitRoundTrip(t *testing.T) {
+	c, err := ParseString(signoffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := c.Emit()
+	c2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parsing emitted text:\n%s\n%v", text, err)
+	}
+	if !reflect.DeepEqual(c, c2) {
+		t.Fatalf("round trip changed the constraints:\n%#v\n%#v", c, c2)
+	}
+	if text2 := c2.Emit(); text != text2 {
+		t.Fatalf("emit not deterministic:\n%s\n---\n%s", text, text2)
+	}
+}
+
+// TestApplyReEmitEquivalence is the parse→Apply→re-emit leg: applying
+// the original constraints and applying their re-parsed emission must
+// rebuild identical designs, so the emitted text is a faithful record
+// of what was applied.
+func TestApplyReEmitEquivalence(t *testing.T) {
+	// Drop the ideal-clock knob from one variant so both the derate-only
+	// and the ideal+derate transforms are exercised.
+	for _, src := range []string{signoffSrc, strings.ReplaceAll(signoffSrc, "set_ideal_clock\n", "")} {
+		c, err := ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := ParseString(c.Emit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := gen.MustGenerate(gen.DivergentClock(7))
+		d1, f1, err := c.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, f2, err := c2.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatal("original and re-emitted constraints rebuilt different designs")
+		}
+		if !reflect.DeepEqual(f1, f2) {
+			t.Fatal("original and re-emitted constraints resolved different filters")
+		}
+	}
+}
+
+// TestParseSignoffErrors rejects malformed signoff directives with the
+// typed *SyntaxError carrying the right line number.
+func TestParseSignoffErrors(t *testing.T) {
+	cases := []struct{ name, src, errPart string }{
+		{"uncertainty no mode", "set_clock_uncertainty 60ps", "set_clock_uncertainty -setup|-hold"},
+		{"uncertainty bad mode", "set_clock_uncertainty -slew 60ps", "-setup or -hold"},
+		{"uncertainty negative", "set_clock_uncertainty -setup -5ps", "non-negative"},
+		{"uncertainty bad time", "set_clock_uncertainty -hold wat", "wat"},
+		{"derate zero", "set_timing_derate -early 0", "out of range"},
+		{"derate negative", "set_timing_derate -late -1.1", "out of range"},
+		{"derate nan", "set_timing_derate -early NaN", "out of range"},
+		{"derate inf", "set_timing_derate -late +Inf", "out of range"},
+		{"derate not a number", "set_timing_derate -early fast", "invalid derate factor"},
+		{"derate crossed", "set_timing_derate -early 1.2 -late 0.9", "early derate 1.2 exceeds late derate 0.9"},
+		// A lone -late below 1 crosses the implicit early factor of 1.
+		{"derate lone late below one", "set_timing_derate -late 0.9", "early derate 1 exceeds late derate 0.9"},
+		{"derate crossed across lines", "set_timing_derate -early 0.95\nset_timing_derate -late 0.9", "exceeds late derate"},
+		{"derate missing factor", "set_timing_derate -early", "set_timing_derate"},
+		{"propagated with args", "set_propagated_clock clk", "takes no arguments"},
+		{"ideal with args", "set_ideal_clock clk", "takes no arguments"},
+		{"ideal then propagated", "set_ideal_clock\nset_propagated_clock", "conflicts"},
+		{"propagated then ideal", "set_propagated_clock\nset_ideal_clock", "conflicts"},
+		{"crpr bad mode", "set_crpr_mode sometimes", "sometimes"},
+		{"crpr missing mode", "set_crpr_mode", "same_pin|same_transition"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("err = %v, want contains %q", err, tc.errPart)
+			}
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("err = %T, want *SyntaxError", err)
+			}
+			wantLine := 1 + strings.Count(tc.src, "\n")
+			if se.Line != wantLine {
+				t.Fatalf("line = %d, want %d", se.Line, wantLine)
+			}
+		})
+	}
+}

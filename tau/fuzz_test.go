@@ -24,6 +24,14 @@ func FuzzRead(f *testing.F) {
 	f.Add(demo.String())
 	f.Add(strings.Repeat("arc x y 1 2\n", 100))
 	f.Add("design \x00\nperiod 9223372036854775807\n")
+	f.Add("clockroot clk\nclockbuf b\ninvarc clk b 1 2\n")
+	f.Add("invarc a b 1 2\nuncertainty 60 25\n")
+	f.Add("uncertainty -1 0\nuncertainty 1\n")
+	var divergent bytes.Buffer
+	if err := Write(&divergent, gen.MustGenerate(gen.DivergentClock(7))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(divergent.String())
 
 	f.Fuzz(func(t *testing.T, input string) {
 		d, err := Read(strings.NewReader(input))

@@ -13,11 +13,17 @@
 //	po      <pin> [<req-early> <req-late>]
 //	ff      <name> <setup> <hold> <ckq-early> <ckq-late>
 //	arc     <from> <to> <early> <late>
+//	invarc  <from> <to> <early> <late>
+//	uncertainty <setup> <hold>
 //
 // Times accept "250", "250ps" or "0.25ns". An ff statement implicitly
 // declares pins <name>/CK, <name>/D and <name>/Q plus the CK->Q arc.
-// Statements may appear in any order except that arcs must follow the
-// declaration of both endpoints.
+// invarc declares an inverting clock-tree arc (the transition sense
+// flips across it — what the same_transition CRPR mode tracks);
+// uncertainty states the per-mode clock uncertainty margins. Both are
+// omitted when zero, so files written by older versions parse
+// unchanged. Statements may appear in any order except that arcs must
+// follow the declaration of both endpoints.
 package tau
 
 import (
@@ -36,6 +42,10 @@ func Write(w io.Writer, d *model.Design) error {
 	fmt.Fprintf(bw, "# fastcppr design file\n")
 	fmt.Fprintf(bw, "design %s\n", d.Name)
 	fmt.Fprintf(bw, "period %d\n", d.Period.Ps())
+	if d.Uncertainty[model.Setup] != 0 || d.Uncertainty[model.Hold] != 0 {
+		fmt.Fprintf(bw, "uncertainty %d %d\n",
+			d.Uncertainty[model.Setup].Ps(), d.Uncertainty[model.Hold].Ps())
+	}
 
 	ffPin := make([]bool, d.NumPins())
 	for _, ff := range d.FFs {
@@ -89,8 +99,12 @@ func Write(w io.Writer, d *model.Design) error {
 		if ckqArc[i] {
 			continue // implied by the ff statement
 		}
-		fmt.Fprintf(bw, "arc %s %s %d %d\n",
-			d.PinName(a.From), d.PinName(a.To), a.Delay.Early.Ps(), a.Delay.Late.Ps())
+		stmt := "arc"
+		if a.Invert {
+			stmt = "invarc"
+		}
+		fmt.Fprintf(bw, "%s %s %s %d %d\n",
+			stmt, d.PinName(a.From), d.PinName(a.To), a.Delay.Early.Ps(), a.Delay.Late.Ps())
 	}
 	return bw.Flush()
 }
@@ -118,6 +132,7 @@ func Read(r io.Reader) (*model.Design, error) {
 	type arcStmt struct {
 		from, to    string
 		early, late model.Time
+		invert      bool
 		line        int
 	}
 	type piStmt struct {
@@ -140,6 +155,7 @@ func Read(r io.Reader) (*model.Design, error) {
 		pis                          []piStmt
 		ffs                          []ffStmt
 		arcs                         []arcStmt
+		uncertainty                  [2]model.Time
 	)
 
 	lineno := 0
@@ -230,15 +246,25 @@ func Read(r io.Reader) (*model.Design, error) {
 				return nil, err
 			}
 			ffs = append(ffs, s)
-		case "arc":
+		case "arc", "invarc":
 			if err := need(5); err != nil {
 				return nil, err
 			}
-			s := arcStmt{from: fields[1], to: fields[2], line: lineno}
+			s := arcStmt{from: fields[1], to: fields[2], invert: fields[0] == "invarc", line: lineno}
 			if err := times(3, &s.early, &s.late); err != nil {
 				return nil, err
 			}
 			arcs = append(arcs, s)
+		case "uncertainty":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			if err := times(1, &uncertainty[model.Setup], &uncertainty[model.Hold]); err != nil {
+				return nil, err
+			}
+			if uncertainty[model.Setup] < 0 || uncertainty[model.Hold] < 0 {
+				return nil, bad("uncertainty must be non-negative")
+			}
 		default:
 			return nil, bad("unknown statement")
 		}
@@ -279,7 +305,16 @@ func Read(r io.Reader) (*model.Design, error) {
 		if !ok {
 			return nil, fmt.Errorf("tau: line %d: arc references undeclared pin %q", s.line, s.to)
 		}
-		b.AddArc(from, to, model.Window{Early: s.early, Late: s.late})
+		if s.invert {
+			b.AddInvertingArc(from, to, model.Window{Early: s.early, Late: s.late})
+		} else {
+			b.AddArc(from, to, model.Window{Early: s.early, Late: s.late})
+		}
+	}
+	for mode, u := range uncertainty {
+		if u != 0 {
+			b.SetClockUncertainty(model.Mode(mode), u)
+		}
 	}
 	return b.Build()
 }

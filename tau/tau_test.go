@@ -2,12 +2,15 @@ package tau
 
 import (
 	"bytes"
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 
 	"fastcppr/gen"
 	"fastcppr/internal/baseline"
 	"fastcppr/model"
+	"fastcppr/sdc"
 )
 
 func roundTrip(t *testing.T, d *model.Design) *model.Design {
@@ -174,5 +177,103 @@ func TestWriterOutputIsStable(t *testing.T) {
 	}
 	if !strings.HasPrefix(a.String(), "# fastcppr design file\n") {
 		t.Fatal("missing file banner")
+	}
+}
+
+// TestRoundTripPreservesSignoffState checks the signoff extensions of
+// the format: inverting clock arcs (clock-pin parity, hence
+// same_transition credits) and per-mode clock uncertainty survive a
+// write/read cycle, byte-compared through the brute-force path set.
+func TestRoundTripPreservesSignoffState(t *testing.T) {
+	d := gen.MustGenerate(gen.DivergentClock(7))
+	if len(d.ClockParity) == 0 {
+		t.Fatal("divergent preset has no parity data")
+	}
+	c, err := sdc.ParseString("set_clock_uncertainty -setup 60ps\nset_clock_uncertainty -hold 25ps\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err = c.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := roundTrip(t, d)
+	if d2.Uncertainty != d.Uncertainty {
+		t.Fatalf("uncertainty %v vs %v", d2.Uncertainty, d.Uncertainty)
+	}
+	inverts := func(dd *model.Design) map[string]bool {
+		m := map[string]bool{}
+		for _, a := range dd.Arcs {
+			if a.Invert {
+				m[dd.PinName(a.From)+"->"+dd.PinName(a.To)] = true
+			}
+		}
+		return m
+	}
+	i1, i2 := inverts(d), inverts(d2)
+	if len(i1) == 0 {
+		t.Fatal("divergent preset wrote no inverting arcs")
+	}
+	if !reflect.DeepEqual(i1, i2) {
+		t.Fatalf("inverting arcs differ: %d vs %d", len(i1), len(i2))
+	}
+	for _, mode := range model.Modes {
+		for _, crpr := range []model.CRPRMode{model.CRPRSamePin, model.CRPRSameTransition} {
+			p1, err := baseline.BruteForceCRPR(context.Background(), d, mode, crpr, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := baseline.BruteForceCRPR(context.Background(), d2, mode, crpr, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("%v/%v: %d vs %d paths", mode, crpr, len(p1), len(p2))
+			}
+			for i := range p1 {
+				if p1[i].Slack != p2[i].Slack || p1[i].Credit != p2[i].Credit {
+					t.Fatalf("%v/%v path %d: slack %v/%v credit %v/%v",
+						mode, crpr, i, p1[i].Slack, p2[i].Slack, p1[i].Credit, p2[i].Credit)
+				}
+			}
+		}
+	}
+}
+
+// TestReadSignoffStatements parses the new statements directly.
+func TestReadSignoffStatements(t *testing.T) {
+	const src = `
+design x
+period 1000
+uncertainty 60 25
+clockroot clk
+clockbuf b
+invarc clk b 5 9
+ff f1 0 0 10 10
+ff f2 0 0 10 10
+arc b f1/CK 1 2
+arc b f2/CK 3 4
+arc f1/Q f2/D 7 8
+`
+	d, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Uncertainty[model.Setup] != 60 || d.Uncertainty[model.Hold] != 25 {
+		t.Fatalf("uncertainty = %v", d.Uncertainty)
+	}
+	b, _ := d.PinByName("b")
+	ai := d.FanIn(b)[0]
+	if !d.Arcs[ai].Invert {
+		t.Fatal("invarc lost its inversion")
+	}
+	for _, bad := range []string{
+		"uncertainty 60\n",
+		"uncertainty -1 0\n",
+		"invarc a b 1\n",
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
 	}
 }
