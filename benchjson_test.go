@@ -118,3 +118,63 @@ func TestBenchSignoffJSONSchema(t *testing.T) {
 		t.Errorf("%d legs, want %d", len(stats.Legs), 2*len(knobs))
 	}
 }
+
+// TestBenchWhatifJSONSchema strictly validates the committed
+// BENCH_whatif.json against the what-if experiment's stats schema. The
+// invariants the file exists to track: the headline 1000-candidate
+// leon2 sweep is present, every worker leg of every scenario was
+// byte-identical to the fresh-timer-per-candidate reference, and the
+// forked path beat that reference by at least the 5x acceptance floor.
+// Beyond the floor, speedup magnitudes are a property of the recording
+// host (named in the host line), not of the code.
+func TestBenchWhatifJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_whatif.json")
+	if err != nil {
+		t.Fatalf("committed benchmark file missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var stats experiments.WhatIfStats
+	if err := dec.Decode(&stats); err != nil {
+		t.Fatalf("BENCH_whatif.json does not match experiments.WhatIfStats: %v", err)
+	}
+	if stats.Host == "" {
+		t.Fatal("host line missing — speedups are meaningless without the machine that produced them")
+	}
+	if len(stats.Scenarios) == 0 {
+		t.Fatal("no scenarios")
+	}
+	headline := stats.Scenarios[0]
+	if headline.Design != "leon2" || headline.Candidates != 1000 {
+		t.Fatalf("headline scenario is %s/%d candidates, want leon2/1000", headline.Design, headline.Candidates)
+	}
+	wantWorkers := []int{1, 2, 8}
+	for _, sc := range stats.Scenarios {
+		if sc.FreshNs <= 0 {
+			t.Fatalf("%s: non-positive fresh reference time", sc.Design)
+		}
+		if len(sc.Runs) != len(wantWorkers) {
+			t.Fatalf("%s: %d worker legs, want %d (%v)", sc.Design, len(sc.Runs), len(wantWorkers), wantWorkers)
+		}
+		for i, r := range sc.Runs {
+			if r.Workers != wantWorkers[i] {
+				t.Fatalf("%s: leg %d ran %d workers, want %d", sc.Design, i, r.Workers, wantWorkers[i])
+			}
+			if r.Ns <= 0 {
+				t.Fatalf("%s: leg %d has non-positive wall time", sc.Design, i)
+			}
+			if !r.Identical {
+				t.Fatalf("%s: leg %d (%d workers) was not byte-identical to the fresh-timer reference", sc.Design, i, r.Workers)
+			}
+		}
+		if sc.Speedup <= 0 {
+			t.Fatalf("%s: non-positive speedup", sc.Design)
+		}
+		if sc.Stats.Forks < int64(sc.Candidates) {
+			t.Fatalf("%s: %d forks for %d candidates — the sweep did not fork per candidate", sc.Design, sc.Stats.Forks, sc.Candidates)
+		}
+	}
+	if stats.HeadlineSpeedup < 5 {
+		t.Fatalf("headline speedup %.2fx below the 5x acceptance floor", stats.HeadlineSpeedup)
+	}
+}

@@ -50,6 +50,8 @@ func main() {
 		parOut    = flag.String("paralleljson", "BENCH_parallel.json", "with -parallel, write machine-readable stats to this file (empty = none)")
 		signoff   = flag.Bool("signoff", false, "run the industrial-CRPR-semantics smoke: every SDC knob verified against the brute-force oracle")
 		signOut   = flag.String("signoffjson", "BENCH_signoff.json", "with -signoff, write machine-readable stats to this file (empty = none)")
+		whatif    = flag.Bool("whatif", false, "measure speculative what-if candidate scoring vs a fresh timer per candidate")
+		whatifOut = flag.String("whatifjson", "BENCH_whatif.json", "with -whatif, write machine-readable stats to this file (empty = none)")
 		all       = flag.Bool("all", false, "run everything")
 		scale     = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs   = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -62,10 +64,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench, *parallel, *signoff = true, true, true, true, true, true, true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench, *parallel, *signoff, *whatif = true, true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench && !*parallel && !*signoff {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -parallel -signoff -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench && !*parallel && !*signoff && !*whatif {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -parallel -signoff -whatif -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -165,6 +167,7 @@ func main() {
 	runJSON("Service front end", *srvBench, *srvOut, experiments.Serve)
 	runJSON("Thread scaling", *parallel, *parOut, experiments.Parallel)
 	runJSON("Signoff semantics smoke", *signoff, *signOut, experiments.Signoff)
+	runJSON("What-if engine", *whatif, *whatifOut, experiments.WhatIf)
 }
 
 func fatal(err error) {

@@ -177,13 +177,19 @@ type cornerEngines struct {
 }
 
 // lazyCorner is a build-on-first-use slot for one extra corner's
-// engines. Slots are safe for concurrent queries (sync.Once) and are
-// carried across snapshots whenever the edit cannot have invalidated
-// them, so a corner's engines are built at most once per invalidation.
+// engines. Slots are safe for concurrent queries — the built engines
+// are published through an atomic pointer, with a mutex serializing
+// builders — and are carried across snapshots whenever the edit cannot
+// have invalidated them, so a corner's engines are built at most once
+// per invalidation. The atomic (rather than sync.Once) lets Fork read
+// "built or not yet" race-free without waiting on an in-flight build.
 type lazyCorner struct {
-	once sync.Once
-	ce   *cornerEngines
+	mu sync.Mutex // serializes builders only
+	ce atomic.Pointer[cornerEngines]
 }
+
+// built returns the slot's engines if already constructed, else nil.
+func (l *lazyCorner) built() *cornerEngines { return l.ce.Load() }
 
 // snapshot is one immutable epoch of a Timer: a design plus every
 // structure derived from its delays (clock-tree arrivals/credits, CK->Q
@@ -216,8 +222,10 @@ type snapshot struct {
 	// and reset the journal to nil.
 	journal *model.EditJournal
 	seq     uint64
-	// memo caches whole reports for repeated queries on THIS snapshot;
-	// every edit publishes a snapshot with a fresh one.
+	// memo caches whole reports for repeated queries, carried across
+	// journaled edits and validated per-lookup against the journal (an
+	// entry serves iff no edit after its watermark lands in its cone at
+	// its corner). Rebuilding edits (clock arcs, ApplySDC) start fresh.
 	memo *queryMemo
 	// ctr aggregates cache counters across the Timer's life.
 	ctr *timerCounters
@@ -277,9 +285,9 @@ func newSnapshot(d *model.Design, filter *sdc.Filter, maxTuples, maxPops int, pr
 // rebound baselines stay correct by construction. Extra-corner slots
 // are carried as-is — each corner is an independent, complete delay
 // set, so a base-corner edit cannot invalidate it — and so are the job
-// caches: the journal entry is what invalidates (exactly) the base
-// entries whose cone the edit can reach. Only the whole-report query
-// memo starts fresh, being bound to one snapshot by construction.
+// caches AND the whole-report query memo: the journal entry is what
+// invalidates (exactly) the entries whose cone the edit can reach, so
+// jobs and reports untouched by the edit survive into the new epoch.
 func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr, from, to model.PinID) *snapshot {
 	journal := s.journal.Append(model.BaseCorner, from, to)
 	return &snapshot{
@@ -301,7 +309,7 @@ func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr, from, to model.PinID)
 		crprDefault: s.crprDefault,
 		journal:     journal,
 		seq:         journal.Seq(),
-		memo:        newQueryMemo(),
+		memo:        s.memo,
 		ctr:         s.ctr,
 	}
 }
@@ -326,26 +334,32 @@ func (s *snapshot) corner(c model.Corner) *cornerEngines {
 		return s.base
 	}
 	slot := s.extra[c-1]
-	slot.once.Do(func() {
-		view := s.d.View(c)
-		tree := s.base.tree.Derive(view)
-		ce := &cornerEngines{
-			corner: c,
-			d:      view,
-			tree:   tree,
-			engine: s.base.engine.Sibling(view, tree),
-			pw:     baseline.NewPairwise(view, tree),
-			bw:     baseline.NewBlockwise(view, tree),
-			bb:     baseline.NewBranchAndBound(view, tree),
-			rr:     baseline.NewRerank(view, tree),
-			cache:  core.NewJobCache(&s.ctr.job),
-			pre:    sta.NewIncr(view),
-		}
-		ce.bw.MaxTuples = s.base.bw.MaxTuples
-		ce.bb.MaxPops = s.base.bb.MaxPops
-		slot.ce = ce
-	})
-	return slot.ce
+	if ce := slot.ce.Load(); ce != nil {
+		return ce
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if ce := slot.ce.Load(); ce != nil {
+		return ce
+	}
+	view := s.d.View(c)
+	tree := s.base.tree.Derive(view)
+	ce := &cornerEngines{
+		corner: c,
+		d:      view,
+		tree:   tree,
+		engine: s.base.engine.Sibling(view, tree),
+		pw:     baseline.NewPairwise(view, tree),
+		bw:     baseline.NewBlockwise(view, tree),
+		bb:     baseline.NewBranchAndBound(view, tree),
+		rr:     baseline.NewRerank(view, tree),
+		cache:  core.NewJobCache(&s.ctr.job),
+		pre:    sta.NewIncr(view),
+	}
+	ce.bw.MaxTuples = s.base.bw.MaxTuples
+	ce.bb.MaxPops = s.base.bb.MaxPops
+	slot.ce.Store(ce)
+	return ce
 }
 
 // normalize validates q against this snapshot: Query.Normalize plus the
@@ -426,11 +440,25 @@ func (s *snapshot) runOn(ctx context.Context, q Query, ce *cornerEngines, tc *sc
 		if s.jobMemoEligible(q) && ce.cache != nil {
 			// Memoized path: per-job results cached on this corner's
 			// engines, revalidated against the edit journal, merged to a
-			// report byte-identical to the uncached run.
-			res, rerr = ce.engine.TopPathsMemo(ctx, copts, ce.cache, s.seq,
-				func(entrySeq uint64, cone *model.PinSet) bool {
-					return !s.journal.DirtySince(entrySeq, ce.corner, cone)
-				})
+			// report byte-identical to the uncached run. Entries dirtied
+			// by an edit are served by patching their retained
+			// propagation when possible; entries carried clean across an
+			// edit (cone provably disjoint) count as cone skips.
+			res, rerr = ce.engine.TopPathsMemo(ctx, copts, core.MemoCtx{
+				Cache:   ce.cache,
+				Seq:     s.seq,
+				Journal: s.journal,
+				Corner:  ce.corner,
+				Valid: func(entrySeq uint64, cone *model.PinSet) bool {
+					if s.journal.DirtySince(entrySeq, ce.corner, cone) {
+						return false
+					}
+					if entrySeq < s.seq {
+						s.ctr.coneSkips.Add(1)
+					}
+					return true
+				},
+			})
 		} else {
 			res, rerr = ce.engine.TopPaths(ctx, copts)
 		}
@@ -508,6 +536,36 @@ func (s *snapshot) run(ctx context.Context, q Query, par Parallelism) (Report, e
 	}
 	for _, err := range errs {
 		if err != nil {
+			return Report{}, err
+		}
+	}
+	rep := mergeCornerReports(corners, reps, q.K)
+	rep.Corners = q.Corners
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// runWith is run for a normalized query already inside an executor
+// task: corners execute sequentially on the calling worker, and a
+// non-nil tc lets each corner's candidate jobs spawn as stealable
+// subtasks on the shared pool instead of private goroutines — the
+// admission path that lets many forked timers' queries share one
+// worker budget (see Timer.WhatIf).
+func (s *snapshot) runWith(ctx context.Context, q Query, tc *sched.TC) (Report, error) {
+	if c, ok := q.Corners.single(); ok {
+		rep, err := s.execute(ctx, q, c, tc)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Corner, rep.Corners = c, q.Corners
+		return rep, nil
+	}
+	start := time.Now()
+	corners := q.Corners.List()
+	reps := make([]Report, len(corners))
+	for i, c := range corners {
+		var err error
+		if reps[i], err = s.execute(ctx, q, c, tc); err != nil {
 			return Report{}, err
 		}
 	}
@@ -682,11 +740,13 @@ func (t *Timer) SetArcDelayAt(c model.Corner, from, to model.PinID, delay model.
 		ns.extra = make([]*lazyCorner, len(s.extra))
 		copy(ns.extra, s.extra)
 		// The fresh slot rebuilds the corner's engines — job cache
-		// included — on next use, so the edit needs no journal entry;
-		// every other corner's caches stay live. Only the per-snapshot
-		// query memo starts over.
+		// included — on next use; every other corner's caches stay
+		// live. The edit is journaled so the carried query memo can
+		// invalidate exactly the edited corner's reports (other
+		// corners' entries survive as cone skips).
 		ns.extra[c-1] = &lazyCorner{}
-		ns.memo = newQueryMemo()
+		journal := s.journal.Append(c, from, to)
+		ns.journal, ns.seq = journal, journal.Seq()
 		t.snap.Store(&ns)
 		return nil
 	}

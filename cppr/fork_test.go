@@ -1,0 +1,220 @@
+package cppr
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// bumpArc returns the edit that adds late delay to data arc ai.
+func bumpArc(d *model.Design, ai int, late model.Time) (model.PinID, model.PinID, model.Window) {
+	arc := d.Arcs[ai]
+	return arc.From, arc.To, model.Window{Early: arc.Delay.Early, Late: arc.Delay.Late + late}
+}
+
+// TestForkIsolation: a fork is a two-way isolation boundary. Child
+// edits never reach the parent, parent edits after the fork never reach
+// the child, and both sides stay byte-identical to fresh timers over
+// their respective designs — including a fork-of-fork chain.
+func TestForkIsolation(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(41))
+	parent := NewTimer(d)
+	q := Query{K: 30, Mode: model.Setup}
+	rng := rand.New(rand.NewSource(9))
+
+	// Prime the parent, fork, then edit both sides differently.
+	mustRun(t, parent, q)
+	child := parent.Fork()
+	grand := child.Fork() // fork-of-fork, kept unedited at the fork point
+
+	aiC := pickDataArc(t, d, rng)
+	from, to, nw := bumpArc(d, aiC, 500)
+	if err := child.SetArcDelay(from, to, nw); err != nil {
+		t.Fatal(err)
+	}
+	aiP := pickDataArc(t, d, rng)
+	fromP, toP, nwP := bumpArc(d, aiP, 900)
+	if err := parent.SetArcDelay(fromP, toP, nwP); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		timer *Timer
+	}{
+		{"parent", parent},
+		{"child", child},
+		{"grandchild", grand},
+	} {
+		nd := tc.timer.Design()
+		got := reportBytes(t, nd, mustRun(t, tc.timer, q), q.Mode, q.K)
+		want := reportBytes(t, nd, mustRun(t, NewTimer(nd), q), q.Mode, q.K)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: forked timer differs from fresh timer:\n%s\nvs\n%s", tc.name, got, want)
+		}
+	}
+	// The grandchild froze the pre-edit state: its design must be the
+	// original, not either edited descendant.
+	if grand.Design() != d {
+		t.Fatal("unedited grandchild does not share the original design")
+	}
+	if st := parent.Stats(); st.Forks != 2 {
+		t.Fatalf("Forks = %d, want 2 (counters shared across the family)", st.Forks)
+	}
+}
+
+// TestForkConcurrentParentEdits: child WhatIf racing parent edits. Run
+// under -race this is the memory-safety check for the shared cache
+// substrate; the assertions check the child keeps scoring against its
+// frozen fork point regardless of parent churn.
+func TestForkConcurrentParentEdits(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(43))
+	parent := NewTimer(d)
+	q := Query{K: 20, Mode: model.Setup}
+	mustRun(t, parent, q)
+
+	rng := rand.New(rand.NewSource(17))
+	candidates := make([]EditSet, 6)
+	for i := range candidates {
+		from, to, nw := bumpArc(d, pickDataArc(t, d, rng), model.Time(100+50*i))
+		candidates[i] = EditSet{{Corner: model.BaseCorner, From: from, To: to, Delay: nw}}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	editRng := rand.New(rand.NewSource(18))
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			from, to, nw := bumpArc(parent.Design(), pickDataArc(t, parent.Design(), editRng), 70)
+			if err := parent.SetArcDelay(from, to, nw); err != nil {
+				t.Error(err)
+				return
+			}
+			mustRun(t, parent, q)
+		}
+	}()
+
+	child := parent.Fork()
+	frozen := child.Design()
+	res, err := child.WhatIf(context.Background(), candidates, []Query{q})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every candidate must have been scored against the frozen design,
+	// not whatever the parent mutated into meanwhile.
+	for ci, sc := range res.Candidates {
+		if sc.Err != nil {
+			t.Fatalf("candidate %d: %v", ci, sc.Err)
+		}
+		ref := NewTimer(frozen)
+		ed := candidates[ci][0]
+		if err := ref.SetArcDelayAt(ed.Corner, ed.From, ed.To, ed.Delay); err != nil {
+			t.Fatal(err)
+		}
+		got := reportBytes(t, ref.Design(), sc.Reports[0], q.Mode, q.K)
+		want := reportBytes(t, ref.Design(), mustRun(t, ref, q), q.Mode, q.K)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("candidate %d: speculative report differs from fresh timer:\n%s\nvs\n%s", ci, got, want)
+		}
+	}
+}
+
+// TestWhatIfWorkerInvariance: WhatIf reports are byte-identical to a
+// fresh timer with the same edits, at every worker count — the
+// determinism contract of the speculative engine.
+func TestWhatIfWorkerInvariance(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(47))
+	queries := []Query{
+		{K: 15, Mode: model.Setup},
+		{K: 15, Mode: model.Hold},
+	}
+	rng := rand.New(rand.NewSource(23))
+	candidates := make([]EditSet, 5)
+	for i := range candidates {
+		from, to, nw := bumpArc(d, pickDataArc(t, d, rng), model.Time(200+40*i))
+		candidates[i] = EditSet{{Corner: model.BaseCorner, From: from, To: to, Delay: nw}}
+	}
+	// Reference: a fresh timer per candidate, single-threaded.
+	refBytes := make([][][]byte, len(candidates))
+	for ci, es := range candidates {
+		ref := NewTimer(d)
+		for _, ed := range es {
+			if err := ref.SetArcDelayAt(ed.Corner, ed.From, ed.To, ed.Delay); err != nil {
+				t.Fatal(err)
+			}
+		}
+		refBytes[ci] = make([][]byte, len(queries))
+		for qi, q := range queries {
+			refBytes[ci][qi] = reportBytes(t, ref.Design(), mustRun(t, ref, q), q.Mode, q.K)
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		timer := NewTimer(d)
+		timer.SetParallelism(Parallelism{Workers: workers, QueryThreads: 1})
+		res, err := timer.WhatIf(context.Background(), candidates, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, sc := range res.Candidates {
+			if sc.Err != nil {
+				t.Fatalf("workers=%d candidate %d: %v", workers, ci, sc.Err)
+			}
+			for qi, q := range queries {
+				got := reportBytes(t, timer.Design(), sc.Reports[qi], q.Mode, q.K)
+				if !bytes.Equal(got, refBytes[ci][qi]) {
+					t.Fatalf("workers=%d candidate %d query %d: speculative report differs from fresh timer:\n%s\nvs\n%s",
+						workers, ci, qi, got, refBytes[ci][qi])
+				}
+			}
+		}
+		if st := timer.Stats(); st.WhatIfCandidates != int64(len(candidates)) {
+			t.Fatalf("workers=%d: WhatIfCandidates = %d, want %d", workers, st.WhatIfCandidates, len(candidates))
+		}
+	}
+}
+
+// TestWarmEditNoFullReruns is the single-corner warm-path regression
+// guard: after priming, an edit→requery round must do strictly less
+// work than a cold run — every job-cache miss it takes must be served
+// by patching a retained propagation, never by a full re-run — and a
+// repeat query with no intervening edit must be a pure query-memo hit.
+func TestWarmEditNoFullReruns(t *testing.T) {
+	d := gen.MustGenerate(gen.Medium(53))
+	timer := NewTimer(d)
+	q := Query{K: 40, Mode: model.Setup}
+	rng := rand.New(rand.NewSource(29))
+
+	mustRun(t, timer, q) // cold prime: populates caches and retained props
+	for step := 0; step < 4; step++ {
+		from, to, nw := bumpArc(timer.Design(), pickDataArc(t, timer.Design(), rng), model.Time(60+10*step))
+		if err := timer.SetArcDelay(from, to, nw); err != nil {
+			t.Fatal(err)
+		}
+		before := timer.Stats()
+		mustRun(t, timer, q)
+		after := timer.Stats()
+		misses := after.JobCacheMisses - before.JobCacheMisses
+		patched := after.JobCachePatched - before.JobCachePatched
+		if misses != patched {
+			t.Fatalf("step %d: warm requery re-ran %d of %d dirtied jobs from scratch (patched %d)",
+				step, misses-patched, misses, patched)
+		}
+		// No edit since: the repeat must be one whole-report memo hit.
+		mid := timer.Stats()
+		mustRun(t, timer, q)
+		rep := timer.Stats()
+		if rep.QueryMemoHits != mid.QueryMemoHits+1 || rep.JobCacheMisses != mid.JobCacheMisses {
+			t.Fatalf("step %d: repeat query was not a pure memo hit: %+v -> %+v", step, mid, rep)
+		}
+	}
+	if st := timer.Stats(); st.JobCachePatched == 0 {
+		t.Fatal("no job was ever served by patching")
+	}
+}

@@ -194,8 +194,14 @@ func TestCornerScopedEditInvalidation(t *testing.T) {
 		t.Fatalf("base-corner requery after slow-corner edit re-ran jobs: misses %d -> %d",
 			primed.JobCacheMisses, st.JobCacheMisses)
 	}
-	if st.JobCacheHits == primed.JobCacheHits {
-		t.Fatal("base-corner requery after slow-corner edit did not hit the job cache")
+	// The requery must be served from cache — either job-by-job or, now
+	// that the query memo is carried across corner-disjoint edits, as one
+	// whole-report cone skip.
+	if st.JobCacheHits == primed.JobCacheHits && st.QueryMemoHits == primed.QueryMemoHits {
+		t.Fatal("base-corner requery after slow-corner edit hit neither cache")
+	}
+	if st.ConeSkips == primed.ConeSkips {
+		t.Fatal("corner-disjoint edit crossing did not count a cone skip")
 	}
 	mustRun(t, timer, qSlow)
 	st2 := timer.Stats()

@@ -38,6 +38,15 @@ type timerCounters struct {
 	sdcIODelay         atomic.Int64
 	sdcCRPRMode        atomic.Int64
 	crprSameTransition atomic.Int64
+	// Speculation counters: forks counts Timer.Fork calls (including the
+	// per-candidate forks inside WhatIf), whatifCandidates the candidate
+	// edit sets scored by Timer.WhatIf, and coneSkips the cache servings
+	// that crossed an edit because the journal proved the entry's cone
+	// disjoint from every dirtying edit (job entries and whole-report
+	// memo entries both count — each skip is a revalidation-free reuse).
+	forks            atomic.Int64
+	whatifCandidates atomic.Int64
+	coneSkips        atomic.Int64
 }
 
 // queryMemoMax bounds the per-snapshot query-memo size. Reports are
@@ -48,21 +57,50 @@ const queryMemoMax = 128
 
 // queryMemoEntry is one cached report. exhausted marks a report with
 // fewer paths than its K: the design has no more paths of that shape,
-// so the entry serves any larger K too.
+// so the entry serves any larger K too. seq/corner/cone position the
+// report on the edit journal — the entry is exact on a snapshot at
+// sequence g iff no journaled edit in (seq, g] lands a source pin
+// inside cone at corner — which is what lets the memo be carried
+// across edits instead of dying with its snapshot. seq advances on
+// every successful reuse (monotonically, so a racing reader can only
+// shorten a later walk, never extend validity).
 type queryMemoEntry struct {
 	k         int
 	exhausted bool
 	rep       Report
+	// storeSeq is the journal sequence the report was computed at,
+	// immutable; seq is the advancing watermark (seq >= storeSeq).
+	// Fork needs the distinction: an entry computed on the shared
+	// prefix survives with its watermark clamped, one computed past
+	// the fork point reflects the parent's divergent edits and must go.
+	storeSeq uint64
+	seq      atomic.Uint64
+	corner   model.Corner
+	cone     *model.PinSet
 }
 
-// queryMemo caches whole normalized-query reports for one snapshot —
-// the cross-call extension of ReportBatch's in-call dedup. Keys are
-// single-corner queries with Threads erased and, like the batch
-// grouping, K erased: a top-k report is the k-prefix of any larger
-// exact report, so one max-K entry serves every smaller K. The memo
-// dies with its snapshot (every edit publishes a fresh one), which
-// makes it trivially sound: within a snapshot a normalized query is a
-// pure function of the immutable engines.
+// advanceSeq bumps the entry's validation watermark to seq, never
+// moving it backward.
+func (e *queryMemoEntry) advanceSeq(seq uint64) {
+	for {
+		cur := e.seq.Load()
+		if cur >= seq || e.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// queryMemo caches whole normalized-query reports across a snapshot
+// chain — the cross-call extension of ReportBatch's in-call dedup.
+// Keys are single-corner queries with Threads erased and, like the
+// batch grouping, K erased: a top-k report is the k-prefix of any
+// larger exact report, so one max-K entry serves every smaller K.
+// Soundness across edits comes from per-entry journal validation
+// (queryMemoEntry.seq/corner/cone): within one journal position a
+// normalized query is a pure function of the immutable engines, and an
+// entry only crosses an edit when the journal proves the edit cannot
+// reach its cone. Rebuilding edits (clock arcs, ApplySDC) discard the
+// memo wholesale with the rest of the derived state.
 //
 // Safe for concurrent use, with a lock-free read path: idx holds an
 // atomic pointer to an immutable map, so a lookup under the batch
@@ -92,27 +130,31 @@ func queryMemoKey(q Query, c model.Corner) Query {
 	return q
 }
 
-// lookup serves key at budget k if a covering entry exists. Lock-free:
+// lookup returns the entry covering key at budget k, if any — the
+// caller validates it against the journal before serving. Lock-free:
 // one atomic load of the current map.
-func (m *queryMemo) lookup(key Query, k int) (Report, bool) {
+func (m *queryMemo) lookup(key Query, k int) *queryMemoEntry {
 	e, ok := (*m.idx.Load())[key]
 	if !ok || (e.k < k && !e.exhausted) {
-		return Report{}, false
+		return nil
 	}
-	return clipReport(e.rep, k), true
+	return e
 }
 
-// store records a successful report computed at budget k, keeping the
-// larger-K entry when two runs race. At capacity an arbitrary entry is
-// evicted — the memo is a bounded accelerator, not a registry. The
-// successor map is built under mu and published with one atomic store,
-// so concurrent lookups always see a complete map.
-func (m *queryMemo) store(key Query, k int, rep Report) {
+// store records a successful report computed at budget k and journal
+// sequence seq, keeping the larger-K entry when two runs race — unless
+// the incumbent is older on the journal, in which case the fresh report
+// replaces it outright (the incumbent was computed before an edit the
+// newcomer has seen; its larger K covers stale data). At capacity an
+// arbitrary entry is evicted — the memo is a bounded accelerator, not a
+// registry. The successor map is built under mu and published with one
+// atomic store, so concurrent lookups always see a complete map.
+func (m *queryMemo) store(key Query, k int, rep Report, seq uint64, corner model.Corner, cone *model.PinSet) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	old := *m.idx.Load()
 	if e, ok := old[key]; ok {
-		if e.k >= k {
+		if e.k >= k && e.seq.Load() >= seq {
 			return
 		}
 	}
@@ -126,8 +168,36 @@ func (m *queryMemo) store(key Query, k int, rep Report) {
 			break
 		}
 	}
-	next[key] = &queryMemoEntry{k: k, exhausted: len(rep.Paths) < k, rep: rep}
+	e := &queryMemoEntry{k: k, exhausted: len(rep.Paths) < k, rep: rep, storeSeq: seq, corner: corner, cone: cone}
+	e.seq.Store(seq)
+	next[key] = e
 	m.idx.Store(&next)
+}
+
+// fork returns an isolated copy of the memo for a snapshot forked at
+// journal sequence atSeq. Entries computed past the fork point (a
+// concurrent parent edit may have published them) are dropped; the
+// rest are copied (reports shared — they are immutable) with
+// watermarks clamped to atSeq, because a watermark proves cleanliness
+// along the PARENT's chain only and the chains diverge past the fork.
+func (m *queryMemo) fork(atSeq uint64) *queryMemo {
+	nm := newQueryMemo()
+	old := *m.idx.Load()
+	next := make(map[Query]*queryMemoEntry, len(old))
+	for k, e := range old {
+		if e.storeSeq > atSeq {
+			continue
+		}
+		w := e.seq.Load()
+		if w > atSeq {
+			w = atSeq
+		}
+		ne := &queryMemoEntry{k: e.k, exhausted: e.exhausted, rep: e.rep, storeSeq: e.storeSeq, corner: e.corner, cone: e.cone}
+		ne.seq.Store(w)
+		next[k] = ne
+	}
+	nm.idx.Store(&next)
+	return nm
 }
 
 // execute runs one normalized query against corner c, serving it from
@@ -147,17 +217,30 @@ func (s *snapshot) execute(ctx context.Context, q Query, c model.Corner, tc *sch
 	}
 	start := time.Now()
 	key := queryMemoKey(q, c)
-	if rep, ok := s.memo.lookup(key, q.K); ok {
-		s.ctr.queryHits.Add(1)
-		rep.Elapsed = time.Since(start)
-		return rep, nil
+	if e := s.memo.lookup(key, q.K); e != nil {
+		// The entry may predate this snapshot; it serves iff the journal
+		// proves no edit since its watermark lands in its cone at its
+		// corner. A cross-edit serving skips the whole query — job
+		// revalidation included — and counts as a cone skip.
+		eseq := e.seq.Load()
+		if !s.journal.DirtySince(eseq, e.corner, e.cone) {
+			if eseq < s.seq {
+				s.ctr.coneSkips.Add(1)
+			}
+			e.advanceSeq(s.seq)
+			s.ctr.queryHits.Add(1)
+			rep := clipReport(e.rep, q.K)
+			rep.Elapsed = time.Since(start)
+			return rep, nil
+		}
 	}
 	s.ctr.queryMisses.Add(1)
-	rep, err := s.runOn(ctx, q, s.corner(c), tc)
+	ce := s.corner(c)
+	rep, err := s.runOn(ctx, q, ce, tc)
 	if err != nil {
 		return Report{}, err
 	}
-	s.memo.store(key, q.K, rep)
+	s.memo.store(key, q.K, rep, s.seq, c, ce.tree.LaunchCone())
 	return rep, nil
 }
 
@@ -180,6 +263,9 @@ type TimerStats struct {
 	JobCacheHits        int64 `json:"job_cache_hits"`
 	JobCacheMisses      int64 `json:"job_cache_misses"`
 	JobCacheInvalidated int64 `json:"job_cache_invalidated"`
+	// JobCachePatched is the subset of misses served by patching the
+	// job's retained propagation instead of re-running it from scratch.
+	JobCachePatched int64 `json:"job_cache_patched"`
 	// QueryMemo* count whole-report memoization outcomes (AlgoLCA
 	// queries repeated on an unedited snapshot).
 	QueryMemoHits   int64 `json:"query_memo_hits"`
@@ -204,6 +290,14 @@ type TimerStats struct {
 	SdcIODelay         int64 `json:"sdc_io_delay_applied"`
 	SdcCRPRMode        int64 `json:"sdc_crpr_mode_applied"`
 	CRPRSameTransition int64 `json:"crpr_same_transition_queries"`
+	// Speculation counters: Forks counts Timer.Fork calls (WhatIf's
+	// per-candidate forks included), WhatIfCandidates the candidate edit
+	// sets scored by Timer.WhatIf, and ConeSkips the cache servings that
+	// crossed an edit because the journal proved the entry's cone
+	// disjoint from every dirtying edit.
+	Forks            int64 `json:"forks"`
+	WhatIfCandidates int64 `json:"whatif_candidates"`
+	ConeSkips        int64 `json:"cone_skips"`
 }
 
 // Stats reports the timer's incremental-machinery counters. Counters
@@ -218,6 +312,7 @@ func (t *Timer) Stats() TimerStats {
 		JobCacheHits:        s.ctr.job.Hits.Load(),
 		JobCacheMisses:      s.ctr.job.Misses.Load(),
 		JobCacheInvalidated: s.ctr.job.Invalidated.Load(),
+		JobCachePatched:     s.ctr.job.Patched.Load(),
 		QueryMemoHits:       s.ctr.queryHits.Load(),
 		QueryMemoMisses:     s.ctr.queryMisses.Load(),
 		ServedAdmitted:      s.ctr.servedAdmitted.Load(),
@@ -230,6 +325,9 @@ func (t *Timer) Stats() TimerStats {
 		SdcIODelay:          s.ctr.sdcIODelay.Load(),
 		SdcCRPRMode:         s.ctr.sdcCRPRMode.Load(),
 		CRPRSameTransition:  s.ctr.crprSameTransition.Load(),
+		Forks:               s.ctr.forks.Load(),
+		WhatIfCandidates:    s.ctr.whatifCandidates.Load(),
+		ConeSkips:           s.ctr.coneSkips.Load(),
 	}
 }
 

@@ -1,0 +1,109 @@
+// whatif drives a greedy worst-path-flattening loop with the
+// speculative what-if engine: each round it proposes speeding up the
+// data arcs on the current critical path, scores every proposal with
+// Timer.WhatIf — forked timers sharing the parent's warm caches, no
+// fresh timer per candidate — and commits the proposal that improves
+// the worst slack most. A miniature of how an optimization tool
+// (buffer sizing, cell swaps) would sit on top of the timer.
+//
+//	go run ./examples/whatif [-preset leon2] [-scale 0.01] [-rounds 5]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+func main() {
+	preset := flag.String("preset", "leon2", "Table III preset")
+	scale := flag.Float64("scale", 0.01, "design scale")
+	rounds := flag.Int("rounds", 5, "greedy optimization rounds")
+	flag.Parse()
+
+	spec, err := gen.PresetSpec(*preset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := gen.MustGenerate(spec)
+	timer := cppr.NewTimer(d)
+	ctx := context.Background()
+	q := cppr.Query{K: 1, Mode: model.Setup}
+
+	rep, err := timer.Run(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, ok := rep.WorstSlack()
+	if !ok {
+		log.Fatal("design has no constrained paths")
+	}
+	fmt.Printf("initial worst slack: %d\n", worst)
+
+	for round := 1; round <= *rounds; round++ {
+		// Propose shaving 20% off each data arc on the critical path.
+		dd := timer.Design()
+		var candidates []cppr.EditSet
+		path := rep.Paths[0].Pins
+		for i := 0; i+1 < len(path); i++ {
+			from, to := path[i], path[i+1]
+			if dd.Pins[from].Kind.IsClock() || dd.Pins[to].Kind.IsClock() {
+				continue // clock-tree edits rebuild everything; not this loop's business
+			}
+			ai := dd.ArcBetween(from, to)
+			if ai < 0 {
+				continue
+			}
+			w := dd.ArcDelay(model.BaseCorner, ai)
+			nw := model.Window{Early: w.Early - w.Early/5, Late: w.Late - w.Late/5}
+			candidates = append(candidates, cppr.EditSet{
+				{Corner: model.BaseCorner, From: from, To: to, Delay: nw},
+			})
+		}
+		if len(candidates) == 0 {
+			fmt.Println("no editable arcs left on the critical path")
+			break
+		}
+
+		res, err := timer.WhatIf(ctx, candidates, []cppr.Query{q})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bestIdx, bestDelta := -1, model.Time(0)
+		for ci, sc := range res.Candidates {
+			if sc.Err != nil || !sc.DeltaValid[0] {
+				continue
+			}
+			if sc.Delta[0] > bestDelta {
+				bestIdx, bestDelta = ci, sc.Delta[0]
+			}
+		}
+		if bestIdx < 0 {
+			fmt.Println("no proposal improves the worst slack; stopping")
+			break
+		}
+
+		// Commit the winner to the real timer and re-anchor on the new
+		// critical path.
+		ed := candidates[bestIdx][0]
+		if err := timer.SetArcDelayAt(ed.Corner, ed.From, ed.To, ed.Delay); err != nil {
+			log.Fatal(err)
+		}
+		rep, err = timer.Run(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst, _ = rep.WorstSlack()
+		fmt.Printf("round %d: scored %d candidates, committed %s -> %s (delta +%d), worst slack now %d\n",
+			round, len(candidates), dd.PinName(ed.From), dd.PinName(ed.To), bestDelta, worst)
+	}
+
+	st := timer.Stats()
+	fmt.Printf("\nstats: forks=%d whatif_candidates=%d job_cache_patched=%d cone_skips=%d\n",
+		st.Forks, st.WhatIfCandidates, st.JobCachePatched, st.ConeSkips)
+}

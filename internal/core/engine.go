@@ -604,21 +604,17 @@ func (e *Engine) jobPlan(opts Options) []jobSpec {
 	return jobs
 }
 
-// runJob executes one candidate-generation job, returning the filtered
-// candidates and the number produced before filtering.
+// runJob executes one candidate-generation job in its three phases —
+// seed, propagate, collect — returning the filtered candidates and the
+// number produced before filtering. The phase split is what the patched
+// recompute path builds on: a retained propagation replaces the first
+// two phases and runJobOn replays only the collect phase against it.
 func (e *Engine) runJob(s *scratch, spec jobSpec, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	switch spec.kind {
-	case jobLevel:
-		return e.runLevelJob(s, spec.level, j, k, opts, gb)
-	case jobSelfLoop:
-		return e.runSelfLoopJob(s, j, k, opts, gb)
-	case jobPI:
-		return e.runPIJob(s, j, k, opts, gb)
-	case jobCross:
-		return e.runCrossDomainJob(s, j, k, opts, gb)
-	default:
-		return e.runPOJob(s, j, k, opts, gb)
+	if !e.seedJob(s, spec, opts) {
+		return nil, 0
 	}
+	e.runProp(s, opts.Mode == model.Setup, &opts)
+	return e.collectJob(s, spec, j, k, opts, gb)
 }
 
 // jobSlack computes the endpoint slack from the propagated data arrival
@@ -634,233 +630,242 @@ func (e *Engine) jobSlack(setup bool, capArr model.Window, ff *model.FF, dAt mod
 	return dAt - (capArr.Late + ff.Hold) - e.d.Uncertainty[model.Hold]
 }
 
-// runLevelJob generates top-k path candidates at LCA level d
-// (Algorithm 2 for seeding/propagation, Algorithm 5 for top-k), then
-// filters to candidates whose exact LCA depth is d (Algorithm 6 line 5).
-func (e *Engine) runLevelJob(s *scratch, d, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	return e.runGroupedJob(s, e.tree.SharedLevel(d), e.tree.LevelFFs(d), j, k, opts, gb, func(o *jobOut) bool {
-		// Exact-depth filter: keep candidates whose LCA depth is d.
-		// Cross-domain pairs (no LCA) are handled by their own job, as —
-		// under same_transition — are parity-mismatched pairs (their
-		// credit is zero at every common ancestor, so the level credit
-		// this job applied would overstate it).
-		capCK := e.d.FFs[o.capFF].Clock
-		if opts.CRPR == model.CRPRSameTransition && e.tree.Parity(o.launch) != e.tree.Parity(capCK) {
-			return false
-		}
-		lcaNode := e.lcaOf(o.launch, capCK, opts)
-		if lcaNode == model.NoPin || e.tree.Depth(lcaNode) != d {
-			return false
-		}
-		o.lcaDepth = d
-		o.credit = e.tree.Credit(lcaNode)
-		return true
-	})
-}
-
-// runCrossDomainJob generates the zero-credit candidates ("level -1"):
-// pairs in different clock domains, plus — under same_transition —
-// same-domain pairs of unequal inversion parity. Grouping is by domain
-// root (same_pin) or by domain root and parity (same_transition), with
-// zero credit offset and zero credit either way.
-func (e *Engine) runCrossDomainJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	lt := e.tree.SharedCrossDomain()
-	sameTrans := opts.CRPR == model.CRPRSameTransition
-	if sameTrans {
-		lt = e.tree.SharedCrossParity()
+// groupedTables resolves a grouped job's shared level table and seed
+// universe: the per-level cut over FFs below it for level jobs; the
+// domain (or domain × parity, under same_transition) grouping over
+// every FF for the cross-domain job.
+func (e *Engine) groupedTables(spec jobSpec, opts Options) (*lca.LevelTables, []model.FFID) {
+	if spec.kind == jobLevel {
+		return e.tree.SharedLevel(spec.level), e.tree.LevelFFs(spec.level)
 	}
-	return e.runGroupedJob(s, lt, e.tree.AllFFs(), j, k, opts, gb, func(o *jobOut) bool {
-		capCK := e.d.FFs[o.capFF].Clock
-		if e.tree.SameDomain(o.launch, capCK) &&
-			(!sameTrans || e.tree.Parity(o.launch) == e.tree.Parity(capCK)) {
-			return false
-		}
-		o.lcaDepth = -1
-		o.credit = 0
-		return true
-	})
+	if opts.CRPR == model.CRPRSameTransition {
+		return e.tree.SharedCrossParity(), e.tree.AllFFs()
+	}
+	return e.tree.SharedCrossDomain(), e.tree.AllFFs()
 }
 
-// runGroupedJob is the shared grouped candidate generation: seeds Q pins
-// with lt's group and credit offset, propagates, builds root candidates
-// per capture FF, and runs the top-k pop/deviate loop with the supplied
-// filter. lt is the tree's shared level table for the job (read-only);
-// seeds is the job's launch/capture universe (the per-level seed list
-// for level jobs, every FF for the cross-domain job), so both per-FF
-// loops cost O(#seeds) rather than O(#FFs).
-func (e *Engine) runGroupedJob(s *scratch, lt *lca.LevelTables, seeds []model.FFID, job, k int, opts Options, gb *globalBound, keep func(*jobOut) bool) ([]*jobOut, int) {
+// seedJob resets the propagation scratch and offers spec's seed tuples:
+// Q pins offset by the grouping's credit (Algorithm 2 for level jobs;
+// Algorithm 3's full-credit variant for self-loops; no credit for PO
+// launches) and primary inputs at their external arrivals (Algorithm 4).
+// Returns false on cancellation.
+func (e *Engine) seedJob(s *scratch, spec jobSpec, opts Options) bool {
 	setup := opts.Mode == model.Setup
 	e.resetProp(s, &opts)
-
-	// Seed Q pins of FFs below the cut, offsetting by credit(f_d(u))
-	// so propagated arrivals rank paths by slack(p, d) (Definition 3).
-	for si, fi := range seeds {
-		if si%cancelStride == 0 && s.canceled() {
-			return nil, 0
+	seedFFs := func(seeds []model.FFID, lt *lca.LevelTables) bool {
+		for si, fi := range seeds {
+			if si%cancelStride == 0 && s.canceled() {
+				return false
+			}
+			i := int(fi)
+			if opts.launchExcluded(i) {
+				continue
+			}
+			ff := &e.d.FFs[i]
+			gid := sta.NoGroup
+			var credit model.Time
+			switch spec.kind {
+			case jobLevel, jobCross:
+				// Seeds below the cut, offset by credit(f_d(u)) so
+				// propagated arrivals rank paths by slack(p, d)
+				// (Definition 3).
+				if gid = e.tree.GroupOf(lt, ff.Clock); gid < 0 {
+					continue // depth(u) <= d
+				}
+				credit = e.tree.CreditAtDOf(lt, ff.Clock)
+			case jobSelfLoop:
+				credit = e.tree.Credit(ff.Clock)
+			case jobPO:
+				// Output checks compare pre-CPPR arrivals: no credit.
+			}
+			arr := e.tree.Arrival(ff.Clock)
+			var qAt model.Time
+			if setup {
+				qAt = arr.Late + e.ckq[i].Late - credit
+			} else {
+				qAt = arr.Early + e.ckq[i].Early + credit
+			}
+			s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
 		}
-		i := int(fi)
-		if opts.launchExcluded(i) {
-			continue
-		}
-		ff := &e.d.FFs[i]
-		gid := e.tree.GroupOf(lt, ff.Clock)
-		if gid < 0 {
-			continue // depth(u) <= d
-		}
-		arr := e.tree.Arrival(ff.Clock)
-		credit := e.tree.CreditAtDOf(lt, ff.Clock)
-		var qAt model.Time
-		if setup {
-			qAt = arr.Late + e.ckq[i].Late - credit
-		} else {
-			qAt = arr.Early + e.ckq[i].Early + credit
-		}
-		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, gid, setup)
+		return true
 	}
-	e.runProp(s, setup, &opts)
-
-	// Root candidates: best grouped arrival at each capture D pin. Only
-	// FFs below the cut can capture at this level (gid >= 0), so the
-	// seed list is the capture universe too.
-	s.heap.Reset()
-	for si, fi := range seeds {
-		if si%cancelStride == 0 && s.canceled() {
-			return nil, 0
+	seedPIs := func() {
+		for i, pi := range e.d.PIs {
+			if opts.ExcludeLaunchPin != nil && opts.ExcludeLaunchPin[pi] {
+				continue
+			}
+			arr := e.d.PIArrival[i]
+			var t model.Time
+			if setup {
+				t = arr.Late
+			} else {
+				t = arr.Early
+			}
+			s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
 		}
-		i := int(fi)
-		if opts.captureExcluded(i) {
-			continue
-		}
-		ff := &e.d.FFs[i]
-		gid := e.tree.GroupOf(lt, ff.Clock)
-		if gid < 0 {
-			continue
-		}
-		tup := s.prop.Auto(ff.Data, gid)
-		if !tup.Valid {
-			continue
-		}
-		slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
-		s.heap.PushBounded(int64(slack), &cand{
-			slack: slack,
-			pos:   ff.Data,
-			devTo: model.NoPin,
-			capFF: model.FFID(i),
-			gid:   gid,
-		}, k)
 	}
-
-	return e.popAndFilter(s, job, k, opts, gb, keep)
-}
-
-// runSelfLoopJob generates self-loop candidates (Algorithm 3 + the
-// ungrouped variant of Algorithm 5), filtered to true self-loops
-// (Algorithm 6 line 8).
-func (e *Engine) runSelfLoopJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	setup := opts.Mode == model.Setup
-	e.resetProp(s, &opts)
-	for i := range e.d.FFs {
-		if i%cancelStride == 0 && s.canceled() {
-			return nil, 0
-		}
-		if opts.launchExcluded(i) {
-			continue
-		}
-		ff := &e.d.FFs[i]
-		arr := e.tree.Arrival(ff.Clock)
-		credit := e.tree.Credit(ff.Clock)
-		var qAt model.Time
-		if setup {
-			qAt = arr.Late + e.ckq[i].Late - credit
-		} else {
-			qAt = arr.Early + e.ckq[i].Early + credit
-		}
-		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
-	}
-	e.runProp(s, setup, &opts)
-
-	s.heap.Reset()
-	for i := range e.d.FFs {
-		if i%cancelStride == 0 && s.canceled() {
-			return nil, 0
-		}
-		if opts.captureExcluded(i) {
-			continue
-		}
-		ff := &e.d.FFs[i]
-		tup := s.prop.At(ff.Data)
-		if !tup.Valid {
-			continue
-		}
-		slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
-		s.heap.PushBounded(int64(slack), &cand{
-			slack: slack,
-			pos:   ff.Data,
-			devTo: model.NoPin,
-			capFF: model.FFID(i),
-			gid:   noGroupQuery,
-		}, k)
-	}
-
-	return e.popAndFilter(s, j, k, opts, gb, func(o *jobOut) bool {
-		// Keep true self-loops only.
-		if e.d.Pins[o.launch].Kind != model.FFClock || e.d.Pins[o.launch].FF != o.capFF {
+	switch spec.kind {
+	case jobLevel, jobCross:
+		lt, seeds := e.groupedTables(spec, opts)
+		return seedFFs(seeds, lt)
+	case jobSelfLoop:
+		return seedFFs(e.tree.AllFFs(), nil)
+	case jobPI:
+		seedPIs()
+		return true
+	default: // jobPO: every launch point, FF Q pins and PIs alike
+		if !seedFFs(e.tree.AllFFs(), nil) {
 			return false
 		}
-		o.lcaDepth = e.tree.Depth(o.launch)
-		o.credit = e.tree.Credit(o.launch)
+		seedPIs()
 		return true
-	})
+	}
 }
 
-// runPIJob generates primary-input candidates (Algorithm 4 + the
-// ungrouped variant of Algorithm 5). PI paths carry no credit.
-func (e *Engine) runPIJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
+// collectJob builds spec's root candidates from the completed
+// propagation in s.prop and runs the top-k pop/deviate loop (Algorithm 5)
+// under the job's exactness filter. It reads only s.prop and s.heap, so
+// the patched recompute path can aim it at a retained propagation.
+func (e *Engine) collectJob(s *scratch, spec jobSpec, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
 	setup := opts.Mode == model.Setup
-	e.resetProp(s, &opts)
-	for i, pi := range e.d.PIs {
-		if opts.ExcludeLaunchPin != nil && opts.ExcludeLaunchPin[pi] {
-			continue
-		}
-		arr := e.d.PIArrival[i]
-		var t model.Time
-		if setup {
-			t = arr.Late
-		} else {
-			t = arr.Early
-		}
-		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
-	}
-	e.runProp(s, setup, &opts)
-
 	s.heap.Reset()
-	for i := range e.d.FFs {
-		if i%cancelStride == 0 && s.canceled() {
-			return nil, 0
+	switch spec.kind {
+	case jobLevel, jobCross:
+		// Root candidates: best grouped arrival at each capture D pin.
+		// Only FFs below the cut can capture at this level (gid >= 0),
+		// so the seed list is the capture universe too.
+		lt, seeds := e.groupedTables(spec, opts)
+		for si, fi := range seeds {
+			if si%cancelStride == 0 && s.canceled() {
+				return nil, 0
+			}
+			i := int(fi)
+			if opts.captureExcluded(i) {
+				continue
+			}
+			ff := &e.d.FFs[i]
+			gid := e.tree.GroupOf(lt, ff.Clock)
+			if gid < 0 {
+				continue
+			}
+			tup := s.prop.Auto(ff.Data, gid)
+			if !tup.Valid {
+				continue
+			}
+			slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
+			s.heap.PushBounded(int64(slack), &cand{
+				slack: slack,
+				pos:   ff.Data,
+				devTo: model.NoPin,
+				capFF: model.FFID(i),
+				gid:   gid,
+			}, k)
 		}
-		if opts.captureExcluded(i) {
-			continue
+	case jobSelfLoop, jobPI:
+		for i := range e.d.FFs {
+			if i%cancelStride == 0 && s.canceled() {
+				return nil, 0
+			}
+			if opts.captureExcluded(i) {
+				continue
+			}
+			ff := &e.d.FFs[i]
+			tup := s.prop.At(ff.Data)
+			if !tup.Valid {
+				continue
+			}
+			slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
+			s.heap.PushBounded(int64(slack), &cand{
+				slack: slack,
+				pos:   ff.Data,
+				devTo: model.NoPin,
+				capFF: model.FFID(i),
+				gid:   noGroupQuery,
+			}, k)
 		}
-		ff := &e.d.FFs[i]
-		tup := s.prop.At(ff.Data)
-		if !tup.Valid {
-			continue
+	default: // jobPO: rank constrained POs against their required windows
+		for i, po := range e.d.POs {
+			if !e.d.POConstrained[i] {
+				continue
+			}
+			tup := s.prop.At(po)
+			if !tup.Valid {
+				continue
+			}
+			req := e.d.PORequired[i]
+			var slack model.Time
+			if setup {
+				slack = req.Late - tup.Time
+			} else {
+				slack = tup.Time - req.Early
+			}
+			s.heap.PushBounded(int64(slack), &cand{
+				slack: slack,
+				pos:   po,
+				devTo: model.NoPin,
+				capFF: model.NoFF,
+				gid:   noGroupQuery,
+			}, k)
 		}
-		slack := e.jobSlack(setup, e.tree.Arrival(ff.Clock), ff, tup.Time)
-		s.heap.PushBounded(int64(slack), &cand{
-			slack: slack,
-			pos:   ff.Data,
-			devTo: model.NoPin,
-			capFF: model.FFID(i),
-			gid:   noGroupQuery,
-		}, k)
 	}
+	return e.popAndFilter(s, j, k, opts, gb, e.jobKeep(spec, opts))
+}
 
-	return e.popAndFilter(s, j, k, opts, gb, func(o *jobOut) bool {
-		o.lcaDepth = -1
-		o.credit = 0
-		return true
-	})
+// jobKeep returns spec's exactness filter for the pop/deviate loop
+// (Algorithm 6): the exact-LCA-depth test for level jobs, the
+// domain/parity mismatch test for the cross job, the true-self-loop test,
+// and the trivial zero-credit stamp for PI and PO candidates.
+func (e *Engine) jobKeep(spec jobSpec, opts Options) func(*jobOut) bool {
+	switch spec.kind {
+	case jobLevel:
+		d := spec.level
+		return func(o *jobOut) bool {
+			// Exact-depth filter: keep candidates whose LCA depth is d.
+			// Cross-domain pairs (no LCA) are handled by their own job,
+			// as — under same_transition — are parity-mismatched pairs
+			// (their credit is zero at every common ancestor, so the
+			// level credit this job applied would overstate it).
+			capCK := e.d.FFs[o.capFF].Clock
+			if opts.CRPR == model.CRPRSameTransition && e.tree.Parity(o.launch) != e.tree.Parity(capCK) {
+				return false
+			}
+			lcaNode := e.lcaOf(o.launch, capCK, opts)
+			if lcaNode == model.NoPin || e.tree.Depth(lcaNode) != d {
+				return false
+			}
+			o.lcaDepth = d
+			o.credit = e.tree.Credit(lcaNode)
+			return true
+		}
+	case jobCross:
+		sameTrans := opts.CRPR == model.CRPRSameTransition
+		return func(o *jobOut) bool {
+			capCK := e.d.FFs[o.capFF].Clock
+			if e.tree.SameDomain(o.launch, capCK) &&
+				(!sameTrans || e.tree.Parity(o.launch) == e.tree.Parity(capCK)) {
+				return false
+			}
+			o.lcaDepth = -1
+			o.credit = 0
+			return true
+		}
+	case jobSelfLoop:
+		return func(o *jobOut) bool {
+			// Keep true self-loops only.
+			if e.d.Pins[o.launch].Kind != model.FFClock || e.d.Pins[o.launch].FF != o.capFF {
+				return false
+			}
+			o.lcaDepth = e.tree.Depth(o.launch)
+			o.credit = e.tree.Credit(o.launch)
+			return true
+		}
+	default: // jobPI, jobPO: zero-credit candidates, no further filtering
+		return func(o *jobOut) bool {
+			o.lcaDepth = -1
+			o.credit = 0
+			return true
+		}
+	}
 }
 
 // lcaOf returns the LCA clock node under the configured query method.
@@ -1041,77 +1046,6 @@ func (e *Engine) backwalk(prop *sta.Prop, pos model.PinID, gid int32) []model.Pi
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev
-}
-
-// runPOJob generates output-check candidates at constrained primary
-// outputs: pre-CPPR arrivals from every launch point (FF Q pins and
-// PIs), ranked against each PO's required window. Output paths have no
-// capture clock path and carry no credit.
-func (e *Engine) runPOJob(s *scratch, j, k int, opts Options, gb *globalBound) ([]*jobOut, int) {
-	setup := opts.Mode == model.Setup
-	e.resetProp(s, &opts)
-	for i := range e.d.FFs {
-		if i%cancelStride == 0 && s.canceled() {
-			return nil, 0
-		}
-		if opts.launchExcluded(i) {
-			continue
-		}
-		ff := &e.d.FFs[i]
-		arr := e.tree.Arrival(ff.Clock)
-		var qAt model.Time
-		if setup {
-			qAt = arr.Late + e.ckq[i].Late
-		} else {
-			qAt = arr.Early + e.ckq[i].Early
-		}
-		s.prop.Offer(ff.Output, qAt, ff.Clock, ff.Clock, sta.NoGroup, setup)
-	}
-	for i, pi := range e.d.PIs {
-		if opts.ExcludeLaunchPin != nil && opts.ExcludeLaunchPin[pi] {
-			continue
-		}
-		arr := e.d.PIArrival[i]
-		var t model.Time
-		if setup {
-			t = arr.Late
-		} else {
-			t = arr.Early
-		}
-		s.prop.Offer(pi, t, model.NoPin, pi, sta.NoGroup, setup)
-	}
-	e.runProp(s, setup, &opts)
-
-	s.heap.Reset()
-	for i, po := range e.d.POs {
-		if !e.d.POConstrained[i] {
-			continue
-		}
-		tup := s.prop.At(po)
-		if !tup.Valid {
-			continue
-		}
-		req := e.d.PORequired[i]
-		var slack model.Time
-		if setup {
-			slack = req.Late - tup.Time
-		} else {
-			slack = tup.Time - req.Early
-		}
-		s.heap.PushBounded(int64(slack), &cand{
-			slack: slack,
-			pos:   po,
-			devTo: model.NoPin,
-			capFF: model.NoFF,
-			gid:   noGroupQuery,
-		}, k)
-	}
-
-	return e.popAndFilter(s, j, k, opts, gb, func(o *jobOut) bool {
-		o.lcaDepth = -1
-		o.credit = 0
-		return true
-	})
 }
 
 // EndpointSlacksCPPR computes the exact post-CPPR worst slack of every

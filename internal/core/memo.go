@@ -22,6 +22,7 @@ type CacheCounters struct {
 	Hits        atomic.Int64 // jobs served from cache
 	Misses      atomic.Int64 // jobs executed (no entry, stale entry, or insufficient K)
 	Invalidated atomic.Int64 // misses caused by a dirty-cone intersection
+	Patched     atomic.Int64 // misses served by patching a retained propagation (subset of Misses)
 }
 
 // jobKey identifies a cacheable job result. The plan index is NOT part
@@ -88,7 +89,12 @@ type cachedOut struct {
 // full-budget pops — so the entry holds the job's complete candidate
 // stream and is valid for every k'.
 type jobEntry struct {
-	seq       atomic.Uint64
+	seq atomic.Uint64
+	// storeSeq is the journal sequence the entry was computed at —
+	// immutable, unlike the seq watermark. Fork uses it to decide which
+	// entries predate the fork point (and are therefore shared history)
+	// versus entries a concurrent parent edit published past it.
+	storeSeq  uint64
 	k         int
 	exhausted bool
 	produced  int
@@ -129,6 +135,13 @@ type JobCache struct {
 	idx atomic.Pointer[map[jobKey]*jobEntry]
 	mu  sync.Mutex // serializes copy-on-write publication
 	ctr *CacheCounters
+	// ret maps jobs to their retained propagation state for the patched
+	// recompute path (patch.go). Kept separate from idx on purpose: a
+	// dirtied entry is deleted by lookup, but the retained propagation
+	// is most valuable exactly then — it is what turns the re-run into a
+	// cone-sized patch. retBytes tracks the retention budget.
+	ret      atomic.Pointer[map[jobKey]*retainedProp]
+	retBytes atomic.Int64
 }
 
 // NewJobCache returns an empty cache reporting into ctr (shared across
@@ -208,6 +221,7 @@ func (c *JobCache) lookup(key jobKey, k int, seq uint64, valid func(entrySeq uin
 // journal seq.
 func (c *JobCache) store(key jobKey, seq uint64, k, produced int, cone *model.PinSet, outs []cachedOut) {
 	e := &jobEntry{
+		storeSeq:  seq,
 		k:         k,
 		exhausted: produced < k,
 		produced:  produced,
@@ -254,12 +268,20 @@ func (e *Engine) jobCone(spec jobSpec) *model.PinSet {
 //     contribute — the extra elements all rank beyond the k-th best, so
 //     the selected top-k is unchanged (see DESIGN.md §12).
 //
+// A job whose entry an edit dirtied does not necessarily re-run: when
+// the cache retains the job's propagation state and the journal suffix
+// since that state consists purely of same-corner data-arc edits, the
+// job is served by patching the edits' dirty cone in place and replaying
+// only the collect phase (patch.go) — byte-identical output at O(dirty
+// cone) cost, counted in CacheCounters.Patched.
+//
 // Cancellation and panic containment follow TopPaths. Partial (canceled)
 // job runs are never stored.
-func (e *Engine) TopPathsMemo(ctx context.Context, opts Options, cache *JobCache, seq uint64, valid func(entrySeq uint64, cone *model.PinSet) bool) (Result, error) {
+func (e *Engine) TopPathsMemo(ctx context.Context, opts Options, mc MemoCtx) (Result, error) {
 	if err := qerr.FromContext(ctx); err != nil {
 		return Result{}, err
 	}
+	cache := mc.Cache
 	k := opts.K
 	if k <= 0 || len(e.d.FFs) == 0 {
 		return Result{}, nil
@@ -303,34 +325,48 @@ func (e *Engine) TopPathsMemo(ctx context.Context, opts Options, cache *JobCache
 			dense:   opts.DenseKernel,
 			crpr:    jobKeyCRPR(spec.kind, opts.CRPR),
 		}
-		outs, produced, hit := cache.lookup(key, k, seq, valid)
+		outs, produced, hit := cache.lookup(key, k, mc.Seq, mc.Valid)
 		if !hit {
-			// Run the job at full fidelity: no global bound (its
-			// truncation point depends on sibling-job timing) and
-			// every kept candidate's pins materialised while this
-			// worker's propagation arrays are still intact.
-			runOpts := opts
-			runOpts.DisableGlobalBound = true
-			var dummy globalBound
-			jobOuts, prod := e.runJob(s, spec, j, k, runOpts, &dummy)
-			if s.canceled() {
-				return // partial stream; do not store or merge
-			}
-			outs = make([]cachedOut, len(jobOuts))
-			for i, o := range jobOuts {
-				outs[i] = cachedOut{
-					slack:    o.slack,
-					idx:      o.idx,
-					capFF:    o.capFF,
-					launch:   o.launch,
-					lcaDepth: o.lcaDepth,
-					credit:   o.credit,
-					pins:     e.reconstruct(s.prop, o.chain),
+			patched := false
+			if !opts.DenseKernel {
+				if rp := cache.retained(key); rp != nil {
+					if pouts, prod, ok := e.servePatched(s, rp, spec, j, k, opts, mc); ok {
+						outs, produced, patched = pouts, prod, true
+						reconstructed.Add(int64(len(pouts)))
+						cache.ctr.Patched.Add(1)
+						cache.store(key, mc.Seq, k, prod, e.jobCone(spec), pouts)
+					}
 				}
-				reconstructed.Add(1)
 			}
-			produced = prod
-			cache.store(key, seq, k, prod, e.jobCone(spec), outs)
+			if !patched {
+				// Run the job at full fidelity: no global bound (its
+				// truncation point depends on sibling-job timing) and
+				// every kept candidate's pins materialised while this
+				// worker's propagation arrays are still intact.
+				runOpts := opts
+				runOpts.DisableGlobalBound = true
+				var dummy globalBound
+				jobOuts, prod := e.runJob(s, spec, j, k, runOpts, &dummy)
+				if s.canceled() {
+					return // partial stream; do not store or merge
+				}
+				outs = make([]cachedOut, len(jobOuts))
+				for i, o := range jobOuts {
+					outs[i] = cachedOut{
+						slack:    o.slack,
+						idx:      o.idx,
+						capFF:    o.capFF,
+						launch:   o.launch,
+						lcaDepth: o.lcaDepth,
+						credit:   o.credit,
+						pins:     e.reconstruct(s.prop, o.chain),
+					}
+					reconstructed.Add(1)
+				}
+				produced = prod
+				cache.store(key, mc.Seq, k, prod, e.jobCone(spec), outs)
+				e.retainProp(s, cache, key, mc)
+			}
 		}
 		candidates.Add(int64(produced))
 		kept.Add(int64(len(outs)))

@@ -13,7 +13,7 @@ func alwaysValid(uint64, *model.PinSet) bool { return true }
 
 func mustMemo(tb testing.TB, e *Engine, opts Options, c *JobCache, seq uint64, valid func(uint64, *model.PinSet) bool) Result {
 	tb.Helper()
-	res, err := e.TopPathsMemo(context.Background(), opts, c, seq, valid)
+	res, err := e.TopPathsMemo(context.Background(), opts, MemoCtx{Cache: c, Seq: seq, Valid: valid})
 	if err != nil {
 		tb.Fatalf("TopPathsMemo: %v", err)
 	}

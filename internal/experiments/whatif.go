@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// WhatIfWorkerRun is one worker-count leg of the speculative sweep:
+// the wall time of the whole Timer.WhatIf call and whether every
+// speculative report came out byte-identical to the fresh-timer
+// reference (it must — thread counts change wall-clock only).
+type WhatIfWorkerRun struct {
+	Workers   int   `json:"workers"`
+	Ns        int64 `json:"ns"`
+	Identical bool  `json:"identical"`
+}
+
+// WhatIfScenario is one design's candidate sweep: Candidates edit sets
+// scored against Queries queries, once the brute-force way (a freshly
+// built timer per candidate — FreshNs) and once per worker count
+// through Timer.WhatIf on forked snapshots. Speedup compares the fresh
+// reference to the best forked leg.
+type WhatIfScenario struct {
+	Design     string            `json:"design"`
+	Corners    int               `json:"corners"`
+	K          int               `json:"k"`
+	Candidates int               `json:"candidates"`
+	Queries    int               `json:"queries"`
+	FreshNs    int64             `json:"fresh_ns"`
+	Runs       []WhatIfWorkerRun `json:"runs"`
+	Speedup    float64           `json:"speedup"`
+	// Stats is the last WhatIf timer's counter state — the fork and
+	// patched-serving traffic behind the wall-clock numbers.
+	Stats cppr.TimerStats `json:"timer_stats"`
+}
+
+// WhatIfStats is the machine-readable result of the speculative
+// what-if experiment, committed as BENCH_whatif.json for regression
+// tracking.
+type WhatIfStats struct {
+	Host      string           `json:"host"`
+	Scale     float64          `json:"scale"`
+	Scenarios []WhatIfScenario `json:"scenarios"`
+	// HeadlineSpeedup is the leon2 1000-candidate scenario's
+	// fresh-vs-forked ratio — the acceptance number.
+	HeadlineSpeedup float64 `json:"headline_speedup"`
+}
+
+// whatifWorkers is the worker sweep of each scenario.
+var whatifWorkers = []int{1, 2, 8}
+
+// whatifCandidates builds n candidate edit sets over d's data arcs:
+// each candidate bumps one or two FF-output arcs' late delay, the shape
+// an optimization loop probes (buffer insertions, cell swaps).
+func whatifCandidates(d *model.Design, n int, rng *rand.Rand) []cppr.EditSet {
+	dataArc := func() int {
+		for {
+			ai := rng.Intn(d.NumArcs())
+			if d.Pins[d.Arcs[ai].From].Kind == model.FFOutput {
+				return ai
+			}
+		}
+	}
+	out := make([]cppr.EditSet, n)
+	for i := range out {
+		edits := 1 + rng.Intn(2)
+		es := make(cppr.EditSet, edits)
+		for j := range es {
+			a := d.Arcs[dataArc()]
+			es[j] = cppr.ArcEdit{
+				Corner: model.BaseCorner,
+				From:   a.From,
+				To:     a.To,
+				Delay: model.Window{
+					// The early bump stays below the minimum late bump so
+					// the edited window can never invert.
+					Early: a.Delay.Early + model.Time(rng.Intn(10)),
+					Late:  a.Delay.Late + model.Time(rng.Intn(60)+10),
+				},
+			}
+		}
+		out[i] = es
+	}
+	return out
+}
+
+// whatifScenario runs one design's sweep. The fresh reference is
+// computed once — a new timer per candidate, edits applied, queries
+// run — and doubles as the byte-identity oracle for every forked leg.
+func whatifScenario(cfg Config, dc *designCache, design string, corners, k, candidates int) (WhatIfScenario, error) {
+	sc := WhatIfScenario{Design: design, Corners: corners, K: k, Candidates: candidates}
+	d, err := dc.get(design)
+	if err != nil {
+		return sc, err
+	}
+	if corners > 1 {
+		if d, err = mcmmCorners(d, corners); err != nil {
+			return sc, err
+		}
+	}
+	queries := []cppr.Query{{K: k, Mode: model.Setup}}
+	if corners > 1 {
+		queries[0].Corners = cppr.CornerAll
+	}
+	sc.Queries = len(queries)
+	cands := whatifCandidates(d, candidates, rand.New(rand.NewSource(101)))
+
+	repBytes := func(dd *model.Design, rep cppr.Report, q cppr.Query) ([]byte, error) {
+		rep.Elapsed = 0
+		return json.Marshal(rep.JSON(dd, q.Mode, q.K))
+	}
+
+	// Fresh-timer-per-candidate reference: what a caller without Fork
+	// would do, and the oracle the speculative reports must match.
+	ref := make([][][]byte, len(cands))
+	freshStart := time.Now()
+	for ci, es := range cands {
+		ft := cppr.NewTimer(d)
+		for _, ed := range es {
+			if err := ft.SetArcDelayAt(ed.Corner, ed.From, ed.To, ed.Delay); err != nil {
+				return sc, err
+			}
+		}
+		ref[ci] = make([][]byte, len(queries))
+		for qi, q := range queries {
+			rep, err := ft.Run(cfg.Ctx, q)
+			if err != nil {
+				return sc, err
+			}
+			if ref[ci][qi], err = repBytes(ft.Design(), rep, q); err != nil {
+				return sc, err
+			}
+		}
+	}
+	sc.FreshNs = time.Since(freshStart).Nanoseconds()
+
+	for _, workers := range whatifWorkers {
+		timer := cppr.NewTimer(d)
+		timer.SetBudgets(cfg.MaxTuples, cfg.MaxPops)
+		timer.SetParallelism(cppr.Parallelism{Workers: workers, QueryThreads: 1})
+		start := time.Now()
+		res, err := timer.WhatIf(cfg.Ctx, cands, queries)
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			return sc, err
+		}
+		identical := true
+		for ci, cand := range res.Candidates {
+			if cand.Err != nil {
+				return sc, fmt.Errorf("whatif: %s candidate %d: %w", design, ci, cand.Err)
+			}
+			for qi, q := range queries {
+				got, err := repBytes(timer.Design(), cand.Reports[qi], q)
+				if err != nil {
+					return sc, err
+				}
+				if !bytes.Equal(got, ref[ci][qi]) {
+					identical = false
+				}
+			}
+		}
+		if !identical {
+			return sc, fmt.Errorf("whatif: %s at %d workers: speculative report differs from fresh timer", design, workers)
+		}
+		sc.Runs = append(sc.Runs, WhatIfWorkerRun{Workers: workers, Ns: ns, Identical: identical})
+		sc.Stats = timer.Stats()
+	}
+	best := sc.Runs[0].Ns
+	for _, r := range sc.Runs[1:] {
+		if r.Ns < best {
+			best = r.Ns
+		}
+	}
+	sc.Speedup = float64(sc.FreshNs) / float64(best)
+	return sc, nil
+}
+
+// WhatIf measures the speculative what-if engine: scoring N candidate
+// edit sets with Timer.WhatIf — forked snapshots sharing the parent's
+// warm caches, dirtied jobs served by patching retained propagations —
+// against the brute-force alternative of building a fresh timer per
+// candidate. Every speculative report is byte-checked against its
+// fresh-timer twin at every worker count before a leg is accepted.
+// When cfg.JSONOut is set, the stats are also encoded there as JSON.
+func WhatIf(cfg Config) error {
+	cfg = cfg.withDefaults()
+	dc := newDesignCache(cfg.Scale)
+	stats := WhatIfStats{Host: HostInfo(), Scale: cfg.Scale}
+
+	scenarios := []struct {
+		design     string
+		corners    int
+		k          int
+		candidates int
+	}{
+		{"leon2", 1, 16, 1000},    // headline: the optimization-loop sweep
+		{"vga_lcdv2", 1, 16, 200}, // chain-topology preset
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Speculative what-if: candidate scoring vs fresh timer per candidate (scale %g)", cfg.Scale),
+		"design", "corners", "cands", "k", "fresh(s)", "forked(s)", "speedup")
+	for _, s := range scenarios {
+		sc, err := whatifScenario(cfg, dc, s.design, s.corners, s.k, s.candidates)
+		if err != nil {
+			return err
+		}
+		stats.Scenarios = append(stats.Scenarios, sc)
+		if s.design == "leon2" {
+			stats.HeadlineSpeedup = sc.Speedup
+		}
+		best := sc.Runs[0].Ns
+		for _, r := range sc.Runs[1:] {
+			if r.Ns < best {
+				best = r.Ns
+			}
+		}
+		t.Add(sc.Design, fmt.Sprintf("%d", sc.Corners), fmt.Sprintf("%d", sc.Candidates),
+			fmt.Sprintf("%d", sc.K),
+			fmt.Sprintf("%.3f", float64(sc.FreshNs)/1e9),
+			fmt.Sprintf("%.3f", float64(best)/1e9),
+			fmt.Sprintf("%.2fx", sc.Speedup))
+	}
+
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "what-if speedup (leon2 %d-candidate headline): %.2fx\n\n",
+		stats.Scenarios[0].Candidates, stats.HeadlineSpeedup); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

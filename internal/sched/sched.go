@@ -27,7 +27,10 @@
 // idx); the batch layer merges by unit rank).
 package sched
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Task is one unit of work. The TC identifies the worker running it (nil
 // when run inline by a Wait helper outside the pool) and is the handle
@@ -67,6 +70,38 @@ func New(n int) *Pool {
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.deques) }
+
+// ForEach runs body(i, tc) for every i in [0, n), spread across the
+// pool, and returns when all have completed. It spawns min(n, Workers)
+// worker-loop tasks that claim indices from a shared counter — an
+// admission scheme, not a partition: a body that fans out further work
+// (another timer's candidate jobs, say) shares the same workers, so
+// many independent callers never oversubscribe the pool. Bodies may
+// run concurrently and must synchronize any shared state themselves;
+// execution order is unspecified.
+func (p *Pool) ForEach(n int, body func(i int, tc *TC)) {
+	if n <= 0 {
+		return
+	}
+	loops := p.Workers()
+	if loops > n {
+		loops = n
+	}
+	var next atomic.Int64
+	g := p.NewGroup()
+	for w := 0; w < loops; w++ {
+		g.Spawn(func(tc *TC) {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i, tc)
+			}
+		})
+	}
+	g.Wait(nil)
+}
 
 // Close shuts the pool down and joins its workers. Every Group must have
 // been Waited on first: workers drain whatever is still queued before

@@ -156,3 +156,34 @@ func TestWorkersClamp(t *testing.T) {
 		t.Fatal("task did not run")
 	}
 }
+
+// TestForEachCoversAllIndices: ForEach runs every index exactly once at
+// any pool size, including n much larger and much smaller than the
+// worker count, and bodies can spawn nested fork-join work on the pool.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 3, 100} {
+			p := New(workers)
+			counts := make([]atomic.Int32, n)
+			p.ForEach(n, func(i int, tc *TC) {
+				counts[i].Add(1)
+				// Nested fan-out from inside a body must share the pool.
+				g := p.NewGroup()
+				var sub atomic.Int32
+				for j := 0; j < 3; j++ {
+					g.Spawn(func(*TC) { sub.Add(1) })
+				}
+				g.Wait(tc)
+				if sub.Load() != 3 {
+					t.Errorf("workers=%d n=%d i=%d: nested group ran %d of 3", workers, n, i, sub.Load())
+				}
+			})
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+			p.Close()
+		}
+	}
+}

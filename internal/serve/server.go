@@ -660,8 +660,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row("edit_seq", id, ts.EditSeq)
 		row("job_cache_hits", id, ts.JobCacheHits)
 		row("job_cache_misses", id, ts.JobCacheMisses)
+		row("job_cache_patched", id, ts.JobCachePatched)
 		row("query_memo_hits", id, ts.QueryMemoHits)
 		row("query_memo_misses", id, ts.QueryMemoMisses)
+		row("forks", id, ts.Forks)
+		row("whatif_candidates", id, ts.WhatIfCandidates)
+		row("cone_skips", id, ts.ConeSkips)
 	}
 	w.Write([]byte(sb.String()))
 }

@@ -77,6 +77,12 @@ func (f *frontier) push(k int32) {
 	f.count++
 }
 
+// contains reports whether topological index k is currently queued.
+func (f *frontier) contains(k int32) bool {
+	w := int(k >> 6)
+	return w < len(f.words) && f.words[w]&(1<<(uint(k)&63)) != 0
+}
+
 // pop removes and returns the minimum key. The frontier must not be
 // empty. Correct only under the monotone-drain contract documented on
 // the type: keys pushed since the last pop must all exceed it.

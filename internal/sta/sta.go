@@ -234,6 +234,9 @@ type Prop struct {
 	// par is RunSparseParallel's reusable hand-off scratch (see
 	// parallel.go); lazily allocated, retained across runs.
 	par *parScratch
+
+	// inbuf is PatchSparse's reusable in-arc sort scratch (patch.go).
+	inbuf []int32
 }
 
 // propPool recycles Prop scratch across queries: a propagation array pair

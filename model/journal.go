@@ -72,6 +72,38 @@ func (j *EditJournal) Append(c Corner, src, dst PinID) *EditJournal {
 	}
 }
 
+// ArcEndpoints is one journaled edit's (source, sink) pin pair, as
+// returned by SuffixEdits.
+type ArcEndpoints struct {
+	Src, Dst PinID
+}
+
+// SuffixEdits collects the corner-c edits recorded on j's chain strictly
+// after the node since, newest first, and reports whether since is an
+// ancestor of j — i.e. whether j's state is since's state plus exactly
+// the returned edits (at corner c; other corners' edits are excluded by
+// construction). ok=false means the two journals lie on divergent
+// chains (or a collapsed sentinel hides the gap), so no edit suffix
+// relates them and callers must fall back to a full recompute. Ancestry
+// is pointer identity: two heads with equal sequence numbers on forked
+// chains do not relate. The nil journal is the common root, an ancestor
+// of every chain.
+func (j *EditJournal) SuffixEdits(since *EditJournal, c Corner, dst []ArcEndpoints) ([]ArcEndpoints, bool) {
+	sinceSeq := since.Seq()
+	for {
+		if j == since {
+			return dst, true
+		}
+		if j == nil || j.seq <= sinceSeq || j.collapsed {
+			return dst, false
+		}
+		if j.corner == c {
+			dst = append(dst, ArcEndpoints{Src: j.src, Dst: j.dst})
+		}
+		j = j.parent
+	}
+}
+
 // DirtySince reports whether any edit after sequence seq could perturb a
 // result computed from cone at corner c. The test is exact on the arc's
 // source pin: a candidate job's output depends on an edited arc iff a
