@@ -178,3 +178,69 @@ func TestBenchWhatifJSONSchema(t *testing.T) {
 		t.Fatalf("headline speedup %.2fx below the 5x acceptance floor", stats.HeadlineSpeedup)
 	}
 }
+
+// TestBenchHierJSONSchema strictly validates the committed
+// BENCH_hier.json against the hierarchical-timing experiment's stats
+// schema. The invariants the file exists to track: the repeated-block
+// headline scenario is present with full model reuse (N identical
+// instances extract once and reuse N-1 times), every worker leg's
+// endpoint values matched the flat timer exactly, the reduced graph is
+// materially smaller than the flat one, and reduced-graph timing beat
+// flat timing by at least the 3x acceptance floor (elaboration cost
+// included). Beyond the floor, speedup magnitudes are a property of
+// the recording host (named in the host line), not of the code.
+func TestBenchHierJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_hier.json")
+	if err != nil {
+		t.Fatalf("committed benchmark file missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var stats experiments.HierStats
+	if err := dec.Decode(&stats); err != nil {
+		t.Fatalf("BENCH_hier.json does not match experiments.HierStats: %v", err)
+	}
+	if stats.Host == "" {
+		t.Fatal("host line missing — speedups are meaningless without the machine that produced them")
+	}
+	if len(stats.Scenarios) < 2 {
+		t.Fatalf("%d scenarios, want the blocked_array headline plus a keep-flat preset row", len(stats.Scenarios))
+	}
+	headline := stats.Scenarios[0]
+	if headline.Design != "blocked_array" {
+		t.Fatalf("headline scenario is %s, want blocked_array", headline.Design)
+	}
+	if headline.Extracted != 1 || headline.Reused < 2 {
+		t.Fatalf("headline extracted/reused = %d/%d — repeated instances did not share one model",
+			headline.Extracted, headline.Reused)
+	}
+	if 2*headline.ReducedArcs >= headline.FlatArcs {
+		t.Fatalf("reduced graph %d arcs vs flat %d — no material compression", headline.ReducedArcs, headline.FlatArcs)
+	}
+	wantWorkers := []int{1, 2, 8}
+	for _, sc := range stats.Scenarios {
+		if sc.FlatNs <= 0 || sc.ElabNs <= 0 {
+			t.Fatalf("%s: non-positive wall time", sc.Design)
+		}
+		if len(sc.Runs) != len(wantWorkers) {
+			t.Fatalf("%s: %d worker legs, want %d (%v)", sc.Design, len(sc.Runs), len(wantWorkers), wantWorkers)
+		}
+		for i, r := range sc.Runs {
+			if r.Workers != wantWorkers[i] {
+				t.Fatalf("%s: leg %d ran %d workers, want %d", sc.Design, i, r.Workers, wantWorkers[i])
+			}
+			if r.Ns <= 0 {
+				t.Fatalf("%s: leg %d has non-positive wall time", sc.Design, i)
+			}
+			if !r.Exact {
+				t.Fatalf("%s: leg %d (%d workers) diverged from the flat timer's endpoint values", sc.Design, i, r.Workers)
+			}
+		}
+	}
+	if stats.HeadlineReuses != headline.Reused {
+		t.Fatalf("headline reuses %d != scenario reused %d", stats.HeadlineReuses, headline.Reused)
+	}
+	if stats.HeadlineSpeedup < 3 {
+		t.Fatalf("headline speedup %.2fx below the 3x acceptance floor", stats.HeadlineSpeedup)
+	}
+}

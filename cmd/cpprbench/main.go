@@ -48,10 +48,13 @@ func main() {
 		srvOut    = flag.String("servejson", "BENCH_serve.json", "with -serve, write machine-readable stats to this file (empty = none)")
 		parallel  = flag.Bool("parallel", false, "measure the work-stealing executor and partitioned kernel at 1/2/4/8 threads")
 		parOut    = flag.String("paralleljson", "BENCH_parallel.json", "with -parallel, write machine-readable stats to this file (empty = none)")
+		parFloor  = flag.Float64("minbatchspeedup", 0, "with -parallel, fail unless the best batch speedup reaches this floor (enforced only on multi-core hosts)")
 		signoff   = flag.Bool("signoff", false, "run the industrial-CRPR-semantics smoke: every SDC knob verified against the brute-force oracle")
 		signOut   = flag.String("signoffjson", "BENCH_signoff.json", "with -signoff, write machine-readable stats to this file (empty = none)")
 		whatif    = flag.Bool("whatif", false, "measure speculative what-if candidate scoring vs a fresh timer per candidate")
 		whatifOut = flag.String("whatifjson", "BENCH_whatif.json", "with -whatif, write machine-readable stats to this file (empty = none)")
+		hierBench = flag.Bool("hier", false, "measure hierarchical CPPR: reduced-graph timing via block macromodel extraction vs the flat graph")
+		hierOut   = flag.String("hierjson", "BENCH_hier.json", "with -hier, write machine-readable stats to this file (empty = none)")
 		all       = flag.Bool("all", false, "run everything")
 		scale     = flag.Float64("scale", 0.02, "design scale (1.0 = published sizes)")
 		designs   = flag.String("designs", "", "comma-separated preset subset (default all)")
@@ -64,10 +67,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench, *parallel, *signoff, *whatif = true, true, true, true, true, true, true, true, true, true, true, true, true, true
+		*table3, *table4, *fig5, *fig6, *accuracy, *rerank, *batch, *mcmm, *sparse, *incr, *srvBench, *parallel, *signoff, *whatif, *hierBench = true, true, true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench && !*parallel && !*signoff && !*whatif {
-		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -parallel -signoff -whatif -all")
+	if !*table3 && !*table4 && !*fig5 && !*fig6 && !*accuracy && !*rerank && !*batch && !*mcmm && !*sparse && !*incr && !*srvBench && !*parallel && !*signoff && !*whatif && !*hierBench {
+		fmt.Fprintln(os.Stderr, "cpprbench: select at least one of -table3 -table4 -fig5 -fig6 -accuracy -batch -mcmm -sparse -incremental -serve -parallel -signoff -whatif -hier -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -106,12 +109,13 @@ func main() {
 		defer cancel()
 	}
 	cfg := experiments.Config{
-		Ctx:      ctx,
-		Out:      os.Stdout,
-		Scale:    *scale,
-		Threads:  *threads,
-		OursOnly: *oursOnly,
-		Corners:  *corners,
+		Ctx:             ctx,
+		Out:             os.Stdout,
+		Scale:           *scale,
+		Threads:         *threads,
+		OursOnly:        *oursOnly,
+		Corners:         *corners,
+		MinBatchSpeedup: *parFloor,
 	}
 	if *designs != "" {
 		cfg.Designs = strings.Split(*designs, ",")
@@ -168,6 +172,7 @@ func main() {
 	runJSON("Thread scaling", *parallel, *parOut, experiments.Parallel)
 	runJSON("Signoff semantics smoke", *signoff, *signOut, experiments.Signoff)
 	runJSON("What-if engine", *whatif, *whatifOut, experiments.WhatIf)
+	runJSON("Hierarchical timing", *hierBench, *hierOut, experiments.Hier)
 }
 
 func fatal(err error) {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		preset = flag.String("preset", "", "Table III preset name ("+strings.Join(gen.PresetNames(), ", ")+"), or \"divergent\" (inverter-mixed clock tree, -seed applies)")
+		preset = flag.String("preset", "", "Table III preset name ("+strings.Join(gen.PresetNames(), ", ")+"), \"divergent\" (inverter-mixed clock tree, -seed applies), or \"blocked\" (repeated block instances for hierarchical extraction, -seed applies)")
 		scale  = flag.Float64("scale", 0.02, "preset scale factor (1.0 = published size)")
 		seed   = flag.Int64("seed", 1, "random seed (custom designs)")
 		name   = flag.String("name", "", "design name (custom designs)")
@@ -40,6 +40,17 @@ func main() {
 	flag.Parse()
 
 	var spec gen.Spec
+	if *preset == "blocked" {
+		// Repeated-block-instance preset: identical combinational block
+		// clones between FF banks, the model-reuse scenario for
+		// hierarchical macromodel extraction (scale does not apply).
+		d, err := gen.GenerateBlocked(gen.BlockedArray(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		emit(d, *stats, *conn, *out)
+		return
+	}
 	if *preset == "divergent" {
 		// The oracle-size same_pin/same_transition divergence preset:
 		// a reconvergent clock tree mixing inverting and non-inverting
@@ -68,29 +79,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	emit(d, *stats, *conn, *out)
+}
 
-	if *stats {
+func emit(d *model.Design, stats, conn bool, out string) {
+	if stats {
 		var s model.Stats
-		if *conn {
+		if conn {
 			s = d.StatsWithConnectivity()
 		} else {
 			s = d.Stats()
 		}
 		fmt.Fprintf(os.Stderr, "design %s: %d pins, %d edges, %d FFs, D=%d, FFs/D=%.2f",
 			s.Name, s.NumPins, s.NumEdges, s.NumFFs, s.Depth, s.FFsPerD)
-		if *conn {
+		if conn {
 			fmt.Fprintf(os.Stderr, ", connectivity=%.2f", s.Connectivity)
 		}
 		fmt.Fprintln(os.Stderr)
 	}
 
-	if *out == "" {
+	if out == "" {
 		if err := tau.Write(os.Stdout, d); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := tau.WriteFile(*out, d); err != nil {
+	if err := tau.WriteFile(out, d); err != nil {
 		fatal(err)
 	}
 }

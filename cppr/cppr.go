@@ -229,6 +229,11 @@ type snapshot struct {
 	memo *queryMemo
 	// ctr aggregates cache counters across the Timer's life.
 	ctr *timerCounters
+	// hier, non-nil in hierarchical mode, carries the flat design and
+	// the elaboration maps that route flat-addressed edits onto this
+	// snapshot's reduced design (see hier.go). Living on the snapshot
+	// keeps it consistent with d under forks and concurrent edits.
+	hier *hierState
 }
 
 // freshSlots allocates unbuilt lazy slots for n extra corners.
@@ -311,6 +316,7 @@ func (s *snapshot) rebind(nd *model.Design, pre *sta.Incr, from, to model.PinID)
 		seq:         journal.Seq(),
 		memo:        s.memo,
 		ctr:         s.ctr,
+		hier:        s.hier,
 	}
 }
 
@@ -719,9 +725,25 @@ func (t *Timer) SetArcDelay(from, to model.PinID, delay model.Window) error {
 // the timing of any other, and only the edited corner's derived state
 // is invalidated (for an extra corner, its engines rebuild lazily on
 // the next query that selects it).
+//
+// In hierarchical mode (NewHierTimer) from and to address the FLAT
+// design: an edit on a kept arc forwards to the reduced graph, and an
+// edit inside an extracted block re-extracts only that block's
+// macromodel at the edited corner, journaling the changed boundary
+// windows.
 func (t *Timer) SetArcDelayAt(c model.Corner, from, to model.PinID, delay model.Window) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.snap.Load().hier != nil {
+		return t.setArcDelayAtHierLocked(c, from, to, delay)
+	}
+	return t.setArcDelayAtLocked(c, from, to, delay)
+}
+
+// setArcDelayAtLocked applies an edit addressed in the snapshot
+// design's own pin space (the reduced design, in hierarchical mode).
+// Caller holds t.mu.
+func (t *Timer) setArcDelayAtLocked(c model.Corner, from, to model.PinID, delay model.Window) error {
 	s := t.snap.Load()
 	if c < 0 || int(c) >= s.numCorners() {
 		return fmt.Errorf("cppr: corner %d out of range (design has %d corners)", int32(c), s.numCorners())
@@ -766,6 +788,7 @@ func (t *Timer) SetArcDelayAt(c model.Corner, from, to model.PinID, delay model.
 		// snapshot also drops every memo and resets the edit journal:
 		// clock-path changes are outside the cone-invalidation model.
 		ns = newSnapshot(nd, s.filter, s.base.bw.MaxTuples, s.base.bb.MaxPops, pre, s.ctr, s.crprDefault)
+		ns.hier = s.hier
 	} else {
 		ns = s.rebind(nd, pre, from, to)
 	}
@@ -781,6 +804,11 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := t.snap.Load()
+	if s.hier != nil {
+		// Hierarchical mode: constraints transform the flat design and
+		// the result is re-elaborated (see hier.go).
+		return t.applySDCHierLocked(s, c)
+	}
 	nd, filt, err := c.Apply(s.d)
 	if err != nil {
 		return nil, err
@@ -790,6 +818,18 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 	if c.CRPRSet {
 		crpr = c.CRPR
 	}
+	t.noteSDCKnobs(s, c)
+	// Constraints change slacks globally (period, io delays, derates,
+	// filter), so the fresh snapshot drops every cache: job caches, query
+	// memo, and the edit journal all start over. Apply itself carries the
+	// extra-corner delay tables (transformed like the base corner) onto
+	// the rebuilt design.
+	t.snap.Store(newSnapshot(nd, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil, s.ctr, crpr))
+	return nd, nil
+}
+
+// noteSDCKnobs bumps the signoff-knob usage counters for one ApplySDC.
+func (t *Timer) noteSDCKnobs(s *snapshot, c *sdc.Constraints) {
 	if c.HasUncertainty[model.Setup] || c.HasUncertainty[model.Hold] {
 		s.ctr.sdcUncertainty.Add(1)
 	}
@@ -805,13 +845,6 @@ func (t *Timer) ApplySDC(c *sdc.Constraints) (*model.Design, error) {
 	if c.CRPRSet {
 		s.ctr.sdcCRPRMode.Add(1)
 	}
-	// Constraints change slacks globally (period, io delays, derates,
-	// filter), so the fresh snapshot drops every cache: job caches, query
-	// memo, and the edit journal all start over. Apply itself carries the
-	// extra-corner delay tables (transformed like the base corner) onto
-	// the rebuilt design.
-	t.snap.Store(newSnapshot(nd, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil, s.ctr, crpr))
-	return nd, nil
 }
 
 // PostCPPRSlacksCtx computes the exact post-CPPR worst slack at every FF

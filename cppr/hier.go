@@ -1,0 +1,193 @@
+package cppr
+
+import (
+	"fmt"
+
+	"fastcppr/internal/hier"
+	"fastcppr/model"
+	"fastcppr/sdc"
+)
+
+// This file implements the Timer's hierarchical mode: the full CPPR
+// machinery (LCA credit, all CRPR modes, MCMM corners, incremental
+// serving, Fork/WhatIf) runs on a reduced design elaborated by block
+// macromodel extraction (internal/hier), while the edit surface keeps
+// the flat design's pin addressing. An edit inside an extracted block
+// re-extracts that one block's macromodel at the edited corner and
+// journals the changed boundary windows as ordinary reduced-graph
+// edits, so the warm-cache invalidation model carries over unchanged.
+
+// HierOptions configures hierarchical elaboration.
+type HierOptions struct {
+	// ForceExtract extracts every block even when the macromodel is not
+	// smaller than the flat block. Used by differential batteries to
+	// force extraction coverage; production callers leave it false so
+	// uncompressible blocks stay flat.
+	ForceExtract bool
+}
+
+// hierState is the hierarchical-elaboration state carried by a
+// snapshot: the current flat design (copy-on-write across edits) plus
+// the structural elaboration maps. It is immutable — hier edits publish
+// a successor with a new flat design and the shared structural maps.
+type hierState struct {
+	flat *model.Design
+	h    *hier.Hier
+	opts HierOptions
+}
+
+// NewHierTimer elaborates d hierarchically and returns a Timer running
+// on the reduced design: the design is partitioned into combinational
+// blocks, each block's cloud is compressed into a boundary pin-to-pin
+// early/late macromodel per corner (instances with identical signatures
+// share one extracted model), and every query path — Run, ReportBatch,
+// PostCPPRSlacksCtx, Fork, WhatIf — operates on the reduced graph.
+// Results are value-exact at top-visible endpoints: per-endpoint worst
+// pre- and post-CPPR slacks and the top-1 path slack equal the flat
+// design's at every corner, mode and CRPR setting.
+//
+// Edits (SetArcDelay, SetArcDelayAt, WhatIf candidates) are addressed
+// in the FLAT design's pin space; Design() returns the reduced design
+// and FlatDesign() the flat one.
+func NewHierTimer(d *model.Design, opts HierOptions) (*Timer, error) {
+	h, err := hier.Elaborate(d, hier.Options{ForceExtract: opts.ForceExtract})
+	if err != nil {
+		return nil, err
+	}
+	ctr := &timerCounters{}
+	ctr.macroExtracted.Add(int64(h.Extracted))
+	ctr.macroReused.Add(int64(h.Reused))
+	t := &Timer{}
+	s := newSnapshot(h.Top, nil, 0, 0, nil, ctr, model.CRPRSamePin)
+	s.hier = &hierState{flat: d, h: h, opts: opts}
+	t.snap.Store(s)
+	return t, nil
+}
+
+// Hierarchical reports whether the timer runs in hierarchical mode.
+func (t *Timer) Hierarchical() bool { return t.snap.Load().hier != nil }
+
+// FlatDesign returns the flat design the timer's edits are addressed
+// against: in hierarchical mode the current copy-on-write flat design,
+// otherwise Design() itself.
+func (t *Timer) FlatDesign() *model.Design {
+	s := t.snap.Load()
+	if s.hier != nil {
+		return s.hier.flat
+	}
+	return s.d
+}
+
+// setArcDelayAtHierLocked routes a flat-addressed edit in hierarchical
+// mode. Kept arcs forward to the reduced graph directly; an edit on an
+// internal arc of an extracted block re-extracts that block's
+// macromodel at the edited corner and applies each changed boundary
+// pair window as a journaled reduced-graph edit. Caller holds t.mu.
+func (t *Timer) setArcDelayAtHierLocked(c model.Corner, from, to model.PinID, delay model.Window) error {
+	s := t.snap.Load()
+	hs := s.hier
+	fd := hs.flat
+	if c < 0 || int(c) >= fd.NumCorners() {
+		return fmt.Errorf("cppr: corner %d out of range (design has %d corners)", int32(c), fd.NumCorners())
+	}
+	ai := fd.ArcBetween(from, to)
+	if ai < 0 {
+		return fmt.Errorf("cppr: no arc %q -> %q", fd.PinName(from), fd.PinName(to))
+	}
+	if delay.Early < 0 || delay.Early > delay.Late {
+		return fmt.Errorf("cppr: invalid delay window %v", delay)
+	}
+	// The flat design is the source of truth the edit lands on first;
+	// re-extraction reads it.
+	var nfd *model.Design
+	if c == model.BaseCorner {
+		nfd = fd.CloneWithArcs()
+		nfd.Arcs[ai].Delay = delay
+	} else {
+		var err error
+		if nfd, err = fd.WithArcDelayAt(c, ai, delay); err != nil {
+			return err
+		}
+	}
+	h := hs.h
+	if h.FlatToTopArc[ai] >= 0 {
+		// Kept arc: the reduced design carries it verbatim (clock-tree
+		// arcs included — a clock edit takes the inner full-rebuild
+		// path naturally).
+		if err := t.setArcDelayAtLocked(c, h.PinMap[from], h.PinMap[to], delay); err != nil {
+			return err
+		}
+	} else {
+		// Internal arc of an extracted block: re-extract only that
+		// block, at the edited corner, and journal the boundary deltas.
+		b := int(h.Blocks.Of[from])
+		inst := &h.Instances[b]
+		pairs, wins := hier.ExtractCorner(nfd, h.Blocks, b, c)
+		if len(pairs) != len(inst.Macro.Pairs) {
+			return fmt.Errorf("cppr: block %d macromodel changed shape under a delay edit (%d pairs, had %d)",
+				b, len(pairs), len(inst.Macro.Pairs))
+		}
+		s.ctr.macroReextracted.Add(1)
+		for i := range pairs {
+			cur := t.snap.Load() // each applied delta publishes a snapshot
+			topAi := inst.TopArc[i]
+			if cur.d.ArcDelay(c, topAi) == wins[i] {
+				continue
+			}
+			a := &cur.d.Arcs[topAi]
+			if err := t.setArcDelayAtLocked(c, a.From, a.To, wins[i]); err != nil {
+				return err
+			}
+		}
+	}
+	// Publish the successor hier state on the snapshot the inner edits
+	// produced (the copy is cheap; the final store is the edit's
+	// linearization point for FlatDesign readers).
+	ns := *t.snap.Load()
+	ns.hier = &hierState{flat: nfd, h: h, opts: hs.opts}
+	t.snap.Store(&ns)
+	return nil
+}
+
+// applySDCHierLocked re-applies constraints in hierarchical mode: the
+// constraint set transforms the FLAT design (periods, io delays,
+// derates and ideal clocks all live there), the result is re-elaborated
+// — extraction results are invalidated wholesale, like every other
+// cache under ApplySDC — and the false-path filter's pin exclusions are
+// remapped into the reduced design (launch-pin exclusions name primary
+// inputs, which are always kept). Caller holds t.mu.
+func (t *Timer) applySDCHierLocked(s *snapshot, c *sdc.Constraints) (*model.Design, error) {
+	hs := s.hier
+	nd, filt, err := c.Apply(hs.flat)
+	if err != nil {
+		return nil, err
+	}
+	h2, err := hier.Elaborate(nd, hier.Options{ForceExtract: hs.opts.ForceExtract})
+	if err != nil {
+		return nil, err
+	}
+	s.ctr.macroExtracted.Add(int64(h2.Extracted))
+	s.ctr.macroReused.Add(int64(h2.Reused))
+	if filt != nil && len(filt.FromPin) > 0 {
+		remapped := make(map[model.PinID]bool, len(filt.FromPin))
+		for p, v := range filt.FromPin {
+			np := h2.PinMap[p]
+			if np == model.NoPin {
+				return nil, fmt.Errorf("cppr: false-path pin %q dropped by elaboration", nd.PinName(p))
+			}
+			remapped[np] = v
+		}
+		nf := *filt
+		nf.FromPin = remapped
+		filt = &nf
+	}
+	t.noteSDCKnobs(s, c)
+	crpr := s.crprDefault
+	if c.CRPRSet {
+		crpr = c.CRPR
+	}
+	ns := newSnapshot(h2.Top, filt, s.base.bw.MaxTuples, s.base.bb.MaxPops, nil, s.ctr, crpr)
+	ns.hier = &hierState{flat: nd, h: h2, opts: hs.opts}
+	t.snap.Store(ns)
+	return nd, nil
+}

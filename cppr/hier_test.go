@@ -1,0 +1,322 @@
+package cppr
+
+import (
+	"context"
+	"testing"
+
+	"fastcppr/gen"
+	"fastcppr/model"
+	"fastcppr/sdc"
+)
+
+func blockedHierDesign(t *testing.T, seed int64) *model.Design {
+	t.Helper()
+	spec := gen.BlockedArray(seed)
+	spec.Instances = 5
+	spec.Layers = 7
+	d := gen.MustGenerateBlocked(spec)
+	d, _, err := d.WithScaledCorner("slow", 1.1, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// assertTimersAgree checks two timers report value-identical top-1
+// slacks and per-endpoint post-CPPR slacks for every corner and mode.
+func assertTimersAgree(t *testing.T, label string, a, b *Timer, numCorners int) {
+	t.Helper()
+	ctx := context.Background()
+	for c := model.Corner(0); int(c) < numCorners; c++ {
+		for _, mode := range model.Modes {
+			q := Query{K: 1, Mode: mode, Corners: CornerBit(c)}
+			ra, err := a.Run(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := b.Run(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wa, oka := ra.WorstSlack()
+			wb, okb := rb.WorstSlack()
+			if oka != okb || wa != wb {
+				t.Fatalf("%s corner %d %v: top-1 %d(%v) vs %d(%v)", label, c, mode, wa, oka, wb, okb)
+			}
+			sa, err := a.PostCPPRSlacksCtx(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := b.PostCPPRSlacksCtx(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sa) != len(sb) {
+				t.Fatalf("%s corner %d %v: %d vs %d endpoints", label, c, mode, len(sa), len(sb))
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("%s corner %d %v endpoint %d: %+v vs %+v", label, c, mode, i, sa[i], sb[i])
+				}
+			}
+		}
+	}
+}
+
+// internalArcOf returns a flat arc index inside an extracted block and,
+// separately, a kept data arc (both endpoints survive elaboration).
+func hierArcSamples(t *testing.T, ht *Timer) (internal, kept int32) {
+	t.Helper()
+	hs := ht.snap.Load().hier
+	if hs == nil {
+		t.Fatal("timer is not hierarchical")
+	}
+	internal, kept = -1, -1
+	fd := hs.flat
+	for ai := range fd.Arcs {
+		if hs.h.FlatToTopArc[ai] < 0 {
+			if internal < 0 {
+				internal = int32(ai)
+			}
+		} else if kept < 0 && fd.Pins[fd.Arcs[ai].From].Kind == model.FFOutput {
+			kept = int32(ai) // Q -> block input crossing arc
+		}
+	}
+	if internal < 0 || kept < 0 {
+		t.Fatalf("no internal/kept arc samples (internal=%d kept=%d)", internal, kept)
+	}
+	return internal, kept
+}
+
+func TestNewHierTimerMatchesFlat(t *testing.T) {
+	d := blockedHierDesign(t, 21)
+	ht, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ht.Hierarchical() {
+		t.Fatal("Hierarchical() = false")
+	}
+	if ht.FlatDesign() != d {
+		t.Fatal("FlatDesign is not the elaboration source")
+	}
+	if ht.Design().NumArcs() >= d.NumArcs() {
+		t.Fatalf("no compression: %d reduced arcs vs %d flat", ht.Design().NumArcs(), d.NumArcs())
+	}
+	st := ht.Stats()
+	if st.MacroExtracted != 1 || st.MacroReused != 4 {
+		t.Fatalf("extracted=%d reused=%d, want 1/4", st.MacroExtracted, st.MacroReused)
+	}
+	assertTimersAgree(t, "fresh", NewTimer(d), ht, d.NumCorners())
+}
+
+func TestHierEditInternalArcReextractsOneBlock(t *testing.T) {
+	d := blockedHierDesign(t, 22)
+	ht, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal, _ := hierArcSamples(t, ht)
+	a := d.Arcs[internal]
+	for i, c := range []model.Corner{model.BaseCorner, 1} {
+		nw := model.Window{Early: 2, Late: 400 + model.Time(i)}
+		if err := ht.SetArcDelayAt(c, a.From, a.To, nw); err != nil {
+			t.Fatal(err)
+		}
+		if got := ht.Stats().MacroReextracted; got != int64(i+1) {
+			t.Fatalf("after edit %d: MacroReextracted = %d, want %d", i, got, i+1)
+		}
+		fd := ht.FlatDesign()
+		if fd.ArcDelay(c, internal) != nw {
+			t.Fatalf("flat design not updated: %+v", fd.ArcDelay(c, internal))
+		}
+		assertTimersAgree(t, "after internal edit", NewTimer(fd), ht, d.NumCorners())
+	}
+	// The edit touched one block; the other instances still share the
+	// original model, so no additional extractions were counted.
+	if st := ht.Stats(); st.MacroExtracted != 1 {
+		t.Fatalf("MacroExtracted grew to %d on the edit path", st.MacroExtracted)
+	}
+}
+
+func TestHierEditKeptArcForwardsWithoutReextraction(t *testing.T) {
+	d := blockedHierDesign(t, 23)
+	ht, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kept := hierArcSamples(t, ht)
+	a := d.Arcs[kept]
+	if err := ht.SetArcDelayAt(model.BaseCorner, a.From, a.To, model.Window{Early: 5, Late: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ht.Stats().MacroReextracted; got != 0 {
+		t.Fatalf("kept-arc edit re-extracted %d blocks", got)
+	}
+	assertTimersAgree(t, "after kept edit", NewTimer(ht.FlatDesign()), ht, d.NumCorners())
+}
+
+func TestHierEditClockArcRebuilds(t *testing.T) {
+	d := blockedHierDesign(t, 24)
+	ht, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any clock-tree arc is kept verbatim; editing it takes the inner
+	// full-rebuild path and must leave hierarchical mode intact.
+	var from, to model.PinID = model.NoPin, model.NoPin
+	for ai := range d.Arcs {
+		if d.Pins[d.Arcs[ai].From].Kind == model.ClockRoot {
+			from, to = d.Arcs[ai].From, d.Arcs[ai].To
+			break
+		}
+	}
+	if from == model.NoPin {
+		t.Fatal("no clock root arc")
+	}
+	if err := ht.SetArcDelayAt(model.BaseCorner, from, to, model.Window{Early: 90, Late: 140}); err != nil {
+		t.Fatal(err)
+	}
+	if !ht.Hierarchical() {
+		t.Fatal("clock edit dropped hierarchical mode")
+	}
+	assertTimersAgree(t, "after clock edit", NewTimer(ht.FlatDesign()), ht, d.NumCorners())
+}
+
+func TestHierForkIsolation(t *testing.T) {
+	d := blockedHierDesign(t, 25)
+	parent, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+	if !child.Hierarchical() {
+		t.Fatal("fork dropped hierarchical mode")
+	}
+	internal, _ := hierArcSamples(t, child)
+	a := d.Arcs[internal]
+	if err := child.SetArcDelayAt(model.BaseCorner, a.From, a.To, model.Window{Early: 1, Late: 777}); err != nil {
+		t.Fatal(err)
+	}
+	if parent.FlatDesign() != d {
+		t.Fatal("child edit leaked into parent's flat design")
+	}
+	assertTimersAgree(t, "parent unchanged", NewTimer(d), parent, d.NumCorners())
+	assertTimersAgree(t, "child edited", NewTimer(child.FlatDesign()), child, d.NumCorners())
+}
+
+func TestHierWhatIfCandidatesAreFlatAddressed(t *testing.T) {
+	d := blockedHierDesign(t, 26)
+	ht, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal, kept := hierArcSamples(t, ht)
+	ia, ka := d.Arcs[internal], d.Arcs[kept]
+	candidates := []EditSet{
+		{{Corner: model.BaseCorner, From: ia.From, To: ia.To, Delay: model.Window{Early: 1, Late: 500}}},
+		{{Corner: model.BaseCorner, From: ka.From, To: ka.To, Delay: model.Window{Early: 0, Late: 1}}},
+	}
+	queries := []Query{
+		{K: 4, Mode: model.Setup},
+		{K: 4, Mode: model.Hold, Corners: CornerBit(1)},
+	}
+	res, err := ht.WhatIf(context.Background(), candidates, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, cand := range candidates {
+		sc := res.Candidates[ci]
+		if sc.Err != nil {
+			t.Fatalf("candidate %d: %v", ci, sc.Err)
+		}
+		// Reference: a fresh hierarchical timer on the edited flat design.
+		nd := d.CloneWithArcs()
+		for _, ed := range cand {
+			ai := nd.ArcBetween(ed.From, ed.To)
+			var err error
+			if ed.Corner == model.BaseCorner {
+				nd.Arcs[ai].Delay = ed.Delay
+			} else if nd, err = nd.WithArcDelayAt(ed.Corner, ai, ed.Delay); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref, err := NewHierTimer(nd, HierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			want, err := ref.Run(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ww, wok := want.WorstSlack()
+			gw, gok := sc.Reports[qi].WorstSlack()
+			if wok != gok || ww != gw {
+				t.Fatalf("candidate %d query %d: %d(%v), want %d(%v)", ci, qi, gw, gok, ww, wok)
+			}
+		}
+	}
+	if st := ht.Stats(); st.WhatIfCandidates != 2 {
+		t.Fatalf("WhatIfCandidates = %d", st.WhatIfCandidates)
+	}
+}
+
+func TestHierApplySDCMatchesFlat(t *testing.T) {
+	d := blockedHierDesign(t, 27)
+	c := sdc.New()
+	c.Period = d.Period + 35
+	c.DerateLate = 1.05
+	c.Uncertainty[model.Setup] = 9
+	c.HasUncertainty[model.Setup] = true
+	c.FalseFrom[d.FFs[0].Name] = true
+
+	ft := NewTimer(d)
+	if _, err := ft.ApplySDC(c); err != nil {
+		t.Fatal(err)
+	}
+	ht, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := ht.ApplySDC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ht.Hierarchical() {
+		t.Fatal("ApplySDC dropped hierarchical mode")
+	}
+	if ht.FlatDesign() != nd {
+		t.Fatal("FlatDesign is not the constrained design")
+	}
+	assertTimersAgree(t, "after sdc", ft, ht, d.NumCorners())
+}
+
+func TestHierWarmServingAcrossEdits(t *testing.T) {
+	d := blockedHierDesign(t, 28)
+	ht, err := NewHierTimer(d, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Query{K: 3, Mode: model.Setup}
+	if _, err := ht.Run(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	before := ht.Stats()
+	if _, err := ht.Run(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	after := ht.Stats()
+	if after.QueryMemoHits <= before.QueryMemoHits {
+		t.Fatalf("repeat query missed the memo (hits %d -> %d)", before.QueryMemoHits, after.QueryMemoHits)
+	}
+	// An internal edit invalidates through the journal like any other
+	// edit; the next run recomputes and stays correct.
+	internal, _ := hierArcSamples(t, ht)
+	a := d.Arcs[internal]
+	if err := ht.SetArcDelayAt(model.BaseCorner, a.From, a.To, model.Window{Early: 3, Late: 600}); err != nil {
+		t.Fatal(err)
+	}
+	assertTimersAgree(t, "warm after edit", NewTimer(ht.FlatDesign()), ht, d.NumCorners())
+}

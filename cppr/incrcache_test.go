@@ -285,6 +285,35 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	if back != st {
 		t.Fatalf("round trip changed stats:\n%+v\nvs\n%+v", back, st)
 	}
+
+	// The macromodel counters ride the same schema; a hierarchical
+	// timer must round-trip them non-zero.
+	hd := gen.MustGenerateBlocked(gen.BlockedArray(9))
+	ht, err := NewHierTimer(hd, HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal, _ := hierArcSamples(t, ht)
+	ha := hd.Arcs[internal]
+	if err := ht.SetArcDelayAt(model.BaseCorner, ha.From, ha.To,
+		model.Window{Early: 1, Late: 300}); err != nil {
+		t.Fatal(err)
+	}
+	hst := ht.Stats()
+	if hst.MacroExtracted == 0 || hst.MacroReused == 0 || hst.MacroReextracted != 1 {
+		t.Fatalf("macromodel counters not exercised: %+v", hst)
+	}
+	hb, err := json.Marshal(hst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hback TimerStats
+	if err := json.Unmarshal(hb, &hback); err != nil {
+		t.Fatal(err)
+	}
+	if hback != hst {
+		t.Fatalf("hier round trip changed stats:\n%+v\nvs\n%+v", hback, hst)
+	}
 }
 
 // TestNoCacheBypass: NoCache queries must not read or populate either

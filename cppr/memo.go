@@ -47,6 +47,14 @@ type timerCounters struct {
 	forks            atomic.Int64
 	whatifCandidates atomic.Int64
 	coneSkips        atomic.Int64
+	// Hierarchy counters: macroExtracted counts distinct macromodel
+	// extractions (elaboration and SDC re-elaboration), macroReused the
+	// block instances served from the signature cache instead of being
+	// extracted, and macroReextracted the single-block re-extractions
+	// performed by edits landing inside an extracted block.
+	macroExtracted   atomic.Int64
+	macroReused      atomic.Int64
+	macroReextracted atomic.Int64
 }
 
 // queryMemoMax bounds the per-snapshot query-memo size. Reports are
@@ -298,6 +306,15 @@ type TimerStats struct {
 	Forks            int64 `json:"forks"`
 	WhatIfCandidates int64 `json:"whatif_candidates"`
 	ConeSkips        int64 `json:"cone_skips"`
+	// Hierarchy counters (NewHierTimer): MacroExtracted counts distinct
+	// macromodel extractions, MacroReused the block instances that
+	// shared an already-extracted model (the N-instance reuse win), and
+	// MacroReextracted the single-block re-extractions triggered by
+	// edits inside an extracted block — the counter that pins "an edit
+	// dirties one macromodel, not the global graph".
+	MacroExtracted   int64 `json:"macromodels_extracted"`
+	MacroReused      int64 `json:"macromodel_reuses"`
+	MacroReextracted int64 `json:"macromodel_reextracted"`
 }
 
 // Stats reports the timer's incremental-machinery counters. Counters
@@ -328,6 +345,9 @@ func (t *Timer) Stats() TimerStats {
 		Forks:               s.ctr.forks.Load(),
 		WhatIfCandidates:    s.ctr.whatifCandidates.Load(),
 		ConeSkips:           s.ctr.coneSkips.Load(),
+		MacroExtracted:      s.ctr.macroExtracted.Load(),
+		MacroReused:         s.ctr.macroReused.Load(),
+		MacroReextracted:    s.ctr.macroReextracted.Load(),
 	}
 }
 

@@ -97,6 +97,26 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 	if back.SdcDerate != 1 || back.SdcCRPRMode != 1 || back.CRPRSameTransition != 1 {
 		t.Fatalf("decoded counters wrong: %+v", back)
 	}
+
+	// A hierarchical timer's stats share the schema: its macromodel
+	// counters must survive the same strict decode.
+	ht, err := cppr.NewHierTimer(gen.MustGenerateBlocked(gen.BlockedArray(7)), cppr.HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hraw, err := json.Marshal(ht.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdec := json.NewDecoder(bytes.NewReader(hraw))
+	hdec.DisallowUnknownFields()
+	var hback cppr.TimerStats
+	if err := hdec.Decode(&hback); err != nil {
+		t.Fatalf("strict re-decode of hier stats: %v\n%s", err, hraw)
+	}
+	if hback.MacroExtracted != 1 || hback.MacroReused == 0 {
+		t.Fatalf("hier counters wrong after decode: %+v", hback)
+	}
 }
 
 // skewGoldenDesign hand-builds a two-domain design with known clock

@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastcppr/model"
+)
+
+// BlockedSpec parameterises a repeated-block-instance design: a chain
+// of FF banks separated by identical combinational block instances. The
+// internal structure AND internal delays of every instance replay one
+// randomly drawn template, so every instance carries the same block
+// signature and hierarchical elaboration extracts one macromodel and
+// reuses it Instances-1 times — the model-reuse scenario. Crossing-arc
+// delays (FF Q into a block, block out to the next bank's D pins) vary
+// per instance, as placed designs do.
+//
+// BlockedSpec is a separate generator with its own random stream, so
+// adding it preserved every existing preset bit for bit.
+type BlockedSpec struct {
+	// Name labels the design.
+	Name string
+	// Seed drives all randomness; equal specs generate equal designs.
+	Seed int64
+	// Period is the clock period. 0 derives one from Layers and the
+	// delay range so worst setup slacks land near (and partly below)
+	// zero.
+	Period model.Time
+
+	// Instances is the number of comb block instances; the design has
+	// Instances+1 FF banks. Default 24.
+	Instances int
+	// Width is the FF count per bank and the block port width. Default 8.
+	Width int
+	// Layers is the comb depth of each block. Deep, narrow blocks
+	// compress well: a block has about Layers*Width*FanIn internal arcs
+	// but at most Width*Width boundary pairs. Default 16.
+	Layers int
+	// FanIn is the in-degree of each non-input block node. Default 3.
+	FanIn int
+
+	// DelayMin/Max bound late data-arc delays (internal and crossing);
+	// the early delay is late minus a random spread of up to Spread.
+	DelayMin, DelayMax model.Time
+	Spread             model.Time
+	// ClockStem/ClockStemSkew bound the early delay and added skew of
+	// the trunk arcs; bank buffers hang off successive trunk nodes, so
+	// adjacent banks share a deep common clock prefix and their
+	// transfer paths carry real CPPR credit.
+	ClockStem, ClockStemSkew model.Time
+	// LeafSkew is the per-FF clock leaf arc skew range.
+	LeafSkew model.Time
+}
+
+// BlockedArray returns the default repeated-block preset: 24 instances
+// of an 8-wide, 16-deep block (≈6x arc compression per block).
+func BlockedArray(seed int64) BlockedSpec {
+	return BlockedSpec{Name: "blocked_array", Seed: seed}
+}
+
+func (s *BlockedSpec) setDefaults() {
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("blocked-%d", s.Seed)
+	}
+	if s.Instances == 0 {
+		s.Instances = 24
+	}
+	if s.Width == 0 {
+		s.Width = 8
+	}
+	if s.Layers == 0 {
+		s.Layers = 16
+	}
+	if s.FanIn == 0 {
+		s.FanIn = 3
+	}
+	if s.DelayMax == 0 {
+		s.DelayMin, s.DelayMax = 30, 90
+	}
+	if s.Spread == 0 {
+		s.Spread = 25
+	}
+	if s.ClockStem == 0 {
+		s.ClockStem = 40
+	}
+	if s.ClockStemSkew == 0 {
+		s.ClockStemSkew = 12
+	}
+	if s.LeafSkew == 0 {
+		s.LeafSkew = 20
+	}
+	if s.Period == 0 {
+		// Mean path: Layers internal arcs plus two crossings and CK->Q,
+		// at the mean delay. Sized so the worst paths are critical.
+		mean := (s.DelayMin + s.DelayMax) / 2
+		s.Period = model.Time(s.Layers+3) * mean
+	}
+}
+
+// GenerateBlocked builds the repeated-block design described by spec.
+func GenerateBlocked(spec BlockedSpec) (*model.Design, error) {
+	spec.setDefaults()
+	if spec.Instances < 1 || spec.Width < 1 || spec.Layers < 2 || spec.FanIn < 1 {
+		return nil, fmt.Errorf("gen: blocked spec needs Instances/Width >= 1, Layers >= 2, FanIn >= 1")
+	}
+	if spec.FanIn > spec.Width {
+		return nil, fmt.Errorf("gen: blocked FanIn %d exceeds Width %d", spec.FanIn, spec.Width)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := model.NewBuilder(spec.Name, spec.Period)
+
+	dataDelay := func() model.Window {
+		l := spec.DelayMin + model.Time(rng.Int63n(int64(spec.DelayMax-spec.DelayMin)+1))
+		e := l - model.Time(rng.Int63n(int64(spec.Spread)+1))
+		if e < 0 {
+			e = 0
+		}
+		return model.Window{Early: e, Late: l}
+	}
+
+	// --- Block template, drawn once and replayed per instance ---
+	// srcs[l][j] lists the layer-(l-1) sources of node (l, j); win is
+	// the matching delay window. Both structure and windows are shared
+	// by every instance, which is what makes the signatures equal.
+	type tmplArc struct {
+		src int
+		win model.Window
+	}
+	srcs := make([][][]tmplArc, spec.Layers)
+	for l := 1; l < spec.Layers; l++ {
+		srcs[l] = make([][]tmplArc, spec.Width)
+		for j := 0; j < spec.Width; j++ {
+			perm := rng.Perm(spec.Width)[:spec.FanIn]
+			for _, sj := range perm {
+				srcs[l][j] = append(srcs[l][j], tmplArc{src: sj, win: dataDelay()})
+			}
+		}
+	}
+	// Fan-out fixup (template level): every node of layers 0..Layers-2
+	// must drive something, or it would be a timing-dead interior pin.
+	hasOut := make([][]bool, spec.Layers)
+	for l := range hasOut {
+		hasOut[l] = make([]bool, spec.Width)
+	}
+	for l := 1; l < spec.Layers; l++ {
+		for j := 0; j < spec.Width; j++ {
+			for _, ta := range srcs[l][j] {
+				hasOut[l-1][ta.src] = true
+			}
+		}
+	}
+	for l := 0; l < spec.Layers-1; l++ {
+		for j := 0; j < spec.Width; j++ {
+			if !hasOut[l][j] {
+				srcs[l+1][j] = append(srcs[l+1][j], tmplArc{src: j, win: dataDelay()})
+				hasOut[l][j] = true
+			}
+		}
+	}
+
+	// --- Clock tree: root -> trunk chain; bank k hangs off trunk[k],
+	// so banks k and k+1 share the root..trunk[k] prefix — the common
+	// path CPPR credits.
+	clockWin := func(base, skew model.Time) model.Window {
+		e := base + model.Time(rng.Int63n(int64(base)+1))/4
+		return model.Window{Early: e, Late: e + model.Time(rng.Int63n(int64(skew)+1))}
+	}
+	root := b.AddClockRoot("clk")
+	banks := spec.Instances + 1
+	trunk := make([]model.PinID, banks)
+	prev := root
+	for k := 0; k < banks; k++ {
+		tk := b.AddClockBuf(fmt.Sprintf("ctrunk%d", k))
+		b.AddArc(prev, tk, clockWin(spec.ClockStem, spec.ClockStemSkew))
+		trunk[k] = tk
+		prev = tk
+	}
+
+	// --- FF banks ---
+	ffs := make([][]model.FFPins, banks)
+	for k := 0; k < banks; k++ {
+		bankBuf := b.AddClockBuf(fmt.Sprintf("cbank%d", k))
+		b.AddArc(trunk[k], bankBuf, clockWin(spec.ClockStem, spec.ClockStemSkew))
+		ffs[k] = make([]model.FFPins, spec.Width)
+		for j := 0; j < spec.Width; j++ {
+			ff := b.AddFF(fmt.Sprintf("b%d_f%d", k, j), 12, 6, dataDelay())
+			b.AddArc(bankBuf, ff.Clock, clockWin(spec.ClockStem/2+1, spec.LeafSkew))
+			ffs[k][j] = ff
+		}
+	}
+
+	// --- Block instances ---
+	for inst := 0; inst < spec.Instances; inst++ {
+		node := make([][]model.PinID, spec.Layers)
+		for l := 0; l < spec.Layers; l++ {
+			node[l] = make([]model.PinID, spec.Width)
+			for j := 0; j < spec.Width; j++ {
+				node[l][j] = b.AddComb(fmt.Sprintf("blk%d_g%d_%d", inst, l, j))
+			}
+		}
+		// Internal arcs: the template, verbatim.
+		for l := 1; l < spec.Layers; l++ {
+			for j := 0; j < spec.Width; j++ {
+				for _, ta := range srcs[l][j] {
+					b.AddArc(node[l-1][ta.src], node[l][j], ta.win)
+				}
+			}
+		}
+		// Crossing arcs, per-instance delays: launching bank into
+		// layer 0, last layer into the capturing bank.
+		for j := 0; j < spec.Width; j++ {
+			b.AddArc(ffs[inst][j].Q, node[0][j], dataDelay())
+			b.AddArc(node[spec.Layers-1][j], ffs[inst+1][j].D, dataDelay())
+		}
+	}
+	return b.Build()
+}
+
+// MustGenerateBlocked is GenerateBlocked that panics on error.
+func MustGenerateBlocked(spec BlockedSpec) *model.Design {
+	d, err := GenerateBlocked(spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,47 @@
+package gen
+
+import (
+	"testing"
+
+	"fastcppr/model"
+)
+
+func TestGenerateBlockedDeterministicAndBlocked(t *testing.T) {
+	d1 := MustGenerateBlocked(BlockedArray(7))
+	d2 := MustGenerateBlocked(BlockedArray(7))
+	if d1.NumPins() != d2.NumPins() || d1.NumArcs() != d2.NumArcs() {
+		t.Fatalf("same seed, different sizes: %d/%d pins, %d/%d arcs",
+			d1.NumPins(), d2.NumPins(), d1.NumArcs(), d2.NumArcs())
+	}
+	for ai := range d1.Arcs {
+		if d1.Arcs[ai] != d2.Arcs[ai] {
+			t.Fatalf("same seed, arc %d differs: %+v vs %+v", ai, d1.Arcs[ai], d2.Arcs[ai])
+		}
+	}
+
+	spec := BlockedArray(7)
+	bl := model.PartitionBlocks(d1)
+	if bl.NumBlocks() != spec.Instances && bl.NumBlocks() != 24 {
+		t.Fatalf("NumBlocks = %d", bl.NumBlocks())
+	}
+	// Every instance replays one template: all block signatures equal.
+	sig := bl.Signature(0)
+	for b := 1; b < bl.NumBlocks(); b++ {
+		if bl.Signature(b) != sig {
+			t.Fatalf("block %d has a different signature — instances are not clones", b)
+		}
+	}
+	// Deep narrow blocks must compress: far more internal arcs than
+	// boundary pairs are possible (Width^2 = 64 vs Layers*Width*FanIn).
+	if n := len(bl.InternalArcs[0]); n < 3*64 {
+		t.Fatalf("block has only %d internal arcs — too shallow to demonstrate compression", n)
+	}
+}
+
+func TestGenerateBlockedValidatesSpec(t *testing.T) {
+	bad := BlockedArray(1)
+	bad.FanIn = 99
+	if _, err := GenerateBlocked(bad); err == nil {
+		t.Fatal("FanIn > Width accepted")
+	}
+}

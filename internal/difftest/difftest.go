@@ -198,6 +198,77 @@ func CheckWarmColdByteIdentical(tb testing.TB, timer *cppr.Timer, d *model.Desig
 	}
 }
 
+// CheckHierValueExact builds a flat timer and a hierarchical timer
+// (block macromodel extraction, cppr.NewHierTimer) on the same design
+// and fails tb unless they agree value-exactly at every top-visible
+// endpoint: the per-endpoint post-CPPR slack sweep and the top-1
+// reported slack, for every corner (and the merged all-corner
+// selection), both modes, and both CRPR credit semantics. force
+// extracts even uncompressible blocks, so random presets with wide
+// boundaries still exercise the macro path.
+func CheckHierValueExact(tb testing.TB, d *model.Design, force bool) {
+	tb.Helper()
+	ht, err := cppr.NewHierTimer(d, cppr.HierOptions{ForceExtract: force})
+	if err != nil {
+		tb.Fatalf("difftest: hier elaboration: %v", err)
+	}
+	CheckHierTimersAgree(tb, cppr.NewTimer(d), ht, d.NumCorners())
+}
+
+// CheckHierTimersAgree compares a flat reference timer against a
+// hierarchical timer over every corner selection, mode, and CRPR
+// setting (see CheckHierValueExact). Split out so edit-path batteries
+// can re-check after mutating both sides.
+func CheckHierTimersAgree(tb testing.TB, flat, hier *cppr.Timer, numCorners int) {
+	tb.Helper()
+	ctx := context.Background()
+	selections := make([]cppr.CornerMask, 0, numCorners+1)
+	for c := 0; c < numCorners; c++ {
+		selections = append(selections, cppr.CornerBit(model.Corner(c)))
+	}
+	if numCorners > 1 {
+		selections = append(selections, cppr.CornerAll)
+	}
+	for _, sel := range selections {
+		for _, mode := range model.Modes {
+			for _, crpr := range []cppr.CRPRSetting{cppr.CRPRSamePin, cppr.CRPRSameTransition} {
+				q := cppr.Query{K: 1, Mode: mode, Corners: sel, CRPR: crpr}
+				fs, err := flat.PostCPPRSlacksCtx(ctx, q)
+				if err != nil {
+					tb.Fatalf("difftest: flat sweep: %v", err)
+				}
+				hs, err := hier.PostCPPRSlacksCtx(ctx, q)
+				if err != nil {
+					tb.Fatalf("difftest: hier sweep: %v", err)
+				}
+				if len(fs) != len(hs) {
+					tb.Fatalf("difftest: endpoint counts differ: flat %d, hier %d", len(fs), len(hs))
+				}
+				for i := range fs {
+					if fs[i] != hs[i] {
+						tb.Fatalf("difftest: endpoint %d diverges (corners %#x, mode %v, crpr %d)\nflat: %+v\nhier: %+v",
+							i, uint64(sel), mode, crpr, fs[i], hs[i])
+					}
+				}
+				fr, err := flat.Run(ctx, q)
+				if err != nil {
+					tb.Fatalf("difftest: flat top-1: %v", err)
+				}
+				hr, err := hier.Run(ctx, q)
+				if err != nil {
+					tb.Fatalf("difftest: hier top-1: %v", err)
+				}
+				fw, fok := fr.WorstSlack()
+				hw, hok := hr.WorstSlack()
+				if fok != hok || fw != hw {
+					tb.Fatalf("difftest: top-1 diverges (corners %#x, mode %v, crpr %d): flat %v(%v), hier %v(%v)",
+						uint64(sel), mode, crpr, fw, fok, hw, hok)
+				}
+			}
+		}
+	}
+}
+
 // CheckEndpointSweep cross-checks the two independent post-CPPR
 // surfaces of the Timer: the worst slack of the endpoint sweep
 // (PostCPPRSlacksCtx) must equal the slack of the top reported path

@@ -1,0 +1,158 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/model"
+)
+
+// TestBatteryHierVsFlatPresets proves the hierarchical-mode exactness
+// claim at the public API level: on down-scaled versions of every paper
+// preset, with jittered MCMM corners (which destroy cross-instance
+// signature equality — correctness must not depend on reuse), the
+// hierarchical timer and the flat timer agree value-exactly at every
+// top-visible endpoint for every corner selection, mode, and CRPR
+// setting. ForceExtract makes wide-boundary clouds extract too, so the
+// macro path is exercised on every preset.
+func TestBatteryHierVsFlatPresets(t *testing.T) {
+	names := gen.PresetNames()
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		spec, err := gen.PresetSpec(name, 0.004)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := gen.MustGenerate(spec)
+		d = WithJitteredCorners(t, d, 2, 500+int64(len(name)))
+		CheckHierValueExact(t, d, true)
+	}
+	// Medium random topology plus the oracle-sized preset, with and
+	// without forcing (the keep-flat decision must be invisible).
+	for _, seed := range []int64{320, 321} {
+		d := WithJitteredCorners(t, gen.MustGenerate(gen.Medium(seed)), 3, seed)
+		CheckHierValueExact(t, d, true)
+		CheckHierValueExact(t, d, false)
+	}
+	d := WithJitteredCorners(t, gen.MustGenerate(gen.SmallOracle(9)), 2, 99)
+	CheckHierValueExact(t, d, true)
+	CheckHierValueExact(t, d, false)
+}
+
+// TestBatteryHierBlockedPreset runs the repeated-block preset — the
+// model-reuse scenario hierarchical mode exists for — through the same
+// exactness checks, with uniform-scaled corners (reuse survives) and
+// with jittered corners (reuse collapses, values must not).
+func TestBatteryHierBlockedPreset(t *testing.T) {
+	spec := gen.BlockedArray(31)
+	spec.Instances = 8
+	spec.Layers = 10
+	base := gen.MustGenerateBlocked(spec)
+
+	scaled, _, err := base.WithScaledCorner("slow", 1.15, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CheckHierValueExact(t, scaled, false)
+	ht, err := cppr.NewHierTimer(scaled, cppr.HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ht.Stats(); st.MacroExtracted != 1 || st.MacroReused != int64(spec.Instances-1) {
+		t.Fatalf("reuse broken on identical instances: %+v", st)
+	}
+
+	jittered := WithJitteredCorners(t, base, 3, 777)
+	CheckHierValueExact(t, jittered, false)
+	CheckHierValueExact(t, jittered, true)
+}
+
+// hierRepBytes marshals one query's report with wall time zeroed — the
+// byte-identity comparison key.
+func hierRepBytes(tb testing.TB, timer *cppr.Timer, q cppr.Query) []byte {
+	tb.Helper()
+	rep, err := timer.Run(context.Background(), q)
+	if err != nil {
+		tb.Fatalf("difftest: %v", err)
+	}
+	rep.Elapsed = 0
+	out, err := json.Marshal(rep.JSON(timer.Design(), q.Mode, q.K))
+	if err != nil {
+		tb.Fatalf("difftest: marshal: %v", err)
+	}
+	return out
+}
+
+// TestBatteryHierWorkersAndWarmCold: hierarchical reports are
+// deterministic — byte-identical across 1/2/8-worker configurations
+// (fresh timers) and across warm/cold serving on one timer, including
+// after an internal-block edit invalidates through the journal.
+func TestBatteryHierWorkersAndWarmCold(t *testing.T) {
+	spec := gen.BlockedArray(32)
+	spec.Instances = 6
+	spec.Layers = 8
+	d := WithJitteredCorners(t, gen.MustGenerateBlocked(spec), 2, 888)
+
+	queries := []cppr.Query{
+		{K: 1, Mode: model.Setup},
+		{K: 10, Mode: model.Setup, Corners: cppr.CornerAll},
+		{K: 10, Mode: model.Hold, Corners: cppr.CornerBit(1)},
+		{K: 10, Mode: model.Setup, CRPR: cppr.CRPRSameTransition},
+	}
+	var ref [][]byte
+	for _, workers := range []int{1, 2, 8} {
+		ht, err := cppr.NewHierTimer(d, cppr.HierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht.SetParallelism(cppr.Parallelism{Workers: workers, QueryThreads: workers})
+		for qi, q := range queries {
+			q.Threads = workers
+			got := hierRepBytes(t, ht, q)
+			if workers == 1 {
+				ref = append(ref, got)
+			} else if !bytes.Equal(ref[qi], got) {
+				t.Fatalf("query %d differs at %d workers:\n%s\nvs\n%s", qi, workers, ref[qi], got)
+			}
+		}
+	}
+
+	// Warm/cold on one timer, before and after an internal-block edit.
+	ht, err := cppr.NewHierTimer(d, cppr.HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		CheckWarmColdByteIdentical(t, ht, ht.Design(), q)
+	}
+	fd := ht.FlatDesign()
+	edited := false
+	for ai := range fd.Arcs {
+		a := fd.Arcs[ai]
+		if fd.Pins[a.From].Kind == model.Comb && fd.Pins[a.To].Kind == model.Comb {
+			w := a.Delay
+			w.Late += 120
+			if err := ht.SetArcDelayAt(model.BaseCorner, a.From, a.To, w); err != nil {
+				t.Fatal(err)
+			}
+			edited = true
+			break
+		}
+	}
+	if !edited {
+		t.Fatal("no comb-comb arc to edit")
+	}
+	if ht.Stats().MacroReextracted == 0 {
+		t.Fatal("internal edit did not re-extract")
+	}
+	for _, q := range queries {
+		CheckWarmColdByteIdentical(t, ht, ht.Design(), q)
+	}
+	CheckHierTimersAgree(t, cppr.NewTimer(ht.FlatDesign()), ht, d.NumCorners())
+}

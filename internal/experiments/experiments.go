@@ -60,6 +60,13 @@ type Config struct {
 	// JSONOut, when non-nil, receives a machine-readable encoding of
 	// experiments that produce one (currently Batch).
 	JSONOut io.Writer
+	// MinBatchSpeedup, when positive, makes the Parallel experiment
+	// fail unless its best batch speedup reaches this floor. The check
+	// only arms on multi-core hosts — a single-core machine cannot
+	// exhibit wall-clock speedup, so there it degrades to a logged
+	// skip. CI runs on multi-core runners enforce it; local one-core
+	// runs stay honest without false failures.
+	MinBatchSpeedup float64
 }
 
 // withDefaults fills zero fields.

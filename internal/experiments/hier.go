@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/internal/hier"
+	"fastcppr/internal/report"
+	"fastcppr/model"
+)
+
+// HierWorkerRun is one worker-count leg of the hierarchical sweep: the
+// wall time of the full query workload on a fresh hierarchical timer
+// (elaboration excluded — it is measured once as ElabNs) and whether
+// the leg's endpoint values matched the flat reference exactly.
+type HierWorkerRun struct {
+	Workers int   `json:"workers"`
+	Ns      int64 `json:"ns"`
+	Exact   bool  `json:"exact"`
+}
+
+// HierScenario is one design's flat-vs-hierarchical comparison: the
+// same endpoint-sweep + top-k workload timed on a flat timer and on a
+// hierarchical timer over the reduced graph, with the elaboration cost
+// (partition + extraction + reduced-design build) charged to the
+// hierarchical side.
+type HierScenario struct {
+	Design      string `json:"design"`
+	Corners     int    `json:"corners"`
+	FlatArcs    int    `json:"flat_arcs"`
+	ReducedArcs int    `json:"reduced_arcs"`
+	// Extracted/Reused/KeptFlat describe the elaboration: distinct
+	// macromodels, instances served from the signature cache, blocks
+	// left flat.
+	Extracted int64 `json:"extracted"`
+	Reused    int64 `json:"reused"`
+	KeptFlat  int   `json:"kept_flat"`
+	ElabNs    int64 `json:"elab_ns"`
+	FlatNs    int64 `json:"flat_ns"`
+	// Runs are the per-worker hierarchical legs; Speedup is
+	// FlatNs / (ElabNs + best leg) — the number a flow sees when it
+	// builds the hierarchy once and queries it.
+	Runs    []HierWorkerRun `json:"runs"`
+	Speedup float64         `json:"speedup"`
+	Stats   cppr.TimerStats `json:"timer_stats"`
+}
+
+// HierStats is the machine-readable result of the hierarchical-timing
+// experiment, committed as BENCH_hier.json for regression tracking.
+type HierStats struct {
+	Host      string         `json:"host"`
+	Scale     float64        `json:"scale"`
+	Scenarios []HierScenario `json:"scenarios"`
+	// HeadlineSpeedup is the repeated-block (blocked_array) scenario's
+	// flat-vs-hierarchical ratio — the acceptance number.
+	HeadlineSpeedup float64 `json:"headline_speedup"`
+	// HeadlineReuses is that scenario's signature-cache hit count: with
+	// N identical instances it must be N-1.
+	HeadlineReuses int64 `json:"headline_reuses"`
+}
+
+// hierWorkers is the worker sweep of each scenario.
+var hierWorkers = []int{1, 2, 8}
+
+// hierWorkload runs the fixed query set — per-corner endpoint sweeps in
+// both modes plus an all-corner top-16 setup report — and returns the
+// endpoint values, the comparison key between the flat and hierarchical
+// sides (top-k path lists are graph-dependent beyond the worst path;
+// endpoint slacks and the top-1 are the exactness contract).
+func hierWorkload(cfg Config, t *cppr.Timer, numCorners int) ([]cppr.EndpointSlack, error) {
+	var values []cppr.EndpointSlack
+	for c := 0; c < numCorners; c++ {
+		for _, mode := range model.Modes {
+			q := cppr.Query{K: 1, Mode: mode, Corners: cppr.CornerBit(model.Corner(c))}
+			s, err := t.PostCPPRSlacksCtx(cfg.Ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, s...)
+		}
+	}
+	if _, err := t.Run(cfg.Ctx, cppr.Query{K: 16, Mode: model.Setup, Corners: cppr.CornerAll}); err != nil {
+		return nil, err
+	}
+	return values, nil
+}
+
+func hierEndpointsEqual(a, b []cppr.EndpointSlack) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hierScenario times one design both ways.
+func hierScenario(cfg Config, name string, d *model.Design) (HierScenario, error) {
+	sc := HierScenario{Design: name, Corners: d.NumCorners(), FlatArcs: d.NumArcs()}
+
+	flat := cppr.NewTimer(d)
+	flatStart := time.Now()
+	ref, err := hierWorkload(cfg, flat, d.NumCorners())
+	if err != nil {
+		return sc, err
+	}
+	sc.FlatNs = time.Since(flatStart).Nanoseconds()
+
+	elabStart := time.Now()
+	ht, err := cppr.NewHierTimer(d, cppr.HierOptions{})
+	if err != nil {
+		return sc, err
+	}
+	sc.ElabNs = time.Since(elabStart).Nanoseconds()
+	sc.ReducedArcs = ht.Design().NumArcs()
+	st := ht.Stats()
+	sc.Extracted, sc.Reused = st.MacroExtracted, st.MacroReused
+	// The counters cover extraction and reuse; the kept-flat count is
+	// the remainder of the partition.
+	if h, err := hier.Elaborate(d, hier.Options{}); err == nil {
+		sc.KeptFlat = h.KeptFlat
+	}
+
+	for _, workers := range hierWorkers {
+		leg, err := cppr.NewHierTimer(d, cppr.HierOptions{})
+		if err != nil {
+			return sc, err
+		}
+		leg.SetParallelism(cppr.Parallelism{Workers: workers, QueryThreads: workers})
+		start := time.Now()
+		got, err := hierWorkload(cfg, leg, d.NumCorners())
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			return sc, err
+		}
+		exact := hierEndpointsEqual(ref, got)
+		if !exact {
+			return sc, fmt.Errorf("hier: %s at %d workers: endpoint values diverge from flat timer", name, workers)
+		}
+		sc.Runs = append(sc.Runs, HierWorkerRun{Workers: workers, Ns: ns, Exact: exact})
+		sc.Stats = leg.Stats()
+	}
+	best := sc.Runs[0].Ns
+	for _, r := range sc.Runs[1:] {
+		if r.Ns < best {
+			best = r.Ns
+		}
+	}
+	sc.Speedup = float64(sc.FlatNs) / float64(sc.ElabNs+best)
+	return sc, nil
+}
+
+// Hier measures hierarchical CPPR via block macromodel extraction: the
+// endpoint-sweep workload on the reduced graph (one shared macromodel
+// per repeated block instance) against the same workload on the flat
+// graph, with elaboration charged to the hierarchical side and every
+// leg's endpoint values verified against the flat timer in-bench. The
+// headline is the repeated-block preset, where N identical instances
+// extract once and reuse N-1 times. When cfg.JSONOut is set, the stats
+// are also encoded there as JSON.
+func Hier(cfg Config) error {
+	cfg = cfg.withDefaults()
+	stats := HierStats{Host: HostInfo(), Scale: cfg.Scale}
+
+	// The repeated-block preset scales by instance count (24 at the
+	// default 0.02 scale); a second corner is a uniform derate so
+	// cross-instance signature equality — and with it model reuse —
+	// survives MCMM.
+	spec := gen.BlockedArray(404)
+	spec.Instances = int(math.Round(24 * cfg.Scale / 0.02))
+	if spec.Instances < 3 {
+		spec.Instances = 3
+	}
+	// Deep blocks are where extraction pays: ~Layers*Width*FanIn
+	// internal arcs collapse to at most Width^2 boundary pairs.
+	spec.Layers = 32
+	spec.FanIn = 4
+	blocked, err := gen.GenerateBlocked(spec)
+	if err != nil {
+		return err
+	}
+	blocked, _, err = blocked.WithScaledCorner("slow", 1.1, 1.25)
+	if err != nil {
+		return err
+	}
+
+	// leon2's clouds have wide boundaries; most stay flat, so this row
+	// demonstrates the keep-flat guard rather than compression.
+	dc := newDesignCache(cfg.Scale)
+	leon2, err := dc.get("leon2")
+	if err != nil {
+		return err
+	}
+
+	scenarios := []struct {
+		name string
+		d    *model.Design
+	}{
+		{"blocked_array", blocked},
+		{"leon2", leon2},
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Hierarchical CPPR: reduced-graph timing vs flat (scale %g)", cfg.Scale),
+		"design", "corners", "arcs", "reduced", "extracted", "reused", "flat(s)", "hier(s)", "speedup")
+	for _, s := range scenarios {
+		sc, err := hierScenario(cfg, s.name, s.d)
+		if err != nil {
+			return err
+		}
+		stats.Scenarios = append(stats.Scenarios, sc)
+		if s.name == "blocked_array" {
+			stats.HeadlineSpeedup = sc.Speedup
+			stats.HeadlineReuses = sc.Reused
+		}
+		best := sc.Runs[0].Ns
+		for _, r := range sc.Runs[1:] {
+			if r.Ns < best {
+				best = r.Ns
+			}
+		}
+		t.Add(sc.Design, fmt.Sprintf("%d", sc.Corners),
+			fmt.Sprintf("%d", sc.FlatArcs), fmt.Sprintf("%d", sc.ReducedArcs),
+			fmt.Sprintf("%d", sc.Extracted), fmt.Sprintf("%d", sc.Reused),
+			fmt.Sprintf("%.3f", float64(sc.FlatNs)/1e9),
+			fmt.Sprintf("%.3f", float64(sc.ElabNs+best)/1e9),
+			fmt.Sprintf("%.2fx", sc.Speedup))
+	}
+
+	if _, err := fmt.Fprintln(cfg.Out, t); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(cfg.Out, "hierarchical speedup (blocked_array headline, %d reuses): %.2fx\n\n",
+		stats.HeadlineReuses, stats.HeadlineSpeedup); err != nil {
+		return err
+	}
+	if cfg.JSONOut != nil {
+		enc := json.NewEncoder(cfg.JSONOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -189,6 +190,18 @@ func Parallel(cfg Config) error {
 	if _, err := fmt.Fprintf(cfg.Out, "thread scaling: max batch speedup %.2fx, all reports identical: %v\n\n",
 		stats.MaxBatchSpeedup, stats.Identical); err != nil {
 		return err
+	}
+	if cfg.MinBatchSpeedup > 0 {
+		if runtime.NumCPU() > 1 {
+			if stats.MaxBatchSpeedup < cfg.MinBatchSpeedup {
+				return fmt.Errorf("parallel: max batch speedup %.2fx below the %.2fx floor on a %d-core host",
+					stats.MaxBatchSpeedup, cfg.MinBatchSpeedup, runtime.NumCPU())
+			}
+		} else if _, err := fmt.Fprintf(cfg.Out,
+			"thread scaling: speedup floor %.2fx not enforced on a single-core host\n\n",
+			cfg.MinBatchSpeedup); err != nil {
+			return err
+		}
 	}
 	if cfg.JSONOut != nil {
 		enc := json.NewEncoder(cfg.JSONOut)

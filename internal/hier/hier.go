@@ -1,0 +1,388 @@
+// Package hier implements block macromodel extraction and hierarchical
+// elaboration: the design's combinational clouds (model.PartitionBlocks)
+// are compressed into boundary pin-to-pin early/late delay macromodels
+// per corner ("Static Timing Model Extraction for Combinational
+// Circuits", arXiv:1705.02610), and a reduced top-level design is
+// elaborated in which every interior pin and internal arc of an
+// extracted block is replaced by its macro arcs. Repeated block
+// instances with identical signatures share one extracted model.
+//
+// Exactness: timing paths start at FF Q pins and primary inputs and end
+// at FF D pins and primary outputs — never inside a block — so a path
+// crosses an extracted block from a boundary input bi to a boundary
+// output bo. The macro arc (bi, bo) carries Early = the minimum early
+// delay over internal bi->bo paths and Late = the maximum late delay,
+// each realized by some flat path; min/max propagation distributes over
+// the block boundary, so arrival windows at every kept pin — and
+// therefore every per-endpoint worst setup/hold slack, pre- and
+// post-CPPR — are value-identical to the flat design. CPPR credit
+// depends only on the launch/capture clock pins, and the clock tree is
+// kept verbatim.
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"fastcppr/model"
+)
+
+// Options configures elaboration.
+type Options struct {
+	// ForceExtract extracts every block even when the macro would not
+	// be smaller than the flat block (the compression test below). The
+	// differential battery uses it to force extraction coverage on
+	// presets whose clouds have wide boundaries.
+	ForceExtract bool
+}
+
+// Pair is one boundary-in -> boundary-out connection of a block, in
+// block-local pin indices (model.Blocks.LocalIdx).
+type Pair struct {
+	In, Out int32
+}
+
+// Macro is an extracted macromodel: the structural pair list (identical
+// at every corner — reachability does not depend on delays) plus the
+// per-corner pair windows, Delay[corner][pairIndex]. Macros are
+// immutable and shared across instances with equal signatures.
+type Macro struct {
+	Pairs []Pair
+	Delay [][]model.Window
+}
+
+// Instance binds one block of the partition to its macromodel (or marks
+// it kept flat).
+type Instance struct {
+	// Block is the index into the partition's block tables.
+	Block int
+	// Extracted is false for blocks kept flat (no compression win):
+	// their pins and internal arcs appear verbatim in the reduced
+	// design.
+	Extracted bool
+	// Macro is the shared macromodel (nil when kept flat).
+	Macro *Macro
+	// TopArc[i] is the reduced-design arc index realizing
+	// Macro.Pairs[i] for this instance (nil when kept flat).
+	TopArc []int32
+}
+
+// Hier is the result of hierarchical elaboration: the reduced top-level
+// design plus the structural maps that route flat-addressed edits. All
+// fields are immutable after Elaborate.
+type Hier struct {
+	// Flat is the design the elaboration was computed from.
+	Flat *model.Design
+	// Blocks is the combinational partition of Flat.
+	Blocks *model.Blocks
+	// Top is the reduced design: every non-comb pin of Flat, the comb
+	// pins of kept-flat blocks, the boundary pins of extracted blocks,
+	// every arc with a kept endpoint pair, and one macro arc per
+	// extracted pair. Corners, PI arrivals, PO constraints, clock
+	// uncertainty and the clock tree carry over verbatim.
+	Top *model.Design
+	// PinMap[flatPin] is the reduced pin, or model.NoPin for dropped
+	// interior pins.
+	PinMap []model.PinID
+	// FlatToTopArc[flatArc] is the reduced arc index for kept arcs and
+	// -1 for internal arcs of extracted blocks.
+	FlatToTopArc []int32
+	// Instances holds one entry per partition block, indexed by block.
+	Instances []Instance
+	// Extracted counts distinct macromodel extractions, Reused the
+	// instances served from the signature cache, KeptFlat the blocks
+	// left uncompressed.
+	Extracted, Reused, KeptFlat int
+}
+
+// ExtractCorner computes block b's macromodel at corner c of fd:
+// for every boundary input, a forward early(min)/late(max) relaxation
+// over the block's internal arcs in topological order. The returned
+// pair list is in canonical order — boundary inputs in BoundaryIn
+// order, boundary outputs in BoundaryOut order — and is identical at
+// every corner, so the edit path can re-extract a single corner and
+// diff windows pairwise. fd may be any delay variant of the partitioned
+// design (same structure, edited arc delays).
+func ExtractCorner(fd *model.Design, bl *model.Blocks, b int, c model.Corner) ([]Pair, []model.Window) {
+	arcs := blockArcsTopo(fd, bl, b)
+	np := len(bl.Pins[b])
+	dist := make([]model.Window, np)
+	reach := make([]bool, np)
+	outIdx := make([]int32, np) // local idx -> rank in BoundaryOut, -1 otherwise
+	for i := range outIdx {
+		outIdx[i] = -1
+	}
+	for i, u := range bl.BoundaryOut[b] {
+		outIdx[bl.LocalIdx[u]] = int32(i)
+	}
+	var pairs []Pair
+	var wins []model.Window
+	for _, bi := range bl.BoundaryIn[b] {
+		for i := range reach {
+			reach[i] = false
+		}
+		src := bl.LocalIdx[bi]
+		dist[src] = model.Window{}
+		reach[src] = true
+		for _, ai := range arcs {
+			a := &fd.Arcs[ai]
+			lf, lt := bl.LocalIdx[a.From], bl.LocalIdx[a.To]
+			if !reach[lf] {
+				continue
+			}
+			w := fd.ArcDelay(c, ai)
+			cand := model.Window{Early: dist[lf].Early + w.Early, Late: dist[lf].Late + w.Late}
+			if !reach[lt] {
+				dist[lt] = cand
+				reach[lt] = true
+			} else {
+				if cand.Early < dist[lt].Early {
+					dist[lt].Early = cand.Early
+				}
+				if cand.Late > dist[lt].Late {
+					dist[lt].Late = cand.Late
+				}
+			}
+		}
+		// The graph is acyclic, so src cannot be re-reached: a pair
+		// (bi, bi) would be a zero-length non-path and is skipped —
+		// bi is a kept pin, arrivals flow through it directly.
+		for _, bo := range bl.BoundaryOut[b] {
+			lo := bl.LocalIdx[bo]
+			if lo == src || !reach[lo] {
+				continue
+			}
+			pairs = append(pairs, Pair{In: src, Out: lo})
+			wins = append(wins, dist[lo])
+		}
+	}
+	return pairs, wins
+}
+
+// blockArcsTopo returns block b's internal arcs ordered by the source
+// pin's global topological index, the order a single forward relaxation
+// pass needs.
+func blockArcsTopo(fd *model.Design, bl *model.Blocks, b int) []int32 {
+	arcs := make([]int32, len(bl.InternalArcs[b]))
+	copy(arcs, bl.InternalArcs[b])
+	sort.Slice(arcs, func(i, j int) bool {
+		return fd.TopoIndex[fd.Arcs[arcs[i]].From] < fd.TopoIndex[fd.Arcs[arcs[j]].From]
+	})
+	return arcs
+}
+
+// extract computes block b's full macromodel (every corner).
+func extract(fd *model.Design, bl *model.Blocks, b int) *Macro {
+	m := &Macro{Delay: make([][]model.Window, fd.NumCorners())}
+	for c := 0; c < fd.NumCorners(); c++ {
+		pairs, wins := ExtractCorner(fd, bl, b, model.Corner(c))
+		if c == 0 {
+			m.Pairs = pairs
+		} else if len(pairs) != len(m.Pairs) {
+			// Reachability is structural; this cannot happen.
+			panic(fmt.Sprintf("hier: block %d pair count changed across corners (%d vs %d)",
+				b, len(pairs), len(m.Pairs)))
+		}
+		m.Delay[c] = wins
+	}
+	return m
+}
+
+// cacheEntry is one signature-cache slot: the shared macro plus the
+// keep-flat decision (deterministic per signature).
+type cacheEntry struct {
+	macro    *Macro
+	keepFlat bool
+}
+
+// Elaborate partitions d, extracts a macromodel per block (sharing
+// models across equal-signature instances), and builds the reduced
+// top-level design.
+func Elaborate(d *model.Design, opts Options) (*Hier, error) {
+	bl := model.PartitionBlocks(d)
+	h := &Hier{
+		Flat:      d,
+		Blocks:    bl,
+		Instances: make([]Instance, bl.NumBlocks()),
+	}
+
+	// Decide and extract per block, reusing by signature.
+	cache := make(map[string]cacheEntry)
+	for b := 0; b < bl.NumBlocks(); b++ {
+		sig := bl.Signature(b)
+		ent, hit := cache[sig]
+		if hit {
+			h.Reused++
+		} else {
+			macro := extract(d, bl, b)
+			// Keep the block flat when the macro is no smaller than
+			// the block it replaces: compression is the whole point.
+			keep := !opts.ForceExtract && len(macro.Pairs) >= len(bl.InternalArcs[b])
+			ent = cacheEntry{macro: macro, keepFlat: keep}
+			cache[sig] = ent
+			if !keep {
+				h.Extracted++
+			}
+		}
+		if ent.keepFlat {
+			h.Instances[b] = Instance{Block: b}
+			h.KeptFlat++
+		} else {
+			h.Instances[b] = Instance{Block: b, Extracted: true, Macro: ent.macro}
+		}
+	}
+
+	// Build the reduced design. Pins in flat PinID order; FF pins are
+	// created by AddFF at the CK pin (the Builder lays CK/D/Q out
+	// consecutively, as the flat builder did, so FF IDs are preserved).
+	nb := model.NewBuilder(d.Name, d.Period)
+	h.PinMap = make([]model.PinID, len(d.Pins))
+	for i := range h.PinMap {
+		h.PinMap[i] = model.NoPin
+	}
+	piIdx := make(map[model.PinID]int, len(d.PIs))
+	for i, p := range d.PIs {
+		piIdx[p] = i
+	}
+	poIdx := make(map[model.PinID]int, len(d.POs))
+	for i, p := range d.POs {
+		poIdx[p] = i
+	}
+	boundary := make([]bool, len(d.Pins))
+	for b := 0; b < bl.NumBlocks(); b++ {
+		if !h.Instances[b].Extracted {
+			continue
+		}
+		for _, u := range bl.BoundaryIn[b] {
+			boundary[u] = true
+		}
+		for _, u := range bl.BoundaryOut[b] {
+			boundary[u] = true
+		}
+	}
+	// addSrc records, per Builder arc-append, the flat arc it carries
+	// (-1 for macro arcs) — arc provenance must be tracked at add time
+	// because a macro pair can coincide pin-for-pin with a direct
+	// internal arc.
+	var addSrc []int32
+	for u := range d.Pins {
+		p := &d.Pins[u]
+		switch p.Kind {
+		case model.Comb:
+			inst := &h.Instances[bl.Of[u]]
+			if !inst.Extracted || boundary[u] {
+				h.PinMap[u] = nb.AddComb(p.Name)
+			}
+		case model.PI:
+			h.PinMap[u] = nb.AddPI(p.Name, d.PIArrival[piIdx[model.PinID(u)]])
+		case model.PO:
+			i := poIdx[model.PinID(u)]
+			if d.POConstrained[i] {
+				h.PinMap[u] = nb.AddPOConstrained(p.Name, d.PORequired[i])
+			} else {
+				h.PinMap[u] = nb.AddPO(p.Name)
+			}
+		case model.ClockRoot:
+			h.PinMap[u] = nb.AddClockRoot(p.Name)
+		case model.ClockBuf:
+			h.PinMap[u] = nb.AddClockBuf(p.Name)
+		case model.FFClock:
+			ff := &d.FFs[p.FF]
+			ckq := d.FanIn(ff.Output)[0] // Q is driven exactly by CK->Q
+			fp := nb.AddFF(ff.Name, ff.Setup, ff.Hold, d.Arcs[ckq].Delay)
+			h.PinMap[ff.Clock] = fp.Clock
+			h.PinMap[ff.Data] = fp.D
+			h.PinMap[ff.Output] = fp.Q
+			addSrc = append(addSrc, ckq)
+		case model.FFData, model.FFOutput:
+			// Created with their FF at the CK pin.
+		}
+	}
+	nb.SetClockUncertainty(model.Setup, d.Uncertainty[model.Setup])
+	nb.SetClockUncertainty(model.Hold, d.Uncertainty[model.Hold])
+
+	// Kept arcs, in flat arc order: every arc whose both endpoints
+	// survive, minus CK->Q launches (AddFF recreated those above).
+	for ai := range d.Arcs {
+		a := &d.Arcs[ai]
+		if d.Pins[a.From].Kind == model.FFClock {
+			continue
+		}
+		nf, nt := h.PinMap[a.From], h.PinMap[a.To]
+		if nf == model.NoPin || nt == model.NoPin {
+			continue
+		}
+		if b := bl.Of[a.From]; b >= 0 && b == bl.Of[a.To] && h.Instances[b].Extracted {
+			// Internal arc of an extracted block between two boundary
+			// pins: replaced by the macro, not kept.
+			continue
+		}
+		if a.Invert {
+			nb.AddInvertingArc(nf, nt, a.Delay)
+		} else {
+			nb.AddArc(nf, nt, a.Delay)
+		}
+		addSrc = append(addSrc, int32(ai))
+	}
+
+	// Macro arcs, per instance, in canonical pair order. macroAt[i]
+	// records (instance, pair) for corner-table fill below.
+	type macroRef struct{ inst, pair int32 }
+	var macroAt []macroRef
+	for b := range h.Instances {
+		inst := &h.Instances[b]
+		if !inst.Extracted {
+			continue
+		}
+		inst.TopArc = make([]int32, len(inst.Macro.Pairs))
+		for i, pr := range inst.Macro.Pairs {
+			from := h.PinMap[bl.Pins[b][pr.In]]
+			to := h.PinMap[bl.Pins[b][pr.Out]]
+			inst.TopArc[i] = int32(len(addSrc))
+			nb.AddArc(from, to, inst.Macro.Delay[0][i])
+			addSrc = append(addSrc, -1)
+			macroAt = append(macroAt, macroRef{inst: int32(b), pair: int32(i)})
+		}
+	}
+
+	top, err := nb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("hier: reduced design invalid: %w", err)
+	}
+	if top.NumArcs() != len(addSrc) {
+		return nil, fmt.Errorf("hier: arc provenance out of sync (%d arcs, %d tracked)", top.NumArcs(), len(addSrc))
+	}
+	top.BaseCornerName = d.BaseCornerName
+
+	// Extra corners: kept arcs read the flat corner table, macro arcs
+	// their instance's extracted windows.
+	for c := 1; c < d.NumCorners(); c++ {
+		table := make([]model.Window, len(addSrc))
+		mi := 0
+		for i, src := range addSrc {
+			if src >= 0 {
+				table[i] = d.ArcDelay(model.Corner(c), src)
+			} else {
+				ref := macroAt[mi]
+				mi++
+				table[i] = h.Instances[ref.inst].Macro.Delay[c][ref.pair]
+			}
+		}
+		top, _, err = top.WithCorner(d.CornerName(model.Corner(c)), table)
+		if err != nil {
+			return nil, fmt.Errorf("hier: carrying corner %d: %w", c, err)
+		}
+	}
+	h.Top = top
+
+	h.FlatToTopArc = make([]int32, len(d.Arcs))
+	for i := range h.FlatToTopArc {
+		h.FlatToTopArc[i] = -1
+	}
+	for i, src := range addSrc {
+		if src >= 0 {
+			h.FlatToTopArc[src] = int32(i)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,159 @@
+package hier_test
+
+import (
+	"context"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/internal/hier"
+	"fastcppr/model"
+)
+
+// checkValueExact asserts the reduced design times value-identically to
+// the flat design at every top-visible endpoint: per-endpoint worst
+// post-CPPR slacks, per-endpoint pre-CPPR (graph) slacks, and the top-1
+// report slack, for both modes at every corner.
+func checkValueExact(t *testing.T, d *model.Design, h *hier.Hier) {
+	t.Helper()
+	ctx := context.Background()
+	ft := cppr.NewTimer(d)
+	ht := cppr.NewTimer(h.Top)
+	for c := model.Corner(0); int(c) < d.NumCorners(); c++ {
+		for _, mode := range model.Modes {
+			q := cppr.Query{K: 1, Mode: mode, Corners: cppr.CornerBit(c)}
+			fr, err := ft.Run(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hr, err := ht.Run(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fw, fok := fr.WorstSlack()
+			hw, hok := hr.WorstSlack()
+			if fok != hok || fw != hw {
+				t.Fatalf("corner %d mode %v: top-1 slack flat %d(%v) vs hier %d(%v)", c, mode, fw, fok, hw, hok)
+			}
+			fs, err := ft.PostCPPRSlacksCtx(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs, err := ht.PostCPPRSlacksCtx(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fs) != len(hs) {
+				t.Fatalf("endpoint count %d vs %d", len(fs), len(hs))
+			}
+			for i := range fs {
+				if fs[i] != hs[i] {
+					t.Fatalf("corner %d mode %v: endpoint %d post-CPPR slack flat %+v vs hier %+v",
+						c, mode, i, fs[i], hs[i])
+				}
+			}
+			fpre, err := ft.PreCPPRSlacksAt(c, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hpre, err := ht.PreCPPRSlacksAt(c, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range fpre {
+				if fpre[i] != hpre[i] {
+					t.Fatalf("corner %d mode %v: endpoint %d pre-CPPR slack flat %+v vs hier %+v",
+						c, mode, i, fpre[i], hpre[i])
+				}
+			}
+		}
+	}
+}
+
+func TestElaborateBlockedExactAndReused(t *testing.T) {
+	spec := gen.BlockedArray(11)
+	spec.Instances = 6
+	spec.Layers = 8
+	d := gen.MustGenerateBlocked(spec)
+	h, err := hier.Elaborate(d, hier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Extracted != 1 || h.Reused != spec.Instances-1 {
+		t.Fatalf("extracted=%d reused=%d, want 1/%d (identical instances share one model)",
+			h.Extracted, h.Reused, spec.Instances-1)
+	}
+	if h.Top.NumArcs() >= d.NumArcs() {
+		t.Fatalf("no compression: %d arcs reduced vs %d flat", h.Top.NumArcs(), d.NumArcs())
+	}
+	if h.Top.NumFFs() != d.NumFFs() || len(h.Top.PIs) != len(d.PIs) || len(h.Top.POs) != len(d.POs) {
+		t.Fatal("reduced design lost top-visible endpoints")
+	}
+	checkValueExact(t, d, h)
+}
+
+func TestElaborateExactOnRandomPresets(t *testing.T) {
+	for _, seed := range []int64{42, 43} {
+		d := gen.MustGenerate(gen.SmallOracle(seed))
+		for _, force := range []bool{false, true} {
+			h, err := hier.Elaborate(d, hier.Options{ForceExtract: force})
+			if err != nil {
+				t.Fatalf("seed %d force %v: %v", seed, force, err)
+			}
+			checkValueExact(t, d, h)
+		}
+	}
+}
+
+func TestElaborateExactWithCorners(t *testing.T) {
+	spec := gen.BlockedArray(5)
+	spec.Instances = 4
+	spec.Layers = 6
+	d := gen.MustGenerateBlocked(spec)
+	d, _, err := d.WithScaledCorner("slow", 1.1, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err = d.WithScaledCorner("fast", 0.8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hier.Elaborate(d, hier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Top.NumCorners() != d.NumCorners() {
+		t.Fatalf("reduced design has %d corners, flat %d", h.Top.NumCorners(), d.NumCorners())
+	}
+	// Uniform scaling preserves signature equality, so reuse survives.
+	if h.Reused != spec.Instances-1 {
+		t.Fatalf("reused=%d, want %d", h.Reused, spec.Instances-1)
+	}
+	checkValueExact(t, d, h)
+}
+
+func TestExtractCornerStableUnderDelayEdits(t *testing.T) {
+	spec := gen.BlockedArray(3)
+	spec.Instances = 2
+	spec.Layers = 5
+	d := gen.MustGenerateBlocked(spec)
+	bl := model.PartitionBlocks(d)
+	pairs0, _ := hier.ExtractCorner(d, bl, 0, model.BaseCorner)
+	// Edit an internal arc's delay; the structural pair list must not
+	// change (the edit path depends on this to diff windows pairwise).
+	ai := bl.InternalArcs[0][len(bl.InternalArcs[0])/2]
+	nd := d.CloneWithArcs()
+	nd.Arcs[ai].Delay = model.Window{Early: 1, Late: 500}
+	pairs1, wins1 := hier.ExtractCorner(nd, bl, 0, model.BaseCorner)
+	if len(pairs0) != len(pairs1) {
+		t.Fatalf("pair list changed under a delay edit: %d vs %d", len(pairs0), len(pairs1))
+	}
+	for i := range pairs0 {
+		if pairs0[i] != pairs1[i] {
+			t.Fatalf("pair %d changed: %+v vs %+v", i, pairs0[i], pairs1[i])
+		}
+	}
+	if len(wins1) != len(pairs1) {
+		t.Fatalf("windows not aligned with pairs")
+	}
+}

@@ -666,6 +666,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row("forks", id, ts.Forks)
 		row("whatif_candidates", id, ts.WhatIfCandidates)
 		row("cone_skips", id, ts.ConeSkips)
+		row("macromodels_extracted", id, ts.MacroExtracted)
+		row("macromodel_reuses", id, ts.MacroReused)
+		row("macromodel_reextracted", id, ts.MacroReextracted)
 	}
 	w.Write([]byte(sb.String()))
 }

@@ -1,0 +1,229 @@
+package model
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Blocks is a partition of a design's combinational pins into blocks:
+// the weakly-connected components of the comb-comb arc subgraph. Every
+// Comb pin belongs to exactly one block; pins of any other kind (PIs,
+// POs, FF pins, clock tree) belong to none and stay visible at the top
+// level of a hierarchical elaboration.
+//
+// Because any comb->comb arc joins its endpoints into one component,
+// every comb->comb arc of the design is internal to some block, and
+// every arc crossing a block boundary has at least one non-comb
+// endpoint. The boundary pins of a block are therefore exactly the comb
+// pins with an in-arc from a non-comb pin (boundary inputs) or an
+// out-arc to a non-comb pin (boundary outputs).
+//
+// Blocks is the structural substrate of macromodel extraction
+// (internal/hier): each block's internal arcs are compressed into
+// boundary pin-to-pin delay windows, and blocks with identical
+// signatures share one extracted model.
+type Blocks struct {
+	d *Design
+
+	// Of[pin] is the block index owning pin, or -1 for non-comb pins.
+	Of []int32
+	// LocalIdx[pin] is the pin's rank within its block's Pins slice
+	// (PinID order), or -1 for non-comb pins. Local indices are the
+	// currency of signatures: two instances of the same block netlist
+	// created in the same relative pin order get identical local
+	// structure regardless of where their global IDs landed.
+	LocalIdx []int32
+
+	// Pins[b] lists block b's pins in ascending PinID order.
+	Pins [][]PinID
+	// BoundaryIn[b] / BoundaryOut[b] list block b's boundary input /
+	// output pins, each a subsequence of Pins[b]. A pin can be both.
+	// Comb pins with no fan-in at all are not boundary inputs: arrivals
+	// seed only at FF outputs, PIs and clock roots, so no path can
+	// start inside a block.
+	BoundaryIn  [][]PinID
+	BoundaryOut [][]PinID
+	// InternalArcs[b] lists the indices of arcs with both endpoints in
+	// block b, in ascending arc-index order. By the component argument
+	// above this is exactly the set of comb->comb arcs touching b.
+	InternalArcs [][]int32
+}
+
+// PartitionBlocks partitions d's combinational pins into blocks. The
+// result is deterministic: blocks are numbered by their smallest PinID.
+func PartitionBlocks(d *Design) *Blocks {
+	n := len(d.Pins)
+	// Union-find over comb pins, joined by comb->comb arcs.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for ai := range d.Arcs {
+		a := &d.Arcs[ai]
+		if d.Pins[a.From].Kind == Comb && d.Pins[a.To].Kind == Comb {
+			rf, rt := find(int32(a.From)), find(int32(a.To))
+			if rf != rt {
+				parent[rt] = rf
+			}
+		}
+	}
+
+	bl := &Blocks{
+		d:        d,
+		Of:       make([]int32, n),
+		LocalIdx: make([]int32, n),
+	}
+	for i := range bl.Of {
+		bl.Of[i] = -1
+		bl.LocalIdx[i] = -1
+	}
+	// Number blocks by smallest member PinID; assign local indices in
+	// ascending PinID order.
+	rootBlock := make(map[int32]int32)
+	for u := 0; u < n; u++ {
+		if d.Pins[u].Kind != Comb {
+			continue
+		}
+		r := find(int32(u))
+		b, ok := rootBlock[r]
+		if !ok {
+			b = int32(len(bl.Pins))
+			rootBlock[r] = b
+			bl.Pins = append(bl.Pins, nil)
+		}
+		bl.Of[u] = b
+		bl.LocalIdx[u] = int32(len(bl.Pins[b]))
+		bl.Pins[b] = append(bl.Pins[b], PinID(u))
+	}
+
+	nb := len(bl.Pins)
+	bl.BoundaryIn = make([][]PinID, nb)
+	bl.BoundaryOut = make([][]PinID, nb)
+	bl.InternalArcs = make([][]int32, nb)
+	for b := 0; b < nb; b++ {
+		for _, u := range bl.Pins[b] {
+			in, out := false, false
+			for _, ai := range d.FanIn(u) {
+				if d.Pins[d.Arcs[ai].From].Kind != Comb {
+					in = true
+					break
+				}
+			}
+			for _, ai := range d.FanOut(u) {
+				if d.Pins[d.Arcs[ai].To].Kind != Comb {
+					out = true
+					break
+				}
+			}
+			if in {
+				bl.BoundaryIn[b] = append(bl.BoundaryIn[b], u)
+			}
+			if out {
+				bl.BoundaryOut[b] = append(bl.BoundaryOut[b], u)
+			}
+		}
+	}
+	for ai := range d.Arcs {
+		a := &d.Arcs[ai]
+		if b := bl.Of[a.From]; b >= 0 && b == bl.Of[a.To] {
+			bl.InternalArcs[b] = append(bl.InternalArcs[b], int32(ai))
+		}
+	}
+	return bl
+}
+
+// Design returns the partitioned design.
+func (bl *Blocks) Design() *Design { return bl.d }
+
+// NumBlocks returns the number of blocks.
+func (bl *Blocks) NumBlocks() int { return len(bl.Pins) }
+
+// sortedInternal returns block b's internal arcs ordered by
+// (localFrom, localTo) — the canonical order signatures and extraction
+// use, independent of global arc indices. The Builder forbids parallel
+// arcs, so the key is unique.
+func (bl *Blocks) sortedInternal(b int) []int32 {
+	arcs := make([]int32, len(bl.InternalArcs[b]))
+	copy(arcs, bl.InternalArcs[b])
+	d := bl.d
+	sort.Slice(arcs, func(i, j int) bool {
+		ai, aj := &d.Arcs[arcs[i]], &d.Arcs[arcs[j]]
+		fi, fj := bl.LocalIdx[ai.From], bl.LocalIdx[aj.From]
+		if fi != fj {
+			return fi < fj
+		}
+		return bl.LocalIdx[ai.To] < bl.LocalIdx[aj.To]
+	})
+	return arcs
+}
+
+func (bl *Blocks) signature(b int, allCorners bool) string {
+	d := bl.d
+	var sb strings.Builder
+	sb.WriteString("v1|")
+	sb.WriteString(strconv.Itoa(len(bl.Pins[b])))
+	sb.WriteByte('|')
+	// Boundary flags per local pin.
+	flags := make([]byte, len(bl.Pins[b]))
+	for i := range flags {
+		flags[i] = '.'
+	}
+	for _, u := range bl.BoundaryIn[b] {
+		flags[bl.LocalIdx[u]] = 'i'
+	}
+	for _, u := range bl.BoundaryOut[b] {
+		li := bl.LocalIdx[u]
+		if flags[li] == 'i' {
+			flags[li] = 'x' // both
+		} else {
+			flags[li] = 'o'
+		}
+	}
+	sb.Write(flags)
+	arcs := bl.sortedInternal(b)
+	writeWin := func(w Window) {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(int64(w.Early), 10))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatInt(int64(w.Late), 10))
+	}
+	for _, ai := range arcs {
+		a := &d.Arcs[ai]
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(int(bl.LocalIdx[a.From])))
+		sb.WriteByte('>')
+		sb.WriteString(strconv.Itoa(int(bl.LocalIdx[a.To])))
+		writeWin(a.Delay)
+	}
+	if allCorners {
+		for c := 1; c < d.NumCorners(); c++ {
+			sb.WriteString("|c")
+			sb.WriteString(strconv.Itoa(c))
+			for _, ai := range arcs {
+				writeWin(d.ExtraCorners[c-1].Delay[ai])
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Signature returns a canonical encoding of block b's local structure
+// and internal delays at every corner. Two blocks with equal signatures
+// are interchangeable for macromodel extraction: same pin count, same
+// boundary roles by local index, same internal arcs with the same delay
+// windows at every corner.
+func (bl *Blocks) Signature(b int) string { return bl.signature(b, true) }
+
+// BaseSignature is Signature restricted to the base corner. The tau
+// hierarchical writer groups instances by it, because the tau format
+// records base-corner delays only.
+func (bl *Blocks) BaseSignature(b int) string { return bl.signature(b, false) }

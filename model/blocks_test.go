@@ -1,0 +1,134 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+// twoCloudDesign builds FF1 -> (a1->a2) -> FF2 -> (b1->b2) -> FF3 with
+// two single-arc combinational clouds.
+func twoCloudDesign(t *testing.T) *Design {
+	t.Helper()
+	b := NewBuilder("blocks", 1000)
+	root := b.AddClockRoot("clk")
+	f1 := b.AddFF("ff1", 10, 5, Window{Early: 18, Late: 20})
+	f2 := b.AddFF("ff2", 10, 5, Window{Early: 18, Late: 20})
+	f3 := b.AddFF("ff3", 10, 5, Window{Early: 18, Late: 20})
+	b.AddArc(root, f1.Clock, Window{Early: 10, Late: 12})
+	b.AddArc(root, f2.Clock, Window{Early: 11, Late: 13})
+	b.AddArc(root, f3.Clock, Window{Early: 9, Late: 14})
+	a1 := b.AddComb("a1")
+	a2 := b.AddComb("a2")
+	b.AddArc(f1.Q, a1, Window{Early: 5, Late: 8})
+	b.AddArc(a1, a2, Window{Early: 20, Late: 30})
+	b.AddArc(a2, f2.D, Window{Early: 3, Late: 4})
+	b1 := b.AddComb("b1")
+	b2 := b.AddComb("b2")
+	b.AddArc(f2.Q, b1, Window{Early: 5, Late: 8})
+	b.AddArc(b1, b2, Window{Early: 20, Late: 30})
+	b.AddArc(b2, f3.D, Window{Early: 3, Late: 4})
+	return b.MustBuild()
+}
+
+func TestPartitionBlocksTwoClouds(t *testing.T) {
+	d := twoCloudDesign(t)
+	bl := PartitionBlocks(d)
+	if bl.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d, want 2", bl.NumBlocks())
+	}
+	for b := 0; b < 2; b++ {
+		if len(bl.Pins[b]) != 2 {
+			t.Fatalf("block %d has %d pins, want 2", b, len(bl.Pins[b]))
+		}
+		if len(bl.BoundaryIn[b]) != 1 || len(bl.BoundaryOut[b]) != 1 {
+			t.Fatalf("block %d boundary in/out = %d/%d, want 1/1",
+				b, len(bl.BoundaryIn[b]), len(bl.BoundaryOut[b]))
+		}
+		if len(bl.InternalArcs[b]) != 1 {
+			t.Fatalf("block %d has %d internal arcs, want 1", b, len(bl.InternalArcs[b]))
+		}
+	}
+	// Every comb pin owned, every non-comb pin unowned.
+	for u := range d.Pins {
+		owned := bl.Of[u] >= 0
+		if owned != (d.Pins[u].Kind == Comb) {
+			t.Fatalf("pin %s (kind %v): Of = %d", d.Pins[u].Name, d.Pins[u].Kind, bl.Of[u])
+		}
+	}
+	// The two clouds are structural clones with identical delays: their
+	// signatures must agree at every granularity.
+	if bl.Signature(0) != bl.Signature(1) {
+		t.Fatalf("clone blocks have different signatures:\n%s\n%s", bl.Signature(0), bl.Signature(1))
+	}
+	if bl.BaseSignature(0) != bl.BaseSignature(1) {
+		t.Fatal("clone blocks have different base signatures")
+	}
+}
+
+func TestPartitionBlocksSignatureSeparatesDelays(t *testing.T) {
+	d := twoCloudDesign(t)
+	bl := PartitionBlocks(d)
+	a1, _ := d.PinByName("a1")
+	a2, _ := d.PinByName("a2")
+	ai := d.ArcBetween(a1, a2)
+	nd := d.CloneWithArcs()
+	nd.Arcs[ai].Delay = Window{Early: 21, Late: 30}
+	nbl := PartitionBlocks(nd)
+	if nbl.Signature(0) == nbl.Signature(1) {
+		t.Fatal("signature did not separate blocks with different internal delays")
+	}
+	// An extra corner that scales uniformly keeps full signatures equal
+	// between clone blocks but distinct from the base-only signature.
+	cd, _, err := d.WithScaledCorner("slow", 1.1, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbl := PartitionBlocks(cd)
+	if cbl.Signature(0) != cbl.Signature(1) {
+		t.Fatal("uniformly scaled corner broke clone-block signature equality")
+	}
+	if cbl.Signature(0) == cbl.BaseSignature(0) {
+		t.Fatal("full signature ignored the extra corner")
+	}
+	if cbl.BaseSignature(0) != bl.BaseSignature(0) {
+		t.Fatal("base signature changed when only an extra corner was added")
+	}
+}
+
+func TestPartitionBlocksBoundaryRoles(t *testing.T) {
+	// g1 feeds both g2 (internal) and a PO (boundary out); g2 also
+	// receives a direct PI arc (boundary in). Dead-end comb pin g3 has
+	// fan-in but no comb fan-out and no non-comb fan-out.
+	b := NewBuilder("roles", 1000)
+	root := b.AddClockRoot("clk")
+	f1 := b.AddFF("ff1", 10, 5, Window{Early: 18, Late: 20})
+	b.AddArc(root, f1.Clock, Window{Early: 10, Late: 12})
+	pi := b.AddPI("in", Window{})
+	po := b.AddPO("out")
+	g1 := b.AddComb("g1")
+	g2 := b.AddComb("g2")
+	g3 := b.AddComb("g3")
+	b.AddArc(f1.Q, g1, Window{Early: 1, Late: 2})
+	b.AddArc(g1, g2, Window{Early: 5, Late: 9})
+	b.AddArc(g1, po, Window{Early: 1, Late: 1})
+	b.AddArc(pi, g2, Window{Early: 2, Late: 3})
+	b.AddArc(g2, g3, Window{Early: 1, Late: 4})
+	b.AddArc(g2, f1.D, Window{Early: 1, Late: 1})
+	d := b.MustBuild()
+
+	bl := PartitionBlocks(d)
+	if bl.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d, want 1", bl.NumBlocks())
+	}
+	wantIn := []PinID{g1, g2}
+	wantOut := []PinID{g1, g2}
+	if !reflect.DeepEqual(bl.BoundaryIn[0], wantIn) {
+		t.Fatalf("BoundaryIn = %v, want %v", bl.BoundaryIn[0], wantIn)
+	}
+	if !reflect.DeepEqual(bl.BoundaryOut[0], wantOut) {
+		t.Fatalf("BoundaryOut = %v, want %v", bl.BoundaryOut[0], wantOut)
+	}
+	if len(bl.InternalArcs[0]) != 2 {
+		t.Fatalf("internal arcs = %d, want 2 (g1->g2, g2->g3)", len(bl.InternalArcs[0]))
+	}
+}

@@ -1,0 +1,50 @@
+package netlist
+
+import (
+	"fastcppr/internal/hier"
+	"fastcppr/liberty"
+	"fastcppr/model"
+)
+
+// HierStats summarises a hierarchical elaboration: how the flat timing
+// graph's combinational clouds partitioned and how much the macromodel
+// extraction compressed them.
+type HierStats struct {
+	// Blocks is the number of combinational clouds in the flat graph.
+	Blocks int
+	// Extracted counts distinct macromodel extractions; Reused the
+	// instances served by an already-extracted model of equal
+	// signature; KeptFlat the blocks left uncompressed (macro no
+	// smaller than the cloud).
+	Extracted, Reused, KeptFlat int
+	// FlatArcs/ReducedArcs are the arc counts before and after.
+	FlatArcs, ReducedArcs int
+}
+
+// ElaborateHier elaborates the netlist and then compresses the timing
+// graph by block macromodel extraction: each combinational cloud is
+// replaced by boundary pin-to-pin early/late arcs, with repeated
+// clouds of identical structure and delays sharing one extracted
+// model. The returned design is value-identical to Elaborate's at
+// every top-visible endpoint (FF D pins, output ports) and is what a
+// hierarchical flow hands to cppr.NewTimer directly — or callers use
+// cppr.NewHierTimer on the flat design to keep flat edit addressing.
+func (n *Netlist) ElaborateHier(lib *liberty.Library, wm WireModel) (*model.Design, HierStats, error) {
+	d, err := n.Elaborate(lib, wm)
+	if err != nil {
+		return nil, HierStats{}, err
+	}
+	h, err := hier.Elaborate(d, hier.Options{})
+	if err != nil {
+		return nil, HierStats{}, err
+	}
+	st := HierStats{
+		Blocks:      h.Blocks.NumBlocks(),
+		Extracted:   h.Extracted,
+		Reused:      h.Reused,
+		KeptFlat:    h.KeptFlat,
+		FlatArcs:    d.NumArcs(),
+		ReducedArcs: h.Top.NumArcs(),
+	}
+	return h.Top, st, nil
+}

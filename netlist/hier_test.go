@@ -1,0 +1,80 @@
+package netlist
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/liberty"
+	"fastcppr/model"
+)
+
+// repeatedNetlist builds n identical INV-chain clouds between DFF
+// pairs on a shared clock buffer: the repeated-instance case the
+// signature cache exists for.
+func repeatedNetlist(n int) string {
+	var sb strings.Builder
+	sb.WriteString("design rep\nperiod 10ns\nclock clk 20\n")
+	sb.WriteString("inst cb CLKBUF A=clk Y=ck\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "inst r%d DFF CK=ck D=ri%d Q=q%d\n", i, i, i)
+		fmt.Fprintf(&sb, "inst u%da INV A=q%d Y=m%d\n", i, i, i)
+		fmt.Fprintf(&sb, "inst u%db INV A=m%d Y=d%d\n", i, i, i)
+		fmt.Fprintf(&sb, "inst s%d DFF CK=ck D=d%d Q=so%d\n", i, i, i)
+		fmt.Fprintf(&sb, "inst w%d BUF A=so%d Y=ro%d\n", i, i, i)
+		fmt.Fprintf(&sb, "inst v%d BUF A=in%d Y=ri%d\n", i, i, i)
+		fmt.Fprintf(&sb, "input in%d 100 150 30\n", i)
+		fmt.Fprintf(&sb, "output out%d 0 9000\n", i)
+		fmt.Fprintf(&sb, "inst x%d BUF A=ro%d Y=out%d\n", i, i, i)
+	}
+	return sb.String()
+}
+
+func TestElaborateHierExactAndReused(t *testing.T) {
+	n, err := Parse(strings.NewReader(repeatedNetlist(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := liberty.Demo()
+	flat, err := n.Elaborate(lib, DefaultWireModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, st, err := n.ElaborateHier(lib, DefaultWireModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Extracted == 0 || st.Reused == 0 {
+		t.Fatalf("no extraction/reuse on identical clouds: %+v", st)
+	}
+	if st.ReducedArcs >= st.FlatArcs {
+		t.Fatalf("no compression: %+v", st)
+	}
+	if red.NumFFs() != flat.NumFFs() || len(red.POs) != len(flat.POs) {
+		t.Fatal("reduced design lost endpoints")
+	}
+
+	ctx := context.Background()
+	ft, rt := cppr.NewTimer(flat), cppr.NewTimer(red)
+	for _, mode := range model.Modes {
+		q := cppr.Query{K: 1, Mode: mode}
+		fs, err := ft.PostCPPRSlacksCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := rt.PostCPPRSlacksCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != len(rs) {
+			t.Fatalf("%v: %d vs %d endpoints", mode, len(fs), len(rs))
+		}
+		for i := range fs {
+			if fs[i] != rs[i] {
+				t.Fatalf("%v endpoint %d: flat %+v vs hier %+v", mode, i, fs[i], rs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package tau
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"fastcppr/internal/hier"
+	"fastcppr/model"
+)
+
+// WriteHier serialises d hierarchically: the design is elaborated by
+// block macromodel extraction (internal/hier) and the REDUCED design is
+// written — interior pins and internal arcs of extracted blocks are
+// gone, replaced by block definitions whose macro arcs are written once
+// (blockarc statements) and stamped per instance (instpins statements).
+// Instances with identical base-corner signatures share one definition,
+// so a design with N repeated blocks stores the block timing once, not
+// N times.
+//
+// Reading the file back yields the reduced design: value-identical to d
+// at every top-visible endpoint (see internal/hier for the exactness
+// argument), but not pin-identical — WriteHier is a compressing export,
+// Write the verbatim one. Like Write, only the base corner is stored.
+func WriteHier(w io.Writer, d *model.Design) error {
+	h, err := hier.Elaborate(d, hier.Options{})
+	if err != nil {
+		return err
+	}
+	top, bl := h.Top, h.Blocks
+
+	// Macro arcs are carried by blockarc statements, not arc lines.
+	skip := make([]bool, top.NumArcs())
+	for b := range h.Instances {
+		for _, ai := range h.Instances[b].TopArc {
+			skip[ai] = true
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# fastcppr hierarchical design file\n")
+	if err := writeBody(bw, top, skip); err != nil {
+		return err
+	}
+
+	// Group extracted instances by shared macro; the def's pin list is
+	// the block's boundary pins in ascending local-index order, which
+	// signature equality makes consistent across its instances.
+	defName := map[*hier.Macro]string{}
+	for b := range h.Instances {
+		inst := &h.Instances[b]
+		if !inst.Extracted || len(inst.Macro.Pairs) == 0 {
+			continue
+		}
+		name, known := defName[inst.Macro]
+		locals := boundaryLocals(bl, b)
+		if !known {
+			name = fmt.Sprintf("B%d", len(defName))
+			defName[inst.Macro] = name
+			pos := map[int32]int{}
+			for i, l := range locals {
+				pos[l] = i
+			}
+			for i, pr := range inst.Macro.Pairs {
+				w := inst.Macro.Delay[0][i]
+				fmt.Fprintf(bw, "blockarc %s %d %d %d %d\n",
+					name, pos[pr.In], pos[pr.Out], w.Early.Ps(), w.Late.Ps())
+			}
+		}
+		fmt.Fprintf(bw, "instpins i%d %s", b, name)
+		for _, l := range locals {
+			fmt.Fprintf(bw, " %s", top.PinName(h.PinMap[bl.Pins[b][l]]))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// boundaryLocals returns block b's boundary pins as ascending local
+// indices (BoundaryIn and BoundaryOut are each PinID-sorted, and local
+// index is PinID rank, so this is a sorted-merge union).
+func boundaryLocals(bl *model.Blocks, b int) []int32 {
+	in, out := bl.BoundaryIn[b], bl.BoundaryOut[b]
+	locals := make([]int32, 0, len(in)+len(out))
+	i, j := 0, 0
+	for i < len(in) || j < len(out) {
+		switch {
+		case j == len(out) || (i < len(in) && in[i] < out[j]):
+			locals = append(locals, bl.LocalIdx[in[i]])
+			i++
+		case i == len(in) || out[j] < in[i]:
+			locals = append(locals, bl.LocalIdx[out[j]])
+			j++
+		default: // same pin is both boundary-in and boundary-out
+			locals = append(locals, bl.LocalIdx[in[i]])
+			i, j = i+1, j+1
+		}
+	}
+	return locals
+}
+
+// WriteHierFile writes d hierarchically to the named file.
+func WriteHierFile(path string, d *model.Design) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteHier(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,144 @@
+package tau
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"fastcppr/cppr"
+	"fastcppr/gen"
+	"fastcppr/internal/hier"
+	"fastcppr/model"
+)
+
+// arcKey flattens an arc to a comparable value for multiset equality.
+type arcKey struct {
+	from, to    string
+	early, late model.Time
+	invert      bool
+}
+
+func arcMultiset(d *model.Design) []arcKey {
+	keys := make([]arcKey, len(d.Arcs))
+	for i, a := range d.Arcs {
+		keys[i] = arcKey{d.PinName(a.From), d.PinName(a.To), a.Delay.Early, a.Delay.Late, a.Invert}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.early < b.early || (a.early == b.early && a.late < b.late)
+	})
+	return keys
+}
+
+// TestWriteHierRoundTrip: reading a hierarchical file back yields
+// exactly the reduced design — same pins, the same arc multiset (macro
+// arcs stamped from the shared defs), and value-identical slacks to the
+// flat design it was exported from.
+func TestWriteHierRoundTrip(t *testing.T) {
+	spec := gen.BlockedArray(13)
+	spec.Instances = 6
+	spec.Layers = 8
+	d := gen.MustGenerateBlocked(spec)
+	h, err := hier.Elaborate(d, hier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteHier(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// One def shared by every instance: blockarc lines appear once.
+	if n := strings.Count(text, "instpins "); n != spec.Instances {
+		t.Fatalf("%d instpins statements, want %d", n, spec.Instances)
+	}
+	if !strings.Contains(text, "blockarc B0 ") || strings.Contains(text, "blockarc B1 ") {
+		t.Fatal("expected exactly one shared block definition B0")
+	}
+
+	rd, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumPins() != h.Top.NumPins() || rd.NumArcs() != h.Top.NumArcs() {
+		t.Fatalf("read back %d pins / %d arcs, reduced design has %d / %d",
+			rd.NumPins(), rd.NumArcs(), h.Top.NumPins(), h.Top.NumArcs())
+	}
+	got, want := arcMultiset(rd), arcMultiset(h.Top)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arc %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// End-to-end: the file's design times value-identically to the flat
+	// design at the endpoints.
+	ctx := context.Background()
+	ft, rt := cppr.NewTimer(d), cppr.NewTimer(rd)
+	for _, mode := range model.Modes {
+		q := cppr.Query{K: 1, Mode: mode}
+		fs, err := ft.PostCPPRSlacksCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := rt.PostCPPRSlacksCtx(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fs) != len(rs) {
+			t.Fatalf("%v: %d vs %d endpoints", mode, len(fs), len(rs))
+		}
+		for i := range fs {
+			if fs[i] != rs[i] {
+				t.Fatalf("%v endpoint %d: %+v vs %+v", mode, i, fs[i], rs[i])
+			}
+		}
+	}
+}
+
+// TestWriteHierCompresses: the hierarchical file must be materially
+// smaller than the flat one on a repeated-block design — the format
+// exists for the size win.
+func TestWriteHierCompresses(t *testing.T) {
+	d := gen.MustGenerateBlocked(gen.BlockedArray(13))
+	var flat, hierBuf bytes.Buffer
+	if err := Write(&flat, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHier(&hierBuf, d); err != nil {
+		t.Fatal(err)
+	}
+	if 2*hierBuf.Len() >= flat.Len() {
+		t.Fatalf("hier file %d bytes vs flat %d — expected at least 2x smaller", hierBuf.Len(), flat.Len())
+	}
+}
+
+func TestReadHierErrors(t *testing.T) {
+	base := "design x\nperiod 1000\nclockroot clk\ncomb a\ncomb b\nff f 10 5 20 30\narc clk f/CK 10 20\narc f/Q a 5 9\narc b f/D 5 9\n"
+	cases := []struct{ name, extra string }{
+		{"unknown def", "instpins i0 NOPE a b\n"},
+		{"undeclared pin", "blockarc B0 0 1 5 9\ninstpins i0 B0 a zz\n"},
+		{"index out of range", "blockarc B0 0 7 5 9\ninstpins i0 B0 a b\n"},
+		{"bad index", "blockarc B0 x 1 5 9\ninstpins i0 B0 a b\n"},
+		{"short instpins", "instpins i0 B0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(base + tc.extra)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The base design plus a valid def must parse.
+	ok := base + "blockarc B0 0 1 5 9\ninstpins i0 B0 a b\n"
+	if _, err := Read(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid hier file rejected: %v", err)
+	}
+}

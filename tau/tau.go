@@ -15,6 +15,8 @@
 //	arc     <from> <to> <early> <late>
 //	invarc  <from> <to> <early> <late>
 //	uncertainty <setup> <hold>
+//	blockarc <def> <i> <j> <early> <late>
+//	instpins <inst> <def> <pin> <pin> ...
 //
 // Times accept "250", "250ps" or "0.25ns". An ff statement implicitly
 // declares pins <name>/CK, <name>/D and <name>/Q plus the CK->Q arc.
@@ -24,6 +26,14 @@
 // omitted when zero, so files written by older versions parse
 // unchanged. Statements may appear in any order except that arcs must
 // follow the declaration of both endpoints.
+//
+// blockarc and instpins carry hierarchical designs (WriteHier): a
+// blockarc declares, inside block definition <def>, an arc from the
+// i-th to the j-th pin (0-based) of each instance's pin list; an
+// instpins statement declares <inst> as an instance of <def> and binds
+// its pin list to already-declared pins. The def's arcs are written
+// once and stamped per instance, which is what makes the hierarchical
+// file smaller than the flat one.
 package tau
 
 import (
@@ -31,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"fastcppr/model"
@@ -40,6 +51,15 @@ import (
 func Write(w io.Writer, d *model.Design) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# fastcppr design file\n")
+	if err := writeBody(bw, d, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeBody writes d's statements; arcs with skipArc[i] set are left to
+// the caller (WriteHier replaces them with blockarc statements).
+func writeBody(bw *bufio.Writer, d *model.Design, skipArc []bool) error {
 	fmt.Fprintf(bw, "design %s\n", d.Name)
 	fmt.Fprintf(bw, "period %d\n", d.Period.Ps())
 	if d.Uncertainty[model.Setup] != 0 || d.Uncertainty[model.Hold] != 0 {
@@ -96,8 +116,8 @@ func Write(w io.Writer, d *model.Design) error {
 			ff.Name, ff.Setup.Ps(), ff.Hold.Ps(), ckq.Early.Ps(), ckq.Late.Ps())
 	}
 	for i, a := range d.Arcs {
-		if ckqArc[i] {
-			continue // implied by the ff statement
+		if ckqArc[i] || (skipArc != nil && skipArc[i]) {
+			continue // implied by the ff statement / a blockarc
 		}
 		stmt := "arc"
 		if a.Invert {
@@ -106,7 +126,7 @@ func Write(w io.Writer, d *model.Design) error {
 		fmt.Fprintf(bw, "%s %s %s %d %d\n",
 			stmt, d.PinName(a.From), d.PinName(a.To), a.Delay.Early.Ps(), a.Delay.Late.Ps())
 	}
-	return bw.Flush()
+	return nil
 }
 
 // WriteFile writes d to the named file.
@@ -149,6 +169,16 @@ func Read(r io.Reader) (*model.Design, error) {
 		setup, hold       model.Time
 		ckqEarly, ckqLate model.Time
 	}
+	type blockArcStmt struct {
+		i, j        int
+		early, late model.Time
+		line        int
+	}
+	type instStmt struct {
+		name, def string
+		pins      []string
+		line      int
+	}
 	var (
 		clockroots, clockbufs, combs []string
 		pos                          []poStmt
@@ -156,6 +186,8 @@ func Read(r io.Reader) (*model.Design, error) {
 		ffs                          []ffStmt
 		arcs                         []arcStmt
 		uncertainty                  [2]model.Time
+		blockarcs                    = map[string][]blockArcStmt{}
+		insts                        []instStmt
 	)
 
 	lineno := 0
@@ -255,6 +287,27 @@ func Read(r io.Reader) (*model.Design, error) {
 				return nil, err
 			}
 			arcs = append(arcs, s)
+		case "blockarc":
+			if err := need(6); err != nil {
+				return nil, err
+			}
+			s := blockArcStmt{line: lineno}
+			var err error
+			if s.i, err = strconv.Atoi(fields[2]); err != nil || s.i < 0 {
+				return nil, bad("blockarc pin index must be a non-negative integer")
+			}
+			if s.j, err = strconv.Atoi(fields[3]); err != nil || s.j < 0 {
+				return nil, bad("blockarc pin index must be a non-negative integer")
+			}
+			if err := times(4, &s.early, &s.late); err != nil {
+				return nil, err
+			}
+			blockarcs[fields[1]] = append(blockarcs[fields[1]], s)
+		case "instpins":
+			if len(fields) < 4 {
+				return nil, bad("instpins needs an instance, a def and at least one pin")
+			}
+			insts = append(insts, instStmt{name: fields[1], def: fields[2], pins: fields[3:], line: lineno})
 		case "uncertainty":
 			if err := need(3); err != nil {
 				return nil, err
@@ -309,6 +362,29 @@ func Read(r io.Reader) (*model.Design, error) {
 			b.AddInvertingArc(from, to, model.Window{Early: s.early, Late: s.late})
 		} else {
 			b.AddArc(from, to, model.Window{Early: s.early, Late: s.late})
+		}
+	}
+	// Stamp block-definition arcs per instance, in file order.
+	for _, inst := range insts {
+		defArcs := blockarcs[inst.def]
+		if len(defArcs) == 0 {
+			return nil, fmt.Errorf("tau: line %d: instpins %q references def %q with no blockarc statements",
+				inst.line, inst.name, inst.def)
+		}
+		pins := make([]model.PinID, len(inst.pins))
+		for i, pn := range inst.pins {
+			p, ok := b.Pin(pn)
+			if !ok {
+				return nil, fmt.Errorf("tau: line %d: instpins references undeclared pin %q", inst.line, pn)
+			}
+			pins[i] = p
+		}
+		for _, ba := range defArcs {
+			if ba.i >= len(pins) || ba.j >= len(pins) {
+				return nil, fmt.Errorf("tau: line %d: blockarc %d -> %d out of range for instance %q (%d pins)",
+					ba.line, ba.i, ba.j, inst.name, len(pins))
+			}
+			b.AddArc(pins[ba.i], pins[ba.j], model.Window{Early: ba.early, Late: ba.late})
 		}
 	}
 	for mode, u := range uncertainty {
